@@ -1,0 +1,67 @@
+// Ablation: full-chip round scheduling — the paper's conservative grouping
+// vs a greedy minimal-round packing.
+//
+// The greedy scheduler needs fewer tests, but the algorithm only KNOWS the
+// immediate-neighbour distance set; denser packing can co-test bits that
+// are second/third/fourth physical neighbours of each other, shielding part
+// of the worst-case interference and silently losing coverage of tight
+// cells.  The paper's grouping leaves wide guard bands that happen to keep
+// the outer neighbours unshielded on all three vendor layouts.
+#include <cstdio>
+
+#include "common/table.h"
+#include "parbor/parbor.h"
+
+using namespace parbor;
+
+int main() {
+  Table table({"Vendor", "Scheduler", "Rounds", "Tests", "Coupling found",
+               "Coverage %"});
+  for (auto vendor : {dram::Vendor::kA, dram::Vendor::kB, dram::Vendor::kC}) {
+    auto cfg = dram::make_module_config(vendor, 1, dram::Scale::kSmall);
+    cfg.chip.remapped_cols = 0;
+    cfg.chip.faults.vrt_cell_rate = 0.0;
+    cfg.chip.faults.marginal_cell_rate = 0.0;
+    cfg.chip.faults.soft_error_rate = 0.0;
+    cfg.chip.faults.weak_cell_rate = 0.0;
+    cfg.chip.faults.coupling_cell_rate = 1e-3;
+
+    for (bool greedy : {false, true}) {
+      dram::Module module(cfg);
+      mc::TestHost host(module);
+      const auto distances = module.chip(0).scrambler().abs_distance_set();
+      const auto plan =
+          greedy ? core::make_round_plan_greedy(distances, host.row_bits())
+                 : core::make_round_plan(distances, host.row_bits());
+      const auto result = core::run_fullchip_test(host, plan);
+
+      // Ground truth coverage over all coupling cells.
+      std::size_t total = 0, found = 0;
+      for (std::uint32_t c = 0; c < module.chip_count(); ++c) {
+        auto& bank = module.chip(c).bank(0);
+        const auto& scr = module.chip(c).scrambler();
+        for (std::uint32_t r = 0; r < cfg.chip.rows; ++r) {
+          for (const auto& cell : bank.row_faults(r).coupling) {
+            ++total;
+            if (result.cells.contains(
+                    {{c, 0, r},
+                     static_cast<std::uint32_t>(
+                         scr.to_system(cell.phys_col))})) {
+              ++found;
+            }
+          }
+        }
+      }
+      table.add(dram::vendor_name(vendor),
+                greedy ? "greedy (min rounds)" : "paper grouping",
+                plan.rounds.size(), plan.total_tests(), found,
+                100.0 * static_cast<double>(found) /
+                    static_cast<double>(total));
+    }
+  }
+  std::printf("Full-chip scheduler ablation\n\n%s", table.to_string().c_str());
+  std::printf(
+      "\nGreedy packing saves tests but can silently shield outer-neighbour\n"
+      "interference; the paper's wider groups keep full coverage.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Ablation: the recursion's subdivision factor (the paper divides each kept
+// region into 8 subregions per level after the initial halving).  Smaller
+// factors mean more levels (more aggregate tests when several distances are
+// live); larger factors mean fewer, wider levels with more tests each.
+#include <cstdio>
+
+#include "common/table.h"
+#include "parbor/parbor.h"
+
+using namespace parbor;
+
+int main() {
+  std::printf(
+      "Ablation: recursion subdivision factor (one module per vendor)\n\n");
+  Table table({"Vendor", "Subdivision", "Levels", "Search tests",
+               "Distance set matches"});
+  for (auto vendor : {dram::Vendor::kA, dram::Vendor::kB, dram::Vendor::kC}) {
+    for (std::uint32_t subdivision : {2u, 4u, 8u, 16u}) {
+      dram::Module module(
+          dram::make_module_config(vendor, 1, dram::Scale::kSmall));
+      mc::TestHost host(module);
+      core::ParborConfig pcfg;
+      pcfg.subdivision = subdivision;
+      const auto report = core::run_parbor_search_only(host, pcfg);
+      const auto truth = module.chip(0).scrambler().abs_distance_set();
+      table.add(dram::vendor_name(vendor), subdivision,
+                report.search.levels.size(), report.search.tests,
+                report.search.abs_distances() == truth ? "yes" : "NO");
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nThe paper's choice (8) balances level count against tests "
+              "per level.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces the paper Appendix's test-time arithmetic:
+//  * naive neighbour-location search: O(n) 8.73 min, O(n^2) 49 days,
+//    O(n^3) 1115 years, O(n^4) 9.1M years (n = 8K cells per row);
+//  * whole-module testing: one write/wait/read iteration over a 2 GB module
+//    takes 413.96 ms, so PARBOR's 92-132 tests take tens of seconds.
+#include <cstdio>
+
+#include "common/table.h"
+#include "memctrl/ddr3.h"
+#include "parbor/parbor.h"
+
+using namespace parbor;
+using mc::Ddr3Timing;
+
+int main() {
+  Ddr3Timing t;
+  const std::uint64_t n = 8192;
+
+  std::printf("Appendix: exhaustive neighbour-location test time (n = 8K "
+              "cells/row)\n\n");
+  const auto naive = mc::naive_test_times(t, n);
+  Table naive_table({"Test", "Tests", "Time", "Paper"});
+  naive_table.add("per-bit", std::uint64_t{1},
+                  format_seconds(naive.per_bit_test_s), "~64 ms");
+  naive_table.add("O(n)   (1 neighbour, linear)", n,
+                  format_seconds(naive.linear_s), "8.73 min");
+  naive_table.add("O(n^2) (2 neighbours)", n * n,
+                  format_seconds(naive.quadratic_s), "49 days");
+  naive_table.add("O(n^3) (3 neighbours)", n * n * n,
+                  format_seconds(naive.cubic_s), "1115 years");
+  naive_table.add("O(n^4) (4 neighbours)", n * n * n * n,
+                  format_seconds(naive.quartic_s), "9.1M years");
+  std::printf("%s\n", naive_table.to_string().c_str());
+
+  std::printf("Whole-module test time (2 GB module, 262144 rows, "
+              "DDR3-1600):\n\n");
+  const std::uint64_t rows = 262144;
+  Table module_table({"Quantity", "Value", "Paper"});
+  module_table.add("read/write one 8 KB row",
+                   format_seconds(t.full_row_access(8192).seconds()),
+                   "667.5 ns");
+  module_table.add("sweep whole module",
+                   format_seconds(t.module_sweep(rows).seconds()),
+                   "174.98 ms");
+  module_table.add("one test (write+wait+read)",
+                   format_seconds(t.module_test(rows).seconds()),
+                   "413.96 ms");
+  module_table.add("92 tests (min PARBOR budget)",
+                   format_seconds(t.module_test(rows).seconds() * 92.0),
+                   "~38 s");
+  module_table.add("132 tests (max PARBOR budget)",
+                   format_seconds(t.module_test(rows).seconds() * 132.0),
+                   "~55 s");
+  std::printf("%s\n", module_table.to_string().c_str());
+
+  // End-to-end budgets measured on the simulated modules (per-vendor).
+  std::printf("Measured end-to-end PARBOR budgets (simulated modules):\n\n");
+  Table measured({"Vendor", "Discovery", "Recursion", "Full-chip", "Total",
+                  "Simulated time (at 64 ms waits)"});
+  for (auto vendor : {dram::Vendor::kA, dram::Vendor::kB, dram::Vendor::kC}) {
+    dram::Module module(
+        dram::make_module_config(vendor, 1, dram::Scale::kSmall));
+    mc::TestHost host(module);
+    const auto report = core::run_parbor(host, {});
+    // Scale the per-test time to a full 2 GB module at the standard 64 ms
+    // wait (the experiments themselves use an elevated 4 s interval).
+    const double wall =
+        t.module_test(rows).seconds() *
+        static_cast<double>(report.total_tests());
+    measured.add(dram::vendor_name(vendor), report.discovery.tests,
+                 report.search.tests, report.fullchip.tests,
+                 report.total_tests(), format_seconds(wall));
+  }
+  std::printf("%s", measured.to_string().c_str());
+  std::printf("\nPaper: total 92-132 tests -> 38-55 s per 2 GB module.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Figure 11: the union of neighbour-region distances PARBOR
+// finds at each level of the recursion, for modules from vendors A, B, C.
+//
+// Paper (final level):  A {±8, ±16, ±48},  B {±1, ±64},  C {±16, ±33, ±49}.
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+#include "parbor/parbor.h"
+
+using namespace parbor;
+
+namespace {
+
+std::string join(const std::vector<std::int64_t>& ds) {
+  std::string out;
+  for (auto d : ds) {
+    if (!out.empty()) out += ", ";
+    out += std::to_string(d);
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 11: distances of neighbour regions at each recursion level\n\n");
+  for (auto vendor : {dram::Vendor::kA, dram::Vendor::kB, dram::Vendor::kC}) {
+    const auto config =
+        dram::make_module_config(vendor, 1, dram::Scale::kMedium);
+    dram::Module module(config);
+    mc::TestHost host(module);
+    const auto report = core::run_parbor_search_only(host, {});
+
+    Table table({"Level", "Region size", "Distances found"});
+    for (const auto& level : report.search.levels) {
+      table.add("L" + std::to_string(level.level), level.region_size,
+                join(level.found));
+    }
+    std::printf("Vendor %s (module %s):\n%s",
+                dram::vendor_name(vendor).c_str(), module.name().c_str(),
+                table.to_string().c_str());
+
+    std::string truth;
+    for (auto d : module.chip(0).scrambler().abs_distance_set()) {
+      if (!truth.empty()) truth += ", ";
+      truth += "±" + std::to_string(d);
+    }
+    std::printf("device ground truth: {%s}\n\n", truth.c_str());
+  }
+  std::printf(
+      "Paper L5 sets: A {±8, ±16, ±48}, B {±1, ±64}, C {±16, ±33, ±49}\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Figure 12: extra failures uncovered by PARBOR's neighbour-aware
+// testing compared to random-pattern testing with the SAME test budget, for
+// all 18 modules (6 per vendor).
+//
+// Paper: PARBOR finds 1K-45K additional failures per module (2-55% increase,
+// 21.9% on average); modules from C are the most vulnerable.
+//
+// Note on scale: the paper tests 2 GB modules (8 chips x 8 banks x 32K rows);
+// the simulated geometry is 8 chips x 1 bank x 256 rows with the same
+// 8K-bit rows and calibrated fault densities, so absolute counts are
+// proportionally smaller while the relative increases match.
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "parbor/parbor.h"
+
+using namespace parbor;
+
+int main() {
+  std::printf(
+      "Figure 12: extra failures uncovered by PARBOR vs an equal-budget\n"
+      "random-pattern test, per module\n\n");
+  Table table({"Module", "Tests", "PARBOR", "Random", "PARBOR-only",
+               "Increase %"});
+  std::vector<double> increases;
+  for (const auto& config : dram::make_population(dram::Scale::kMedium)) {
+    dram::Module module(config);
+    mc::TestHost host(module);
+    const auto report = core::run_parbor(host, {});
+    const auto parbor_cells = report.all_detected();
+
+    const auto random = core::run_random_campaign(
+        host, report.total_tests(), config.seed ^ 0xabcdef);
+
+    std::size_t parbor_only = 0;
+    for (const auto& cell : parbor_cells) {
+      if (!random.cells.contains(cell)) ++parbor_only;
+    }
+    const double increase =
+        random.cells.empty()
+            ? 0.0
+            : 100.0 * static_cast<double>(parbor_only) /
+                  static_cast<double>(random.cells.size());
+    increases.push_back(increase);
+    table.add(module.name(), report.total_tests(), parbor_cells.size(),
+              random.cells.size(), parbor_only, increase);
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nAverage increase: %.1f%%   (paper: 21.9%% on average, "
+              "2-55%% per module)\n",
+              mean_of(increases));
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Google-benchmark micro-benchmarks: throughput of the hot paths every
+// campaign exercises (scrambler permutation, row fault evaluation, pattern
+// construction, round scheduling) and the end-to-end neighbour search.
+#include <benchmark/benchmark.h>
+
+#include "parbor/parbor.h"
+
+using namespace parbor;
+
+namespace {
+
+void BM_ScramblerPermutation(benchmark::State& state) {
+  const auto vendor = static_cast<dram::Vendor>(state.range(0));
+  auto scr = dram::make_scrambler(vendor, 8192);
+  std::size_t sink = 0;
+  for (auto _ : state) {
+    for (std::size_t s = 0; s < 8192; ++s) sink += scr->to_physical(s);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_ScramblerPermutation)
+    ->Arg(static_cast<int>(dram::Vendor::kA))
+    ->Arg(static_cast<int>(dram::Vendor::kB))
+    ->Arg(static_cast<int>(dram::Vendor::kC));
+
+void BM_PermuteRowToPhysical(benchmark::State& state) {
+  dram::ChipConfig cfg;
+  cfg.rows = 4;
+  dram::Chip chip(cfg, Rng(1));
+  BitVec sys(8192);
+  for (std::size_t i = 0; i < 8192; i += 3) sys.set(i, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chip.permute_to_physical(sys));
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PermuteRowToPhysical);
+
+void BM_RowFaultEvaluation(benchmark::State& state) {
+  auto cfg = dram::make_module_config(dram::Vendor::kC, 6, dram::Scale::kTiny);
+  dram::Module module(cfg);
+  mc::TestHost host(module);
+  BitVec pattern(8192);
+  for (std::size_t i = 0; i < 8192; ++i) pattern.set(i, (i >> 3) & 1);
+  std::uint32_t row = 0;
+  for (auto _ : state) {
+    host.write_row({0, 0, row}, pattern);
+    host.wait(SimTime::sec(4));
+    benchmark::DoNotOptimize(host.read_row_flips({0, 0, row}));
+    row = (row + 1) % cfg.chip.rows;
+  }
+}
+BENCHMARK(BM_RowFaultEvaluation);
+
+void BM_RoundPlanConstruction(benchmark::State& state) {
+  const std::set<std::int64_t> distances{1, 64};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::make_round_plan(distances, 8192));
+  }
+}
+BENCHMARK(BM_RoundPlanConstruction);
+
+void BM_RoundPatternConstruction(benchmark::State& state) {
+  const auto plan = core::make_round_plan({8, 16, 48}, 8192);
+  std::size_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::round_pattern(plan, round, true, 8192));
+    round = (round + 1) % plan.rounds.size();
+  }
+}
+BENCHMARK(BM_RoundPatternConstruction);
+
+void BM_EndToEndNeighborSearch(benchmark::State& state) {
+  for (auto _ : state) {
+    dram::Module module(
+        dram::make_module_config(dram::Vendor::kA, 1, dram::Scale::kTiny));
+    mc::TestHost host(module);
+    benchmark::DoNotOptimize(core::run_parbor_search_only(host, {}));
+  }
+}
+BENCHMARK(BM_EndToEndNeighborSearch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

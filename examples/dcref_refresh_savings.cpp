@@ -1,0 +1,81 @@
+// End-to-end DC-REF demo (§8): PARBOR characterises a module's
+// data-dependent failures; the resulting vulnerable-row fraction and
+// worst-case-pattern knowledge drive the DC-REF refresh policy in the
+// multi-core memory-system simulation.
+//
+//   $ ./dcref_refresh_savings [workload-index]
+#include <cstdio>
+#include <set>
+
+#include "common/table.h"
+#include "dcref/sim.h"
+#include "parbor/parbor.h"
+#include "parbor/retention.h"
+
+using namespace parbor;
+
+int main(int argc, char** argv) {
+  const int workload = argc > 1 ? std::atoi(argv[1]) : 0;
+
+  // Step 1: PARBOR characterises a module (which rows hold cells vulnerable
+  // to data-dependent failures, and at which neighbour distances the
+  // worst-case pattern must be checked).
+  dram::Module module(
+      dram::make_module_config(dram::Vendor::kA, 1, dram::Scale::kSmall));
+  mc::TestHost host(module);
+  const auto report = core::run_parbor(host, {});
+
+  // RAIDR-style retention profiling at the relaxed 256 ms interval, using
+  // PARBOR's worst-case rounds: which rows cannot take the slow bin?
+  const auto profile = core::profile_retention(host, report.plan);
+  const double weak_fraction = profile.fast_fraction();
+  std::printf(
+      "PARBOR: %zu failing cells; retention profiling at 256 ms puts\n"
+      "%zu of %llu rows (%.1f%%) in the fast bin when content conspires\n"
+      "(neighbour distances: ",
+      report.fullchip.cells.size(), profile.fast_rows.size(),
+      static_cast<unsigned long long>(profile.rows_total),
+      100.0 * weak_fraction);
+  for (auto d : report.search.abs_distances()) {
+    std::printf("±%lld ", static_cast<long long>(d));
+  }
+  std::printf(")\n\n");
+
+  // Step 2: feed that fraction into the refresh policies and simulate an
+  // 8-core workload (Table 2 system, 32 Gbit chips).
+  dcref::SimConfig cfg;
+  cfg.seed = 0x510c0 + static_cast<std::uint64_t>(workload) * 104729;
+  const auto apps = dcref::make_workload(workload);
+  std::printf("Workload %d:", workload);
+  for (const auto& a : apps) std::printf(" %s", a.name.c_str());
+  std::printf("\n\n");
+
+  const auto alone = dcref::alone_ipcs(apps, cfg);
+  Table table({"Policy", "Weighted speedup", "vs baseline %",
+               "fast rows %", "row refreshes/s"});
+
+  dcref::UniformRefresh uniform;
+  const auto base = dcref::run_simulation(apps, uniform, cfg);
+  const double ws_base = dcref::weighted_speedup(base, alone);
+  table.add(uniform.name(), ws_base, 0.0, 100.0,
+            base.row_refreshes_per_second);
+
+  dcref::RaidrRefresh raidr(weak_fraction);
+  const auto r = dcref::run_simulation(apps, raidr, cfg);
+  table.add(raidr.name(), dcref::weighted_speedup(r, alone),
+            100.0 * (dcref::weighted_speedup(r, alone) / ws_base - 1.0),
+            100.0 * weak_fraction, r.row_refreshes_per_second);
+
+  dcref::DcRefRefresh dcref_policy(cfg.mem.total_rows, weak_fraction);
+  const auto d = dcref::run_simulation(apps, dcref_policy, cfg);
+  table.add(dcref_policy.name(), dcref::weighted_speedup(d, alone),
+            100.0 * (dcref::weighted_speedup(d, alone) / ws_base - 1.0),
+            100.0 * d.mean_high_rate_fraction,
+            base.row_refreshes_per_second * d.mean_load_factor);
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nDC-REF refreshes a vulnerable row fast ONLY while its content\n"
+      "matches the worst-case pattern PARBOR identified; rows with benign\n"
+      "content drop to the slow rate, cutting refresh work beyond RAIDR.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Failure-detection campaign: pits PARBOR's neighbour-aware testing against
+// the two system-level alternatives from §3 — simple 0s/1s/checkerboard
+// patterns and equal-budget random patterns — on one simulated module.
+//
+//   $ ./failure_campaign [vendor: A|B|C] [module-index]
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+#include "parbor/parbor.h"
+
+using namespace parbor;
+
+int main(int argc, char** argv) {
+  dram::Vendor vendor = dram::Vendor::kC;
+  if (argc > 1) {
+    const std::string v = argv[1];
+    if (v == "A") vendor = dram::Vendor::kA;
+    if (v == "B") vendor = dram::Vendor::kB;
+  }
+  const int index = argc > 2 ? std::atoi(argv[2]) : 1;
+
+  const auto config =
+      dram::make_module_config(vendor, index, dram::Scale::kMedium);
+  dram::Module module(config);
+  mc::TestHost host(module);
+  std::printf("Module %s: %llu cells\n\n", module.name().c_str(),
+              static_cast<unsigned long long>(module.total_cells()));
+
+  // The full PARBOR pipeline.
+  const auto report = core::run_parbor(host, {});
+  const auto parbor_cells = report.all_detected();
+
+  // Simple-pattern strawman (all 0s / all 1s / 0x55 / 0xAA).
+  const auto simple = core::run_simple_campaign(host);
+
+  // Random patterns with the same budget PARBOR used.
+  const auto random = core::run_random_campaign(host, report.total_tests(),
+                                                config.seed ^ 0x5eed);
+
+  Table table({"Campaign", "Tests", "Failures found", "vs PARBOR %"});
+  const double p = static_cast<double>(parbor_cells.size());
+  table.add("PARBOR (neighbour-aware)", report.total_tests(),
+            parbor_cells.size(), 100.0);
+  table.add("random patterns (equal budget)", random.tests,
+            random.cells.size(),
+            100.0 * static_cast<double>(random.cells.size()) / p);
+  table.add("simple 0s/1s/checkerboard", simple.tests, simple.cells.size(),
+            100.0 * static_cast<double>(simple.cells.size()) / p);
+  std::printf("%s", table.to_string().c_str());
+
+  std::size_t missed_by_random = 0;
+  for (const auto& cell : parbor_cells) {
+    if (!random.cells.contains(cell)) ++missed_by_random;
+  }
+  std::printf(
+      "\n%zu failures (%.1f%% of PARBOR's finds) stay hidden from the\n"
+      "random campaign: cells whose worst-case pattern needs many physically\n"
+      "neighbouring bits aligned at once.  Simple patterns miss even the\n"
+      "basics because scrambling decouples system and physical adjacency.\n",
+      missed_by_random,
+      100.0 * static_cast<double>(missed_by_random) / p);
+  return 0;
+}

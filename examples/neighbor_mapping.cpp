@@ -1,0 +1,61 @@
+// Neighbour-mapping deep dive: runs PARBOR's discovery + recursive search
+// on one module of every vendor and prints the per-level distance rankings
+// (the data behind the paper's Figs. 11 and 14), without the full-chip
+// campaign.
+//
+//   $ ./neighbor_mapping [module-index]
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+#include "parbor/parbor.h"
+
+using namespace parbor;
+
+namespace {
+
+void run_vendor(dram::Vendor vendor, int index) {
+  const auto config =
+      dram::make_module_config(vendor, index, dram::Scale::kSmall);
+  dram::Module module(config);
+  mc::TestHost host(module);
+
+  const auto report = core::run_parbor_search_only(host, {});
+  std::printf("\n=== Module %s ===\n", module.name().c_str());
+  std::printf("victims: %zu, search tests: %llu\n",
+              report.discovery.victims.size(),
+              static_cast<unsigned long long>(report.search.tests));
+
+  for (const auto& level : report.search.levels) {
+    std::printf("L%d (region %u, %u tests): ", level.level, level.region_size,
+                level.tests);
+    const double max =
+        static_cast<double>(level.ranking.max_count());
+    for (const auto& [d, count] : level.ranking.sorted_by_key()) {
+      std::printf("%lld:%llu(%.2f) ", static_cast<long long>(d),
+                  static_cast<unsigned long long>(count),
+                  max > 0 ? count / max : 0.0);
+    }
+    std::printf("\n    kept: ");
+    for (auto d : level.found) std::printf("%lld ", static_cast<long long>(d));
+    std::printf("\n");
+  }
+
+  // Ground truth from the device model for comparison.
+  std::string truth;
+  for (auto d : module.chip(0).scrambler().abs_distance_set()) {
+    if (!truth.empty()) truth += ", ";
+    truth += "±" + std::to_string(d);
+  }
+  std::printf("scrambler ground truth: {%s}\n", truth.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int index = argc > 1 ? std::atoi(argv[1]) : 1;
+  for (auto vendor : {dram::Vendor::kA, dram::Vendor::kB, dram::Vendor::kC}) {
+    run_vendor(vendor, index);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: build a simulated DRAM module, run the full PARBOR pipeline,
+// and print what it found.
+//
+//   $ ./quickstart [vendor: A|B|C] [module-index: 1..6]
+//
+// This walks through the whole public API surface: module construction,
+// the SoftMC-style test host, and the five-step PARBOR pipeline.
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+#include "parbor/parbor.h"
+
+using namespace parbor;
+
+int main(int argc, char** argv) {
+  dram::Vendor vendor = dram::Vendor::kA;
+  int index = 1;
+  if (argc > 1) {
+    const std::string v = argv[1];
+    if (v == "B") vendor = dram::Vendor::kB;
+    if (v == "C") vendor = dram::Vendor::kC;
+  }
+  if (argc > 2) index = std::atoi(argv[2]);
+
+  // 1. Build the device under test (a simulated module; on real hardware
+  //    this would be the DIMM behind a SoftMC-style memory controller).
+  const auto config = dram::make_module_config(vendor, index,
+                                               dram::Scale::kSmall);
+  dram::Module module(config);
+  std::printf("Module %s: %u chips x %u banks x %u rows x %u bits/row\n",
+              module.name().c_str(), config.chips, config.chip.banks,
+              config.chip.rows, config.chip.row_bits);
+
+  // 2. Attach the system-level test host (DDR3-1600 timing, 4 s test wait).
+  mc::TestHost host(module);
+
+  // 3. Run PARBOR end to end.
+  core::ParborConfig pcfg;
+  const core::ParborReport report = core::run_parbor(host, pcfg);
+
+  // 4. Show what it learned.
+  std::printf("\nInitial victim set: %zu cells (%llu discovery tests)\n",
+              report.discovery.victims.size(),
+              static_cast<unsigned long long>(report.discovery.tests));
+
+  Table levels({"level", "region size", "tests", "distances found"});
+  for (const auto& level : report.search.levels) {
+    std::string found;
+    for (auto d : level.found) {
+      if (!found.empty()) found += ", ";
+      found += std::to_string(d);
+    }
+    levels.add(level.level, level.region_size, level.tests, found);
+  }
+  std::printf("\nRecursive neighbour search (%llu tests):\n",
+              static_cast<unsigned long long>(report.search.tests));
+  std::printf("%s", levels.to_string().c_str());
+
+  std::string distances;
+  for (auto d : report.search.abs_distances()) {
+    if (!distances.empty()) distances += ", ";
+    distances += "±" + std::to_string(d);
+  }
+  std::printf("\nNeighbour locations (system-address distances): {%s}\n",
+              distances.c_str());
+
+  std::printf(
+      "\nFull-chip campaign: %zu rounds of neighbour-aware patterns "
+      "(chunk %u bits), %llu tests, %zu data-dependent failures found\n",
+      report.plan.rounds.size(), report.plan.chunk,
+      static_cast<unsigned long long>(report.fullchip.tests),
+      report.fullchip.cells.size());
+  std::printf("Total test budget: %llu tests, %.1f s of simulated time\n",
+              static_cast<unsigned long long>(report.total_tests()),
+              host.now().seconds());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Temperature study (§6): retention roughly halves for every +10 C, so
+// failure COUNTS climb steeply with temperature — but the neighbour
+// LOCATIONS PARBOR extracts are geometric and do not move.  This example
+// sweeps a module across operating temperatures and shows both effects.
+//
+//   $ ./temperature_study [vendor: A|B|C]
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+#include "parbor/parbor.h"
+
+using namespace parbor;
+
+int main(int argc, char** argv) {
+  dram::Vendor vendor = dram::Vendor::kC;
+  if (argc > 1) {
+    const std::string v = argv[1];
+    if (v == "A") vendor = dram::Vendor::kA;
+    if (v == "B") vendor = dram::Vendor::kB;
+  }
+
+  Table table({"Temp (C)", "Retention factor", "Victims found",
+               "Failures (full chip)", "Neighbour distances"});
+  std::set<std::int64_t> reference;
+  bool stable = true;
+  for (double temp : {30.0, 40.0, 45.0, 50.0, 60.0}) {
+    dram::Module module(
+        dram::make_module_config(vendor, 1, dram::Scale::kSmall));
+    module.set_temperature(temp);
+    mc::TestHost host(module);
+    const auto report = core::run_parbor(host, {});
+
+    std::string distances;
+    for (auto d : report.search.abs_distances()) {
+      if (!distances.empty()) distances += ", ";
+      distances += "±" + std::to_string(d);
+    }
+    if (reference.empty()) reference = report.search.abs_distances();
+    stable &= reference == report.search.abs_distances();
+    table.add(temp, module.chip(0).temp_factor(),
+              report.discovery.victims.size(), report.fullchip.cells.size(),
+              distances);
+  }
+  std::printf("Vendor %s temperature sweep (4 s test interval):\n%s",
+              dram::vendor_name(vendor).c_str(), table.to_string().c_str());
+  std::printf(
+      "\nNeighbour locations %s across the sweep — the mapping is a\n"
+      "property of the chip's wiring, not of its leakage (paper §6).\n"
+      "Failure counts rise with temperature because the effective hold\n"
+      "time doubles every +10 C.\n",
+      stable ? "IDENTICAL" : "DIFFERED (unexpected!)");
+  return 0;
+}

@@ -1,0 +1,127 @@
+#include "common/bitvec.h"
+
+#include <bit>
+#include <cassert>
+
+namespace parbor {
+
+BitVec::BitVec(std::size_t nbits, bool value)
+    : nbits_(nbits), words_((nbits + 63) / 64, value ? ~0ULL : 0ULL) {
+  trim();
+}
+
+void BitVec::fill(bool v) {
+  for (auto& w : words_) w = v ? ~0ULL : 0ULL;
+  trim();
+}
+
+void BitVec::set_range(std::size_t begin, std::size_t end, bool v) {
+  if (end > nbits_) end = nbits_;
+  if (begin >= end) return;
+  std::size_t first_word = begin >> 6;
+  std::size_t last_word = (end - 1) >> 6;
+  const std::uint64_t first_mask = ~0ULL << (begin & 63);
+  const std::uint64_t last_mask = ~0ULL >> (63 - ((end - 1) & 63));
+  if (first_word == last_word) {
+    const std::uint64_t mask = first_mask & last_mask;
+    if (v) {
+      words_[first_word] |= mask;
+    } else {
+      words_[first_word] &= ~mask;
+    }
+    return;
+  }
+  if (v) {
+    words_[first_word] |= first_mask;
+  } else {
+    words_[first_word] &= ~first_mask;
+  }
+  for (std::size_t w = first_word + 1; w < last_word; ++w) {
+    words_[w] = v ? ~0ULL : 0ULL;
+  }
+  if (v) {
+    words_[last_word] |= last_mask;
+  } else {
+    words_[last_word] &= ~last_mask;
+  }
+}
+
+std::size_t BitVec::popcount() const {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t BitVec::hamming_distance(const BitVec& other) const {
+  assert(nbits_ == other.nbits_);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  }
+  return n;
+}
+
+std::vector<std::size_t> BitVec::diff_positions(const BitVec& other) const {
+  assert(nbits_ == other.nbits_);
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t d = words_[i] ^ other.words_[i];
+    while (d != 0) {
+      const int bit = std::countr_zero(d);
+      out.push_back(i * 64 + static_cast<std::size_t>(bit));
+      d &= d - 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> BitVec::set_positions() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t d = words_[i];
+    while (d != 0) {
+      const int bit = std::countr_zero(d);
+      out.push_back(i * 64 + static_cast<std::size_t>(bit));
+      d &= d - 1;
+    }
+  }
+  return out;
+}
+
+BitVec BitVec::operator~() const {
+  BitVec out = *this;
+  for (auto& w : out.words_) w = ~w;
+  out.trim();
+  return out;
+}
+
+BitVec& BitVec::operator^=(const BitVec& other) {
+  assert(nbits_ == other.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& other) {
+  assert(nbits_ == other.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& other) {
+  assert(nbits_ == other.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+bool BitVec::operator==(const BitVec& other) const {
+  return nbits_ == other.nbits_ && words_ == other.words_;
+}
+
+void BitVec::trim() {
+  const std::size_t tail = nbits_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= ~0ULL >> (64 - tail);
+  }
+}
+
+}  // namespace parbor

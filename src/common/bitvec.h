@@ -1,0 +1,81 @@
+// Fixed-size dynamic bit vector used for DRAM row contents.
+//
+// std::vector<bool> is avoided on purpose: we need word-level access for the
+// fault model and fast xor/popcount diffing when comparing a row that was
+// read back against the pattern that was written.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace parbor {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t nbits, bool value = false);
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  bool get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void set(std::size_t i, bool v) {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (v) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+  void flip(std::size_t i) { words_[i >> 6] ^= 1ULL << (i & 63); }
+
+  void fill(bool v);
+
+  // Fills the vector with uniformly random bits drawn from rng (word-wise;
+  // much faster than per-bit set()).
+  template <typename RngT>
+  void fill_random(RngT& rng) {
+    for (auto& w : words_) w = rng.next();
+    trim();
+  }
+
+  // Sets bits [begin, end) to v.  end is clamped to size().
+  void set_range(std::size_t begin, std::size_t end, bool v);
+
+  std::size_t popcount() const;
+
+  // Number of positions where *this and other differ (sizes must match).
+  std::size_t hamming_distance(const BitVec& other) const;
+
+  // Indices of positions where *this and other differ.
+  std::vector<std::size_t> diff_positions(const BitVec& other) const;
+
+  // Indices of set bits.
+  std::vector<std::size_t> set_positions() const;
+
+  BitVec operator~() const;
+  BitVec& operator^=(const BitVec& other);
+  BitVec& operator|=(const BitVec& other);
+  BitVec& operator&=(const BitVec& other);
+  friend BitVec operator^(BitVec a, const BitVec& b) { return a ^= b; }
+  friend BitVec operator|(BitVec a, const BitVec& b) { return a |= b; }
+  friend BitVec operator&(BitVec a, const BitVec& b) { return a &= b; }
+
+  bool operator==(const BitVec& other) const;
+  bool operator!=(const BitVec& other) const { return !(*this == other); }
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  // Clears the unused high bits of the last word so that popcount and
+  // comparison stay correct after whole-word operations.
+  void trim();
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace parbor

@@ -1,0 +1,45 @@
+// Runtime precondition checking.  PARBOR_CHECK fires in every build type —
+// the simulators are cheap enough that we never want silently corrupt
+// experiments — and throws instead of aborting so that tests can assert on
+// misuse and callers can recover.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace parbor {
+
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << "CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw CheckError(oss.str());
+}
+}  // namespace detail
+
+}  // namespace parbor
+
+#define PARBOR_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::parbor::detail::check_failed(#expr, __FILE__, __LINE__, {});    \
+    }                                                                   \
+  } while (false)
+
+#define PARBOR_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream oss_;                                          \
+      oss_ << msg;                                                      \
+      ::parbor::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                     oss_.str());                       \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,37 @@
+// Tiny command-line flag parser for the tools and examples.
+// Supports "--name value", "--name=value", and bare positional arguments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace parbor {
+
+class Flags {
+ public:
+  // Parses argv[1..); returns false (and records an error) on malformed
+  // input such as a trailing "--flag" with no value.
+  static Flags parse(int argc, const char* const* argv);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  bool has(const std::string& name) const { return values_.contains(name); }
+
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace parbor

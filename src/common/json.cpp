@@ -1,0 +1,126 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace parbor {
+
+void JsonWriter::separator() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value completes a "key": pair; no comma
+  }
+  if (!counts_.empty()) {
+    if (counts_.back() > 0) out_ << ',';
+    ++counts_.back();
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separator();
+  out_ << '{';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  PARBOR_CHECK(!counts_.empty());
+  counts_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separator();
+  out_ << '[';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  PARBOR_CHECK(!counts_.empty());
+  counts_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  PARBOR_CHECK_MSG(!pending_key_, "two keys in a row");
+  separator();
+  out_ << '"' << escape(name) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  separator();
+  out_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separator();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separator();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separator();
+  if (std::isfinite(v)) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    out_ << buf;
+  } else {
+    out_ << "null";
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separator();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace parbor

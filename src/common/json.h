@@ -1,0 +1,57 @@
+// Minimal JSON writer (no external dependencies).
+//
+// Only what the report exporters need: objects, arrays, strings, numbers,
+// booleans, with correct escaping and stable formatting.  Writing only —
+// nothing in this repository parses JSON.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace parbor {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Inside an object: writes the key and positions for a value.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+
+  // key + value in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  std::string str() const { return out_.str(); }
+
+  static std::string escape(const std::string& s);
+
+ private:
+  // Emits a comma if the current container already has an element.
+  void separator();
+
+  std::ostringstream out_;
+  // Per-nesting-level element counts; tracks whether a comma is due.
+  std::vector<int> counts_;
+  bool pending_key_ = false;
+};
+
+}  // namespace parbor

@@ -1,0 +1,35 @@
+#include "common/sim_time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace parbor {
+
+std::string format_seconds(double s) {
+  char buf[64];
+  const double abs = std::fabs(s);
+  if (abs < 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.3g ns", s * 1e9);
+  } else if (abs < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3g us", s * 1e6);
+  } else if (abs < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3g ms", s * 1e3);
+  } else if (abs < 60.0) {
+    std::snprintf(buf, sizeof buf, "%.3g s", s);
+  } else if (abs < 3600.0) {
+    std::snprintf(buf, sizeof buf, "%.3g min", s / 60.0);
+  } else if (abs < 86400.0) {
+    std::snprintf(buf, sizeof buf, "%.3g hours", s / 3600.0);
+  } else if (abs < 86400.0 * 365.25) {
+    std::snprintf(buf, sizeof buf, "%.3g days", s / 86400.0);
+  } else if (abs < 86400.0 * 365.25 * 1e6) {
+    std::snprintf(buf, sizeof buf, "%.4g years", s / (86400.0 * 365.25));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3g Myears", s / (86400.0 * 365.25 * 1e6));
+  }
+  return buf;
+}
+
+std::string SimTime::to_string() const { return format_seconds(seconds()); }
+
+}  // namespace parbor

@@ -1,0 +1,58 @@
+// Simulated time.  The memory-controller host and the DC-REF simulator keep
+// a virtual clock in picoseconds; nothing in the repository ever reads the
+// wall clock, which keeps every experiment deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace parbor {
+
+// Picosecond-resolution simulated time point / duration.
+// 2^63 ps is about 106 days of simulated time, far beyond any experiment.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime ps(std::int64_t v) { return SimTime{v}; }
+  static constexpr SimTime ns(double v) {
+    return SimTime{static_cast<std::int64_t>(v * 1e3)};
+  }
+  static constexpr SimTime us(double v) {
+    return SimTime{static_cast<std::int64_t>(v * 1e6)};
+  }
+  static constexpr SimTime ms(double v) {
+    return SimTime{static_cast<std::int64_t>(v * 1e9)};
+  }
+  static constexpr SimTime sec(double v) {
+    return SimTime{static_cast<std::int64_t>(v * 1e12)};
+  }
+
+  constexpr std::int64_t picoseconds() const { return ps_; }
+  constexpr double nanoseconds() const { return static_cast<double>(ps_) * 1e-3; }
+  constexpr double microseconds() const { return static_cast<double>(ps_) * 1e-6; }
+  constexpr double milliseconds() const { return static_cast<double>(ps_) * 1e-9; }
+  constexpr double seconds() const { return static_cast<double>(ps_) * 1e-12; }
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime{ps_ + o.ps_}; }
+  constexpr SimTime operator-(SimTime o) const { return SimTime{ps_ - o.ps_}; }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime{ps_ * k}; }
+  SimTime& operator+=(SimTime o) {
+    ps_ += o.ps_;
+    return *this;
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  // Human-readable rendering with an automatically chosen unit
+  // ("42.5 ns", "8.73 min", "49.0 days", "9.1e6 years").
+  std::string to_string() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t ps) : ps_(ps) {}
+  std::int64_t ps_ = 0;
+};
+
+// Formats a duration given in seconds (useful when the value overflows the
+// picosecond representation, e.g. the Appendix's 9.1M-year naive test).
+std::string format_seconds(double seconds);
+
+}  // namespace parbor

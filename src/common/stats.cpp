@@ -1,0 +1,93 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parbor {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += std::log(x);
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double percentile_of(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0.0) return xs.front();
+  if (p >= 100.0) return xs.back();
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+void FrequencyTable::add(std::int64_t key, std::uint64_t weight) {
+  counts_[key] += weight;
+  total_ += weight;
+}
+
+std::uint64_t FrequencyTable::count(std::int64_t key) const {
+  auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t FrequencyTable::max_count() const {
+  std::uint64_t m = 0;
+  for (const auto& [k, c] : counts_) m = std::max(m, c);
+  return m;
+}
+
+std::vector<std::pair<std::int64_t, std::uint64_t>>
+FrequencyTable::sorted_by_key() const {
+  return {counts_.begin(), counts_.end()};
+}
+
+std::vector<std::pair<std::int64_t, std::uint64_t>>
+FrequencyTable::sorted_by_count() const {
+  std::vector<std::pair<std::int64_t, std::uint64_t>> out{counts_.begin(),
+                                                          counts_.end()};
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  return out;
+}
+
+std::vector<std::int64_t> FrequencyTable::keys_above(double fraction) const {
+  std::vector<std::int64_t> out;
+  const double cutoff = fraction * static_cast<double>(max_count());
+  for (const auto& [k, c] : counts_) {
+    if (static_cast<double>(c) >= cutoff && c > 0) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace parbor

@@ -1,0 +1,58 @@
+// Small statistics helpers shared by the benches and the DC-REF simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace parbor {
+
+// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean_of(const std::vector<double>& xs);
+double geomean_of(const std::vector<double>& xs);
+
+// Percentile with linear interpolation; p in [0, 100].
+double percentile_of(std::vector<double> xs, double p);
+
+// Integer-keyed frequency counter used for distance ranking (Figs. 14/15).
+class FrequencyTable {
+ public:
+  void add(std::int64_t key, std::uint64_t weight = 1);
+  std::uint64_t count(std::int64_t key) const;
+  std::uint64_t max_count() const;
+  std::uint64_t total() const { return total_; }
+  bool empty() const { return counts_.empty(); }
+
+  // (key, count) pairs sorted by key.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> sorted_by_key() const;
+  // (key, count) pairs sorted by descending count.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> sorted_by_count() const;
+
+  // Keys whose count is at least `fraction` of the maximum count.
+  std::vector<std::int64_t> keys_above(double fraction) const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace parbor

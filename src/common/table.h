@@ -1,0 +1,48 @@
+// ASCII table renderer used by the bench binaries to print the paper's
+// tables and figure series in a uniform format.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace parbor {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats every cell with to_string-like conversion.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row({cell_to_string(cells)...});
+  }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  static std::string cell_to_string(const std::string& s) { return s; }
+  static std::string cell_to_string(const char* s) { return s; }
+  static std::string cell_to_string(std::int64_t v);
+  static std::string cell_to_string(std::uint64_t v);
+  static std::string cell_to_string(int v) {
+    return cell_to_string(static_cast<std::int64_t>(v));
+  }
+  static std::string cell_to_string(unsigned v) {
+    return cell_to_string(static_cast<std::uint64_t>(v));
+  }
+  static std::string cell_to_string(double v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Renders a horizontal bar of width proportional to value/max (for printing
+// figure-like bar charts into the terminal).
+std::string ascii_bar(double value, double max, int width = 40);
+
+}  // namespace parbor

@@ -1,0 +1,45 @@
+#include "dcref/content_check.h"
+
+#include "common/check.h"
+
+namespace parbor::dcref {
+
+WorstCaseMatcher::WorstCaseMatcher(std::set<std::int64_t> signed_distances,
+                                   std::uint32_t row_bits, MatchPolicy policy)
+    : distances_(signed_distances.begin(), signed_distances.end()),
+      row_bits_(row_bits),
+      policy_(policy) {
+  PARBOR_CHECK(!distances_.empty());
+  for (auto d : distances_) PARBOR_CHECK(d != 0);
+}
+
+bool WorstCaseMatcher::matches(const BitVec& content,
+                               const VulnerableRowInfo& row,
+                               bool anti_row) const {
+  PARBOR_CHECK(content.size() == row_bits_);
+  for (auto victim : row.victim_bits) {
+    // Charged state: data 1 in a true row, data 0 in an anti row.
+    const bool victim_data = content.get(victim);
+    if (victim_data == anti_row) continue;  // discharged: cannot fail
+
+    bool any_opposed = false;
+    bool all_opposed = true;
+    for (auto d : distances_) {
+      const std::int64_t nb = static_cast<std::int64_t>(victim) + d;
+      if (nb < 0 || nb >= static_cast<std::int64_t>(row_bits_)) {
+        all_opposed = false;  // missing neighbours cannot oppose
+        continue;
+      }
+      const bool opposes =
+          content.get(static_cast<std::size_t>(nb)) != victim_data;
+      any_opposed |= opposes;
+      all_opposed &= opposes;
+    }
+    if (policy_ == MatchPolicy::kAnyNeighbor ? any_opposed : all_opposed) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace parbor::dcref

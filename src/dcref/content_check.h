@@ -1,0 +1,59 @@
+// DC-REF's write-path content check (§8).
+//
+// "When there is a write to a row containing a cell vulnerable to
+//  data-dependent failure, the new data content is checked against the
+//  worst-case pattern."
+//
+// The controller knows, per vulnerable row, the system bit positions of its
+// vulnerable cells (from PARBOR's full-chip campaign) and the module-wide
+// neighbour distance set (from the recursion).  A victim is at risk when it
+// is charged and oppositely-charged cells sit at neighbour distances.  Two
+// matching policies are provided:
+//
+//  * kAnyNeighbor (default, SOUND): flag the row if any victim is charged
+//    with at least one known-distance neighbour holding the opposite value.
+//    Every physically possible data-dependent failure requires interference
+//    through at least one immediate neighbour, so this never misses — at
+//    the cost of keeping more rows on the fast schedule.
+//  * kAllNeighbors (aggressive): flag only when every known-distance
+//    neighbour opposes the victim (the literal worst-case pattern).  Fewer
+//    fast rows, but weakly coupled victims already fail with both immediate
+//    neighbours opposite even if more distant ones agree, so this can miss.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace parbor::dcref {
+
+// Per-row controller metadata: where the vulnerable cells sit.
+struct VulnerableRowInfo {
+  std::vector<std::uint32_t> victim_bits;  // system bit addresses
+};
+
+enum class MatchPolicy { kAnyNeighbor, kAllNeighbors };
+
+class WorstCaseMatcher {
+ public:
+  // `signed_distances` is PARBOR's found distance set (both signs).
+  WorstCaseMatcher(std::set<std::int64_t> signed_distances,
+                   std::uint32_t row_bits,
+                   MatchPolicy policy = MatchPolicy::kAnyNeighbor);
+
+  // True if writing `content` into this (true/anti) row puts some
+  // vulnerable cell at risk under the configured policy.
+  bool matches(const BitVec& content, const VulnerableRowInfo& row,
+               bool anti_row) const;
+
+  MatchPolicy policy() const { return policy_; }
+
+ private:
+  std::vector<std::int64_t> distances_;
+  std::uint32_t row_bits_;
+  MatchPolicy policy_;
+};
+
+}  // namespace parbor::dcref

@@ -1,0 +1,85 @@
+#include "dcref/memsys.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace parbor::dcref {
+
+MemSystem::MemSystem(const MemSystemConfig& config, RefreshPolicy* policy)
+    : config_(config), policy_(policy) {
+  PARBOR_CHECK(policy_ != nullptr);
+  const int total_ranks = config_.channels * config_.ranks_per_channel;
+  ranks_.resize(static_cast<std::size_t>(total_ranks));
+  banks_.resize(static_cast<std::size_t>(total_ranks) *
+                config_.banks_per_rank);
+  trefi_cycles_ = config_.ns_to_cycles(config_.tREFI_us * 1000.0);
+  trfc_cycles_ = config_.ns_to_cycles(config_.tRFC_ns);
+  hit_cycles_ = config_.ns_to_cycles(config_.tCAS_ns + config_.tBURST_ns);
+  miss_cycles_ = config_.ns_to_cycles(config_.tRP_ns + config_.tRCD_ns +
+                                      config_.tCAS_ns + config_.tBURST_ns);
+}
+
+void MemSystem::advance_refresh(Rank& rank, std::uint64_t now) {
+  // Materialise every refresh window that starts at or before `now`; the
+  // policy's load factor is sampled at each window (DC-REF's changes over
+  // time as content changes).
+  while (rank.next_refresh_start <= now) {
+    const double load = policy_->load_factor();
+    const auto eff = static_cast<std::uint64_t>(
+        static_cast<double>(trfc_cycles_) * load *
+        config_.refresh_amplification);
+    rank.refresh_until = rank.next_refresh_start + eff;
+    rank.next_refresh_start += trefi_cycles_;
+    refresh_stall_ += eff;
+    high_fraction_sum_ += policy_->high_rate_fraction();
+    load_factor_sum_ += load;
+    refresh_events_ += 1.0;
+
+    // Refreshing closes the rows the refresh touched: the first access to
+    // an affected bank afterwards pays a full row miss.  With a reduced
+    // refresh load, proportionally fewer banks are disturbed per window.
+    const std::size_t rank_index =
+        static_cast<std::size_t>(&rank - ranks_.data());
+    const std::size_t bank_base =
+        rank_index * static_cast<std::size_t>(config_.banks_per_rank);
+    for (int b = 0; b < config_.banks_per_rank; ++b) {
+      std::uint64_t h = rank.next_refresh_start ^
+                        (static_cast<std::uint64_t>(bank_base + b) << 40);
+      h = splitmix64(h);
+      if (static_cast<double>(h >> 11) * 0x1.0p-53 < load) {
+        banks_[bank_base + b].open_row = ~0ull;
+      }
+    }
+  }
+}
+
+std::uint64_t MemSystem::access(std::uint64_t row_id, bool is_write,
+                                bool matches_worst, std::uint64_t now) {
+  // Address mapping: spread rows over channels/ranks/banks by hashing.
+  std::uint64_t h = row_id;
+  h = splitmix64(h);
+  const auto rank_idx = static_cast<std::size_t>(h % ranks_.size());
+  const auto bank_idx =
+      rank_idx * static_cast<std::size_t>(config_.banks_per_rank) +
+      static_cast<std::size_t>((h >> 32) %
+                               static_cast<std::uint64_t>(config_.banks_per_rank));
+  Rank& rank = ranks_[rank_idx];
+  Bank& bank = banks_[bank_idx];
+
+  advance_refresh(rank, now);
+
+  std::uint64_t start = std::max(now, bank.busy_until);
+  if (start < rank.refresh_until) start = rank.refresh_until;
+
+  const bool hit = bank.open_row == row_id;
+  const std::uint64_t service = hit ? hit_cycles_ : miss_cycles_;
+  bank.open_row = row_id;
+  bank.busy_until = start + service;
+
+  if (is_write) policy_->on_write(row_id, matches_worst);
+  return bank.busy_until;
+}
+
+}  // namespace parbor::dcref

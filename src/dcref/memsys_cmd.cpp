@@ -1,0 +1,83 @@
+#include "dcref/memsys_cmd.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace parbor::dcref {
+
+namespace {
+
+mc::CommandTimingParams command_params(const MemSystemConfig& cfg) {
+  mc::CommandTimingParams p;
+  p.tRCD = cfg.tRCD_ns;
+  p.tRP = cfg.tRP_ns;
+  p.tCL = cfg.tCAS_ns;
+  p.tBURST = cfg.tBURST_ns;
+  p.tRFC = cfg.tRFC_ns;
+  p.tREFI = cfg.tREFI_us * 1000.0;
+  return p;
+}
+
+}  // namespace
+
+CommandLevelMemSystem::CommandLevelMemSystem(const MemSystemConfig& config,
+                                             RefreshPolicy* policy)
+    : config_(config), policy_(policy) {
+  PARBOR_CHECK(policy_ != nullptr);
+  const int total_ranks = config_.channels * config_.ranks_per_channel;
+  ranks_.reserve(static_cast<std::size_t>(total_ranks));
+  for (int r = 0; r < total_ranks; ++r) {
+    ranks_.push_back(
+        {mc::CommandScheduler(command_params(config_),
+                              static_cast<unsigned>(config_.banks_per_rank)),
+         SimTime::ps(0)});
+  }
+  trefi_ = SimTime::us(config_.tREFI_us);
+  trfc_ = SimTime::ns(config_.tRFC_ns);
+}
+
+void CommandLevelMemSystem::advance_refresh(Rank& rank, SimTime now) {
+  while (rank.next_refresh_start <= now) {
+    const double load = policy_->load_factor();
+    const SimTime window = SimTime::sec(trfc_.seconds() * load);
+    rank.scheduler.refresh_session(rank.next_refresh_start, window);
+    rank.next_refresh_start += trefi_;
+    refresh_stall_ += static_cast<std::uint64_t>(window.seconds() *
+                                                 config_.cpu_ghz * 1e9);
+    high_fraction_sum_ += policy_->high_rate_fraction();
+    load_factor_sum_ += load;
+    refresh_events_ += 1.0;
+  }
+}
+
+std::uint64_t CommandLevelMemSystem::access(std::uint64_t row_id,
+                                            bool is_write, bool matches_worst,
+                                            std::uint64_t now) {
+  std::uint64_t h = row_id;
+  h = splitmix64(h);
+  const auto rank_idx = static_cast<std::size_t>(h % ranks_.size());
+  const auto bank = static_cast<unsigned>(
+      (h >> 32) % static_cast<std::uint64_t>(config_.banks_per_rank));
+  Rank& rank = ranks_[rank_idx];
+
+  const SimTime at = SimTime::sec(static_cast<double>(now) /
+                                  (config_.cpu_ghz * 1e9));
+  advance_refresh(rank, at);
+
+  mc::CommandScheduler& s = rank.scheduler;
+  if (s.row_open(bank) && s.open_row(bank) != row_id) {
+    s.issue(mc::DramCommand::kPrecharge, bank, s.open_row(bank), at);
+  }
+  if (!s.row_open(bank)) {
+    s.issue(mc::DramCommand::kActivate, bank, row_id, at);
+  }
+  const auto result = s.issue(
+      is_write ? mc::DramCommand::kWrite : mc::DramCommand::kRead, bank,
+      row_id, at);
+
+  if (is_write) policy_->on_write(row_id, matches_worst);
+  return static_cast<std::uint64_t>(result.done_at.seconds() *
+                                    config_.cpu_ghz * 1e9);
+}
+
+}  // namespace parbor::dcref

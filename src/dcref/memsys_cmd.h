@@ -1,0 +1,60 @@
+// Command-accurate memory-system engine.
+//
+// Same interface and role as MemSystem, but every request is scheduled
+// through the JEDEC-constraint CommandScheduler (memctrl/commands.h): row
+// misses issue real PRE/ACT sequences, column commands contend for the
+// rank's command/data bus (tCCD), activations respect tRRD/tRC, and
+// refresh is a real REF whose window scales with the policy's load factor.
+//
+// The queue-drain and row-buffer-destruction costs the simple engine folds
+// into its calibrated `refresh_amplification` constant arise here
+// structurally: REF precharges every bank, so post-refresh accesses pay
+// full row misses, and delayed requests serialise on the command bus.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dcref/memsys.h"
+#include "memctrl/commands.h"
+
+namespace parbor::dcref {
+
+class CommandLevelMemSystem final : public MemoryModel {
+ public:
+  CommandLevelMemSystem(const MemSystemConfig& config, RefreshPolicy* policy);
+
+  std::uint64_t access(std::uint64_t row_id, bool is_write,
+                       bool matches_worst, std::uint64_t now) override;
+
+  std::uint64_t refresh_stall_cycles() const override {
+    return refresh_stall_;
+  }
+  double mean_high_rate_fraction() const override {
+    return refresh_events_ ? high_fraction_sum_ / refresh_events_ : 0.0;
+  }
+  double mean_load_factor() const override {
+    return refresh_events_ ? load_factor_sum_ / refresh_events_ : 0.0;
+  }
+
+ private:
+  struct Rank {
+    mc::CommandScheduler scheduler;
+    SimTime next_refresh_start;
+  };
+
+  void advance_refresh(Rank& rank, SimTime now);
+
+  MemSystemConfig config_;
+  RefreshPolicy* policy_;
+  std::vector<Rank> ranks_;
+  SimTime trefi_;
+  SimTime trfc_;
+
+  std::uint64_t refresh_stall_ = 0;
+  double high_fraction_sum_ = 0.0;
+  double load_factor_sum_ = 0.0;
+  double refresh_events_ = 0.0;
+};
+
+}  // namespace parbor::dcref

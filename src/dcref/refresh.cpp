@@ -1,0 +1,35 @@
+#include "dcref/refresh.h"
+
+namespace parbor::dcref {
+
+DcRefRefresh::DcRefRefresh(std::uint64_t total_rows, double weak_row_fraction,
+                           std::uint64_t seed)
+    : total_rows_(total_rows),
+      weak_row_fraction_(weak_row_fraction),
+      seed_(seed) {}
+
+bool DcRefRefresh::row_is_vulnerable(std::uint64_t row_id) const {
+  // Stable per-row membership draw.
+  std::uint64_t x = row_id ^ seed_;
+  x = splitmix64(x);
+  return static_cast<double>(x >> 11) * 0x1.0p-53 < weak_row_fraction_;
+}
+
+void DcRefRefresh::on_write(std::uint64_t row_id, bool matches_worst) {
+  if (!row_is_vulnerable(row_id)) return;
+  // §8: "if and only if the new content matches the worst-case pattern, the
+  // row is designated to be refreshed frequently."
+  if (matches_worst) {
+    high_rows_.insert(row_id);
+  } else {
+    high_rows_.erase(row_id);
+  }
+}
+
+double DcRefRefresh::high_rate_fraction() const {
+  if (total_rows_ == 0) return 0.0;
+  return static_cast<double>(high_rows_.size()) /
+         static_cast<double>(total_rows_);
+}
+
+}  // namespace parbor::dcref

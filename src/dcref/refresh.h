@@ -1,0 +1,99 @@
+// Refresh policies for the DC-REF evaluation (§8, Table 2).
+//
+// All three policies are expressed through two quantities the memory-system
+// simulator consumes:
+//   * load_factor(): the fraction of baseline (uniform 64 ms, all rows)
+//     refresh work the policy currently performs; the per-tREFI rank
+//     blocking time scales with it.
+//   * row_refreshes_per_second(): absolute refresh-operation rate, used for
+//     the "refresh operations reduced by X%" accounting.
+//
+// Policies:
+//   * UniformRefresh      — every row every 64 ms (the paper's baseline).
+//   * RaidrRefresh        — RAIDR [46]: rows containing weak cells (16.4%,
+//     measured on the paper's chips) at 64 ms, the rest at 256 ms,
+//     independent of content.
+//   * DcRefRefresh        — DC-REF: a vulnerable row is refreshed at 64 ms
+//     ONLY while its last-written content matches the worst-case pattern
+//     of its vulnerable cells (known from PARBOR); otherwise 256 ms.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace parbor::dcref {
+
+class RefreshPolicy {
+ public:
+  virtual ~RefreshPolicy() = default;
+  virtual std::string name() const = 0;
+
+  // Called by the simulator on every DRAM write with the row's identity and
+  // whether the written content matches the worst-case pattern.
+  virtual void on_write(std::uint64_t row_id, bool matches_worst) {
+    (void)row_id;
+    (void)matches_worst;
+  }
+
+  // Fraction of rows currently on the fast (64 ms) schedule.
+  virtual double high_rate_fraction() const = 0;
+
+  // Refresh work relative to refreshing every row at 64 ms.
+  double load_factor() const {
+    const double hi = high_rate_fraction();
+    return hi + (1.0 - hi) / 4.0;  // 256 ms = 4x the 64 ms interval
+  }
+
+  // Absolute row-refresh rate for `total_rows` rows.
+  double row_refreshes_per_second(std::uint64_t total_rows) const {
+    const double hi = high_rate_fraction();
+    const double n = static_cast<double>(total_rows);
+    return n * (hi / 0.064 + (1.0 - hi) / 0.256);
+  }
+};
+
+class UniformRefresh final : public RefreshPolicy {
+ public:
+  std::string name() const override { return "uniform-64ms"; }
+  double high_rate_fraction() const override { return 1.0; }
+};
+
+class RaidrRefresh final : public RefreshPolicy {
+ public:
+  explicit RaidrRefresh(double weak_row_fraction = 0.164)
+      : weak_row_fraction_(weak_row_fraction) {}
+  std::string name() const override { return "RAIDR"; }
+  double high_rate_fraction() const override { return weak_row_fraction_; }
+
+ private:
+  double weak_row_fraction_;
+};
+
+class DcRefRefresh final : public RefreshPolicy {
+ public:
+  // `weak_row_fraction` of all rows contain cells vulnerable to
+  // data-dependent failures (same population RAIDR refreshes fast);
+  // membership is decided per row by a seeded hash so that RAIDR and DC-REF
+  // agree on which rows are vulnerable.
+  DcRefRefresh(std::uint64_t total_rows, double weak_row_fraction = 0.164,
+               std::uint64_t seed = 0xdcef);
+
+  std::string name() const override { return "DC-REF"; }
+  void on_write(std::uint64_t row_id, bool matches_worst) override;
+  double high_rate_fraction() const override;
+
+  bool row_is_vulnerable(std::uint64_t row_id) const;
+  std::uint64_t high_rate_rows() const { return high_rows_.size(); }
+
+ private:
+  std::uint64_t total_rows_;
+  double weak_row_fraction_;
+  std::uint64_t seed_;
+  std::unordered_set<std::uint64_t> high_rows_;
+};
+
+}  // namespace parbor::dcref

@@ -1,0 +1,110 @@
+#include "dcref/sim.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.h"
+#include "dcref/memsys_cmd.h"
+
+namespace parbor::dcref {
+
+SimResult run_simulation(const std::vector<AppProfile>& apps,
+                         RefreshPolicy& policy, const SimConfig& config) {
+  PARBOR_CHECK(!apps.empty());
+  std::unique_ptr<MemoryModel> mem_owner;
+  if (config.engine == MemEngine::kCommandLevel) {
+    mem_owner = std::make_unique<CommandLevelMemSystem>(config.mem, &policy);
+  } else {
+    mem_owner = std::make_unique<MemSystem>(config.mem, &policy);
+  }
+  MemoryModel& mem = *mem_owner;
+
+  struct CoreState {
+    TraceGenerator gen;
+    std::uint64_t now = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t requests = 0;
+    // Completion times of in-flight read misses (size <= config.mlp).
+    std::vector<std::uint64_t> inflight;
+
+    std::uint64_t finish_time() const {
+      std::uint64_t t = now;
+      for (auto c : inflight) t = std::max(t, c);
+      return t;
+    }
+  };
+  std::vector<CoreState> cores;
+  cores.reserve(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    cores.push_back(
+        {TraceGenerator(apps[i], config.seed + i * 7919, config.mem.total_rows),
+         0, 0, 0, {}});
+  }
+
+  // Process cores in global time order so the shared memory system sees
+  // requests chronologically.
+  const std::uint64_t target = config.requests_per_core;
+  while (true) {
+    CoreState* next = nullptr;
+    for (auto& c : cores) {
+      if (c.requests >= target) continue;
+      if (next == nullptr || c.now < next->now) next = &c;
+    }
+    if (next == nullptr) break;
+
+    const TraceEntry e = next->gen.next();
+    next->now += e.gap_instructions;  // 1 IPC on the gap
+    next->instructions += e.gap_instructions + 1;
+    // Retire completed misses; stall when the MLP window is full.
+    auto& inflight = next->inflight;
+    std::erase_if(inflight, [&](std::uint64_t c) { return c <= next->now; });
+    if (!e.is_write && inflight.size() >= config.mlp) {
+      std::uint64_t earliest = ~0ull;
+      for (auto c : inflight) earliest = std::min(earliest, c);
+      next->now = earliest;
+      std::erase_if(inflight, [&](std::uint64_t c) { return c <= next->now; });
+    }
+    const std::uint64_t done =
+        mem.access(e.row_id, e.is_write, e.content_matches_worst, next->now);
+    next->now += 1;  // issue cycle
+    if (!e.is_write) inflight.push_back(done);
+    ++next->requests;
+  }
+
+  SimResult result;
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    result.cores.push_back(
+        {apps[i].name, cores[i].instructions, cores[i].finish_time()});
+    result.total_cycles = std::max(result.total_cycles, cores[i].finish_time());
+  }
+  result.refresh_stall_cycles = mem.refresh_stall_cycles();
+  result.mean_high_rate_fraction = mem.mean_high_rate_fraction();
+  result.mean_load_factor = mem.mean_load_factor();
+  result.row_refreshes_per_second =
+      policy.row_refreshes_per_second(config.mem.total_rows);
+  return result;
+}
+
+std::vector<double> alone_ipcs(const std::vector<AppProfile>& apps,
+                               const SimConfig& config) {
+  std::vector<double> out;
+  out.reserve(apps.size());
+  for (const auto& app : apps) {
+    UniformRefresh uniform;
+    const SimResult r = run_simulation({app}, uniform, config);
+    out.push_back(r.cores.at(0).ipc());
+  }
+  return out;
+}
+
+double weighted_speedup(const SimResult& shared,
+                        const std::vector<double>& alone) {
+  PARBOR_CHECK(shared.cores.size() == alone.size());
+  double ws = 0.0;
+  for (std::size_t i = 0; i < alone.size(); ++i) {
+    if (alone[i] > 0.0) ws += shared.cores[i].ipc() / alone[i];
+  }
+  return ws;
+}
+
+}  // namespace parbor::dcref

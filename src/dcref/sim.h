@@ -1,0 +1,67 @@
+// Multi-core trace-driven simulation driver and metrics for the DC-REF
+// evaluation (§8, Fig. 16).
+//
+// Core model: in-order, 1 IPC on non-memory instructions; reads stall the
+// core until the memory system completes them, writes are posted (they
+// occupy DRAM banks but do not block the core).  Performance is reported as
+// weighted speedup [25, 72]: sum over cores of IPC_shared / IPC_alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dcref/memsys.h"
+#include "dcref/trace.h"
+
+namespace parbor::dcref {
+
+// Which memory-system engine to simulate with: the calibrated
+// blocking-window model (default, used for the Fig. 16 bench) or the
+// command-accurate scheduler (memsys_cmd.h).
+enum class MemEngine { kSimple, kCommandLevel };
+
+struct SimConfig {
+  MemSystemConfig mem;
+  MemEngine engine = MemEngine::kSimple;
+  std::uint64_t requests_per_core = 50000;
+  // Memory-level parallelism: outstanding read misses a core sustains
+  // before stalling (the paper's cores are 3-wide OoO with a 128-entry
+  // instruction window, giving substantial MLP).
+  unsigned mlp = 4;
+  std::uint64_t seed = 0x510c0;
+};
+
+struct CoreResult {
+  std::string app;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  double ipc() const {
+    return cycles ? static_cast<double>(instructions) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+};
+
+struct SimResult {
+  std::vector<CoreResult> cores;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t refresh_stall_cycles = 0;
+  double mean_high_rate_fraction = 0.0;  // fraction of rows on 64 ms refresh
+  double mean_load_factor = 0.0;         // refresh work vs uniform baseline
+  double row_refreshes_per_second = 0.0;
+};
+
+// Runs `apps` (one per core) against one memory system under `policy`.
+SimResult run_simulation(const std::vector<AppProfile>& apps,
+                         RefreshPolicy& policy, const SimConfig& config);
+
+// IPC of each app running alone under a uniform-refresh system (the
+// weighted-speedup denominator).
+std::vector<double> alone_ipcs(const std::vector<AppProfile>& apps,
+                               const SimConfig& config);
+
+double weighted_speedup(const SimResult& shared,
+                        const std::vector<double>& alone);
+
+}  // namespace parbor::dcref

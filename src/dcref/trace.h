@@ -1,0 +1,69 @@
+// Synthetic SPEC-CPU2006-like workload traces for the DC-REF evaluation
+// (§8, Table 2, Fig. 16).
+//
+// The paper drives Ramulator with Pin traces of 17 SPEC applications.  Those
+// traces are not redistributable, so we generate synthetic equivalents: each
+// profile fixes the application's memory intensity (MPKI), row-buffer
+// locality, read/write mix, working-set size, and — the input DC-REF is
+// sensitive to — the probability that written data matches the worst-case
+// coupling pattern of a vulnerable row.  The MPKI ordering follows the
+// published SPEC2006 characterisation literature (mcf/milc/libquantum/lbm
+// memory-bound; povray/namd/gamess compute-bound).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace parbor::dcref {
+
+struct AppProfile {
+  std::string name;
+  double mpki = 1.0;            // last-level-cache misses per kilo-instruction
+  double row_locality = 0.5;    // probability a request hits the open row
+  double write_frac = 0.3;      // fraction of memory requests that are writes
+  std::uint32_t working_set_rows = 4096;  // DRAM rows the app touches
+  // Probability that the data written to a row matches the worst-case
+  // pattern of a vulnerable cell in that row (drives DC-REF's high-rate
+  // row fraction).
+  double worst_pattern_frac = 0.15;
+};
+
+// The 17-application mix used throughout §8.
+const std::vector<AppProfile>& spec_profiles();
+
+AppProfile profile_by_name(const std::string& name);
+
+// One memory request of a trace.
+struct TraceEntry {
+  std::uint32_t gap_instructions = 0;  // non-memory instructions before it
+  std::uint64_t row_id = 0;            // global DRAM row the access falls in
+  bool is_write = false;
+  bool content_matches_worst = false;  // only meaningful for writes
+};
+
+// Deterministic, stateful generator of an app's access stream.
+class TraceGenerator {
+ public:
+  TraceGenerator(const AppProfile& profile, std::uint64_t seed,
+                 std::uint64_t total_rows);
+
+  const AppProfile& profile() const { return profile_; }
+  TraceEntry next();
+
+ private:
+  AppProfile profile_;
+  Rng rng_;
+  std::uint64_t total_rows_;
+  std::uint64_t base_row_;     // where this app's working set starts
+  std::uint64_t current_row_;  // open-row locality state
+};
+
+// A multi-programmed workload: 8 apps (one per core), drawn at random from
+// the 17 profiles, reproducing the paper's 32 random 8-core workloads.
+std::vector<AppProfile> make_workload(int workload_index,
+                                      std::uint64_t seed_base = 0xdcef);
+
+}  // namespace parbor::dcref

@@ -1,0 +1,242 @@
+#include "dram/bank.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace parbor::dram {
+
+Bank::Bank(const BankConfig& config, const FaultModelParams& faults,
+           const Scrambler* scrambler, Rng rng)
+    : config_(config),
+      fault_params_(faults),
+      spare_params_(faults),
+      scrambler_(scrambler),
+      gen_rng_(rng.fork("population")),
+      event_rng_(rng.fork("events")),
+      anti_shift_(faults.anti_row_block_shift) {
+  PARBOR_CHECK(scrambler_ != nullptr);
+  PARBOR_CHECK(scrambler_->row_bits() == config_.row_bits);
+  PARBOR_CHECK(config_.remapped_cols <= config_.spare_cols);
+
+  // The spare region reuses the coupling machinery with its own density and
+  // no weak/VRT/marginal population (those are properties of the repaired
+  // main-array cells, which keep failing through their alias).
+  spare_params_.coupling_cell_rate = config_.spare_coupling_rate;
+  spare_params_.weak_cell_rate = 0.0;
+  spare_params_.vrt_cell_rate = 0.0;
+  spare_params_.marginal_cell_rate = 0.0;
+
+  // Choose which main-array columns are repaired onto spares.
+  Rng remap_rng = rng.fork("remap");
+  while (remap_.size() < config_.remapped_cols) {
+    const auto col =
+        static_cast<std::uint32_t>(remap_rng.below(config_.row_bits));
+    if (!is_remapped_.contains(col)) {
+      is_remapped_[col] = true;
+      remap_.push_back(col);
+    }
+  }
+}
+
+void Bank::write_row(std::uint32_t row, const BitVec& phys_bits, SimTime now) {
+  PARBOR_CHECK(row < config_.rows);
+  PARBOR_CHECK(phys_bits.size() == config_.row_bits);
+  data_[row] = phys_bits;
+  write_time_[row] = now;
+}
+
+BitVec& Bank::row_data(std::uint32_t row, SimTime now) {
+  PARBOR_CHECK(row < config_.rows);
+  auto it = data_.find(row);
+  if (it == data_.end()) {
+    it = data_.emplace(row, BitVec(config_.row_bits, false)).first;
+    write_time_[row] = now;
+  }
+  return it->second;
+}
+
+RowFaults& Bank::faults_entry(std::uint32_t row) {
+  auto it = faults_.find(row);
+  if (it == faults_.end()) {
+    // Coupling profiles are conditioned on the tile structure: neighbours
+    // across a sense-amplifier stripe do not exist as interference sources.
+    const auto in_tile = [this](std::uint32_t col, int delta) {
+      const auto nb = static_cast<std::int64_t>(col) + delta;
+      return scrambler_->tile_of_physical(static_cast<std::size_t>(nb)) ==
+             scrambler_->tile_of_physical(col);
+    };
+    RowFaults f = generate_row_faults(fault_params_, config_.row_bits,
+                                      gen_rng_.fork(row), in_tile);
+    // Repaired columns are disconnected; they neither fail themselves nor
+    // host any other special behaviour in the main array.
+    auto dead = [&](std::uint32_t col) { return is_remapped_.contains(col); };
+    std::erase_if(f.coupling,
+                  [&](const CouplingProfile& c) { return dead(c.phys_col); });
+    std::erase_if(f.weak,
+                  [&](const WeakCellProfile& c) { return dead(c.phys_col); });
+    std::erase_if(f.vrt,
+                  [&](const VrtCellProfile& c) { return dead(c.phys_col); });
+    std::erase_if(f.marginal,
+                  [&](const MarginalCellProfile& c) { return dead(c.phys_col); });
+    it = faults_.emplace(row, std::move(f)).first;
+  }
+  return it->second;
+}
+
+RowFaults& Bank::spare_entry(std::uint32_t row) {
+  auto it = spare_faults_.find(row);
+  if (it == spare_faults_.end()) {
+    RowFaults f = generate_row_faults(spare_params_, remap_.size(),
+                                      gen_rng_.fork(row).fork("spare"));
+    it = spare_faults_.emplace(row, std::move(f)).first;
+  }
+  return it->second;
+}
+
+const RowFaults& Bank::row_faults(std::uint32_t row) {
+  return faults_entry(row);
+}
+const RowFaults& Bank::spare_faults(std::uint32_t row) {
+  return spare_entry(row);
+}
+
+bool Bank::live_main_col(std::int64_t col, std::uint32_t tile) const {
+  if (col < 0 || col >= static_cast<std::int64_t>(config_.row_bits)) {
+    return false;
+  }
+  const auto c = static_cast<std::uint32_t>(col);
+  return scrambler_->tile_of_physical(c) == tile && !is_remapped_.contains(c);
+}
+
+std::vector<std::uint32_t> Bank::read_row_flips(std::uint32_t row, SimTime now,
+                                                double temp_factor) {
+  BitVec& bits = row_data(row, now);
+  const SimTime held = now - write_time_[row];
+  const SimTime eff = SimTime::sec(held.seconds() * temp_factor);
+  const bool anti = is_anti_row(row);
+  RowFaults& faults = faults_entry(row);
+
+  std::vector<std::uint32_t> flips;
+  auto charged = [&](std::uint32_t col) { return bits.get(col) != anti; };
+
+  // Coupling (data-dependent) failures in the main array.  A victim is
+  // vulnerable only in the charged state; an oppositely-charged (discharged)
+  // neighbour contributes its coupling coefficient to the interference.
+  for (const CouplingProfile& c : faults.coupling) {
+    if (eff < c.min_hold) continue;
+    if (!charged(c.phys_col)) continue;
+    const std::uint32_t tile = scrambler_->tile_of_physical(c.phys_col);
+    const std::int64_t p = c.phys_col;
+    float interference = 0.0f;
+    auto contributes = [&](std::int64_t nb) {
+      return live_main_col(nb, tile) &&
+             !charged(static_cast<std::uint32_t>(nb));
+    };
+    if (contributes(p - 1)) interference += c.c_left;
+    if (contributes(p + 1)) interference += c.c_right;
+    if (contributes(p - 2)) interference += c.c_left2;
+    if (contributes(p + 2)) interference += c.c_right2;
+    if (contributes(p - 3)) interference += c.c_left3;
+    if (contributes(p + 3)) interference += c.c_right3;
+    if (contributes(p - 4)) interference += c.c_left4;
+    if (contributes(p + 4)) interference += c.c_right4;
+    if (interference >= c.threshold) flips.push_back(c.phys_col);
+  }
+
+  // Coupling failures in the spare region (repaired columns).  Spare cell i
+  // aliases the data of remap_[i]; its physical neighbours are the adjacent
+  // spares.
+  if (!remap_.empty()) {
+    RowFaults& spares = spare_entry(row);
+    auto spare_charged = [&](std::int64_t i) {
+      return bits.get(remap_[static_cast<std::size_t>(i)]) != anti;
+    };
+    for (const CouplingProfile& c : spares.coupling) {
+      if (eff < c.min_hold) continue;
+      const std::int64_t i = c.phys_col;
+      if (!spare_charged(i)) continue;
+      const auto n = static_cast<std::int64_t>(remap_.size());
+      float interference = 0.0f;
+      auto contributes = [&](std::int64_t nb) {
+        return nb >= 0 && nb < n && !spare_charged(nb);
+      };
+      if (contributes(i - 1)) interference += c.c_left;
+      if (contributes(i + 1)) interference += c.c_right;
+      if (contributes(i - 2)) interference += c.c_left2;
+      if (contributes(i + 2)) interference += c.c_right2;
+      if (contributes(i - 3)) interference += c.c_left3;
+      if (contributes(i + 3)) interference += c.c_right3;
+      if (contributes(i - 4)) interference += c.c_left4;
+      if (contributes(i + 4)) interference += c.c_right4;
+      if (interference >= c.threshold) {
+        flips.push_back(remap_[static_cast<std::size_t>(i)]);
+      }
+    }
+  }
+
+  // Weak (retention) cells: charged state leaks away after the retention
+  // time regardless of neighbour content.
+  for (const WeakCellProfile& w : faults.weak) {
+    if (eff >= w.retention && charged(w.phys_col)) flips.push_back(w.phys_col);
+  }
+
+  // VRT cells: two-state machine; the leaky state behaves like a weak cell.
+  for (VrtCellProfile& v : faults.vrt) {
+    if (v.leaky && eff >= v.leaky_retention && charged(v.phys_col)) {
+      flips.push_back(v.phys_col);
+    }
+    if (event_rng_.bernoulli(v.toggle_prob)) v.leaky = !v.leaky;
+  }
+
+  // Marginal cells: probabilistic loss on long holds.
+  for (const MarginalCellProfile& m : faults.marginal) {
+    if (eff >= m.min_hold && charged(m.phys_col) &&
+        event_rng_.bernoulli(m.fail_prob)) {
+      flips.push_back(m.phys_col);
+    }
+  }
+
+  // Wordline (row-to-row) coupling: disturbed by the same column of an
+  // adjacent row.  An unwritten neighbour row holds zeros.
+  for (const WordlineCellProfile& w : faults.wordline) {
+    if (eff < w.min_hold || !charged(w.phys_col)) continue;
+    const std::int64_t nb_row = static_cast<std::int64_t>(row) + w.row_delta;
+    if (nb_row < 0 || nb_row >= static_cast<std::int64_t>(config_.rows)) {
+      continue;
+    }
+    const auto nb = static_cast<std::uint32_t>(nb_row);
+    auto it = data_.find(nb);
+    const bool nb_data = it != data_.end() && it->second.get(w.phys_col);
+    const bool nb_charged = nb_data != is_anti_row(nb);
+    if (!nb_charged) flips.push_back(w.phys_col);
+  }
+
+  // Soft errors: rare random flips anywhere in the row, either polarity.
+  const auto n_soft = poisson_draw(
+      event_rng_,
+      fault_params_.soft_error_rate * static_cast<double>(config_.row_bits));
+  for (std::uint64_t i = 0; i < n_soft; ++i) {
+    flips.push_back(static_cast<std::uint32_t>(event_rng_.below(config_.row_bits)));
+  }
+
+  // Commit: flips restore the wrong value; the hold timer resets.
+  std::sort(flips.begin(), flips.end());
+  flips.erase(std::unique(flips.begin(), flips.end()), flips.end());
+  for (auto col : flips) bits.flip(col);
+  write_time_[row] = now;
+  return flips;
+}
+
+BitVec Bank::read_row(std::uint32_t row, SimTime now, double temp_factor) {
+  read_row_flips(row, now, temp_factor);
+  return data_.at(row);
+}
+
+const BitVec& Bank::peek_row(std::uint32_t row) const {
+  static const BitVec empty;
+  auto it = data_.find(row);
+  return it == data_.end() ? empty : it->second;
+}
+
+}  // namespace parbor::dram

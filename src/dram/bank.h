@@ -1,0 +1,103 @@
+// A DRAM bank: row storage in *physical* column order plus the failure
+// evaluation that happens on every (destructive) read.
+//
+// Layout model:
+//  * columns [0, row_bits) are the regular cell array, permuted from system
+//    bit addresses by the chip's Scrambler;
+//  * a small spare region of `spare_cols` redundant columns sits beside the
+//    array.  `remapped_cols` faulty columns are repaired by redirecting them
+//    onto spares (PARBOR §7.3).  Data is stored once, in pre-repair layout;
+//    spare cells alias the data of the column they replace, but their
+//    *physical* neighbours are the adjacent spares — which is exactly why
+//    PARBOR's regular-mapping patterns can miss failures there.
+//
+// Reads are destructive-with-restore: any failure committed during a read is
+// written back, and the row's hold timer resets (sense-amplifier restore).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "dram/faults.h"
+#include "dram/scramble.h"
+
+namespace parbor::dram {
+
+struct BankConfig {
+  std::uint32_t rows = 256;
+  std::uint32_t row_bits = 8192;
+  std::uint32_t spare_cols = 16;
+  std::uint32_t remapped_cols = 2;
+  // Coupling-cell density inside the spare region (per cell per row).
+  double spare_coupling_rate = 0.0;
+};
+
+class Bank {
+ public:
+  Bank(const BankConfig& config, const FaultModelParams& faults,
+       const Scrambler* scrambler, Rng rng);
+
+  std::uint32_t rows() const { return config_.rows; }
+  std::uint32_t row_bits() const { return config_.row_bits; }
+
+  // Stores `phys_bits` (width row_bits, physical order) as the row content.
+  void write_row(std::uint32_t row, const BitVec& phys_bits, SimTime now);
+
+  // Destructive read: evaluates all failure models against the time the row
+  // content was held, commits resulting flips, resets the hold timer, and
+  // returns the physical columns that flipped.  `temp_factor` scales the
+  // effective hold time (2^((T-45)/10)).
+  std::vector<std::uint32_t> read_row_flips(std::uint32_t row, SimTime now,
+                                            double temp_factor);
+
+  // Full-content read (same semantics, returns the post-failure data).
+  BitVec read_row(std::uint32_t row, SimTime now, double temp_factor);
+
+  // Row content without fault evaluation (debugging / white-box tests).
+  const BitVec& peek_row(std::uint32_t row) const;
+
+  bool is_anti_row(std::uint32_t row) const {
+    return (row >> anti_shift_) & 1u;
+  }
+
+  // Main-array columns that have been remapped onto spares, in spare order.
+  const std::vector<std::uint32_t>& remapped_columns() const {
+    return remap_;
+  }
+
+  // Ground-truth access to a row's fault population (white-box tests and
+  // coverage accounting in the benches).  Main-array coupling faults on
+  // remapped columns have already been filtered out.
+  const RowFaults& row_faults(std::uint32_t row);
+  const RowFaults& spare_faults(std::uint32_t row);
+
+ private:
+  BitVec& row_data(std::uint32_t row, SimTime now);
+  RowFaults& faults_entry(std::uint32_t row);
+  RowFaults& spare_entry(std::uint32_t row);
+
+  // True if `col` exists as an interference source for the main array.
+  bool live_main_col(std::int64_t col, std::uint32_t tile) const;
+
+  BankConfig config_;
+  FaultModelParams fault_params_;
+  FaultModelParams spare_params_;
+  const Scrambler* scrambler_;
+  Rng gen_rng_;    // forked per row for fault population
+  Rng event_rng_;  // sequential draws for soft errors / marginal / VRT
+  unsigned anti_shift_;
+
+  std::vector<std::uint32_t> remap_;               // spare i <- remap_[i]
+  std::unordered_map<std::uint32_t, bool> is_remapped_;
+  std::unordered_map<std::uint32_t, BitVec> data_;
+  std::unordered_map<std::uint32_t, SimTime> write_time_;
+  std::unordered_map<std::uint32_t, RowFaults> faults_;
+  std::unordered_map<std::uint32_t, RowFaults> spare_faults_;
+};
+
+}  // namespace parbor::dram

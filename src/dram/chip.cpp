@@ -1,0 +1,76 @@
+#include "dram/chip.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace parbor::dram {
+
+Chip::Chip(const ChipConfig& config, Rng rng)
+    : config_(config),
+      scrambler_(config.custom_scrambler
+                     ? config.custom_scrambler(config.row_bits)
+                     : make_scrambler(config.vendor, config.row_bits)) {
+  PARBOR_CHECK(scrambler_ != nullptr &&
+               scrambler_->row_bits() == config_.row_bits);
+  BankConfig bank_config;
+  bank_config.rows = config_.rows;
+  bank_config.row_bits = config_.row_bits;
+  bank_config.spare_cols = config_.spare_cols;
+  bank_config.remapped_cols = config_.remapped_cols;
+  bank_config.spare_coupling_rate = config_.spare_coupling_rate;
+  banks_.reserve(config_.banks);
+  for (std::uint32_t b = 0; b < config_.banks; ++b) {
+    banks_.emplace_back(bank_config, config_.faults, scrambler_.get(),
+                        rng.fork(b));
+  }
+}
+
+double Chip::temp_factor() const {
+  return std::exp2((config_.temperature_c - 45.0) / 10.0);
+}
+
+BitVec Chip::permute_to_physical(const BitVec& sys_bits) const {
+  PARBOR_CHECK(sys_bits.size() == config_.row_bits);
+  BitVec phys(config_.row_bits, false);
+  for (std::size_t s = 0; s < config_.row_bits; ++s) {
+    if (sys_bits.get(s)) phys.set(scrambler_->to_physical(s), true);
+  }
+  return phys;
+}
+
+void Chip::write_row(std::uint32_t bank, std::uint32_t row,
+                     const BitVec& sys_bits, SimTime now) {
+  PARBOR_CHECK(bank < config_.banks);
+  banks_[bank].write_row(row, permute_to_physical(sys_bits), now);
+}
+
+void Chip::write_row_physical(std::uint32_t bank, std::uint32_t row,
+                              const BitVec& phys_bits, SimTime now) {
+  PARBOR_CHECK(bank < config_.banks);
+  banks_[bank].write_row(row, phys_bits, now);
+}
+
+BitVec Chip::read_row(std::uint32_t bank, std::uint32_t row, SimTime now) {
+  PARBOR_CHECK(bank < config_.banks);
+  const BitVec phys = banks_[bank].read_row(row, now, temp_factor());
+  BitVec sys(config_.row_bits, false);
+  for (std::size_t p = 0; p < config_.row_bits; ++p) {
+    if (phys.get(p)) sys.set(scrambler_->to_system(p), true);
+  }
+  return sys;
+}
+
+std::vector<std::uint32_t> Chip::read_row_flips(std::uint32_t bank,
+                                                std::uint32_t row,
+                                                SimTime now) {
+  PARBOR_CHECK(bank < config_.banks);
+  std::vector<std::uint32_t> flips =
+      banks_[bank].read_row_flips(row, now, temp_factor());
+  for (auto& col : flips) {
+    col = static_cast<std::uint32_t>(scrambler_->to_system(col));
+  }
+  return flips;
+}
+
+}  // namespace parbor::dram

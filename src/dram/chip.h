@@ -1,0 +1,75 @@
+// A DRAM chip: banks + the vendor's address scrambler + temperature.
+//
+// All public access is in *system* address space (what the memory controller
+// sees); the chip permutes to physical columns internally.  A fast path is
+// provided for broadcasting one pre-permuted pattern to many rows, which is
+// what every test campaign does.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "dram/bank.h"
+#include "dram/faults.h"
+#include "dram/scramble.h"
+
+namespace parbor::dram {
+
+struct ChipConfig {
+  Vendor vendor = Vendor::kA;
+  // When set, overrides `vendor`: builds the chip around a caller-supplied
+  // mapping (e.g. the Fig. 5 PipelineScrambler or a fuzzed motif).
+  std::function<std::unique_ptr<Scrambler>(std::size_t row_bits)>
+      custom_scrambler;
+  std::uint32_t banks = 1;
+  std::uint32_t rows = 256;
+  std::uint32_t row_bits = 8192;
+  std::uint32_t spare_cols = 16;
+  std::uint32_t remapped_cols = 2;
+  double spare_coupling_rate = 0.0;
+  FaultModelParams faults;
+  double temperature_c = 45.0;
+};
+
+class Chip {
+ public:
+  Chip(const ChipConfig& config, Rng rng);
+
+  const ChipConfig& config() const { return config_; }
+  const Scrambler& scrambler() const { return *scrambler_; }
+  std::uint32_t banks() const { return config_.banks; }
+  std::uint32_t rows() const { return config_.rows; }
+  std::uint32_t row_bits() const { return config_.row_bits; }
+
+  // Retention scaling: DRAM retention roughly halves per +10 C (paper §6).
+  void set_temperature(double celsius) { config_.temperature_c = celsius; }
+  double temperature() const { return config_.temperature_c; }
+  double temp_factor() const;
+
+  // --- system-address-space access -------------------------------------
+  void write_row(std::uint32_t bank, std::uint32_t row, const BitVec& sys_bits,
+                 SimTime now);
+  BitVec read_row(std::uint32_t bank, std::uint32_t row, SimTime now);
+  // Destructive read returning only the *system* bit positions that flipped.
+  std::vector<std::uint32_t> read_row_flips(std::uint32_t bank,
+                                            std::uint32_t row, SimTime now);
+
+  // --- broadcast fast path ----------------------------------------------
+  BitVec permute_to_physical(const BitVec& sys_bits) const;
+  void write_row_physical(std::uint32_t bank, std::uint32_t row,
+                          const BitVec& phys_bits, SimTime now);
+
+  Bank& bank(std::uint32_t b) { return banks_[b]; }
+
+ private:
+  ChipConfig config_;
+  std::unique_ptr<Scrambler> scrambler_;
+  std::vector<Bank> banks_;
+};
+
+}  // namespace parbor::dram

@@ -1,0 +1,198 @@
+#include "dram/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace parbor::dram {
+
+std::uint64_t poisson_draw(Rng& rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  PARBOR_CHECK_MSG(lambda < 1e4, "poisson lambda too large for Knuth draw");
+  const double limit = std::exp(-lambda);
+  std::uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+namespace {
+
+// Picks `count` distinct columns in [0, cols); returns them sorted.
+std::vector<std::uint32_t> pick_columns(Rng& rng, std::size_t cols,
+                                        std::uint64_t count,
+                                        std::unordered_set<std::uint32_t>& used) {
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  std::uint64_t attempts = 0;
+  while (out.size() < count && attempts < count * 16 + 64) {
+    ++attempts;
+    const auto col = static_cast<std::uint32_t>(rng.below(cols));
+    if (used.insert(col).second) out.push_back(col);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+float jitter(Rng& rng, double base, double sigma) {
+  return static_cast<float>(base * rng.lognormal(0.0, sigma));
+}
+
+// Builds the coupling profile of the cell at `col`; `outer_avail` flags the
+// six outer sources in slot order [l2, r2, l3, r3, l4, r4].
+CouplingProfile make_coupling(const FaultModelParams& p, Rng& rng,
+                              std::uint32_t col,
+                              const bool (&outer_avail)[6]) {
+  CouplingProfile c;
+  c.phys_col = col;
+  c.threshold = 1.0f;
+  const double hold =
+      p.coupling_min_hold_ms + rng.uniform() * p.coupling_min_hold_spread_ms;
+  c.min_hold = SimTime::ms(hold);
+
+  double wsum = p.frac_strong + p.frac_weak + p.frac_tight;
+  if (wsum <= 0.0) wsum = 1.0;
+  const double u = rng.uniform() * wsum;
+  if (u < p.frac_strong) {
+    // Strongly coupled: one immediate neighbour alone exceeds the threshold.
+    const bool left = rng.bernoulli(p.strong_left_prob);
+    const float strong =
+        std::max(jitter(rng, 1.15, p.coupling_sigma), 1.02f * c.threshold);
+    const float other = jitter(rng, 0.35, p.coupling_sigma);
+    c.c_left = left ? strong : other;
+    c.c_right = left ? other : strong;
+    c.c_left2 = jitter(rng, 0.05, p.coupling_sigma);
+    c.c_right2 = jitter(rng, 0.05, p.coupling_sigma);
+  } else if (u < p.frac_strong + p.frac_weak) {
+    // Weakly coupled: both immediate neighbours needed, neither sufficient.
+    const float a = static_cast<float>(rng.uniform(0.52, 0.62));
+    const float b = static_cast<float>(1.04 + rng.uniform(0.0, 0.15)) - a;
+    c.c_left = a;
+    c.c_right = std::min(b, 0.95f);
+    if (c.c_left + c.c_right < 1.01f) c.c_right = 1.01f - c.c_left;
+    c.c_left2 = jitter(rng, 0.04, p.coupling_sigma);
+    c.c_right2 = jitter(rng, 0.04, p.coupling_sigma);
+  } else {
+    // Tight: immediate neighbours alone stay below threshold; outer
+    // contributions are required to cross it.  The tier decides how many
+    // outer sources are *all* necessary: dropping any single one of them
+    // must fall below the threshold, so a random pattern has to align every
+    // relevant bit at once to excite the cell.
+    const double tier = rng.uniform();
+    int outer_sources = 2;  // shallow: second neighbours only
+    if (tier < p.tight_ultra_prob) {
+      outer_sources = 6;  // ultra: second + third + fourth
+    } else if (tier < p.tight_ultra_prob + p.tight_deep_prob) {
+      outer_sources = 4;  // deep: second + third
+    }
+    // Draw the outer sources first, then size the immediate pair so that the
+    // total only clears the threshold by less than the smallest outer
+    // source: removing ANY single source drops below the threshold, so a
+    // random pattern must align every relevant bit at once.  Only sources
+    // that physically exist at this position are used; a cell near a tile
+    // edge is effectively a shallower-tier cell.
+    const double q = rng.uniform(0.04, 0.07);
+    float* slots[6] = {&c.c_left2, &c.c_right2, &c.c_left3,
+                       &c.c_right3, &c.c_left4, &c.c_right4};
+    double outer_sum = 0.0;
+    double outer_min = 1e9;
+    int used = 0;
+    for (int i = 0; i < 6 && used < outer_sources; ++i) {
+      if (!outer_avail[i]) continue;
+      const double v = q * rng.uniform(0.92, 1.08);
+      *slots[i] = static_cast<float>(v);
+      outer_sum += v;
+      outer_min = std::min(outer_min, v);
+      ++used;
+    }
+    if (used == 0) {
+      // No outer sources at all: fall back to a weakly coupled profile.
+      c.c_left = static_cast<float>(rng.uniform(0.52, 0.62));
+      c.c_right = 1.02f - c.c_left;
+      return c;
+    }
+    const double slack = outer_min * rng.uniform(0.1, 0.8);
+    const double immediate =
+        static_cast<double>(c.threshold) + slack - outer_sum;
+    c.c_left = static_cast<float>(immediate * rng.uniform(0.4, 0.6));
+    c.c_right = static_cast<float>(immediate) - c.c_left;
+  }
+  return c;
+}
+
+}  // namespace
+
+RowFaults generate_row_faults(const FaultModelParams& p, std::size_t row_cols,
+                              Rng rng,
+                              const NeighborExists& neighbor_exists) {
+  RowFaults out;
+  std::unordered_set<std::uint32_t> used;
+
+  auto exists = [&](std::uint32_t col, int delta) {
+    const auto nb = static_cast<std::int64_t>(col) + delta;
+    if (nb < 0 || nb >= static_cast<std::int64_t>(row_cols)) return false;
+    return !neighbor_exists || neighbor_exists(col, delta);
+  };
+
+  const auto n_coupling =
+      poisson_draw(rng, p.coupling_cell_rate * static_cast<double>(row_cols));
+  for (auto col : pick_columns(rng, row_cols, n_coupling, used)) {
+    // A cell can only be a coupling victim if both immediate neighbours
+    // exist (otherwise it never sees worst-case interference at all).
+    if (!exists(col, -1) || !exists(col, +1)) continue;
+    const bool outer_avail[6] = {exists(col, -2), exists(col, +2),
+                                 exists(col, -3), exists(col, +3),
+                                 exists(col, -4), exists(col, +4)};
+    out.coupling.push_back(make_coupling(p, rng, col, outer_avail));
+  }
+
+  const auto n_weak =
+      poisson_draw(rng, p.weak_cell_rate * static_cast<double>(row_cols));
+  for (auto col : pick_columns(rng, row_cols, n_weak, used)) {
+    WeakCellProfile w;
+    w.phys_col = col;
+    w.retention = SimTime::ms(
+        rng.uniform(p.weak_retention_min_ms, p.weak_retention_max_ms));
+    out.weak.push_back(w);
+  }
+
+  const auto n_vrt =
+      poisson_draw(rng, p.vrt_cell_rate * static_cast<double>(row_cols));
+  for (auto col : pick_columns(rng, row_cols, n_vrt, used)) {
+    VrtCellProfile v;
+    v.phys_col = col;
+    v.leaky_retention = SimTime::ms(p.vrt_leaky_retention_ms);
+    v.toggle_prob = static_cast<float>(p.vrt_toggle_prob);
+    v.leaky = rng.bernoulli(0.5);
+    out.vrt.push_back(v);
+  }
+
+  const auto n_marginal =
+      poisson_draw(rng, p.marginal_cell_rate * static_cast<double>(row_cols));
+  for (auto col : pick_columns(rng, row_cols, n_marginal, used)) {
+    MarginalCellProfile m;
+    m.phys_col = col;
+    m.fail_prob = static_cast<float>(p.marginal_fail_prob);
+    m.min_hold = SimTime::ms(p.marginal_min_hold_ms);
+    out.marginal.push_back(m);
+  }
+
+  const auto n_wordline =
+      poisson_draw(rng, p.wordline_cell_rate * static_cast<double>(row_cols));
+  for (auto col : pick_columns(rng, row_cols, n_wordline, used)) {
+    WordlineCellProfile w;
+    w.phys_col = col;
+    w.row_delta = rng.bernoulli(0.5) ? 1 : -1;
+    w.min_hold = SimTime::ms(p.wordline_min_hold_ms);
+    out.wordline.push_back(w);
+  }
+
+  return out;
+}
+
+}  // namespace parbor::dram

@@ -1,0 +1,182 @@
+// DRAM failure models.
+//
+// The observable PARBOR works from is "bit i of row r read back flipped
+// after the row content sat untouched for t ms".  This header models every
+// failure class the paper discusses:
+//
+//  * data-dependent (coupling) failures — parasitic bitline-coupling between
+//    physically adjacent cells (§2.3).  Each vulnerable cell draws coupling
+//    coefficients to its immediate and second physical neighbours from a
+//    process-variation distribution; it fails when the charge-domain
+//    interference exceeds its threshold after a long-enough hold.
+//      - strongly coupled: one immediate coefficient alone >= threshold,
+//      - weakly coupled: both immediate neighbours needed,
+//      - tight: immediate neighbours alone are not enough; second-neighbour
+//        contributions must also line up (these are the cells random-pattern
+//        testing tends to miss, driving Figs. 12/13).
+//  * weak (retention) cells — fail after their retention time regardless of
+//    neighbour content.
+//  * VRT cells — toggle between a normal and a leaky state at random; leaky
+//    state behaves like a weak cell (variable retention time).
+//  * marginal cells — hold barely enough charge; fail probabilistically on
+//    long holds irrespective of data.
+//  * soft errors — rare random per-read bit flips.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace parbor::dram {
+
+// Per-cell coupling fault.  Coefficients are in "interference units"; a cell
+// fails when the summed interference from oppositely-charged neighbours
+// reaches `threshold` (nominally 1.0).
+struct CouplingProfile {
+  std::uint32_t phys_col = 0;
+  float c_left = 0.0f;       // immediate left physical neighbour
+  float c_right = 0.0f;      // immediate right physical neighbour
+  float c_left2 = 0.0f;      // second left neighbour
+  float c_right2 = 0.0f;     // second right neighbour
+  float c_left3 = 0.0f;      // third left neighbour
+  float c_right3 = 0.0f;     // third right neighbour
+  float c_left4 = 0.0f;      // fourth left neighbour
+  float c_right4 = 0.0f;     // fourth right neighbour
+  float threshold = 1.0f;
+  // Minimum hold time before the coupling failure can manifest, at the
+  // reference temperature (45 C).
+  SimTime min_hold;
+
+  bool strongly_coupled() const {
+    return c_left >= threshold || c_right >= threshold;
+  }
+  bool weakly_coupled() const {
+    return !strongly_coupled() && c_left + c_right >= threshold;
+  }
+  float total_coupling() const {
+    return c_left + c_right + c_left2 + c_right2 + c_left3 + c_right3 +
+           c_left4 + c_right4;
+  }
+  // Needs outer-neighbour contributions on top of both immediate ones.
+  bool tight() const {
+    return c_left + c_right < threshold && total_coupling() >= threshold;
+  }
+};
+
+struct WeakCellProfile {
+  std::uint32_t phys_col = 0;
+  SimTime retention;  // at reference temperature
+};
+
+struct VrtCellProfile {
+  std::uint32_t phys_col = 0;
+  SimTime leaky_retention;
+  float toggle_prob = 0.0f;  // per read access to the row
+  bool leaky = false;        // mutable state machine
+};
+
+struct MarginalCellProfile {
+  std::uint32_t phys_col = 0;
+  float fail_prob = 0.0f;  // per qualifying (long-hold) read
+  SimTime min_hold;
+};
+
+// Wordline-coupled cell: fails when the cell at the same column of an
+// adjacent row holds the opposite charge (direction fixed per cell by
+// process variation: -1 = row above, +1 = row below).
+struct WordlineCellProfile {
+  std::uint32_t phys_col = 0;
+  int row_delta = 1;
+  SimTime min_hold;
+};
+
+// Population rates and distribution parameters; one instance per module
+// (vendor + generation), consumed by the per-row generator.
+struct FaultModelParams {
+  // Expected density of coupling-vulnerable cells, per cell.
+  double coupling_cell_rate = 3e-4;
+  // Mixture weights among coupling cells (normalised internally).
+  double frac_strong = 0.50;
+  double frac_weak = 0.28;
+  double frac_tight = 0.22;
+  // Among strongly coupled cells, probability the strong side is the left
+  // neighbour (the rest are right-coupled).
+  double strong_left_prob = 0.5;
+  // Tightness tiers control how many aligned bits a random pattern needs to
+  // excite the cell (and therefore how often random testing misses it):
+  // shallow tight cells need the second neighbours (5 aligned bits), deep
+  // ones additionally the third (7 bits), ultra ones also the fourth
+  // (9 bits).  Probabilities select the tier; shallow is the remainder.
+  double tight_deep_prob = 0.45;
+  double tight_ultra_prob = 0.40;
+  // Spread (lognormal sigma) of coupling coefficients around their class
+  // target; adds per-cell margin diversity.
+  double coupling_sigma = 0.12;
+  // Hold time required before coupling failures manifest (reference temp).
+  double coupling_min_hold_ms = 128.0;
+  double coupling_min_hold_spread_ms = 64.0;
+
+  double weak_cell_rate = 4e-5;
+  double weak_retention_min_ms = 64.0;
+  double weak_retention_max_ms = 3500.0;
+
+  // VRT state toggles are rare enough that a cell typically stays in one
+  // state for a whole test campaign — which is how VRT cells end up
+  // detected by one campaign and not another (Fig. 13's only-random slice).
+  double vrt_cell_rate = 6e-6;
+  double vrt_toggle_prob = 0.002;
+  double vrt_leaky_retention_ms = 900.0;
+
+  double marginal_cell_rate = 1.2e-5;
+  double marginal_fail_prob = 0.35;
+  double marginal_min_hold_ms = 256.0;
+
+  // Probability of a soft-error flip per cell per read of a row.
+  double soft_error_rate = 1e-9;
+
+  // Wordline (row-to-row) coupling: cells disturbed by the content of the
+  // SAME column in a physically adjacent row (§5.2.4 lists this among the
+  // random-failure sources PARBOR's filtering must reject — PARBOR's
+  // row-local tests cannot control the neighbouring rows' content, so these
+  // failures look random to it).
+  double wordline_cell_rate = 0.0;
+  double wordline_min_hold_ms = 128.0;
+
+  // Anti-cell layout: rows are true/anti in alternating blocks of
+  // 2^anti_row_block_shift rows (charge = data XOR anti).
+  unsigned anti_row_block_shift = 5;
+};
+
+// All special cells of one row, generated lazily and deterministically from
+// an Rng forked by (bank, row).  Kept sorted by physical column.
+struct RowFaults {
+  std::vector<CouplingProfile> coupling;
+  std::vector<WeakCellProfile> weak;
+  std::vector<VrtCellProfile> vrt;  // holds mutable leaky state
+  std::vector<MarginalCellProfile> marginal;
+  std::vector<WordlineCellProfile> wordline;
+};
+
+// Tells the generator which physical neighbours of a column actually exist
+// as interference sources (same tile, inside the array).  delta is the
+// signed neighbour offset (-4..+4, never 0).
+using NeighborExists =
+    std::function<bool(std::uint32_t col, int delta)>;
+
+// Draws the special-cell population of one row.  Coupling profiles are
+// conditioned on the available neighbourhood: a cell next to a tile edge
+// distributes its outer coupling over the sources that exist (cells whose
+// immediate neighbours are missing cannot be coupling victims at all).
+// With no callback, every in-range neighbour of the row line exists.
+RowFaults generate_row_faults(const FaultModelParams& params,
+                              std::size_t row_cols, Rng rng,
+                              const NeighborExists& neighbor_exists = {});
+
+// Poisson draw (Knuth's method; fine for the small lambdas used here).
+std::uint64_t poisson_draw(Rng& rng, double lambda);
+
+}  // namespace parbor::dram

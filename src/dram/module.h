@@ -1,0 +1,69 @@
+// A DRAM module (DIMM): a set of chips sharing vendor, geometry, and
+// generation, plus the per-vendor configuration presets used to build the
+// paper's 18-module test population (A1..A6, B1..B6, C1..C6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dram/chip.h"
+
+namespace parbor::dram {
+
+struct ModuleConfig {
+  std::string name = "A1";
+  std::uint32_t chips = 8;
+  ChipConfig chip;
+  std::uint64_t seed = 1;
+};
+
+class Module {
+ public:
+  explicit Module(const ModuleConfig& config);
+
+  const ModuleConfig& config() const { return config_; }
+  const std::string& name() const { return config_.name; }
+  Vendor vendor() const { return config_.chip.vendor; }
+  std::uint32_t chip_count() const {
+    return static_cast<std::uint32_t>(chips_.size());
+  }
+  Chip& chip(std::uint32_t c) { return chips_[c]; }
+  const Chip& chip(std::uint32_t c) const { return chips_[c]; }
+
+  void set_temperature(double celsius);
+
+  // Total number of cells across all chips/banks/rows (for rate reporting).
+  std::uint64_t total_cells() const;
+
+ private:
+  ModuleConfig config_;
+  std::vector<Chip> chips_;
+};
+
+// Experiment scale: the paper tests 2 GB modules (8 chips x 8 banks x 32K
+// rows x 8K columns).  Simulating that end-to-end is unnecessary — every
+// observable PARBOR uses is per-row and rate-based — so the default
+// experiment geometry shrinks rows/banks while keeping the 8K-bit row intact
+// (the row is the unit the algorithm actually probes).
+enum class Scale {
+  kTiny,    // 1 chip,  1 bank,   64 rows  (unit tests)
+  kSmall,   // 2 chips, 1 bank,  128 rows  (integration tests)
+  kMedium,  // 8 chips, 1 bank,  256 rows  (default bench scale)
+  kLarge,   // 8 chips, 2 banks, 512 rows  (slow benches)
+};
+
+// Builds the configuration of module `index` (1-based, 1..6) of a vendor,
+// reproducing the paper's population structure: per-vendor fault-model
+// presets plus per-module generation variation so that absolute failure
+// counts spread the way Fig. 12's do (C most vulnerable, B with the largest
+// share of non-data-dependent noise).
+ModuleConfig make_module_config(Vendor vendor, int index, Scale scale,
+                                std::uint64_t seed_base = 0x5eed);
+
+// All 18 modules of the paper's population at the given scale.
+std::vector<ModuleConfig> make_population(Scale scale,
+                                          std::uint64_t seed_base = 0x5eed);
+
+}  // namespace parbor::dram

@@ -1,0 +1,254 @@
+#include "dram/scramble.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace parbor::dram {
+
+std::string vendor_name(Vendor v) {
+  switch (v) {
+    case Vendor::kLinear:
+      return "linear";
+    case Vendor::kA:
+      return "A";
+    case Vendor::kB:
+      return "B";
+    case Vendor::kC:
+      return "C";
+  }
+  return "?";
+}
+
+void Scrambler::finalize(std::vector<std::uint32_t> phys_to_sys,
+                         std::vector<std::uint32_t> tile_of) {
+  const std::size_t n = phys_to_sys.size();
+  PARBOR_CHECK(n > 0);
+  PARBOR_CHECK(tile_of.size() == n);
+  std::vector<std::uint32_t> inverse(n, static_cast<std::uint32_t>(n));
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::uint32_t s = phys_to_sys[p];
+    PARBOR_CHECK_MSG(s < n, "system address out of range at phys " << p);
+    PARBOR_CHECK_MSG(inverse[s] == n,
+                     "mapping not injective: system address " << s);
+    inverse[s] = static_cast<std::uint32_t>(p);
+  }
+  for (std::size_t p = 1; p < n; ++p) {
+    PARBOR_CHECK_MSG(tile_of[p] >= tile_of[p - 1],
+                     "tiles must be contiguous physical ranges");
+  }
+  phys_to_sys_ = std::move(phys_to_sys);
+  sys_to_phys_ = std::move(inverse);
+  tile_of_ = std::move(tile_of);
+}
+
+std::set<std::int64_t> Scrambler::signed_step_set() const {
+  std::set<std::int64_t> out;
+  for (std::size_t p = 0; p + 1 < row_bits(); ++p) {
+    if (!coupled(p, p + 1)) continue;
+    out.insert(static_cast<std::int64_t>(to_system(p + 1)) -
+               static_cast<std::int64_t>(to_system(p)));
+  }
+  return out;
+}
+
+std::set<std::int64_t> Scrambler::abs_distance_set() const {
+  std::set<std::int64_t> out;
+  for (auto d : signed_step_set()) out.insert(d < 0 ? -d : d);
+  return out;
+}
+
+LinearScrambler::LinearScrambler(std::size_t row_bits) {
+  std::vector<std::uint32_t> map(row_bits);
+  for (std::size_t i = 0; i < row_bits; ++i) {
+    map[i] = static_cast<std::uint32_t>(i);
+  }
+  finalize(std::move(map), std::vector<std::uint32_t>(row_bits, 0));
+}
+
+MotifScrambler::MotifScrambler(std::size_t row_bits, std::size_t stride,
+                               std::vector<std::uint32_t> motif,
+                               std::string name)
+    : name_(std::move(name)) {
+  const std::size_t motif_len = motif.size();
+  PARBOR_CHECK(stride >= 1 && motif_len >= 1);
+  PARBOR_CHECK_MSG(row_bits % (stride * motif_len) == 0,
+                   "row_bits must be a multiple of stride*motif length");
+  {
+    // The motif must itself be a permutation of {0..L-1}.
+    std::vector<bool> seen(motif_len, false);
+    for (auto m : motif) {
+      PARBOR_CHECK(m < motif_len && !seen[m]);
+      seen[m] = true;
+    }
+  }
+  // One tile per residue class; each tile holds row_bits/stride cells and
+  // covers system addresses {r, r+stride, r+2*stride, ...}.
+  const std::size_t units_per_tile = row_bits / stride;
+  std::vector<std::uint32_t> phys_to_sys(row_bits);
+  std::vector<std::uint32_t> tile_of(row_bits);
+  for (std::size_t r = 0; r < stride; ++r) {
+    for (std::size_t q = 0; q < units_per_tile; ++q) {
+      const std::size_t block = q / motif_len;
+      const std::size_t offset = q % motif_len;
+      const std::size_t unit = block * motif_len + motif[offset];
+      const std::size_t phys = r * units_per_tile + q;
+      phys_to_sys[phys] = static_cast<std::uint32_t>(r + stride * unit);
+      tile_of[phys] = static_cast<std::uint32_t>(r);
+    }
+  }
+  finalize(std::move(phys_to_sys), std::move(tile_of));
+}
+
+namespace {
+// Length-16 unit motif with step multiset {±6 x10, ±1 x4, ±2 x2} (including
+// the +6 wrap between blocks); in units of 8 this yields system distances
+// exactly {±8, ±16, ±48} with ±48 the most frequent — which is what makes
+// the 64-bit-region boundary crossings (Fig. 11's {0,±1} at L3) a strong
+// signal on vendor A parts.
+const std::vector<std::uint32_t> kVendorAMotif = {0, 6, 12, 13, 7, 1, 3, 9,
+                                                  15, 14, 8, 2, 4, 5, 11, 10};
+}  // namespace
+
+VendorAScrambler::VendorAScrambler(std::size_t row_bits)
+    : MotifScrambler(row_bits, /*stride=*/8, kVendorAMotif, "vendorA") {}
+
+VendorBScrambler::VendorBScrambler(std::size_t row_bits) {
+  // Tiles of 16 cells: the 8-bit group at system base b is paired with the
+  // group at b+64 and walked as a zigzag
+  //   b, b+64, b+65, b+1, b+2, b+66, b+67, b+3, ..., b+70, b+71, b+7
+  // whose step multiset is {+64 x4, -64 x4, +1 x7}.  Both distances are
+  // frequent, no ±1 pair ever straddles an 8-bit region boundary, and no
+  // ±64 pair straddles a 512-bit one — which is exactly the per-level
+  // behaviour PARBOR measured on vendor B parts (Fig. 11).
+  PARBOR_CHECK_MSG(row_bits % 128 == 0,
+                   "vendor B needs row_bits divisible by 128");
+  std::vector<std::uint32_t> phys_to_sys(row_bits);
+  std::vector<std::uint32_t> tile_of(row_bits);
+  std::size_t p = 0;
+  std::uint32_t tile = 0;
+  for (std::size_t block = 0; block < row_bits; block += 128) {
+    for (std::size_t g = 0; g < 8; ++g, ++tile) {
+      const std::size_t b = block + 8 * g;  // lower group; upper at b+64
+      auto emit = [&](std::size_t sys) {
+        phys_to_sys[p] = static_cast<std::uint32_t>(sys);
+        tile_of[p] = tile;
+        ++p;
+      };
+      emit(b);
+      for (std::size_t k = 0; k < 3; ++k) {
+        emit(b + 64 + 2 * k);      // +64
+        emit(b + 64 + 2 * k + 1);  // +1
+        emit(b + 2 * k + 1);       // -64
+        emit(b + 2 * k + 2);       // +1
+      }
+      emit(b + 70);  // +64
+      emit(b + 71);  // +1
+      emit(b + 7);   // -64
+    }
+  }
+  PARBOR_CHECK(p == row_bits);
+  finalize(std::move(phys_to_sys), std::move(tile_of));
+}
+
+PipelineScrambler::PipelineScrambler(std::size_t row_bits,
+                                     const PipelineScramblerConfig& cfg) {
+  PARBOR_CHECK(cfg.groups >= 1 && cfg.burst_bits >= cfg.groups);
+  PARBOR_CHECK_MSG(cfg.burst_bits % cfg.groups == 0,
+                   "burst must split evenly into GSA groups");
+  const std::size_t group_bits = cfg.burst_bits / cfg.groups;
+  PARBOR_CHECK_MSG(!cfg.pair_swap || group_bits % 2 == 0,
+                   "pair swapping needs an even number of bits per group");
+  PARBOR_CHECK_MSG(row_bits % cfg.burst_bits == 0,
+                   "row must hold a whole number of bursts");
+  const std::size_t bursts = row_bits / cfg.burst_bits;
+  const std::size_t array_cells = bursts * group_bits;
+
+  // System bit s arrives in burst b at within-burst offset o; GSA group
+  // g = o / group_bits routes it to cell array g; within the array it lands
+  // at column b*group_bits + j (j = o % group_bits), with adjacent bits
+  // swapped when the LSA stage alternates top/bottom.
+  std::vector<std::uint32_t> phys_to_sys(row_bits);
+  std::vector<std::uint32_t> tile_of(row_bits);
+  for (std::size_t s = 0; s < row_bits; ++s) {
+    const std::size_t b = s / cfg.burst_bits;
+    const std::size_t o = s % cfg.burst_bits;
+    const std::size_t g = o / group_bits;
+    std::size_t j = o % group_bits;
+    if (cfg.pair_swap) j ^= 1;
+    const std::size_t phys = g * array_cells + b * group_bits + j;
+    phys_to_sys[phys] = static_cast<std::uint32_t>(s);
+    tile_of[phys] = static_cast<std::uint32_t>(g);
+  }
+  finalize(std::move(phys_to_sys), std::move(tile_of));
+}
+
+VendorCScrambler::VendorCScrambler(std::size_t row_bits) {
+  // Two kinds of tiles (the cell arrays on either side of the global
+  // sense-amplifier stripe are wired differently):
+  //  * four "pair" tiles cover residues {2t, 2t+1} (mod 16) on two rails,
+  //    walked with +49/-33 hops (step multiset dominated by ±33/±49);
+  //  * eight "single" tiles cover one residue r in [8, 16) each, walked
+  //    linearly in units of 16 (every step +16).
+  // Together the physically-adjacent distance set is {±16, ±33, ±49} with
+  // every member frequent.
+  constexpr std::size_t kStride = 16;
+  PARBOR_CHECK_MSG(row_bits % kStride == 0 && row_bits / kStride >= 4,
+                   "vendor C needs row_bits divisible by 16 and >= 64");
+  const std::size_t columns = row_bits / kStride;  // cells per residue class
+  std::vector<std::uint32_t> phys_to_sys(row_bits);
+  std::vector<std::uint32_t> tile_of(row_bits);
+  std::size_t j = 0;
+  std::uint32_t tile = 0;
+
+  // Pair tiles: residues (0,1), (2,3), (4,5), (6,7).
+  for (std::size_t t = 0; t < 4; ++t, ++tile) {
+    const std::size_t r = 2 * t;
+    auto emit = [&](std::size_t col, std::size_t rail) {
+      phys_to_sys[j] = static_cast<std::uint32_t>(kStride * col + r + rail);
+      tile_of[j] = tile;
+      ++j;
+    };
+    // Prologue: (0,1) -> (1,1) -> (2,1), steps +16, +16.
+    emit(0, 1);
+    emit(1, 1);
+    emit(2, 1);
+    // Body: ... -33 -> (i,0) -> +49 -> (i+3,1) -> -33 -> (i+1,0) ...
+    for (std::size_t i = 0; i + 3 < columns; ++i) {
+      emit(i, 0);
+      emit(i + 3, 1);
+    }
+    // Epilogue: (K-3,0) -> (K-2,0) -> (K-1,0), steps -33 then +16, +16.
+    emit(columns - 3, 0);
+    emit(columns - 2, 0);
+    emit(columns - 1, 0);
+  }
+
+  // Single tiles: residues 8..15, linear stride-16 walks (every step +16).
+  for (std::size_t r = 8; r < 16; ++r, ++tile) {
+    for (std::size_t col = 0; col < columns; ++col) {
+      phys_to_sys[j] = static_cast<std::uint32_t>(kStride * col + r);
+      tile_of[j] = tile;
+      ++j;
+    }
+  }
+  PARBOR_CHECK(j == row_bits);
+  finalize(std::move(phys_to_sys), std::move(tile_of));
+}
+
+std::unique_ptr<Scrambler> make_scrambler(Vendor vendor, std::size_t row_bits) {
+  switch (vendor) {
+    case Vendor::kLinear:
+      return std::make_unique<LinearScrambler>(row_bits);
+    case Vendor::kA:
+      return std::make_unique<VendorAScrambler>(row_bits);
+    case Vendor::kB:
+      return std::make_unique<VendorBScrambler>(row_bits);
+    case Vendor::kC:
+      return std::make_unique<VendorCScrambler>(row_bits);
+  }
+  PARBOR_CHECK_MSG(false, "unknown vendor");
+  return nullptr;
+}
+
+}  // namespace parbor::dram

@@ -1,0 +1,155 @@
+// DRAM-internal address scrambling.
+//
+// DRAM vendors remap system-level bit addresses to physical cell-array
+// columns through multiple stages of internal buffering (IO pins -> global
+// sense amplifiers -> local sense amplifiers -> cells; see PARBOR §3,
+// Fig. 5).  The mapping is undocumented and differs per vendor/generation.
+// PARBOR characterises each vendor purely by the *set of system-address
+// distances* at which physically adjacent cells land:
+//
+//     vendor A: {±8, ±16, ±48}
+//     vendor B: {±1, ±64}
+//     vendor C: {±16, ±33, ±49}
+//
+// Each scrambler here is a closed-form bijection between physical column
+// index and system bit address whose physically-adjacent step set equals the
+// corresponding paper set.  Rows are partitioned into *tiles* (physical
+// subarrays separated by sense-amplifier stripes); bitline coupling only
+// exists between adjacent columns of the same tile, which is what makes
+// multi-residue mappings (A, C) physically realisable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace parbor::dram {
+
+enum class Vendor { kLinear, kA, kB, kC };
+
+std::string vendor_name(Vendor v);
+
+class Scrambler {
+ public:
+  virtual ~Scrambler() = default;
+  virtual std::string name() const = 0;
+
+  std::size_t row_bits() const { return phys_to_sys_.size(); }
+
+  // Physical column -> system bit address within the row.
+  std::size_t to_system(std::size_t phys) const { return phys_to_sys_[phys]; }
+  // System bit address -> physical column.
+  std::size_t to_physical(std::size_t sys) const { return sys_to_phys_[sys]; }
+
+  // Tile (physical subarray) containing a physical column.  Coupling exists
+  // only between physically adjacent columns of the same tile.
+  std::uint32_t tile_of_physical(std::size_t phys) const {
+    return tile_of_[phys];
+  }
+
+  bool coupled(std::size_t phys_a, std::size_t phys_b) const {
+    if (phys_a > phys_b) std::swap(phys_a, phys_b);
+    return phys_b - phys_a == 1 && tile_of_[phys_a] == tile_of_[phys_b];
+  }
+
+  // Signed system-address distances of physically adjacent (coupled) pairs,
+  // from the left cell of each pair: to_system(p+1) - to_system(p).
+  std::set<std::int64_t> signed_step_set() const;
+
+  // Absolute values of the above — the paper's published distance sets.
+  std::set<std::int64_t> abs_distance_set() const;
+
+ protected:
+  // Installs the permutation and validates bijectivity.  `tile_of` gives the
+  // tile id of each physical column; it must be monotonically non-decreasing
+  // (tiles are contiguous physical ranges).
+  void finalize(std::vector<std::uint32_t> phys_to_sys,
+                std::vector<std::uint32_t> tile_of);
+
+ private:
+  std::vector<std::uint32_t> phys_to_sys_;
+  std::vector<std::uint32_t> sys_to_phys_;
+  std::vector<std::uint32_t> tile_of_;
+};
+
+// Identity mapping (the "no scrambling" strawman from Fig. 1); one tile.
+class LinearScrambler final : public Scrambler {
+ public:
+  explicit LinearScrambler(std::size_t row_bits);
+  std::string name() const override { return "linear"; }
+};
+
+// Generic motif-walk scrambler.
+//
+// The row's system addresses are viewed as `stride` interleaved residue
+// classes.  Each group of `classes_per_tile` consecutive residue classes
+// forms one physical tile; within a tile the physical order follows a motif:
+// a permutation M of {0..L-1} in units of `stride`, repeated block after
+// block (phys j = L*k + i  ->  unit  L*k + M[i]).  The system-address step
+// between consecutive physical cells is stride*(unit-step), so the distance
+// set is stride * {motif step set}.  Vendor A is an instance of this engine;
+// synthetic vendors for the test suite are built from it too.
+class MotifScrambler : public Scrambler {
+ public:
+  MotifScrambler(std::size_t row_bits, std::size_t stride,
+                 std::vector<std::uint32_t> motif, std::string name);
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+// Vendor A: distances {±8, ±16, ±48}.  8 residue classes (mod 8), one tile
+// per class, motif [0,6,5,4,2,3,1,7] whose step multiset is {±1,±2,±6} in
+// units of 8.
+class VendorAScrambler final : public MotifScrambler {
+ public:
+  explicit VendorAScrambler(std::size_t row_bits);
+  std::string name() const override { return "vendorA"; }
+};
+
+// Vendor B: distances {±1, ±64}.  A single boustrophedon walk over blocks of
+// 64 system addresses: even blocks ascend, odd blocks descend, and the block
+// boundary step is +64.  One tile (the walk is physically contiguous).
+class VendorBScrambler final : public Scrambler {
+ public:
+  explicit VendorBScrambler(std::size_t row_bits);
+  std::string name() const override { return "vendorB"; }
+};
+
+// Structural scrambler built from the paper's §3/Fig. 5 explanation of WHY
+// scrambling exists: data crosses two buffering stages on its way to the
+// cells.  Each `burst_bits`-wide burst is split into `groups` groups routed
+// to different cell arrays (the global sense-amplifier stage), and inside an
+// array consecutive bit pairs may be swapped depending on whether the top or
+// bottom local sense-amplifier row drives them.  Each cell array is one
+// physical tile.  With burst_bits=4, groups=2, pair_swap=true this produces
+// exactly the running example of Figs. 5/8: neighbours at distances {±1,±5}.
+struct PipelineScramblerConfig {
+  std::size_t burst_bits = 4;  // bits per burst arriving at the IO pins
+  std::size_t groups = 2;      // GSA groups (= cell arrays) per burst
+  bool pair_swap = true;       // LSA top/bottom swap of adjacent bits
+};
+
+class PipelineScrambler final : public Scrambler {
+ public:
+  PipelineScrambler(std::size_t row_bits, const PipelineScramblerConfig& cfg);
+  std::string name() const override { return "pipeline"; }
+};
+
+// Vendor C: distances {±16, ±33, ±49}.  Residue-pair tiles: tile t covers
+// system residues {2t, 2t+1} (mod 16).  Within a tile the walk interleaves
+// the two residue "rails" with +49/-33 hops (49 = 3*16+1, 33 = 2*16+1) plus
+// +16 runs at the tile edges; every step lands in {±16, ±33, ±49}.
+class VendorCScrambler final : public Scrambler {
+ public:
+  explicit VendorCScrambler(std::size_t row_bits);
+  std::string name() const override { return "vendorC"; }
+};
+
+std::unique_ptr<Scrambler> make_scrambler(Vendor vendor, std::size_t row_bits);
+
+}  // namespace parbor::dram

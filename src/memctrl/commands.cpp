@@ -1,0 +1,137 @@
+#include "memctrl/commands.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace parbor::mc {
+
+std::string command_name(DramCommand cmd) {
+  switch (cmd) {
+    case DramCommand::kActivate:
+      return "ACT";
+    case DramCommand::kRead:
+      return "RD";
+    case DramCommand::kWrite:
+      return "WR";
+    case DramCommand::kPrecharge:
+      return "PRE";
+    case DramCommand::kRefresh:
+      return "REF";
+  }
+  return "?";
+}
+
+CommandScheduler::CommandScheduler(const CommandTimingParams& params,
+                                   unsigned banks)
+    : params_(params), banks_(banks) {
+  PARBOR_CHECK(banks >= 1);
+}
+
+CommandScheduler::IssueResult CommandScheduler::issue(DramCommand cmd,
+                                                      unsigned bank,
+                                                      std::uint64_t row,
+                                                      SimTime at) {
+  PARBOR_CHECK(bank < banks_.size());
+  BankTiming& b = banks_[bank];
+  SimTime t = std::max(at, rank_ready_);
+  ++commands_issued_;
+
+  switch (cmd) {
+    case DramCommand::kActivate: {
+      PARBOR_CHECK_MSG(!b.row_open,
+                       "ACT to bank with open row (missing PRE)");
+      // tRC from the previous ACT of this bank, tRP from its precharge
+      // readiness, tRRD from the last ACT anywhere in the rank.
+      t = std::max(t, b.ready_for_activate);
+      t = std::max(t, b.last_activate + ns(params_.tRC));
+      t = std::max(t, last_activate_any_ + ns(params_.tRRD));
+      b.row_open = true;
+      b.open_row = row;
+      b.last_activate = t;
+      b.ready_for_column = t + ns(params_.tRCD);
+      // tRAS lower-bounds the in-bank precharge.
+      b.ready_for_precharge = t + ns(params_.tRAS);
+      last_activate_any_ = t;
+      return {t, t + ns(params_.tRCD)};
+    }
+    case DramCommand::kRead:
+    case DramCommand::kWrite: {
+      PARBOR_CHECK_MSG(b.row_open, "column command to closed bank");
+      PARBOR_CHECK_MSG(b.open_row == row,
+                       "column command to a row that is not open");
+      t = std::max(t, b.ready_for_column);
+      t = std::max(t, last_column_command_ + ns(params_.tCCD));
+      last_column_command_ = t;
+      const bool is_read = cmd == DramCommand::kRead;
+      const SimTime data_end =
+          t + ns(is_read ? params_.tCL : params_.tCWL) + ns(params_.tBURST);
+      // Precharge must respect read-to-precharge / write recovery.
+      const SimTime pre_after =
+          is_read ? t + ns(params_.tRTP) : data_end + ns(params_.tWR);
+      b.ready_for_precharge = std::max(b.ready_for_precharge, pre_after);
+      return {t, data_end};
+    }
+    case DramCommand::kPrecharge: {
+      PARBOR_CHECK_MSG(b.row_open, "PRE on a bank with no open row");
+      t = std::max(t, b.ready_for_precharge);
+      b.row_open = false;
+      b.ready_for_activate = t + ns(params_.tRP);
+      return {t, t + ns(params_.tRP)};
+    }
+    case DramCommand::kRefresh: {
+      for (const BankTiming& bt : banks_) {
+        PARBOR_CHECK_MSG(!bt.row_open, "REF with a row open somewhere");
+      }
+      for (BankTiming& bt : banks_) {
+        t = std::max(t, bt.ready_for_activate);
+      }
+      const SimTime window =
+          refresh_override_.picoseconds() > 0 ? refresh_override_
+                                              : ns(params_.tRFC);
+      rank_ready_ = t + window;
+      for (BankTiming& bt : banks_) {
+        bt.ready_for_activate = std::max(bt.ready_for_activate, rank_ready_);
+      }
+      return {t, rank_ready_};
+    }
+  }
+  PARBOR_CHECK_MSG(false, "unknown command");
+  return {};
+}
+
+SimTime CommandScheduler::write_row_session(unsigned bank, std::uint64_t row,
+                                            unsigned bursts, SimTime at) {
+  const SimTime start =
+      issue(DramCommand::kActivate, bank, row, at).issued_at;
+  for (unsigned i = 0; i < bursts; ++i) {
+    issue(DramCommand::kWrite, bank, row, start);
+  }
+  const SimTime done = issue(DramCommand::kPrecharge, bank, row, start).done_at;
+  return done - start;
+}
+
+SimTime CommandScheduler::read_row_session(unsigned bank, std::uint64_t row,
+                                           unsigned bursts, SimTime at) {
+  const SimTime start =
+      issue(DramCommand::kActivate, bank, row, at).issued_at;
+  for (unsigned i = 0; i < bursts; ++i) {
+    issue(DramCommand::kRead, bank, row, start);
+  }
+  const SimTime done = issue(DramCommand::kPrecharge, bank, row, start).done_at;
+  return done - start;
+}
+
+SimTime CommandScheduler::refresh_session(SimTime at, SimTime duration) {
+  for (unsigned b = 0; b < banks(); ++b) {
+    if (banks_[b].row_open) {
+      issue(DramCommand::kPrecharge, b, banks_[b].open_row, at);
+    }
+  }
+  refresh_override_ = duration;
+  const SimTime done = issue(DramCommand::kRefresh, 0, 0, at).done_at;
+  refresh_override_ = {};
+  return done;
+}
+
+}  // namespace parbor::mc

@@ -1,0 +1,119 @@
+// Command-level DDR3 interface (the SoftMC role).
+//
+// The paper's FPGA infrastructure exposes raw DRAM commands to the host so
+// tests can control exactly when rows are opened, written, and left to
+// decay.  This module models that layer: a per-bank state machine that
+// enforces the JEDEC DDR3 inter-command timing constraints and computes the
+// earliest legal issue time for every command.
+//
+// The higher-level TestHost accounts time with the paper Appendix's
+// simplified arithmetic (tRCD + N*tCCD + tRP); this layer is the full
+// constraint model (tRAS, tRC, tRRD, tWR, write recovery, refresh windows)
+// for code that needs command-accurate scheduling.  For whole-row sweeps
+// the two agree to within the tRAS/tWR tails the Appendix ignores.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace parbor::mc {
+
+enum class DramCommand {
+  kActivate,
+  kRead,
+  kWrite,
+  kPrecharge,
+  kRefresh,
+};
+
+std::string command_name(DramCommand cmd);
+
+// Full DDR3-1600 timing constraint set (JEDEC 79-3F, ns).
+struct CommandTimingParams {
+  double tCK = 1.25;
+  double tRCD = 13.75;   // ACT -> internal READ/WRITE
+  double tRP = 13.75;    // PRE -> ACT
+  double tRAS = 35.0;    // ACT -> PRE (same bank)
+  double tRC = 48.75;    // ACT -> ACT (same bank)
+  double tRRD = 6.25;    // ACT -> ACT (different bank, same rank)
+  double tCCD = 5.0;     // column command to column command
+  double tCL = 13.75;    // READ -> data
+  double tCWL = 10.0;    // WRITE -> data
+  double tBURST = 5.0;   // data burst (BL8 at 1.25 ns/beat, DDR)
+  double tWR = 15.0;     // end of write data -> PRE
+  double tRTP = 7.5;     // READ -> PRE
+  double tRFC = 260.0;   // REF -> any (4 Gbit class)
+  double tREFI = 7800.0; // average refresh interval
+};
+
+// State of one bank as seen by the command scheduler.
+struct BankTiming {
+  bool row_open = false;
+  std::uint64_t open_row = 0;
+  SimTime last_activate = SimTime::ps(-1'000'000'000);
+  SimTime ready_for_column;   // earliest READ/WRITE after ACT
+  SimTime ready_for_precharge;
+  SimTime ready_for_activate;
+};
+
+// Command-accurate scheduler for one rank.  issue() validates legality,
+// advances the state machine, and returns the actual issue time (>= the
+// requested time; commands are delayed until legal rather than rejected).
+class CommandScheduler {
+ public:
+  explicit CommandScheduler(const CommandTimingParams& params = {},
+                            unsigned banks = 8);
+
+  const CommandTimingParams& params() const { return params_; }
+  unsigned banks() const { return static_cast<unsigned>(banks_.size()); }
+
+  struct IssueResult {
+    SimTime issued_at;   // when the command actually went out
+    SimTime done_at;     // when its effect completes (data burst end, etc.)
+  };
+
+  // Issues a command to `bank` no earlier than `at`.  `row` is used by
+  // kActivate (and validated against the open row for column commands).
+  IssueResult issue(DramCommand cmd, unsigned bank, std::uint64_t row,
+                    SimTime at);
+
+  bool row_open(unsigned bank) const { return banks_[bank].row_open; }
+  std::uint64_t open_row(unsigned bank) const { return banks_[bank].open_row; }
+
+  // Convenience sessions -------------------------------------------------
+
+  // Opens `row`, performs `bursts` back-to-back writes, precharges.
+  // Returns the total time from first command to precharge completion.
+  SimTime write_row_session(unsigned bank, std::uint64_t row,
+                            unsigned bursts, SimTime at);
+
+  // Same with reads.
+  SimTime read_row_session(unsigned bank, std::uint64_t row, unsigned bursts,
+                           SimTime at);
+
+  // Issues a rank-wide refresh (all banks must be precharged; any open row
+  // is precharged first).  Returns the completion time.  `duration`
+  // overrides tRFC when non-zero — row-granularity refresh schemes (RAIDR,
+  // DC-REF) block the rank for a load-dependent fraction of the nominal
+  // refresh latency.
+  SimTime refresh_session(SimTime at, SimTime duration = {});
+
+  std::uint64_t commands_issued() const { return commands_issued_; }
+
+ private:
+  SimTime ns(double v) const { return SimTime::ns(v); }
+
+  CommandTimingParams params_;
+  std::vector<BankTiming> banks_;
+  // "Long ago" so the very first commands see no phantom predecessors.
+  SimTime last_activate_any_ = SimTime::ps(-1'000'000'000);   // for tRRD
+  SimTime last_column_command_ = SimTime::ps(-1'000'000'000); // for tCCD
+  SimTime rank_ready_;              // refresh recovery
+  SimTime refresh_override_;        // non-zero during an override refresh
+  std::uint64_t commands_issued_ = 0;
+};
+
+}  // namespace parbor::mc

@@ -1,0 +1,19 @@
+#include "memctrl/ddr3.h"
+
+namespace parbor::mc {
+
+NaiveTestTimes naive_test_times(const Ddr3Timing& t, std::uint64_t row_bits) {
+  NaiveTestTimes out{};
+  // Appendix: testing one address bit = two-block access + a refresh-interval
+  // wait; the access time is negligible against 64 ms.
+  out.per_bit_test_s = t.two_block_access().seconds() +
+                       t.refresh_interval_ms * 1e-3;
+  const double n = static_cast<double>(row_bits);
+  out.linear_s = out.per_bit_test_s * n;
+  out.quadratic_s = out.per_bit_test_s * n * n;
+  out.cubic_s = out.per_bit_test_s * n * n * n;
+  out.quartic_s = out.per_bit_test_s * n * n * n * n;
+  return out;
+}
+
+}  // namespace parbor::mc

@@ -1,0 +1,66 @@
+// DDR3 timing model.
+//
+// Reproduces the paper Appendix's test-time arithmetic for DDR3-1600
+// (JEDEC 79-3F): accessing two cache blocks in a row costs
+// tRCD + 2*tCCD + tRP = 42.5 ns, reading/writing a whole 8 KB row costs
+// tRCD + 128*tCCD + tRP = 667.5 ns, and a full 2 GB module sweep costs
+// ~174.98 ms.  These numbers drive the Appendix bench and the test-host's
+// simulated clock.
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+
+namespace parbor::mc {
+
+struct Ddr3Timing {
+  // DDR3-1600 (800 MHz bus clock, tCK = 1.25 ns).
+  double tCK_ns = 1.25;
+  double tRCD_ns = 13.75;
+  double tRP_ns = 13.75;
+  double tCCD_ns = 5.0;  // 4 cycles, one 64-byte burst per chip set
+  double tRFC_ns = 260.0;     // 4 Gbit-class parts
+  double tREFI_us = 7.8;
+  double refresh_interval_ms = 64.0;
+
+  // Time to open a row, transfer `bursts` cache blocks, and precharge.
+  SimTime row_access(std::uint64_t bursts) const {
+    return SimTime::ns(tRCD_ns + tCCD_ns * static_cast<double>(bursts) +
+                       tRP_ns);
+  }
+
+  // Appendix: read/write two cache blocks = tRCD + 2*tCCD + tRP = 42.5 ns.
+  SimTime two_block_access() const { return row_access(2); }
+
+  // Appendix: read/write one 8 KB row = tRCD + 128*tCCD + tRP = 667.5 ns.
+  SimTime full_row_access(std::uint64_t row_bytes = 8192) const {
+    return row_access(row_bytes / 64);
+  }
+
+  // Appendix: reading or writing every row of a module once.
+  SimTime module_sweep(std::uint64_t rows, std::uint64_t row_bytes = 8192) const {
+    return SimTime::ns(full_row_access(row_bytes).nanoseconds() *
+                       static_cast<double>(rows));
+  }
+
+  // Appendix: one whole-module test = write sweep + wait + read sweep.
+  SimTime module_test(std::uint64_t rows, std::uint64_t row_bytes = 8192) const {
+    return module_sweep(rows, row_bytes) +
+           SimTime::ms(refresh_interval_ms) + module_sweep(rows, row_bytes);
+  }
+};
+
+// Appendix test-time estimates, in seconds (doubles: the O(n^4) case
+// overflows any integer-picosecond representation).
+struct NaiveTestTimes {
+  double per_bit_test_s;  // ~ one refresh interval per tested bit
+  double linear_s;        // O(n)
+  double quadratic_s;     // O(n^2)
+  double cubic_s;         // O(n^3)
+  double quartic_s;       // O(n^4)
+};
+
+NaiveTestTimes naive_test_times(const Ddr3Timing& t, std::uint64_t row_bits);
+
+}  // namespace parbor::mc

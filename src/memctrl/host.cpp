@@ -1,0 +1,129 @@
+#include "memctrl/host.h"
+
+#include "common/check.h"
+
+namespace parbor::mc {
+
+TestHost::TestHost(dram::Module& module, Ddr3Timing timing, SimTime test_wait)
+    : module_(&module), timing_(timing), test_wait_(test_wait) {}
+
+std::vector<RowAddr> TestHost::all_rows() const {
+  std::vector<RowAddr> out;
+  const auto& cfg = module_->config();
+  out.reserve(static_cast<std::size_t>(cfg.chips) * cfg.chip.banks *
+              cfg.chip.rows);
+  for (std::uint32_t c = 0; c < cfg.chips; ++c) {
+    for (std::uint32_t b = 0; b < cfg.chip.banks; ++b) {
+      for (std::uint32_t r = 0; r < cfg.chip.rows; ++r) {
+        out.push_back({c, b, r});
+      }
+    }
+  }
+  return out;
+}
+
+void TestHost::write_row(RowAddr addr, const BitVec& sys_bits) {
+  PARBOR_CHECK(addr.chip < module_->chip_count());
+  account_row_op();
+  module_->chip(addr.chip).write_row(addr.bank, addr.row, sys_bits, now_);
+}
+
+BitVec TestHost::read_row(RowAddr addr) {
+  PARBOR_CHECK(addr.chip < module_->chip_count());
+  account_row_op();
+  return module_->chip(addr.chip).read_row(addr.bank, addr.row, now_);
+}
+
+std::vector<std::uint32_t> TestHost::read_row_flips(RowAddr addr) {
+  PARBOR_CHECK(addr.chip < module_->chip_count());
+  account_row_op();
+  return module_->chip(addr.chip).read_row_flips(addr.bank, addr.row, now_);
+}
+
+std::vector<FlipRecord> TestHost::run_test(
+    const std::vector<RowPattern>& patterns) {
+  for (const RowPattern& p : patterns) {
+    PARBOR_CHECK(p.bits != nullptr);
+    write_row(p.addr, *p.bits);
+  }
+  wait(test_wait_);
+  std::vector<FlipRecord> flips;
+  for (const RowPattern& p : patterns) {
+    for (auto bit : read_row_flips(p.addr)) {
+      flips.push_back({p.addr, bit});
+    }
+  }
+  ++tests_run_;
+  return flips;
+}
+
+std::vector<FlipRecord> TestHost::run_generated_test(
+    const std::function<void(RowAddr, BitVec&)>& fill) {
+  const auto& cfg = module_->config();
+  BitVec pattern(cfg.chip.row_bits, false);
+  for (std::uint32_t c = 0; c < cfg.chips; ++c) {
+    for (std::uint32_t b = 0; b < cfg.chip.banks; ++b) {
+      for (std::uint32_t r = 0; r < cfg.chip.rows; ++r) {
+        fill({c, b, r}, pattern);
+        write_row({c, b, r}, pattern);
+      }
+    }
+  }
+  wait(test_wait_);
+  return collect_flips();
+}
+
+std::vector<FlipRecord> TestHost::run_generated_physical_test(
+    const std::function<void(RowAddr, BitVec&)>& fill) {
+  const auto& cfg = module_->config();
+  BitVec pattern(cfg.chip.row_bits, false);
+  for (std::uint32_t c = 0; c < cfg.chips; ++c) {
+    for (std::uint32_t b = 0; b < cfg.chip.banks; ++b) {
+      for (std::uint32_t r = 0; r < cfg.chip.rows; ++r) {
+        fill({c, b, r}, pattern);
+        account_row_op();
+        module_->chip(c).write_row_physical(b, r, pattern, now_);
+      }
+    }
+  }
+  wait(test_wait_);
+  return collect_flips();
+}
+
+std::vector<FlipRecord> TestHost::collect_flips() {
+  const auto& cfg = module_->config();
+  std::vector<FlipRecord> flips;
+  for (std::uint32_t c = 0; c < cfg.chips; ++c) {
+    for (std::uint32_t b = 0; b < cfg.chip.banks; ++b) {
+      for (std::uint32_t r = 0; r < cfg.chip.rows; ++r) {
+        account_row_op();
+        for (auto bit : module_->chip(c).read_row_flips(b, r, now_)) {
+          flips.push_back({{c, b, r}, bit});
+        }
+      }
+    }
+  }
+  ++tests_run_;
+  return flips;
+}
+
+std::vector<FlipRecord> TestHost::run_broadcast_test(
+    const BitVec& sys_pattern) {
+  const auto& cfg = module_->config();
+  PARBOR_CHECK(sys_pattern.size() == cfg.chip.row_bits);
+  // All chips of a module share the vendor scrambler, so one physical
+  // permutation serves the whole module.
+  const BitVec phys = module_->chip(0).permute_to_physical(sys_pattern);
+  for (std::uint32_t c = 0; c < cfg.chips; ++c) {
+    for (std::uint32_t b = 0; b < cfg.chip.banks; ++b) {
+      for (std::uint32_t r = 0; r < cfg.chip.rows; ++r) {
+        account_row_op();
+        module_->chip(c).write_row_physical(b, r, phys, now_);
+      }
+    }
+  }
+  wait(test_wait_);
+  return collect_flips();
+}
+
+}  // namespace parbor::mc

@@ -1,0 +1,104 @@
+// System-level test host (the role the paper's FPGA/SoftMC infrastructure
+// plays): row-granularity read/write on system bit addresses, a simulated
+// wall clock advanced by DDR3 timing, and test bookkeeping.
+//
+// A "test" in PARBOR's accounting is one write/wait/read iteration: write
+// patterns into the target rows, let the content sit for the (elevated) test
+// refresh interval so minimum-charge cells become vulnerable, then read back
+// and record which bits flipped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/sim_time.h"
+#include "dram/module.h"
+#include "memctrl/ddr3.h"
+
+namespace parbor::mc {
+
+struct RowAddr {
+  std::uint32_t chip = 0;
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+
+  auto operator<=>(const RowAddr&) const = default;
+};
+
+// One bit-flip observation: which row, and which system bit address.
+struct FlipRecord {
+  RowAddr addr;
+  std::uint32_t sys_bit = 0;
+
+  auto operator<=>(const FlipRecord&) const = default;
+};
+
+// A per-row test pattern (system address space).
+struct RowPattern {
+  RowAddr addr;
+  const BitVec* bits = nullptr;  // width == row_bits, not owned
+};
+
+class TestHost {
+ public:
+  explicit TestHost(dram::Module& module, Ddr3Timing timing = {},
+                    SimTime test_wait = SimTime::sec(4));
+
+  dram::Module& module() { return *module_; }
+  const Ddr3Timing& timing() const { return timing_; }
+  SimTime now() const { return now_; }
+  SimTime test_wait() const { return test_wait_; }
+  std::uint64_t tests_run() const { return tests_run_; }
+  std::uint64_t row_operations() const { return row_ops_; }
+
+  std::uint32_t row_bits() const { return module_->config().chip.row_bits; }
+
+  // Every (chip, bank, row) triple of the module, in address order.
+  std::vector<RowAddr> all_rows() const;
+
+  // --- raw access (each call advances the clock by one row access) -------
+  void write_row(RowAddr addr, const BitVec& sys_bits);
+  BitVec read_row(RowAddr addr);
+  std::vector<std::uint32_t> read_row_flips(RowAddr addr);
+  void wait(SimTime duration) { now_ += duration; }
+
+  // --- test iterations ----------------------------------------------------
+  // Write the given per-row patterns, wait the test interval, read back.
+  // Returns every flip observed in the written rows.
+  std::vector<FlipRecord> run_test(const std::vector<RowPattern>& patterns);
+
+  // Broadcast one pattern to every row of the module (permuted once per
+  // chip — all chips of a module share the scrambler), wait, read back.
+  std::vector<FlipRecord> run_broadcast_test(const BitVec& sys_pattern);
+
+  // Same, but with a caller-supplied per-row pattern generator (used by the
+  // random baseline, where every row gets fresh random content).
+  std::vector<FlipRecord> run_generated_test(
+      const std::function<void(RowAddr, BitVec&)>& fill);
+
+  // Physical-space variant: the generator fills the row in physical column
+  // order and the scrambler permutation is skipped.  Only meaningful for
+  // content whose distribution is permutation-invariant (random patterns).
+  std::vector<FlipRecord> run_generated_physical_test(
+      const std::function<void(RowAddr, BitVec&)>& fill);
+
+ private:
+  // Reads every row of the module, collecting flips, and closes the test.
+  std::vector<FlipRecord> collect_flips();
+
+  dram::Module* module_;
+  Ddr3Timing timing_;
+  SimTime test_wait_;
+  SimTime now_;
+  std::uint64_t tests_run_ = 0;
+  std::uint64_t row_ops_ = 0;
+
+  void account_row_op() {
+    now_ += timing_.full_row_access(row_bits() / 8);
+    ++row_ops_;
+  }
+};
+
+}  // namespace parbor::mc

@@ -1,0 +1,87 @@
+#include "memctrl/program.h"
+
+#include "common/check.h"
+
+namespace parbor::mc {
+
+std::uint32_t TestProgram::add_pattern(BitVec pattern) {
+  patterns_.push_back(std::move(pattern));
+  return static_cast<std::uint32_t>(patterns_.size() - 1);
+}
+
+const BitVec& TestProgram::pattern(std::uint32_t index) const {
+  PARBOR_CHECK(index < patterns_.size());
+  return patterns_[index];
+}
+
+TestProgram& TestProgram::write_row(RowAddr addr,
+                                    std::uint32_t pattern_index) {
+  PARBOR_CHECK(pattern_index < patterns_.size());
+  ops_.push_back({Op::Kind::kWriteRow, addr, pattern_index, {}});
+  return *this;
+}
+
+TestProgram& TestProgram::write_all_rows(std::uint32_t pattern_index) {
+  PARBOR_CHECK(pattern_index < patterns_.size());
+  ops_.push_back({Op::Kind::kWriteAllRows, {}, pattern_index, {}});
+  return *this;
+}
+
+TestProgram& TestProgram::wait(SimTime duration) {
+  ops_.push_back({Op::Kind::kWait, {}, 0, duration});
+  return *this;
+}
+
+TestProgram& TestProgram::read_row(RowAddr addr) {
+  ops_.push_back({Op::Kind::kReadRow, addr, 0, {}});
+  return *this;
+}
+
+TestProgram& TestProgram::read_all_rows() {
+  ops_.push_back({Op::Kind::kReadAllRows, {}, 0, {}});
+  return *this;
+}
+
+ProgramResult execute_program(TestHost& host, const TestProgram& program) {
+  ProgramResult result;
+  const SimTime start = host.now();
+  const std::uint64_t ops_before = host.row_operations();
+
+  for (const TestProgram::Op& op : program.ops()) {
+    switch (op.kind) {
+      case TestProgram::Op::Kind::kWriteRow:
+        host.write_row(op.addr, program.pattern(op.pattern_index));
+        break;
+      case TestProgram::Op::Kind::kWriteAllRows: {
+        // Broadcast through the physical fast path, like the host's own
+        // broadcast test: one scrambler pass for the whole module.
+        const BitVec& pattern = program.pattern(op.pattern_index);
+        PARBOR_CHECK(pattern.size() == host.row_bits());
+        for (const RowAddr& addr : host.all_rows()) {
+          host.write_row(addr, pattern);
+        }
+        break;
+      }
+      case TestProgram::Op::Kind::kWait:
+        host.wait(op.duration);
+        break;
+      case TestProgram::Op::Kind::kReadRow:
+        for (auto bit : host.read_row_flips(op.addr)) {
+          result.flips.push_back({op.addr, bit});
+        }
+        break;
+      case TestProgram::Op::Kind::kReadAllRows:
+        for (const RowAddr& addr : host.all_rows()) {
+          for (auto bit : host.read_row_flips(addr)) {
+            result.flips.push_back({addr, bit});
+          }
+        }
+        break;
+    }
+  }
+  result.elapsed = host.now() - start;
+  result.row_ops = host.row_operations() - ops_before;
+  return result;
+}
+
+}  // namespace parbor::mc

@@ -1,0 +1,64 @@
+// SoftMC-style test programs.
+//
+// The paper's FPGA infrastructure executes host-composed sequences of DRAM
+// operations without per-operation host round-trips.  A TestProgram is that
+// sequence: row writes (per-row or broadcast), precise waits, and row reads
+// whose mismatches are returned to the host in one batch.  Patterns are
+// stored once in a pool and referenced by index, mirroring the FPGA's
+// pattern buffers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "memctrl/host.h"
+
+namespace parbor::mc {
+
+class TestProgram {
+ public:
+  struct Op {
+    enum class Kind {
+      kWriteRow,      // write pattern[pattern_index] to addr
+      kWriteAllRows,  // broadcast pattern[pattern_index] to every row
+      kWait,          // advance time by duration
+      kReadRow,       // read addr, record flips
+      kReadAllRows,   // read every row, record flips
+    };
+    Kind kind;
+    RowAddr addr;
+    std::uint32_t pattern_index = 0;
+    SimTime duration;
+  };
+
+  // Registers a pattern in the pool; returns its index.
+  std::uint32_t add_pattern(BitVec pattern);
+  const BitVec& pattern(std::uint32_t index) const;
+  std::size_t pattern_count() const { return patterns_.size(); }
+
+  TestProgram& write_row(RowAddr addr, std::uint32_t pattern_index);
+  TestProgram& write_all_rows(std::uint32_t pattern_index);
+  TestProgram& wait(SimTime duration);
+  TestProgram& read_row(RowAddr addr);
+  TestProgram& read_all_rows();
+
+  const std::vector<Op>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+
+ private:
+  std::vector<Op> ops_;
+  std::vector<BitVec> patterns_;
+};
+
+struct ProgramResult {
+  std::vector<FlipRecord> flips;
+  SimTime elapsed;            // simulated execution time
+  std::uint64_t row_ops = 0;  // row-level DRAM operations performed
+};
+
+// Executes the program against the host's module.  Patterns must match the
+// module's row width; addresses must be in range (checked).
+ProgramResult execute_program(TestHost& host, const TestProgram& program);
+
+}  // namespace parbor::mc

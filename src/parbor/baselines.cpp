@@ -1,0 +1,126 @@
+#include "parbor/baselines.h"
+
+#include <algorithm>
+
+#include "common/bitvec.h"
+
+namespace parbor::core {
+
+CampaignResult run_random_campaign(mc::TestHost& host, std::uint64_t tests,
+                                   std::uint64_t seed) {
+  CampaignResult result;
+  Rng rng = Rng(seed).fork("random-campaign");
+  for (std::uint64_t t = 0; t < tests; ++t) {
+    // Uniformly random content is permutation-invariant, so it can be
+    // generated directly in physical space (skipping the scrambler pass).
+    const auto flips = host.run_generated_physical_test(
+        [&](mc::RowAddr, BitVec& bits) { bits.fill_random(rng); });
+    for (const auto& f : flips) result.cells.insert(f);
+    ++result.tests;
+  }
+  return result;
+}
+
+CampaignResult run_simple_campaign(mc::TestHost& host) {
+  CampaignResult result;
+  const std::uint32_t row_bits = host.row_bits();
+  std::vector<BitVec> patterns;
+  patterns.emplace_back(row_bits, false);  // all 0s
+  patterns.emplace_back(row_bits, true);   // all 1s
+  BitVec checker(row_bits);
+  for (std::uint32_t b = 0; b < row_bits; b += 2) checker.set(b, true);
+  patterns.push_back(checker);   // 0x55...
+  patterns.push_back(~checker);  // 0xAA...
+  for (const BitVec& p : patterns) {
+    for (const auto& f : host.run_broadcast_test(p)) result.cells.insert(f);
+    ++result.tests;
+  }
+  return result;
+}
+
+std::set<std::int64_t> exhaustive_neighbor_search(mc::TestHost& host,
+                                                  const Victim& victim,
+                                                  std::uint64_t* tests_out) {
+  const std::uint32_t n = host.row_bits();
+  std::uint64_t tests = 0;
+  BitVec pattern(n);
+  bool have_intersection = false;
+  std::set<std::uint32_t> intersection;
+  for (std::uint32_t a = 0; a < n; ++a) {
+    if (a == victim.sys_bit) continue;
+    for (std::uint32_t b = a + 1; b < n; ++b) {
+      if (b == victim.sys_bit) continue;
+      pattern.fill(victim.fail_data);
+      pattern.set(a, !victim.fail_data);
+      pattern.set(b, !victim.fail_data);
+      std::vector<mc::RowPattern> rows{{victim.addr, &pattern}};
+      const auto flips = host.run_test(rows);
+      ++tests;
+      const bool failed =
+          std::any_of(flips.begin(), flips.end(), [&](const mc::FlipRecord& f) {
+            return f.addr == victim.addr && f.sys_bit == victim.sys_bit;
+          });
+      if (!failed) continue;
+      // The coupled neighbours are exactly the cells present in every
+      // failing pair: a strongly coupled victim fails for any pair that
+      // includes its strong neighbour; a weakly coupled one only for the
+      // pair of both neighbours.
+      if (!have_intersection) {
+        intersection = {a, b};
+        have_intersection = true;
+      } else {
+        std::set<std::uint32_t> keep;
+        if (intersection.contains(a)) keep.insert(a);
+        if (intersection.contains(b)) keep.insert(b);
+        intersection = std::move(keep);
+      }
+    }
+  }
+  if (tests_out != nullptr) *tests_out = tests;
+  std::set<std::int64_t> distances;
+  for (auto bit : intersection) {
+    distances.insert(static_cast<std::int64_t>(bit) -
+                     static_cast<std::int64_t>(victim.sys_bit));
+  }
+  return distances;
+}
+
+std::set<std::int64_t> linear_neighbor_search(
+    mc::TestHost& host, const std::vector<Victim>& victims,
+    std::uint64_t* tests_out) {
+  const std::uint32_t n = host.row_bits();
+  std::uint64_t tests = 0;
+  std::set<std::int64_t> distances;
+  BitVec pattern(n);
+  // Test bit offset o (victim-relative) for all victims simultaneously.
+  for (std::int64_t offset = -static_cast<std::int64_t>(n) + 1;
+       offset < static_cast<std::int64_t>(n); ++offset) {
+    if (offset == 0) continue;
+    std::vector<BitVec> storage;
+    std::vector<const Victim*> tested;
+    for (const Victim& v : victims) {
+      const std::int64_t bit = static_cast<std::int64_t>(v.sys_bit) + offset;
+      if (bit < 0 || bit >= static_cast<std::int64_t>(n)) continue;
+      pattern.fill(v.fail_data);
+      pattern.set(static_cast<std::size_t>(bit), !v.fail_data);
+      storage.push_back(pattern);
+      tested.push_back(&v);
+    }
+    if (tested.empty()) continue;
+    std::vector<mc::RowPattern> rows;
+    rows.reserve(storage.size());
+    for (std::size_t i = 0; i < storage.size(); ++i) {
+      rows.push_back({tested[i]->addr, &storage[i]});
+    }
+    const auto flips = host.run_test(rows);
+    ++tests;
+    const std::set<mc::FlipRecord> flip_set(flips.begin(), flips.end());
+    for (const Victim* v : tested) {
+      if (flip_set.contains({v->addr, v->sys_bit})) distances.insert(offset);
+    }
+  }
+  if (tests_out != nullptr) *tests_out = tests;
+  return distances;
+}
+
+}  // namespace parbor::core

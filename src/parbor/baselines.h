@@ -1,0 +1,35 @@
+// Baseline test campaigns PARBOR is compared against, plus the naive
+// neighbour-location searches whose cost motivates the whole paper.
+#pragma once
+
+#include "common/rng.h"
+#include "parbor/fullchip.h"
+#include "parbor/types.h"
+
+namespace parbor::core {
+
+// Random-pattern testing (§7.2's equal-budget comparison): `tests` rounds,
+// each writing fresh per-row random content to the whole module.
+CampaignResult run_random_campaign(mc::TestHost& host, std::uint64_t tests,
+                                   std::uint64_t seed);
+
+// The "simple patterns" strawman from §3: all-0s, all-1s, 0x55/0xAA
+// checkerboards, and row stripes — each with its inverse already included.
+CampaignResult run_simple_campaign(mc::TestHost& host);
+
+// Naive exhaustive two-bit neighbour search (§3 challenge 2): for one
+// victim, tests every pair of other bit addresses in the row with the
+// worst-case pattern — O(n^2) tests.  Returns the signed distances of the
+// cells that are present in EVERY failing pair (the coupled neighbours).
+// Only feasible for small rows; used to cross-validate PARBOR's results.
+std::set<std::int64_t> exhaustive_neighbor_search(mc::TestHost& host,
+                                                  const Victim& victim,
+                                                  std::uint64_t* tests_out);
+
+// Linear O(n) search (§4.1): one bit at a time, all victim rows in
+// parallel; finds the strong-side neighbour distances only.
+std::set<std::int64_t> linear_neighbor_search(
+    mc::TestHost& host, const std::vector<Victim>& victims,
+    std::uint64_t* tests_out);
+
+}  // namespace parbor::core

@@ -1,0 +1,57 @@
+#include "parbor/classic_tests.h"
+
+namespace parbor::core {
+
+CampaignResult run_march_cm_campaign(mc::TestHost& host) {
+  CampaignResult result;
+  const std::uint32_t row_bits = host.row_bits();
+  const BitVec zeros(row_bits, false);
+  const BitVec ones(row_bits, true);
+
+  // Row-granularity March C-: each element writes its value everywhere,
+  // holds for the test interval, and the next element's read phase is the
+  // broadcast read that follows.  The read-check of element k is fused into
+  // the flip collection of the broadcast test.
+  //
+  //   up(w0)        -> write zeros
+  //   up(r0, w1)    -> read (collect), write ones
+  //   up(r1, w0)    -> read, write zeros
+  //   down(r0, w1)  -> read, write ones
+  //   down(r1, w0)  -> read, write zeros
+  //   down(r0)      -> read
+  //
+  // Ascending/descending order does not change behaviour in this model
+  // (broadcast writes are order-independent), but the element sequence and
+  // the retention pauses match the manufacturing-style procedure.
+  for (const BitVec* element : {&zeros, &ones, &zeros, &ones, &zeros}) {
+    for (const auto& flip : host.run_broadcast_test(*element)) {
+      result.cells.insert(flip);
+    }
+    ++result.tests;
+  }
+  return result;
+}
+
+CampaignResult run_npsf_campaign(
+    mc::TestHost& host, const std::set<std::int64_t>& assumed_distances) {
+  CampaignResult result;
+  // The NPSF base cell + deleted neighbourhood reduces to exactly the
+  // round-pattern machinery, with the *assumed* distance set instead of a
+  // measured one: every bit is placed at the worst case of the assumed
+  // neighbourhood once per polarity.
+  const RoundPlan plan =
+      make_round_plan(assumed_distances, host.row_bits());
+  for (std::size_t r = 0; r < plan.rounds.size(); ++r) {
+    for (bool polarity : {true, false}) {
+      const BitVec pattern =
+          round_pattern(plan, r, polarity, host.row_bits());
+      for (const auto& flip : host.run_broadcast_test(pattern)) {
+        result.cells.insert(flip);
+      }
+      ++result.tests;
+    }
+  }
+  return result;
+}
+
+}  // namespace parbor::core

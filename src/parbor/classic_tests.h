@@ -1,0 +1,34 @@
+// Classical memory-test baselines (§2.3 manufacturing tests, §9 BIST
+// discussion): March C- and a neighbourhood pattern-sensitive fault (NPSF)
+// test that assumes UNSCRAMBLED adjacency.
+//
+// Both are retention-aware variants: after each write element the content
+// sits for the host's test interval before being read back, the way
+// manufacturers test data-dependent failures at minimum charge (§2.3).
+// Their blind spot is exactly the paper's motivation: without knowledge of
+// the internal address mapping, "neighbouring" system addresses are not
+// neighbouring cells, so the NPSF worst-case pattern never lands on the
+// real physical neighbourhood.
+#pragma once
+
+#include "parbor/fullchip.h"
+
+namespace parbor::core {
+
+// March C- adapted to row-granularity system-level testing:
+//   up(w0); up(r0,w1); up(r1,w0); down(r0,w1); down(r1,w0); down(r0)
+// with a retention pause before every read element.  Catches stuck-at,
+// transition, and retention (weak-cell) faults; coupling faults only if
+// they happen to be excited by solid content (they are not, by §2.3).
+CampaignResult run_march_cm_campaign(mc::TestHost& host);
+
+// Type-1 (row-neighbourhood) NPSF sweep assuming system-address adjacency:
+// every bit is tested with its system-space ±distance neighbours holding
+// the opposite value, for each distance in `assumed_distances` (default:
+// the unscrambled {1}).  This is what BIST schemes that "know" the layout
+// run; at the system level the assumption is wrong for scrambled parts.
+CampaignResult run_npsf_campaign(
+    mc::TestHost& host,
+    const std::set<std::int64_t>& assumed_distances = {1});
+
+}  // namespace parbor::core

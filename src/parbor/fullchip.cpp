@@ -1,0 +1,20 @@
+#include "parbor/fullchip.h"
+
+namespace parbor::core {
+
+CampaignResult run_fullchip_test(mc::TestHost& host, const RoundPlan& plan) {
+  CampaignResult result;
+  const std::uint32_t row_bits = host.row_bits();
+  for (std::size_t r = 0; r < plan.rounds.size(); ++r) {
+    for (bool tested_value : {true, false}) {
+      const BitVec pattern = round_pattern(plan, r, tested_value, row_bits);
+      for (const auto& flip : host.run_broadcast_test(pattern)) {
+        result.cells.insert(flip);
+      }
+      ++result.tests;
+    }
+  }
+  return result;
+}
+
+}  // namespace parbor::core

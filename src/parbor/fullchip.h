@@ -1,0 +1,20 @@
+// Full-chip data-dependent failure detection (§5.2.5, §7.2): runs the
+// neighbour-aware round patterns (and their inverses) over the whole module
+// and collects every cell that flipped.
+#pragma once
+
+#include <set>
+
+#include "parbor/patterns.h"
+#include "parbor/types.h"
+
+namespace parbor::core {
+
+struct CampaignResult {
+  std::set<mc::FlipRecord> cells;  // distinct failing cells observed
+  std::uint64_t tests = 0;
+};
+
+CampaignResult run_fullchip_test(mc::TestHost& host, const RoundPlan& plan);
+
+}  // namespace parbor::core

@@ -1,0 +1,54 @@
+// Mitigation planning from a detection campaign.
+//
+// The point of system-level detection (§1, §3) is enabling in-field
+// mitigation: once the data-dependent failures are known, the system can
+// retire pages, repair individual bits with spare/ECC resources, or keep
+// vulnerable rows on a fast refresh schedule (the DC-REF family).  This
+// module turns a campaign's failure set into a concrete plan and quantifies
+// each policy's overhead, and can verify a plan's coverage against a fresh
+// campaign on the same module.
+#pragma once
+
+#include "parbor/fullchip.h"
+
+namespace parbor::core {
+
+enum class MitigationPolicy {
+  kRetireRows,       // map out every row containing a failing cell
+  kBitRepair,        // remap each failing bit onto spare/ECC resources
+  kTargetedRefresh,  // keep failing rows on the fast refresh schedule
+};
+
+std::string mitigation_policy_name(MitigationPolicy policy);
+
+struct MitigationPlan {
+  MitigationPolicy policy = MitigationPolicy::kRetireRows;
+  std::set<mc::RowAddr> rows;        // retired or fast-refreshed rows
+  std::set<mc::FlipRecord> bits;     // individually repaired bits
+
+  // Storage overhead of the plan, in bits, for a given row width.  Row
+  // retirement costs whole rows; bit repair costs one spare bit (plus
+  // mapping metadata, ignored here) per failure; targeted refresh costs no
+  // capacity (it costs refresh energy instead).
+  std::uint64_t capacity_cost_bits(std::uint32_t row_bits) const;
+  double capacity_cost_fraction(std::uint32_t row_bits,
+                                std::uint64_t total_rows) const;
+};
+
+MitigationPlan plan_mitigation(const CampaignResult& campaign,
+                               MitigationPolicy policy);
+
+struct MitigationCheck {
+  std::uint64_t failures_seen = 0;
+  std::uint64_t covered = 0;    // failures the plan mitigates
+  std::uint64_t residual = 0;   // failures the plan would let through
+};
+
+// Re-runs the neighbour-aware campaign and checks every observed failure
+// against the plan.  kTargetedRefresh additionally verifies that the
+// vulnerable rows genuinely survive at the NOMINAL (64 ms) interval —
+// the condition that makes refresh-based mitigation sound.
+MitigationCheck verify_mitigation(mc::TestHost& host, const RoundPlan& plan,
+                                  const MitigationPlan& mitigation);
+
+}  // namespace parbor::core

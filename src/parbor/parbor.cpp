@@ -1,0 +1,45 @@
+#include "parbor/parbor.h"
+
+#include "common/check.h"
+
+namespace parbor::core {
+
+namespace {
+
+void validate(const ParborConfig& config) {
+  PARBOR_CHECK_MSG(config.subdivision >= 2, "subdivision must be >= 2");
+  PARBOR_CHECK_MSG(config.rank_threshold >= 0.0 &&
+                       config.rank_threshold <= 1.0,
+                   "rank_threshold must be in [0, 1]");
+  PARBOR_CHECK_MSG(config.marginal_discard_frac > 0.0 &&
+                       config.marginal_discard_frac <= 1.0,
+                   "marginal_discard_frac must be in (0, 1]");
+  PARBOR_CHECK_MSG(config.max_victims >= 1, "need at least one victim");
+  PARBOR_CHECK_MSG(config.discovery_patterns >= 1,
+                   "need at least one discovery pattern");
+}
+
+}  // namespace
+
+ParborReport run_parbor_search_only(mc::TestHost& host,
+                                    const ParborConfig& config) {
+  validate(config);
+  ParborReport report;
+  report.discovery = discover_victims(host, config);
+  report.search =
+      find_neighbor_distances(host, report.discovery.victims, config);
+  return report;
+}
+
+ParborReport run_parbor(mc::TestHost& host, const ParborConfig& config) {
+  ParborReport report = run_parbor_search_only(host, config);
+  PARBOR_CHECK_MSG(!report.search.distances.empty(),
+                   "PARBOR found no neighbour distances; the module appears "
+                   "to have no data-dependent failures to characterise");
+  report.plan = make_round_plan(report.search.abs_distances(),
+                                host.row_bits());
+  report.fullchip = run_fullchip_test(host, report.plan);
+  return report;
+}
+
+}  // namespace parbor::core

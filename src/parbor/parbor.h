@@ -1,0 +1,51 @@
+// PARBOR: PArallel Recursive neighBOR testing — public API facade.
+//
+// Usage:
+//   dram::Module module(dram::make_module_config(dram::Vendor::kA, 1,
+//                                                dram::Scale::kMedium));
+//   mc::TestHost host(module);
+//   core::ParborReport report = core::run_parbor(host, {});
+//   // report.search.distances   -> neighbour locations in system space
+//   // report.fullchip.cells     -> every data-dependent failure detected
+//   // report.total_tests()      -> end-to-end test budget
+#pragma once
+
+#include "parbor/baselines.h"
+#include "parbor/fullchip.h"
+#include "parbor/patterns.h"
+#include "parbor/recursive.h"
+#include "parbor/types.h"
+#include "parbor/victims.h"
+
+namespace parbor::core {
+
+struct ParborReport {
+  DiscoveryReport discovery;
+  NeighborSearchResult search;
+  RoundPlan plan;
+  CampaignResult fullchip;
+
+  std::uint64_t total_tests() const {
+    return discovery.tests + search.tests + fullchip.tests;
+  }
+
+  // Every failing cell the whole pipeline observed (discovery + full-chip
+  // campaign) — the paper's "failures detected by PARBOR".
+  std::set<mc::FlipRecord> all_detected() const {
+    std::set<mc::FlipRecord> out = discovery.observed;
+    out.insert(fullchip.cells.begin(), fullchip.cells.end());
+    return out;
+  }
+};
+
+// Runs the complete five-step pipeline (§5.1): victim discovery, parallel
+// recursive neighbour search with filtering, and the neighbour-aware
+// full-chip failure detection campaign.
+ParborReport run_parbor(mc::TestHost& host, const ParborConfig& config = {});
+
+// Steps 1-4 only: determine the neighbour distance set (used by DC-REF and
+// by callers that bring their own detection campaign).
+ParborReport run_parbor_search_only(mc::TestHost& host,
+                                    const ParborConfig& config = {});
+
+}  // namespace parbor::core

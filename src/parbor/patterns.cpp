@@ -1,0 +1,157 @@
+#include "parbor/patterns.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+
+namespace parbor::core {
+
+namespace {
+
+// Cyclic (mod chunk) interference check between two offsets.
+bool conflicts(std::uint32_t a, std::uint32_t b,
+               const std::set<std::int64_t>& d, std::uint32_t chunk) {
+  const std::uint32_t fwd = a < b ? b - a : a - b;
+  const std::uint32_t wrap = chunk - fwd;
+  return d.contains(static_cast<std::int64_t>(fwd)) ||
+         d.contains(static_cast<std::int64_t>(wrap));
+}
+
+bool round_is_independent(const std::vector<std::uint32_t>& round,
+                          const std::set<std::int64_t>& d,
+                          std::uint32_t chunk) {
+  for (std::size_t i = 0; i < round.size(); ++i) {
+    for (std::size_t j = i + 1; j < round.size(); ++j) {
+      if (conflicts(round[i], round[j], d, chunk)) return false;
+    }
+  }
+  return true;
+}
+
+bool plan_is_valid(const RoundPlan& plan, const std::set<std::int64_t>& d) {
+  std::vector<bool> covered(plan.chunk, false);
+  for (const auto& round : plan.rounds) {
+    if (!round_is_independent(round, d, plan.chunk)) return false;
+    for (auto o : round) {
+      if (o >= plan.chunk || covered[o]) return false;
+      covered[o] = true;
+    }
+  }
+  return std::all_of(covered.begin(), covered.end(),
+                     [](bool c) { return c; });
+}
+
+RoundPlan contiguous_plan(std::uint32_t chunk, std::uint32_t group) {
+  RoundPlan plan;
+  plan.chunk = chunk;
+  for (std::uint32_t start = 0; start < chunk; start += group) {
+    std::vector<std::uint32_t> round;
+    for (std::uint32_t o = start; o < std::min(start + group, chunk); ++o) {
+      round.push_back(o);
+    }
+    plan.rounds.push_back(std::move(round));
+  }
+  return plan;
+}
+
+RoundPlan strided_plan(std::uint32_t chunk) {
+  // Windows of 32 bits, four rounds per window with stride-4 groups.
+  RoundPlan plan;
+  plan.chunk = chunk;
+  for (std::uint32_t w = 0; w * 32 < chunk; ++w) {
+    for (std::uint32_t q = 0; q < 4; ++q) {
+      std::vector<std::uint32_t> round;
+      for (std::uint32_t j = 0; j < 8; ++j) {
+        const std::uint32_t o = w * 32 + q + 4 * j;
+        if (o < chunk) round.push_back(o);
+      }
+      if (!round.empty()) plan.rounds.push_back(std::move(round));
+    }
+  }
+  return plan;
+}
+
+RoundPlan greedy_plan(std::uint32_t chunk, const std::set<std::int64_t>& d) {
+  RoundPlan plan;
+  plan.chunk = chunk;
+  for (std::uint32_t o = 0; o < chunk; ++o) {
+    bool placed = false;
+    for (auto& round : plan.rounds) {
+      bool ok = true;
+      for (auto existing : round) {
+        if (conflicts(existing, o, d, chunk)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        round.push_back(o);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) plan.rounds.push_back({o});
+  }
+  return plan;
+}
+
+}  // namespace
+
+namespace {
+
+std::uint32_t checked_chunk(const std::set<std::int64_t>& abs_distances,
+                            std::uint32_t row_bits) {
+  PARBOR_CHECK_MSG(!abs_distances.empty(),
+                   "cannot build a round plan from an empty distance set");
+  for (auto d : abs_distances) PARBOR_CHECK(d > 0);
+  const auto dmax = static_cast<std::uint32_t>(*abs_distances.rbegin());
+  PARBOR_CHECK(dmax < row_bits / 2);
+  return std::min(2 * std::bit_ceil(dmax), row_bits);
+}
+
+}  // namespace
+
+RoundPlan make_round_plan_greedy(const std::set<std::int64_t>& abs_distances,
+                                 std::uint32_t row_bits) {
+  const std::uint32_t chunk = checked_chunk(abs_distances, row_bits);
+  RoundPlan plan = greedy_plan(chunk, abs_distances);
+  PARBOR_CHECK_MSG(plan_is_valid(plan, abs_distances),
+                   "greedy round plan failed validation");
+  return plan;
+}
+
+RoundPlan make_round_plan(const std::set<std::int64_t>& abs_distances,
+                          std::uint32_t row_bits) {
+  const std::uint32_t chunk = checked_chunk(abs_distances, row_bits);
+  const auto dmin = static_cast<std::uint32_t>(*abs_distances.begin());
+
+  RoundPlan plan;
+  if (dmin >= 8) {
+    plan = contiguous_plan(chunk, dmin);
+    if (plan_is_valid(plan, abs_distances)) return plan;
+  }
+  if (chunk % 32 == 0) {
+    plan = strided_plan(chunk);
+    if (plan_is_valid(plan, abs_distances)) return plan;
+  }
+  plan = greedy_plan(chunk, abs_distances);
+  PARBOR_CHECK_MSG(plan_is_valid(plan, abs_distances),
+                   "greedy round plan failed validation");
+  return plan;
+}
+
+BitVec round_pattern(const RoundPlan& plan, std::size_t round,
+                     bool tested_value, std::uint32_t row_bits) {
+  PARBOR_CHECK(round < plan.rounds.size());
+  BitVec pattern(row_bits, !tested_value);
+  for (std::uint32_t base = 0; base < row_bits; base += plan.chunk) {
+    for (auto o : plan.rounds[round]) {
+      const std::uint32_t bit = base + o;
+      if (bit < row_bits) pattern.set(bit, tested_value);
+    }
+  }
+  return pattern;
+}
+
+}  // namespace parbor::core

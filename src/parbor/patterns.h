@@ -1,0 +1,58 @@
+// Step 5 of PARBOR (§5.2.5): neighbour-location-aware test patterns.
+//
+// Knowing that every physically coupled pair of cells sits within the
+// distance set D in system-address space, the full-chip test partitions the
+// row into chunks of length 2 * ceil_pow2(max|D|) and, inside each chunk,
+// schedules bits into rounds such that no two bits tested in the same round
+// can interfere (their cyclic chunk distance is never in D).  Tested bits
+// hold value v while every other bit of the row holds ~v, so each tested
+// bit sees the full worst-case interference from all its neighbours.  Every
+// round is also run with the inverse pattern to cover true and anti cells.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace parbor::core {
+
+struct RoundPlan {
+  std::uint32_t chunk = 0;  // chunk length in bits
+  // Offsets (within a chunk) tested in each round; rounds partition
+  // [0, chunk).
+  std::vector<std::vector<std::uint32_t>> rounds;
+
+  // Number of write/wait/read tests the full-chip campaign performs:
+  // one per round per polarity.
+  std::uint64_t total_tests() const { return 2 * rounds.size(); }
+};
+
+// Builds the round plan for a distance set.  Strategy:
+//  * if min|D| >= 8: contiguous groups of min|D| bits (the paper's scheme —
+//    16 rounds for vendor A, 8 for vendor C);
+//  * else: stride-4 groups inside 32-bit windows (16 rounds for vendor B,
+//    which also keeps second/third physical neighbours unshielded for
+//    boustrophedon-style mappings);
+//  * fallback: greedy independent-set partition for exotic distance sets.
+// The returned plan is always validated: no two same-round offsets may be at
+// a cyclic distance contained in D.
+RoundPlan make_round_plan(const std::set<std::int64_t>& abs_distances,
+                          std::uint32_t row_bits);
+
+// Greedy alternative: packs offsets into the fewest rounds that keep the
+// measured distance set independent.  Fewer tests than the paper's scheme,
+// but because only the *immediate*-neighbour distances are known to the
+// algorithm, denser packing can co-test bits that are second/third
+// physical neighbours of each other and shield part of the interference —
+// the scheduler ablation quantifies the coverage cost.
+RoundPlan make_round_plan_greedy(const std::set<std::int64_t>& abs_distances,
+                                 std::uint32_t row_bits);
+
+// The row pattern of one round: bits at tested offsets (replicated across
+// all chunks) hold `tested_value`; everything else holds the inverse.
+BitVec round_pattern(const RoundPlan& plan, std::size_t round,
+                     bool tested_value, std::uint32_t row_bits);
+
+}  // namespace parbor::core

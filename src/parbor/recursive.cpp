@@ -1,0 +1,165 @@
+#include "parbor/recursive.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/bitvec.h"
+#include "common/check.h"
+
+namespace parbor::core {
+
+std::vector<std::uint32_t> level_region_sizes(std::uint32_t row_bits,
+                                              std::uint32_t subdivision) {
+  PARBOR_CHECK(row_bits >= 2 && subdivision >= 2);
+  std::vector<std::uint32_t> sizes;
+  std::uint32_t size = row_bits / 2;  // L1 splits the row in half
+  sizes.push_back(size);
+  while (size > 1) {
+    size = std::max<std::uint32_t>(1, size / subdivision);
+    sizes.push_back(size);
+  }
+  return sizes;
+}
+
+namespace {
+
+// State of one victim during the recursion.
+struct VictimState {
+  Victim v;
+  bool discarded = false;  // dropped as marginal
+  int fails_this_level = 0;
+  std::vector<std::int64_t> distances_this_level;
+};
+
+}  // namespace
+
+NeighborSearchResult find_neighbor_distances(mc::TestHost& host,
+                                             const std::vector<Victim>& victims,
+                                             const ParborConfig& config) {
+  NeighborSearchResult result;
+  const std::uint32_t row_bits = host.row_bits();
+  const auto sizes = level_region_sizes(row_bits, config.subdivision);
+
+  std::vector<VictimState> states;
+  states.reserve(victims.size());
+  for (const Victim& v : victims) states.push_back({v, false, 0, {}});
+
+  // Distances kept at the previous level, in previous-level region units.
+  // Level 0 is the virtual whole-row level: one region, distance 0.
+  std::vector<std::int64_t> prev_found{0};
+  std::uint32_t prev_size = row_bits;
+
+  BitVec pattern(row_bits);
+  for (std::size_t li = 0; li < sizes.size(); ++li) {
+    const std::uint32_t size = sizes[li];
+    const std::uint32_t subdiv = prev_size / size;
+    const auto regions_at_level = static_cast<std::int64_t>(row_bits / size);
+
+    RecursionLevel level;
+    level.level = static_cast<int>(li + 1);
+    level.region_size = size;
+
+    for (auto& s : states) {
+      s.fails_this_level = 0;
+      s.distances_this_level.clear();
+    }
+
+    // One test per (previous-level distance, subregion index) pair, run on
+    // all victim rows simultaneously.
+    for (std::int64_t d_prev : prev_found) {
+      for (std::uint32_t j = 0; j < subdiv; ++j) {
+        std::vector<mc::RowPattern> rows;
+        std::vector<BitVec> storage;
+        std::vector<VictimState*> tested;
+        storage.reserve(states.size());
+        for (auto& s : states) {
+          if (s.discarded) continue;
+          const std::int64_t prev_region = s.v.sys_bit / prev_size;
+          const std::int64_t region =
+              (prev_region + d_prev) * subdiv + static_cast<std::int64_t>(j);
+          if (region < 0 || region >= regions_at_level) continue;
+
+          pattern.fill(s.v.fail_data);
+          pattern.set_range(static_cast<std::size_t>(region) * size,
+                            static_cast<std::size_t>(region + 1) * size,
+                            !s.v.fail_data);
+          // The victim always holds its failing value, even when its own
+          // region is the one under test.
+          pattern.set(s.v.sys_bit, s.v.fail_data);
+          storage.push_back(pattern);
+          tested.push_back(&s);
+        }
+        rows.reserve(storage.size());
+        for (std::size_t i = 0; i < storage.size(); ++i) {
+          rows.push_back({tested[i]->v.addr, &storage[i]});
+        }
+        const auto flips = host.run_test(rows);
+        ++level.tests;
+
+        // Which victims flipped?
+        std::set<mc::FlipRecord> flip_set(flips.begin(), flips.end());
+        for (VictimState* s : tested) {
+          if (!flip_set.contains({s->v.addr, s->v.sys_bit})) continue;
+          ++s->fails_this_level;
+          const std::int64_t victim_region = s->v.sys_bit / size;
+          const std::int64_t prev_region = s->v.sys_bit / prev_size;
+          const std::int64_t tested_region =
+              (prev_region + d_prev) * subdiv + static_cast<std::int64_t>(j);
+          s->distances_this_level.push_back(tested_region - victim_region);
+        }
+      }
+    }
+
+    // §5.2.4 step 1: a victim that failed in most of the level's tests is a
+    // marginal cell, not a data-dependent one; drop all its evidence.  A
+    // strongly coupled cell has exactly one neighbour region per level, so
+    // failing in (almost) every test is incompatible with data dependence.
+    const auto tests_at_level = static_cast<double>(level.tests);
+    if (config.enable_marginal_discard) {
+      // A strongly coupled victim legitimately fails once per level (its
+      // one neighbour region), so the cutoff never drops below one failure.
+      const double cutoff = std::max(
+          1.0, config.marginal_discard_frac * tests_at_level);
+      for (auto& s : states) {
+        if (s.discarded) continue;
+        if (tests_at_level >= 4.0 && s.fails_this_level > cutoff) {
+          s.discarded = true;  // enough evidence: drop permanently
+        }
+      }
+    }
+
+    // Aggregate the surviving evidence and rank (§5.2.4 step 2).  Victims
+    // that failed in every test of a short level (e.g. both L1 halves)
+    // carry no locational information and are suppressed for this level
+    // only.
+    for (const auto& s : states) {
+      if (s.discarded) continue;
+      if (level.tests >= 2 &&
+          s.fails_this_level >= static_cast<int>(level.tests)) {
+        continue;
+      }
+      for (auto d : s.distances_this_level) level.ranking.add(d);
+    }
+    if (config.enable_ranking_filter) {
+      level.found = level.ranking.keys_above(config.rank_threshold);
+      std::erase_if(level.found, [&](std::int64_t d) {
+        return level.ranking.count(d) < 2;
+      });
+    } else {
+      level.found = level.ranking.keys_above(0.0);
+    }
+
+    result.tests += level.tests;
+    prev_found = level.found;
+    prev_size = size;
+    result.levels.push_back(std::move(level));
+    if (prev_found.empty()) break;  // nothing data-dependent left to chase
+  }
+
+  if (!result.levels.empty() && result.levels.back().region_size == 1) {
+    for (auto d : result.levels.back().found) result.distances.insert(d);
+  }
+  return result;
+}
+
+}  // namespace parbor::core

@@ -1,0 +1,27 @@
+// Steps 2-4 of PARBOR (§5.2.2-§5.2.4): parallel recursive neighbour-region
+// testing with distance aggregation and random-failure filtering.
+//
+// All victim rows are tested *simultaneously*: one "test" writes a
+// victim-centred pattern into every victim row (all bits hold the victim's
+// failing value except one candidate region, which holds the opposite
+// value, with the victim bit itself always kept at the failing value),
+// waits the test interval, and reads everything back.  A victim flips only
+// if a strongly coupled physical neighbour sits inside its tested region.
+//
+// Regions are victim-relative *distances* (§5.2.2): testing distance d for
+// a victim whose region index is g means testing absolute region g+d.  The
+// recursion starts from the whole row (a single region, distance 0) and at
+// each level subdivides every kept distance into `subdivision` subregions,
+// testing each subregion serially — which reproduces the paper's test
+// accounting t_i = N_{i-1} * S_i (Table 1).
+#pragma once
+
+#include "parbor/types.h"
+
+namespace parbor::core {
+
+NeighborSearchResult find_neighbor_distances(mc::TestHost& host,
+                                             const std::vector<Victim>& victims,
+                                             const ParborConfig& config);
+
+}  // namespace parbor::core

@@ -1,0 +1,116 @@
+#include "parbor/remap_ext.h"
+
+#include <algorithm>
+
+#include "common/bitvec.h"
+#include "parbor/recursive.h"
+
+namespace parbor::core {
+
+namespace {
+
+bool victim_flips(const std::vector<mc::FlipRecord>& flips, const Victim& v) {
+  return std::any_of(flips.begin(), flips.end(), [&](const mc::FlipRecord& f) {
+    return f.addr == v.addr && f.sys_bit == v.sys_bit;
+  });
+}
+
+}  // namespace
+
+bool verify_regularity(mc::TestHost& host, const Victim& victim,
+                       const std::set<std::int64_t>& signed_distances,
+                       std::uint64_t* tests) {
+  const auto n = static_cast<std::int64_t>(host.row_bits());
+  BitVec pattern(host.row_bits(), victim.fail_data);
+  for (auto d : signed_distances) {
+    const std::int64_t bit = static_cast<std::int64_t>(victim.sys_bit) + d;
+    if (bit >= 0 && bit < n) {
+      pattern.set(static_cast<std::size_t>(bit), !victim.fail_data);
+    }
+  }
+  pattern.set(victim.sys_bit, victim.fail_data);
+  std::vector<mc::RowPattern> rows{{victim.addr, &pattern}};
+  const auto flips = host.run_test(rows);
+  if (tests != nullptr) *tests += 1;
+  return victim_flips(flips, victim);
+}
+
+std::set<std::int64_t> find_individual_neighbors(mc::TestHost& host,
+                                                 const Victim& victim,
+                                                 std::uint32_t subdivision,
+                                                 std::uint64_t* tests) {
+  const std::uint32_t n = host.row_bits();
+  const auto sizes = level_region_sizes(n, subdivision);
+  BitVec pattern(n);
+
+  // A genuine (even remapped) data-dependent victim has at most two
+  // physical neighbours, so at most two regions can legitimately keep
+  // failing per level.  More than that means the victim fails at random
+  // (marginal / VRT) and carries no locational information.
+  constexpr std::size_t kMaxPlausibleRegions = 2;
+
+  // Regions kept at the previous level, as absolute region indices.
+  std::vector<std::uint32_t> kept{0};
+  std::uint32_t prev_size = n;
+  std::uint64_t local_tests = 0;
+
+  for (std::uint32_t size : sizes) {
+    const std::uint32_t subdiv = prev_size / size;
+    std::vector<std::uint32_t> next;
+    for (std::uint32_t region : kept) {
+      for (std::uint32_t j = 0; j < subdiv; ++j) {
+        const std::uint32_t candidate = region * subdiv + j;
+        pattern.fill(victim.fail_data);
+        pattern.set_range(static_cast<std::size_t>(candidate) * size,
+                          static_cast<std::size_t>(candidate + 1) * size,
+                          !victim.fail_data);
+        pattern.set(victim.sys_bit, victim.fail_data);
+        std::vector<mc::RowPattern> rows{{victim.addr, &pattern}};
+        const auto flips = host.run_test(rows);
+        ++local_tests;
+        if (victim_flips(flips, victim)) next.push_back(candidate);
+      }
+    }
+    if (next.size() > kMaxPlausibleRegions && prev_size < n) {
+      // Randomly failing cell: abort, report nothing.
+      if (tests != nullptr) *tests += local_tests;
+      return {};
+    }
+    kept = std::move(next);
+    prev_size = size;
+    if (kept.empty()) break;
+  }
+
+  if (tests != nullptr) *tests += local_tests;
+  std::set<std::int64_t> distances;
+  if (prev_size == 1) {
+    for (auto bit : kept) {
+      distances.insert(static_cast<std::int64_t>(bit) -
+                       static_cast<std::int64_t>(victim.sys_bit));
+    }
+  }
+  return distances;
+}
+
+RemapDetectionResult detect_irregular_victims(
+    mc::TestHost& host, const std::vector<Victim>& victims,
+    const NeighborSearchResult& main_result, const ParborConfig& config) {
+  RemapDetectionResult result;
+  for (const Victim& v : victims) {
+    if (verify_regularity(host, v, main_result.distances, &result.tests)) {
+      continue;  // obeys the regular mapping
+    }
+    IrregularVictim entry;
+    entry.victim = v;
+    entry.distances = find_individual_neighbors(host, v, config.subdivision,
+                                                &result.tests);
+    // A victim that stopped failing everywhere was transient noise, not a
+    // remapped cell; only keep mapped ones.
+    if (!entry.distances.empty()) {
+      result.irregular.push_back(std::move(entry));
+    }
+  }
+  return result;
+}
+
+}  // namespace parbor::core

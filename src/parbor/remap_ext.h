@@ -1,0 +1,57 @@
+// §7.3 extension: detecting the neighbour locations of remapped cells.
+//
+// PARBOR's parallel recursion deliberately discards infrequent distances —
+// they are usually noise.  But cells repaired onto redundant columns are
+// REAL data-dependent cells whose neighbours live at irregular distances
+// (the adjacent spares' aliased addresses).  The paper sketches the fix:
+// treat the infrequent evidence intelligently instead of dropping it.
+//
+// This module implements that extension:
+//  1. verify_regularity(): one test that puts the worst-case value at every
+//     main-set distance around a victim; a regular victim flips, an
+//     irregular one does not.
+//  2. find_individual_neighbors(): a per-victim recursive region search —
+//     no ranking needed, since a single strongly coupled victim fails
+//     exactly where its neighbour region is tested.
+//  3. detect_irregular_victims(): screens a victim set with (1) and maps
+//     each irregular survivor with (2).
+#pragma once
+
+#include "parbor/types.h"
+
+namespace parbor::core {
+
+// True if the victim flips when every bit at a main-set signed distance
+// from it holds the opposite value (i.e. the victim obeys the regular
+// mapping).  Costs one test.
+bool verify_regularity(mc::TestHost& host, const Victim& victim,
+                       const std::set<std::int64_t>& signed_distances,
+                       std::uint64_t* tests = nullptr);
+
+// Recursively narrows the neighbour regions of ONE victim.  Returns the
+// signed bit distances of every region that kept failing down to size 1.
+// Reliable for strongly coupled victims; weakly coupled ones may lose their
+// signal once the two neighbours fall into different regions (documented
+// paper limitation).
+std::set<std::int64_t> find_individual_neighbors(
+    mc::TestHost& host, const Victim& victim, std::uint32_t subdivision = 8,
+    std::uint64_t* tests = nullptr);
+
+struct IrregularVictim {
+  Victim victim;
+  std::set<std::int64_t> distances;  // personal neighbour distances
+};
+
+struct RemapDetectionResult {
+  std::vector<IrregularVictim> irregular;
+  std::uint64_t tests = 0;
+};
+
+// Screens `victims` against the main search result and individually maps
+// the ones that do not obey the regular distance set.
+RemapDetectionResult detect_irregular_victims(
+    mc::TestHost& host, const std::vector<Victim>& victims,
+    const NeighborSearchResult& main_result,
+    const ParborConfig& config = {});
+
+}  // namespace parbor::core

@@ -1,0 +1,119 @@
+#include "parbor/report_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace parbor::core {
+
+std::string report_to_json(const ParborReport& report,
+                           const ReportIoOptions& options) {
+  JsonWriter w;
+  w.begin_object();
+  if (!options.module_name.empty()) w.field("module", options.module_name);
+  if (!options.vendor.empty()) w.field("vendor", options.vendor);
+
+  w.key("discovery").begin_object();
+  w.field("tests", report.discovery.tests);
+  w.field("victims", static_cast<std::uint64_t>(report.discovery.victims.size()));
+  w.field("cells_observed",
+          static_cast<std::uint64_t>(report.discovery.observed.size()));
+  w.end_object();
+
+  w.key("search").begin_object();
+  w.field("tests", report.search.tests);
+  w.key("levels").begin_array();
+  for (const auto& level : report.search.levels) {
+    w.begin_object();
+    w.field("level", level.level);
+    w.field("region_size", level.region_size);
+    w.field("tests", level.tests);
+    w.key("ranking").begin_array();
+    for (const auto& [d, count] : level.ranking.sorted_by_key()) {
+      w.begin_object();
+      w.field("distance", d);
+      w.field("count", count);
+      w.field("kept", std::find(level.found.begin(), level.found.end(), d) !=
+                          level.found.end());
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("distances").begin_array();
+  for (auto d : report.search.distances) w.value(d);
+  w.end_array();
+  w.end_object();
+
+  w.key("full_chip").begin_object();
+  w.field("tests", report.fullchip.tests);
+  w.field("chunk_bits", report.plan.chunk);
+  w.field("rounds", static_cast<std::uint64_t>(report.plan.rounds.size()));
+  w.field("cells_detected",
+          static_cast<std::uint64_t>(report.fullchip.cells.size()));
+  if (options.include_cells) {
+    w.key("cells").begin_array();
+    for (const auto& cell : report.fullchip.cells) {
+      w.begin_array();
+      w.value(cell.addr.chip);
+      w.value(cell.addr.bank);
+      w.value(cell.addr.row);
+      w.value(cell.sys_bit);
+      w.end_array();
+    }
+    w.end_array();
+  }
+  w.end_object();
+
+  w.field("total_tests", report.total_tests());
+  w.end_object();
+  return w.str();
+}
+
+void write_cells_csv(std::ostream& os, const std::set<mc::FlipRecord>& cells) {
+  os << "chip,bank,row,sys_bit\n";
+  for (const auto& cell : cells) {
+    os << cell.addr.chip << ',' << cell.addr.bank << ',' << cell.addr.row
+       << ',' << cell.sys_bit << '\n';
+  }
+}
+
+void write_ranking_csv(std::ostream& os, const NeighborSearchResult& search) {
+  os << "level,region_size,tests,distance,count,kept\n";
+  for (const auto& level : search.levels) {
+    for (const auto& [d, count] : level.ranking.sorted_by_key()) {
+      const bool kept = std::find(level.found.begin(), level.found.end(),
+                                  d) != level.found.end();
+      os << level.level << ',' << level.region_size << ',' << level.tests
+         << ',' << d << ',' << count << ',' << (kept ? 1 : 0) << '\n';
+    }
+  }
+}
+
+std::string write_report_files(const ParborReport& report,
+                               const std::string& prefix,
+                               const ReportIoOptions& options) {
+  const std::string json_path = prefix + ".json";
+  {
+    std::ofstream os(json_path);
+    PARBOR_CHECK_MSG(os.good(), "cannot open " << json_path);
+    os << report_to_json(report, options) << '\n';
+  }
+  {
+    std::ofstream os(prefix + "_cells.csv");
+    PARBOR_CHECK_MSG(os.good(), "cannot open " << prefix << "_cells.csv");
+    write_cells_csv(os, report.fullchip.cells);
+  }
+  {
+    std::ofstream os(prefix + "_ranking.csv");
+    PARBOR_CHECK_MSG(os.good(), "cannot open " << prefix << "_ranking.csv");
+    write_ranking_csv(os, report.search);
+  }
+  return json_path;
+}
+
+}  // namespace parbor::core

@@ -1,0 +1,42 @@
+// Report exporters — the release-artifact equivalent of the paper's
+// per-chip data release (§6 "Source Code and Data Release").
+//
+// A ParborReport serialises to JSON (full detail: per-level rankings,
+// distances, test budgets, every detected cell optionally) and the failing
+// cells to CSV for spreadsheet-style analysis.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "parbor/parbor.h"
+
+namespace parbor::core {
+
+struct ReportIoOptions {
+  // Cell lists can be large; off by default for JSON.
+  bool include_cells = false;
+  // Module metadata to stamp into the report.
+  std::string module_name;
+  std::string vendor;
+};
+
+// Full characterisation report as a single JSON document.
+std::string report_to_json(const ParborReport& report,
+                           const ReportIoOptions& options = {});
+
+// Detected failing cells, one line per cell:
+//   chip,bank,row,sys_bit
+void write_cells_csv(std::ostream& os, const std::set<mc::FlipRecord>& cells);
+
+// Per-level recursion summary:
+//   level,region_size,tests,distance,count,kept
+void write_ranking_csv(std::ostream& os, const NeighborSearchResult& search);
+
+// Convenience: writes <prefix>.json, <prefix>_cells.csv and
+// <prefix>_ranking.csv; returns the JSON path.
+std::string write_report_files(const ParborReport& report,
+                               const std::string& prefix,
+                               const ReportIoOptions& options = {});
+
+}  // namespace parbor::core

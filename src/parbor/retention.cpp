@@ -1,0 +1,34 @@
+#include "parbor/retention.h"
+
+namespace parbor::core {
+
+RetentionProfile profile_retention(mc::TestHost& host, const RoundPlan& plan,
+                                   SimTime relaxed_interval) {
+  RetentionProfile profile;
+  profile.rows_total = host.all_rows().size();
+
+  // A separate host over the same module runs the profiling at the relaxed
+  // interval without disturbing the caller's wait configuration.
+  mc::TestHost probe(host.module(), host.timing(), relaxed_interval);
+
+  auto absorb = [&](const std::vector<mc::FlipRecord>& flips) {
+    for (const auto& f : flips) profile.fast_rows.insert(f.addr);
+    ++profile.tests;
+  };
+
+  const std::uint32_t row_bits = host.row_bits();
+  // Solid patterns: plain retention failures in both cell polarities.
+  absorb(probe.run_broadcast_test(BitVec(row_bits, false)));
+  absorb(probe.run_broadcast_test(BitVec(row_bits, true)));
+  // Worst-case neighbour-aware rounds: data-dependent cells that cannot
+  // survive the relaxed interval when content conspires against them.
+  for (std::size_t r = 0; r < plan.rounds.size(); ++r) {
+    for (bool polarity : {true, false}) {
+      absorb(probe.run_broadcast_test(
+          round_pattern(plan, r, polarity, row_bits)));
+    }
+  }
+  return profile;
+}
+
+}  // namespace parbor::core

@@ -1,0 +1,39 @@
+// Retention profiling (the RAIDR-style measurement DC-REF builds on).
+//
+// DC-REF (§8) needs to know which rows contain cells that cannot survive
+// the relaxed 256 ms refresh interval under worst-case content.  RAIDR
+// obtains this with retention profiling; the paper measures 16.4% of rows
+// on its chips.  This module runs that profiling on the simulated module:
+// neighbour-aware worst-case patterns (from PARBOR's distance set) plus
+// solid patterns are held for the relaxed interval, and any row that drops
+// a bit goes into the fast-refresh bin.
+#pragma once
+
+#include <set>
+
+#include "parbor/patterns.h"
+#include "parbor/types.h"
+
+namespace parbor::core {
+
+struct RetentionProfile {
+  // Rows that must stay on the fast (nominal) refresh schedule.
+  std::set<mc::RowAddr> fast_rows;
+  std::uint64_t rows_total = 0;
+  std::uint64_t tests = 0;
+
+  double fast_fraction() const {
+    return rows_total == 0
+               ? 0.0
+               : static_cast<double>(fast_rows.size()) /
+                     static_cast<double>(rows_total);
+  }
+};
+
+// Profiles the module at `relaxed_interval` (default 256 ms, RAIDR's slow
+// bin).  `plan` supplies the worst-case neighbour-aware rounds; solid
+// all-0/all-1 rounds cover plain retention loss.
+RetentionProfile profile_retention(mc::TestHost& host, const RoundPlan& plan,
+                                   SimTime relaxed_interval = SimTime::ms(256));
+
+}  // namespace parbor::core

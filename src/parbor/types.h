@@ -1,0 +1,83 @@
+// Core types of the PARBOR algorithm (paper §5).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/stats.h"
+#include "memctrl/host.h"
+
+namespace parbor::core {
+
+// A cell from the initial victim set: it exhibited a data-dependent failure
+// when holding `fail_data` at system bit `sys_bit` of its row.
+struct Victim {
+  mc::RowAddr addr;
+  std::uint32_t sys_bit = 0;
+  bool fail_data = true;
+
+  auto operator<=>(const Victim&) const = default;
+};
+
+struct ParborConfig {
+  // Region sizes per recursion level are derived from the row size:
+  // L1 halves the row, later levels divide by `subdivision` down to size 1
+  // (8K rows -> 4096, 512, 64, 8, 1 exactly as in §7.1).
+  std::uint32_t subdivision = 8;
+  // Keep only distances whose frequency is at least this fraction of the
+  // most frequent distance at each level, and seen at least twice
+  // (§5.2.4 ranking filter).
+  double rank_threshold = 0.05;
+  // Drop victims that fail in more than this fraction of a level's tests:
+  // they behave like marginal cells, not data-dependent ones (§5.2.4).  A
+  // strongly coupled victim fails exactly one region test per level, so
+  // this can be aggressive.
+  double marginal_discard_frac = 0.15;
+  // Cap on the initial victim sample size (§7.3 studies 1K..15K).
+  std::size_t max_victims = 16384;
+  // Ablation switches for the §5.2.4 filtering machinery (both on in the
+  // real algorithm; the ablation benches measure what happens without).
+  bool enable_ranking_filter = true;
+  bool enable_marginal_discard = true;
+  // Random patterns used to build the initial victim set; each is also run
+  // inverted, so the discovery costs 2x this many tests (paper budgets 10).
+  int discovery_patterns = 5;
+  std::uint64_t seed = 0x9a7b05eedULL;
+};
+
+// Region sizes for each recursion level given the row size, e.g.
+// 8192 -> {4096, 512, 64, 8, 1}.
+std::vector<std::uint32_t> level_region_sizes(std::uint32_t row_bits,
+                                              std::uint32_t subdivision = 8);
+
+struct DiscoveryReport {
+  std::vector<Victim> victims;
+  // Every cell observed to flip during the discovery tests (these already
+  // count as detected failures for the campaign accounting).
+  std::set<mc::FlipRecord> observed;
+  std::uint64_t tests = 0;
+};
+
+struct RecursionLevel {
+  int level = 0;                       // 1-based
+  std::uint32_t region_size = 0;       // bits per region at this level
+  std::uint32_t tests = 0;             // tests performed at this level
+  FrequencyTable ranking;              // raw (victim, distance) frequencies
+  std::vector<std::int64_t> found;     // distances kept after ranking
+};
+
+struct NeighborSearchResult {
+  std::vector<RecursionLevel> levels;
+  // Final neighbour distances in system bit addresses (signed).
+  std::set<std::int64_t> distances;
+  std::uint64_t tests = 0;
+
+  std::set<std::int64_t> abs_distances() const {
+    std::set<std::int64_t> out;
+    for (auto d : distances) out.insert(d < 0 ? -d : d);
+    return out;
+  }
+};
+
+}  // namespace parbor::core

@@ -1,0 +1,72 @@
+#include "parbor/victims.h"
+
+#include <utility>
+
+#include "common/bitvec.h"
+
+namespace parbor::core {
+
+DiscoveryReport discover_victims(mc::TestHost& host,
+                                 const ParborConfig& config) {
+  const std::uint32_t row_bits = host.row_bits();
+  Rng rng = Rng(config.seed).fork("discovery");
+
+  // Generate the random patterns up front so pass/fail per (cell, value)
+  // can be reconstructed: pattern 2k is random, pattern 2k+1 its inverse.
+  std::vector<BitVec> patterns;
+  for (int i = 0; i < config.discovery_patterns; ++i) {
+    BitVec p(row_bits);
+    for (std::uint32_t b = 0; b < row_bits; ++b) {
+      if (rng.bernoulli(0.5)) p.set(b, true);
+    }
+    patterns.push_back(p);
+    patterns.push_back(~p);
+  }
+
+  // flip_sets[t] = cells that flipped in test t.
+  std::vector<std::set<mc::FlipRecord>> flip_sets;
+  std::set<mc::FlipRecord> any_flip;
+  for (const BitVec& p : patterns) {
+    auto flips = host.run_broadcast_test(p);
+    std::set<mc::FlipRecord> s(flips.begin(), flips.end());
+    for (const auto& f : s) any_flip.insert(f);
+    flip_sets.push_back(std::move(s));
+  }
+
+  // A cell qualifies if for some data value d it failed in one test that
+  // wrote d and survived another test that wrote d.
+  DiscoveryReport report;
+  report.observed = any_flip;
+  report.tests = patterns.size();
+  std::set<std::pair<std::uint32_t, std::uint32_t>> rows_taken;  // dedupe
+  for (const mc::FlipRecord& cell : any_flip) {
+    bool fail_for[2] = {false, false};
+    bool pass_for[2] = {false, false};
+    for (std::size_t t = 0; t < patterns.size(); ++t) {
+      const bool d = patterns[t].get(cell.sys_bit);
+      if (flip_sets[t].contains(cell)) {
+        fail_for[d] = true;
+      } else {
+        pass_for[d] = true;
+      }
+    }
+    int fail_value = -1;
+    if (fail_for[1] && pass_for[1]) fail_value = 1;
+    if (fail_value < 0 && fail_for[0] && pass_for[0]) fail_value = 0;
+    if (fail_value < 0) continue;  // weak (always fails for a value) or clean
+
+    // One victim per row: parallel recursion writes one victim-centred
+    // pattern per row.
+    const auto row_key =
+        std::make_pair(cell.addr.chip * 1000000u + cell.addr.bank,
+                       cell.addr.row);
+    if (!rows_taken.insert(row_key).second) continue;
+
+    report.victims.push_back(
+        Victim{cell.addr, cell.sys_bit, fail_value == 1});
+    if (report.victims.size() >= config.max_victims) break;
+  }
+  return report;
+}
+
+}  // namespace parbor::core

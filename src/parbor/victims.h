@@ -1,0 +1,24 @@
+// Step 1 of PARBOR (§5.2.1): determine the initial set of victim cells.
+//
+// The module is tested with several random data patterns, each accompanied
+// by its inverse (true-/anti-cell coverage).  A cell is a *data-dependent
+// candidate* if there exist two tests that wrote the SAME data value into it
+// where the cell failed in one and survived the other — the only thing that
+// changed is the surrounding content.  Cells that fail whenever a given
+// value is written (weak cells) and cells that never fail are excluded.
+// Marginal/random failures can slip into the set; the recursion's filtering
+// (§5.2.4) deals with them later.
+#pragma once
+
+#include "common/rng.h"
+#include "parbor/types.h"
+
+namespace parbor::core {
+
+// Runs 2 * config.discovery_patterns broadcast tests and returns at most
+// config.max_victims victims, at most one per row (parallel recursion tests
+// one victim per row).
+DiscoveryReport discover_victims(mc::TestHost& host,
+                                 const ParborConfig& config);
+
+}  // namespace parbor::core

@@ -1,0 +1,106 @@
+// Property test: BitVec against a std::vector<bool> reference model under
+// random operation sequences.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+
+namespace parbor {
+namespace {
+
+class BitVecFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitVecFuzz, MatchesReferenceModel) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ull + 11);
+  const std::size_t n = 64 + rng.below(300);  // cover odd tails
+  BitVec v(n);
+  std::vector<bool> ref(n, false);
+
+  auto check = [&] {
+    std::size_t pop = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(v.get(i), ref[i]) << "bit " << i;
+      pop += ref[i];
+    }
+    ASSERT_EQ(v.popcount(), pop);
+  };
+
+  for (int step = 0; step < 300; ++step) {
+    switch (rng.below(7)) {
+      case 0: {
+        const std::size_t i = rng.below(n);
+        const bool b = rng.bernoulli(0.5);
+        v.set(i, b);
+        ref[i] = b;
+        break;
+      }
+      case 1: {
+        const std::size_t i = rng.below(n);
+        v.flip(i);
+        ref[i] = !ref[i];
+        break;
+      }
+      case 2: {
+        std::size_t a = rng.below(n + 40);
+        std::size_t b = rng.below(n + 40);
+        if (a > b) std::swap(a, b);
+        const bool val = rng.bernoulli(0.5);
+        v.set_range(a, b, val);
+        for (std::size_t i = a; i < std::min(b, n); ++i) ref[i] = val;
+        break;
+      }
+      case 3: {
+        v = ~v;
+        for (std::size_t i = 0; i < n; ++i) ref[i] = !ref[i];
+        break;
+      }
+      case 4: {
+        const bool val = rng.bernoulli(0.5);
+        v.fill(val);
+        ref.assign(n, val);
+        break;
+      }
+      case 5: {
+        // xor with a random mask
+        BitVec mask(n);
+        std::vector<bool> mask_ref(n);
+        for (std::size_t i = 0; i < n; i += 1 + rng.below(5)) {
+          mask.set(i, true);
+          mask_ref[i] = true;
+        }
+        v ^= mask;
+        for (std::size_t i = 0; i < n; ++i) {
+          ref[i] = ref[i] != mask_ref[i];
+        }
+        break;
+      }
+      case 6: {
+        // diff_positions against a mutated copy
+        BitVec other = v;
+        std::vector<std::size_t> expected;
+        for (int k = 0; k < 5; ++k) {
+          const std::size_t i = rng.below(n);
+          other.flip(i);
+        }
+        const auto diff = v.diff_positions(other);
+        ASSERT_EQ(diff.size(), v.hamming_distance(other));
+        for (auto i : diff) ASSERT_NE(v.get(i), other.get(i));
+        break;
+      }
+    }
+    if (step % 37 == 0) check();
+  }
+  check();
+
+  // set_positions is consistent with get().
+  const auto pos = v.set_positions();
+  ASSERT_EQ(pos.size(), v.popcount());
+  for (auto i : pos) ASSERT_TRUE(ref[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVecFuzz, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace parbor

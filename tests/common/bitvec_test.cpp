@@ -1,0 +1,114 @@
+#include "common/bitvec.h"
+
+#include <gtest/gtest.h>
+
+namespace parbor {
+namespace {
+
+TEST(BitVec, ConstructsCleared) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.popcount(), 0u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVec, ConstructsSet) {
+  BitVec v(130, true);
+  EXPECT_EQ(v.popcount(), 130u);
+}
+
+TEST(BitVec, SetGetFlip) {
+  BitVec v(100);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(99, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(99));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.flip(63);
+  EXPECT_FALSE(v.get(63));
+  EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVec, SetRangeWithinWord) {
+  BitVec v(64);
+  v.set_range(3, 7, true);
+  EXPECT_EQ(v.popcount(), 4u);
+  EXPECT_FALSE(v.get(2));
+  EXPECT_TRUE(v.get(3));
+  EXPECT_TRUE(v.get(6));
+  EXPECT_FALSE(v.get(7));
+}
+
+TEST(BitVec, SetRangeAcrossWords) {
+  BitVec v(256);
+  v.set_range(60, 200, true);
+  EXPECT_EQ(v.popcount(), 140u);
+  EXPECT_FALSE(v.get(59));
+  EXPECT_TRUE(v.get(60));
+  EXPECT_TRUE(v.get(199));
+  EXPECT_FALSE(v.get(200));
+  v.set_range(100, 150, false);
+  EXPECT_EQ(v.popcount(), 90u);
+}
+
+TEST(BitVec, SetRangeClampsToSize) {
+  BitVec v(70);
+  v.set_range(60, 1000, true);
+  EXPECT_EQ(v.popcount(), 10u);
+  v.set_range(80, 90, true);  // entirely out of range: no-op
+  EXPECT_EQ(v.popcount(), 10u);
+}
+
+TEST(BitVec, InvertRespectsTailBits) {
+  BitVec v(70);
+  BitVec inv = ~v;
+  EXPECT_EQ(inv.popcount(), 70u);
+  EXPECT_EQ((~inv).popcount(), 0u);
+}
+
+TEST(BitVec, HammingDistanceAndDiff) {
+  BitVec a(128), b(128);
+  a.set(5, true);
+  a.set(77, true);
+  b.set(77, true);
+  b.set(127, true);
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  const auto diff = a.diff_positions(b);
+  ASSERT_EQ(diff.size(), 2u);
+  EXPECT_EQ(diff[0], 5u);
+  EXPECT_EQ(diff[1], 127u);
+}
+
+TEST(BitVec, SetPositions) {
+  BitVec v(200);
+  v.set(1, true);
+  v.set(64, true);
+  v.set(199, true);
+  const auto pos = v.set_positions();
+  EXPECT_EQ(pos, (std::vector<std::size_t>{1, 64, 199}));
+}
+
+TEST(BitVec, BitwiseOperators) {
+  BitVec a(80), b(80);
+  a.set_range(0, 40, true);
+  b.set_range(20, 60, true);
+  EXPECT_EQ((a & b).popcount(), 20u);
+  EXPECT_EQ((a | b).popcount(), 60u);
+  EXPECT_EQ((a ^ b).popcount(), 40u);
+}
+
+TEST(BitVec, EqualityIncludesSize) {
+  BitVec a(64), b(65);
+  EXPECT_NE(a, b);
+  BitVec c(64);
+  EXPECT_EQ(a, c);
+  c.set(3, true);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace parbor

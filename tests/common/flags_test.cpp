@@ -1,0 +1,66 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace parbor {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, ParsesSpaceSeparatedValues) {
+  const auto f = parse({"map", "--vendor", "B", "--index", "3"});
+  EXPECT_TRUE(f.ok());
+  EXPECT_EQ(f.positional(), (std::vector<std::string>{"map"}));
+  EXPECT_EQ(f.get("vendor"), "B");
+  EXPECT_EQ(f.get_int("index", 0), 3);
+}
+
+TEST(Flags, ParsesEqualsForm) {
+  const auto f = parse({"--scale=medium", "--ratio=0.5"});
+  EXPECT_EQ(f.get("scale"), "medium");
+  EXPECT_DOUBLE_EQ(f.get_double("ratio", 0.0), 0.5);
+}
+
+TEST(Flags, TrailingFlagIsBooleanSwitch) {
+  const auto f = parse({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_FALSE(f.get_bool("quiet"));
+  EXPECT_TRUE(f.get_bool("quiet", true));
+}
+
+TEST(Flags, FlagFollowedByFlagIsBoolean) {
+  const auto f = parse({"--dry-run", "--vendor", "C"});
+  EXPECT_TRUE(f.get_bool("dry-run"));
+  EXPECT_EQ(f.get("vendor"), "C");
+}
+
+TEST(Flags, FallbacksApply) {
+  const auto f = parse({});
+  EXPECT_EQ(f.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(f.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 1.5), 1.5);
+}
+
+TEST(Flags, MixedPositionalsKeepOrder) {
+  const auto f = parse({"one", "--k", "v", "two"});
+  EXPECT_EQ(f.positional(), (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(Flags, EmptyFlagNameIsError) {
+  const auto f = parse({"--"});
+  EXPECT_FALSE(f.ok());
+  EXPECT_FALSE(f.error().empty());
+}
+
+TEST(Flags, BooleanLiterals) {
+  EXPECT_TRUE(parse({"--x", "1"}).get_bool("x"));
+  EXPECT_TRUE(parse({"--x", "yes"}).get_bool("x"));
+  EXPECT_FALSE(parse({"--x", "no"}).get_bool("x"));
+}
+
+}  // namespace
+}  // namespace parbor

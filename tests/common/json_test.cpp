@@ -1,0 +1,67 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace parbor {
+namespace {
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  EXPECT_EQ(JsonWriter().begin_object().end_object().str(), "{}");
+  EXPECT_EQ(JsonWriter().begin_array().end_array().str(), "[]");
+}
+
+TEST(JsonWriter, FieldsAreCommaSeparated) {
+  JsonWriter w;
+  w.begin_object().field("a", 1).field("b", "x").field("c", true).end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"x","c":true})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("xs").begin_array().value(1).value(2).end_array();
+  w.key("o").begin_object().field("k", 3.5).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"xs":[1,2],"o":{"k":3.5}})");
+}
+
+TEST(JsonWriter, ArrayOfObjects) {
+  JsonWriter w;
+  w.begin_array();
+  w.begin_object().field("i", 0).end_object();
+  w.begin_object().field("i", 1).end_object();
+  w.end_array();
+  EXPECT_EQ(w.str(), R"([{"i":0},{"i":1}])");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, NumericFormats) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::int64_t{-42});
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.value(0.25);
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[-42,18446744073709551615,0.25,null]");
+}
+
+TEST(JsonWriter, DoubleKeyIsRejected) {
+  JsonWriter w;
+  w.begin_object().key("a");
+  EXPECT_THROW(w.key("b"), CheckError);
+}
+
+TEST(JsonWriter, UnbalancedEndIsRejected) {
+  JsonWriter w;
+  EXPECT_THROW(w.end_object(), CheckError);
+}
+
+}  // namespace
+}  // namespace parbor

@@ -1,0 +1,48 @@
+#include "common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace parbor {
+namespace {
+
+TEST(SimTime, UnitConversions) {
+  EXPECT_EQ(SimTime::ns(1.0).picoseconds(), 1000);
+  EXPECT_DOUBLE_EQ(SimTime::ms(64.0).seconds(), 0.064);
+  EXPECT_DOUBLE_EQ(SimTime::sec(4.0).milliseconds(), 4000.0);
+  EXPECT_DOUBLE_EQ(SimTime::us(7.8).nanoseconds(), 7800.0);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::ms(10) + SimTime::ms(5);
+  EXPECT_DOUBLE_EQ(a.milliseconds(), 15.0);
+  EXPECT_DOUBLE_EQ((a - SimTime::ms(5)).milliseconds(), 10.0);
+  EXPECT_DOUBLE_EQ((SimTime::ms(2) * 3).milliseconds(), 6.0);
+  SimTime b;
+  b += SimTime::sec(1);
+  EXPECT_DOUBLE_EQ(b.seconds(), 1.0);
+}
+
+TEST(SimTime, Comparisons) {
+  EXPECT_LT(SimTime::ns(1), SimTime::us(1));
+  EXPECT_EQ(SimTime::ms(1), SimTime::us(1000));
+  EXPECT_GE(SimTime::sec(1), SimTime::ms(1000));
+}
+
+TEST(FormatSeconds, PicksSensibleUnits) {
+  EXPECT_EQ(format_seconds(42.5e-9), "42.5 ns");
+  EXPECT_EQ(format_seconds(0.064), "64 ms");
+  EXPECT_EQ(format_seconds(55.0), "55 s");
+  EXPECT_EQ(format_seconds(8.73 * 60.0), "8.73 min");
+  EXPECT_EQ(format_seconds(49.0 * 86400.0), "49 days");
+  // 1115 years
+  const double years = 86400.0 * 365.25;
+  EXPECT_EQ(format_seconds(1115.0 * years), "1115 years");
+  EXPECT_EQ(format_seconds(9.1e6 * years), "9.1 Myears");
+}
+
+TEST(SimTime, ToStringDelegates) {
+  EXPECT_EQ(SimTime::ms(64).to_string(), "64 ms");
+}
+
+}  // namespace
+}  // namespace parbor

@@ -1,0 +1,68 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace parbor {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(MeanGeomean, Basics) {
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_NEAR(geomean_of({1.0, 8.0}), 2.828, 1e-3);
+  EXPECT_EQ(mean_of({}), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 50), 25.0);
+}
+
+TEST(FrequencyTable, CountsAndRanks) {
+  FrequencyTable t;
+  t.add(-5, 10);
+  t.add(1, 100);
+  t.add(-1, 95);
+  t.add(3, 2);
+  EXPECT_EQ(t.count(1), 100u);
+  EXPECT_EQ(t.count(99), 0u);
+  EXPECT_EQ(t.max_count(), 100u);
+  EXPECT_EQ(t.total(), 207u);
+
+  const auto above = t.keys_above(0.5);
+  EXPECT_EQ(above, (std::vector<std::int64_t>{-1, 1}));
+
+  const auto by_count = t.sorted_by_count();
+  EXPECT_EQ(by_count[0].first, 1);
+  EXPECT_EQ(by_count[1].first, -1);
+
+  const auto by_key = t.sorted_by_key();
+  EXPECT_EQ(by_key.front().first, -5);
+  EXPECT_EQ(by_key.back().first, 3);
+}
+
+TEST(FrequencyTable, EmptyBehaviour) {
+  FrequencyTable t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.max_count(), 0u);
+  EXPECT_TRUE(t.keys_above(0.1).empty());
+}
+
+}  // namespace
+}  // namespace parbor

@@ -1,0 +1,39 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace parbor {
+namespace {
+
+TEST(Table, RendersAlignedGrid) {
+  Table t({"Vendor", "Tests"});
+  t.add("A", 90);
+  t.add("B", 66);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| Vendor | Tests |"), std::string::npos);
+  EXPECT_NE(out.find("| A      | 90    |"), std::string::npos);
+  EXPECT_NE(out.find("| B      | 66    |"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(Table, FormatsDoublesCompactly) {
+  EXPECT_EQ(Table::cell_to_string(21.9), "21.9");
+  EXPECT_EQ(Table::cell_to_string(0.00012345), "0.0001234");
+}
+
+TEST(AsciiBar, ScalesWithValue) {
+  EXPECT_EQ(ascii_bar(10, 10, 10), "##########");
+  EXPECT_EQ(ascii_bar(5, 10, 10), "#####");
+  EXPECT_EQ(ascii_bar(0, 10, 10), "");
+  EXPECT_EQ(ascii_bar(5, 0, 10), "");   // degenerate max
+  EXPECT_EQ(ascii_bar(20, 10, 10), "##########");  // clamped
+}
+
+}  // namespace
+}  // namespace parbor

@@ -1,0 +1,86 @@
+#include "dcref/memsys_cmd.h"
+
+#include <gtest/gtest.h>
+
+#include "dcref/sim.h"
+
+namespace parbor::dcref {
+namespace {
+
+MemSystemConfig one_bank() {
+  MemSystemConfig c;
+  c.channels = 1;
+  c.ranks_per_channel = 1;
+  c.banks_per_rank = 1;
+  return c;
+}
+
+TEST(CommandLevelMemSystem, RowHitsAreFasterThanMisses) {
+  UniformRefresh policy;
+  CommandLevelMemSystem mem(one_bank(), &policy);
+  const std::uint64_t t0 = 20000;  // clear of the first refresh window
+  const std::uint64_t first = mem.access(7, false, false, t0);
+  const std::uint64_t second = mem.access(7, false, false, first + 8);
+  const std::uint64_t third = mem.access(9, false, false, second + 8);
+  const auto hit = second - (first + 8);
+  const auto miss_after_conflict = third - (second + 8);
+  EXPECT_LT(hit, miss_after_conflict);
+}
+
+TEST(CommandLevelMemSystem, RefreshWindowScalesWithPolicyLoad) {
+  UniformRefresh uniform;
+  RaidrRefresh raidr(0.164);
+  CommandLevelMemSystem mem_u(one_bank(), &uniform);
+  CommandLevelMemSystem mem_r(one_bank(), &raidr);
+  // Drive both past many refresh windows.
+  const std::uint64_t horizon = 3'000'000;  // ~1 ms at 3.2 GHz
+  mem_u.access(1, false, false, horizon);
+  mem_r.access(1, false, false, horizon);
+  ASSERT_GT(mem_u.refresh_stall_cycles(), 0u);
+  const double ratio =
+      static_cast<double>(mem_r.refresh_stall_cycles()) /
+      static_cast<double>(mem_u.refresh_stall_cycles());
+  EXPECT_NEAR(ratio, 0.373, 0.02);
+}
+
+TEST(CommandLevelMemSystem, WritesReachThePolicy) {
+  DcRefRefresh policy(1ull << 16, 1.0);
+  CommandLevelMemSystem mem(one_bank(), &policy);
+  mem.access(11, true, true, 20000);
+  EXPECT_EQ(policy.high_rate_rows(), 1u);
+  mem.access(11, true, false, 40000);
+  EXPECT_EQ(policy.high_rate_rows(), 0u);
+}
+
+TEST(CommandLevelMemSystem, SimulationRunsAndOrdersPolicies) {
+  const auto apps = make_workload(0);
+  SimConfig cfg;
+  cfg.engine = MemEngine::kCommandLevel;
+  cfg.requests_per_core = 8000;
+  cfg.mem.tRFC_ns = 1000.0;
+  const auto alone = alone_ipcs(apps, cfg);
+  UniformRefresh uniform;
+  RaidrRefresh raidr(0.164);
+  const double ws_base =
+      weighted_speedup(run_simulation(apps, uniform, cfg), alone);
+  const double ws_raidr =
+      weighted_speedup(run_simulation(apps, raidr, cfg), alone);
+  EXPECT_GT(ws_base, 0.0);
+  EXPECT_GT(ws_raidr, ws_base);
+}
+
+TEST(CommandLevelMemSystem, DeterministicAcrossRuns) {
+  const auto apps = make_workload(2);
+  SimConfig cfg;
+  cfg.engine = MemEngine::kCommandLevel;
+  cfg.requests_per_core = 4000;
+  UniformRefresh p1, p2;
+  const auto a = run_simulation(apps, p1, cfg);
+  const auto b = run_simulation(apps, p2, cfg);
+  for (std::size_t i = 0; i < a.cores.size(); ++i) {
+    EXPECT_EQ(a.cores[i].cycles, b.cores[i].cycles);
+  }
+}
+
+}  // namespace
+}  // namespace parbor::dcref

@@ -1,0 +1,119 @@
+#include "dcref/memsys.h"
+
+#include <gtest/gtest.h>
+
+namespace parbor::dcref {
+namespace {
+
+MemSystemConfig small_config() {
+  MemSystemConfig c;
+  c.channels = 1;
+  c.ranks_per_channel = 1;
+  c.banks_per_rank = 1;  // single bank: deterministic mapping
+  return c;
+}
+
+TEST(MemSystem, RowHitIsFasterThanMiss) {
+  auto cfg = small_config();
+  UniformRefresh policy;
+  MemSystem mem(cfg, &policy);
+  // Two accesses to the same row far from any refresh window (the first
+  // window spans [0, tRFC * amplification]).
+  const std::uint64_t t0 = 12000;
+  const std::uint64_t first = mem.access(7, false, false, t0);
+  const std::uint64_t miss_latency = first - t0;
+  const std::uint64_t second = mem.access(7, false, false, first + 10);
+  const std::uint64_t hit_latency = second - (first + 10);
+  EXPECT_LT(hit_latency, miss_latency);
+  EXPECT_EQ(hit_latency, cfg.ns_to_cycles(cfg.tCAS_ns + cfg.tBURST_ns));
+  EXPECT_EQ(miss_latency, cfg.ns_to_cycles(cfg.tRP_ns + cfg.tRCD_ns +
+                                           cfg.tCAS_ns + cfg.tBURST_ns));
+}
+
+TEST(MemSystem, BankConflictQueuesRequests) {
+  auto cfg = small_config();
+  UniformRefresh policy;
+  MemSystem mem(cfg, &policy);
+  const std::uint64_t t0 = 12000;
+  const std::uint64_t first = mem.access(1, false, false, t0);
+  // A second request to a different row at the same instant must wait for
+  // the bank to free up.
+  const std::uint64_t second = mem.access(2, false, false, t0);
+  EXPECT_GE(second, first);
+}
+
+TEST(MemSystem, RefreshWindowBlocksRequests) {
+  auto cfg = small_config();
+  cfg.refresh_amplification = 1.0;
+  UniformRefresh policy;
+  MemSystem mem(cfg, &policy);
+  // A request arriving right at the first refresh boundary (cycle 0) waits
+  // out the whole tRFC window.
+  const std::uint64_t done = mem.access(3, false, false, 0);
+  const std::uint64_t trfc = cfg.ns_to_cycles(cfg.tRFC_ns);
+  EXPECT_GE(done, trfc);
+  EXPECT_GT(mem.refresh_stall_cycles(), 0u);
+}
+
+TEST(MemSystem, ReducedLoadShrinksRefreshWindows) {
+  auto cfg = small_config();
+  cfg.refresh_amplification = 1.0;
+  UniformRefresh uniform;
+  RaidrRefresh raidr(0.164);
+  MemSystem mem_uniform(cfg, &uniform);
+  MemSystem mem_raidr(cfg, &raidr);
+  const std::uint64_t done_uniform = mem_uniform.access(3, false, false, 0);
+  const std::uint64_t done_raidr = mem_raidr.access(3, false, false, 0);
+  EXPECT_LT(done_raidr, done_uniform);
+  // The stall ratio matches the load-factor ratio.
+  const std::uint64_t horizon = cfg.ns_to_cycles(cfg.tREFI_us * 1000) * 100;
+  mem_uniform.access(3, false, false, horizon);
+  mem_raidr.access(3, false, false, horizon);
+  const double ratio =
+      static_cast<double>(mem_raidr.refresh_stall_cycles()) /
+      static_cast<double>(mem_uniform.refresh_stall_cycles());
+  EXPECT_NEAR(ratio, 0.373, 0.01);
+}
+
+TEST(MemSystem, WritesInformThePolicy) {
+  auto cfg = small_config();
+  DcRefRefresh policy(cfg.total_rows, 1.0);
+  MemSystem mem(cfg, &policy);
+  mem.access(11, true, true, 1000);
+  EXPECT_EQ(policy.high_rate_rows(), 1u);
+  mem.access(11, true, false, 2000);
+  EXPECT_EQ(policy.high_rate_rows(), 0u);
+  mem.access(12, false, true, 3000);  // reads never change content state
+  EXPECT_EQ(policy.high_rate_rows(), 0u);
+}
+
+TEST(MemSystem, SamplesHighFractionAtRefreshes) {
+  auto cfg = small_config();
+  DcRefRefresh policy(1000, 1.0);
+  MemSystem mem(cfg, &policy);
+  for (std::uint64_t r = 0; r < 100; ++r) mem.access(r, true, true, 1);
+  // Cross many refresh windows.
+  mem.access(5, false, false, cfg.ns_to_cycles(cfg.tREFI_us * 1000) * 50);
+  EXPECT_NEAR(mem.mean_high_rate_fraction(), 0.1, 0.02);
+  EXPECT_GT(mem.mean_load_factor(), 0.25);
+}
+
+TEST(MemSystem, RequestsSpreadAcrossBanks) {
+  MemSystemConfig cfg;  // default: 2ch x 2rk x 8bk = 32 banks
+  UniformRefresh policy;
+  MemSystem mem(cfg, &policy);
+  // Many distinct rows at the same instant: with 32 banks, service points
+  // must not serialise onto one bank.
+  std::uint64_t max_done = 0;
+  const std::uint64_t t0 = 110000;  // between refresh windows
+  for (std::uint64_t r = 0; r < 16; ++r) {
+    max_done = std::max(max_done, mem.access(r * 7919, false, false, t0));
+  }
+  const std::uint64_t miss = cfg.ns_to_cycles(cfg.tRP_ns + cfg.tRCD_ns +
+                                              cfg.tCAS_ns + cfg.tBURST_ns);
+  // If all 16 requests hit one bank the last would finish at 16*miss.
+  EXPECT_LT(max_done - t0, 8 * miss);
+}
+
+}  // namespace
+}  // namespace parbor::dcref

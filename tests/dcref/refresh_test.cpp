@@ -1,0 +1,100 @@
+#include "dcref/refresh.h"
+
+#include <gtest/gtest.h>
+
+namespace parbor::dcref {
+namespace {
+
+TEST(UniformRefresh, FullLoad) {
+  UniformRefresh u;
+  EXPECT_DOUBLE_EQ(u.high_rate_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(u.load_factor(), 1.0);
+  // 64 ms interval: every row refreshed 15.625 times per second.
+  EXPECT_NEAR(u.row_refreshes_per_second(1000), 15625.0, 1.0);
+}
+
+TEST(RaidrRefresh, PaperLoadArithmetic) {
+  RaidrRefresh r(0.164);
+  EXPECT_DOUBLE_EQ(r.high_rate_fraction(), 0.164);
+  // 0.164 + 0.836/4 = 0.373: RAIDR performs 37.3% of the baseline's
+  // refresh work (the paper's 73%/27.6% reductions follow from this).
+  EXPECT_NEAR(r.load_factor(), 0.373, 1e-9);
+}
+
+TEST(DcRefRefresh, PaperReductionArithmetic) {
+  // With 2.7% of rows matching the worst-case pattern, DC-REF's load is
+  // 0.027 + 0.973/4 = 0.270: 73% fewer refreshes than baseline and 27.6%
+  // fewer than RAIDR — exactly the numbers §8 reports.
+  DcRefRefresh d(1000000, 1.0);  // every row vulnerable, content decides
+  std::uint64_t made_high = 0;
+  for (std::uint64_t row = 0; made_high < 27000; ++row) {
+    d.on_write(row, true);
+    ++made_high;
+  }
+  EXPECT_NEAR(d.high_rate_fraction(), 0.027, 1e-9);
+  EXPECT_NEAR(d.load_factor(), 0.270, 1e-3);
+  RaidrRefresh raidr(0.164);
+  EXPECT_NEAR(1.0 - d.load_factor() / 1.0, 0.73, 0.01);
+  EXPECT_NEAR(1.0 - d.load_factor() / raidr.load_factor(), 0.276, 0.01);
+}
+
+TEST(DcRefRefresh, VulnerabilityMembershipIsStableAndCalibrated) {
+  DcRefRefresh d(100000, 0.164);
+  std::uint64_t vulnerable = 0;
+  for (std::uint64_t row = 0; row < 100000; ++row) {
+    const bool v = d.row_is_vulnerable(row);
+    EXPECT_EQ(v, d.row_is_vulnerable(row));  // deterministic
+    vulnerable += v;
+  }
+  EXPECT_NEAR(vulnerable / 100000.0, 0.164, 0.01);
+}
+
+TEST(DcRefRefresh, ContentDrivesHighRateMembership) {
+  DcRefRefresh d(1000, 1.0);
+  EXPECT_DOUBLE_EQ(d.high_rate_fraction(), 0.0);
+
+  d.on_write(5, true);
+  EXPECT_EQ(d.high_rate_rows(), 1u);
+  d.on_write(5, true);  // idempotent
+  EXPECT_EQ(d.high_rate_rows(), 1u);
+  d.on_write(7, true);
+  EXPECT_EQ(d.high_rate_rows(), 2u);
+  EXPECT_DOUBLE_EQ(d.high_rate_fraction(), 0.002);
+
+  // Overwriting with benign content demotes the row.
+  d.on_write(5, false);
+  EXPECT_EQ(d.high_rate_rows(), 1u);
+  d.on_write(9, false);  // never promoted, stays out
+  EXPECT_EQ(d.high_rate_rows(), 1u);
+}
+
+TEST(DcRefRefresh, NonVulnerableRowsNeverPromoted) {
+  DcRefRefresh d(100000, 0.164);
+  for (std::uint64_t row = 0; row < 1000; ++row) {
+    d.on_write(row, true);
+  }
+  for (std::uint64_t row = 0; row < 1000; ++row) {
+    if (!d.row_is_vulnerable(row)) {
+      // A non-vulnerable row matching the worst pattern is harmless; it
+      // must not be on the fast schedule.
+      d.on_write(row, true);
+    }
+  }
+  // Only vulnerable rows were promoted.
+  std::uint64_t vulnerable = 0;
+  for (std::uint64_t row = 0; row < 1000; ++row) {
+    vulnerable += d.row_is_vulnerable(row);
+  }
+  EXPECT_EQ(d.high_rate_rows(), vulnerable);
+}
+
+TEST(RefreshPolicy, LoadFactorInterpolatesBins) {
+  // load = hi + (1-hi)/4 for the 64/256 ms bins.
+  RaidrRefresh zero(0.0);
+  EXPECT_DOUBLE_EQ(zero.load_factor(), 0.25);
+  RaidrRefresh all(1.0);
+  EXPECT_DOUBLE_EQ(all.load_factor(), 1.0);
+}
+
+}  // namespace
+}  // namespace parbor::dcref

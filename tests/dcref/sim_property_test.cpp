@@ -1,0 +1,66 @@
+// Property sweep over workloads: policy orderings and accounting
+// invariants of the DC-REF simulation.
+#include <gtest/gtest.h>
+
+#include "dcref/sim.h"
+
+namespace parbor::dcref {
+namespace {
+
+class WorkloadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadSweep, PolicyOrderingAndAccountingInvariants) {
+  const int w = GetParam();
+  const auto apps = make_workload(w);
+  SimConfig cfg;
+  cfg.requests_per_core = 8000;
+  cfg.mem.tRFC_ns = 1000.0;
+  cfg.seed = 0x510c0 + static_cast<std::uint64_t>(w) * 104729;
+  const auto alone = alone_ipcs(apps, cfg);
+
+  UniformRefresh uniform;
+  RaidrRefresh raidr(0.164);
+  DcRefRefresh dcref(cfg.mem.total_rows, 0.164);
+  const auto base = run_simulation(apps, uniform, cfg);
+  const auto r = run_simulation(apps, raidr, cfg);
+  const auto d = run_simulation(apps, dcref, cfg);
+
+  const double ws_base = weighted_speedup(base, alone);
+  const double ws_raidr = weighted_speedup(r, alone);
+  const double ws_dcref = weighted_speedup(d, alone);
+
+  // Fig. 16 ordering, every workload.
+  EXPECT_GT(ws_raidr, ws_base) << "workload " << w;
+  EXPECT_GE(ws_dcref, ws_raidr * 0.999) << "workload " << w;
+
+  // Weighted speedup of an 8-core mix is bounded by the core count times
+  // the refresh advantage over the (uniform-refresh) alone baseline.
+  EXPECT_GT(ws_base, 0.0);
+  EXPECT_LE(ws_base, 8.5);
+  EXPECT_LE(ws_dcref, 8.0 / (1.0 - 0.30));
+
+  // Refresh accounting: stall cycles ordered by load factor.
+  EXPECT_GT(base.refresh_stall_cycles, r.refresh_stall_cycles);
+  EXPECT_GT(r.refresh_stall_cycles, d.refresh_stall_cycles);
+
+  // DC-REF's high-rate fraction sits strictly between 0 and RAIDR's.
+  EXPECT_GT(d.mean_high_rate_fraction, 0.0);
+  EXPECT_LT(d.mean_high_rate_fraction, 0.164);
+  EXPECT_GT(d.mean_load_factor, 0.25);
+  EXPECT_LT(d.mean_load_factor, 0.373);
+
+  // Row-refresh rates follow the bin arithmetic.
+  EXPECT_GT(base.row_refreshes_per_second, r.row_refreshes_per_second);
+  EXPECT_GT(r.row_refreshes_per_second, d.row_refreshes_per_second);
+
+  // Per-core IPC sanity.
+  for (const auto& core : d.cores) {
+    EXPECT_GT(core.ipc(), 0.0);
+    EXPECT_LE(core.ipc(), 1.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, WorkloadSweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace parbor::dcref

@@ -1,0 +1,118 @@
+#include "dcref/sim.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace parbor::dcref {
+namespace {
+
+SimConfig fast_config() {
+  SimConfig cfg;
+  cfg.requests_per_core = 5000;
+  return cfg;
+}
+
+TEST(Simulation, ProducesPositiveIpcsPerCore) {
+  const auto apps = make_workload(0);
+  UniformRefresh policy;
+  const auto result = run_simulation(apps, policy, fast_config());
+  ASSERT_EQ(result.cores.size(), 8u);
+  for (const auto& core : result.cores) {
+    EXPECT_GT(core.instructions, 0u);
+    EXPECT_GT(core.cycles, 0u);
+    EXPECT_GT(core.ipc(), 0.0);
+    EXPECT_LE(core.ipc(), 1.05);  // 1 IPC peak plus rounding slack
+  }
+  EXPECT_GT(result.total_cycles, 0u);
+  EXPECT_GT(result.refresh_stall_cycles, 0u);
+}
+
+TEST(Simulation, DeterministicForFixedSeed) {
+  const auto apps = make_workload(3);
+  UniformRefresh p1, p2;
+  const auto a = run_simulation(apps, p1, fast_config());
+  const auto b = run_simulation(apps, p2, fast_config());
+  ASSERT_EQ(a.cores.size(), b.cores.size());
+  for (std::size_t i = 0; i < a.cores.size(); ++i) {
+    EXPECT_EQ(a.cores[i].cycles, b.cores[i].cycles);
+    EXPECT_EQ(a.cores[i].instructions, b.cores[i].instructions);
+  }
+}
+
+TEST(Simulation, PolicyOrderingMatchesFig16) {
+  // DC-REF >= RAIDR >= uniform in weighted speedup, for a memory-bound
+  // workload on 32 Gbit (high-tRFC) chips.
+  const auto apps = make_workload(0);
+  auto cfg = fast_config();
+  cfg.requests_per_core = 20000;
+  cfg.mem.tRFC_ns = 1000.0;
+  const auto alone = alone_ipcs(apps, cfg);
+
+  UniformRefresh uniform;
+  RaidrRefresh raidr(0.164);
+  DcRefRefresh dcref(cfg.mem.total_rows, 0.164);
+  const double ws_uniform =
+      weighted_speedup(run_simulation(apps, uniform, cfg), alone);
+  const double ws_raidr =
+      weighted_speedup(run_simulation(apps, raidr, cfg), alone);
+  const double ws_dcref =
+      weighted_speedup(run_simulation(apps, dcref, cfg), alone);
+  EXPECT_GT(ws_raidr, ws_uniform);
+  EXPECT_GT(ws_dcref, ws_raidr);
+}
+
+TEST(Simulation, HigherDensityAmplifiesRefreshImpact) {
+  const auto apps = make_workload(1);
+  auto cfg16 = fast_config();
+  cfg16.mem.tRFC_ns = 590.0;
+  auto cfg32 = fast_config();
+  cfg32.mem.tRFC_ns = 1000.0;
+
+  UniformRefresh u16, u32, n16, n32;
+  const auto base16 = run_simulation(apps, u16, cfg16);
+  const auto base32 = run_simulation(apps, u32, cfg32);
+  EXPECT_GT(base32.refresh_stall_cycles, base16.refresh_stall_cycles);
+}
+
+TEST(Simulation, AloneIpcsOnePerApp) {
+  const auto apps = make_workload(2);
+  const auto alone = alone_ipcs(apps, fast_config());
+  ASSERT_EQ(alone.size(), apps.size());
+  for (double ipc : alone) {
+    EXPECT_GT(ipc, 0.0);
+    EXPECT_LE(ipc, 1.05);
+  }
+}
+
+TEST(Simulation, MemoryBoundAppsHaveLowerIpc) {
+  SimConfig cfg = fast_config();
+  UniformRefresh p1, p2;
+  const auto mcf = run_simulation({profile_by_name("mcf")}, p1, cfg);
+  const auto povray = run_simulation({profile_by_name("povray")}, p2, cfg);
+  EXPECT_LT(mcf.cores[0].ipc(), povray.cores[0].ipc());
+}
+
+TEST(WeightedSpeedup, Arithmetic) {
+  SimResult shared;
+  shared.cores.push_back({"a", 1000, 2000});  // IPC 0.5
+  shared.cores.push_back({"b", 900, 1000});   // IPC 0.9
+  const double ws = weighted_speedup(shared, {1.0, 0.9});
+  EXPECT_NEAR(ws, 0.5 / 1.0 + 0.9 / 0.9, 1e-12);
+  EXPECT_THROW(weighted_speedup(shared, {1.0}), CheckError);
+}
+
+TEST(Simulation, DcRefHighFractionTracksContent) {
+  const auto apps = make_workload(0);
+  auto cfg = fast_config();
+  DcRefRefresh dcref(cfg.mem.total_rows, 0.164);
+  const auto result = run_simulation(apps, dcref, cfg);
+  // Some rows get promoted, far fewer than RAIDR's 16.4%.
+  EXPECT_GT(result.mean_high_rate_fraction, 0.0);
+  EXPECT_LT(result.mean_high_rate_fraction, 0.164);
+  EXPECT_GT(result.mean_load_factor, 0.25);
+  EXPECT_LT(result.mean_load_factor, 0.373);
+}
+
+}  // namespace
+}  // namespace parbor::dcref

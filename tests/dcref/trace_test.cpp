@@ -1,0 +1,114 @@
+#include "dcref/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+
+namespace parbor::dcref {
+namespace {
+
+TEST(SpecProfiles, SeventeenDistinctApps) {
+  const auto& profiles = spec_profiles();
+  ASSERT_EQ(profiles.size(), 17u);
+  std::set<std::string> names;
+  for (const auto& p : profiles) {
+    EXPECT_TRUE(names.insert(p.name).second);
+    EXPECT_GT(p.mpki, 0.0);
+    EXPECT_GT(p.row_locality, 0.0);
+    EXPECT_LT(p.row_locality, 1.0);
+    EXPECT_GT(p.write_frac, 0.0);
+    EXPECT_LT(p.write_frac, 1.0);
+    EXPECT_GT(p.working_set_rows, 0u);
+    EXPECT_GT(p.worst_pattern_frac, 0.0);
+    EXPECT_LT(p.worst_pattern_frac, 1.0);
+  }
+  EXPECT_TRUE(names.contains("mcf"));
+  EXPECT_TRUE(names.contains("libquantum"));
+  EXPECT_TRUE(names.contains("povray"));
+}
+
+TEST(SpecProfiles, LookupByName) {
+  EXPECT_EQ(profile_by_name("mcf").name, "mcf");
+  EXPECT_THROW(profile_by_name("doom"), CheckError);
+}
+
+TEST(TraceGenerator, DeterministicForSameSeed) {
+  const auto p = profile_by_name("gcc");
+  TraceGenerator a(p, 42, 65536), b(p, 42, 65536);
+  for (int i = 0; i < 1000; ++i) {
+    const TraceEntry x = a.next();
+    const TraceEntry y = b.next();
+    EXPECT_EQ(x.gap_instructions, y.gap_instructions);
+    EXPECT_EQ(x.row_id, y.row_id);
+    EXPECT_EQ(x.is_write, y.is_write);
+    EXPECT_EQ(x.content_matches_worst, y.content_matches_worst);
+  }
+}
+
+TEST(TraceGenerator, GapMatchesMpki) {
+  const auto p = profile_by_name("mcf");  // MPKI 32 -> mean gap 31.25
+  TraceGenerator gen(p, 7, 65536);
+  double total_gap = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    total_gap += gen.next().gap_instructions;
+  }
+  EXPECT_NEAR(total_gap / n, 1000.0 / p.mpki, 2.0);
+}
+
+TEST(TraceGenerator, StatisticsMatchProfile) {
+  const auto p = profile_by_name("lbm");
+  TraceGenerator gen(p, 9, 65536);
+  int writes = 0, matches = 0, row_changes = 0;
+  std::set<std::uint64_t> rows;
+  std::uint64_t prev_row = ~0ull;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const TraceEntry e = gen.next();
+    EXPECT_LT(e.row_id, 65536u);
+    rows.insert(e.row_id);
+    if (e.row_id != prev_row) ++row_changes;
+    prev_row = e.row_id;
+    if (e.is_write) {
+      ++writes;
+      matches += e.content_matches_worst;
+    } else {
+      EXPECT_FALSE(e.content_matches_worst);
+    }
+  }
+  EXPECT_NEAR(writes / double(n), p.write_frac, 0.02);
+  EXPECT_NEAR(matches / double(writes), p.worst_pattern_frac, 0.03);
+  // Row locality: a new row is picked with probability (1 - locality).
+  EXPECT_NEAR(row_changes / double(n), 1.0 - p.row_locality, 0.05);
+  // The working set is bounded.
+  EXPECT_LE(rows.size(), p.working_set_rows);
+}
+
+TEST(MakeWorkload, EightAppsDeterministicPerIndex) {
+  const auto w0 = make_workload(0);
+  const auto w0_again = make_workload(0);
+  const auto w1 = make_workload(1);
+  ASSERT_EQ(w0.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(w0[i].name, w0_again[i].name);
+  }
+  bool differs = false;
+  for (std::size_t i = 0; i < 8; ++i) {
+    differs |= w0[i].name != w1[i].name;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(MakeWorkload, ThirtyTwoWorkloadsCoverTheSuite) {
+  std::set<std::string> used;
+  for (int w = 0; w < 32; ++w) {
+    for (const auto& app : make_workload(w)) used.insert(app.name);
+  }
+  // Random assignment of 256 slots over 17 apps covers almost everything.
+  EXPECT_GE(used.size(), 15u);
+}
+
+}  // namespace
+}  // namespace parbor::dcref

@@ -1,0 +1,108 @@
+#include "dram/chip.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace parbor::dram {
+namespace {
+
+ChipConfig quiet_chip(Vendor vendor) {
+  ChipConfig c;
+  c.vendor = vendor;
+  c.banks = 2;
+  c.rows = 64;
+  c.row_bits = 512;
+  c.remapped_cols = 0;
+  c.faults.coupling_cell_rate = 0.0;
+  c.faults.weak_cell_rate = 0.0;
+  c.faults.vrt_cell_rate = 0.0;
+  c.faults.marginal_cell_rate = 0.0;
+  c.faults.soft_error_rate = 0.0;
+  return c;
+}
+
+TEST(Chip, SystemWriteReadRoundTripsThroughScrambler) {
+  for (Vendor v : {Vendor::kLinear, Vendor::kA, Vendor::kB, Vendor::kC}) {
+    Chip chip(quiet_chip(v), Rng(1));
+    BitVec data(512);
+    data.set(0, true);
+    data.set(17, true);
+    data.set(511, true);
+    chip.write_row(1, 3, data, SimTime::ms(0));
+    EXPECT_EQ(chip.read_row(1, 3, SimTime::ms(1)), data)
+        << "vendor " << vendor_name(v);
+  }
+}
+
+TEST(Chip, PermuteToPhysicalMatchesScrambler) {
+  Chip chip(quiet_chip(Vendor::kA), Rng(1));
+  BitVec sys(512);
+  sys.set(100, true);
+  const BitVec phys = chip.permute_to_physical(sys);
+  EXPECT_EQ(phys.popcount(), 1u);
+  EXPECT_TRUE(phys.get(chip.scrambler().to_physical(100)));
+}
+
+TEST(Chip, PhysicalBroadcastEqualsSystemWrite) {
+  Chip a(quiet_chip(Vendor::kC), Rng(2));
+  Chip b(quiet_chip(Vendor::kC), Rng(2));
+  BitVec sys(512);
+  for (std::size_t i = 0; i < 512; i += 7) sys.set(i, true);
+  a.write_row(0, 5, sys, SimTime::ms(0));
+  b.write_row_physical(0, 5, b.permute_to_physical(sys), SimTime::ms(0));
+  EXPECT_EQ(a.read_row(0, 5, SimTime::ms(1)),
+            b.read_row(0, 5, SimTime::ms(1)));
+}
+
+TEST(Chip, FlipPositionsReportedInSystemSpace) {
+  ChipConfig cfg = quiet_chip(Vendor::kB);
+  cfg.faults.coupling_cell_rate = 0.01;
+  cfg.faults.frac_strong = 1.0;
+  cfg.faults.frac_weak = 0.0;
+  cfg.faults.frac_tight = 0.0;
+  cfg.faults.coupling_min_hold_ms = 100.0;
+  cfg.faults.coupling_min_hold_spread_ms = 0.0;
+  Chip chip(cfg, Rng(3));
+
+  // True row: write system pattern "all ones except one system bit 0";
+  // only strongly coupled victims whose strong-side physical neighbour maps
+  // to that cleared system bit can flip.
+  const std::uint32_t bank = 0, row = 0;
+  BitVec sys(512, true);
+  sys.set(7, false);
+  chip.write_row(bank, row, sys, SimTime::ms(0));
+  auto flips = chip.read_row_flips(bank, row, SimTime::ms(300));
+  const auto& scr = chip.scrambler();
+  for (auto sys_bit : flips) {
+    // The flipped victim must be physically adjacent to system bit 7.
+    const std::size_t victim_phys = scr.to_physical(sys_bit);
+    const std::size_t nb_phys = scr.to_physical(7);
+    EXPECT_EQ(std::max(victim_phys, nb_phys) - std::min(victim_phys, nb_phys),
+              1u);
+  }
+}
+
+TEST(Chip, TempFactorDoublesEveryTenDegrees) {
+  Chip chip(quiet_chip(Vendor::kA), Rng(4));
+  chip.set_temperature(45.0);
+  EXPECT_DOUBLE_EQ(chip.temp_factor(), 1.0);
+  chip.set_temperature(55.0);
+  EXPECT_DOUBLE_EQ(chip.temp_factor(), 2.0);
+  chip.set_temperature(40.0);
+  EXPECT_NEAR(chip.temp_factor(), 0.7071, 1e-4);
+}
+
+TEST(Chip, BanksAreIndependent) {
+  Chip chip(quiet_chip(Vendor::kA), Rng(5));
+  BitVec d0(512), d1(512);
+  d0.set(1, true);
+  d1.set(2, true);
+  chip.write_row(0, 0, d0, SimTime::ms(0));
+  chip.write_row(1, 0, d1, SimTime::ms(0));
+  EXPECT_EQ(chip.read_row(0, 0, SimTime::ms(1)), d0);
+  EXPECT_EQ(chip.read_row(1, 0, SimTime::ms(1)), d1);
+}
+
+}  // namespace
+}  // namespace parbor::dram

@@ -1,0 +1,183 @@
+#include "dram/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace parbor::dram {
+namespace {
+
+TEST(PoissonDraw, MatchesMeanAndZeroLambda) {
+  Rng rng(1);
+  EXPECT_EQ(poisson_draw(rng, 0.0), 0u);
+  EXPECT_EQ(poisson_draw(rng, -1.0), 0u);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(poisson_draw(rng, 2.5));
+  }
+  EXPECT_NEAR(sum / n, 2.5, 0.06);
+}
+
+TEST(GenerateRowFaults, DeterministicForSameRng) {
+  FaultModelParams p;
+  p.coupling_cell_rate = 1e-2;
+  const RowFaults a = generate_row_faults(p, 8192, Rng(99));
+  const RowFaults b = generate_row_faults(p, 8192, Rng(99));
+  ASSERT_EQ(a.coupling.size(), b.coupling.size());
+  for (std::size_t i = 0; i < a.coupling.size(); ++i) {
+    EXPECT_EQ(a.coupling[i].phys_col, b.coupling[i].phys_col);
+    EXPECT_EQ(a.coupling[i].c_left, b.coupling[i].c_left);
+  }
+}
+
+TEST(GenerateRowFaults, ColumnsAreDistinctAndSorted) {
+  FaultModelParams p;
+  p.coupling_cell_rate = 5e-3;
+  p.weak_cell_rate = 2e-3;
+  p.vrt_cell_rate = 1e-3;
+  p.marginal_cell_rate = 1e-3;
+  const RowFaults f = generate_row_faults(p, 8192, Rng(7));
+  std::set<std::uint32_t> cols;
+  auto check = [&](std::uint32_t col) {
+    EXPECT_LT(col, 8192u);
+    EXPECT_TRUE(cols.insert(col).second) << "duplicate column " << col;
+  };
+  std::uint32_t prev = 0;
+  for (std::size_t i = 0; i < f.coupling.size(); ++i) {
+    check(f.coupling[i].phys_col);
+    if (i > 0) {
+      EXPECT_GT(f.coupling[i].phys_col, prev);
+    }
+    prev = f.coupling[i].phys_col;
+  }
+  for (const auto& w : f.weak) check(w.phys_col);
+  for (const auto& v : f.vrt) check(v.phys_col);
+  for (const auto& m : f.marginal) check(m.phys_col);
+  EXPECT_GT(f.coupling.size(), 10u);
+  EXPECT_GT(f.weak.size(), 2u);
+}
+
+TEST(GenerateRowFaults, ClassPredicatesArePartition) {
+  FaultModelParams p;
+  p.coupling_cell_rate = 2e-2;
+  const RowFaults f = generate_row_faults(p, 8192, Rng(21));
+  ASSERT_GT(f.coupling.size(), 50u);
+  int strong = 0, weak = 0, tight = 0;
+  for (const auto& c : f.coupling) {
+    const int classes = int(c.strongly_coupled()) + int(c.weakly_coupled()) +
+                        int(c.tight());
+    EXPECT_EQ(classes, 1) << "cell at col " << c.phys_col
+                          << " must be in exactly one class";
+    strong += c.strongly_coupled();
+    weak += c.weakly_coupled();
+    tight += c.tight();
+    // Every generated coupling cell must actually be able to fail under the
+    // full worst-case pattern.
+    EXPECT_GE(c.total_coupling(), c.threshold);
+  }
+  // Mixture weights are 0.50/0.28/0.22 by default; allow generous slack.
+  const double n = static_cast<double>(f.coupling.size());
+  EXPECT_NEAR(strong / n, 0.50, 0.12);
+  EXPECT_NEAR(weak / n, 0.28, 0.12);
+  EXPECT_NEAR(tight / n, 0.22, 0.12);
+}
+
+TEST(GenerateRowFaults, TightTiersRequireAllOuterSources) {
+  FaultModelParams p;
+  p.coupling_cell_rate = 2e-2;
+  p.frac_strong = 0.0;
+  p.frac_weak = 0.0;
+  p.frac_tight = 1.0;
+  p.tight_deep_prob = 0.0;
+  p.tight_ultra_prob = 1.0;  // all ultra
+  const RowFaults f = generate_row_faults(p, 8192, Rng(33));
+  ASSERT_GT(f.coupling.size(), 50u);
+  for (const auto& c : f.coupling) {
+    EXPECT_TRUE(c.tight());
+    if (c.phys_col < 4 || c.phys_col + 4 >= 8192) continue;  // edge-degraded
+    // Dropping any single outer source must fall below the threshold.
+    for (float drop : {c.c_left2, c.c_right2, c.c_left3, c.c_right3,
+                       c.c_left4, c.c_right4}) {
+      EXPECT_GT(drop, 0.0f);
+      EXPECT_LT(c.total_coupling() - drop, c.threshold);
+    }
+  }
+}
+
+TEST(GenerateRowFaults, NeighborhoodMaskDegradesTiersAndGatesVictims) {
+  FaultModelParams p;
+  p.coupling_cell_rate = 0.05;
+  p.frac_strong = 0.0;
+  p.frac_weak = 0.0;
+  p.frac_tight = 1.0;
+  p.tight_deep_prob = 0.0;
+  p.tight_ultra_prob = 1.0;
+  // 16-cell tiles, like vendor B's zigzag layout.
+  const auto in_tile = [](std::uint32_t col, int delta) {
+    const auto nb = static_cast<std::int64_t>(col) + delta;
+    return nb / 16 == col / 16;
+  };
+  const RowFaults f = generate_row_faults(p, 8192, Rng(44), in_tile);
+  ASSERT_GT(f.coupling.size(), 100u);
+  for (const auto& c : f.coupling) {
+    const std::uint32_t off = c.phys_col % 16;
+    // Tile-edge columns (no immediate neighbour inside the tile) must not
+    // host coupling victims at all.
+    EXPECT_NE(off, 0u);
+    EXPECT_NE(off, 15u);
+    // Sources beyond the tile must carry no weight.
+    if (off < 2) {
+      EXPECT_EQ(c.c_left2, 0.0f);
+    }
+    if (off < 3) {
+      EXPECT_EQ(c.c_left3, 0.0f);
+    }
+    if (off < 4) {
+      EXPECT_EQ(c.c_left4, 0.0f);
+    }
+    if (off >= 14) {
+      EXPECT_EQ(c.c_right2, 0.0f);
+    }
+    if (off >= 13) {
+      EXPECT_EQ(c.c_right3, 0.0f);
+    }
+    if (off >= 12) {
+      EXPECT_EQ(c.c_right4, 0.0f);
+    }
+    // But every generated cell can still reach its threshold.
+    EXPECT_GE(c.total_coupling(), c.threshold);
+  }
+}
+
+TEST(GenerateRowFaults, StrongSideSplitFollowsProbability) {
+  FaultModelParams p;
+  p.coupling_cell_rate = 2e-2;
+  p.frac_strong = 1.0;
+  p.frac_weak = 0.0;
+  p.frac_tight = 0.0;
+  p.strong_left_prob = 0.8;
+  const RowFaults f = generate_row_faults(p, 8192, Rng(55));
+  ASSERT_GT(f.coupling.size(), 50u);
+  int left = 0;
+  for (const auto& c : f.coupling) {
+    EXPECT_TRUE(c.strongly_coupled());
+    left += c.c_left >= c.threshold;
+  }
+  EXPECT_NEAR(left / static_cast<double>(f.coupling.size()), 0.8, 0.12);
+}
+
+TEST(GenerateRowFaults, MinHoldWithinConfiguredWindow) {
+  FaultModelParams p;
+  p.coupling_cell_rate = 5e-3;
+  p.coupling_min_hold_ms = 100.0;
+  p.coupling_min_hold_spread_ms = 50.0;
+  const RowFaults f = generate_row_faults(p, 8192, Rng(77));
+  for (const auto& c : f.coupling) {
+    EXPECT_GE(c.min_hold, SimTime::ms(100.0));
+    EXPECT_LE(c.min_hold, SimTime::ms(150.0));
+  }
+}
+
+}  // namespace
+}  // namespace parbor::dram

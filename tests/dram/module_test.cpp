@@ -1,0 +1,104 @@
+#include "dram/module.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+
+namespace parbor::dram {
+namespace {
+
+TEST(ModuleConfig, PopulationHasEighteenModules) {
+  const auto pop = make_population(Scale::kTiny);
+  ASSERT_EQ(pop.size(), 18u);
+  std::set<std::string> names;
+  for (const auto& m : pop) names.insert(m.name);
+  EXPECT_EQ(names.size(), 18u);
+  EXPECT_TRUE(names.contains("A1"));
+  EXPECT_TRUE(names.contains("B6"));
+  EXPECT_TRUE(names.contains("C3"));
+}
+
+TEST(ModuleConfig, VendorVulnerabilityOrdering) {
+  // Fig. 12: modules from C are the most vulnerable to data-dependent
+  // failures; B the least.
+  const auto a = make_module_config(Vendor::kA, 3, Scale::kTiny);
+  const auto b = make_module_config(Vendor::kB, 3, Scale::kTiny);
+  const auto c = make_module_config(Vendor::kC, 3, Scale::kTiny);
+  EXPECT_GT(c.chip.faults.coupling_cell_rate,
+            a.chip.faults.coupling_cell_rate);
+  EXPECT_GT(a.chip.faults.coupling_cell_rate,
+            b.chip.faults.coupling_cell_rate);
+  // Vendor B carries the most non-data-dependent noise (Fig. 13: B1 has the
+  // largest only-random slice).
+  EXPECT_GT(b.chip.faults.vrt_cell_rate, a.chip.faults.vrt_cell_rate);
+  EXPECT_GT(b.chip.remapped_cols, a.chip.remapped_cols);
+}
+
+TEST(ModuleConfig, GenerationScalingIsMonotonic) {
+  double prev = 0.0;
+  for (int i = 1; i <= 6; ++i) {
+    const auto m = make_module_config(Vendor::kA, i, Scale::kTiny);
+    EXPECT_GT(m.chip.faults.coupling_cell_rate, prev);
+    prev = m.chip.faults.coupling_cell_rate;
+  }
+}
+
+TEST(ModuleConfig, RejectsOutOfRangeIndex) {
+  EXPECT_THROW(make_module_config(Vendor::kA, 0, Scale::kTiny), CheckError);
+  EXPECT_THROW(make_module_config(Vendor::kA, 7, Scale::kTiny), CheckError);
+}
+
+TEST(Module, BuildsConfiguredGeometry) {
+  auto cfg = make_module_config(Vendor::kC, 1, Scale::kSmall);
+  Module m(cfg);
+  EXPECT_EQ(m.chip_count(), 2u);
+  EXPECT_EQ(m.vendor(), Vendor::kC);
+  EXPECT_EQ(m.name(), "C1");
+  EXPECT_EQ(m.total_cells(),
+            2ull * cfg.chip.banks * cfg.chip.rows * cfg.chip.row_bits);
+  EXPECT_EQ(m.chip(0).scrambler().abs_distance_set(),
+            (std::set<std::int64_t>{16, 33, 49}));
+}
+
+TEST(Module, ChipsHaveDistinctFaultPopulations) {
+  auto cfg = make_module_config(Vendor::kC, 6, Scale::kSmall);
+  Module m(cfg);
+  auto& f0 = m.chip(0).bank(0).row_faults(0);
+  auto& f1 = m.chip(1).bank(0).row_faults(0);
+  // With C6's density both rows should have cells; identical populations
+  // would indicate a seeding bug.
+  ASSERT_FALSE(f0.coupling.empty());
+  bool differ = f0.coupling.size() != f1.coupling.size();
+  if (!differ) {
+    for (std::size_t i = 0; i < f0.coupling.size(); ++i) {
+      if (f0.coupling[i].phys_col != f1.coupling[i].phys_col) {
+        differ = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Module, SameSeedReproducesPopulation) {
+  auto cfg = make_module_config(Vendor::kA, 2, Scale::kTiny);
+  Module m1(cfg), m2(cfg);
+  auto& f1 = m1.chip(0).bank(0).row_faults(3);
+  auto& f2 = m2.chip(0).bank(0).row_faults(3);
+  ASSERT_EQ(f1.coupling.size(), f2.coupling.size());
+  for (std::size_t i = 0; i < f1.coupling.size(); ++i) {
+    EXPECT_EQ(f1.coupling[i].phys_col, f2.coupling[i].phys_col);
+  }
+}
+
+TEST(Module, SetTemperaturePropagatesToChips) {
+  auto cfg = make_module_config(Vendor::kA, 1, Scale::kTiny);
+  Module m(cfg);
+  m.set_temperature(55.0);
+  EXPECT_DOUBLE_EQ(m.chip(0).temp_factor(), 2.0);
+}
+
+}  // namespace
+}  // namespace parbor::dram

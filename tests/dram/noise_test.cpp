@@ -1,0 +1,135 @@
+// Behavioural tests of the non-data-dependent failure classes (the noise
+// PARBOR's filtering machinery exists to reject): VRT, marginal cells, and
+// their interaction with test campaigns.
+#include <gtest/gtest.h>
+
+#include "dram/bank.h"
+#include "dram/scramble.h"
+
+namespace parbor::dram {
+namespace {
+
+constexpr std::uint32_t kRowBits = 512;
+
+BankConfig config() {
+  BankConfig c;
+  c.rows = 64;
+  c.row_bits = kRowBits;
+  c.remapped_cols = 0;
+  return c;
+}
+
+FaultModelParams base_params() {
+  FaultModelParams p;
+  p.coupling_cell_rate = 0.0;
+  p.weak_cell_rate = 0.0;
+  p.vrt_cell_rate = 0.0;
+  p.marginal_cell_rate = 0.0;
+  p.soft_error_rate = 0.0;
+  return p;
+}
+
+TEST(VrtCells, LeakyStateBehavesLikeWeakCell) {
+  LinearScrambler scr(kRowBits);
+  auto params = base_params();
+  params.vrt_cell_rate = 0.02;
+  params.vrt_toggle_prob = 0.0;  // freeze states for this test
+  params.vrt_leaky_retention_ms = 500.0;
+  Bank bank(config(), params, &scr, Rng(4));
+
+  const auto& vrt = bank.row_faults(0).vrt;
+  ASSERT_FALSE(vrt.empty());
+  BitVec ones(kRowBits, true);
+  bank.write_row(0, ones, SimTime::ms(0));
+  const auto flips = bank.read_row_flips(0, SimTime::ms(900), 1.0);
+  for (const auto& cell : vrt) {
+    const bool flipped = std::find(flips.begin(), flips.end(),
+                                   cell.phys_col) != flips.end();
+    EXPECT_EQ(flipped, cell.leaky) << "col " << cell.phys_col;
+  }
+}
+
+TEST(VrtCells, StatesToggleOverManyReads) {
+  LinearScrambler scr(kRowBits);
+  auto params = base_params();
+  params.vrt_cell_rate = 0.02;
+  params.vrt_toggle_prob = 0.05;
+  Bank bank(config(), params, &scr, Rng(5));
+  const auto& vrt = bank.row_faults(0).vrt;
+  ASSERT_FALSE(vrt.empty());
+  const bool initial = vrt.front().leaky;
+
+  BitVec ones(kRowBits, true);
+  SimTime now = SimTime::ms(0);
+  bool changed = false;
+  for (int i = 0; i < 200 && !changed; ++i) {
+    bank.write_row(0, ones, now);
+    now += SimTime::ms(1);
+    bank.read_row_flips(0, now, 1.0);
+    changed = bank.row_faults(0).vrt.front().leaky != initial;
+  }
+  EXPECT_TRUE(changed) << "VRT state never toggled in 200 reads";
+}
+
+TEST(MarginalCells, FailRateMatchesProbability) {
+  LinearScrambler scr(kRowBits);
+  auto params = base_params();
+  params.marginal_cell_rate = 0.01;
+  params.marginal_fail_prob = 0.35;
+  params.marginal_min_hold_ms = 100.0;
+  Bank bank(config(), params, &scr, Rng(6));
+  const auto& marginal = bank.row_faults(0).marginal;
+  ASSERT_FALSE(marginal.empty());
+  const std::uint32_t col = marginal.front().phys_col;
+
+  BitVec ones(kRowBits, true);
+  SimTime now = SimTime::ms(0);
+  int fails = 0;
+  const int reads = 400;
+  for (int i = 0; i < reads; ++i) {
+    bank.write_row(0, ones, now);
+    now += SimTime::ms(200);
+    const auto flips = bank.read_row_flips(0, now, 1.0);
+    fails += std::find(flips.begin(), flips.end(), col) != flips.end();
+  }
+  EXPECT_NEAR(fails / static_cast<double>(reads), 0.35, 0.07);
+
+  // Short holds never fail.
+  bank.write_row(0, ones, now);
+  now += SimTime::ms(50);
+  const auto flips = bank.read_row_flips(0, now, 1.0);
+  EXPECT_TRUE(std::find(flips.begin(), flips.end(), col) == flips.end());
+}
+
+TEST(AntiRows, BlockBoundaryFollowsShift) {
+  LinearScrambler scr(kRowBits);
+  auto params = base_params();
+  params.anti_row_block_shift = 3;  // blocks of 8 rows
+  Bank bank(config(), params, &scr, Rng(7));
+  for (std::uint32_t r = 0; r < 32; ++r) {
+    EXPECT_EQ(bank.is_anti_row(r), ((r >> 3) & 1) == 1) << "row " << r;
+  }
+}
+
+TEST(NoiseClasses, OnlyChargedCellsLoseData) {
+  // All noise classes model charge loss: a discharged cell (data 0 in a
+  // true row) cannot fail, whatever the class.
+  LinearScrambler scr(kRowBits);
+  auto params = base_params();
+  params.weak_cell_rate = 0.01;
+  params.weak_retention_min_ms = 100.0;
+  params.weak_retention_max_ms = 200.0;
+  params.marginal_cell_rate = 0.01;
+  params.marginal_fail_prob = 1.0;
+  params.marginal_min_hold_ms = 100.0;
+  params.vrt_cell_rate = 0.01;
+  params.vrt_toggle_prob = 0.0;
+  Bank bank(config(), params, &scr, Rng(8));
+  ASSERT_FALSE(bank.is_anti_row(0));
+  BitVec zeros(kRowBits, false);
+  bank.write_row(0, zeros, SimTime::ms(0));
+  EXPECT_TRUE(bank.read_row_flips(0, SimTime::sec(5), 1.0).empty());
+}
+
+}  // namespace
+}  // namespace parbor::dram

@@ -1,0 +1,81 @@
+// The structural (Fig. 5) scrambler must reproduce the paper's running
+// example: with 4-bit bursts split into two GSA groups and LSA pair
+// swapping, physically neighbouring cells sit at system distances {±1, ±5}
+// (Fig. 8), and PARBOR recovers that set through the system interface.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "dram/scramble.h"
+#include "parbor/parbor.h"
+
+namespace parbor::dram {
+namespace {
+
+TEST(PipelineScrambler, ReproducesFig5Mapping) {
+  // Figure 5 walks system bits X..X+7 through the two stages; the physical
+  // order in the first cell array comes out X+1, X, X+5, X+4, ...
+  PipelineScrambler s(16, {4, 2, true});
+  EXPECT_EQ(s.to_system(0), 1u);
+  EXPECT_EQ(s.to_system(1), 0u);
+  EXPECT_EQ(s.to_system(2), 5u);
+  EXPECT_EQ(s.to_system(3), 4u);
+  // Second array gets the upper halves of each burst.
+  EXPECT_EQ(s.to_system(8), 3u);
+  EXPECT_EQ(s.to_system(9), 2u);
+  EXPECT_EQ(s.to_system(10), 7u);
+  EXPECT_EQ(s.to_system(11), 6u);
+}
+
+TEST(PipelineScrambler, Fig8DistanceSet) {
+  PipelineScrambler s(8192, {4, 2, true});
+  EXPECT_EQ(s.abs_distance_set(), (std::set<std::int64_t>{1, 5}));
+}
+
+TEST(PipelineScrambler, RoundTripsAndTiles) {
+  PipelineScrambler s(1024, {8, 4, true});
+  for (std::size_t p = 0; p < 1024; ++p) {
+    ASSERT_EQ(s.to_physical(s.to_system(p)), p);
+  }
+  // One tile per GSA group.
+  std::set<std::uint32_t> tiles;
+  for (std::size_t p = 0; p < 1024; ++p) tiles.insert(s.tile_of_physical(p));
+  EXPECT_EQ(tiles.size(), 4u);
+}
+
+TEST(PipelineScrambler, NoSwapVariant) {
+  PipelineScrambler s(64, {4, 2, false});
+  // Without LSA swapping the array order is (X, X+1, X+4, X+5, ...):
+  // distances {1, 3}.
+  EXPECT_EQ(s.abs_distance_set(), (std::set<std::int64_t>{1, 3}));
+}
+
+TEST(PipelineScrambler, RejectsBadGeometry) {
+  EXPECT_THROW(PipelineScrambler(64, {4, 3, false}), CheckError);
+  EXPECT_THROW(PipelineScrambler(64, {6, 2, true}), CheckError);  // odd group
+  EXPECT_THROW(PipelineScrambler(66, {4, 2, true}), CheckError);
+}
+
+TEST(PipelineScrambler, ParborRecoversTheFig8Set) {
+  // End to end: a chip wired with the Fig. 5 pipeline, probed only through
+  // the system interface, yields the {±1, ±5} mapping of Fig. 8.
+  auto cfg = make_module_config(Vendor::kLinear, 1, Scale::kSmall);
+  cfg.chip.custom_scrambler = [](std::size_t row_bits) {
+    return std::make_unique<PipelineScrambler>(
+        row_bits, PipelineScramblerConfig{4, 2, true});
+  };
+  cfg.chip.remapped_cols = 0;
+  cfg.chip.faults = FaultModelParams{};
+  cfg.chip.faults.coupling_cell_rate = 1e-3;
+  cfg.chip.faults.frac_strong = 1.0;
+  cfg.chip.faults.frac_weak = 0.0;
+  cfg.chip.faults.frac_tight = 0.0;
+
+  Module module(cfg);
+  ASSERT_EQ(module.chip(0).scrambler().name(), "pipeline");
+  mc::TestHost host(module);
+  const auto report = core::run_parbor_search_only(host, {});
+  EXPECT_EQ(report.search.abs_distances(), (std::set<std::int64_t>{1, 5}));
+}
+
+}  // namespace
+}  // namespace parbor::dram

@@ -1,0 +1,116 @@
+// Property tests: the motif engine with RANDOM permutation motifs (every
+// permutation is a legal internal wiring), and frequency floors for the
+// vendor scramblers (PARBOR can only discover distances that occur often).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "dram/scramble.h"
+
+namespace parbor::dram {
+namespace {
+
+class MotifFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(MotifFuzz, RandomMotifsYieldValidScramblers) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 40503 + 3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t motif_len = 2 + rng.below(15);
+    const std::size_t stride = 1 + rng.below(8);
+    std::vector<std::uint32_t> motif(motif_len);
+    for (std::size_t i = 0; i < motif_len; ++i) {
+      motif[i] = static_cast<std::uint32_t>(i);
+    }
+    rng.shuffle(motif);
+    // Pick a row size that is a multiple of stride*motif_len.
+    const std::size_t unit = stride * motif_len;
+    const std::size_t row_bits = unit * (1 + rng.below(20));
+
+    MotifScrambler s(row_bits, stride, motif, "fuzz");
+    ASSERT_EQ(s.row_bits(), row_bits);
+    // Bijectivity.
+    std::vector<bool> seen(row_bits, false);
+    for (std::size_t p = 0; p < row_bits; ++p) {
+      const std::size_t sys = s.to_system(p);
+      ASSERT_LT(sys, row_bits);
+      ASSERT_FALSE(seen[sys]);
+      seen[sys] = true;
+      ASSERT_EQ(s.to_physical(sys), p);
+    }
+    // Expected distance set from the motif steps (plus block wrap),
+    // scaled by the stride.
+    std::set<std::int64_t> expected;
+    for (std::size_t i = 0; i + 1 < motif_len; ++i) {
+      const auto step = static_cast<std::int64_t>(motif[i + 1]) -
+                        static_cast<std::int64_t>(motif[i]);
+      expected.insert(std::abs(step) * static_cast<std::int64_t>(stride));
+    }
+    if (row_bits / stride > motif_len) {  // wrap step exists
+      const auto wrap = static_cast<std::int64_t>(motif_len) +
+                        static_cast<std::int64_t>(motif[0]) -
+                        static_cast<std::int64_t>(motif[motif_len - 1]);
+      expected.insert(std::abs(wrap) * static_cast<std::int64_t>(stride));
+    }
+    expected.erase(0);
+    EXPECT_EQ(s.abs_distance_set(), expected)
+        << "stride " << stride << " motif_len " << motif_len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MotifFuzz, ::testing::Range(0, 10));
+
+TEST(VendorFrequencies, EveryDistanceIsCommonEnoughToDiscover) {
+  // PARBOR's ranking keeps distances that are frequent; a distance carried
+  // by a vanishing fraction of pairs would be indistinguishable from noise.
+  // Each vendor distance must cover at least 5% of that vendor's coupled
+  // pairs.
+  for (Vendor v : {Vendor::kA, Vendor::kB, Vendor::kC}) {
+    auto s = make_scrambler(v, 8192);
+    std::map<std::int64_t, std::size_t> counts;
+    std::size_t pairs = 0;
+    for (std::size_t p = 0; p + 1 < s->row_bits(); ++p) {
+      if (!s->coupled(p, p + 1)) continue;
+      ++pairs;
+      const auto d = std::abs(static_cast<std::int64_t>(s->to_system(p + 1)) -
+                              static_cast<std::int64_t>(s->to_system(p)));
+      ++counts[d];
+    }
+    for (auto [d, count] : counts) {
+      EXPECT_GE(count * 20, pairs)
+          << "vendor " << vendor_name(v) << " distance " << d
+          << " occurs in only " << count << " of " << pairs << " pairs";
+    }
+  }
+}
+
+TEST(VendorTiles, CoverageAndBoundsAcrossSizes) {
+  for (Vendor v : {Vendor::kA, Vendor::kB, Vendor::kC}) {
+    for (std::size_t bits : {512u, 2048u, 8192u}) {
+      if (v == Vendor::kC && bits == 512u) continue;  // covered elsewhere
+      auto s = make_scrambler(v, bits);
+      // Every tile contains at least 2 cells (a 1-cell tile would have no
+      // coupled pairs at all).
+      std::map<std::uint32_t, std::size_t> tile_sizes;
+      for (std::size_t p = 0; p < bits; ++p) {
+        ++tile_sizes[s->tile_of_physical(p)];
+      }
+      for (auto [tile, size] : tile_sizes) {
+        EXPECT_GE(size, 2u) << vendor_name(v) << " tile " << tile;
+      }
+    }
+  }
+}
+
+TEST(ScramblerDeterminism, RepeatedConstructionIdentical) {
+  for (Vendor v : {Vendor::kA, Vendor::kB, Vendor::kC, Vendor::kLinear}) {
+    auto a = make_scrambler(v, 2048);
+    auto b = make_scrambler(v, 2048);
+    for (std::size_t p = 0; p < 2048; ++p) {
+      ASSERT_EQ(a->to_system(p), b->to_system(p));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parbor::dram

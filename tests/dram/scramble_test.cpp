@@ -1,0 +1,134 @@
+// Property tests for the vendor address scramblers: bijectivity, tile
+// contiguity, and — the load-bearing property of the whole reproduction —
+// that each vendor's physically-adjacent system-distance set equals the set
+// PARBOR measured on real chips (paper §7.1, Fig. 11 L5).
+#include "dram/scramble.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "common/check.h"
+
+namespace parbor::dram {
+namespace {
+
+using ::testing::TestWithParam;
+
+TEST(LinearScrambler, IsIdentity) {
+  LinearScrambler s(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(s.to_system(i), i);
+    EXPECT_EQ(s.to_physical(i), i);
+  }
+  EXPECT_EQ(s.signed_step_set(), (std::set<std::int64_t>{1}));
+  EXPECT_EQ(s.abs_distance_set(), (std::set<std::int64_t>{1}));
+}
+
+struct VendorCase {
+  Vendor vendor;
+  std::size_t row_bits;
+  std::set<std::int64_t> expected_abs;
+};
+
+class ScramblerProperty : public TestWithParam<VendorCase> {};
+
+TEST_P(ScramblerProperty, RoundTripsEveryAddress) {
+  const auto& c = GetParam();
+  auto s = make_scrambler(c.vendor, c.row_bits);
+  ASSERT_EQ(s->row_bits(), c.row_bits);
+  for (std::size_t p = 0; p < c.row_bits; ++p) {
+    const std::size_t sys = s->to_system(p);
+    ASSERT_LT(sys, c.row_bits);
+    ASSERT_EQ(s->to_physical(sys), p) << "phys " << p;
+  }
+}
+
+TEST_P(ScramblerProperty, DistanceSetMatchesPaper) {
+  const auto& c = GetParam();
+  auto s = make_scrambler(c.vendor, c.row_bits);
+  EXPECT_EQ(s->abs_distance_set(), c.expected_abs)
+      << "vendor " << vendor_name(c.vendor) << " rows " << c.row_bits;
+}
+
+TEST_P(ScramblerProperty, TilesAreContiguous) {
+  const auto& c = GetParam();
+  auto s = make_scrambler(c.vendor, c.row_bits);
+  for (std::size_t p = 1; p < c.row_bits; ++p) {
+    EXPECT_GE(s->tile_of_physical(p), s->tile_of_physical(p - 1));
+  }
+}
+
+TEST_P(ScramblerProperty, CoupledPairsAreAdjacentSameTile) {
+  const auto& c = GetParam();
+  auto s = make_scrambler(c.vendor, c.row_bits);
+  for (std::size_t p = 0; p + 1 < c.row_bits; ++p) {
+    const bool same_tile =
+        s->tile_of_physical(p) == s->tile_of_physical(p + 1);
+    EXPECT_EQ(s->coupled(p, p + 1), same_tile);
+    if (p + 2 < c.row_bits) {
+      EXPECT_FALSE(s->coupled(p, p + 2));
+    }
+  }
+}
+
+const std::set<std::int64_t> kVendorADistances{8, 16, 48};
+const std::set<std::int64_t> kVendorBDistances{1, 64};
+const std::set<std::int64_t> kVendorCDistances{16, 33, 49};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVendorsAndSizes, ScramblerProperty,
+    ::testing::Values(
+        VendorCase{Vendor::kA, 8192, kVendorADistances},
+        VendorCase{Vendor::kA, 1024, kVendorADistances},
+        VendorCase{Vendor::kA, 512, kVendorADistances},
+        VendorCase{Vendor::kB, 8192, kVendorBDistances},
+        VendorCase{Vendor::kB, 1024, kVendorBDistances},
+        VendorCase{Vendor::kB, 256, kVendorBDistances},
+        VendorCase{Vendor::kC, 8192, kVendorCDistances},
+        VendorCase{Vendor::kC, 1024, kVendorCDistances},
+        VendorCase{Vendor::kC, 256, kVendorCDistances},
+        VendorCase{Vendor::kLinear, 8192, std::set<std::int64_t>{1}}),
+    [](const ::testing::TestParamInfo<VendorCase>& info) {
+      return vendor_name(info.param.vendor) +
+             std::to_string(info.param.row_bits);
+    });
+
+TEST(MotifScrambler, RejectsNonPermutationMotif) {
+  EXPECT_THROW(MotifScrambler(64, 2, {0, 0, 1, 2}, "bad"),
+               parbor::CheckError);
+}
+
+TEST(MotifScrambler, RejectsMisalignedRowSize) {
+  EXPECT_THROW(MotifScrambler(100, 8, {0, 1, 2, 3}, "bad"),
+               parbor::CheckError);
+}
+
+TEST(MotifScrambler, CustomMotifYieldsExpectedDistances) {
+  // Steps of motif [0,2,1,3] are {+2,-1,+2}, wrap +1; stride 4 scales the
+  // distance set to {4, 8}.
+  MotifScrambler s(256, 4, {0, 2, 1, 3}, "custom");
+  EXPECT_EQ(s.abs_distance_set(), (std::set<std::int64_t>{4, 8}));
+}
+
+TEST(VendorC, EveryDistanceActuallyOccurs) {
+  VendorCScrambler s(8192);
+  // Count occurrences of each signed step to ensure the set is not achieved
+  // by a degenerate single pair.
+  std::size_t n16 = 0, n33 = 0, n49 = 0;
+  for (std::size_t p = 0; p + 1 < s.row_bits(); ++p) {
+    if (!s.coupled(p, p + 1)) continue;
+    const auto d = std::abs(static_cast<std::int64_t>(s.to_system(p + 1)) -
+                            static_cast<std::int64_t>(s.to_system(p)));
+    if (d == 16) ++n16;
+    if (d == 33) ++n33;
+    if (d == 49) ++n49;
+  }
+  EXPECT_GT(n16, 10u);
+  EXPECT_GT(n33, 100u);
+  EXPECT_GT(n49, 100u);
+}
+
+}  // namespace
+}  // namespace parbor::dram

@@ -1,0 +1,107 @@
+// Wordline (row-to-row) coupling: the fault class PARBOR's filtering must
+// reject, because row-local tests cannot control adjacent-row content.
+#include <gtest/gtest.h>
+
+#include "dram/bank.h"
+#include "parbor/parbor.h"
+
+namespace parbor::dram {
+namespace {
+
+BankConfig config() {
+  BankConfig c;
+  c.rows = 64;
+  c.row_bits = 512;
+  c.remapped_cols = 0;
+  return c;
+}
+
+FaultModelParams wordline_only() {
+  FaultModelParams p;
+  p.coupling_cell_rate = 0.0;
+  p.weak_cell_rate = 0.0;
+  p.vrt_cell_rate = 0.0;
+  p.marginal_cell_rate = 0.0;
+  p.soft_error_rate = 0.0;
+  p.wordline_cell_rate = 0.02;
+  p.wordline_min_hold_ms = 100.0;
+  return p;
+}
+
+TEST(WordlineCoupling, FailsOnlyWhenAdjacentRowOpposes) {
+  LinearScrambler scr(512);
+  Bank bank(config(), wordline_only(), &scr, Rng(3));
+  // Find a wordline cell in a true row whose partner row is also true
+  // (rows 1..30 pair within the same anti block).
+  const WordlineCellProfile* cell = nullptr;
+  std::uint32_t row = 0;
+  for (std::uint32_t r = 1; r < 30 && cell == nullptr; ++r) {
+    for (const auto& w : bank.row_faults(r).wordline) {
+      cell = &w;
+      row = r;
+      break;
+    }
+  }
+  ASSERT_NE(cell, nullptr);
+  const auto nb_row = static_cast<std::uint32_t>(
+      static_cast<std::int64_t>(row) + cell->row_delta);
+
+  SimTime now = SimTime::ms(0);
+  auto run = [&](bool victim_bit, bool nb_bit) {
+    BitVec victim_row(512, victim_bit);
+    BitVec nb_content(512, nb_bit);
+    bank.write_row(row, victim_row, now);
+    bank.write_row(nb_row, nb_content, now);
+    now += SimTime::ms(200);
+    const auto flips = bank.read_row_flips(row, now, 1.0);
+    return std::find(flips.begin(), flips.end(), cell->phys_col) !=
+           flips.end();
+  };
+
+  EXPECT_TRUE(run(true, false));   // charged victim, discharged neighbour
+  EXPECT_FALSE(run(true, true));   // same charge: no disturbance
+  EXPECT_FALSE(run(false, false)); // victim discharged: not vulnerable
+}
+
+TEST(WordlineCoupling, ParborFiltersThemFromTheDistanceSet) {
+  // A module with bitline coupling AND a heavy wordline population: the
+  // wordline failures appear during discovery and the recursion, but the
+  // final distance set must still be exactly the scrambler's.
+  auto cfg = make_module_config(Vendor::kA, 1, Scale::kSmall);
+  cfg.chip.remapped_cols = 0;
+  cfg.chip.faults = FaultModelParams{};
+  cfg.chip.faults.coupling_cell_rate = 1e-3;
+  cfg.chip.faults.frac_strong = 1.0;
+  cfg.chip.faults.frac_weak = 0.0;
+  cfg.chip.faults.frac_tight = 0.0;
+  cfg.chip.faults.weak_cell_rate = 0.0;
+  cfg.chip.faults.vrt_cell_rate = 0.0;
+  cfg.chip.faults.marginal_cell_rate = 0.0;
+  cfg.chip.faults.soft_error_rate = 0.0;
+  cfg.chip.faults.wordline_cell_rate = 2e-4;
+  Module module(cfg);
+  mc::TestHost host(module);
+  const auto report = core::run_parbor_search_only(host, {});
+  EXPECT_EQ(report.search.abs_distances(),
+            module.chip(0).scrambler().abs_distance_set());
+}
+
+TEST(WordlineCoupling, EdgeRowsCannotFailOutOfRange) {
+  LinearScrambler scr(512);
+  auto params = wordline_only();
+  params.wordline_cell_rate = 0.05;
+  Bank bank(config(), params, &scr, Rng(9));
+  // Row 0 cells with row_delta -1 point outside the array: never fail.
+  BitVec ones(512, true);
+  bank.write_row(0, ones, SimTime::ms(0));
+  const auto flips = bank.read_row_flips(0, SimTime::ms(300), 1.0);
+  for (const auto& w : bank.row_faults(0).wordline) {
+    if (w.row_delta < 0) {
+      EXPECT_TRUE(std::find(flips.begin(), flips.end(), w.phys_col) ==
+                  flips.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parbor::dram

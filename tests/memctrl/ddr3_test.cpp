@@ -1,0 +1,56 @@
+// Verifies the DDR3-1600 timing arithmetic against the numbers the paper's
+// Appendix derives explicitly.
+#include "memctrl/ddr3.h"
+
+#include <gtest/gtest.h>
+
+namespace parbor::mc {
+namespace {
+
+TEST(Ddr3Timing, TwoBlockAccess) {
+  Ddr3Timing t;
+  // tRCD + 2*tCCD + tRP = 13.75 + 10 + 13.75 = 37.5 ns.  The paper's
+  // Appendix prints 42.5 ns for the same expression (an arithmetic slip);
+  // either value is negligible against the 64 ms per-bit wait, so the
+  // Appendix's day/year-scale conclusions are unchanged.
+  EXPECT_NEAR(t.two_block_access().nanoseconds(), 37.5, 1e-9);
+}
+
+TEST(Ddr3Timing, FullRowAccessIs667_5ns) {
+  Ddr3Timing t;
+  // tRCD + 128*tCCD + tRP = 13.75 + 640 + 13.75
+  EXPECT_NEAR(t.full_row_access(8192).nanoseconds(), 667.5, 1e-9);
+}
+
+TEST(Ddr3Timing, ModuleSweepMatchesAppendix) {
+  Ddr3Timing t;
+  // 262144 rows in a 2 GB module -> 174.98 ms.
+  EXPECT_NEAR(t.module_sweep(262144).milliseconds(), 174.98, 0.01);
+}
+
+TEST(Ddr3Timing, ModuleTestMatchesAppendix) {
+  Ddr3Timing t;
+  // write + 64 ms wait + read = 413.96 ms.
+  EXPECT_NEAR(t.module_test(262144).milliseconds(), 413.96, 0.01);
+  // 92 tests -> ~38 s; 132 tests -> ~55 s (paper rounds to 32/55 s).
+  EXPECT_NEAR(t.module_test(262144).seconds() * 92.0, 38.08, 0.1);
+  EXPECT_NEAR(t.module_test(262144).seconds() * 132.0, 54.64, 0.1);
+}
+
+TEST(NaiveTestTimes, MatchesAppendixEstimates) {
+  Ddr3Timing t;
+  const auto times = naive_test_times(t, 8192);
+  // Testing one bit ~ one refresh interval.
+  EXPECT_NEAR(times.per_bit_test_s, 0.064, 1e-4);
+  // O(n): 64 ms * 8192 = 8.73 minutes.
+  EXPECT_NEAR(times.linear_s / 60.0, 8.74, 0.05);
+  // O(n^2): 49 days.
+  EXPECT_NEAR(times.quadratic_s / 86400.0, 49.7, 0.5);
+  // O(n^3): ~1115 years.
+  EXPECT_NEAR(times.cubic_s / (86400.0 * 365.25), 1115.0, 10.0);
+  // O(n^4): ~9.1M years.
+  EXPECT_NEAR(times.quartic_s / (86400.0 * 365.25 * 1e6), 9.13, 0.1);
+}
+
+}  // namespace
+}  // namespace parbor::mc

@@ -1,0 +1,164 @@
+#include "memctrl/host.h"
+
+#include <gtest/gtest.h>
+
+namespace parbor::mc {
+namespace {
+
+dram::ModuleConfig quiet_module() {
+  auto cfg = dram::make_module_config(dram::Vendor::kA, 1, dram::Scale::kTiny);
+  cfg.chip.row_bits = 512;
+  cfg.chip.rows = 16;
+  cfg.chip.remapped_cols = 0;
+  cfg.chip.faults = dram::FaultModelParams{};
+  cfg.chip.faults.coupling_cell_rate = 0.0;
+  cfg.chip.faults.weak_cell_rate = 0.0;
+  cfg.chip.faults.vrt_cell_rate = 0.0;
+  cfg.chip.faults.marginal_cell_rate = 0.0;
+  cfg.chip.faults.soft_error_rate = 0.0;
+  return cfg;
+}
+
+TEST(TestHost, AllRowsEnumeratesFullGeometry) {
+  auto cfg = quiet_module();
+  dram::Module module(cfg);
+  TestHost host(module);
+  const auto rows = host.all_rows();
+  EXPECT_EQ(rows.size(), std::size_t{1} * 1 * 16);
+  EXPECT_EQ(rows.front(), (RowAddr{0, 0, 0}));
+  EXPECT_EQ(rows.back(), (RowAddr{0, 0, 15}));
+}
+
+TEST(TestHost, ClockAdvancesWithRowOpsAndWaits) {
+  auto cfg = quiet_module();
+  dram::Module module(cfg);
+  TestHost host(module);
+  const SimTime row_time = host.timing().full_row_access(512 / 8);
+  BitVec data(512);
+  host.write_row({0, 0, 0}, data);
+  EXPECT_EQ(host.now(), row_time);
+  host.read_row({0, 0, 0});
+  EXPECT_EQ(host.now(), row_time * 2);
+  host.wait(SimTime::ms(64));
+  EXPECT_EQ(host.now(), row_time * 2 + SimTime::ms(64));
+  EXPECT_EQ(host.row_operations(), 2u);
+}
+
+TEST(TestHost, RunTestWritesWaitsReads) {
+  auto cfg = quiet_module();
+  dram::Module module(cfg);
+  TestHost host(module, Ddr3Timing{}, SimTime::sec(4));
+  BitVec a(512), b(512);
+  a.set(1, true);
+  b.set(2, true);
+  std::vector<RowPattern> patterns{{{0, 0, 0}, &a}, {{0, 0, 1}, &b}};
+  const auto flips = host.run_test(patterns);
+  EXPECT_TRUE(flips.empty());  // quiet module: nothing fails
+  EXPECT_EQ(host.tests_run(), 1u);
+  EXPECT_GE(host.now(), SimTime::sec(4));
+  // Content persisted.
+  EXPECT_EQ(host.read_row({0, 0, 0}), a);
+  EXPECT_EQ(host.read_row({0, 0, 1}), b);
+}
+
+TEST(TestHost, BroadcastReachesEveryRow) {
+  auto cfg = quiet_module();
+  cfg.chips = 2;
+  dram::Module module(cfg);
+  TestHost host(module);
+  BitVec pattern(512);
+  pattern.set(100, true);
+  host.run_broadcast_test(pattern);
+  for (const auto& addr : host.all_rows()) {
+    EXPECT_EQ(host.read_row(addr), pattern);
+  }
+}
+
+TEST(TestHost, BroadcastDetectsPlantedCouplingFailures) {
+  auto cfg = quiet_module();
+  cfg.chip.faults.coupling_cell_rate = 0.01;
+  cfg.chip.faults.frac_strong = 1.0;
+  cfg.chip.faults.frac_weak = 0.0;
+  cfg.chip.faults.frac_tight = 0.0;
+  cfg.chip.faults.coupling_min_hold_ms = 100.0;
+  cfg.chip.faults.coupling_min_hold_spread_ms = 0.0;
+  dram::Module module(cfg);
+  TestHost host(module, Ddr3Timing{}, SimTime::sec(4));
+
+  // A solid pattern never produces data-dependent failures.
+  EXPECT_TRUE(host.run_broadcast_test(BitVec(512, true)).empty());
+  EXPECT_TRUE(host.run_broadcast_test(BitVec(512, false)).empty());
+
+  // A system-space pattern with mixed values must excite at least some
+  // strongly coupled cells across 16 rows at 1% density.
+  // Blocks of 8 system bits: vendor A maps some physical neighbours to
+  // system distance 8, so adjacent 8-blocks with opposite values excite
+  // strongly coupled cells.
+  BitVec mixed(512);
+  for (std::size_t i = 0; i < 512; ++i) mixed.set(i, (i >> 3) & 1);
+  const auto flips = host.run_broadcast_test(mixed);
+  EXPECT_FALSE(flips.empty());
+}
+
+TEST(TestHost, PhysicalGeneratedPathStoresPhysicalOrder) {
+  // The physical-space generator bypasses the scrambler: the bits land in
+  // physical columns directly, so reading back through the system interface
+  // returns the PERMUTED view.
+  auto cfg = quiet_module();
+  cfg.chip.vendor = dram::Vendor::kB;
+  dram::Module module(cfg);
+  TestHost host(module);
+  BitVec phys(512);
+  phys.set(3, true);  // physical column 3
+  host.run_generated_physical_test(
+      [&](RowAddr, BitVec& bits) { bits = phys; });
+  const BitVec sys = host.read_row({0, 0, 0});
+  const auto& scr = module.chip(0).scrambler();
+  EXPECT_EQ(sys.popcount(), 1u);
+  EXPECT_TRUE(sys.get(scr.to_system(3)));
+}
+
+TEST(TestHost, EveryIterationApiCountsOneTest) {
+  auto cfg = quiet_module();
+  dram::Module module(cfg);
+  TestHost host(module);
+  BitVec p(512);
+  host.run_broadcast_test(p);
+  EXPECT_EQ(host.tests_run(), 1u);
+  std::vector<RowPattern> rows{{{0, 0, 0}, &p}};
+  host.run_test(rows);
+  EXPECT_EQ(host.tests_run(), 2u);
+  host.run_generated_test([](RowAddr, BitVec& bits) { bits.fill(false); });
+  EXPECT_EQ(host.tests_run(), 3u);
+  host.run_generated_physical_test(
+      [](RowAddr, BitVec& bits) { bits.fill(false); });
+  EXPECT_EQ(host.tests_run(), 4u);
+}
+
+TEST(TestHost, RowOperationAccountingCoversWritesAndReads) {
+  auto cfg = quiet_module();
+  dram::Module module(cfg);
+  TestHost host(module);
+  const auto before = host.row_operations();
+  host.run_broadcast_test(BitVec(512));
+  // 16 rows written + 16 rows read.
+  EXPECT_EQ(host.row_operations() - before, 32u);
+}
+
+TEST(TestHost, GeneratedTestUsesPerRowContent) {
+  auto cfg = quiet_module();
+  dram::Module module(cfg);
+  TestHost host(module);
+  host.run_generated_test([](RowAddr addr, BitVec& bits) {
+    bits.fill(false);
+    bits.set(addr.row % 512, true);
+  });
+  for (const auto& addr : host.all_rows()) {
+    BitVec expect(512);
+    expect.set(addr.row % 512, true);
+    EXPECT_EQ(host.read_row(addr), expect);
+  }
+}
+
+}  // namespace
+}  // namespace parbor::mc

@@ -1,0 +1,89 @@
+// Integration: PARBOR-style campaigns expressed as SoftMC batch programs
+// produce the same observations as the host-driven API, and the program
+// layer's timing matches the host's accounting.
+#include <gtest/gtest.h>
+
+#include "memctrl/program.h"
+#include "parbor/fullchip.h"
+
+namespace parbor::mc {
+namespace {
+
+dram::ModuleConfig coupled() {
+  auto cfg = dram::make_module_config(dram::Vendor::kC, 1, dram::Scale::kTiny);
+  cfg.chip.remapped_cols = 0;
+  cfg.chip.faults = dram::FaultModelParams{};
+  cfg.chip.faults.coupling_cell_rate = 1e-3;
+  cfg.chip.faults.weak_cell_rate = 0.0;
+  cfg.chip.faults.vrt_cell_rate = 0.0;
+  cfg.chip.faults.marginal_cell_rate = 0.0;
+  cfg.chip.faults.soft_error_rate = 0.0;
+  return cfg;
+}
+
+TEST(ProgramIntegration, FullChipCampaignAsOneProgram) {
+  // Compile the neighbour-aware full-chip campaign (all rounds, both
+  // polarities) into one batch program and compare against the library's
+  // own campaign runner on an identical module.
+  auto cfg = coupled();
+  dram::Module m1(cfg), m2(cfg);
+  TestHost h1(m1), h2(m2);
+
+  const auto distances = m1.chip(0).scrambler().abs_distance_set();
+  const auto plan = core::make_round_plan(distances, h1.row_bits());
+
+  TestProgram program;
+  for (std::size_t r = 0; r < plan.rounds.size(); ++r) {
+    for (bool polarity : {true, false}) {
+      const auto idx = program.add_pattern(
+          core::round_pattern(plan, r, polarity, h1.row_bits()));
+      program.write_all_rows(idx).wait(h1.test_wait()).read_all_rows();
+    }
+  }
+  const auto program_result = execute_program(h1, program);
+  std::set<FlipRecord> from_program(program_result.flips.begin(),
+                                    program_result.flips.end());
+
+  const auto library_result = core::run_fullchip_test(h2, plan);
+  EXPECT_EQ(from_program, library_result.cells);
+  EXPECT_FALSE(from_program.empty());
+}
+
+TEST(ProgramIntegration, TimingMatchesHostAccounting) {
+  auto cfg = coupled();
+  dram::Module module(cfg);
+  TestHost host(module);
+  const std::uint64_t rows = cfg.chips * cfg.chip.banks * cfg.chip.rows;
+
+  TestProgram program;
+  const auto idx = program.add_pattern(BitVec(host.row_bits(), true));
+  program.write_all_rows(idx).wait(SimTime::ms(64)).read_all_rows();
+  const auto result = execute_program(host, program);
+
+  const SimTime row_op = host.timing().full_row_access(host.row_bits() / 8);
+  const SimTime expected = row_op * static_cast<std::int64_t>(2 * rows) +
+                           SimTime::ms(64);
+  EXPECT_EQ(result.elapsed, expected);
+}
+
+TEST(ProgramIntegration, ProgramsCompose) {
+  // Programs can be executed back to back on one host; state carries over.
+  auto cfg = coupled();
+  dram::Module module(cfg);
+  TestHost host(module);
+  TestProgram writer;
+  BitVec data(host.row_bits());
+  data.set(7, true);
+  const auto idx = writer.add_pattern(data);
+  writer.write_row({0, 0, 5}, idx);
+  execute_program(host, writer);
+
+  TestProgram reader;
+  reader.read_row({0, 0, 5});
+  const auto result = execute_program(host, reader);
+  EXPECT_TRUE(result.flips.empty());
+  EXPECT_EQ(host.read_row({0, 0, 5}), data);
+}
+
+}  // namespace
+}  // namespace parbor::mc

@@ -1,0 +1,114 @@
+#include "memctrl/program.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace parbor::mc {
+namespace {
+
+dram::ModuleConfig quiet(double coupling = 0.0) {
+  auto cfg = dram::make_module_config(dram::Vendor::kA, 1, dram::Scale::kTiny);
+  cfg.chip.rows = 16;
+  cfg.chip.row_bits = 512;
+  cfg.chip.remapped_cols = 0;
+  cfg.chip.faults = dram::FaultModelParams{};
+  cfg.chip.faults.coupling_cell_rate = coupling;
+  cfg.chip.faults.frac_strong = 1.0;
+  cfg.chip.faults.frac_weak = 0.0;
+  cfg.chip.faults.frac_tight = 0.0;
+  cfg.chip.faults.weak_cell_rate = 0.0;
+  cfg.chip.faults.vrt_cell_rate = 0.0;
+  cfg.chip.faults.marginal_cell_rate = 0.0;
+  cfg.chip.faults.soft_error_rate = 0.0;
+  cfg.chip.faults.coupling_min_hold_ms = 100.0;
+  cfg.chip.faults.coupling_min_hold_spread_ms = 0.0;
+  return cfg;
+}
+
+TEST(TestProgram, BuildsOpSequences) {
+  TestProgram p;
+  const auto idx = p.add_pattern(BitVec(512, true));
+  p.write_all_rows(idx).wait(SimTime::ms(64)).read_all_rows();
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.pattern_count(), 1u);
+  EXPECT_EQ(p.ops()[0].kind, TestProgram::Op::Kind::kWriteAllRows);
+  EXPECT_EQ(p.ops()[1].duration, SimTime::ms(64));
+}
+
+TEST(TestProgram, RejectsUnknownPatternIndex) {
+  TestProgram p;
+  EXPECT_THROW(p.write_all_rows(0), CheckError);
+  EXPECT_THROW(p.pattern(3), CheckError);
+}
+
+TEST(ExecuteProgram, QuietModuleProducesNoFlips) {
+  dram::Module module(quiet());
+  TestHost host(module);
+  TestProgram p;
+  const auto idx = p.add_pattern(BitVec(512, true));
+  p.write_all_rows(idx).wait(SimTime::sec(4)).read_all_rows();
+  const auto result = execute_program(host, p);
+  EXPECT_TRUE(result.flips.empty());
+  // One write + one read per row.
+  EXPECT_EQ(result.row_ops, 2ull * 16);
+  EXPECT_GE(result.elapsed, SimTime::sec(4));
+}
+
+TEST(ExecuteProgram, EquivalentToDirectHostCalls) {
+  // The same worst-case round expressed as a program and as direct host
+  // calls must observe the same failure set.
+  auto cfg = quiet(5e-3);
+  dram::Module m1(cfg), m2(cfg);
+  TestHost h1(m1), h2(m2);
+
+  BitVec pattern(512);
+  for (std::size_t i = 0; i < 512; ++i) pattern.set(i, (i >> 3) & 1);
+
+  TestProgram p;
+  const auto idx = p.add_pattern(pattern);
+  p.write_all_rows(idx).wait(h1.test_wait()).read_all_rows();
+  const auto program_result = execute_program(h1, p);
+
+  const auto direct = h2.run_broadcast_test(pattern);
+
+  std::set<FlipRecord> a(program_result.flips.begin(),
+                         program_result.flips.end());
+  std::set<FlipRecord> b(direct.begin(), direct.end());
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(ExecuteProgram, PerRowOpsTargetSingleRows) {
+  dram::Module module(quiet());
+  TestHost host(module);
+  TestProgram p;
+  BitVec marked(512);
+  marked.set(42, true);
+  const auto idx = p.add_pattern(marked);
+  p.write_row({0, 0, 3}, idx).read_row({0, 0, 3});
+  execute_program(host, p);
+  EXPECT_EQ(host.read_row({0, 0, 3}), marked);
+  EXPECT_EQ(host.read_row({0, 0, 4}).popcount(), 0u);
+}
+
+TEST(ExecuteProgram, MultiIterationCampaignAccumulates) {
+  // Two write/wait/read iterations with inverse patterns in one program.
+  dram::Module module(quiet(5e-3));
+  TestHost host(module);
+  BitVec pattern(512);
+  for (std::size_t i = 0; i < 512; ++i) pattern.set(i, (i >> 3) & 1);
+
+  TestProgram p;
+  const auto a = p.add_pattern(pattern);
+  const auto b = p.add_pattern(~pattern);
+  p.write_all_rows(a).wait(SimTime::sec(4)).read_all_rows();
+  p.write_all_rows(b).wait(SimTime::sec(4)).read_all_rows();
+  const auto result = execute_program(host, p);
+  EXPECT_FALSE(result.flips.empty());
+  EXPECT_EQ(result.row_ops, 4ull * 16);
+  EXPECT_GE(result.elapsed, SimTime::sec(8));
+}
+
+}  // namespace
+}  // namespace parbor::mc

@@ -1,0 +1,187 @@
+#include "parbor/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "parbor/recursive.h"
+#include "parbor/victims.h"
+
+namespace parbor::core {
+namespace {
+
+dram::ModuleConfig tiny_module(dram::Vendor vendor, std::uint32_t row_bits) {
+  auto cfg = dram::make_module_config(vendor, 1, dram::Scale::kTiny);
+  cfg.chip.rows = 16;
+  cfg.chip.row_bits = row_bits;
+  cfg.chip.remapped_cols = 0;
+  cfg.chip.faults = dram::FaultModelParams{};
+  cfg.chip.faults.coupling_cell_rate = 0.01;
+  cfg.chip.faults.weak_cell_rate = 0.0;
+  cfg.chip.faults.vrt_cell_rate = 0.0;
+  cfg.chip.faults.marginal_cell_rate = 0.0;
+  cfg.chip.faults.soft_error_rate = 0.0;
+  cfg.chip.faults.coupling_min_hold_ms = 100.0;
+  cfg.chip.faults.coupling_min_hold_spread_ms = 0.0;
+  return cfg;
+}
+
+// Builds a Victim record for the first strongly coupled cell in row 0.
+Victim strong_victim(dram::Module& module,
+                     const dram::CouplingProfile** profile_out = nullptr) {
+  auto& bank = module.chip(0).bank(0);
+  const auto& scr = module.chip(0).scrambler();
+  for (const auto& c : bank.row_faults(0).coupling) {
+    if (!c.strongly_coupled()) continue;
+    if (profile_out != nullptr) *profile_out = &c;
+    return Victim{{0, 0, 0},
+                  static_cast<std::uint32_t>(scr.to_system(c.phys_col)),
+                  /*fail_data=*/true};  // row 0 is a true row
+  }
+  ADD_FAILURE() << "no strongly coupled cell in row 0";
+  return {};
+}
+
+TEST(ExhaustiveSearch, RecoversStrongNeighborOfStrongVictim) {
+  auto cfg = tiny_module(dram::Vendor::kLinear, 64);
+  cfg.chip.faults.frac_strong = 1.0;
+  cfg.chip.faults.frac_weak = 0.0;
+  cfg.chip.faults.frac_tight = 0.0;
+  cfg.chip.faults.coupling_cell_rate = 0.08;
+  dram::Module module(cfg);
+  mc::TestHost host(module);
+  const dram::CouplingProfile* profile = nullptr;
+  const Victim v = strong_victim(module, &profile);
+  ASSERT_NE(profile, nullptr);
+
+  std::uint64_t tests = 0;
+  const auto distances = exhaustive_neighbor_search(host, v, &tests);
+  // O(n^2): all pairs excluding the victim bit.
+  EXPECT_EQ(tests, 63ull * 62 / 2);
+  const bool left = profile->c_left >= profile->threshold;
+  // Linear mapping: physical neighbour == system neighbour.
+  EXPECT_EQ(distances, (std::set<std::int64_t>{left ? -1 : +1}));
+}
+
+TEST(ExhaustiveSearch, RecoversBothNeighborsOfWeakVictim) {
+  auto cfg = tiny_module(dram::Vendor::kLinear, 64);
+  cfg.chip.faults.frac_strong = 0.0;
+  cfg.chip.faults.frac_weak = 1.0;
+  cfg.chip.faults.frac_tight = 0.0;
+  cfg.chip.faults.coupling_cell_rate = 0.08;
+  dram::Module module(cfg);
+  mc::TestHost host(module);
+  auto& bank = module.chip(0).bank(0);
+  ASSERT_FALSE(bank.row_faults(0).coupling.empty());
+  const auto& c = bank.row_faults(0).coupling.front();
+  ASSERT_TRUE(c.weakly_coupled());
+  const Victim v{{0, 0, 0}, c.phys_col, true};
+
+  const auto distances = exhaustive_neighbor_search(host, v, nullptr);
+  EXPECT_EQ(distances, (std::set<std::int64_t>{-1, +1}));
+}
+
+TEST(ExhaustiveSearch, AgreesWithParborOnScrambledModule) {
+  // Cross-validation on a small vendor-C module: the O(n^2) ground-truth
+  // search and PARBOR's O(1)-ish recursion must find consistent distances.
+  auto cfg = tiny_module(dram::Vendor::kC, 128);
+  cfg.chip.rows = 64;  // enough victims for the ranking statistics
+  cfg.chip.faults.frac_strong = 1.0;
+  cfg.chip.faults.frac_weak = 0.0;
+  cfg.chip.faults.frac_tight = 0.0;
+  cfg.chip.faults.coupling_cell_rate = 0.05;
+  dram::Module module(cfg);
+  mc::TestHost host(module);
+
+  const auto discovery = discover_victims(host, {});
+  ASSERT_GT(discovery.victims.size(), 4u);
+  const auto parbor = find_neighbor_distances(host, discovery.victims, {});
+
+  // Exhaustively test a handful of the same victims; every distance the
+  // naive search finds must be in PARBOR's set.
+  std::set<std::int64_t> exhaustive_abs;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (auto d : exhaustive_neighbor_search(host, discovery.victims[i],
+                                             nullptr)) {
+      exhaustive_abs.insert(d < 0 ? -d : d);
+    }
+  }
+  for (auto d : exhaustive_abs) {
+    EXPECT_TRUE(parbor.abs_distances().contains(d)) << "distance " << d;
+  }
+}
+
+TEST(LinearSearch, FindsStrongDistancesInParallel) {
+  auto cfg = tiny_module(dram::Vendor::kA, 128);
+  cfg.chip.faults.frac_strong = 1.0;
+  cfg.chip.faults.frac_weak = 0.0;
+  cfg.chip.faults.frac_tight = 0.0;
+  cfg.chip.faults.coupling_cell_rate = 0.05;
+  dram::Module module(cfg);
+  mc::TestHost host(module);
+  const auto discovery = discover_victims(host, {});
+  ASSERT_GT(discovery.victims.size(), 4u);
+
+  std::uint64_t tests = 0;
+  const auto distances =
+      linear_neighbor_search(host, discovery.victims, &tests);
+  // One test per victim-relative offset that at least one victim can reach.
+  EXPECT_LE(tests, 2ull * 128 - 2);
+  EXPECT_GE(tests, 128u);
+  std::set<std::int64_t> abs;
+  for (auto d : distances) abs.insert(d < 0 ? -d : d);
+  // Every found distance is a real one.
+  const auto truth = module.chip(0).scrambler().abs_distance_set();
+  for (auto d : abs) EXPECT_TRUE(truth.contains(d)) << d;
+  EXPECT_FALSE(abs.empty());
+}
+
+TEST(RandomCampaign, FindsStrongCellsWithHighProbability) {
+  auto cfg = tiny_module(dram::Vendor::kB, 512);
+  cfg.chip.faults.frac_strong = 1.0;
+  cfg.chip.faults.frac_weak = 0.0;
+  cfg.chip.faults.frac_tight = 0.0;
+  dram::Module module(cfg);
+  mc::TestHost host(module);
+  const auto result = run_random_campaign(host, 40, 99);
+  EXPECT_EQ(result.tests, 40u);
+
+  auto& bank = module.chip(0).bank(0);
+  const auto& scr = module.chip(0).scrambler();
+  std::size_t total = 0, found = 0;
+  for (std::uint32_t r = 0; r < cfg.chip.rows; ++r) {
+    for (const auto& c : bank.row_faults(r).coupling) {
+      ++total;
+      if (result.cells.contains(
+              {{0, 0, r},
+               static_cast<std::uint32_t>(scr.to_system(c.phys_col))})) {
+        ++found;
+      }
+    }
+  }
+  ASSERT_GT(total, 20u);
+  // Strong cells need victim + one neighbour aligned: 1/4 chance per test,
+  // so 40 tests leave essentially nothing undiscovered.
+  EXPECT_GE(found, total * 95 / 100);
+}
+
+TEST(SimpleCampaign, ScramblingDefeatsCheckerboards) {
+  // Vendor A's coupled pairs sit at even system distances, so 0101
+  // checkerboards put the SAME charge in every physically adjacent pair:
+  // the simple campaign finds no coupling failures at all.
+  auto cfg = tiny_module(dram::Vendor::kA, 512);
+  cfg.chip.faults.frac_strong = 1.0;
+  cfg.chip.faults.frac_weak = 0.0;
+  cfg.chip.faults.frac_tight = 0.0;
+  dram::Module module(cfg);
+  mc::TestHost host(module);
+  const auto result = run_simple_campaign(host);
+  EXPECT_EQ(result.tests, 4u);
+  EXPECT_TRUE(result.cells.empty());
+
+  // On an unscrambled (linear) device the same campaign finds plenty.
+  dram::Module linear(tiny_module(dram::Vendor::kLinear, 512));
+  mc::TestHost linear_host(linear);
+  EXPECT_FALSE(run_simple_campaign(linear_host).cells.empty());
+}
+
+}  // namespace
+}  // namespace parbor::core

@@ -1,0 +1,110 @@
+#include "parbor/classic_tests.h"
+
+#include <gtest/gtest.h>
+
+namespace parbor::core {
+namespace {
+
+dram::ModuleConfig module_with(double coupling, double weak) {
+  auto cfg = dram::make_module_config(dram::Vendor::kA, 1, dram::Scale::kTiny);
+  cfg.chip.remapped_cols = 0;
+  cfg.chip.faults = dram::FaultModelParams{};
+  cfg.chip.faults.coupling_cell_rate = coupling;
+  cfg.chip.faults.frac_strong = 1.0;
+  cfg.chip.faults.frac_weak = 0.0;
+  cfg.chip.faults.frac_tight = 0.0;
+  cfg.chip.faults.weak_cell_rate = weak;
+  cfg.chip.faults.weak_retention_min_ms = 100.0;
+  cfg.chip.faults.weak_retention_max_ms = 1000.0;
+  cfg.chip.faults.vrt_cell_rate = 0.0;
+  cfg.chip.faults.marginal_cell_rate = 0.0;
+  cfg.chip.faults.soft_error_rate = 0.0;
+  return cfg;
+}
+
+TEST(MarchCm, FindsRetentionFaultsButNoCouplingFaults) {
+  dram::Module module(module_with(1e-3, 1e-3));
+  mc::TestHost host(module);
+  const auto result = run_march_cm_campaign(host);
+  EXPECT_EQ(result.tests, 5u);
+
+  auto& bank = module.chip(0).bank(0);
+  const auto& scr = module.chip(0).scrambler();
+  std::size_t weak_total = 0, weak_found = 0, coupling_found = 0;
+  for (std::uint32_t r = 0; r < module.config().chip.rows; ++r) {
+    for (const auto& w : bank.row_faults(r).weak) {
+      ++weak_total;
+      if (result.cells.contains(
+              {{0, 0, r},
+               static_cast<std::uint32_t>(scr.to_system(w.phys_col))})) {
+        ++weak_found;
+      }
+    }
+    for (const auto& c : bank.row_faults(r).coupling) {
+      if (result.cells.contains(
+              {{0, 0, r},
+               static_cast<std::uint32_t>(scr.to_system(c.phys_col))})) {
+        ++coupling_found;
+      }
+    }
+  }
+  ASSERT_GT(weak_total, 10u);
+  // All weak cells (retention < 4 s) caught by the solid elements...
+  EXPECT_EQ(weak_found, weak_total);
+  // ...but the solid content never excites a single coupling fault.
+  EXPECT_EQ(coupling_found, 0u);
+}
+
+TEST(Npsf, UnscrambledAssumptionWorksOnlyOnLinearParts) {
+  // On a linear-mapped device the classic type-1 NPSF finds strong
+  // coupling cells; on vendor A (even-distance scrambling) the same test
+  // finds none of them.
+  for (auto vendor : {dram::Vendor::kLinear, dram::Vendor::kA}) {
+    auto cfg = module_with(1e-3, 0.0);
+    cfg.chip.vendor = vendor;
+    dram::Module module(cfg);
+    mc::TestHost host(module);
+    const auto result = run_npsf_campaign(host, {1});
+
+    auto& bank = module.chip(0).bank(0);
+    const auto& scr = module.chip(0).scrambler();
+    std::size_t total = 0, found = 0;
+    for (std::uint32_t r = 0; r < module.config().chip.rows; ++r) {
+      for (const auto& c : bank.row_faults(r).coupling) {
+        ++total;
+        if (result.cells.contains(
+                {{0, 0, r},
+                 static_cast<std::uint32_t>(scr.to_system(c.phys_col))})) {
+          ++found;
+        }
+      }
+    }
+    ASSERT_GT(total, 50u);
+    if (vendor == dram::Vendor::kLinear) {
+      EXPECT_GE(found, total * 95 / 100) << "linear";
+    } else {
+      EXPECT_EQ(found, 0u) << "vendor A";
+    }
+  }
+}
+
+TEST(Npsf, WithMeasuredDistancesEqualsParborFullChip) {
+  // Feeding PARBOR's measured distance set into the NPSF machinery IS the
+  // full-chip campaign: same round plan, same coverage.
+  auto cfg = module_with(1e-3, 0.0);
+  cfg.chip.vendor = dram::Vendor::kC;
+  dram::Module module(cfg);
+  mc::TestHost host(module);
+  const auto truth = module.chip(0).scrambler().abs_distance_set();
+  const auto npsf = run_npsf_campaign(host, truth);
+
+  dram::Module module2(cfg);
+  mc::TestHost host2(module2);
+  const auto plan = make_round_plan(truth, host2.row_bits());
+  const auto fullchip = run_fullchip_test(host2, plan);
+  EXPECT_EQ(npsf.cells, fullchip.cells);
+  EXPECT_EQ(npsf.tests, fullchip.tests);
+}
+
+}  // namespace
+}  // namespace parbor::core

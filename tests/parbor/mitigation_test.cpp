@@ -1,0 +1,95 @@
+#include "parbor/mitigation.h"
+
+#include <gtest/gtest.h>
+
+#include "parbor/parbor.h"
+
+namespace parbor::core {
+namespace {
+
+struct Setup {
+  dram::ModuleConfig config;
+  std::unique_ptr<dram::Module> module;
+  std::unique_ptr<mc::TestHost> host;
+  ParborReport report;
+};
+
+Setup characterise(dram::Vendor vendor) {
+  Setup s;
+  s.config = dram::make_module_config(vendor, 1, dram::Scale::kTiny);
+  s.config.chip.faults.vrt_cell_rate = 0.0;       // keep campaigns
+  s.config.chip.faults.marginal_cell_rate = 0.0;  // deterministic
+  s.config.chip.faults.soft_error_rate = 0.0;
+  s.module = std::make_unique<dram::Module>(s.config);
+  s.host = std::make_unique<mc::TestHost>(*s.module);
+  s.report = run_parbor(*s.host, {});
+  return s;
+}
+
+TEST(Mitigation, PlansReflectPolicy) {
+  auto s = characterise(dram::Vendor::kA);
+  const auto& cells = s.report.fullchip.cells;
+  ASSERT_FALSE(cells.empty());
+
+  const auto retire = plan_mitigation(s.report.fullchip,
+                                      MitigationPolicy::kRetireRows);
+  EXPECT_TRUE(retire.bits.empty());
+  EXPECT_FALSE(retire.rows.empty());
+  EXPECT_LE(retire.rows.size(), cells.size());
+
+  const auto repair =
+      plan_mitigation(s.report.fullchip, MitigationPolicy::kBitRepair);
+  EXPECT_EQ(repair.bits.size(), cells.size());
+  EXPECT_TRUE(repair.rows.empty());
+
+  // Overheads: retiring rows costs far more capacity than repairing bits;
+  // targeted refresh costs none.
+  const std::uint32_t row_bits = s.host->row_bits();
+  const auto refresh = plan_mitigation(s.report.fullchip,
+                                       MitigationPolicy::kTargetedRefresh);
+  EXPECT_GT(retire.capacity_cost_bits(row_bits),
+            repair.capacity_cost_bits(row_bits));
+  EXPECT_EQ(refresh.capacity_cost_bits(row_bits), 0u);
+  EXPECT_GT(retire.capacity_cost_fraction(row_bits, 64), 0.0);
+}
+
+class MitigationCoverage
+    : public ::testing::TestWithParam<MitigationPolicy> {};
+
+TEST_P(MitigationCoverage, PlanCoversRepeatCampaigns) {
+  auto s = characterise(dram::Vendor::kC);
+  const auto plan = plan_mitigation(s.report.fullchip, GetParam());
+  const auto check = verify_mitigation(*s.host, s.report.plan, plan);
+  EXPECT_GT(check.failures_seen, 0u);
+  EXPECT_EQ(check.residual, 0u)
+      << mitigation_policy_name(GetParam()) << " left failures uncovered";
+  EXPECT_EQ(check.covered, check.failures_seen);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, MitigationCoverage,
+                         ::testing::Values(MitigationPolicy::kRetireRows,
+                                           MitigationPolicy::kBitRepair,
+                                           MitigationPolicy::kTargetedRefresh),
+                         [](const auto& info) {
+                           auto n = mitigation_policy_name(info.param);
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Mitigation, IncompletePlanShowsResidual) {
+  auto s = characterise(dram::Vendor::kB);
+  auto plan = plan_mitigation(s.report.fullchip, MitigationPolicy::kBitRepair);
+  ASSERT_GT(plan.bits.size(), 1u);
+  // Drop half the repairs: the verification must notice.
+  auto it = plan.bits.begin();
+  for (std::size_t i = 0; i < plan.bits.size() / 2; ++i) {
+    it = plan.bits.erase(it);
+  }
+  const auto check = verify_mitigation(*s.host, s.report.plan, plan);
+  EXPECT_GT(check.residual, 0u);
+}
+
+}  // namespace
+}  // namespace parbor::core

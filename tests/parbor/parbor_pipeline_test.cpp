@@ -1,0 +1,147 @@
+// Integration tests: the full five-step PARBOR pipeline end to end.
+#include "parbor/parbor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace parbor::core {
+namespace {
+
+class PipelinePerVendor : public ::testing::TestWithParam<dram::Vendor> {};
+
+TEST_P(PipelinePerVendor, EndToEndRecoversMappingAndDetectsFailures) {
+  dram::Module module(
+      dram::make_module_config(GetParam(), 1, dram::Scale::kSmall));
+  mc::TestHost host(module);
+  const auto report = run_parbor(host, {});
+
+  // Step 2-4: the exact vendor distance set.
+  EXPECT_EQ(report.search.abs_distances(),
+            module.chip(0).scrambler().abs_distance_set());
+
+  // Step 5: the campaign ran pattern+inverse per round and found failures.
+  EXPECT_EQ(report.fullchip.tests, report.plan.total_tests());
+  EXPECT_FALSE(report.fullchip.cells.empty());
+
+  // Budget accounting.
+  EXPECT_EQ(report.total_tests(), report.discovery.tests +
+                                      report.search.tests +
+                                      report.fullchip.tests);
+  EXPECT_EQ(host.tests_run(), report.total_tests());
+
+  // all_detected() is the union of the discovery and full-chip finds.
+  const auto all = report.all_detected();
+  EXPECT_GE(all.size(), report.fullchip.cells.size());
+  for (const auto& cell : report.fullchip.cells) {
+    EXPECT_TRUE(all.contains(cell));
+  }
+}
+
+TEST_P(PipelinePerVendor, PaperTestBudgets) {
+  // Table 1 + §7.2: recursion 90/66/90, full-chip rounds 32/32/16,
+  // discovery 10.
+  dram::Module module(
+      dram::make_module_config(GetParam(), 1, dram::Scale::kSmall));
+  mc::TestHost host(module);
+  const auto report = run_parbor(host, {});
+  EXPECT_EQ(report.discovery.tests, 10u);
+  switch (GetParam()) {
+    case dram::Vendor::kA:
+      EXPECT_EQ(report.search.tests, 90u);
+      EXPECT_EQ(report.fullchip.tests, 32u);
+      break;
+    case dram::Vendor::kB:
+      EXPECT_EQ(report.search.tests, 66u);
+      EXPECT_EQ(report.fullchip.tests, 32u);
+      break;
+    case dram::Vendor::kC:
+      EXPECT_EQ(report.search.tests, 90u);
+      EXPECT_EQ(report.fullchip.tests, 16u);
+      break;
+    default:
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Vendors, PipelinePerVendor,
+                         ::testing::Values(dram::Vendor::kA, dram::Vendor::kB,
+                                           dram::Vendor::kC),
+                         [](const auto& info) {
+                           return dram::vendor_name(info.param);
+                         });
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  const auto config =
+      dram::make_module_config(dram::Vendor::kA, 2, dram::Scale::kTiny);
+  dram::Module m1(config), m2(config);
+  mc::TestHost h1(m1), h2(m2);
+  const auto r1 = run_parbor(h1, {});
+  const auto r2 = run_parbor(h2, {});
+  EXPECT_EQ(r1.search.distances, r2.search.distances);
+  EXPECT_EQ(r1.fullchip.cells, r2.fullchip.cells);
+  EXPECT_EQ(r1.total_tests(), r2.total_tests());
+}
+
+TEST(Pipeline, ThrowsOnFailureFreeModule) {
+  auto config =
+      dram::make_module_config(dram::Vendor::kA, 1, dram::Scale::kTiny);
+  config.chip.faults = dram::FaultModelParams{};
+  config.chip.faults.coupling_cell_rate = 0.0;
+  config.chip.faults.weak_cell_rate = 0.0;
+  config.chip.faults.vrt_cell_rate = 0.0;
+  config.chip.faults.marginal_cell_rate = 0.0;
+  config.chip.faults.soft_error_rate = 0.0;
+  config.chip.remapped_cols = 0;
+  dram::Module module(config);
+  mc::TestHost host(module);
+  EXPECT_THROW(run_parbor(host, {}), CheckError);
+}
+
+TEST(Pipeline, RejectsInvalidConfigs) {
+  dram::Module module(
+      dram::make_module_config(dram::Vendor::kA, 1, dram::Scale::kTiny));
+  mc::TestHost host(module);
+  ParborConfig bad;
+  bad.subdivision = 1;
+  EXPECT_THROW(run_parbor_search_only(host, bad), CheckError);
+  bad = {};
+  bad.rank_threshold = 1.5;
+  EXPECT_THROW(run_parbor_search_only(host, bad), CheckError);
+  bad = {};
+  bad.marginal_discard_frac = 0.0;
+  EXPECT_THROW(run_parbor_search_only(host, bad), CheckError);
+  bad = {};
+  bad.discovery_patterns = 0;
+  EXPECT_THROW(run_parbor_search_only(host, bad), CheckError);
+  bad = {};
+  bad.max_victims = 0;
+  EXPECT_THROW(run_parbor_search_only(host, bad), CheckError);
+}
+
+TEST(Pipeline, SearchOnlySkipsFullChip) {
+  dram::Module module(
+      dram::make_module_config(dram::Vendor::kB, 1, dram::Scale::kTiny));
+  mc::TestHost host(module);
+  const auto report = run_parbor_search_only(host, {});
+  EXPECT_EQ(report.fullchip.tests, 0u);
+  EXPECT_TRUE(report.fullchip.cells.empty());
+  EXPECT_FALSE(report.search.distances.empty());
+}
+
+TEST(Pipeline, SimulatedTimeMatchesTimingModel) {
+  // Every test is a full-module write + wait + read; the host's clock must
+  // advance accordingly (recursion tests only touch victim rows, so they
+  // are cheaper than broadcasts — the wait interval dominates regardless).
+  dram::Module module(
+      dram::make_module_config(dram::Vendor::kC, 1, dram::Scale::kTiny));
+  mc::TestHost host(module);
+  const auto report = run_parbor(host, {});
+  const double min_wall =
+      host.test_wait().seconds() * static_cast<double>(report.total_tests());
+  EXPECT_GE(host.now().seconds(), min_wall);
+  EXPECT_LT(host.now().seconds(), min_wall * 1.2);
+}
+
+}  // namespace
+}  // namespace parbor::core

@@ -1,0 +1,163 @@
+#include "parbor/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace parbor::core {
+namespace {
+
+bool plan_partitions_chunk(const RoundPlan& plan) {
+  std::vector<int> seen(plan.chunk, 0);
+  for (const auto& round : plan.rounds) {
+    for (auto o : round) {
+      if (o >= plan.chunk) return false;
+      ++seen[o];
+    }
+  }
+  for (int c : seen) {
+    if (c != 1) return false;
+  }
+  return true;
+}
+
+bool plan_is_independent(const RoundPlan& plan,
+                         const std::set<std::int64_t>& d) {
+  for (const auto& round : plan.rounds) {
+    for (std::size_t i = 0; i < round.size(); ++i) {
+      for (std::size_t j = i + 1; j < round.size(); ++j) {
+        const std::uint32_t fwd =
+            round[i] < round[j] ? round[j] - round[i] : round[i] - round[j];
+        if (d.contains(fwd) || d.contains(plan.chunk - fwd)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(RoundPlan, VendorAUsesContiguousGroupsOf8) {
+  // Paper §7.2: A's distances {±8,±16,±48} allow sets of 8 contiguous bits
+  // per round -> 16 rounds, 32 tests with inverses.
+  const auto plan = make_round_plan({8, 16, 48}, 8192);
+  EXPECT_EQ(plan.chunk, 128u);
+  EXPECT_EQ(plan.rounds.size(), 16u);
+  EXPECT_EQ(plan.total_tests(), 32u);
+  EXPECT_TRUE(plan_partitions_chunk(plan));
+  EXPECT_TRUE(plan_is_independent(plan, {8, 16, 48}));
+}
+
+TEST(RoundPlan, VendorCUsesContiguousGroupsOf16) {
+  // Paper §7.2: C requires 16 total rounds (8 base).
+  const auto plan = make_round_plan({16, 33, 49}, 8192);
+  EXPECT_EQ(plan.chunk, 128u);
+  EXPECT_EQ(plan.rounds.size(), 8u);
+  EXPECT_EQ(plan.total_tests(), 16u);
+  EXPECT_TRUE(plan_partitions_chunk(plan));
+  EXPECT_TRUE(plan_is_independent(plan, {16, 33, 49}));
+}
+
+TEST(RoundPlan, VendorBUsesStridedGroups) {
+  // Paper §7.2: B requires 32 total rounds (16 base); distance 1 forbids
+  // contiguous groups.
+  const auto plan = make_round_plan({1, 64}, 8192);
+  EXPECT_EQ(plan.chunk, 128u);
+  EXPECT_EQ(plan.rounds.size(), 16u);
+  EXPECT_EQ(plan.total_tests(), 32u);
+  EXPECT_TRUE(plan_partitions_chunk(plan));
+  EXPECT_TRUE(plan_is_independent(plan, {1, 64}));
+}
+
+TEST(RoundPlan, GreedyFallbackHandlesExoticSets) {
+  const std::set<std::int64_t> exotic{3, 5, 17};
+  const auto plan = make_round_plan(exotic, 8192);
+  EXPECT_TRUE(plan_partitions_chunk(plan));
+  EXPECT_TRUE(plan_is_independent(plan, exotic));
+}
+
+TEST(RoundPlan, ChunkClampsToRowSize) {
+  const auto plan = make_round_plan({8, 16, 48}, 128);
+  EXPECT_EQ(plan.chunk, 128u);
+  EXPECT_TRUE(plan_partitions_chunk(plan));
+}
+
+TEST(RoundPlan, RejectsInvalidDistanceSets) {
+  EXPECT_THROW(make_round_plan({}, 8192), CheckError);
+  EXPECT_THROW(make_round_plan({0, 8}, 8192), CheckError);
+  EXPECT_THROW(make_round_plan({-8}, 8192), CheckError);
+  EXPECT_THROW(make_round_plan({5000}, 8192), CheckError);
+}
+
+// Property sweep: random distance sets always yield a valid plan.
+class RoundPlanProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundPlanProperty, RandomDistanceSetsYieldValidPlans) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1031 + 7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::set<std::int64_t> distances;
+    const int k = 1 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < k; ++i) {
+      distances.insert(1 + static_cast<std::int64_t>(rng.below(100)));
+    }
+    const auto plan = make_round_plan(distances, 8192);
+    EXPECT_TRUE(plan_partitions_chunk(plan));
+    EXPECT_TRUE(plan_is_independent(plan, distances))
+        << "seed " << GetParam() << " trial " << trial;
+    EXPECT_GE(plan.chunk, 2 * static_cast<std::uint32_t>(*distances.rbegin()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundPlanProperty, ::testing::Range(0, 8));
+
+TEST(RoundPlanGreedy, FewerRoundsStillValid) {
+  for (const std::set<std::int64_t>& d :
+       {std::set<std::int64_t>{8, 16, 48}, std::set<std::int64_t>{1, 64},
+        std::set<std::int64_t>{16, 33, 49}}) {
+    const auto paper = make_round_plan(d, 8192);
+    const auto greedy = make_round_plan_greedy(d, 8192);
+    EXPECT_LE(greedy.rounds.size(), paper.rounds.size());
+    EXPECT_TRUE(plan_partitions_chunk(greedy));
+    EXPECT_TRUE(plan_is_independent(greedy, d));
+  }
+}
+
+TEST(RoundPattern, SetsTestedBitsAcrossAllChunks) {
+  const auto plan = make_round_plan({8, 16, 48}, 512);
+  const BitVec pattern = round_pattern(plan, 3, true, 512);
+  for (std::uint32_t base = 0; base < 512; base += plan.chunk) {
+    for (std::uint32_t o = 0; o < plan.chunk; ++o) {
+      const bool tested =
+          std::find(plan.rounds[3].begin(), plan.rounds[3].end(), o) !=
+          plan.rounds[3].end();
+      EXPECT_EQ(pattern.get(base + o), tested) << "offset " << o;
+    }
+  }
+}
+
+TEST(RoundPattern, InverseFlipsEverything) {
+  const auto plan = make_round_plan({16, 33, 49}, 512);
+  const BitVec a = round_pattern(plan, 0, true, 512);
+  const BitVec b = round_pattern(plan, 0, false, 512);
+  EXPECT_EQ(a, ~b);
+}
+
+TEST(RoundPattern, EveryBitTestedExactlyOnceAcrossRounds) {
+  const auto plan = make_round_plan({1, 64}, 1024);
+  std::vector<int> tested(1024, 0);
+  for (std::size_t r = 0; r < plan.rounds.size(); ++r) {
+    const BitVec p = round_pattern(plan, r, true, 1024);
+    for (std::size_t b = 0; b < 1024; ++b) {
+      if (p.get(b)) ++tested[b];
+    }
+  }
+  for (int c : tested) EXPECT_EQ(c, 1);
+}
+
+TEST(RoundPattern, RejectsOutOfRangeRound) {
+  const auto plan = make_round_plan({8}, 512);
+  EXPECT_THROW(round_pattern(plan, plan.rounds.size(), true, 512),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace parbor::core

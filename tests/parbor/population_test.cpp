@@ -1,0 +1,40 @@
+// Integration sweep over the full 18-module population (the paper's
+// A1..C6): every configured module, with its own fault mix and generation
+// scaling, must characterise to its vendor's exact distance set and stay
+// within the paper's test budgets.
+#include <gtest/gtest.h>
+
+#include "parbor/parbor.h"
+
+namespace parbor::core {
+namespace {
+
+class PopulationSweep
+    : public ::testing::TestWithParam<dram::ModuleConfig> {};
+
+TEST_P(PopulationSweep, CharacterisesExactly) {
+  dram::ModuleConfig config = GetParam();
+  dram::Module module(config);
+  mc::TestHost host(module);
+  const auto report = run_parbor_search_only(host, {});
+
+  EXPECT_EQ(report.search.abs_distances(),
+            module.chip(0).scrambler().abs_distance_set())
+      << module.name();
+
+  // Budgets: discovery 10, recursion per Table 1.
+  EXPECT_EQ(report.discovery.tests, 10u);
+  const std::uint64_t expected_recursion =
+      module.vendor() == dram::Vendor::kB ? 66u : 90u;
+  EXPECT_EQ(report.search.tests, expected_recursion) << module.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModules, PopulationSweep,
+    ::testing::ValuesIn(dram::make_population(dram::Scale::kSmall)),
+    [](const ::testing::TestParamInfo<dram::ModuleConfig>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace parbor::core

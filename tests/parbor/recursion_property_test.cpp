@@ -1,0 +1,82 @@
+// Property sweep: the end-to-end neighbour search across random seeds,
+// vendors, and fault mixes must never report a distance that is not a real
+// physical-neighbour distance (no false positives), and recovers the full
+// set whenever the victim sample is healthy.
+#include <gtest/gtest.h>
+
+#include "parbor/recursive.h"
+#include "parbor/victims.h"
+
+namespace parbor::core {
+namespace {
+
+struct SweepCase {
+  dram::Vendor vendor;
+  int seed;
+};
+
+class SearchSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SearchSweep, NoFalsePositiveDistances) {
+  const auto& param = GetParam();
+  auto cfg = dram::make_module_config(param.vendor, 1, dram::Scale::kSmall,
+                                      0x1000 + param.seed);
+  cfg.chip.remapped_cols = 0;
+  // Realistic mixture, including tight/weak cells and noise classes.
+  cfg.chip.faults.coupling_cell_rate = 8e-4;
+  dram::Module module(cfg);
+  mc::TestHost host(module);
+
+  ParborConfig pcfg;
+  pcfg.seed = 0x9000 + static_cast<std::uint64_t>(param.seed);
+  const auto discovery = discover_victims(host, pcfg);
+  ASSERT_GT(discovery.victims.size(), 50u);
+  const auto result = find_neighbor_distances(host, discovery.victims, pcfg);
+
+  const auto truth = module.chip(0).scrambler().abs_distance_set();
+  for (auto d : result.abs_distances()) {
+    EXPECT_TRUE(truth.contains(d))
+        << "vendor " << dram::vendor_name(param.vendor) << " seed "
+        << param.seed << ": phantom distance " << d;
+  }
+  // With hundreds of victims, the set must also be complete.
+  EXPECT_EQ(result.abs_distances(), truth);
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (auto vendor : {dram::Vendor::kA, dram::Vendor::kB, dram::Vendor::kC}) {
+    for (int seed = 0; seed < 4; ++seed) {
+      cases.push_back({vendor, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(VendorsAndSeeds, SearchSweep,
+                         ::testing::ValuesIn(sweep_cases()),
+                         [](const auto& info) {
+                           return dram::vendor_name(info.param.vendor) +
+                                  "s" + std::to_string(info.param.seed);
+                         });
+
+TEST(SearchSweep, SmallRowGeometries) {
+  // The recursion must adapt its level structure to non-8K rows.
+  for (std::uint32_t row_bits : {512u, 1024u, 2048u}) {
+    auto cfg =
+        dram::make_module_config(dram::Vendor::kB, 1, dram::Scale::kSmall);
+    cfg.chip.row_bits = row_bits;
+    cfg.chip.remapped_cols = 0;
+    cfg.chip.faults.coupling_cell_rate = 4e-3;
+    dram::Module module(cfg);
+    mc::TestHost host(module);
+    const auto discovery = discover_victims(host, {});
+    const auto result = find_neighbor_distances(host, discovery.victims, {});
+    EXPECT_EQ(result.abs_distances(),
+              module.chip(0).scrambler().abs_distance_set())
+        << "row_bits " << row_bits;
+  }
+}
+
+}  // namespace
+}  // namespace parbor::core

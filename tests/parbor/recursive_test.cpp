@@ -1,0 +1,146 @@
+#include "parbor/recursive.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "parbor/victims.h"
+
+namespace parbor::core {
+namespace {
+
+TEST(LevelRegionSizes, PaperGeometry) {
+  EXPECT_EQ(level_region_sizes(8192, 8),
+            (std::vector<std::uint32_t>{4096, 512, 64, 8, 1}));
+}
+
+TEST(LevelRegionSizes, OtherSubdivisions) {
+  EXPECT_EQ(level_region_sizes(8192, 2).front(), 4096u);
+  EXPECT_EQ(level_region_sizes(8192, 2).size(), 13u);
+  EXPECT_EQ(level_region_sizes(8192, 16),
+            (std::vector<std::uint32_t>{4096, 256, 16, 1}));
+  // Non-power-of-subdivision sizes still terminate at 1.
+  const auto sizes = level_region_sizes(512, 8);
+  EXPECT_EQ(sizes.front(), 256u);
+  EXPECT_EQ(sizes.back(), 1u);
+}
+
+TEST(LevelRegionSizes, RejectsDegenerateInput) {
+  EXPECT_THROW(level_region_sizes(1, 8), CheckError);
+  EXPECT_THROW(level_region_sizes(8192, 1), CheckError);
+}
+
+dram::ModuleConfig strong_module(dram::Vendor vendor) {
+  auto cfg = dram::make_module_config(vendor, 1, dram::Scale::kSmall);
+  cfg.chip.remapped_cols = 0;
+  cfg.chip.faults = dram::FaultModelParams{};
+  cfg.chip.faults.coupling_cell_rate = 1e-3;
+  cfg.chip.faults.frac_strong = 1.0;
+  cfg.chip.faults.frac_weak = 0.0;
+  cfg.chip.faults.frac_tight = 0.0;
+  cfg.chip.faults.weak_cell_rate = 0.0;
+  cfg.chip.faults.vrt_cell_rate = 0.0;
+  cfg.chip.faults.marginal_cell_rate = 0.0;
+  cfg.chip.faults.soft_error_rate = 0.0;
+  return cfg;
+}
+
+class RecursionPerVendor
+    : public ::testing::TestWithParam<dram::Vendor> {};
+
+TEST_P(RecursionPerVendor, FindsExactDistanceSet) {
+  dram::Module module(strong_module(GetParam()));
+  mc::TestHost host(module);
+  const auto victims = discover_victims(host, {});
+  ASSERT_GT(victims.victims.size(), 20u);
+  const auto result = find_neighbor_distances(host, victims.victims, {});
+  EXPECT_EQ(result.abs_distances(),
+            module.chip(0).scrambler().abs_distance_set());
+}
+
+TEST_P(RecursionPerVendor, TestCountFollowsRecurrence) {
+  // Table 1's accounting: t_1 = 2, t_i = |found_{i-1}| * subdivision.
+  dram::Module module(strong_module(GetParam()));
+  mc::TestHost host(module);
+  const auto victims = discover_victims(host, {});
+  const auto result = find_neighbor_distances(host, victims.victims, {});
+  ASSERT_GE(result.levels.size(), 2u);
+  EXPECT_EQ(result.levels[0].tests, 2u);
+  std::uint64_t total = result.levels[0].tests;
+  for (std::size_t i = 1; i < result.levels.size(); ++i) {
+    const auto subdiv = result.levels[i - 1].region_size /
+                        result.levels[i].region_size;
+    EXPECT_EQ(result.levels[i].tests,
+              result.levels[i - 1].found.size() * subdiv);
+    total += result.levels[i].tests;
+  }
+  EXPECT_EQ(result.tests, total);
+}
+
+TEST_P(RecursionPerVendor, RobustToMarginalNoise) {
+  auto cfg = strong_module(GetParam());
+  cfg.chip.faults.marginal_cell_rate = 2e-4;  // heavy marginal population
+  dram::Module module(cfg);
+  mc::TestHost host(module);
+  const auto victims = discover_victims(host, {});
+  const auto result = find_neighbor_distances(host, victims.victims, {});
+  EXPECT_EQ(result.abs_distances(),
+            module.chip(0).scrambler().abs_distance_set());
+}
+
+INSTANTIATE_TEST_SUITE_P(Vendors, RecursionPerVendor,
+                         ::testing::Values(dram::Vendor::kA, dram::Vendor::kB,
+                                           dram::Vendor::kC),
+                         [](const auto& info) {
+                           return dram::vendor_name(info.param);
+                         });
+
+TEST(Recursion, LinearMappingFindsAdjacentBits) {
+  dram::Module module(strong_module(dram::Vendor::kLinear));
+  mc::TestHost host(module);
+  const auto victims = discover_victims(host, {});
+  ASSERT_FALSE(victims.victims.empty());
+  const auto result = find_neighbor_distances(host, victims.victims, {});
+  EXPECT_EQ(result.abs_distances(), (std::set<std::int64_t>{1}));
+}
+
+TEST(Recursion, EmptyVictimSetTerminatesCleanly) {
+  dram::Module module(strong_module(dram::Vendor::kA));
+  mc::TestHost host(module);
+  const auto result = find_neighbor_distances(host, {}, {});
+  EXPECT_TRUE(result.distances.empty());
+  // L1 still runs its two tests, then nothing is found.
+  EXPECT_EQ(result.levels.front().tests, 2u);
+}
+
+TEST(Recursion, BothCouplingSidesContributeSigns) {
+  // Strong cells split ~50/50 between left- and right-coupled, so the
+  // final signed set must contain both signs of at least one distance.
+  dram::Module module(strong_module(dram::Vendor::kC));
+  mc::TestHost host(module);
+  const auto victims = discover_victims(host, {});
+  const auto result = find_neighbor_distances(host, victims.victims, {});
+  bool has_positive = false, has_negative = false;
+  for (auto d : result.distances) {
+    has_positive |= d > 0;
+    has_negative |= d < 0;
+  }
+  EXPECT_TRUE(has_positive);
+  EXPECT_TRUE(has_negative);
+}
+
+TEST(Recursion, OnlyStrongSideRequiredPerVictim) {
+  // A module where all strong cells couple to the LEFT physical neighbour
+  // still recovers the full distance set (both signs come from victims on
+  // either side of each pair).
+  auto cfg = strong_module(dram::Vendor::kB);
+  cfg.chip.faults.strong_left_prob = 1.0;
+  dram::Module module(cfg);
+  mc::TestHost host(module);
+  const auto victims = discover_victims(host, {});
+  const auto result = find_neighbor_distances(host, victims.victims, {});
+  EXPECT_EQ(result.abs_distances(),
+            module.chip(0).scrambler().abs_distance_set());
+}
+
+}  // namespace
+}  // namespace parbor::core

@@ -1,0 +1,135 @@
+#include "parbor/remap_ext.h"
+
+#include <gtest/gtest.h>
+
+#include "parbor/recursive.h"
+#include "parbor/victims.h"
+
+namespace parbor::core {
+namespace {
+
+dram::ModuleConfig strong_module(dram::Vendor vendor) {
+  auto cfg = dram::make_module_config(vendor, 1, dram::Scale::kTiny);
+  cfg.chip.remapped_cols = 0;
+  cfg.chip.faults = dram::FaultModelParams{};
+  cfg.chip.faults.coupling_cell_rate = 2e-3;
+  cfg.chip.faults.frac_strong = 1.0;
+  cfg.chip.faults.frac_weak = 0.0;
+  cfg.chip.faults.frac_tight = 0.0;
+  cfg.chip.faults.weak_cell_rate = 0.0;
+  cfg.chip.faults.vrt_cell_rate = 0.0;
+  cfg.chip.faults.marginal_cell_rate = 0.0;
+  cfg.chip.faults.soft_error_rate = 0.0;
+  return cfg;
+}
+
+TEST(VerifyRegularity, RegularVictimsPassIrregularPatternsFail) {
+  dram::Module module(strong_module(dram::Vendor::kA));
+  mc::TestHost host(module);
+  const auto discovery = discover_victims(host, {});
+  ASSERT_FALSE(discovery.victims.empty());
+  const Victim v = discovery.victims.front();
+
+  // With the true signed set, the victim's strong neighbour is covered.
+  std::set<std::int64_t> signed_set;
+  for (auto d : module.chip(0).scrambler().signed_step_set()) {
+    signed_set.insert(d);
+    signed_set.insert(-d);
+  }
+  EXPECT_TRUE(verify_regularity(host, v, signed_set));
+
+  // With a bogus distance set, nothing excites the victim.
+  std::uint64_t tests = 0;
+  EXPECT_FALSE(verify_regularity(host, v, {+3, -3}, &tests));
+  EXPECT_EQ(tests, 1u);
+}
+
+TEST(FindIndividualNeighbors, RecoversStrongNeighborExactly) {
+  dram::Module module(strong_module(dram::Vendor::kC));
+  mc::TestHost host(module);
+  const auto discovery = discover_victims(host, {});
+  ASSERT_GE(discovery.victims.size(), 3u);
+  const auto& scr = module.chip(0).scrambler();
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Victim v = discovery.victims[i];
+    std::uint64_t tests = 0;
+    const auto distances = find_individual_neighbors(host, v, 8, &tests);
+    ASSERT_FALSE(distances.empty());
+    EXPECT_GT(tests, 0u);
+    // Every found distance must identify a physically adjacent cell.
+    const std::size_t victim_phys = scr.to_physical(v.sys_bit);
+    for (auto d : distances) {
+      const auto nb_sys = static_cast<std::int64_t>(v.sys_bit) + d;
+      ASSERT_GE(nb_sys, 0);
+      const std::size_t nb_phys =
+          scr.to_physical(static_cast<std::size_t>(nb_sys));
+      EXPECT_TRUE(scr.coupled(std::min(victim_phys, nb_phys),
+                              std::max(victim_phys, nb_phys)))
+          << "distance " << d << " is not a physical neighbour";
+    }
+  }
+}
+
+TEST(DetectIrregularVictims, MapsSpareRegionNeighbors) {
+  // A module with repaired columns and a dense spare-region coupling
+  // population: the main recursion's distance set cannot explain the spare
+  // victims, but the per-victim extension maps them.
+  // Spare cells must stay RARE relative to regular victims: the same spare
+  // slot aliases the same column in every row of the bank, so a dense
+  // spare population would make its distances legitimately frequent and
+  // the ranking filter would (correctly) keep them in the main set.
+  auto cfg = strong_module(dram::Vendor::kLinear);
+  cfg.chip.rows = 96;
+  cfg.chip.spare_cols = 16;
+  cfg.chip.remapped_cols = 16;
+  cfg.chip.spare_coupling_rate = 0.015;
+  dram::Module module(cfg);
+  mc::TestHost host(module);
+
+  const auto discovery = discover_victims(host, {});
+  const auto main_result =
+      find_neighbor_distances(host, discovery.victims, {});
+  ASSERT_EQ(main_result.abs_distances(), (std::set<std::int64_t>{1}));
+
+  const auto detection = detect_irregular_victims(host, discovery.victims,
+                                                  main_result, {});
+  ASSERT_FALSE(detection.irregular.empty());
+  EXPECT_GT(detection.tests, 0u);
+
+  // Ground truth: spare cell i's neighbours alias remap[i +- 1].
+  auto& bank = module.chip(0).bank(0);
+  const auto& remap = bank.remapped_columns();
+  auto is_remapped = [&](std::uint32_t col) {
+    return std::find(remap.begin(), remap.end(), col) != remap.end();
+  };
+  for (const auto& entry : detection.irregular) {
+    // Every irregular victim sits on a remapped column (linear mapping:
+    // system bit == pre-repair physical column).
+    EXPECT_TRUE(is_remapped(entry.victim.sys_bit))
+        << "bit " << entry.victim.sys_bit;
+    // Its found neighbours are remapped columns too (the adjacent spares).
+    for (auto d : entry.distances) {
+      const auto nb = static_cast<std::int64_t>(entry.victim.sys_bit) + d;
+      ASSERT_GE(nb, 0);
+      EXPECT_TRUE(is_remapped(static_cast<std::uint32_t>(nb)))
+          << "neighbour bit " << nb;
+    }
+  }
+}
+
+TEST(DetectIrregularVictims, AllRegularMeansEmptyResult) {
+  dram::Module module(strong_module(dram::Vendor::kB));
+  mc::TestHost host(module);
+  const auto discovery = discover_victims(host, {});
+  const auto main_result =
+      find_neighbor_distances(host, discovery.victims, {});
+  const auto detection = detect_irregular_victims(host, discovery.victims,
+                                                  main_result, {});
+  EXPECT_TRUE(detection.irregular.empty());
+  // One verification test per victim, nothing more.
+  EXPECT_EQ(detection.tests, discovery.victims.size());
+}
+
+}  // namespace
+}  // namespace parbor::core

@@ -1,0 +1,105 @@
+#include "parbor/report_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace parbor::core {
+namespace {
+
+ParborReport sample_report() {
+  dram::Module module(
+      dram::make_module_config(dram::Vendor::kA, 1, dram::Scale::kTiny));
+  mc::TestHost host(module);
+  return run_parbor(host, {});
+}
+
+TEST(ReportIo, JsonContainsTheHeadlineNumbers) {
+  const auto report = sample_report();
+  ReportIoOptions options;
+  options.module_name = "A1";
+  options.vendor = "A";
+  const std::string json = report_to_json(report, options);
+  EXPECT_NE(json.find(R"("module":"A1")"), std::string::npos);
+  EXPECT_NE(json.find(R"("vendor":"A")"), std::string::npos);
+  EXPECT_NE(json.find(R"("total_tests":)" +
+                      std::to_string(report.total_tests())),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("levels":[)"), std::string::npos);
+  // Cells are omitted unless requested.
+  EXPECT_EQ(json.find(R"("cells":[)"), std::string::npos);
+
+  options.include_cells = true;
+  const std::string with_cells = report_to_json(report, options);
+  EXPECT_NE(with_cells.find(R"("cells":[)"), std::string::npos);
+  EXPECT_GT(with_cells.size(), json.size());
+}
+
+TEST(ReportIo, JsonIsStructurallyBalanced) {
+  const auto report = sample_report();
+  const std::string json = report_to_json(report, {});
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ReportIo, CellsCsvRoundTripsCounts) {
+  const auto report = sample_report();
+  std::ostringstream oss;
+  write_cells_csv(oss, report.fullchip.cells);
+  const std::string csv = oss.str();
+  const auto lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines),
+            report.fullchip.cells.size() + 1);  // header
+  EXPECT_EQ(csv.substr(0, 26), "chip,bank,row,sys_bit\n0,0,");
+}
+
+TEST(ReportIo, RankingCsvHasRowPerDistancePerLevel) {
+  const auto report = sample_report();
+  std::ostringstream oss;
+  write_ranking_csv(oss, report.search);
+  std::size_t expected = 1;  // header
+  for (const auto& level : report.search.levels) {
+    expected += level.ranking.sorted_by_key().size();
+  }
+  const std::string csv = oss.str();
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            expected);
+}
+
+TEST(ReportIo, WritesFilesToDisk) {
+  const auto report = sample_report();
+  const std::string prefix = "/tmp/parbor_report_test";
+  const std::string json_path = write_report_files(report, prefix, {});
+  EXPECT_EQ(json_path, prefix + ".json");
+  for (const char* suffix : {".json", "_cells.csv", "_ranking.csv"}) {
+    std::ifstream is(prefix + suffix);
+    EXPECT_TRUE(is.good()) << suffix;
+    std::string first_line;
+    std::getline(is, first_line);
+    EXPECT_FALSE(first_line.empty()) << suffix;
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace parbor::core

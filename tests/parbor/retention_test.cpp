@@ -1,0 +1,93 @@
+#include "parbor/retention.h"
+
+#include <gtest/gtest.h>
+
+namespace parbor::core {
+namespace {
+
+dram::ModuleConfig profiled_module() {
+  auto cfg = dram::make_module_config(dram::Vendor::kA, 1, dram::Scale::kTiny);
+  cfg.chip.remapped_cols = 0;
+  cfg.chip.faults = dram::FaultModelParams{};
+  cfg.chip.faults.vrt_cell_rate = 0.0;
+  cfg.chip.faults.marginal_cell_rate = 0.0;
+  cfg.chip.faults.soft_error_rate = 0.0;
+  return cfg;
+}
+
+TEST(RetentionProfile, FindsWeakRowsBelowRelaxedInterval) {
+  auto cfg = profiled_module();
+  cfg.chip.faults.coupling_cell_rate = 0.0;
+  cfg.chip.faults.weak_cell_rate = 5e-4;
+  cfg.chip.faults.weak_retention_min_ms = 100.0;   // < 256 ms: must be caught
+  cfg.chip.faults.weak_retention_max_ms = 2000.0;  // some rows survive
+  dram::Module module(cfg);
+  mc::TestHost host(module);
+  const auto plan = make_round_plan({8, 16, 48}, host.row_bits());
+  const auto profile = profile_retention(host, plan, SimTime::ms(256));
+
+  // Ground truth: rows with any weak cell whose retention < 256 ms.
+  std::set<mc::RowAddr> truth;
+  auto& bank = module.chip(0).bank(0);
+  for (std::uint32_t r = 0; r < cfg.chip.rows; ++r) {
+    for (const auto& w : bank.row_faults(r).weak) {
+      if (w.retention < SimTime::ms(256)) truth.insert({0, 0, r});
+    }
+  }
+  ASSERT_FALSE(truth.empty());
+  for (const auto& row : truth) {
+    EXPECT_TRUE(profile.fast_rows.contains(row)) << "row " << row.row;
+  }
+  // Rows whose weakest cell survives 256 ms stay in the slow bin, so the
+  // fast set must be a strict subset of all weak rows.
+  EXPECT_LT(profile.fast_fraction(), 1.0);
+  EXPECT_EQ(profile.rows_total, cfg.chip.rows);
+}
+
+TEST(RetentionProfile, CatchesCouplingRowsOnlyUnderWorstCase) {
+  auto cfg = profiled_module();
+  cfg.chip.faults.coupling_cell_rate = 1e-3;
+  cfg.chip.faults.frac_strong = 1.0;
+  cfg.chip.faults.frac_weak = 0.0;
+  cfg.chip.faults.frac_tight = 0.0;
+  cfg.chip.faults.weak_cell_rate = 0.0;
+  cfg.chip.faults.coupling_min_hold_ms = 120.0;  // fails at 256, not at 64
+  cfg.chip.faults.coupling_min_hold_spread_ms = 0.0;
+  dram::Module module(cfg);
+  mc::TestHost host(module);
+  const auto plan = make_round_plan(
+      module.chip(0).scrambler().abs_distance_set(), host.row_bits());
+  const auto profile = profile_retention(host, plan, SimTime::ms(256));
+
+  std::set<mc::RowAddr> truth;
+  auto& bank = module.chip(0).bank(0);
+  for (std::uint32_t r = 0; r < cfg.chip.rows; ++r) {
+    if (!bank.row_faults(r).coupling.empty()) truth.insert({0, 0, r});
+  }
+  ASSERT_FALSE(truth.empty());
+  for (const auto& row : truth) {
+    EXPECT_TRUE(profile.fast_rows.contains(row)) << "row " << row.row;
+  }
+  // And at the NOMINAL 64 ms interval nothing fails at all.
+  dram::Module fresh(cfg);
+  mc::TestHost fresh_host(fresh);
+  const auto nominal = profile_retention(fresh_host, plan, SimTime::ms(64));
+  EXPECT_TRUE(nominal.fast_rows.empty());
+}
+
+TEST(RetentionProfile, QuietModuleNeedsNoFastRows) {
+  auto cfg = profiled_module();
+  cfg.chip.faults.coupling_cell_rate = 0.0;
+  cfg.chip.faults.weak_cell_rate = 0.0;
+  dram::Module module(cfg);
+  mc::TestHost host(module);
+  const auto plan = make_round_plan({8, 16, 48}, host.row_bits());
+  const auto profile = profile_retention(host, plan, SimTime::ms(256));
+  EXPECT_TRUE(profile.fast_rows.empty());
+  EXPECT_DOUBLE_EQ(profile.fast_fraction(), 0.0);
+  // 2 solid + 2 * rounds worst-case tests.
+  EXPECT_EQ(profile.tests, 2 + 2 * plan.rounds.size());
+}
+
+}  // namespace
+}  // namespace parbor::core

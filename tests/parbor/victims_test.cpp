@@ -1,0 +1,133 @@
+#include "parbor/victims.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace parbor::core {
+namespace {
+
+dram::ModuleConfig coupled_module(double coupling_rate, double weak_rate) {
+  auto cfg = dram::make_module_config(dram::Vendor::kA, 1, dram::Scale::kTiny);
+  cfg.chip.remapped_cols = 0;
+  cfg.chip.faults = dram::FaultModelParams{};
+  cfg.chip.faults.coupling_cell_rate = coupling_rate;
+  cfg.chip.faults.frac_strong = 1.0;
+  cfg.chip.faults.frac_weak = 0.0;
+  cfg.chip.faults.frac_tight = 0.0;
+  cfg.chip.faults.weak_cell_rate = weak_rate;
+  cfg.chip.faults.vrt_cell_rate = 0.0;
+  cfg.chip.faults.marginal_cell_rate = 0.0;
+  cfg.chip.faults.soft_error_rate = 0.0;
+  cfg.chip.faults.coupling_min_hold_ms = 100.0;
+  cfg.chip.faults.coupling_min_hold_spread_ms = 0.0;
+  return cfg;
+}
+
+TEST(DiscoverVictims, FindsCouplingCellsNotWeakCells) {
+  // Weak cells fail in EVERY test writing their vulnerable polarity, so
+  // they must be excluded; strongly coupled cells pass/fail depending on
+  // the random content around them.
+  auto cfg = coupled_module(2e-3, 1e-3);
+  cfg.chip.faults.weak_retention_min_ms = 100.0;
+  cfg.chip.faults.weak_retention_max_ms = 200.0;  // well below the 4 s wait
+  dram::Module module(cfg);
+  mc::TestHost host(module);
+  const auto report = discover_victims(host, {});
+  EXPECT_EQ(report.tests, 10u);
+  ASSERT_FALSE(report.victims.empty());
+
+  // Collect the ground-truth populations.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> coupling, weak;
+  auto& bank = module.chip(0).bank(0);
+  const auto& scr = module.chip(0).scrambler();
+  for (std::uint32_t r = 0; r < cfg.chip.rows; ++r) {
+    for (const auto& c : bank.row_faults(r).coupling) {
+      coupling.insert({r, static_cast<std::uint32_t>(scr.to_system(c.phys_col))});
+    }
+    for (const auto& w : bank.row_faults(r).weak) {
+      weak.insert({r, static_cast<std::uint32_t>(scr.to_system(w.phys_col))});
+    }
+  }
+  for (const auto& v : report.victims) {
+    const auto key = std::make_pair(v.addr.row, v.sys_bit);
+    EXPECT_TRUE(coupling.contains(key))
+        << "victim at row " << v.addr.row << " bit " << v.sys_bit
+        << " is not a coupling cell";
+    EXPECT_FALSE(weak.contains(key));
+  }
+}
+
+TEST(DiscoverVictims, AtMostOneVictimPerRow) {
+  dram::Module module(coupled_module(5e-3, 0.0));
+  mc::TestHost host(module);
+  const auto report = discover_victims(host, {});
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> rows;
+  for (const auto& v : report.victims) {
+    EXPECT_TRUE(
+        rows.insert({v.addr.chip, v.addr.bank, v.addr.row}).second)
+        << "two victims share a row";
+  }
+}
+
+TEST(DiscoverVictims, RespectsSampleCap) {
+  dram::Module module(coupled_module(5e-3, 0.0));
+  mc::TestHost host(module);
+  ParborConfig cfg;
+  cfg.max_victims = 5;
+  const auto report = discover_victims(host, cfg);
+  EXPECT_LE(report.victims.size(), 5u);
+}
+
+TEST(DiscoverVictims, FailDataMatchesRowPolarity) {
+  // In a true row the charged (vulnerable) state is data 1; in an anti row
+  // it is data 0.  The anti block shift is 5, so rows 0-31 are true and
+  // rows 32-63 anti at the tiny scale.
+  dram::Module module(coupled_module(2e-3, 0.0));
+  mc::TestHost host(module);
+  const auto report = discover_victims(host, {});
+  ASSERT_FALSE(report.victims.empty());
+  bool saw_true = false, saw_anti = false;
+  for (const auto& v : report.victims) {
+    const bool anti = (v.addr.row >> 5) & 1;
+    EXPECT_EQ(v.fail_data, !anti);
+    saw_true |= !anti;
+    saw_anti |= anti;
+  }
+  EXPECT_TRUE(saw_true);
+  EXPECT_TRUE(saw_anti);
+}
+
+TEST(DiscoverVictims, ObservedSupersetOfVictims) {
+  dram::Module module(coupled_module(2e-3, 0.0));
+  mc::TestHost host(module);
+  const auto report = discover_victims(host, {});
+  for (const auto& v : report.victims) {
+    EXPECT_TRUE(report.observed.contains({v.addr, v.sys_bit}));
+  }
+}
+
+TEST(DiscoverVictims, QuietModuleYieldsNothing) {
+  dram::Module module(coupled_module(0.0, 0.0));
+  mc::TestHost host(module);
+  const auto report = discover_victims(host, {});
+  EXPECT_TRUE(report.victims.empty());
+  EXPECT_TRUE(report.observed.empty());
+}
+
+TEST(DiscoverVictims, DeterministicForFixedSeed) {
+  ParborConfig pcfg;
+  pcfg.seed = 77;
+  auto cfg = coupled_module(2e-3, 0.0);
+  dram::Module m1(cfg), m2(cfg);
+  mc::TestHost h1(m1), h2(m2);
+  const auto r1 = discover_victims(h1, pcfg);
+  const auto r2 = discover_victims(h2, pcfg);
+  ASSERT_EQ(r1.victims.size(), r2.victims.size());
+  for (std::size_t i = 0; i < r1.victims.size(); ++i) {
+    EXPECT_EQ(r1.victims[i], r2.victims[i]);
+  }
+}
+
+}  // namespace
+}  // namespace parbor::core

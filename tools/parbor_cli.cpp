@@ -1,0 +1,292 @@
+// parbor_cli — command-line front end for the PARBOR library.
+//
+//   parbor_cli map      [--vendor A|B|C] [--index N] [--scale tiny|small|medium]
+//                       [--json PREFIX]
+//       Determine the neighbour distance set of a module and print the
+//       per-level recursion summary.
+//
+//   parbor_cli test     [--vendor ...] [--index ...] [--scale ...]
+//                       [--json PREFIX]
+//       Run the full pipeline (discovery, recursion, neighbour-aware
+//       full-chip campaign) and report the detected failures.
+//
+//   parbor_cli compare  [--vendor ...] [--index ...] [--scale ...]
+//       PARBOR vs equal-budget random vs March C- vs unscrambled NPSF.
+//
+//   parbor_cli profile  [--vendor ...] [--interval-ms 256]
+//       RAIDR-style retention profiling (the DC-REF input).
+//
+//   parbor_cli mitigate [--vendor ...] [--index ...] [--scale ...]
+//       Plan and verify row-retirement / bit-repair / targeted-refresh
+//       mitigation from the detected failure set.
+//
+//   parbor_cli remap    [--vendor ...] [--index ...] [--scale ...]
+//       Screen the victim set for cells that disobey the regular mapping
+//       (remapped columns) and map their personal neighbour distances.
+//
+//   parbor_cli dcref    [--workload N] [--trfc-ns 1000]
+//       One 8-core DC-REF simulation (Fig. 16 point).
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "dcref/sim.h"
+#include "parbor/classic_tests.h"
+#include "parbor/parbor.h"
+#include "parbor/mitigation.h"
+#include "parbor/report_io.h"
+#include "parbor/remap_ext.h"
+#include "parbor/retention.h"
+
+using namespace parbor;
+
+namespace {
+
+dram::Vendor parse_vendor(const std::string& name) {
+  if (name == "B") return dram::Vendor::kB;
+  if (name == "C") return dram::Vendor::kC;
+  if (name == "linear") return dram::Vendor::kLinear;
+  return dram::Vendor::kA;
+}
+
+dram::Scale parse_scale(const std::string& name) {
+  if (name == "tiny") return dram::Scale::kTiny;
+  if (name == "medium") return dram::Scale::kMedium;
+  if (name == "large") return dram::Scale::kLarge;
+  return dram::Scale::kSmall;
+}
+
+dram::ModuleConfig config_from_flags(const Flags& flags) {
+  return dram::make_module_config(parse_vendor(flags.get("vendor", "A")),
+                                  static_cast<int>(flags.get_int("index", 1)),
+                                  parse_scale(flags.get("scale", "small")));
+}
+
+void print_search(const core::NeighborSearchResult& search) {
+  Table table({"Level", "Region size", "Tests", "Distances kept"});
+  for (const auto& level : search.levels) {
+    std::string found;
+    for (auto d : level.found) {
+      if (!found.empty()) found += ", ";
+      found += std::to_string(d);
+    }
+    table.add(level.level, level.region_size, level.tests, found);
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::string distances;
+  for (auto d : search.abs_distances()) {
+    if (!distances.empty()) distances += ", ";
+    distances += "±" + std::to_string(d);
+  }
+  std::printf("neighbour distances: {%s}  (%llu tests)\n", distances.c_str(),
+              static_cast<unsigned long long>(search.tests));
+}
+
+int cmd_map(const Flags& flags) {
+  const auto config = config_from_flags(flags);
+  dram::Module module(config);
+  mc::TestHost host(module);
+  const auto report = core::run_parbor_search_only(host, {});
+  std::printf("module %s (%s scrambling)\n", module.name().c_str(),
+              module.chip(0).scrambler().name().c_str());
+  print_search(report.search);
+  if (flags.has("json")) {
+    core::ReportIoOptions options;
+    options.module_name = module.name();
+    options.vendor = dram::vendor_name(module.vendor());
+    const auto path =
+        core::write_report_files(report, flags.get("json"), options);
+    std::printf("report written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_test(const Flags& flags) {
+  const auto config = config_from_flags(flags);
+  dram::Module module(config);
+  mc::TestHost host(module);
+  const auto report = core::run_parbor(host, {});
+  std::printf("module %s: %llu cells\n", module.name().c_str(),
+              static_cast<unsigned long long>(module.total_cells()));
+  print_search(report.search);
+  std::printf(
+      "full-chip campaign: %zu rounds (chunk %u bits), %llu tests, "
+      "%zu failing cells\ntotal budget: %llu tests (%.1f s simulated)\n",
+      report.plan.rounds.size(), report.plan.chunk,
+      static_cast<unsigned long long>(report.fullchip.tests),
+      report.fullchip.cells.size(),
+      static_cast<unsigned long long>(report.total_tests()),
+      host.now().seconds());
+  if (flags.has("json")) {
+    core::ReportIoOptions options;
+    options.module_name = module.name();
+    options.vendor = dram::vendor_name(module.vendor());
+    options.include_cells = flags.get_bool("cells");
+    const auto path =
+        core::write_report_files(report, flags.get("json"), options);
+    std::printf("report written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_compare(const Flags& flags) {
+  const auto config = config_from_flags(flags);
+  dram::Module module(config);
+  mc::TestHost host(module);
+  const auto report = core::run_parbor(host, {});
+  const auto parbor_cells = report.all_detected();
+  const auto random = core::run_random_campaign(host, report.total_tests(),
+                                                config.seed ^ 0xc11);
+  const auto march = core::run_march_cm_campaign(host);
+  const auto npsf = core::run_npsf_campaign(host, {1});
+
+  Table table({"Campaign", "Tests", "Failures", "vs PARBOR %"});
+  const double p = static_cast<double>(parbor_cells.size());
+  auto row = [&](const char* name, std::uint64_t tests, std::size_t cells) {
+    table.add(name, tests, cells, p > 0 ? 100.0 * cells / p : 0.0);
+  };
+  row("PARBOR", report.total_tests(), parbor_cells.size());
+  row("random (equal budget)", random.tests, random.cells.size());
+  row("March C- (retention-aware)", march.tests, march.cells.size());
+  row("NPSF (unscrambled +-1)", npsf.tests, npsf.cells.size());
+  std::printf("module %s\n%s", module.name().c_str(),
+              table.to_string().c_str());
+  return 0;
+}
+
+int cmd_profile(const Flags& flags) {
+  const auto config = config_from_flags(flags);
+  dram::Module module(config);
+  mc::TestHost host(module);
+  const auto report = core::run_parbor_search_only(host, {});
+  if (report.search.distances.empty()) {
+    std::printf("no data-dependent failures found; nothing to profile\n");
+    return 1;
+  }
+  const auto plan =
+      core::make_round_plan(report.search.abs_distances(), host.row_bits());
+  const double interval_ms = flags.get_double("interval-ms", 256.0);
+  const auto profile =
+      core::profile_retention(host, plan, SimTime::ms(interval_ms));
+  std::printf(
+      "module %s at %.0f ms: %zu of %llu rows (%.2f%%) need the fast "
+      "refresh rate (%llu profiling tests)\n",
+      module.name().c_str(), interval_ms, profile.fast_rows.size(),
+      static_cast<unsigned long long>(profile.rows_total),
+      100.0 * profile.fast_fraction(),
+      static_cast<unsigned long long>(profile.tests));
+  return 0;
+}
+
+int cmd_mitigate(const Flags& flags) {
+  const auto config = config_from_flags(flags);
+  dram::Module module(config);
+  mc::TestHost host(module);
+  const auto report = core::run_parbor(host, {});
+  const std::uint64_t total_rows = static_cast<std::uint64_t>(config.chips) *
+                                   config.chip.banks * config.chip.rows;
+  Table table({"Policy", "Rows", "Bits", "Capacity cost",
+               "Residual failures"});
+  for (auto policy : {core::MitigationPolicy::kRetireRows,
+                      core::MitigationPolicy::kBitRepair,
+                      core::MitigationPolicy::kTargetedRefresh}) {
+    const auto plan = core::plan_mitigation(report.fullchip, policy);
+    const auto check = core::verify_mitigation(host, report.plan, plan);
+    char cost[32];
+    std::snprintf(cost, sizeof cost, "%.4f%%",
+                  100.0 * plan.capacity_cost_fraction(host.row_bits(),
+                                                      total_rows));
+    table.add(core::mitigation_policy_name(policy), plan.rows.size(),
+              plan.bits.size(), cost, check.residual);
+  }
+  std::printf("module %s: %zu failing cells\n%s", module.name().c_str(),
+              report.fullchip.cells.size(), table.to_string().c_str());
+  return 0;
+}
+
+int cmd_remap(const Flags& flags) {
+  const auto config = config_from_flags(flags);
+  dram::Module module(config);
+  mc::TestHost host(module);
+  const auto report = core::run_parbor_search_only(host, {});
+  const auto detection = core::detect_irregular_victims(
+      host, report.discovery.victims, report.search, {});
+  std::printf(
+      "module %s: %zu victims screened, %zu irregular (remapped) victims "
+      "mapped with %llu extra tests\n",
+      module.name().c_str(), report.discovery.victims.size(),
+      detection.irregular.size(),
+      static_cast<unsigned long long>(detection.tests));
+  Table table({"Chip", "Bank", "Row", "Bit", "Personal distances"});
+  for (const auto& entry : detection.irregular) {
+    std::string ds;
+    for (auto d : entry.distances) {
+      if (!ds.empty()) ds += ", ";
+      ds += std::to_string(d);
+    }
+    table.add(entry.victim.addr.chip, entry.victim.addr.bank,
+              entry.victim.addr.row, entry.victim.sys_bit, ds);
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_dcref(const Flags& flags) {
+  dcref::SimConfig cfg;
+  cfg.mem.tRFC_ns = flags.get_double("trfc-ns", 1000.0);
+  const int workload = static_cast<int>(flags.get_int("workload", 0));
+  cfg.seed = 0x510c0 + static_cast<std::uint64_t>(workload) * 104729;
+  const auto apps = dcref::make_workload(workload);
+  const auto alone = dcref::alone_ipcs(apps, cfg);
+
+  Table table({"Policy", "Weighted speedup", "vs baseline %", "fast rows %"});
+  dcref::UniformRefresh uniform;
+  const auto base = dcref::run_simulation(apps, uniform, cfg);
+  const double ws_base = dcref::weighted_speedup(base, alone);
+  table.add("uniform-64ms", ws_base, 0.0, 100.0);
+  dcref::RaidrRefresh raidr(0.164);
+  const double ws_raidr =
+      dcref::weighted_speedup(dcref::run_simulation(apps, raidr, cfg), alone);
+  table.add("RAIDR", ws_raidr, 100.0 * (ws_raidr / ws_base - 1.0), 16.4);
+  dcref::DcRefRefresh policy(cfg.mem.total_rows, 0.164);
+  const auto d = dcref::run_simulation(apps, policy, cfg);
+  const double ws_dcref = dcref::weighted_speedup(d, alone);
+  table.add("DC-REF", ws_dcref, 100.0 * (ws_dcref / ws_base - 1.0),
+            100.0 * d.mean_high_rate_fraction);
+  std::printf("workload %d, tRFC %.0f ns\n%s", workload, cfg.mem.tRFC_ns,
+              table.to_string().c_str());
+  return 0;
+}
+
+int usage() {
+  std::printf(
+      "usage: parbor_cli <map|test|compare|profile|mitigate|remap|dcref> [flags]\n"
+      "  common flags: --vendor A|B|C|linear --index 1..6 "
+      "--scale tiny|small|medium|large\n"
+      "  map/test:     --json PREFIX [--cells true]\n"
+      "  profile:      --interval-ms N\n"
+      "  dcref:        --workload N --trfc-ns N\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  if (!flags.ok() || flags.positional().empty()) return usage();
+  const std::string& cmd = flags.positional().front();
+  try {
+    if (cmd == "map") return cmd_map(flags);
+    if (cmd == "test") return cmd_test(flags);
+    if (cmd == "compare") return cmd_compare(flags);
+    if (cmd == "profile") return cmd_profile(flags);
+    if (cmd == "mitigate") return cmd_mitigate(flags);
+    if (cmd == "remap") return cmd_remap(flags);
+    if (cmd == "dcref") return cmd_dcref(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
