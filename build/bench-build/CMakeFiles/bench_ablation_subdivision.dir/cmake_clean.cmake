@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_subdivision"
+  "../bench/bench_ablation_subdivision.pdb"
+  "CMakeFiles/bench_ablation_subdivision.dir/bench_ablation_subdivision.cpp.o"
+  "CMakeFiles/bench_ablation_subdivision.dir/bench_ablation_subdivision.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_subdivision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

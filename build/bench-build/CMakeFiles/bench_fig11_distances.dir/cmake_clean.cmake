@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_distances"
+  "../bench/bench_fig11_distances.pdb"
+  "CMakeFiles/bench_fig11_distances.dir/bench_fig11_distances.cpp.o"
+  "CMakeFiles/bench_fig11_distances.dir/bench_fig11_distances.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_distances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_extra_failures"
+  "../bench/bench_fig12_extra_failures.pdb"
+  "CMakeFiles/bench_fig12_extra_failures.dir/bench_fig12_extra_failures.cpp.o"
+  "CMakeFiles/bench_fig12_extra_failures.dir/bench_fig12_extra_failures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_extra_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

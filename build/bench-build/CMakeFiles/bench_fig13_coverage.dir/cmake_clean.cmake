@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_coverage"
+  "../bench/bench_fig13_coverage.pdb"
+  "CMakeFiles/bench_fig13_coverage.dir/bench_fig13_coverage.cpp.o"
+  "CMakeFiles/bench_fig13_coverage.dir/bench_fig13_coverage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

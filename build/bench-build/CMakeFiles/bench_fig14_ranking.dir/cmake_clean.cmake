@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_ranking"
+  "../bench/bench_fig14_ranking.pdb"
+  "CMakeFiles/bench_fig14_ranking.dir/bench_fig14_ranking.cpp.o"
+  "CMakeFiles/bench_fig14_ranking.dir/bench_fig14_ranking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_dcref"
+  "../bench/bench_fig16_dcref.pdb"
+  "CMakeFiles/bench_fig16_dcref.dir/bench_fig16_dcref.cpp.o"
+  "CMakeFiles/bench_fig16_dcref.dir/bench_fig16_dcref.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_dcref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

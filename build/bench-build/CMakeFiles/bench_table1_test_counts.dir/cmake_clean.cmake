@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_test_counts"
+  "../bench/bench_table1_test_counts.pdb"
+  "CMakeFiles/bench_table1_test_counts.dir/bench_table1_test_counts.cpp.o"
+  "CMakeFiles/bench_table1_test_counts.dir/bench_table1_test_counts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_test_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

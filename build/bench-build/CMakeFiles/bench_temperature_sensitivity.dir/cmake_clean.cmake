@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_temperature_sensitivity"
+  "../bench/bench_temperature_sensitivity.pdb"
+  "CMakeFiles/bench_temperature_sensitivity.dir/bench_temperature_sensitivity.cpp.o"
+  "CMakeFiles/bench_temperature_sensitivity.dir/bench_temperature_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_temperature_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcref_refresh_savings.dir/dcref_refresh_savings.cpp.o"
+  "CMakeFiles/dcref_refresh_savings.dir/dcref_refresh_savings.cpp.o.d"
+  "dcref_refresh_savings"
+  "dcref_refresh_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcref_refresh_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_campaign.dir/failure_campaign.cpp.o"
+  "CMakeFiles/failure_campaign.dir/failure_campaign.cpp.o.d"
+  "failure_campaign"
+  "failure_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

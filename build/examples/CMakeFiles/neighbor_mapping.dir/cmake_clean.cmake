@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighbor_mapping.dir/neighbor_mapping.cpp.o"
+  "CMakeFiles/neighbor_mapping.dir/neighbor_mapping.cpp.o.d"
+  "neighbor_mapping"
+  "neighbor_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighbor_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbor_common.dir/bitvec.cpp.o"
+  "CMakeFiles/parbor_common.dir/bitvec.cpp.o.d"
+  "CMakeFiles/parbor_common.dir/flags.cpp.o"
+  "CMakeFiles/parbor_common.dir/flags.cpp.o.d"
+  "CMakeFiles/parbor_common.dir/json.cpp.o"
+  "CMakeFiles/parbor_common.dir/json.cpp.o.d"
+  "CMakeFiles/parbor_common.dir/rng.cpp.o"
+  "CMakeFiles/parbor_common.dir/rng.cpp.o.d"
+  "CMakeFiles/parbor_common.dir/sim_time.cpp.o"
+  "CMakeFiles/parbor_common.dir/sim_time.cpp.o.d"
+  "CMakeFiles/parbor_common.dir/stats.cpp.o"
+  "CMakeFiles/parbor_common.dir/stats.cpp.o.d"
+  "CMakeFiles/parbor_common.dir/table.cpp.o"
+  "CMakeFiles/parbor_common.dir/table.cpp.o.d"
+  "libparbor_common.a"
+  "libparbor_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbor_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dcref/content_check.cpp" "src/dcref/CMakeFiles/parbor_dcref.dir/content_check.cpp.o" "gcc" "src/dcref/CMakeFiles/parbor_dcref.dir/content_check.cpp.o.d"
+  "/root/repo/src/dcref/memsys.cpp" "src/dcref/CMakeFiles/parbor_dcref.dir/memsys.cpp.o" "gcc" "src/dcref/CMakeFiles/parbor_dcref.dir/memsys.cpp.o.d"
+  "/root/repo/src/dcref/memsys_cmd.cpp" "src/dcref/CMakeFiles/parbor_dcref.dir/memsys_cmd.cpp.o" "gcc" "src/dcref/CMakeFiles/parbor_dcref.dir/memsys_cmd.cpp.o.d"
+  "/root/repo/src/dcref/refresh.cpp" "src/dcref/CMakeFiles/parbor_dcref.dir/refresh.cpp.o" "gcc" "src/dcref/CMakeFiles/parbor_dcref.dir/refresh.cpp.o.d"
+  "/root/repo/src/dcref/sim.cpp" "src/dcref/CMakeFiles/parbor_dcref.dir/sim.cpp.o" "gcc" "src/dcref/CMakeFiles/parbor_dcref.dir/sim.cpp.o.d"
+  "/root/repo/src/dcref/trace.cpp" "src/dcref/CMakeFiles/parbor_dcref.dir/trace.cpp.o" "gcc" "src/dcref/CMakeFiles/parbor_dcref.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parbor_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memctrl/CMakeFiles/parbor_memctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/parbor_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

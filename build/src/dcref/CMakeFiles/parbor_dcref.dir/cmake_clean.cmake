@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbor_dcref.dir/content_check.cpp.o"
+  "CMakeFiles/parbor_dcref.dir/content_check.cpp.o.d"
+  "CMakeFiles/parbor_dcref.dir/memsys.cpp.o"
+  "CMakeFiles/parbor_dcref.dir/memsys.cpp.o.d"
+  "CMakeFiles/parbor_dcref.dir/memsys_cmd.cpp.o"
+  "CMakeFiles/parbor_dcref.dir/memsys_cmd.cpp.o.d"
+  "CMakeFiles/parbor_dcref.dir/refresh.cpp.o"
+  "CMakeFiles/parbor_dcref.dir/refresh.cpp.o.d"
+  "CMakeFiles/parbor_dcref.dir/sim.cpp.o"
+  "CMakeFiles/parbor_dcref.dir/sim.cpp.o.d"
+  "CMakeFiles/parbor_dcref.dir/trace.cpp.o"
+  "CMakeFiles/parbor_dcref.dir/trace.cpp.o.d"
+  "libparbor_dcref.a"
+  "libparbor_dcref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbor_dcref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/bank.cpp" "src/dram/CMakeFiles/parbor_dram.dir/bank.cpp.o" "gcc" "src/dram/CMakeFiles/parbor_dram.dir/bank.cpp.o.d"
+  "/root/repo/src/dram/chip.cpp" "src/dram/CMakeFiles/parbor_dram.dir/chip.cpp.o" "gcc" "src/dram/CMakeFiles/parbor_dram.dir/chip.cpp.o.d"
+  "/root/repo/src/dram/faults.cpp" "src/dram/CMakeFiles/parbor_dram.dir/faults.cpp.o" "gcc" "src/dram/CMakeFiles/parbor_dram.dir/faults.cpp.o.d"
+  "/root/repo/src/dram/module.cpp" "src/dram/CMakeFiles/parbor_dram.dir/module.cpp.o" "gcc" "src/dram/CMakeFiles/parbor_dram.dir/module.cpp.o.d"
+  "/root/repo/src/dram/scramble.cpp" "src/dram/CMakeFiles/parbor_dram.dir/scramble.cpp.o" "gcc" "src/dram/CMakeFiles/parbor_dram.dir/scramble.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parbor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbor_dram.dir/bank.cpp.o"
+  "CMakeFiles/parbor_dram.dir/bank.cpp.o.d"
+  "CMakeFiles/parbor_dram.dir/chip.cpp.o"
+  "CMakeFiles/parbor_dram.dir/chip.cpp.o.d"
+  "CMakeFiles/parbor_dram.dir/faults.cpp.o"
+  "CMakeFiles/parbor_dram.dir/faults.cpp.o.d"
+  "CMakeFiles/parbor_dram.dir/module.cpp.o"
+  "CMakeFiles/parbor_dram.dir/module.cpp.o.d"
+  "CMakeFiles/parbor_dram.dir/scramble.cpp.o"
+  "CMakeFiles/parbor_dram.dir/scramble.cpp.o.d"
+  "libparbor_dram.a"
+  "libparbor_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbor_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

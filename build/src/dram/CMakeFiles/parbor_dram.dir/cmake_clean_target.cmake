@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparbor_dram.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memctrl/commands.cpp" "src/memctrl/CMakeFiles/parbor_memctrl.dir/commands.cpp.o" "gcc" "src/memctrl/CMakeFiles/parbor_memctrl.dir/commands.cpp.o.d"
+  "/root/repo/src/memctrl/ddr3.cpp" "src/memctrl/CMakeFiles/parbor_memctrl.dir/ddr3.cpp.o" "gcc" "src/memctrl/CMakeFiles/parbor_memctrl.dir/ddr3.cpp.o.d"
+  "/root/repo/src/memctrl/host.cpp" "src/memctrl/CMakeFiles/parbor_memctrl.dir/host.cpp.o" "gcc" "src/memctrl/CMakeFiles/parbor_memctrl.dir/host.cpp.o.d"
+  "/root/repo/src/memctrl/program.cpp" "src/memctrl/CMakeFiles/parbor_memctrl.dir/program.cpp.o" "gcc" "src/memctrl/CMakeFiles/parbor_memctrl.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parbor_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/parbor_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbor_memctrl.dir/commands.cpp.o"
+  "CMakeFiles/parbor_memctrl.dir/commands.cpp.o.d"
+  "CMakeFiles/parbor_memctrl.dir/ddr3.cpp.o"
+  "CMakeFiles/parbor_memctrl.dir/ddr3.cpp.o.d"
+  "CMakeFiles/parbor_memctrl.dir/host.cpp.o"
+  "CMakeFiles/parbor_memctrl.dir/host.cpp.o.d"
+  "CMakeFiles/parbor_memctrl.dir/program.cpp.o"
+  "CMakeFiles/parbor_memctrl.dir/program.cpp.o.d"
+  "libparbor_memctrl.a"
+  "libparbor_memctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbor_memctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parbor/baselines.cpp" "src/parbor/CMakeFiles/parbor_core.dir/baselines.cpp.o" "gcc" "src/parbor/CMakeFiles/parbor_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/parbor/classic_tests.cpp" "src/parbor/CMakeFiles/parbor_core.dir/classic_tests.cpp.o" "gcc" "src/parbor/CMakeFiles/parbor_core.dir/classic_tests.cpp.o.d"
+  "/root/repo/src/parbor/fullchip.cpp" "src/parbor/CMakeFiles/parbor_core.dir/fullchip.cpp.o" "gcc" "src/parbor/CMakeFiles/parbor_core.dir/fullchip.cpp.o.d"
+  "/root/repo/src/parbor/mitigation.cpp" "src/parbor/CMakeFiles/parbor_core.dir/mitigation.cpp.o" "gcc" "src/parbor/CMakeFiles/parbor_core.dir/mitigation.cpp.o.d"
+  "/root/repo/src/parbor/parbor.cpp" "src/parbor/CMakeFiles/parbor_core.dir/parbor.cpp.o" "gcc" "src/parbor/CMakeFiles/parbor_core.dir/parbor.cpp.o.d"
+  "/root/repo/src/parbor/patterns.cpp" "src/parbor/CMakeFiles/parbor_core.dir/patterns.cpp.o" "gcc" "src/parbor/CMakeFiles/parbor_core.dir/patterns.cpp.o.d"
+  "/root/repo/src/parbor/recursive.cpp" "src/parbor/CMakeFiles/parbor_core.dir/recursive.cpp.o" "gcc" "src/parbor/CMakeFiles/parbor_core.dir/recursive.cpp.o.d"
+  "/root/repo/src/parbor/remap_ext.cpp" "src/parbor/CMakeFiles/parbor_core.dir/remap_ext.cpp.o" "gcc" "src/parbor/CMakeFiles/parbor_core.dir/remap_ext.cpp.o.d"
+  "/root/repo/src/parbor/report_io.cpp" "src/parbor/CMakeFiles/parbor_core.dir/report_io.cpp.o" "gcc" "src/parbor/CMakeFiles/parbor_core.dir/report_io.cpp.o.d"
+  "/root/repo/src/parbor/retention.cpp" "src/parbor/CMakeFiles/parbor_core.dir/retention.cpp.o" "gcc" "src/parbor/CMakeFiles/parbor_core.dir/retention.cpp.o.d"
+  "/root/repo/src/parbor/victims.cpp" "src/parbor/CMakeFiles/parbor_core.dir/victims.cpp.o" "gcc" "src/parbor/CMakeFiles/parbor_core.dir/victims.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parbor_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/parbor_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/memctrl/CMakeFiles/parbor_memctrl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbor_core.dir/baselines.cpp.o"
+  "CMakeFiles/parbor_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/parbor_core.dir/classic_tests.cpp.o"
+  "CMakeFiles/parbor_core.dir/classic_tests.cpp.o.d"
+  "CMakeFiles/parbor_core.dir/fullchip.cpp.o"
+  "CMakeFiles/parbor_core.dir/fullchip.cpp.o.d"
+  "CMakeFiles/parbor_core.dir/mitigation.cpp.o"
+  "CMakeFiles/parbor_core.dir/mitigation.cpp.o.d"
+  "CMakeFiles/parbor_core.dir/parbor.cpp.o"
+  "CMakeFiles/parbor_core.dir/parbor.cpp.o.d"
+  "CMakeFiles/parbor_core.dir/patterns.cpp.o"
+  "CMakeFiles/parbor_core.dir/patterns.cpp.o.d"
+  "CMakeFiles/parbor_core.dir/recursive.cpp.o"
+  "CMakeFiles/parbor_core.dir/recursive.cpp.o.d"
+  "CMakeFiles/parbor_core.dir/remap_ext.cpp.o"
+  "CMakeFiles/parbor_core.dir/remap_ext.cpp.o.d"
+  "CMakeFiles/parbor_core.dir/report_io.cpp.o"
+  "CMakeFiles/parbor_core.dir/report_io.cpp.o.d"
+  "CMakeFiles/parbor_core.dir/retention.cpp.o"
+  "CMakeFiles/parbor_core.dir/retention.cpp.o.d"
+  "CMakeFiles/parbor_core.dir/victims.cpp.o"
+  "CMakeFiles/parbor_core.dir/victims.cpp.o.d"
+  "libparbor_core.a"
+  "libparbor_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/bitvec_property_test.cpp" "tests/CMakeFiles/common_test.dir/common/bitvec_property_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/bitvec_property_test.cpp.o.d"
+  "/root/repo/tests/common/bitvec_test.cpp" "tests/CMakeFiles/common_test.dir/common/bitvec_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/bitvec_test.cpp.o.d"
+  "/root/repo/tests/common/flags_test.cpp" "tests/CMakeFiles/common_test.dir/common/flags_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/flags_test.cpp.o.d"
+  "/root/repo/tests/common/json_test.cpp" "tests/CMakeFiles/common_test.dir/common/json_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/json_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/common_test.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/sim_time_test.cpp" "tests/CMakeFiles/common_test.dir/common/sim_time_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/sim_time_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/common_test.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/common_test.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parbor_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/parbor_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/memctrl/CMakeFiles/parbor_memctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/parbor/CMakeFiles/parbor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcref/CMakeFiles/parbor_dcref.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcref_test.dir/dcref/content_check_test.cpp.o"
+  "CMakeFiles/dcref_test.dir/dcref/content_check_test.cpp.o.d"
+  "CMakeFiles/dcref_test.dir/dcref/memsys_cmd_test.cpp.o"
+  "CMakeFiles/dcref_test.dir/dcref/memsys_cmd_test.cpp.o.d"
+  "CMakeFiles/dcref_test.dir/dcref/memsys_test.cpp.o"
+  "CMakeFiles/dcref_test.dir/dcref/memsys_test.cpp.o.d"
+  "CMakeFiles/dcref_test.dir/dcref/refresh_test.cpp.o"
+  "CMakeFiles/dcref_test.dir/dcref/refresh_test.cpp.o.d"
+  "CMakeFiles/dcref_test.dir/dcref/sim_property_test.cpp.o"
+  "CMakeFiles/dcref_test.dir/dcref/sim_property_test.cpp.o.d"
+  "CMakeFiles/dcref_test.dir/dcref/sim_test.cpp.o"
+  "CMakeFiles/dcref_test.dir/dcref/sim_test.cpp.o.d"
+  "CMakeFiles/dcref_test.dir/dcref/trace_test.cpp.o"
+  "CMakeFiles/dcref_test.dir/dcref/trace_test.cpp.o.d"
+  "dcref_test"
+  "dcref_test.pdb"
+  "dcref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

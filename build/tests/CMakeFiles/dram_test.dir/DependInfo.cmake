@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dram/bank_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/bank_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/bank_test.cpp.o.d"
+  "/root/repo/tests/dram/chip_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/chip_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/chip_test.cpp.o.d"
+  "/root/repo/tests/dram/faults_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/faults_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/faults_test.cpp.o.d"
+  "/root/repo/tests/dram/integrity_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/integrity_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/integrity_test.cpp.o.d"
+  "/root/repo/tests/dram/module_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/module_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/module_test.cpp.o.d"
+  "/root/repo/tests/dram/noise_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/noise_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/noise_test.cpp.o.d"
+  "/root/repo/tests/dram/pipeline_scramble_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/pipeline_scramble_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/pipeline_scramble_test.cpp.o.d"
+  "/root/repo/tests/dram/scramble_property_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/scramble_property_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/scramble_property_test.cpp.o.d"
+  "/root/repo/tests/dram/scramble_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/scramble_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/scramble_test.cpp.o.d"
+  "/root/repo/tests/dram/wordline_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/wordline_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/wordline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parbor_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/parbor_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/memctrl/CMakeFiles/parbor_memctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/parbor/CMakeFiles/parbor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcref/CMakeFiles/parbor_dcref.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

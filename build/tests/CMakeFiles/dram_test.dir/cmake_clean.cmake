@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_test.dir/dram/bank_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/bank_test.cpp.o.d"
+  "CMakeFiles/dram_test.dir/dram/chip_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/chip_test.cpp.o.d"
+  "CMakeFiles/dram_test.dir/dram/faults_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/faults_test.cpp.o.d"
+  "CMakeFiles/dram_test.dir/dram/integrity_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/integrity_test.cpp.o.d"
+  "CMakeFiles/dram_test.dir/dram/module_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/module_test.cpp.o.d"
+  "CMakeFiles/dram_test.dir/dram/noise_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/noise_test.cpp.o.d"
+  "CMakeFiles/dram_test.dir/dram/pipeline_scramble_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/pipeline_scramble_test.cpp.o.d"
+  "CMakeFiles/dram_test.dir/dram/scramble_property_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/scramble_property_test.cpp.o.d"
+  "CMakeFiles/dram_test.dir/dram/scramble_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/scramble_test.cpp.o.d"
+  "CMakeFiles/dram_test.dir/dram/wordline_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/wordline_test.cpp.o.d"
+  "dram_test"
+  "dram_test.pdb"
+  "dram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

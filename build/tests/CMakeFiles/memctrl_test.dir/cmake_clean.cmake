@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memctrl_test.dir/memctrl/commands_test.cpp.o"
+  "CMakeFiles/memctrl_test.dir/memctrl/commands_test.cpp.o.d"
+  "CMakeFiles/memctrl_test.dir/memctrl/ddr3_test.cpp.o"
+  "CMakeFiles/memctrl_test.dir/memctrl/ddr3_test.cpp.o.d"
+  "CMakeFiles/memctrl_test.dir/memctrl/host_test.cpp.o"
+  "CMakeFiles/memctrl_test.dir/memctrl/host_test.cpp.o.d"
+  "CMakeFiles/memctrl_test.dir/memctrl/program_integration_test.cpp.o"
+  "CMakeFiles/memctrl_test.dir/memctrl/program_integration_test.cpp.o.d"
+  "CMakeFiles/memctrl_test.dir/memctrl/program_test.cpp.o"
+  "CMakeFiles/memctrl_test.dir/memctrl/program_test.cpp.o.d"
+  "memctrl_test"
+  "memctrl_test.pdb"
+  "memctrl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memctrl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parbor/baselines_test.cpp" "tests/CMakeFiles/parbor_test.dir/parbor/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/parbor_test.dir/parbor/baselines_test.cpp.o.d"
+  "/root/repo/tests/parbor/classic_tests_test.cpp" "tests/CMakeFiles/parbor_test.dir/parbor/classic_tests_test.cpp.o" "gcc" "tests/CMakeFiles/parbor_test.dir/parbor/classic_tests_test.cpp.o.d"
+  "/root/repo/tests/parbor/fullchip_test.cpp" "tests/CMakeFiles/parbor_test.dir/parbor/fullchip_test.cpp.o" "gcc" "tests/CMakeFiles/parbor_test.dir/parbor/fullchip_test.cpp.o.d"
+  "/root/repo/tests/parbor/mitigation_test.cpp" "tests/CMakeFiles/parbor_test.dir/parbor/mitigation_test.cpp.o" "gcc" "tests/CMakeFiles/parbor_test.dir/parbor/mitigation_test.cpp.o.d"
+  "/root/repo/tests/parbor/parbor_pipeline_test.cpp" "tests/CMakeFiles/parbor_test.dir/parbor/parbor_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/parbor_test.dir/parbor/parbor_pipeline_test.cpp.o.d"
+  "/root/repo/tests/parbor/patterns_test.cpp" "tests/CMakeFiles/parbor_test.dir/parbor/patterns_test.cpp.o" "gcc" "tests/CMakeFiles/parbor_test.dir/parbor/patterns_test.cpp.o.d"
+  "/root/repo/tests/parbor/population_test.cpp" "tests/CMakeFiles/parbor_test.dir/parbor/population_test.cpp.o" "gcc" "tests/CMakeFiles/parbor_test.dir/parbor/population_test.cpp.o.d"
+  "/root/repo/tests/parbor/recursion_property_test.cpp" "tests/CMakeFiles/parbor_test.dir/parbor/recursion_property_test.cpp.o" "gcc" "tests/CMakeFiles/parbor_test.dir/parbor/recursion_property_test.cpp.o.d"
+  "/root/repo/tests/parbor/recursive_test.cpp" "tests/CMakeFiles/parbor_test.dir/parbor/recursive_test.cpp.o" "gcc" "tests/CMakeFiles/parbor_test.dir/parbor/recursive_test.cpp.o.d"
+  "/root/repo/tests/parbor/remap_ext_test.cpp" "tests/CMakeFiles/parbor_test.dir/parbor/remap_ext_test.cpp.o" "gcc" "tests/CMakeFiles/parbor_test.dir/parbor/remap_ext_test.cpp.o.d"
+  "/root/repo/tests/parbor/report_io_test.cpp" "tests/CMakeFiles/parbor_test.dir/parbor/report_io_test.cpp.o" "gcc" "tests/CMakeFiles/parbor_test.dir/parbor/report_io_test.cpp.o.d"
+  "/root/repo/tests/parbor/retention_test.cpp" "tests/CMakeFiles/parbor_test.dir/parbor/retention_test.cpp.o" "gcc" "tests/CMakeFiles/parbor_test.dir/parbor/retention_test.cpp.o.d"
+  "/root/repo/tests/parbor/victims_test.cpp" "tests/CMakeFiles/parbor_test.dir/parbor/victims_test.cpp.o" "gcc" "tests/CMakeFiles/parbor_test.dir/parbor/victims_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parbor_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/parbor_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/memctrl/CMakeFiles/parbor_memctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/parbor/CMakeFiles/parbor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcref/CMakeFiles/parbor_dcref.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

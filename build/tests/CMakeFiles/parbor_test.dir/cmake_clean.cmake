@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbor_test.dir/parbor/baselines_test.cpp.o"
+  "CMakeFiles/parbor_test.dir/parbor/baselines_test.cpp.o.d"
+  "CMakeFiles/parbor_test.dir/parbor/classic_tests_test.cpp.o"
+  "CMakeFiles/parbor_test.dir/parbor/classic_tests_test.cpp.o.d"
+  "CMakeFiles/parbor_test.dir/parbor/fullchip_test.cpp.o"
+  "CMakeFiles/parbor_test.dir/parbor/fullchip_test.cpp.o.d"
+  "CMakeFiles/parbor_test.dir/parbor/mitigation_test.cpp.o"
+  "CMakeFiles/parbor_test.dir/parbor/mitigation_test.cpp.o.d"
+  "CMakeFiles/parbor_test.dir/parbor/parbor_pipeline_test.cpp.o"
+  "CMakeFiles/parbor_test.dir/parbor/parbor_pipeline_test.cpp.o.d"
+  "CMakeFiles/parbor_test.dir/parbor/patterns_test.cpp.o"
+  "CMakeFiles/parbor_test.dir/parbor/patterns_test.cpp.o.d"
+  "CMakeFiles/parbor_test.dir/parbor/population_test.cpp.o"
+  "CMakeFiles/parbor_test.dir/parbor/population_test.cpp.o.d"
+  "CMakeFiles/parbor_test.dir/parbor/recursion_property_test.cpp.o"
+  "CMakeFiles/parbor_test.dir/parbor/recursion_property_test.cpp.o.d"
+  "CMakeFiles/parbor_test.dir/parbor/recursive_test.cpp.o"
+  "CMakeFiles/parbor_test.dir/parbor/recursive_test.cpp.o.d"
+  "CMakeFiles/parbor_test.dir/parbor/remap_ext_test.cpp.o"
+  "CMakeFiles/parbor_test.dir/parbor/remap_ext_test.cpp.o.d"
+  "CMakeFiles/parbor_test.dir/parbor/report_io_test.cpp.o"
+  "CMakeFiles/parbor_test.dir/parbor/report_io_test.cpp.o.d"
+  "CMakeFiles/parbor_test.dir/parbor/retention_test.cpp.o"
+  "CMakeFiles/parbor_test.dir/parbor/retention_test.cpp.o.d"
+  "CMakeFiles/parbor_test.dir/parbor/victims_test.cpp.o"
+  "CMakeFiles/parbor_test.dir/parbor/victims_test.cpp.o.d"
+  "parbor_test"
+  "parbor_test.pdb"
+  "parbor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

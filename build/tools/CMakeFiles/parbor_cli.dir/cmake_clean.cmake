@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parbor_cli.dir/parbor_cli.cpp.o"
+  "CMakeFiles/parbor_cli.dir/parbor_cli.cpp.o.d"
+  "parbor_cli"
+  "parbor_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parbor_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
