@@ -1,12 +1,15 @@
 // Reproduces Figure 11: the union of neighbour-region distances PARBOR
 // finds at each level of the recursion, for modules from vendors A, B, C.
+// The three modules are characterised concurrently by the campaign engine
+// (pass --jobs N to bound the worker count).
 //
 // Paper (final level):  A {±8, ±16, ±48},  B {±1, ±64},  C {±16, ±33, ±49}.
 #include <cstdio>
 #include <string>
 
+#include "common/flags.h"
 #include "common/table.h"
-#include "parbor/parbor.h"
+#include "parbor/engine.h"
 
 using namespace parbor;
 
@@ -23,27 +26,28 @@ std::string join(const std::vector<std::int64_t>& ds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
   std::printf(
       "Figure 11: distances of neighbour regions at each recursion level\n\n");
-  for (auto vendor : {dram::Vendor::kA, dram::Vendor::kB, dram::Vendor::kC}) {
-    const auto config =
-        dram::make_module_config(vendor, 1, dram::Scale::kMedium);
-    dram::Module module(config);
-    mc::TestHost host(module);
-    const auto report = core::run_parbor_search_only(host, {});
 
+  core::CampaignEngine engine(flags.get_jobs());
+  const auto sweep = engine.run(core::make_population_jobs(
+      dram::Scale::kMedium, core::CampaignKind::kSearchOnly,
+      {dram::Vendor::kA, dram::Vendor::kB, dram::Vendor::kC}, {1}));
+
+  for (const auto& result : sweep.results) {
     Table table({"Level", "Region size", "Distances found"});
-    for (const auto& level : report.search.levels) {
+    for (const auto& level : result.report.search.levels) {
       table.add("L" + std::to_string(level.level), level.region_size,
                 join(level.found));
     }
     std::printf("Vendor %s (module %s):\n%s",
-                dram::vendor_name(vendor).c_str(), module.name().c_str(),
-                table.to_string().c_str());
+                dram::vendor_name(result.job.vendor).c_str(),
+                result.module_name.c_str(), table.to_string().c_str());
 
     std::string truth;
-    for (auto d : module.chip(0).scrambler().abs_distance_set()) {
+    for (auto d : result.truth_distances) {
       if (!truth.empty()) truth += ", ";
       truth += "±" + std::to_string(d);
     }
@@ -51,5 +55,7 @@ int main() {
   }
   std::printf(
       "Paper L5 sets: A {±8, ±16, ±48}, B {±1, ±64}, C {±16, ±33, ±49}\n");
+  std::printf("(%zu modules on %zu workers, %.2f s wall)\n",
+              sweep.results.size(), sweep.workers, sweep.wall_seconds);
   return 0;
 }

@@ -1,5 +1,6 @@
 // Reproduces Figure 13: coverage split of all uncovered failures into
-// PARBOR-only / random-only / both, for modules A1, B1, C1.
+// PARBOR-only / random-only / both, for modules A1, B1, C1.  The engine
+// runs the three full-pipeline + random-baseline campaigns concurrently.
 //
 // Paper: 20-30% of failures are found ONLY by PARBOR; less than 1% (A1, C1)
 // to ~5% (B1) are found only by the random-pattern test (randomly-occurring
@@ -7,34 +8,34 @@
 // regular-mapping patterns cannot target).
 #include <cstdio>
 
+#include "common/flags.h"
 #include "common/table.h"
-#include "parbor/parbor.h"
+#include "parbor/engine.h"
 
 using namespace parbor;
 
-int main() {
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
   std::printf("Figure 13: coverage of failures for A1, B1, and C1\n\n");
+
+  core::CampaignEngine engine(flags.get_jobs());
+  const auto sweep = engine.run(core::make_population_jobs(
+      dram::Scale::kMedium, core::CampaignKind::kFullWithRandom,
+      {dram::Vendor::kA, dram::Vendor::kB, dram::Vendor::kC}, {1}));
+
   Table table({"Module", "Total", "Only PARBOR %", "Only random %",
                "Both %"});
-  for (auto vendor : {dram::Vendor::kA, dram::Vendor::kB, dram::Vendor::kC}) {
-    const auto config =
-        dram::make_module_config(vendor, 1, dram::Scale::kMedium);
-    dram::Module module(config);
-    mc::TestHost host(module);
-    const auto report = core::run_parbor(host, {});
-    const auto parbor_cells = report.all_detected();
-    const auto random = core::run_random_campaign(
-        host, report.total_tests(), config.seed ^ 0xabcdef);
-
+  for (const auto& result : sweep.results) {
+    const auto parbor_cells = result.report.all_detected();
     std::size_t both = 0;
     for (const auto& cell : parbor_cells) {
-      if (random.cells.contains(cell)) ++both;
+      if (result.random.cells.contains(cell)) ++both;
     }
     const std::size_t only_parbor = parbor_cells.size() - both;
-    const std::size_t only_random = random.cells.size() - both;
+    const std::size_t only_random = result.random.cells.size() - both;
     const double total =
         static_cast<double>(only_parbor + only_random + both);
-    table.add(module.name(), static_cast<std::uint64_t>(total),
+    table.add(result.module_name, static_cast<std::uint64_t>(total),
               100.0 * static_cast<double>(only_parbor) / total,
               100.0 * static_cast<double>(only_random) / total,
               100.0 * static_cast<double>(both) / total);
@@ -43,5 +44,7 @@ int main() {
   std::printf(
       "\nPaper: only-PARBOR 20-30%%; only-random <1%% for A1 and C1, ~5%% "
       "for B1.\n");
+  std::printf("(%zu modules on %zu workers, %.2f s wall)\n",
+              sweep.results.size(), sweep.workers, sweep.wall_seconds);
   return 0;
 }

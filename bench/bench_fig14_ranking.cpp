@@ -1,37 +1,40 @@
 // Reproduces Figure 14: ranking of neighbour regions at recursion level 4
 // for modules A1, B1, C1 — the number of times each region distance was
-// discovered, normalised to the most frequent distance.
+// discovered, normalised to the most frequent distance.  The three modules
+// are characterised concurrently by the campaign engine.
 //
 // Paper: a few distances dominate (the true neighbour regions, e.g. ±1, ±2,
 // ±6 for A1); infrequent distances (e.g. ±3, ±9 in B1) are noise from
 // random failures and are filtered out by the ranking step (§5.2.4).
 #include <cstdio>
 
+#include "common/flags.h"
 #include "common/table.h"
-#include "parbor/parbor.h"
+#include "parbor/engine.h"
 
 using namespace parbor;
 
-int main() {
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
   std::printf(
       "Figure 14: ranking of regions at recursion level 4 (region size 8)\n\n");
-  for (auto vendor : {dram::Vendor::kA, dram::Vendor::kB, dram::Vendor::kC}) {
-    const auto config =
-        dram::make_module_config(vendor, 1, dram::Scale::kMedium);
-    dram::Module module(config);
-    mc::TestHost host(module);
-    const auto report = core::run_parbor_search_only(host, {});
 
+  core::CampaignEngine engine(flags.get_jobs());
+  const auto sweep = engine.run(core::make_population_jobs(
+      dram::Scale::kMedium, core::CampaignKind::kSearchOnly,
+      {dram::Vendor::kA, dram::Vendor::kB, dram::Vendor::kC}, {1}));
+
+  for (const auto& result : sweep.results) {
     const core::RecursionLevel* l4 = nullptr;
-    for (const auto& level : report.search.levels) {
+    for (const auto& level : result.report.search.levels) {
       if (level.level == 4) l4 = &level;
     }
     if (l4 == nullptr) {
       std::printf("module %s: recursion ended before level 4\n",
-                  module.name().c_str());
+                  result.module_name.c_str());
       continue;
     }
-    std::printf("Module %s:\n", module.name().c_str());
+    std::printf("Module %s:\n", result.module_name.c_str());
     Table table({"Distance", "Count", "Normalized", "", "Kept"});
     const double max = static_cast<double>(l4->ranking.max_count());
     for (const auto& [d, count] : l4->ranking.sorted_by_key()) {
@@ -46,5 +49,7 @@ int main() {
   std::printf(
       "Paper: frequent distances are the true neighbour regions; infrequent\n"
       "ones are noise from random (non-data-dependent) failures.\n");
+  std::printf("(%zu modules on %zu workers, %.2f s wall)\n",
+              sweep.results.size(), sweep.workers, sweep.wall_seconds);
   return 0;
 }

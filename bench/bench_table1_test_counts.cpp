@@ -1,39 +1,41 @@
 // Reproduces Table 1: number of recursive tests PARBOR performs at each
 // level for modules from the three vendors, plus the §7.1 reduction factors
-// vs the O(n) and O(n^2) naive searches.
+// vs the O(n) and O(n^2) naive searches.  The per-vendor campaigns run
+// concurrently on the engine.
 //
 // Paper:  A 2/8/8/24/48 = 90,  B 2/8/8/24/24 = 66,  C 2/8/8/24/48 = 90;
 //         90X and 745,654X reduction vs O(n) and O(n^2).
 #include <cstdio>
 
+#include "common/flags.h"
 #include "common/table.h"
-#include "parbor/parbor.h"
+#include "parbor/engine.h"
 
 using namespace parbor;
 
-int main() {
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
   std::printf("Table 1: number of tests performed by PARBOR per level\n");
   std::printf("(one module per vendor, geometry %s)\n\n", "8 chips x 256 rows");
 
+  core::CampaignEngine engine(flags.get_jobs());
+  const auto sweep = engine.run(core::make_population_jobs(
+      dram::Scale::kMedium, core::CampaignKind::kSearchOnly,
+      {dram::Vendor::kA, dram::Vendor::kB, dram::Vendor::kC}, {1}));
+
   Table table({"Manufacturer", "L1", "L2", "L3", "L4", "L5", "Total",
                "vs O(n)", "vs O(n^2)"});
-  for (auto vendor : {dram::Vendor::kA, dram::Vendor::kB, dram::Vendor::kC}) {
-    const auto config =
-        dram::make_module_config(vendor, 1, dram::Scale::kMedium);
-    dram::Module module(config);
-    mc::TestHost host(module);
-    const auto report = core::run_parbor_search_only(host, {});
-
+  for (const auto& result : sweep.results) {
     std::vector<std::string> cells;
-    cells.push_back(dram::vendor_name(vendor));
+    cells.push_back(dram::vendor_name(result.job.vendor));
     std::uint64_t total = 0;
-    for (const auto& level : report.search.levels) {
+    for (const auto& level : result.report.search.levels) {
       cells.push_back(std::to_string(level.tests));
       total += level.tests;
     }
     while (cells.size() < 6) cells.push_back("-");
     cells.push_back(std::to_string(total));
-    const double n = static_cast<double>(host.row_bits());
+    const double n = static_cast<double>(result.row_bits);
     char buf[32];
     std::snprintf(buf, sizeof buf, "%.0fX", n / static_cast<double>(total));
     cells.push_back(buf);
@@ -46,5 +48,7 @@ int main() {
   std::printf(
       "\nPaper: A 2/8/8/24/48=90, B 2/8/8/24/24=66, C 2/8/8/24/48=90;\n"
       "       90X vs O(n) and 745,654X vs O(n^2) for the 90-test vendors.\n");
+  std::printf("(%zu modules on %zu workers, %.2f s wall)\n",
+              sweep.results.size(), sweep.workers, sweep.wall_seconds);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "common/flags.h"
 
 #include <cstdlib>
+#include <thread>
 
 namespace parbor {
 
@@ -56,6 +57,13 @@ bool Flags::get_bool(const std::string& name, bool fallback) const {
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::size_t Flags::get_jobs(const std::string& name) const {
+  const std::int64_t requested = get_int(name, 0);
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  const unsigned cores = std::thread::hardware_concurrency();
+  return cores > 0 ? cores : 1;
 }
 
 }  // namespace parbor

@@ -2,6 +2,7 @@
 // Supports "--name value", "--name=value", and bare positional arguments.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -25,6 +26,11 @@ class Flags {
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback = false) const;
+
+  // Worker count from "--jobs N".  Absent or 0 means "all cores"
+  // (hardware_concurrency, minimum 1); negative values are an error the
+  // caller sees as 1.
+  std::size_t get_jobs(const std::string& name = "jobs") const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 

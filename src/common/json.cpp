@@ -1,7 +1,9 @@
 #include "common/json.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/check.h"
 
@@ -120,6 +122,310 @@ std::string JsonWriter::escape(const std::string& s) {
         }
     }
   }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_whitespace();
+    PARBOR_CHECK_MSG(pos_ == text_.size(),
+                     "trailing content at offset " << pos_);
+    return v;
+  }
+
+ private:
+  char peek() {
+    PARBOR_CHECK_MSG(pos_ < text_.size(), "unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  char take() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    PARBOR_CHECK_MSG(take() == c, "expected '" << c << "' at offset "
+                                               << (pos_ - 1));
+  }
+
+  void expect_word(std::string_view word) {
+    for (char c : word) expect(c);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  JsonValue parse_value();
+  std::string parse_string();
+  void parse_number(JsonValue& v);
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonParser::parse_value() {
+  skip_whitespace();
+  JsonValue v;
+  switch (peek()) {
+    case '{': {
+      take();
+      v.kind_ = JsonValue::Kind::kObject;
+      skip_whitespace();
+      if (peek() == '}') {
+        take();
+        return v;
+      }
+      for (;;) {
+        skip_whitespace();
+        std::string key = parse_string();
+        skip_whitespace();
+        expect(':');
+        v.members_.emplace_back(std::move(key), parse_value());
+        skip_whitespace();
+        const char c = take();
+        if (c == '}') return v;
+        PARBOR_CHECK_MSG(c == ',', "expected ',' or '}' in object");
+      }
+    }
+    case '[': {
+      take();
+      v.kind_ = JsonValue::Kind::kArray;
+      skip_whitespace();
+      if (peek() == ']') {
+        take();
+        return v;
+      }
+      for (;;) {
+        v.items_.push_back(parse_value());
+        skip_whitespace();
+        const char c = take();
+        if (c == ']') return v;
+        PARBOR_CHECK_MSG(c == ',', "expected ',' or ']' in array");
+      }
+    }
+    case '"':
+      v.kind_ = JsonValue::Kind::kString;
+      v.string_ = parse_string();
+      return v;
+    case 't':
+      expect_word("true");
+      v.kind_ = JsonValue::Kind::kBool;
+      v.bool_ = true;
+      return v;
+    case 'f':
+      expect_word("false");
+      v.kind_ = JsonValue::Kind::kBool;
+      v.bool_ = false;
+      return v;
+    case 'n':
+      expect_word("null");
+      return v;
+    default:
+      parse_number(v);
+      return v;
+  }
+}
+
+std::string JsonParser::parse_string() {
+  expect('"');
+  std::string out;
+  for (;;) {
+    const char c = take();
+    if (c == '"') return out;
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    const char esc = take();
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = take();
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+          else PARBOR_CHECK_MSG(false, "bad \\u escape");
+        }
+        // The writer only emits \u00xx for control characters; reject the
+        // rest rather than silently mangle multibyte sequences.
+        PARBOR_CHECK_MSG(code < 0x80, "\\u escape beyond ASCII unsupported");
+        out += static_cast<char>(code);
+        break;
+      }
+      default:
+        PARBOR_CHECK_MSG(false, "bad escape '\\" << esc << "'");
+    }
+  }
+}
+
+void JsonParser::parse_number(JsonValue& v) {
+  const std::size_t start = pos_;
+  bool integral = true;
+  if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_];
+    if (c >= '0' && c <= '9') {
+      ++pos_;
+    } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+      integral = false;
+      ++pos_;
+    } else {
+      break;
+    }
+  }
+  PARBOR_CHECK_MSG(pos_ > start && !(pos_ == start + 1 && text_[start] == '-'),
+                   "malformed number at offset " << start);
+  v.kind_ = JsonValue::Kind::kNumber;
+  v.number_ = std::string(text_.substr(start, pos_ - start));
+  v.integral_ = integral;
+  // Validate eagerly so malformed tokens fail at parse time, not use time.
+  errno = 0;
+  char* end = nullptr;
+  std::strtod(v.number_.c_str(), &end);
+  PARBOR_CHECK_MSG(errno == 0 && end == v.number_.c_str() + v.number_.size(),
+                   "malformed number '" << v.number_ << "'");
+}
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+bool JsonValue::as_bool() const {
+  PARBOR_CHECK_MSG(kind_ == Kind::kBool, "not a bool");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  PARBOR_CHECK_MSG(kind_ == Kind::kNumber, "not a number");
+  return std::strtod(number_.c_str(), nullptr);
+}
+
+std::int64_t JsonValue::as_int() const {
+  PARBOR_CHECK_MSG(kind_ == Kind::kNumber && integral_,
+                   "not an integral number");
+  errno = 0;
+  const std::int64_t v = std::strtoll(number_.c_str(), nullptr, 10);
+  PARBOR_CHECK_MSG(errno == 0, "integer out of int64 range: " << number_);
+  return v;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  PARBOR_CHECK_MSG(kind_ == Kind::kNumber && integral_ && number_[0] != '-',
+                   "not a non-negative integral number");
+  errno = 0;
+  const std::uint64_t v = std::strtoull(number_.c_str(), nullptr, 10);
+  PARBOR_CHECK_MSG(errno == 0, "integer out of uint64 range: " << number_);
+  return v;
+}
+
+const std::string& JsonValue::as_string() const {
+  PARBOR_CHECK_MSG(kind_ == Kind::kString, "not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  PARBOR_CHECK_MSG(kind_ == Kind::kArray, "not an array");
+  return items_;
+}
+
+const JsonValue& JsonValue::operator[](std::size_t i) const {
+  const auto& xs = items();
+  PARBOR_CHECK_MSG(i < xs.size(), "array index " << i << " out of range");
+  return xs[i];
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  PARBOR_CHECK_MSG(kind_ == Kind::kObject, "not an object");
+  return members_;
+}
+
+bool JsonValue::has(const std::string& key) const {
+  for (const auto& [k, v] : members()) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  for (const auto& [k, v] : members()) {
+    if (k == key) return v;
+  }
+  detail::check_failed("has(key)", __FILE__, __LINE__,
+                       "missing key '" + key + "'");
+}
+
+void JsonValue::write(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      out += number_;
+      return;
+    case Kind::kString:
+      out += '"';
+      out += JsonWriter::escape(string_);
+      out += '"';
+      return;
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& item : items_) {
+        if (!first) out += ',';
+        first = false;
+        item.write(out);
+      }
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += JsonWriter::escape(k);
+        out += "\":";
+        v.write(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  write(out);
   return out;
 }
 

@@ -1,13 +1,18 @@
-// Minimal JSON writer (no external dependencies).
+// Minimal JSON writer and parser (no external dependencies).
 //
-// Only what the report exporters need: objects, arrays, strings, numbers,
-// booleans, with correct escaping and stable formatting.  Writing only —
-// nothing in this repository parses JSON.
+// The writer covers what the report exporters need: objects, arrays,
+// strings, numbers, booleans, with correct escaping and stable formatting.
+// The parser exists so reports can be read back (golden-file round-trip
+// tests, sweep-report comparison) — it accepts exactly the JSON this
+// repository writes plus standard whitespace, and rejects everything else
+// loudly via CheckError.
 #pragma once
 
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace parbor {
@@ -52,6 +57,57 @@ class JsonWriter {
   // Per-nesting-level element counts; tracks whether a comma is due.
   std::vector<int> counts_;
   bool pending_key_ = false;
+};
+
+// Parsed JSON document.  Objects keep their keys in document order so that
+// dump() of a parsed document reproduces the writer's byte-exact output
+// (integers round-trip exactly; doubles re-format through the writer's
+// "%.9g", which is stable for everything this repository emits).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Parses one complete document; trailing non-whitespace, malformed
+  // escapes, unbalanced containers etc. throw CheckError.
+  static JsonValue parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;    // requires an integral number token
+  std::uint64_t as_uint() const;  // requires a non-negative integral token
+  const std::string& as_string() const;
+
+  // Array access.
+  const std::vector<JsonValue>& items() const;
+  std::size_t size() const { return items().size(); }
+  const JsonValue& operator[](std::size_t i) const;
+
+  // Object access: at() throws on a missing key, has() probes.
+  bool has(const std::string& key) const;
+  const JsonValue& at(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  // Re-serialises in the writer's format (no whitespace, document order).
+  // Number tokens are preserved verbatim, so parse(x).dump() == x for any
+  // document this repository's JsonWriter produced.
+  std::string dump() const;
+
+ private:
+  friend class JsonParser;
+
+  void write(std::string& out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string number_;  // raw token, e.g. "-42" or "0.125"
+  bool integral_ = false;  // number token had no '.', 'e', or 'E'
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
 };
 
 }  // namespace parbor

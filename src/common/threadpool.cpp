@@ -1,0 +1,90 @@
+#include "common/threadpool.h"
+
+#include <atomic>
+#include <exception>
+
+#include "common/check.h"
+
+namespace parbor {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PARBOR_CHECK_MSG(!stopping_, "submit on a stopping ThreadPool");
+    queue_.push(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task: exceptions land in the future, never escape
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+
+  // One shared claim counter; per-index exception slots so the error we
+  // propagate is the lowest index, independent of which worker hit it when.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto errors =
+      std::make_shared<std::vector<std::exception_ptr>>(n, nullptr);
+
+  auto runner = [n, next, errors, &fn] {
+    for (;;) {
+      const std::size_t i = next->fetch_add(1);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        (*errors)[i] = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t lanes = n < worker_count() ? n : worker_count();
+  std::vector<std::future<void>> futures;
+  futures.reserve(lanes);
+  // The calling thread participates too, so a 1-worker pool still makes
+  // progress even if its worker is busy with an unrelated submit().
+  for (std::size_t i = 1; i < lanes; ++i) futures.push_back(submit(runner));
+  runner();
+  for (auto& f : futures) f.get();
+
+  for (const auto& error : *errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace parbor

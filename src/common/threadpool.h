@@ -1,0 +1,69 @@
+// Fixed-size thread pool for the campaign engine.
+//
+// Deliberately work-stealing-free: a single FIFO queue feeds N workers that
+// are created once and live for the pool's lifetime.  Characterisation jobs
+// are coarse (whole-module campaigns, seconds each), so queue contention is
+// irrelevant and the simple design keeps the determinism argument short —
+// no scheduling decision ever feeds back into a job's inputs.
+//
+// Exception contract: parallel_for records the exception of every failing
+// index and rethrows the one with the LOWEST index after all work finished,
+// so the propagated error does not depend on thread timing.  The pool stays
+// usable afterwards.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace parbor {
+
+class ThreadPool {
+ public:
+  // `workers` == 0 selects std::thread::hardware_concurrency() (minimum 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  // Enqueues one task and returns its future.  The future carries any
+  // exception the task threw.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  // Runs fn(0) .. fn(n-1) across the workers and blocks until every index
+  // finished.  Indices are claimed from a shared counter, so completion
+  // order is arbitrary — callers must write results into per-index slots.
+  // If any calls threw, the exception of the lowest failing index is
+  // rethrown once all indices have run.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool stopping_ = false;
+};
+
+}  // namespace parbor

@@ -1,0 +1,152 @@
+#include "parbor/engine.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "common/json.h"
+#include "common/rng.h"
+
+namespace parbor::core {
+
+const char* campaign_kind_name(CampaignKind kind) {
+  switch (kind) {
+    case CampaignKind::kSearchOnly: return "search";
+    case CampaignKind::kFullPipeline: return "full";
+    case CampaignKind::kFullWithRandom: return "full+random";
+  }
+  return "?";
+}
+
+std::uint64_t derive_job_seed(const SweepJob& job) {
+  // Chain the job tuple through SplitMix64 the same way Rng::fork does:
+  // each field perturbs the state, the final mix decorrelates streams even
+  // for adjacent tuples.  Scale and temperature are deliberately excluded —
+  // the paper's §6 claim is that the same module characterises identically
+  // across temperatures, which needs the same test stream.
+  std::uint64_t state = job.config.seed;
+  splitmix64(state);
+  state ^= (static_cast<std::uint64_t>(job.vendor) + 1) * 0x9e3779b97f4a7c15ULL;
+  splitmix64(state);
+  state ^= static_cast<std::uint64_t>(job.index) * 0xbf58476d1ce4e5b9ULL;
+  splitmix64(state);
+  state ^= static_cast<std::uint64_t>(job.kind) * 0x94d049bb133111ebULL;
+  splitmix64(state);
+  state ^= job.seed_base;
+  return splitmix64(state);
+}
+
+std::uint64_t SweepReport::total_tests() const {
+  std::uint64_t total = 0;
+  for (const auto& r : results) total += r.report.total_tests() + r.random.tests;
+  return total;
+}
+
+SimTime SweepReport::total_sim_time() const {
+  SimTime total;
+  for (const auto& r : results) total += r.sim_elapsed;
+  return total;
+}
+
+SweepJobResult CampaignEngine::run_job(const SweepJob& job) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  SweepJobResult out;
+  out.job = job;
+
+  const auto module_config =
+      dram::make_module_config(job.vendor, job.index, job.scale, job.seed_base);
+  dram::Module module(module_config);
+  module.set_temperature(job.temperature_c);
+  mc::TestHost host(module);
+
+  ParborConfig config = job.config;
+  config.seed = derive_job_seed(job);
+
+  out.report = job.kind == CampaignKind::kSearchOnly
+                   ? run_parbor_search_only(host, config)
+                   : run_parbor(host, config);
+  if (job.kind == CampaignKind::kFullWithRandom) {
+    out.random = run_random_campaign(host, out.report.total_tests(),
+                                     config.seed ^ 0xabcdefULL);
+  }
+
+  out.module_name = module.name();
+  out.row_bits = host.row_bits();
+  out.scrambler_name = module.chip(0).scrambler().name();
+  out.truth_distances = module.chip(0).scrambler().abs_distance_set();
+  out.sim_elapsed = host.now();
+  out.row_operations = host.row_operations();
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+SweepReport CampaignEngine::run(const std::vector<SweepJob>& jobs) {
+  const auto t0 = std::chrono::steady_clock::now();
+  SweepReport sweep;
+  sweep.workers = workers();
+  sweep.results.resize(jobs.size());
+  pool_.parallel_for(jobs.size(), [&](std::size_t i) {
+    sweep.results[i] = run_job(jobs[i]);
+  });
+  sweep.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return sweep;
+}
+
+std::vector<SweepJob> make_population_jobs(dram::Scale scale,
+                                           CampaignKind kind,
+                                           const std::vector<dram::Vendor>& vendors,
+                                           const std::vector<int>& indices) {
+  std::vector<SweepJob> jobs;
+  jobs.reserve(vendors.size() * indices.size());
+  for (auto vendor : vendors) {
+    for (int index : indices) {
+      PARBOR_CHECK_MSG(index >= 1 && index <= 6,
+                       "module index must be 1..6, got " << index);
+      SweepJob job;
+      job.vendor = vendor;
+      job.index = index;
+      job.scale = scale;
+      job.kind = kind;
+      jobs.push_back(job);
+    }
+  }
+  return jobs;
+}
+
+std::string sweep_report_to_json(const SweepReport& sweep) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("modules", static_cast<std::uint64_t>(sweep.results.size()));
+  w.field("total_tests", sweep.total_tests());
+  w.key("results").begin_array();
+  for (const auto& r : sweep.results) {
+    w.begin_object();
+    w.field("module", r.module_name);
+    w.field("vendor", dram::vendor_name(r.job.vendor));
+    w.field("kind", campaign_kind_name(r.job.kind));
+    w.field("seed", derive_job_seed(r.job));
+    w.field("tests", r.report.total_tests());
+    w.field("victims",
+            static_cast<std::uint64_t>(r.report.discovery.victims.size()));
+    w.key("distances").begin_array();
+    for (auto d : r.report.search.distances) w.value(d);
+    w.end_array();
+    w.field("cells_detected",
+            static_cast<std::uint64_t>(r.report.all_detected().size()));
+    if (r.job.kind == CampaignKind::kFullWithRandom) {
+      w.field("random_tests", r.random.tests);
+      w.field("random_cells", static_cast<std::uint64_t>(r.random.cells.size()));
+    }
+    w.field("sim_seconds", r.sim_elapsed.seconds());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace parbor::core

@@ -1,0 +1,110 @@
+// CampaignEngine: parallel multi-module characterisation sweeps.
+//
+// The paper's evaluation spans 18 modules × 3 vendors, and every campaign on
+// one module is independent of every other — the classic embarrassingly
+// parallel shape of DRAM characterisation (one SoftMC/FPGA host per module).
+// The engine fans one job per (vendor, index, scale, campaign-kind) tuple
+// across a fixed thread pool and aggregates the per-job reports into a
+// SweepReport whose contents are bit-identical for every worker count.
+//
+// Determinism rule: a job never touches shared RNG state.  Each job builds
+// its own Module (seeded by make_module_config from vendor/index/seed_base)
+// and runs PARBOR with a ParborConfig whose seed is derived from the job
+// tuple by derive_job_seed() — a pure function of (base seed, vendor, index,
+// kind), so no scheduling decision, worker count, or completion order can
+// perturb any stream.  Results land in per-job slots ordered by submission.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/threadpool.h"
+#include "parbor/baselines.h"
+#include "parbor/parbor.h"
+
+namespace parbor::core {
+
+enum class CampaignKind {
+  kSearchOnly,      // steps 1-4: victim discovery + recursive search
+  kFullPipeline,    // + neighbour-aware full-chip detection campaign
+  kFullWithRandom,  // + the equal-budget random baseline (Figs. 12/13)
+};
+
+const char* campaign_kind_name(CampaignKind kind);
+
+struct SweepJob {
+  dram::Vendor vendor = dram::Vendor::kA;
+  int index = 1;  // 1-based module index within the vendor
+  dram::Scale scale = dram::Scale::kSmall;
+  CampaignKind kind = CampaignKind::kSearchOnly;
+  double temperature_c = 45.0;  // nominal test temperature (§6)
+  ParborConfig config{};        // config.seed is the base of the derived stream
+  std::uint64_t seed_base = 0x5eed;  // population seed (module fault maps)
+};
+
+// The per-job ParborConfig seed: a stable pure function of the job tuple,
+// so every module gets its own independent stream (never a shared one) and
+// the result is invariant under scheduling.
+std::uint64_t derive_job_seed(const SweepJob& job);
+
+struct SweepJobResult {
+  SweepJob job;
+  std::string module_name;
+  ParborReport report;
+  // Geometry and ground truth from the simulated device, for benches.
+  std::uint32_t row_bits = 0;
+  std::string scrambler_name;
+  std::set<std::int64_t> truth_distances;
+  // Equal-budget random baseline; only run for kFullWithRandom.
+  CampaignResult random;
+  // Simulated cost of this job's campaigns.
+  SimTime sim_elapsed;
+  std::uint64_t row_operations = 0;
+  // Host wall-clock cost of the job (module build + campaigns).
+  double wall_seconds = 0.0;
+};
+
+struct SweepReport {
+  std::vector<SweepJobResult> results;  // submission order, always
+  std::size_t workers = 1;
+  double wall_seconds = 0.0;  // whole-sweep wall clock
+
+  std::uint64_t total_tests() const;
+  SimTime total_sim_time() const;
+};
+
+class CampaignEngine {
+ public:
+  // `workers` == 0 selects one worker per hardware thread.
+  explicit CampaignEngine(std::size_t workers = 0) : pool_(workers) {}
+
+  std::size_t workers() const { return pool_.worker_count(); }
+
+  // Runs every job and blocks until all finished.  results[i] always
+  // corresponds to jobs[i].  The first job failure (lowest index) is
+  // rethrown after the sweep drains.
+  SweepReport run(const std::vector<SweepJob>& jobs);
+
+  // Runs one job synchronously on the calling thread (also what each
+  // worker executes).  Exposed so tests can pin down single-job behaviour.
+  static SweepJobResult run_job(const SweepJob& job);
+
+ private:
+  ThreadPool pool_;
+};
+
+// One job per module of the paper's 18-module population (A1..C6), or of
+// the given vendors/indices subset.
+std::vector<SweepJob> make_population_jobs(
+    dram::Scale scale, CampaignKind kind,
+    const std::vector<dram::Vendor>& vendors = {dram::Vendor::kA,
+                                                dram::Vendor::kB,
+                                                dram::Vendor::kC},
+    const std::vector<int>& indices = {1, 2, 3, 4, 5, 6});
+
+// Sweep summary as one JSON document (module entries in submission order;
+// wall-clock fields are excluded so the document is reproducible).
+std::string sweep_report_to_json(const SweepReport& sweep);
+
+}  // namespace parbor::core

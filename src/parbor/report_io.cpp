@@ -94,6 +94,87 @@ void write_ranking_csv(std::ostream& os, const NeighborSearchResult& search) {
   }
 }
 
+ReportSummary summarize_report(const ParborReport& report,
+                               const ReportIoOptions& options) {
+  ReportSummary s;
+  s.module_name = options.module_name;
+  s.vendor = options.vendor;
+  s.discovery_tests = report.discovery.tests;
+  s.victims = report.discovery.victims.size();
+  s.cells_observed = report.discovery.observed.size();
+  for (const auto& level : report.search.levels) {
+    LevelSummary ls;
+    ls.level = level.level;
+    ls.region_size = level.region_size;
+    ls.tests = level.tests;
+    ls.ranking = level.ranking.sorted_by_key();
+    ls.kept = level.found;
+    s.levels.push_back(std::move(ls));
+  }
+  s.search_tests = report.search.tests;
+  s.distances.assign(report.search.distances.begin(),
+                     report.search.distances.end());
+  s.fullchip_tests = report.fullchip.tests;
+  s.chunk_bits = report.plan.chunk;
+  s.rounds = report.plan.rounds.size();
+  s.cells_detected = report.fullchip.cells.size();
+  if (options.include_cells) {
+    s.cells.assign(report.fullchip.cells.begin(), report.fullchip.cells.end());
+  }
+  s.total_tests = report.total_tests();
+  return s;
+}
+
+ReportSummary report_summary_from_json(const std::string& json) {
+  const JsonValue doc = JsonValue::parse(json);
+  ReportSummary s;
+  if (doc.has("module")) s.module_name = doc.at("module").as_string();
+  if (doc.has("vendor")) s.vendor = doc.at("vendor").as_string();
+
+  const JsonValue& discovery = doc.at("discovery");
+  s.discovery_tests = discovery.at("tests").as_uint();
+  s.victims = discovery.at("victims").as_uint();
+  s.cells_observed = discovery.at("cells_observed").as_uint();
+
+  const JsonValue& search = doc.at("search");
+  s.search_tests = search.at("tests").as_uint();
+  for (const JsonValue& level : search.at("levels").items()) {
+    LevelSummary ls;
+    ls.level = static_cast<int>(level.at("level").as_int());
+    ls.region_size = static_cast<std::uint32_t>(level.at("region_size").as_uint());
+    ls.tests = static_cast<std::uint32_t>(level.at("tests").as_uint());
+    for (const JsonValue& entry : level.at("ranking").items()) {
+      const std::int64_t d = entry.at("distance").as_int();
+      ls.ranking.emplace_back(d, entry.at("count").as_uint());
+      if (entry.at("kept").as_bool()) ls.kept.push_back(d);
+    }
+    s.levels.push_back(std::move(ls));
+  }
+  for (const JsonValue& d : search.at("distances").items()) {
+    s.distances.push_back(d.as_int());
+  }
+
+  const JsonValue& fullchip = doc.at("full_chip");
+  s.fullchip_tests = fullchip.at("tests").as_uint();
+  s.chunk_bits = static_cast<std::uint32_t>(fullchip.at("chunk_bits").as_uint());
+  s.rounds = fullchip.at("rounds").as_uint();
+  s.cells_detected = fullchip.at("cells_detected").as_uint();
+  if (fullchip.has("cells")) {
+    for (const JsonValue& cell : fullchip.at("cells").items()) {
+      PARBOR_CHECK_MSG(cell.size() == 4, "cell entry must be [chip,bank,row,bit]");
+      mc::FlipRecord record;
+      record.addr.chip = static_cast<std::uint32_t>(cell[0].as_uint());
+      record.addr.bank = static_cast<std::uint32_t>(cell[1].as_uint());
+      record.addr.row = static_cast<std::uint32_t>(cell[2].as_uint());
+      record.sys_bit = static_cast<std::uint32_t>(cell[3].as_uint());
+      s.cells.push_back(record);
+    }
+  }
+
+  s.total_tests = doc.at("total_tests").as_uint();
+  return s;
+}
+
 std::string write_report_files(const ParborReport& report,
                                const std::string& prefix,
                                const ReportIoOptions& options) {

@@ -6,8 +6,11 @@
 // cells to CSV for spreadsheet-style analysis.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "parbor/parbor.h"
 
@@ -24,6 +27,47 @@ struct ReportIoOptions {
 // Full characterisation report as a single JSON document.
 std::string report_to_json(const ParborReport& report,
                            const ReportIoOptions& options = {});
+
+// Everything report_to_json stores about a report, as a comparable value —
+// the round-trip contract is
+//   summarize_report(r, o) == report_summary_from_json(report_to_json(r, o))
+// and the golden-file test pins the byte-exact JSON on top, so neither the
+// serializer nor engine-produced reports can silently drift.
+struct LevelSummary {
+  int level = 0;
+  std::uint32_t region_size = 0;
+  std::uint32_t tests = 0;
+  std::vector<std::pair<std::int64_t, std::uint64_t>> ranking;
+  std::vector<std::int64_t> kept;
+
+  bool operator==(const LevelSummary&) const = default;
+};
+
+struct ReportSummary {
+  std::string module_name;
+  std::string vendor;
+  std::uint64_t discovery_tests = 0;
+  std::uint64_t victims = 0;
+  std::uint64_t cells_observed = 0;
+  std::vector<LevelSummary> levels;
+  std::uint64_t search_tests = 0;
+  std::vector<std::int64_t> distances;
+  std::uint64_t fullchip_tests = 0;
+  std::uint32_t chunk_bits = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t cells_detected = 0;
+  std::vector<mc::FlipRecord> cells;  // present only with include_cells
+  std::uint64_t total_tests = 0;
+
+  bool operator==(const ReportSummary&) const = default;
+};
+
+ReportSummary summarize_report(const ParborReport& report,
+                               const ReportIoOptions& options = {});
+
+// Parses a report_to_json document back into its summary.  Malformed or
+// structurally unexpected input throws CheckError.
+ReportSummary report_summary_from_json(const std::string& json);
 
 // Detected failing cells, one line per cell:
 //   chip,bank,row,sys_bit

@@ -63,5 +63,76 @@ TEST(JsonWriter, UnbalancedEndIsRejected) {
   EXPECT_THROW(w.end_object(), CheckError);
 }
 
+TEST(JsonValue, ParsesScalars) {
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+  EXPECT_EQ(JsonValue::parse("null").kind(), JsonValue::Kind::kNull);
+  EXPECT_EQ(JsonValue::parse("-42").as_int(), -42);
+  EXPECT_EQ(JsonValue::parse("18446744073709551615").as_uint(),
+            18446744073709551615ull);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("0.25").as_double(), 0.25);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(JsonValue::parse(R"("a\"b\\c\nd")").as_string(), "a\"b\\c\nd");
+  EXPECT_EQ(JsonValue::parse("\"\\u0001\"").as_string(),
+            std::string(1, '\x01'));
+}
+
+TEST(JsonValue, ParsesContainersAndPreservesOrder) {
+  const auto v = JsonValue::parse(R"({"b":[1,2,3],"a":{"k":true}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.members()[0].first, "b");  // document order, not sorted
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.at("b").size(), 3u);
+  EXPECT_EQ(v.at("b")[2].as_int(), 3);
+  EXPECT_TRUE(v.at("a").at("k").as_bool());
+  EXPECT_TRUE(v.has("a"));
+  EXPECT_FALSE(v.has("z"));
+  EXPECT_THROW(v.at("z"), CheckError);
+}
+
+TEST(JsonValue, AcceptsWhitespace) {
+  const auto v = JsonValue::parse(" {\n\t\"a\" : [ 1 , 2 ] , \"b\" : { } }\r\n");
+  EXPECT_EQ(v.at("a").size(), 2u);
+  EXPECT_TRUE(v.at("b").members().empty());
+}
+
+TEST(JsonValue, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "a\"b\nc");
+  w.field("n", std::int64_t{-7});
+  w.field("big", std::uint64_t{18446744073709551615ull});
+  w.field("x", 0.125);
+  w.key("xs").begin_array().value(1).value(2).end_array();
+  w.key("o").begin_object().field("flag", false).end_object();
+  w.end_object();
+  const std::string text = w.str();
+  EXPECT_EQ(JsonValue::parse(text).dump(), text);
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), CheckError);
+  EXPECT_THROW(JsonValue::parse("{"), CheckError);
+  EXPECT_THROW(JsonValue::parse("[1,]"), CheckError);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,}"), CheckError);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), CheckError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), CheckError);
+  EXPECT_THROW(JsonValue::parse("tru"), CheckError);
+  EXPECT_THROW(JsonValue::parse("1 2"), CheckError);  // trailing content
+  EXPECT_THROW(JsonValue::parse("-"), CheckError);
+  EXPECT_THROW(JsonValue::parse("1..5"), CheckError);
+  EXPECT_THROW(JsonValue::parse(R"("\q")"), CheckError);
+}
+
+TEST(JsonValue, KindMismatchesAreRejected) {
+  const auto v = JsonValue::parse(R"({"n":1.5,"s":"x"})");
+  EXPECT_THROW(v.at("n").as_int(), CheckError);     // non-integral token
+  EXPECT_THROW(v.at("s").as_uint(), CheckError);    // not a number
+  EXPECT_THROW(v.at("n").as_string(), CheckError);
+  EXPECT_THROW(v.items(), CheckError);              // object, not array
+  EXPECT_THROW(JsonValue::parse("-1").as_uint(), CheckError);
+  EXPECT_THROW(JsonValue::parse("[1]")[1], CheckError);  // out of range
+}
+
 }  // namespace
 }  // namespace parbor

@@ -1,0 +1,142 @@
+// The campaign engine's core contract: a sweep's results are bit-identical
+// for every worker count.  Runs the same job list with --jobs 1 and
+// --jobs 8 and compares everything observable — distances, detected cell
+// sets, per-level rankings, test counts, simulated time.
+#include "parbor/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "parbor/report_io.h"
+
+namespace parbor::core {
+namespace {
+
+// 9 search-only modules (3 vendors x indices 1-3) plus full-pipeline and
+// full+random jobs, so the determinism claim covers every campaign kind.
+std::vector<SweepJob> determinism_jobs() {
+  auto jobs = make_population_jobs(
+      dram::Scale::kSmall, CampaignKind::kSearchOnly,
+      {dram::Vendor::kA, dram::Vendor::kB, dram::Vendor::kC}, {1, 2, 3});
+  SweepJob full;
+  full.vendor = dram::Vendor::kA;
+  full.scale = dram::Scale::kTiny;
+  full.kind = CampaignKind::kFullPipeline;
+  jobs.push_back(full);
+  full.kind = CampaignKind::kFullWithRandom;
+  jobs.push_back(full);
+  return jobs;
+}
+
+TEST(EngineDeterminism, WorkerCountNeverChangesResults) {
+  const auto jobs = determinism_jobs();
+  const SweepReport serial = CampaignEngine(1).run(jobs);
+  const SweepReport parallel = CampaignEngine(8).run(jobs);
+
+  ASSERT_EQ(serial.results.size(), jobs.size());
+  ASSERT_EQ(parallel.results.size(), jobs.size());
+  EXPECT_EQ(serial.workers, 1u);
+  EXPECT_EQ(parallel.workers, 8u);
+
+  ReportIoOptions options;
+  options.include_cells = true;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& a = serial.results[i];
+    const auto& b = parallel.results[i];
+    SCOPED_TRACE(a.module_name + " (" + campaign_kind_name(a.job.kind) + ")");
+    EXPECT_EQ(a.module_name, b.module_name);
+    // The summary covers distances, per-level rankings, test counts, and
+    // (with include_cells) every detected cell.
+    EXPECT_EQ(summarize_report(a.report, options),
+              summarize_report(b.report, options));
+    EXPECT_EQ(a.report.all_detected(), b.report.all_detected());
+    EXPECT_EQ(a.random.cells, b.random.cells);
+    EXPECT_EQ(a.random.tests, b.random.tests);
+    EXPECT_EQ(a.sim_elapsed, b.sim_elapsed);
+    EXPECT_EQ(a.row_operations, b.row_operations);
+  }
+
+  // The aggregate JSON export (which excludes wall-clock numbers) must be
+  // byte-identical too.
+  EXPECT_EQ(sweep_report_to_json(serial), sweep_report_to_json(parallel));
+}
+
+TEST(EngineDeterminism, SweepMatchesSequentialSingleJobRuns) {
+  // The engine must add nothing to a job's inputs: running each job alone
+  // on the calling thread gives the same results as the pooled sweep.
+  const auto jobs = make_population_jobs(
+      dram::Scale::kTiny, CampaignKind::kSearchOnly,
+      {dram::Vendor::kA, dram::Vendor::kB, dram::Vendor::kC}, {1});
+  const SweepReport sweep = CampaignEngine(4).run(jobs);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto solo = CampaignEngine::run_job(jobs[i]);
+    EXPECT_EQ(summarize_report(solo.report, {}),
+              summarize_report(sweep.results[i].report, {}));
+    EXPECT_EQ(solo.sim_elapsed, sweep.results[i].sim_elapsed);
+  }
+}
+
+TEST(EngineDeterminism, DerivedSeedsArePerJobStreams) {
+  SweepJob job;
+  const std::uint64_t base = derive_job_seed(job);
+
+  // Every tuple coordinate that identifies a module/campaign changes the
+  // stream...
+  SweepJob other = job;
+  other.vendor = dram::Vendor::kB;
+  EXPECT_NE(derive_job_seed(other), base);
+  other = job;
+  other.index = 2;
+  EXPECT_NE(derive_job_seed(other), base);
+  other = job;
+  other.kind = CampaignKind::kFullPipeline;
+  EXPECT_NE(derive_job_seed(other), base);
+  other = job;
+  other.config.seed ^= 1;
+  EXPECT_NE(derive_job_seed(other), base);
+
+  // ...while scale and temperature deliberately do not (§6: the same module
+  // must replay the identical test stream at 40/45/50 C).
+  other = job;
+  other.scale = dram::Scale::kLarge;
+  EXPECT_EQ(derive_job_seed(other), base);
+  other = job;
+  other.temperature_c = 50.0;
+  EXPECT_EQ(derive_job_seed(other), base);
+}
+
+TEST(EngineDeterminism, PopulationCharacterisesToGroundTruthOnTheEngine) {
+  // End-to-end guard: engine-run campaigns (with their derived per-job
+  // seeds) still characterise every module to the device's true distance
+  // set, exactly like the sequential population_test does with the default
+  // seed.
+  const auto sweep = CampaignEngine(8).run(make_population_jobs(
+      dram::Scale::kSmall, CampaignKind::kSearchOnly,
+      {dram::Vendor::kA, dram::Vendor::kB, dram::Vendor::kC}, {1, 2, 3}));
+  for (const auto& result : sweep.results) {
+    EXPECT_EQ(result.report.search.abs_distances(), result.truth_distances)
+        << result.module_name;
+  }
+}
+
+TEST(EngineDeterminism, JobFailurePropagatesLowestIndexAndEngineSurvives) {
+  // Index 1 has an invalid config; the sweep must rethrow its CheckError
+  // and the engine must remain usable for the next sweep.
+  auto jobs = make_population_jobs(dram::Scale::kTiny,
+                                   CampaignKind::kSearchOnly,
+                                   {dram::Vendor::kA}, {1, 2, 3});
+  jobs[1].config.subdivision = 1;  // rejected by ParborConfig validation
+  CampaignEngine engine(4);
+  EXPECT_THROW(engine.run(jobs), CheckError);
+
+  jobs[1].config.subdivision = 8;
+  const auto sweep = engine.run(jobs);
+  EXPECT_EQ(sweep.results.size(), 3u);
+  for (const auto& result : sweep.results) {
+    EXPECT_FALSE(result.report.search.distances.empty())
+        << result.module_name;
+  }
+}
+
+}  // namespace
+}  // namespace parbor::core

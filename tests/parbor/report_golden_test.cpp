@@ -1,0 +1,103 @@
+// Golden round-trip tests for the report exporters: the byte-exact JSON and
+// CSV of a fixed campaign are checked in under tests/parbor/golden/, and
+// every report must (a) still serialise to those bytes and (b) reparse into
+// a summary equal to the one built from the in-memory report.  Together
+// they pin the format from both sides, so engine-produced reports cannot
+// silently drift.
+//
+// Regenerate after an INTENTIONAL format change with
+//   ./build/tools/parbor_cli test --vendor A --index 1 --scale tiny
+//       --json tests/parbor/golden/report_a1_tiny --cells true
+// (one line; split here only for comment width)
+#include "parbor/report_io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace parbor::core {
+namespace {
+
+constexpr const char* kGoldenPrefix =
+    PARBOR_TEST_DATA_DIR "/golden/report_a1_tiny";
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << path;
+  std::ostringstream oss;
+  oss << is.rdbuf();
+  return oss.str();
+}
+
+ParborReport golden_report() {
+  dram::Module module(
+      dram::make_module_config(dram::Vendor::kA, 1, dram::Scale::kTiny));
+  mc::TestHost host(module);
+  return run_parbor(host, {});
+}
+
+ReportIoOptions golden_options() {
+  ReportIoOptions options;
+  options.module_name = "A1";
+  options.vendor = "A";
+  options.include_cells = true;
+  return options;
+}
+
+TEST(ReportGolden, JsonMatchesCheckedInBytes) {
+  const std::string expected = slurp(std::string(kGoldenPrefix) + ".json");
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(report_to_json(golden_report(), golden_options()) + "\n",
+            expected);
+}
+
+TEST(ReportGolden, CellsCsvMatchesCheckedInBytes) {
+  const auto report = golden_report();
+  std::ostringstream oss;
+  write_cells_csv(oss, report.fullchip.cells);
+  EXPECT_EQ(oss.str(), slurp(std::string(kGoldenPrefix) + "_cells.csv"));
+}
+
+TEST(ReportGolden, RankingCsvMatchesCheckedInBytes) {
+  const auto report = golden_report();
+  std::ostringstream oss;
+  write_ranking_csv(oss, report.search);
+  EXPECT_EQ(oss.str(), slurp(std::string(kGoldenPrefix) + "_ranking.csv"));
+}
+
+TEST(ReportGolden, SummaryRoundTripsThroughJson) {
+  const auto report = golden_report();
+  const auto options = golden_options();
+  const std::string json = report_to_json(report, options);
+  EXPECT_EQ(summarize_report(report, options),
+            report_summary_from_json(json));
+}
+
+TEST(ReportGolden, GoldenFileReparsesToTheLiveSummary) {
+  const std::string golden = slurp(std::string(kGoldenPrefix) + ".json");
+  EXPECT_EQ(report_summary_from_json(golden),
+            summarize_report(golden_report(), golden_options()));
+}
+
+TEST(ReportGolden, ParserDumpReproducesTheGoldenBytes) {
+  // parse → dump is the identity on writer output, so nothing is lost or
+  // reformatted on the way through JsonValue.
+  const std::string golden = slurp(std::string(kGoldenPrefix) + ".json");
+  const std::string body = golden.substr(0, golden.size() - 1);  // trailing \n
+  EXPECT_EQ(JsonValue::parse(body).dump(), body);
+}
+
+TEST(ReportGolden, SummaryWithoutCellsOmitsThem) {
+  const auto report = golden_report();
+  ReportIoOptions options = golden_options();
+  options.include_cells = false;
+  const auto summary = report_summary_from_json(report_to_json(report, options));
+  EXPECT_TRUE(summary.cells.empty());
+  EXPECT_EQ(summary.cells_detected, report.fullchip.cells.size());
+}
+
+}  // namespace
+}  // namespace parbor::core

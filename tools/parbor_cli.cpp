@@ -26,13 +26,22 @@
 //
 //   parbor_cli dcref    [--workload N] [--trfc-ns 1000]
 //       One 8-core DC-REF simulation (Fig. 16 point).
+//
+//   parbor_cli sweep    [--vendors A,B,C] [--indices 1-6] [--scale ...]
+//                       [--mode map|test|compare] [--jobs N] [--json PREFIX]
+//       Characterise a whole module population in parallel on the campaign
+//       engine.  --jobs bounds the worker count (default: all cores);
+//       results are bit-identical for every worker count.
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "common/flags.h"
 #include "common/table.h"
 #include "dcref/sim.h"
 #include "parbor/classic_tests.h"
+#include "parbor/engine.h"
 #include "parbor/parbor.h"
 #include "parbor/mitigation.h"
 #include "parbor/report_io.h"
@@ -259,14 +268,115 @@ int cmd_dcref(const Flags& flags) {
   return 0;
 }
 
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    if (c == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+// "1-6" or "1,3,5" -> {1,..}.
+std::vector<int> parse_indices(const std::string& text) {
+  const auto dash = text.find('-');
+  std::vector<int> out;
+  if (dash != std::string::npos) {
+    const int lo = std::atoi(text.substr(0, dash).c_str());
+    const int hi = std::atoi(text.substr(dash + 1).c_str());
+    for (int i = lo; i <= hi; ++i) out.push_back(i);
+  } else {
+    for (const auto& part : split_csv(text)) out.push_back(std::atoi(part.c_str()));
+  }
+  return out;
+}
+
+int cmd_sweep(const Flags& flags) {
+  std::vector<dram::Vendor> vendors;
+  for (const auto& name : split_csv(flags.get("vendors", "A,B,C"))) {
+    vendors.push_back(parse_vendor(name));
+  }
+  const auto indices = parse_indices(flags.get("indices", "1-6"));
+  const auto scale = parse_scale(flags.get("scale", "small"));
+  const std::string mode = flags.get("mode", "map");
+  core::CampaignKind kind = core::CampaignKind::kSearchOnly;
+  if (mode == "test") kind = core::CampaignKind::kFullPipeline;
+  else if (mode == "compare") kind = core::CampaignKind::kFullWithRandom;
+  else if (mode != "map") {
+    std::fprintf(stderr, "unknown --mode %s\n", mode.c_str());
+    return 2;
+  }
+
+  const auto jobs = core::make_population_jobs(scale, kind, vendors, indices);
+  core::CampaignEngine engine(flags.get_jobs());
+  std::printf("sweeping %zu modules (%s) on %zu workers...\n", jobs.size(),
+              core::campaign_kind_name(kind), engine.workers());
+  const auto sweep = engine.run(jobs);
+
+  const bool full = kind != core::CampaignKind::kSearchOnly;
+  std::vector<std::string> header = {"Module", "Tests", "Distances"};
+  if (full) header.push_back("Cells");
+  if (kind == core::CampaignKind::kFullWithRandom) {
+    header.push_back("Random cells");
+  }
+  header.push_back("Sim time");
+  Table table(header);
+  for (const auto& result : sweep.results) {
+    std::string ds;
+    for (auto d : result.report.search.abs_distances()) {
+      if (!ds.empty()) ds += ", ";
+      ds += "±" + std::to_string(d);
+    }
+    std::vector<std::string> row = {
+        result.module_name,
+        std::to_string(result.report.total_tests() + result.random.tests),
+        ds};
+    if (full) {
+      row.push_back(std::to_string(result.report.all_detected().size()));
+    }
+    if (kind == core::CampaignKind::kFullWithRandom) {
+      row.push_back(std::to_string(result.random.cells.size()));
+    }
+    row.push_back(result.sim_elapsed.to_string());
+    table.add_row(row);
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "total: %llu tests, %s simulated, %.2f s wall on %zu workers\n",
+      static_cast<unsigned long long>(sweep.total_tests()),
+      sweep.total_sim_time().to_string().c_str(), sweep.wall_seconds,
+      sweep.workers);
+
+  if (flags.has("json")) {
+    const std::string path = flags.get("json") + "_sweep.json";
+    std::ofstream os(path);
+    if (!os.good()) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    os << core::sweep_report_to_json(sweep) << '\n';
+    std::printf("sweep report written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
 int usage() {
   std::printf(
-      "usage: parbor_cli <map|test|compare|profile|mitigate|remap|dcref> [flags]\n"
+      "usage: parbor_cli "
+      "<map|test|compare|profile|mitigate|remap|dcref|sweep> [flags]\n"
       "  common flags: --vendor A|B|C|linear --index 1..6 "
       "--scale tiny|small|medium|large\n"
       "  map/test:     --json PREFIX [--cells true]\n"
       "  profile:      --interval-ms N\n"
-      "  dcref:        --workload N --trfc-ns N\n");
+      "  dcref:        --workload N --trfc-ns N\n"
+      "  sweep:        --vendors A,B,C --indices 1-6 --mode map|test|compare "
+      "--jobs N [--json PREFIX]\n");
   return 2;
 }
 
@@ -284,6 +394,7 @@ int main(int argc, char** argv) {
     if (cmd == "mitigate") return cmd_mitigate(flags);
     if (cmd == "remap") return cmd_remap(flags);
     if (cmd == "dcref") return cmd_dcref(flags);
+    if (cmd == "sweep") return cmd_sweep(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
