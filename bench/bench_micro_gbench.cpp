@@ -53,6 +53,42 @@ void BM_RowFaultEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_RowFaultEvaluation);
 
+// The read kernel under a coupling-dominated load: every row carries a dense
+// coupling population (no other fault classes), every pass holds long enough
+// to arm all of it, and the timed region is pure read_row_flips.  CI records
+// this case into BENCH_read_kernel.json and gates on the checked-in baseline.
+void BM_ReadKernelCouplingSweep(benchmark::State& state) {
+  auto cfg = dram::make_module_config(dram::Vendor::kA, 1, dram::Scale::kTiny);
+  cfg.chip.faults.coupling_cell_rate = 2e-2;
+  cfg.chip.faults.weak_cell_rate = 0.0;
+  cfg.chip.faults.vrt_cell_rate = 0.0;
+  cfg.chip.faults.marginal_cell_rate = 0.0;
+  cfg.chip.faults.soft_error_rate = 0.0;
+  dram::Module module(cfg);
+  mc::TestHost host(module);
+  BitVec pattern(cfg.chip.row_bits);
+  for (std::size_t i = 0; i < cfg.chip.row_bits; ++i) {
+    pattern.set(i, (i >> 3) & 1);
+  }
+  const auto rows = host.all_rows();
+  for (const auto& addr : rows) host.write_row(addr, pattern);
+  // One warm-up pass so lazy fault generation (and plan compilation) is
+  // excluded from the timed region.
+  host.wait(host.test_wait());
+  for (const auto& addr : rows) host.read_row_flips(addr);
+  std::size_t flips = 0;
+  for (auto _ : state) {
+    host.wait(host.test_wait());
+    for (const auto& addr : rows) {
+      flips += host.read_row_flips(addr).size();
+    }
+    benchmark::DoNotOptimize(flips);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rows.size()));
+}
+BENCHMARK(BM_ReadKernelCouplingSweep);
+
 void BM_RoundPlanConstruction(benchmark::State& state) {
   const std::set<std::int64_t> distances{1, 64};
   for (auto _ : state) {

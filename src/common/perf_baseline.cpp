@@ -1,0 +1,78 @@
+#include "common/perf_baseline.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace parbor {
+
+namespace {
+
+double to_ns(double value, const std::string& unit) {
+  if (unit == "ns") return value;
+  if (unit == "us") return value * 1e3;
+  if (unit == "ms") return value * 1e6;
+  if (unit == "s") return value * 1e9;
+  PARBOR_CHECK_MSG(false, "unknown benchmark time unit '" << unit << "'");
+  return 0.0;
+}
+
+// Per-name minimum across samples (repetitions): the least noisy statistic.
+std::map<std::string, double> min_cpu_by_name(
+    const std::vector<BenchSample>& samples) {
+  std::map<std::string, double> out;
+  for (const BenchSample& s : samples) {
+    auto [it, inserted] = out.emplace(s.name, s.cpu_time_ns);
+    if (!inserted) it->second = std::min(it->second, s.cpu_time_ns);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<BenchSample> parse_gbench_json(std::string_view text) {
+  const JsonValue doc = JsonValue::parse(text);
+  PARBOR_CHECK_MSG(doc.is_object() && doc.has("benchmarks"),
+                   "not a Google-benchmark JSON document");
+  std::vector<BenchSample> out;
+  for (const JsonValue& b : doc.at("benchmarks").items()) {
+    // Skip mean/median/stddev rows of a --benchmark_repetitions run.
+    if (b.has("run_type") && b.at("run_type").as_string() == "aggregate") {
+      continue;
+    }
+    BenchSample s;
+    s.name = b.at("name").as_string();
+    const std::string unit =
+        b.has("time_unit") ? b.at("time_unit").as_string() : "ns";
+    s.real_time_ns = to_ns(b.at("real_time").as_double(), unit);
+    s.cpu_time_ns = to_ns(b.at("cpu_time").as_double(), unit);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<PerfRegression> find_perf_regressions(
+    const std::vector<BenchSample>& measured,
+    const std::vector<BenchSample>& baseline, double max_ratio) {
+  PARBOR_CHECK_MSG(max_ratio > 0.0, "max_ratio must be positive");
+  const auto measured_min = min_cpu_by_name(measured);
+  const auto baseline_min = min_cpu_by_name(baseline);
+  std::vector<PerfRegression> out;
+  for (const auto& [name, base_ns] : baseline_min) {
+    const auto it = measured_min.find(name);
+    if (it == measured_min.end()) {
+      // A benchmark that vanished must not silently pass the gate.
+      out.push_back({name, 0.0, base_ns, 0.0});
+      continue;
+    }
+    const double ratio = base_ns > 0.0 ? it->second / base_ns : 0.0;
+    if (ratio > max_ratio) {
+      out.push_back({name, it->second, base_ns, ratio});
+    }
+  }
+  return out;
+}
+
+}  // namespace parbor

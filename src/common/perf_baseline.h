@@ -1,0 +1,46 @@
+// Perf-trajectory bookkeeping: parses Google-benchmark JSON output
+// (--benchmark_out_format=json) and compares a fresh measurement against a
+// checked-in baseline.  CI runs the read-kernel microbench, uploads the
+// resulting BENCH_*.json as an artifact (the trajectory), and fails the
+// build when a benchmark regresses beyond the allowed ratio.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parbor {
+
+// One benchmark entry from a Google-benchmark JSON document, normalised to
+// nanoseconds.  Aggregate entries (mean/median/stddev/cv) are skipped so a
+// repetitions run compares per-repetition samples only.
+struct BenchSample {
+  std::string name;
+  double real_time_ns = 0.0;
+  double cpu_time_ns = 0.0;
+};
+
+// Parses the "benchmarks" array of a gbench JSON document.  Throws
+// CheckError on malformed JSON or a missing benchmarks array.
+std::vector<BenchSample> parse_gbench_json(std::string_view text);
+
+struct PerfRegression {
+  std::string name;
+  double measured_ns = 0.0;
+  double baseline_ns = 0.0;
+  double ratio = 0.0;  // measured / baseline
+};
+
+// Compares measurement against baseline by benchmark name (cpu_time; the
+// wall clock of a shared CI runner is too noisy).  For names with several
+// samples (repetitions) the minimum is used on both sides — the minimum is
+// the least noise-contaminated statistic of a benchmark run.  Returns every
+// baseline benchmark whose measured time exceeds `max_ratio` times its
+// baseline time.  Baseline entries missing from the measurement are
+// reported as regressions with ratio 0 (a silently dropped benchmark must
+// not pass the gate); measured entries without a baseline are ignored.
+std::vector<PerfRegression> find_perf_regressions(
+    const std::vector<BenchSample>& measured,
+    const std::vector<BenchSample>& baseline, double max_ratio);
+
+}  // namespace parbor

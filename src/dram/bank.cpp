@@ -18,6 +18,7 @@ Bank::Bank(const BankConfig& config, const FaultModelParams& faults,
   PARBOR_CHECK(scrambler_ != nullptr);
   PARBOR_CHECK(scrambler_->row_bits() == config_.row_bits);
   PARBOR_CHECK(config_.remapped_cols <= config_.spare_cols);
+  PARBOR_CHECK(config_.remapped_cols < config_.row_bits);
 
   // The spare region reuses the coupling machinery with its own density and
   // no weak/VRT/marginal population (those are properties of the repaired
@@ -28,15 +29,25 @@ Bank::Bank(const BankConfig& config, const FaultModelParams& faults,
   spare_params_.marginal_cell_rate = 0.0;
 
   // Choose which main-array columns are repaired onto spares.
+  remapped_.assign(config_.row_bits, 0);
   Rng remap_rng = rng.fork("remap");
   while (remap_.size() < config_.remapped_cols) {
     const auto col =
         static_cast<std::uint32_t>(remap_rng.below(config_.row_bits));
-    if (!is_remapped_.contains(col)) {
-      is_remapped_[col] = true;
+    if (!remapped_[col]) {
+      remapped_[col] = 1;
       remap_.push_back(col);
     }
   }
+  live_cols_.reserve(config_.row_bits - config_.remapped_cols);
+  for (std::uint32_t col = 0; col < config_.row_bits; ++col) {
+    if (!remapped_[col]) live_cols_.push_back(col);
+  }
+
+  data_.resize(config_.rows);
+  write_time_.resize(config_.rows);
+  faults_.resize(config_.rows);
+  spare_faults_.resize(config_.rows);
 }
 
 void Bank::write_row(std::uint32_t row, const BitVec& phys_bits, SimTime now) {
@@ -48,29 +59,27 @@ void Bank::write_row(std::uint32_t row, const BitVec& phys_bits, SimTime now) {
 
 BitVec& Bank::row_data(std::uint32_t row, SimTime now) {
   PARBOR_CHECK(row < config_.rows);
-  auto it = data_.find(row);
-  if (it == data_.end()) {
-    it = data_.emplace(row, BitVec(config_.row_bits, false)).first;
+  if (data_[row].empty()) {
+    data_[row] = BitVec(config_.row_bits, false);
     write_time_[row] = now;
   }
-  return it->second;
+  return data_[row];
 }
 
-RowFaults& Bank::faults_entry(std::uint32_t row) {
-  auto it = faults_.find(row);
-  if (it == faults_.end()) {
+Bank::RowPlan& Bank::faults_entry(std::uint32_t row) {
+  PARBOR_CHECK(row < config_.rows);
+  if (!faults_[row].has_value()) {
     // Coupling profiles are conditioned on the tile structure: neighbours
     // across a sense-amplifier stripe do not exist as interference sources.
     const auto in_tile = [this](std::uint32_t col, int delta) {
       const auto nb = static_cast<std::int64_t>(col) + delta;
-      return scrambler_->tile_of_physical(static_cast<std::size_t>(nb)) ==
-             scrambler_->tile_of_physical(col);
+      return scrambler_->same_tile(static_cast<std::size_t>(nb), col);
     };
     RowFaults f = generate_row_faults(fault_params_, config_.row_bits,
                                       gen_rng_.fork(row), in_tile);
     // Repaired columns are disconnected; they neither fail themselves nor
     // host any other special behaviour in the main array.
-    auto dead = [&](std::uint32_t col) { return is_remapped_.contains(col); };
+    auto dead = [&](std::uint32_t col) { return remapped_[col] != 0; };
     std::erase_if(f.coupling,
                   [&](const CouplingProfile& c) { return dead(c.phys_col); });
     std::erase_if(f.weak,
@@ -79,164 +88,161 @@ RowFaults& Bank::faults_entry(std::uint32_t row) {
                   [&](const VrtCellProfile& c) { return dead(c.phys_col); });
     std::erase_if(f.marginal,
                   [&](const MarginalCellProfile& c) { return dead(c.phys_col); });
-    it = faults_.emplace(row, std::move(f)).first;
+
+    // Compile the coupling population for the read path: a source slot is
+    // live when it stays inside the array, shares the victim's tile, and
+    // was not repaired away.
+    CompiledCouplingPlan plan = compile_coupling_plan(
+        f.coupling,
+        [](const CouplingProfile& c) { return c.phys_col; },
+        [this](const CouplingProfile& c,
+               int delta) -> std::optional<std::uint32_t> {
+          const auto nb = static_cast<std::int64_t>(c.phys_col) + delta;
+          if (nb < 0 || nb >= static_cast<std::int64_t>(config_.row_bits)) {
+            return std::nullopt;
+          }
+          const auto col = static_cast<std::uint32_t>(nb);
+          if (!scrambler_->same_tile(col, c.phys_col) || remapped_[col]) {
+            return std::nullopt;
+          }
+          return col;
+        });
+    faults_[row].emplace(RowPlan{std::move(f), std::move(plan)});
   }
-  return it->second;
+  return *faults_[row];
 }
 
-RowFaults& Bank::spare_entry(std::uint32_t row) {
-  auto it = spare_faults_.find(row);
-  if (it == spare_faults_.end()) {
+Bank::RowPlan& Bank::spare_entry(std::uint32_t row) {
+  PARBOR_CHECK(row < config_.rows);
+  if (!spare_faults_[row].has_value()) {
     RowFaults f = generate_row_faults(spare_params_, remap_.size(),
                                       gen_rng_.fork(row).fork("spare"));
-    it = spare_faults_.emplace(row, std::move(f)).first;
+    // Spare cell i aliases the data of remap_[i]; its physical neighbours
+    // are the adjacent spares, so both the victim and its sources resolve
+    // through the remap table.
+    const auto n = static_cast<std::int64_t>(remap_.size());
+    CompiledCouplingPlan plan = compile_coupling_plan(
+        f.coupling,
+        [this](const CouplingProfile& c) { return remap_[c.phys_col]; },
+        [this, n](const CouplingProfile& c,
+                  int delta) -> std::optional<std::uint32_t> {
+          const auto nb = static_cast<std::int64_t>(c.phys_col) + delta;
+          if (nb < 0 || nb >= n) return std::nullopt;
+          return remap_[static_cast<std::size_t>(nb)];
+        });
+    spare_faults_[row].emplace(RowPlan{std::move(f), std::move(plan)});
   }
-  return it->second;
+  return *spare_faults_[row];
 }
 
 const RowFaults& Bank::row_faults(std::uint32_t row) {
-  return faults_entry(row);
+  return faults_entry(row).faults;
 }
 const RowFaults& Bank::spare_faults(std::uint32_t row) {
-  return spare_entry(row);
+  return spare_entry(row).faults;
+}
+const CompiledCouplingPlan& Bank::compiled_coupling(std::uint32_t row) {
+  return faults_entry(row).coupling;
+}
+const CompiledCouplingPlan& Bank::compiled_spare_coupling(std::uint32_t row) {
+  return spare_entry(row).coupling;
 }
 
-bool Bank::live_main_col(std::int64_t col, std::uint32_t tile) const {
-  if (col < 0 || col >= static_cast<std::int64_t>(config_.row_bits)) {
-    return false;
-  }
-  const auto c = static_cast<std::uint32_t>(col);
-  return scrambler_->tile_of_physical(c) == tile && !is_remapped_.contains(c);
-}
-
-std::vector<std::uint32_t> Bank::read_row_flips(std::uint32_t row, SimTime now,
-                                                double temp_factor) {
+void Bank::read_row_flips_append(std::uint32_t row, SimTime now,
+                                 double temp_factor,
+                                 std::vector<std::uint32_t>& out) {
   BitVec& bits = row_data(row, now);
   const SimTime held = now - write_time_[row];
   const SimTime eff = SimTime::sec(held.seconds() * temp_factor);
   const bool anti = is_anti_row(row);
-  RowFaults& faults = faults_entry(row);
+  RowPlan& plan = faults_entry(row);
 
-  std::vector<std::uint32_t> flips;
-  auto charged = [&](std::uint32_t col) { return bits.get(col) != anti; };
+  const std::size_t base = out.size();
 
-  // Coupling (data-dependent) failures in the main array.  A victim is
-  // vulnerable only in the charged state; an oppositely-charged (discharged)
-  // neighbour contributes its coupling coefficient to the interference.
-  for (const CouplingProfile& c : faults.coupling) {
-    if (eff < c.min_hold) continue;
-    if (!charged(c.phys_col)) continue;
-    const std::uint32_t tile = scrambler_->tile_of_physical(c.phys_col);
-    const std::int64_t p = c.phys_col;
-    float interference = 0.0f;
-    auto contributes = [&](std::int64_t nb) {
-      return live_main_col(nb, tile) &&
-             !charged(static_cast<std::uint32_t>(nb));
-    };
-    if (contributes(p - 1)) interference += c.c_left;
-    if (contributes(p + 1)) interference += c.c_right;
-    if (contributes(p - 2)) interference += c.c_left2;
-    if (contributes(p + 2)) interference += c.c_right2;
-    if (contributes(p - 3)) interference += c.c_left3;
-    if (contributes(p + 3)) interference += c.c_right3;
-    if (contributes(p - 4)) interference += c.c_left4;
-    if (contributes(p + 4)) interference += c.c_right4;
-    if (interference >= c.threshold) flips.push_back(c.phys_col);
-  }
-
-  // Coupling failures in the spare region (repaired columns).  Spare cell i
-  // aliases the data of remap_[i]; its physical neighbours are the adjacent
-  // spares.
+  // Coupling (data-dependent) failures, main array then spare region, both
+  // through the precompiled plans.  A victim is vulnerable only in the
+  // charged state; an oppositely-charged (discharged) source contributes
+  // its coupling coefficient to the interference.
+  evaluate_coupling_plan(plan.coupling, eff, bits, anti, out);
   if (!remap_.empty()) {
-    RowFaults& spares = spare_entry(row);
-    auto spare_charged = [&](std::int64_t i) {
-      return bits.get(remap_[static_cast<std::size_t>(i)]) != anti;
-    };
-    for (const CouplingProfile& c : spares.coupling) {
-      if (eff < c.min_hold) continue;
-      const std::int64_t i = c.phys_col;
-      if (!spare_charged(i)) continue;
-      const auto n = static_cast<std::int64_t>(remap_.size());
-      float interference = 0.0f;
-      auto contributes = [&](std::int64_t nb) {
-        return nb >= 0 && nb < n && !spare_charged(nb);
-      };
-      if (contributes(i - 1)) interference += c.c_left;
-      if (contributes(i + 1)) interference += c.c_right;
-      if (contributes(i - 2)) interference += c.c_left2;
-      if (contributes(i + 2)) interference += c.c_right2;
-      if (contributes(i - 3)) interference += c.c_left3;
-      if (contributes(i + 3)) interference += c.c_right3;
-      if (contributes(i - 4)) interference += c.c_left4;
-      if (contributes(i + 4)) interference += c.c_right4;
-      if (interference >= c.threshold) {
-        flips.push_back(remap_[static_cast<std::size_t>(i)]);
-      }
-    }
+    evaluate_coupling_plan(spare_entry(row).coupling, eff, bits, anti, out);
   }
+
+  auto charged = [&](std::uint32_t col) { return bits.get(col) != anti; };
 
   // Weak (retention) cells: charged state leaks away after the retention
   // time regardless of neighbour content.
-  for (const WeakCellProfile& w : faults.weak) {
-    if (eff >= w.retention && charged(w.phys_col)) flips.push_back(w.phys_col);
+  for (const WeakCellProfile& w : plan.faults.weak) {
+    if (eff >= w.retention && charged(w.phys_col)) out.push_back(w.phys_col);
   }
 
   // VRT cells: two-state machine; the leaky state behaves like a weak cell.
-  for (VrtCellProfile& v : faults.vrt) {
+  for (VrtCellProfile& v : plan.faults.vrt) {
     if (v.leaky && eff >= v.leaky_retention && charged(v.phys_col)) {
-      flips.push_back(v.phys_col);
+      out.push_back(v.phys_col);
     }
     if (event_rng_.bernoulli(v.toggle_prob)) v.leaky = !v.leaky;
   }
 
   // Marginal cells: probabilistic loss on long holds.
-  for (const MarginalCellProfile& m : faults.marginal) {
+  for (const MarginalCellProfile& m : plan.faults.marginal) {
     if (eff >= m.min_hold && charged(m.phys_col) &&
         event_rng_.bernoulli(m.fail_prob)) {
-      flips.push_back(m.phys_col);
+      out.push_back(m.phys_col);
     }
   }
 
   // Wordline (row-to-row) coupling: disturbed by the same column of an
   // adjacent row.  An unwritten neighbour row holds zeros.
-  for (const WordlineCellProfile& w : faults.wordline) {
+  for (const WordlineCellProfile& w : plan.faults.wordline) {
     if (eff < w.min_hold || !charged(w.phys_col)) continue;
     const std::int64_t nb_row = static_cast<std::int64_t>(row) + w.row_delta;
     if (nb_row < 0 || nb_row >= static_cast<std::int64_t>(config_.rows)) {
       continue;
     }
-    const auto nb = static_cast<std::uint32_t>(nb_row);
-    auto it = data_.find(nb);
-    const bool nb_data = it != data_.end() && it->second.get(w.phys_col);
-    const bool nb_charged = nb_data != is_anti_row(nb);
-    if (!nb_charged) flips.push_back(w.phys_col);
+    const BitVec& nb_bits = data_[static_cast<std::uint32_t>(nb_row)];
+    const bool nb_data = !nb_bits.empty() && nb_bits.get(w.phys_col);
+    const bool nb_charged =
+        nb_data != is_anti_row(static_cast<std::uint32_t>(nb_row));
+    if (!nb_charged) out.push_back(w.phys_col);
   }
 
-  // Soft errors: rare random flips anywhere in the row, either polarity.
+  // Soft errors: rare random flips, either polarity.  Drawn over the live
+  // columns only — repaired columns are disconnected from the array and
+  // cannot collect charge upsets.  The Poisson intensity stays expressed
+  // over the full row width so fault-free draw sequences are unchanged.
   const auto n_soft = poisson_draw(
       event_rng_,
       fault_params_.soft_error_rate * static_cast<double>(config_.row_bits));
   for (std::uint64_t i = 0; i < n_soft; ++i) {
-    flips.push_back(static_cast<std::uint32_t>(event_rng_.below(config_.row_bits)));
+    out.push_back(live_cols_[event_rng_.below(live_cols_.size())]);
   }
 
   // Commit: flips restore the wrong value; the hold timer resets.
-  std::sort(flips.begin(), flips.end());
-  flips.erase(std::unique(flips.begin(), flips.end()), flips.end());
-  for (auto col : flips) bits.flip(col);
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end());
+  out.erase(std::unique(out.begin() + static_cast<std::ptrdiff_t>(base),
+                        out.end()),
+            out.end());
+  for (std::size_t i = base; i < out.size(); ++i) bits.flip(out[i]);
   write_time_[row] = now;
+}
+
+std::vector<std::uint32_t> Bank::read_row_flips(std::uint32_t row, SimTime now,
+                                                double temp_factor) {
+  std::vector<std::uint32_t> flips;
+  read_row_flips_append(row, now, temp_factor, flips);
   return flips;
 }
 
 BitVec Bank::read_row(std::uint32_t row, SimTime now, double temp_factor) {
   read_row_flips(row, now, temp_factor);
-  return data_.at(row);
+  return data_[row];
 }
 
 const BitVec& Bank::peek_row(std::uint32_t row) const {
   static const BitVec empty;
-  auto it = data_.find(row);
-  return it == data_.end() ? empty : it->second;
+  if (row >= config_.rows || data_[row].empty()) return empty;
+  return data_[row];
 }
 
 }  // namespace parbor::dram

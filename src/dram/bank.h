@@ -13,11 +13,17 @@
 //
 // Reads are destructive-with-restore: any failure committed during a read is
 // written back, and the row's hold timer resets (sense-amplifier restore).
+//
+// Read-path design: everything a read needs is resolved when a row's fault
+// population is first generated.  Coupling profiles are compiled into a flat
+// CompiledCouplingPlan (see dram/faults.h) with tile membership and
+// remap-liveness baked in, and all per-row state lives in row-indexed
+// vectors — the hot loop performs no hash lookups and no liveness tests.
+// The compiled evaluation is bit-exact against the original profile walk.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bitvec.h"
@@ -55,6 +61,13 @@ class Bank {
   std::vector<std::uint32_t> read_row_flips(std::uint32_t row, SimTime now,
                                             double temp_factor);
 
+  // Allocation-free variant: appends this read's flipped physical columns
+  // (sorted, deduplicated) to `out` without clearing it.  Lets campaign
+  // loops reuse one buffer across a whole sweep.
+  void read_row_flips_append(std::uint32_t row, SimTime now,
+                             double temp_factor,
+                             std::vector<std::uint32_t>& out);
+
   // Full-content read (same semantics, returns the post-failure data).
   BitVec read_row(std::uint32_t row, SimTime now, double temp_factor);
 
@@ -76,13 +89,21 @@ class Bank {
   const RowFaults& row_faults(std::uint32_t row);
   const RowFaults& spare_faults(std::uint32_t row);
 
- private:
-  BitVec& row_data(std::uint32_t row, SimTime now);
-  RowFaults& faults_entry(std::uint32_t row);
-  RowFaults& spare_entry(std::uint32_t row);
+  // The precompiled coupling evaluation plans (white-box tests: every
+  // source must be in range, same-tile, and live).
+  const CompiledCouplingPlan& compiled_coupling(std::uint32_t row);
+  const CompiledCouplingPlan& compiled_spare_coupling(std::uint32_t row);
 
-  // True if `col` exists as an interference source for the main array.
-  bool live_main_col(std::int64_t col, std::uint32_t tile) const;
+ private:
+  // A row's fault population together with its compiled read-path form.
+  struct RowPlan {
+    RowFaults faults;
+    CompiledCouplingPlan coupling;
+  };
+
+  BitVec& row_data(std::uint32_t row, SimTime now);
+  RowPlan& faults_entry(std::uint32_t row);
+  RowPlan& spare_entry(std::uint32_t row);
 
   BankConfig config_;
   FaultModelParams fault_params_;
@@ -92,12 +113,16 @@ class Bank {
   Rng event_rng_;  // sequential draws for soft errors / marginal / VRT
   unsigned anti_shift_;
 
-  std::vector<std::uint32_t> remap_;               // spare i <- remap_[i]
-  std::unordered_map<std::uint32_t, bool> is_remapped_;
-  std::unordered_map<std::uint32_t, BitVec> data_;
-  std::unordered_map<std::uint32_t, SimTime> write_time_;
-  std::unordered_map<std::uint32_t, RowFaults> faults_;
-  std::unordered_map<std::uint32_t, RowFaults> spare_faults_;
+  std::vector<std::uint32_t> remap_;       // spare i <- remap_[i]
+  std::vector<std::uint8_t> remapped_;     // per-column repaired flag
+  std::vector<std::uint32_t> live_cols_;   // columns still wired to the array
+
+  // Row-indexed state (rows are known from BankConfig).  A row that was
+  // never written holds an empty BitVec and reads as zeros.
+  std::vector<BitVec> data_;
+  std::vector<SimTime> write_time_;
+  std::vector<std::optional<RowPlan>> faults_;
+  std::vector<std::optional<RowPlan>> spare_faults_;
 };
 
 }  // namespace parbor::dram

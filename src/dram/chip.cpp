@@ -64,13 +64,20 @@ BitVec Chip::read_row(std::uint32_t bank, std::uint32_t row, SimTime now) {
 std::vector<std::uint32_t> Chip::read_row_flips(std::uint32_t bank,
                                                 std::uint32_t row,
                                                 SimTime now) {
-  PARBOR_CHECK(bank < config_.banks);
-  std::vector<std::uint32_t> flips =
-      banks_[bank].read_row_flips(row, now, temp_factor());
-  for (auto& col : flips) {
-    col = static_cast<std::uint32_t>(scrambler_->to_system(col));
-  }
+  std::vector<std::uint32_t> flips;
+  read_row_flips_append(bank, row, now, flips);
   return flips;
+}
+
+void Chip::read_row_flips_append(std::uint32_t bank, std::uint32_t row,
+                                 SimTime now,
+                                 std::vector<std::uint32_t>& out) {
+  PARBOR_CHECK(bank < config_.banks);
+  const std::size_t base = out.size();
+  banks_[bank].read_row_flips_append(row, now, temp_factor(), out);
+  for (std::size_t i = base; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint32_t>(scrambler_->to_system(out[i]));
+  }
 }
 
 }  // namespace parbor::dram

@@ -58,6 +58,10 @@ class Chip {
   // Destructive read returning only the *system* bit positions that flipped.
   std::vector<std::uint32_t> read_row_flips(std::uint32_t bank,
                                             std::uint32_t row, SimTime now);
+  // Allocation-free variant: appends this read's flipped system bits to
+  // `out` (the per-read tail stays sorted by physical column).
+  void read_row_flips_append(std::uint32_t bank, std::uint32_t row,
+                             SimTime now, std::vector<std::uint32_t>& out);
 
   // --- broadcast fast path ----------------------------------------------
   BitVec permute_to_physical(const BitVec& sys_bits) const;

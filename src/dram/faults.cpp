@@ -127,6 +127,72 @@ CouplingProfile make_coupling(const FaultModelParams& p, Rng& rng,
 
 }  // namespace
 
+CompiledCouplingPlan compile_coupling_plan(
+    const std::vector<CouplingProfile>& profiles,
+    const VictimResolver& victim_col, const SourceResolver& source_col) {
+  CompiledCouplingPlan plan;
+  plan.victims.reserve(profiles.size());
+  // Slot order mirrors the original evaluation loop so the interference sum
+  // accumulates in the same order (float addition is not associative).
+  struct Slot {
+    int delta;
+    float CouplingProfile::* coeff;
+  };
+  static constexpr Slot kSlots[8] = {
+      {-1, &CouplingProfile::c_left},  {+1, &CouplingProfile::c_right},
+      {-2, &CouplingProfile::c_left2}, {+2, &CouplingProfile::c_right2},
+      {-3, &CouplingProfile::c_left3}, {+3, &CouplingProfile::c_right3},
+      {-4, &CouplingProfile::c_left4}, {+4, &CouplingProfile::c_right4},
+  };
+  for (const CouplingProfile& c : profiles) {
+    CompiledCouplingVictim v;
+    v.col = victim_col(c);
+    v.threshold = c.threshold;
+    v.min_hold = c.min_hold;
+    v.src_begin = static_cast<std::uint32_t>(plan.sources.size());
+    for (const Slot& slot : kSlots) {
+      const float coeff = c.*slot.coeff;
+      if (coeff == 0.0f) continue;  // adds nothing (coefficients are >= 0)
+      const auto src = source_col(c, slot.delta);
+      if (!src.has_value()) continue;  // edge / cross-tile / repaired: dead
+      plan.sources.push_back({*src, coeff});
+    }
+    v.src_count =
+        static_cast<std::uint32_t>(plan.sources.size()) - v.src_begin;
+    plan.victims.push_back(v);
+  }
+  std::stable_sort(plan.victims.begin(), plan.victims.end(),
+                   [](const CompiledCouplingVictim& a,
+                      const CompiledCouplingVictim& b) {
+                     return a.min_hold < b.min_hold;
+                   });
+  return plan;
+}
+
+void evaluate_coupling_plan(const CompiledCouplingPlan& plan, SimTime eff,
+                            const BitVec& bits, bool anti,
+                            std::vector<std::uint32_t>& out) {
+  const CompiledCouplingSource* sources = plan.sources.data();
+  const std::uint64_t* words = bits.words().data();
+  const std::uint64_t anti_bit = anti ? 1u : 0u;
+  auto discharged = [&](std::uint32_t col) -> std::uint64_t {
+    return ((words[col >> 6] >> (col & 63)) & 1u) ^ anti_bit ^ 1u;
+  };
+  for (const CompiledCouplingVictim& v : plan.victims) {
+    if (eff < v.min_hold) break;  // sorted: nothing further can arm
+    if (discharged(v.col)) continue;  // victim vulnerable only when charged
+    float interference = 0.0f;
+    const CompiledCouplingSource* s = sources + v.src_begin;
+    for (std::uint32_t k = 0; k < v.src_count; ++k) {
+      // Branchless: a charged source multiplies its coefficient by 0, which
+      // leaves the float sum bit-identical (coefficients are non-negative).
+      interference +=
+          s[k].coeff * static_cast<float>(discharged(s[k].col));
+    }
+    if (interference >= v.threshold) out.push_back(v.col);
+  }
+}
+
 RowFaults generate_row_faults(const FaultModelParams& p, std::size_t row_cols,
                               Rng rng,
                               const NeighborExists& neighbor_exists) {

@@ -28,6 +28,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/bitvec.h"
 #include "common/rng.h"
 #include "common/sim_time.h"
 
@@ -160,6 +161,65 @@ struct RowFaults {
   std::vector<MarginalCellProfile> marginal;
   std::vector<WordlineCellProfile> wordline;
 };
+
+// --- precompiled coupling evaluation ---------------------------------------
+//
+// A CouplingProfile is convenient to generate and inspect, but evaluating it
+// on every read means re-deriving the same facts each time: which of the
+// eight neighbour slots exist at all (array edges, tile boundaries, repaired
+// columns) and which column each slot refers to.  All of that is immutable
+// once a row's population exists, so it is resolved ONCE into a flat plan:
+// per victim, a contiguous span of (source column, coefficient) pairs with
+// only the live, non-zero sources kept, victims sorted by ascending min_hold
+// so a scan can stop at the first profile the effective hold cannot arm.
+//
+// Bit-exactness invariant: for any data content, evaluate_coupling_plan()
+// produces exactly the flip set the original eight-slot walk produced.
+// Sources are kept in the original accumulation order (l1, r1, l2, r2, l3,
+// r3, l4, r4), so the float sum sees the same addends in the same order;
+// dropped sources are exactly those that contribute 0.0f or are never live.
+
+struct CompiledCouplingSource {
+  std::uint32_t col = 0;  // physical column whose charge is probed
+  float coeff = 0.0f;
+};
+
+struct CompiledCouplingVictim {
+  std::uint32_t col = 0;  // column charged-checked and reported on failure
+  std::uint32_t src_begin = 0;  // span into CompiledCouplingPlan::sources
+  std::uint32_t src_count = 0;
+  float threshold = 1.0f;
+  SimTime min_hold;
+};
+
+struct CompiledCouplingPlan {
+  std::vector<CompiledCouplingVictim> victims;  // ascending min_hold
+  std::vector<CompiledCouplingSource> sources;
+};
+
+// Resolves one neighbour slot of a profile: the physical column that acts as
+// the interference source at signed offset `delta` (-4..+4, never 0) from
+// the victim, or nullopt if no live source exists there.
+using SourceResolver = std::function<std::optional<std::uint32_t>(
+    const CouplingProfile&, int delta)>;
+
+// Maps a profile to the physical column that is charged-checked and reported
+// (identity for the main array; the remap alias for the spare region).
+using VictimResolver =
+    std::function<std::uint32_t(const CouplingProfile&)>;
+
+// Flattens `profiles` into an evaluation plan.  Victims are stable-sorted by
+// min_hold (ties keep generation order), so plans are deterministic.
+CompiledCouplingPlan compile_coupling_plan(
+    const std::vector<CouplingProfile>& profiles,
+    const VictimResolver& victim_col, const SourceResolver& source_col);
+
+// Evaluates a compiled plan against row content: a victim in the charged
+// state (bit != anti) fails when the summed coefficients of its discharged
+// sources reach its threshold.  Failing columns are appended to `out`.
+void evaluate_coupling_plan(const CompiledCouplingPlan& plan, SimTime eff,
+                            const BitVec& bits, bool anti,
+                            std::vector<std::uint32_t>& out);
 
 // Tells the generator which physical neighbours of a column actually exist
 // as interference sources (same tile, inside the array).  delta is the

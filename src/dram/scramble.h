@@ -50,6 +50,12 @@ class Scrambler {
     return tile_of_[phys];
   }
 
+  // True when both physical columns sit in the same subarray (and can
+  // therefore see each other's bitline interference at all).
+  bool same_tile(std::size_t phys_a, std::size_t phys_b) const {
+    return tile_of_[phys_a] == tile_of_[phys_b];
+  }
+
   bool coupled(std::size_t phys_a, std::size_t phys_b) const {
     if (phys_a > phys_b) std::swap(phys_a, phys_b);
     return phys_b - phys_a == 1 && tile_of_[phys_a] == tile_of_[phys_b];

@@ -93,13 +93,14 @@ std::vector<FlipRecord> TestHost::run_generated_physical_test(
 std::vector<FlipRecord> TestHost::collect_flips() {
   const auto& cfg = module_->config();
   std::vector<FlipRecord> flips;
+  std::vector<std::uint32_t> bits;  // reused across every row of the pass
   for (std::uint32_t c = 0; c < cfg.chips; ++c) {
     for (std::uint32_t b = 0; b < cfg.chip.banks; ++b) {
       for (std::uint32_t r = 0; r < cfg.chip.rows; ++r) {
         account_row_op();
-        for (auto bit : module_->chip(c).read_row_flips(b, r, now_)) {
-          flips.push_back({{c, b, r}, bit});
-        }
+        bits.clear();
+        module_->chip(c).read_row_flips_append(b, r, now_, bits);
+        for (auto bit : bits) flips.push_back({{c, b, r}, bit});
       }
     }
   }

@@ -1,0 +1,84 @@
+#include "common/perf_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace parbor {
+namespace {
+
+// A trimmed-down Google-benchmark JSON document: two iteration entries for
+// the same benchmark (repetitions) plus an aggregate row and a second
+// benchmark in milliseconds.
+constexpr const char* kMeasured = R"({
+  "context": {"host_name": "ci", "num_cpus": 2},
+  "benchmarks": [
+    {"name": "BM_ReadKernel", "run_type": "iteration",
+     "real_time": 120.0, "cpu_time": 110.0, "time_unit": "ns"},
+    {"name": "BM_ReadKernel", "run_type": "iteration",
+     "real_time": 130.0, "cpu_time": 105.0, "time_unit": "ns"},
+    {"name": "BM_ReadKernel_mean", "run_type": "aggregate",
+     "real_time": 125.0, "cpu_time": 107.5, "time_unit": "ns"},
+    {"name": "BM_Sweep", "run_type": "iteration",
+     "real_time": 2.0, "cpu_time": 1.5, "time_unit": "ms"}
+  ]
+})";
+
+TEST(PerfBaseline, ParsesIterationEntriesAndNormalisesUnits) {
+  const auto samples = parse_gbench_json(kMeasured);
+  ASSERT_EQ(samples.size(), 3u);  // the aggregate row is skipped
+  EXPECT_EQ(samples[0].name, "BM_ReadKernel");
+  EXPECT_DOUBLE_EQ(samples[0].cpu_time_ns, 110.0);
+  EXPECT_EQ(samples[2].name, "BM_Sweep");
+  EXPECT_DOUBLE_EQ(samples[2].cpu_time_ns, 1.5e6);
+  EXPECT_DOUBLE_EQ(samples[2].real_time_ns, 2.0e6);
+}
+
+TEST(PerfBaseline, RejectsDocumentsWithoutBenchmarks) {
+  EXPECT_THROW(parse_gbench_json(R"({"context": {}})"), CheckError);
+  EXPECT_THROW(parse_gbench_json("[1, 2]"), CheckError);
+}
+
+std::vector<BenchSample> one(const std::string& name, double cpu_ns) {
+  return {{name, cpu_ns, cpu_ns}};
+}
+
+TEST(PerfBaseline, PassesWithinRatio) {
+  const auto regressions = find_perf_regressions(
+      one("BM_ReadKernel", 180.0), one("BM_ReadKernel", 100.0), 2.0);
+  EXPECT_TRUE(regressions.empty());
+}
+
+TEST(PerfBaseline, FlagsRegressionBeyondRatio) {
+  const auto regressions = find_perf_regressions(
+      one("BM_ReadKernel", 250.0), one("BM_ReadKernel", 100.0), 2.0);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_EQ(regressions[0].name, "BM_ReadKernel");
+  EXPECT_DOUBLE_EQ(regressions[0].ratio, 2.5);
+}
+
+TEST(PerfBaseline, UsesMinimumAcrossRepetitions) {
+  // One noisy outlier among the repetitions must not trip the gate.
+  const std::vector<BenchSample> measured = {
+      {"BM_ReadKernel", 900.0, 900.0}, {"BM_ReadKernel", 150.0, 150.0}};
+  EXPECT_TRUE(
+      find_perf_regressions(measured, one("BM_ReadKernel", 100.0), 2.0)
+          .empty());
+}
+
+TEST(PerfBaseline, MissingBenchmarkIsARegression) {
+  const auto regressions = find_perf_regressions(
+      one("BM_Other", 50.0), one("BM_ReadKernel", 100.0), 2.0);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_EQ(regressions[0].name, "BM_ReadKernel");
+  EXPECT_DOUBLE_EQ(regressions[0].measured_ns, 0.0);
+}
+
+TEST(PerfBaseline, ImprovementsNeverFlag) {
+  EXPECT_TRUE(find_perf_regressions(one("BM_ReadKernel", 10.0),
+                                    one("BM_ReadKernel", 100.0), 2.0)
+                  .empty());
+}
+
+}  // namespace
+}  // namespace parbor

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 
 #include "dram/scramble.h"
 
@@ -268,6 +269,38 @@ TEST(BankRemap, SpareRegionCouplingFollowsSpareNeighbours) {
   auto flips2 = bank.read_row_flips(row, SimTime::ms(1300), 1.0);
   EXPECT_TRUE(std::find(flips2.begin(), flips2.end(), victim_main) ==
               flips2.end());
+}
+
+// Regression test: soft-error draws must never land on a repaired
+// (disconnected) column — those cells are no longer wired to the array.
+// An eighth of the columns are remapped here, so with hundreds of soft
+// errors the pre-fix uniform draw over all columns hits one immediately.
+TEST(BankSoftErrors, NeverLandOnRemappedColumns) {
+  LinearScrambler scr(kRowBits);
+  BankConfig c = quiet_config();
+  c.spare_cols = 64;
+  c.remapped_cols = 64;
+  c.spare_coupling_rate = 0.0;  // keep spare aliases quiet
+  FaultModelParams p = no_faults();
+  p.soft_error_rate = 2e-3;
+  Bank bank(c, p, &scr, Rng(17));
+  const std::set<std::uint32_t> dead(bank.remapped_columns().begin(),
+                                     bank.remapped_columns().end());
+  ASSERT_EQ(dead.size(), 64u);
+
+  BitVec zeros(kRowBits);
+  std::size_t soft_flips = 0;
+  SimTime now = SimTime::ms(0);
+  for (int i = 0; i < 400; ++i) {
+    bank.write_row(0, zeros, now);
+    now += SimTime::ms(1);
+    for (auto col : bank.read_row_flips(0, now, 1.0)) {
+      ++soft_flips;
+      EXPECT_FALSE(dead.contains(col))
+          << "soft error on disconnected column " << col;
+    }
+  }
+  ASSERT_GT(soft_flips, 100u) << "rate too low for the test to bite";
 }
 
 TEST(BankSoftErrors, OccurAtConfiguredRate) {

@@ -1,0 +1,73 @@
+// CI perf-regression gate.
+//
+//   perf_gate <measured.json> <baseline.json> [--max-ratio R]
+//
+// Both files are Google-benchmark JSON documents (--benchmark_out_format=
+// json).  Exits 0 when every benchmark named in the baseline is present in
+// the measurement and within R times its baseline cpu_time (default 2.0 —
+// wide enough to absorb runner-to-runner variance, tight enough to catch a
+// real kernel regression); exits 1 otherwise, listing the offenders.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/check.h"
+#include "common/perf_baseline.h"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PARBOR_CHECK_MSG(in.good(), "cannot open " << path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: perf_gate <measured.json> <baseline.json> "
+                 "[--max-ratio R]\n");
+    return 2;
+  }
+  double max_ratio = 2.0;
+  for (int i = 3; i + 1 < argc; i += 2) {
+    if (std::string(argv[i]) == "--max-ratio") {
+      max_ratio = std::atof(argv[i + 1]);
+    }
+  }
+
+  const auto measured = parbor::parse_gbench_json(slurp(argv[1]));
+  const auto baseline = parbor::parse_gbench_json(slurp(argv[2]));
+  const auto regressions =
+      parbor::find_perf_regressions(measured, baseline, max_ratio);
+
+  for (const auto& s : baseline) {
+    std::printf("baseline  %-40s %12.1f ns\n", s.name.c_str(), s.cpu_time_ns);
+  }
+  for (const auto& s : measured) {
+    std::printf("measured  %-40s %12.1f ns\n", s.name.c_str(), s.cpu_time_ns);
+  }
+  if (regressions.empty()) {
+    std::printf("perf gate OK (max allowed ratio %.2f)\n", max_ratio);
+    return 0;
+  }
+  for (const auto& r : regressions) {
+    if (r.measured_ns == 0.0) {
+      std::fprintf(stderr, "REGRESSION %s: missing from measurement\n",
+                   r.name.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "REGRESSION %s: %.1f ns vs baseline %.1f ns (%.2fx > "
+                   "%.2fx allowed)\n",
+                   r.name.c_str(), r.measured_ns, r.baseline_ns, r.ratio,
+                   max_ratio);
+    }
+  }
+  return 1;
+}
