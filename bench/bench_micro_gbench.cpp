@@ -3,6 +3,7 @@
 // construction, round scheduling) and the end-to-end neighbour search.
 #include <benchmark/benchmark.h>
 
+#include "common/telemetry/metrics.h"
 #include "parbor/parbor.h"
 
 using namespace parbor;
@@ -57,7 +58,13 @@ BENCHMARK(BM_RowFaultEvaluation);
 // coupling population (no other fault classes), every pass holds long enough
 // to arm all of it, and the timed region is pure read_row_flips.  CI records
 // this case into BENCH_read_kernel.json and gates on the checked-in baseline.
-void BM_ReadKernelCouplingSweep(benchmark::State& state) {
+// Runs with the metrics registry enabled and disabled: the /telemetry_off
+// variant is the perf-gated configuration (instrumentation creep on the
+// disabled path is a regression), /telemetry_on measures the real overhead
+// of live command accounting (recorded in the README).
+void BM_ReadKernelCouplingSweep(benchmark::State& state, bool telemetry) {
+  auto& registry = telemetry::MetricsRegistry::global();
+  registry.set_enabled(telemetry);
   auto cfg = dram::make_module_config(dram::Vendor::kA, 1, dram::Scale::kTiny);
   cfg.chip.faults.coupling_cell_rate = 2e-2;
   cfg.chip.faults.weak_cell_rate = 0.0;
@@ -86,8 +93,10 @@ void BM_ReadKernelCouplingSweep(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(rows.size()));
+  registry.set_enabled(false);
 }
-BENCHMARK(BM_ReadKernelCouplingSweep);
+BENCHMARK_CAPTURE(BM_ReadKernelCouplingSweep, telemetry_off, false);
+BENCHMARK_CAPTURE(BM_ReadKernelCouplingSweep, telemetry_on, true);
 
 void BM_RoundPlanConstruction(benchmark::State& state) {
   const std::set<std::int64_t> distances{1, 64};

@@ -1,0 +1,39 @@
+#include "common/build_info.h"
+
+#include "common/build_info_gen.h"
+#include "common/json.h"
+
+namespace parbor {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info = [] {
+    BuildInfo b;
+    b.git_describe = PARBOR_BUILD_GIT_DESCRIBE;
+    b.compiler = std::string(PARBOR_BUILD_COMPILER_ID) +
+                 " " PARBOR_BUILD_COMPILER_VERSION;
+    b.build_type = PARBOR_BUILD_TYPE;
+    b.cxx_flags = PARBOR_BUILD_CXX_FLAGS;
+    return b;
+  }();
+  return info;
+}
+
+void write_build_info(JsonWriter& w) {
+  const BuildInfo& b = build_info();
+  w.begin_object();
+  w.field("git", b.git_describe);
+  w.field("compiler", b.compiler);
+  w.field("build_type", b.build_type);
+  w.field("cxx_flags", b.cxx_flags);
+  w.end_object();
+}
+
+std::string build_info_line() {
+  const BuildInfo& b = build_info();
+  std::string line = "parbor " + b.git_describe + " (" + b.compiler + ", " +
+                     b.build_type + ")";
+  if (!b.cxx_flags.empty()) line += " flags: " + b.cxx_flags;
+  return line;
+}
+
+}  // namespace parbor

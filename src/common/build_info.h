@@ -1,0 +1,29 @@
+// Build provenance baked in at CMake configure time: git describe of the
+// source tree, compiler, build type, and the CXX flags (which is where
+// sanitizer flags arrive in CI).  Embedded in JSON report headers so every
+// artifact is traceable to a commit, and shown by `parbor_cli version`.
+#pragma once
+
+#include <string>
+
+namespace parbor {
+
+class JsonWriter;
+
+struct BuildInfo {
+  std::string git_describe;       // `git describe --always --dirty`
+  std::string compiler;           // "<id> <version>"
+  std::string build_type;         // CMAKE_BUILD_TYPE
+  std::string cxx_flags;          // CMAKE_CXX_FLAGS (sanitizers land here)
+};
+
+const BuildInfo& build_info();
+
+// Writes the build-info object value ({"git":...,"compiler":...,...});
+// the caller positions the writer (e.g. w.key("build")) first.
+void write_build_info(JsonWriter& w);
+
+// One human-readable line for `parbor_cli version`.
+std::string build_info_line();
+
+}  // namespace parbor

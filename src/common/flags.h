@@ -34,6 +34,16 @@ class Flags {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  // Flag names that were parsed but are not in `known` (sorted; a
+  // misspelling like "--job" for "--jobs" shows up here).
+  std::vector<std::string> unknown(
+      const std::vector<std::string>& known) const;
+
+  // The closest name in `known` by edit distance, or "" when nothing is
+  // close enough to be a plausible typo.
+  static std::string suggest(const std::string& name,
+                             const std::vector<std::string>& known);
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;

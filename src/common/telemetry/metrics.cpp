@@ -1,0 +1,202 @@
+#include "common/telemetry/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace parbor::telemetry {
+
+namespace {
+
+std::uint64_t next_registry_uid() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Every shard this thread has created, across all registries it touched.
+// Shared ownership with the registry: whichever dies last keeps the shard
+// alive, so neither thread exit nor registry destruction can dangle.
+struct TlsShardList {
+  std::vector<std::pair<std::uint64_t,
+                        std::shared_ptr<void>>> entries;  // (uid, shard)
+};
+
+TlsShardList& tls_shards() {
+  static thread_local TlsShardList list;
+  return list;
+}
+
+}  // namespace
+
+thread_local std::uint64_t MetricsRegistry::tls_uid = 0;
+thread_local void* MetricsRegistry::tls_shard = nullptr;
+
+MetricsRegistry::MetricsRegistry() : uid_(next_registry_uid()) {}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_slow() {
+  auto& list = tls_shards();
+  for (auto& [uid, ptr] : list.entries) {
+    if (uid == uid_) {
+      tls_uid = uid_;
+      tls_shard = ptr.get();
+      return *static_cast<Shard*>(ptr.get());
+    }
+  }
+  auto shard = std::make_shared<Shard>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards_.push_back(shard);
+  }
+  list.entries.emplace_back(uid_, shard);
+  tls_uid = uid_;
+  tls_shard = shard.get();
+  return *shard;
+}
+
+MetricsRegistry::Id MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    if (counter_names_[i] == name) return static_cast<Id>(i);
+  }
+  PARBOR_CHECK_MSG(counter_names_.size() < kMaxCounters,
+                   "counter capacity exhausted registering " << name);
+  counter_names_.push_back(name);
+  return static_cast<Id>(counter_names_.size() - 1);
+}
+
+MetricsRegistry::Id MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    if (gauge_names_[i] == name) return static_cast<Id>(i);
+  }
+  PARBOR_CHECK_MSG(gauge_names_.size() < kMaxGauges,
+                   "gauge capacity exhausted registering " << name);
+  gauge_names_.push_back(name);
+  return static_cast<Id>(gauge_names_.size() - 1);
+}
+
+MetricsRegistry::Id MetricsRegistry::histogram(
+    const std::string& name, std::vector<double> upper_bounds) {
+  PARBOR_CHECK_MSG(!upper_bounds.empty(), "histogram needs bucket bounds");
+  PARBOR_CHECK_MSG(
+      std::is_sorted(upper_bounds.begin(), upper_bounds.end()) &&
+          std::adjacent_find(upper_bounds.begin(), upper_bounds.end()) ==
+              upper_bounds.end(),
+      "histogram bounds must be strictly increasing: " << name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    if (histograms_[i].name == name) return static_cast<Id>(i);
+  }
+  PARBOR_CHECK_MSG(histograms_.size() < kMaxHistograms,
+                   "histogram capacity exhausted registering " << name);
+  const std::size_t cells = upper_bounds.size() + 1;
+  PARBOR_CHECK_MSG(bucket_cells_used_ + cells <= kMaxBucketCells,
+                   "histogram bucket capacity exhausted registering "
+                       << name);
+  HistogramInfo info;
+  info.name = name;
+  info.upper_bounds = std::move(upper_bounds);
+  info.cell_offset = bucket_cells_used_;
+  bucket_cells_used_ += cells;
+  histograms_.push_back(std::move(info));
+  return static_cast<Id>(histograms_.size() - 1);
+}
+
+void MetricsRegistry::observe(Id histogram_id, double value) {
+  if (!enabled()) return;
+  // `histograms_[id]` is immutable once its id has been handed out, so the
+  // unlocked read races with nothing.
+  const HistogramInfo& info = histograms_[histogram_id];
+  std::size_t b = 0;
+  while (b < info.upper_bounds.size() && value > info.upper_bounds[b]) ++b;
+  Shard& s = shard();
+  bump(s.bucket_cells[info.cell_offset + b], 1);
+  bump(s.hist_counts[histogram_id], 1);
+  auto& sum = s.hist_sums[histogram_id];
+  sum.store(sum.load(std::memory_order_relaxed) + value,
+            std::memory_order_relaxed);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::scrape() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counter_names_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    snap.counters.emplace_back(counter_names_[i], total);
+  }
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    snap.gauges.emplace_back(gauge_names_[i],
+                             gauges_[i].load(std::memory_order_relaxed));
+  }
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    const HistogramInfo& info = histograms_[i];
+    HistogramSnapshot h;
+    h.upper_bounds = info.upper_bounds;
+    h.buckets.assign(info.upper_bounds.size() + 1, 0);
+    for (const auto& shard : shards_) {
+      for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+        h.buckets[b] += shard->bucket_cells[info.cell_offset + b].load(
+            std::memory_order_relaxed);
+      }
+      h.count += shard->hist_counts[i].load(std::memory_order_relaxed);
+      h.sum += shard->hist_sums[i].load(std::memory_order_relaxed);
+    }
+    snap.histograms.emplace_back(info.name, std::move(h));
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+std::string MetricsRegistry::dump_json() const {
+  const Snapshot snap = scrape();
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : snap.counters) w.field(name, value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : snap.gauges) w.field(name, value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : snap.histograms) {
+    w.key(name).begin_object();
+    w.key("upper_bounds").begin_array();
+    for (double b : h.upper_bounds) w.value(b);
+    w.end_array();
+    w.key("buckets").begin_array();
+    for (std::uint64_t b : h.buckets) w.value(b);
+    w.end_array();
+    w.field("count", h.count);
+    w.field("sum", h.sum);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& c : shard->bucket_cells) c.store(0, std::memory_order_relaxed);
+    for (auto& c : shard->hist_counts) c.store(0, std::memory_order_relaxed);
+    for (auto& c : shard->hist_sums) c.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace parbor::telemetry

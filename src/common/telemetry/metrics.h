@@ -1,0 +1,154 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// Built for instrumentation of the hot simulation paths, so the design is
+// asymmetric: updates must be near-free, scrapes may be slow.
+//
+//  - **Disabled path is one branch on one atomic.**  Telemetry is off by
+//    default; every update starts with a relaxed load of `enabled_` and
+//    returns.  Campaign results must be byte-identical with telemetry on or
+//    off, which holds trivially because the registry never touches RNG,
+//    ordering, or any simulation state.
+//  - **Lock-free hot path.**  Counter and histogram cells live in
+//    per-thread shards; a cell is written only by its owning thread (plain
+//    load/add/store on a relaxed atomic — no RMW, no lock) and summed across
+//    shards at scrape time.  Merges are sums of unsigned integers, so the
+//    scraped totals are independent of scheduling and shard order.
+//  - **Fixed capacity.**  Shards are flat arrays sized by the kMax*
+//    constants; metric registration (under a mutex, cold) fails loudly via
+//    CheckError when a limit is hit instead of resizing shared storage
+//    under concurrent readers.
+//
+// Gauges are registry-level atomics (set = last write wins, add = atomic
+// add): they track live values such as queue depth, where per-thread
+// sharding has no meaningful merge.
+//
+// The scrape output is deterministic given deterministic instrumentation:
+// names are emitted in sorted order and integer totals are order-free.
+// (Histogram sums are doubles; merge order across shards is unspecified,
+// so only integral observations are guaranteed to sum reproducibly.)
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace parbor::telemetry {
+
+class MetricsRegistry {
+ public:
+  using Id = std::uint32_t;
+
+  static constexpr std::size_t kMaxCounters = 256;
+  static constexpr std::size_t kMaxGauges = 64;
+  static constexpr std::size_t kMaxHistograms = 32;
+  static constexpr std::size_t kMaxBucketCells = 1024;
+
+  MetricsRegistry();
+
+  // The process-wide registry every instrumentation point uses.  Tests may
+  // construct private instances; shards are kept per (thread, registry).
+  static MetricsRegistry& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // --- registration (cold; idempotent per name; throws past capacity) ----
+  Id counter(const std::string& name);
+  Id gauge(const std::string& name);
+  // `upper_bounds` must be strictly increasing; observation x lands in the
+  // first bucket with x <= bound, or the implicit overflow bucket.
+  Id histogram(const std::string& name, std::vector<double> upper_bounds);
+
+  // --- hot-path updates (no-ops while disabled) --------------------------
+  void inc(Id counter_id, std::uint64_t delta = 1) {
+    if (!enabled()) return;
+    bump(shard().counters[counter_id], delta);
+  }
+  void gauge_set(Id gauge_id, std::int64_t value) {
+    if (!enabled()) return;
+    gauges_[gauge_id].store(value, std::memory_order_relaxed);
+  }
+  void gauge_add(Id gauge_id, std::int64_t delta) {
+    if (!enabled()) return;
+    gauges_[gauge_id].fetch_add(delta, std::memory_order_relaxed);
+  }
+  void observe(Id histogram_id, double value);
+
+  // --- scrape ------------------------------------------------------------
+  struct HistogramSnapshot {
+    std::vector<double> upper_bounds;
+    std::vector<std::uint64_t> buckets;  // upper_bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  };
+  // Sums every shard.  Entries are sorted by name, so two scrapes of
+  // identical instrumentation produce identical snapshots regardless of
+  // registration or thread order.
+  Snapshot scrape() const;
+
+  // One JSON document:
+  //   {"counters":{...},"gauges":{...},"histograms":{name:{...}}}
+  std::string dump_json() const;
+
+  // Zeroes every value; registrations and the enabled flag survive.
+  void reset();
+
+ private:
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+    std::array<std::atomic<std::uint64_t>, kMaxBucketCells> bucket_cells{};
+    std::array<std::atomic<std::uint64_t>, kMaxHistograms> hist_counts{};
+    std::array<std::atomic<double>, kMaxHistograms> hist_sums{};
+  };
+  struct HistogramInfo {
+    std::string name;
+    std::vector<double> upper_bounds;
+    std::size_t cell_offset = 0;  // into Shard::bucket_cells
+  };
+
+  // Single-writer cells: only the owning thread updates, so a plain
+  // load/add/store (no RMW) is race-free and compiles to a normal add.
+  static void bump(std::atomic<std::uint64_t>& cell, std::uint64_t delta) {
+    cell.store(cell.load(std::memory_order_relaxed) + delta,
+               std::memory_order_relaxed);
+  }
+
+  Shard& shard() {
+    if (tls_uid == uid_ && tls_shard != nullptr) {
+      return *static_cast<Shard*>(tls_shard);
+    }
+    return shard_slow();
+  }
+  Shard& shard_slow();
+
+  // Last registry this thread touched (fast path for the common case of a
+  // single global registry).
+  static thread_local std::uint64_t tls_uid;
+  static thread_local void* tls_shard;
+
+  const std::uint64_t uid_;
+  std::atomic<bool> enabled_{false};
+
+  mutable std::mutex mutex_;  // registration, shard list, scrape
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<HistogramInfo> histograms_;
+  std::size_t bucket_cells_used_ = 0;
+  std::vector<std::shared_ptr<Shard>> shards_;
+
+  std::array<std::atomic<std::int64_t>, kMaxGauges> gauges_{};
+};
+
+}  // namespace parbor::telemetry

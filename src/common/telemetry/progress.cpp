@@ -1,0 +1,71 @@
+#include "common/telemetry/progress.h"
+
+#include <cstdio>
+
+namespace parbor::telemetry {
+
+namespace {
+std::atomic<bool> g_phase_progress{false};
+constexpr auto kRenderInterval = std::chrono::milliseconds(50);
+}  // namespace
+
+void set_phase_progress(bool on) {
+  g_phase_progress.store(on, std::memory_order_relaxed);
+}
+
+bool phase_progress() {
+  return g_phase_progress.load(std::memory_order_relaxed);
+}
+
+void phase_note(const std::string& message) {
+  if (!phase_progress()) return;
+  std::fprintf(stderr, "[parbor] %s\n", message.c_str());
+  std::fflush(stderr);
+}
+
+ProgressMeter::ProgressMeter(std::string label, std::size_t total,
+                             bool enabled)
+    : label_(std::move(label)),
+      total_(total),
+      enabled_(enabled),
+      last_render_(std::chrono::steady_clock::now() - kRenderInterval) {}
+
+ProgressMeter::~ProgressMeter() { finish(); }
+
+void ProgressMeter::job_started() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++running_;
+  render(false);
+}
+
+void ProgressMeter::job_finished(std::uint64_t flips) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_ > 0) --running_;
+  ++done_;
+  flips_ += flips;
+  render(false);
+}
+
+void ProgressMeter::finish() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  finished_ = true;
+  render(true);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+}
+
+void ProgressMeter::render(bool force) {
+  const auto now = std::chrono::steady_clock::now();
+  if (!force && now - last_render_ < kRenderInterval) return;
+  last_render_ = now;
+  std::fprintf(stderr, "\r[%s] %zu/%zu jobs done, %zu running, %llu flips",
+               label_.c_str(), done_, total_, running_,
+               static_cast<unsigned long long>(flips_));
+  std::fflush(stderr);
+}
+
+}  // namespace parbor::telemetry

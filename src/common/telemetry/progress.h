@@ -1,0 +1,63 @@
+// Live progress reporting on stderr.
+//
+// Two independent pieces, both silent unless explicitly enabled:
+//
+//  - `ProgressMeter`: a single rewritable status line ("\r...") driven by
+//    the campaign engine — jobs done / running / total plus a flip count.
+//    Thread-safe and throttled so worker threads can call update() freely;
+//    finish() prints the final state and a newline.
+//  - A process-wide *phase progress* flag consulted by the PARBOR pipeline
+//    to narrate its phases (victim discovery, recursion levels, ...) for
+//    single-run commands.  The CLI only sets it for non-sweep subcommands,
+//    so pipeline narration never interleaves with the engine's meter.
+//
+// Progress output goes to stderr exclusively; stdout stays reserved for
+// reports, so piping a report to a file is unaffected by --progress.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace parbor::telemetry {
+
+// Phase narration for single-run (non-sweep) pipeline invocations.
+void set_phase_progress(bool on);
+bool phase_progress();
+// Prints "[parbor] <message>\n" to stderr when phase progress is enabled.
+void phase_note(const std::string& message);
+
+class ProgressMeter {
+ public:
+  // `label` prefixes the line; `total` is the job count.  A disabled meter
+  // is completely inert.
+  ProgressMeter(std::string label, std::size_t total, bool enabled);
+  ~ProgressMeter();
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  void job_started();
+  void job_finished(std::uint64_t flips);
+
+  // Prints the final line (unthrottled) and a trailing newline.
+  void finish();
+
+ private:
+  void render(bool force);
+
+  const std::string label_;
+  const std::size_t total_;
+  const bool enabled_;
+
+  std::mutex mutex_;
+  std::size_t running_ = 0;
+  std::size_t done_ = 0;
+  std::uint64_t flips_ = 0;
+  bool finished_ = false;
+  std::chrono::steady_clock::time_point last_render_;
+};
+
+}  // namespace parbor::telemetry

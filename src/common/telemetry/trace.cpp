@@ -1,0 +1,156 @@
+#include "common/telemetry/trace.h"
+
+#include "common/json.h"
+
+namespace parbor::telemetry {
+
+namespace {
+thread_local std::uint32_t tls_current_track = TraceRecorder::kMainTrack;
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+std::uint32_t TraceRecorder::current_track() { return tls_current_track; }
+
+void TraceRecorder::set_current_track(std::uint32_t track) {
+  tls_current_track = track;
+}
+
+std::uint64_t TraceRecorder::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceRecorder::record(Event event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Timestamp under the lock: the event list — and therefore every
+  // track's subsequence — is monotonic in ts.
+  if (event.phase != 'M') event.ts_us = now_us();
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::set_track_name(std::uint32_t track,
+                                   const std::string& name) {
+  if (!enabled()) return;
+  Event event;
+  event.phase = 'M';
+  event.track = track;
+  event.name = "thread_name";
+  event.args.emplace_back("name", ArgValue::str(name));
+  record(std::move(event));
+}
+
+void TraceRecorder::begin(const std::string& name, std::uint32_t track) {
+  Event event;
+  event.phase = 'B';
+  event.track = track;
+  event.name = name;
+  record(std::move(event));
+}
+
+void TraceRecorder::end(const std::string& name, std::uint32_t track,
+                        Args args) {
+  Event event;
+  event.phase = 'E';
+  event.track = track;
+  event.name = name;
+  event.args = std::move(args);
+  record(std::move(event));
+}
+
+void TraceRecorder::instant(const std::string& name, std::uint32_t track,
+                            Args args) {
+  if (!enabled()) return;
+  Event event;
+  event.phase = 'i';
+  event.track = track;
+  event.name = name;
+  event.args = std::move(args);
+  record(std::move(event));
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string TraceRecorder::dump_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter w;
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  for (const Event& event : events_) {
+    w.begin_object();
+    w.field("name", event.name);
+    w.field("cat", "parbor");
+    w.field("ph", std::string(1, event.phase));
+    w.field("ts", event.ts_us);
+    w.field("pid", 1);
+    w.field("tid", event.track);
+    if (!event.args.empty()) {
+      w.key("args").begin_object();
+      for (const auto& [key, value] : event.args) {
+        w.key(key);
+        switch (value.kind) {
+          case ArgValue::Kind::kString: w.value(value.text); break;
+          case ArgValue::Kind::kInt: w.value(value.i); break;
+          case ArgValue::Kind::kUint: w.value(value.u); break;
+          case ArgValue::Kind::kDouble: w.value(value.d); break;
+        }
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void TraceRecorder::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::TraceSpan(std::string name, TraceRecorder& recorder)
+    : track_(TraceRecorder::current_track()), name_(std::move(name)) {
+  if (!recorder.enabled()) return;
+  recorder_ = &recorder;
+  recorder_->begin(name_, track_);
+}
+
+TraceSpan::~TraceSpan() {
+  if (recorder_ == nullptr) return;
+  recorder_->end(name_, track_, std::move(args_));
+}
+
+void TraceSpan::note(const std::string& key, const std::string& value) {
+  if (recorder_ == nullptr) return;
+  args_.emplace_back(key, TraceRecorder::ArgValue::str(value));
+}
+
+void TraceSpan::note(const std::string& key, std::int64_t value) {
+  if (recorder_ == nullptr) return;
+  args_.emplace_back(key, TraceRecorder::ArgValue::of(value));
+}
+
+void TraceSpan::note(const std::string& key, std::uint64_t value) {
+  if (recorder_ == nullptr) return;
+  args_.emplace_back(key, TraceRecorder::ArgValue::of(value));
+}
+
+void TraceSpan::note(const std::string& key, double value) {
+  if (recorder_ == nullptr) return;
+  args_.emplace_back(key, TraceRecorder::ArgValue::of(value));
+}
+
+}  // namespace parbor::telemetry

@@ -1,0 +1,159 @@
+// Structured trace recorder emitting Chrome-trace-format JSON
+// (the `trace_event` format; open the file in Perfetto / chrome://tracing).
+//
+// Spans are recorded as B/E event pairs on a *track* (the trace `tid`).
+// Track 0 is the main thread; the campaign engine gives every job its own
+// track so a 54-job sweep renders as 54 parallel lanes.  The current track
+// is thread-local state (`set_current_track`), so instrumentation deep in
+// the pipeline lands on the right lane without plumbing ids through every
+// signature.
+//
+// Off by default: a disabled recorder makes TraceSpan construction a single
+// relaxed atomic load, and records nothing.  A span captures the enabled
+// state at construction, so a span that emitted its B always emits its E —
+// the output is balanced by construction (and `check_trace_json` verifies
+// it).  Timestamps are steady-clock microseconds since the recorder epoch,
+// taken under the recorder lock, so the event list is globally — hence
+// per-track — monotonic.
+//
+// Tracing must never perturb results: the recorder touches no RNG and no
+// simulation state, and the engine-determinism test compares sweeps with
+// tracing on vs off byte for byte.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace parbor::telemetry {
+
+class TraceRecorder {
+ public:
+  static constexpr std::uint32_t kMainTrack = 0;
+
+  // Argument value attached to an event (string or number).
+  struct ArgValue {
+    enum class Kind { kString, kInt, kUint, kDouble };
+    Kind kind = Kind::kString;
+    std::string text;
+    std::int64_t i = 0;
+    std::uint64_t u = 0;
+    double d = 0.0;
+
+    static ArgValue str(std::string s) {
+      ArgValue v;
+      v.text = std::move(s);
+      return v;
+    }
+    static ArgValue of(std::int64_t value) {
+      ArgValue v;
+      v.kind = Kind::kInt;
+      v.i = value;
+      return v;
+    }
+    static ArgValue of(std::uint64_t value) {
+      ArgValue v;
+      v.kind = Kind::kUint;
+      v.u = value;
+      return v;
+    }
+    static ArgValue of(double value) {
+      ArgValue v;
+      v.kind = Kind::kDouble;
+      v.d = value;
+      return v;
+    }
+  };
+  using Args = std::vector<std::pair<std::string, ArgValue>>;
+
+  TraceRecorder();
+
+  static TraceRecorder& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // The track new spans on this thread record onto (default kMainTrack).
+  static std::uint32_t current_track();
+  static void set_current_track(std::uint32_t track);
+
+  // Names a track ("thread_name" metadata event; Perfetto lane label).
+  // No-op while disabled.
+  void set_track_name(std::uint32_t track, const std::string& name);
+
+  // Raw event recording.  TraceSpan is the intended interface; these are
+  // exposed for it and for tests, and record unconditionally — the
+  // enabled() check belongs to the caller so a started span can always
+  // close itself.
+  void begin(const std::string& name, std::uint32_t track);
+  void end(const std::string& name, std::uint32_t track, Args args = {});
+  void instant(const std::string& name, std::uint32_t track,
+               Args args = {});
+
+  std::size_t event_count() const;
+
+  // {"displayTimeUnit":"ms","traceEvents":[...]}
+  std::string dump_json() const;
+
+  // Drops every event and restarts the epoch; the enabled flag survives.
+  void reset();
+
+ private:
+  struct Event {
+    char phase = 'i';  // B, E, i, M
+    std::uint64_t ts_us = 0;
+    std::uint32_t track = 0;
+    std::string name;
+    Args args;
+  };
+
+  void record(Event event);
+  std::uint64_t now_us() const;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+// RAII scoped span: emits B at construction and E (with any notes) at
+// destruction.  Inert when the recorder is disabled at construction time.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name,
+                     TraceRecorder& recorder = TraceRecorder::global());
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Attaches a key/value argument to the span's end event (Perfetto shows
+  // the union of B/E args on the slice).
+  void note(const std::string& key, const std::string& value);
+  void note(const std::string& key, const char* value) {
+    note(key, std::string(value));
+  }
+  void note(const std::string& key, std::int64_t value);
+  void note(const std::string& key, std::uint64_t value);
+  void note(const std::string& key, std::uint32_t value) {
+    note(key, static_cast<std::uint64_t>(value));
+  }
+  void note(const std::string& key, int value) {
+    note(key, static_cast<std::int64_t>(value));
+  }
+  void note(const std::string& key, double value);
+
+ private:
+  TraceRecorder* recorder_ = nullptr;  // null when inert
+  std::uint32_t track_ = 0;
+  std::string name_;
+  TraceRecorder::Args args_;
+};
+
+}  // namespace parbor::telemetry

@@ -1,0 +1,151 @@
+#include "common/telemetry/trace_check.h"
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace parbor::telemetry {
+
+namespace {
+
+CheckResult fail(std::string message) {
+  CheckResult r;
+  r.ok = false;
+  r.error = std::move(message);
+  return r;
+}
+
+}  // namespace
+
+CheckResult check_trace_json(const std::string& json) {
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(json);
+  } catch (const CheckError& e) {
+    return fail(std::string("trace does not parse as JSON: ") + e.what());
+  }
+  if (!doc.is_object() || !doc.has("traceEvents")) {
+    return fail("trace root must be an object with a traceEvents array");
+  }
+  const JsonValue& events = doc.at("traceEvents");
+  if (!events.is_array()) return fail("traceEvents must be an array");
+
+  CheckResult result;
+  struct Track {
+    std::uint64_t last_ts = 0;
+    bool has_ts = false;
+    std::vector<std::string> open;  // B names, innermost last
+  };
+  std::map<std::uint64_t, Track> tracks;
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& ev = events[i];
+    std::ostringstream where;
+    where << "traceEvents[" << i << "]";
+    if (!ev.is_object()) return fail(where.str() + " is not an object");
+    for (const char* key : {"name", "ph", "pid", "tid"}) {
+      if (!ev.has(key)) {
+        return fail(where.str() + " missing required key '" + key + "'");
+      }
+    }
+    const std::string& name = ev.at("name").as_string();
+    const std::string& ph = ev.at("ph").as_string();
+    const std::uint64_t tid = ev.at("tid").as_uint();
+    Track& track = tracks[tid];
+
+    if (ph == "M") continue;  // metadata: no ts, not a span
+    if (ph != "B" && ph != "E" && ph != "i") {
+      return fail(where.str() + " has unsupported phase '" + ph + "'");
+    }
+    if (!ev.has("ts")) {
+      return fail(where.str() + " (" + ph + ") missing 'ts'");
+    }
+    const std::uint64_t ts = ev.at("ts").as_uint();
+    if (track.has_ts && ts < track.last_ts) {
+      std::ostringstream msg;
+      msg << where.str() << " ts " << ts << " goes backwards on tid " << tid
+          << " (previous " << track.last_ts << ")";
+      return fail(msg.str());
+    }
+    track.last_ts = ts;
+    track.has_ts = true;
+
+    if (ph == "B") {
+      track.open.push_back(name);
+    } else if (ph == "E") {
+      if (track.open.empty()) {
+        return fail(where.str() + " ends span '" + name + "' on tid " +
+                    std::to_string(tid) + " with no open span");
+      }
+      if (track.open.back() != name) {
+        return fail(where.str() + " ends span '" + name + "' but '" +
+                    track.open.back() + "' is open on tid " +
+                    std::to_string(tid));
+      }
+      track.open.pop_back();
+      ++result.span_count;
+    }
+    ++result.event_count;
+  }
+
+  for (const auto& [tid, track] : tracks) {
+    if (!track.open.empty()) {
+      return fail("span '" + track.open.back() + "' on tid " +
+                  std::to_string(tid) + " never ends");
+    }
+  }
+  result.track_count = tracks.size();
+  return result;
+}
+
+CheckResult check_metrics_json(
+    const std::string& json,
+    const std::vector<std::string>& required_counters) {
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(json);
+  } catch (const CheckError& e) {
+    return fail(std::string("metrics do not parse as JSON: ") + e.what());
+  }
+  if (!doc.is_object()) return fail("metrics root must be an object");
+  for (const char* key : {"counters", "gauges", "histograms"}) {
+    if (!doc.has(key) || !doc.at(key).is_object()) {
+      return fail(std::string("metrics missing object section '") + key +
+                  "'");
+    }
+  }
+  for (const std::string& name : required_counters) {
+    if (!doc.at("counters").has(name)) {
+      return fail("required counter '" + name + "' is absent");
+    }
+  }
+  for (const auto& [name, h] : doc.at("histograms").members()) {
+    if (!h.is_object() || !h.has("upper_bounds") || !h.has("buckets") ||
+        !h.has("count") || !h.has("sum")) {
+      return fail("histogram '" + name + "' is malformed");
+    }
+    const std::size_t bounds = h.at("upper_bounds").size();
+    const std::size_t buckets = h.at("buckets").size();
+    if (buckets != bounds + 1) {
+      return fail("histogram '" + name + "' has " + std::to_string(buckets) +
+                  " buckets for " + std::to_string(bounds) + " bounds");
+    }
+    std::uint64_t bucket_sum = 0;
+    for (std::size_t i = 0; i < buckets; ++i) {
+      bucket_sum += h.at("buckets")[i].as_uint();
+    }
+    if (bucket_sum != h.at("count").as_uint()) {
+      return fail("histogram '" + name + "' bucket sum " +
+                  std::to_string(bucket_sum) + " != count " +
+                  std::to_string(h.at("count").as_uint()));
+    }
+  }
+  CheckResult result;
+  result.event_count = doc.at("counters").members().size();
+  return result;
+}
+
+}  // namespace parbor::telemetry

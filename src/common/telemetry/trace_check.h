@@ -1,0 +1,40 @@
+// Validation for the telemetry output files, shared by the `trace_check`
+// CLI (run in CI against a traced sweep) and the unit tests.
+//
+// `check_trace_json` verifies a Chrome-trace-format document the way a
+// consumer (Perfetto) would rely on it:
+//   - the document parses and has a `traceEvents` array of objects with
+//     the required keys (`name`, `ph`, `pid`, `tid`, and `ts` for
+//     non-metadata events);
+//   - per track (tid), timestamps are monotonically non-decreasing in
+//     document order;
+//   - per track, B/E events nest: every E matches the innermost open B by
+//     name, and no B is left open at the end.
+//
+// `check_metrics_json` verifies a MetricsRegistry dump: the three sections
+// exist, histograms are internally consistent (bucket count = bounds + 1,
+// bucket sum = count), and any `required_counters` are present.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parbor::telemetry {
+
+struct CheckResult {
+  bool ok = true;
+  std::string error;  // first failure, empty when ok
+
+  // Trace statistics (populated on success).
+  std::size_t event_count = 0;
+  std::size_t span_count = 0;   // matched B/E pairs
+  std::size_t track_count = 0;  // distinct tids
+};
+
+CheckResult check_trace_json(const std::string& json);
+
+CheckResult check_metrics_json(
+    const std::string& json,
+    const std::vector<std::string>& required_counters = {});
+
+}  // namespace parbor::telemetry

@@ -1,11 +1,82 @@
 #include "memctrl/host.h"
 
 #include "common/check.h"
+#include "common/telemetry/metrics.h"
 
 namespace parbor::mc {
 
+namespace {
+
+// Registered once per process; ids are stable for the process lifetime and
+// updates are no-ops while telemetry is disabled.
+struct HostMetrics {
+  telemetry::MetricsRegistry::Id act_cmds;
+  telemetry::MetricsRegistry::Id wr_cmds;
+  telemetry::MetricsRegistry::Id rd_cmds;
+  telemetry::MetricsRegistry::Id tests;
+  telemetry::MetricsRegistry::Id test_sim_ms;
+  telemetry::MetricsRegistry::Id test_wall_us;
+};
+
+const HostMetrics& host_metrics() {
+  static const HostMetrics metrics = [] {
+    auto& reg = telemetry::MetricsRegistry::global();
+    HostMetrics m;
+    m.act_cmds = reg.counter("host.act_cmds");
+    m.wr_cmds = reg.counter("host.wr_cmds");
+    m.rd_cmds = reg.counter("host.rd_cmds");
+    m.tests = reg.counter("host.tests");
+    m.test_sim_ms =
+        reg.histogram("host.test_sim_ms",
+                      {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6});
+    m.test_wall_us =
+        reg.histogram("host.test_wall_us",
+                      {100.0, 1e3, 1e4, 1e5, 1e6, 1e7});
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
+
 TestHost::TestHost(dram::Module& module, Ddr3Timing timing, SimTime test_wait)
     : module_(&module), timing_(timing), test_wait_(test_wait) {}
+
+void TestHost::account_row_op(RowOp op) {
+  now_ += timing_.full_row_access(row_bits() / 8);
+  ++row_ops_;
+  auto& reg = telemetry::MetricsRegistry::global();
+  if (reg.enabled()) {
+    const HostMetrics& m = host_metrics();
+    reg.inc(m.act_cmds);
+    reg.inc(op == RowOp::kWrite ? m.wr_cmds : m.rd_cmds);
+  }
+}
+
+void TestHost::test_begin() {
+  test_start_sim_ = now_;
+  if (telemetry::MetricsRegistry::global().enabled()) {
+    test_start_wall_ = std::chrono::steady_clock::now();
+    test_wall_valid_ = true;
+  } else {
+    test_wall_valid_ = false;
+  }
+}
+
+void TestHost::test_end() {
+  ++tests_run_;
+  auto& reg = telemetry::MetricsRegistry::global();
+  if (!reg.enabled()) return;
+  const HostMetrics& m = host_metrics();
+  reg.inc(m.tests);
+  reg.observe(m.test_sim_ms, (now_ - test_start_sim_).milliseconds());
+  if (test_wall_valid_) {
+    const auto wall = std::chrono::steady_clock::now() - test_start_wall_;
+    reg.observe(
+        m.test_wall_us,
+        std::chrono::duration<double, std::micro>(wall).count());
+  }
+}
 
 std::vector<RowAddr> TestHost::all_rows() const {
   std::vector<RowAddr> out;
@@ -24,24 +95,25 @@ std::vector<RowAddr> TestHost::all_rows() const {
 
 void TestHost::write_row(RowAddr addr, const BitVec& sys_bits) {
   PARBOR_CHECK(addr.chip < module_->chip_count());
-  account_row_op();
+  account_row_op(RowOp::kWrite);
   module_->chip(addr.chip).write_row(addr.bank, addr.row, sys_bits, now_);
 }
 
 BitVec TestHost::read_row(RowAddr addr) {
   PARBOR_CHECK(addr.chip < module_->chip_count());
-  account_row_op();
+  account_row_op(RowOp::kRead);
   return module_->chip(addr.chip).read_row(addr.bank, addr.row, now_);
 }
 
 std::vector<std::uint32_t> TestHost::read_row_flips(RowAddr addr) {
   PARBOR_CHECK(addr.chip < module_->chip_count());
-  account_row_op();
+  account_row_op(RowOp::kRead);
   return module_->chip(addr.chip).read_row_flips(addr.bank, addr.row, now_);
 }
 
 std::vector<FlipRecord> TestHost::run_test(
     const std::vector<RowPattern>& patterns) {
+  test_begin();
   for (const RowPattern& p : patterns) {
     PARBOR_CHECK(p.bits != nullptr);
     write_row(p.addr, *p.bits);
@@ -53,12 +125,13 @@ std::vector<FlipRecord> TestHost::run_test(
       flips.push_back({p.addr, bit});
     }
   }
-  ++tests_run_;
+  test_end();
   return flips;
 }
 
 std::vector<FlipRecord> TestHost::run_generated_test(
     const std::function<void(RowAddr, BitVec&)>& fill) {
+  test_begin();
   const auto& cfg = module_->config();
   BitVec pattern(cfg.chip.row_bits, false);
   for (std::uint32_t c = 0; c < cfg.chips; ++c) {
@@ -75,13 +148,14 @@ std::vector<FlipRecord> TestHost::run_generated_test(
 
 std::vector<FlipRecord> TestHost::run_generated_physical_test(
     const std::function<void(RowAddr, BitVec&)>& fill) {
+  test_begin();
   const auto& cfg = module_->config();
   BitVec pattern(cfg.chip.row_bits, false);
   for (std::uint32_t c = 0; c < cfg.chips; ++c) {
     for (std::uint32_t b = 0; b < cfg.chip.banks; ++b) {
       for (std::uint32_t r = 0; r < cfg.chip.rows; ++r) {
         fill({c, b, r}, pattern);
-        account_row_op();
+        account_row_op(RowOp::kWrite);
         module_->chip(c).write_row_physical(b, r, pattern, now_);
       }
     }
@@ -97,19 +171,20 @@ std::vector<FlipRecord> TestHost::collect_flips() {
   for (std::uint32_t c = 0; c < cfg.chips; ++c) {
     for (std::uint32_t b = 0; b < cfg.chip.banks; ++b) {
       for (std::uint32_t r = 0; r < cfg.chip.rows; ++r) {
-        account_row_op();
+        account_row_op(RowOp::kRead);
         bits.clear();
         module_->chip(c).read_row_flips_append(b, r, now_, bits);
         for (auto bit : bits) flips.push_back({{c, b, r}, bit});
       }
     }
   }
-  ++tests_run_;
+  test_end();
   return flips;
 }
 
 std::vector<FlipRecord> TestHost::run_broadcast_test(
     const BitVec& sys_pattern) {
+  test_begin();
   const auto& cfg = module_->config();
   PARBOR_CHECK(sys_pattern.size() == cfg.chip.row_bits);
   // All chips of a module share the vendor scrambler, so one physical
@@ -118,7 +193,7 @@ std::vector<FlipRecord> TestHost::run_broadcast_test(
   for (std::uint32_t c = 0; c < cfg.chips; ++c) {
     for (std::uint32_t b = 0; b < cfg.chip.banks; ++b) {
       for (std::uint32_t r = 0; r < cfg.chip.rows; ++r) {
-        account_row_op();
+        account_row_op(RowOp::kWrite);
         module_->chip(c).write_row_physical(b, r, phys, now_);
       }
     }

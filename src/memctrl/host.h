@@ -8,6 +8,7 @@
 // and record which bits flipped.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -88,6 +89,16 @@ class TestHost {
   // Reads every row of the module, collecting flips, and closes the test.
   std::vector<FlipRecord> collect_flips();
 
+  // Advances the clock by one full row access and feeds the telemetry
+  // command counters (every row op is one ACT plus one WR or RD burst).
+  enum class RowOp : std::uint8_t { kWrite, kRead };
+  void account_row_op(RowOp op);
+
+  // Test accounting bracket: begin at the first write of an iteration,
+  // end where the iteration's flips are collected.
+  void test_begin();
+  void test_end();
+
   dram::Module* module_;
   Ddr3Timing timing_;
   SimTime test_wait_;
@@ -95,10 +106,9 @@ class TestHost {
   std::uint64_t tests_run_ = 0;
   std::uint64_t row_ops_ = 0;
 
-  void account_row_op() {
-    now_ += timing_.full_row_access(row_bits() / 8);
-    ++row_ops_;
-  }
+  SimTime test_start_sim_;
+  std::chrono::steady_clock::time_point test_start_wall_;
+  bool test_wall_valid_ = false;
 };
 
 }  // namespace parbor::mc

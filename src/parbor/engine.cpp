@@ -2,11 +2,49 @@
 
 #include <chrono>
 
+#include "common/build_info.h"
 #include "common/check.h"
 #include "common/json.h"
 #include "common/rng.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/progress.h"
+#include "common/telemetry/trace.h"
 
 namespace parbor::core {
+
+namespace {
+
+struct EngineMetrics {
+  telemetry::MetricsRegistry::Id jobs_done;
+  telemetry::MetricsRegistry::Id flips;
+  telemetry::MetricsRegistry::Id jobs_queued;
+  telemetry::MetricsRegistry::Id jobs_running;
+  telemetry::MetricsRegistry::Id job_wall_s;
+};
+
+const EngineMetrics& engine_metrics() {
+  static const EngineMetrics metrics = [] {
+    auto& reg = telemetry::MetricsRegistry::global();
+    EngineMetrics m;
+    m.jobs_done = reg.counter("engine.jobs_done");
+    m.flips = reg.counter("engine.flips");
+    m.jobs_queued = reg.gauge("engine.jobs_queued");
+    m.jobs_running = reg.gauge("engine.jobs_running");
+    m.job_wall_s =
+        reg.histogram("engine.job_wall_s",
+                      {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0});
+    return m;
+  }();
+  return metrics;
+}
+
+// Per-job line label and trace-track name, known before the job runs.
+std::string job_label(const SweepJob& job) {
+  return std::string(dram::vendor_name(job.vendor)) +
+         std::to_string(job.index) + " " + campaign_kind_name(job.kind);
+}
+
+}  // namespace
 
 const char* campaign_kind_name(CampaignKind kind) {
   switch (kind) {
@@ -83,13 +121,74 @@ SweepJobResult CampaignEngine::run_job(const SweepJob& job) {
 }
 
 SweepReport CampaignEngine::run(const std::vector<SweepJob>& jobs) {
+  return run(jobs, RunOptions{});
+}
+
+SweepReport CampaignEngine::run(const std::vector<SweepJob>& jobs,
+                                const RunOptions& options) {
   const auto t0 = std::chrono::steady_clock::now();
   SweepReport sweep;
   sweep.workers = workers();
   sweep.results.resize(jobs.size());
+
+  auto& trace = telemetry::TraceRecorder::global();
+  auto& reg = telemetry::MetricsRegistry::global();
+  if (trace.enabled()) {
+    // Track 0 stays the main thread; every job gets its own lane so a
+    // sweep renders as parallel job slices in Perfetto.
+    trace.set_track_name(telemetry::TraceRecorder::kMainTrack, "main");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      trace.set_track_name(static_cast<std::uint32_t>(i + 1),
+                           "job " + job_label(jobs[i]));
+    }
+  }
+  if (reg.enabled()) {
+    reg.gauge_set(engine_metrics().jobs_queued,
+                  static_cast<std::int64_t>(jobs.size()));
+    reg.gauge_set(engine_metrics().jobs_running, 0);
+  }
+  telemetry::ProgressMeter meter("sweep", jobs.size(), options.progress);
+
+  telemetry::TraceSpan sweep_span("engine.sweep");
+  sweep_span.note("jobs", jobs.size());
+  sweep_span.note("workers", sweep.workers);
+
   pool_.parallel_for(jobs.size(), [&](std::size_t i) {
-    sweep.results[i] = run_job(jobs[i]);
+    if (reg.enabled()) {
+      reg.gauge_add(engine_metrics().jobs_queued, -1);
+      reg.gauge_add(engine_metrics().jobs_running, 1);
+    }
+    meter.job_started();
+    telemetry::TraceRecorder::set_current_track(
+        static_cast<std::uint32_t>(i + 1));
+    {
+      telemetry::TraceSpan span("engine.job");
+      if (trace.enabled()) span.note("job", job_label(jobs[i]));
+      sweep.results[i] = run_job(jobs[i]);
+      if (trace.enabled()) {
+        const SweepJobResult& r = sweep.results[i];
+        span.note("module", r.module_name);
+        span.note("tests", r.report.total_tests());
+        span.note("flips", r.report.all_detected().size());
+      }
+    }
+    telemetry::TraceRecorder::set_current_track(
+        telemetry::TraceRecorder::kMainTrack);
+    std::uint64_t flips = 0;
+    if (reg.enabled() || options.progress) {
+      const SweepJobResult& r = sweep.results[i];
+      flips = r.report.all_detected().size() + r.random.cells.size();
+    }
+    if (reg.enabled()) {
+      reg.gauge_add(engine_metrics().jobs_running, -1);
+      reg.inc(engine_metrics().jobs_done);
+      reg.inc(engine_metrics().flips, flips);
+      reg.observe(engine_metrics().job_wall_s,
+                  sweep.results[i].wall_seconds);
+    }
+    meter.job_finished(flips);
   });
+  meter.finish();
   sweep.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -117,9 +216,14 @@ std::vector<SweepJob> make_population_jobs(dram::Scale scale,
   return jobs;
 }
 
-std::string sweep_report_to_json(const SweepReport& sweep) {
+std::string sweep_report_to_json(const SweepReport& sweep,
+                                 bool with_build_info) {
   JsonWriter w;
   w.begin_object();
+  if (with_build_info) {
+    w.key("build");
+    write_build_info(w);
+  }
   w.field("modules", static_cast<std::uint64_t>(sweep.results.size()));
   w.field("total_tests", sweep.total_tests());
   w.key("results").begin_array();

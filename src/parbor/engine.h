@@ -81,10 +81,18 @@ class CampaignEngine {
 
   std::size_t workers() const { return pool_.worker_count(); }
 
+  // Sweep-level options that do not affect results: telemetry and the live
+  // stderr progress line.
+  struct RunOptions {
+    bool progress = false;
+  };
+
   // Runs every job and blocks until all finished.  results[i] always
   // corresponds to jobs[i].  The first job failure (lowest index) is
   // rethrown after the sweep drains.
   SweepReport run(const std::vector<SweepJob>& jobs);
+  SweepReport run(const std::vector<SweepJob>& jobs,
+                  const RunOptions& options);
 
   // Runs one job synchronously on the calling thread (also what each
   // worker executes).  Exposed so tests can pin down single-job behaviour.
@@ -105,6 +113,9 @@ std::vector<SweepJob> make_population_jobs(
 
 // Sweep summary as one JSON document (module entries in submission order;
 // wall-clock fields are excluded so the document is reproducible).
-std::string sweep_report_to_json(const SweepReport& sweep);
+// `with_build_info` prepends a "build" provenance object — off by default
+// so two binaries of different commits can still be compared byte-wise.
+std::string sweep_report_to_json(const SweepReport& sweep,
+                                 bool with_build_info = false);
 
 }  // namespace parbor::core

@@ -1,6 +1,7 @@
 #include "parbor/mitigation.h"
 
 #include "common/check.h"
+#include "common/telemetry/trace.h"
 
 namespace parbor::core {
 
@@ -40,6 +41,8 @@ double MitigationPlan::capacity_cost_fraction(std::uint32_t row_bits,
 
 MitigationPlan plan_mitigation(const CampaignResult& campaign,
                                MitigationPolicy policy) {
+  telemetry::TraceSpan span("parbor.mitigation.plan");
+  span.note("policy", mitigation_policy_name(policy));
   MitigationPlan plan;
   plan.policy = policy;
   for (const auto& cell : campaign.cells) {
@@ -53,11 +56,15 @@ MitigationPlan plan_mitigation(const CampaignResult& campaign,
         break;
     }
   }
+  span.note("rows", plan.rows.size());
+  span.note("bits", plan.bits.size());
   return plan;
 }
 
 MitigationCheck verify_mitigation(mc::TestHost& host, const RoundPlan& plan,
                                   const MitigationPlan& mitigation) {
+  telemetry::TraceSpan span("parbor.mitigation.verify");
+  span.note("policy", mitigation_policy_name(mitigation.policy));
   MitigationCheck check;
   auto covered_by_plan = [&](const mc::FlipRecord& f) {
     switch (mitigation.policy) {
@@ -95,6 +102,9 @@ MitigationCheck verify_mitigation(mc::TestHost& host, const RoundPlan& plan,
       }
     }
   }
+  span.note("failures_seen", check.failures_seen);
+  span.note("covered", check.covered);
+  span.note("residual", check.residual);
   return check;
 }
 

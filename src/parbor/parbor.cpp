@@ -1,6 +1,8 @@
 #include "parbor/parbor.h"
 
 #include "common/check.h"
+#include "common/telemetry/progress.h"
+#include "common/telemetry/trace.h"
 
 namespace parbor::core {
 
@@ -25,9 +27,22 @@ ParborReport run_parbor_search_only(mc::TestHost& host,
                                     const ParborConfig& config) {
   validate(config);
   ParborReport report;
-  report.discovery = discover_victims(host, config);
-  report.search =
-      find_neighbor_distances(host, report.discovery.victims, config);
+  {
+    telemetry::TraceSpan span("parbor.discovery");
+    telemetry::phase_note("victim discovery");
+    report.discovery = discover_victims(host, config);
+    span.note("victims", report.discovery.victims.size());
+    span.note("tests", report.discovery.tests);
+  }
+  {
+    telemetry::TraceSpan span("parbor.search");
+    telemetry::phase_note("recursive neighbour search");
+    report.search =
+        find_neighbor_distances(host, report.discovery.victims, config);
+    span.note("levels", report.search.levels.size());
+    span.note("distances", report.search.distances.size());
+    span.note("tests", report.search.tests);
+  }
   return report;
 }
 
@@ -38,7 +53,14 @@ ParborReport run_parbor(mc::TestHost& host, const ParborConfig& config) {
                    "to have no data-dependent failures to characterise");
   report.plan = make_round_plan(report.search.abs_distances(),
                                 host.row_bits());
-  report.fullchip = run_fullchip_test(host, report.plan);
+  {
+    telemetry::TraceSpan span("parbor.fullchip");
+    telemetry::phase_note("full-chip campaign");
+    report.fullchip = run_fullchip_test(host, report.plan);
+    span.note("rounds", report.plan.rounds.size());
+    span.note("cells", report.fullchip.cells.size());
+    span.note("tests", report.fullchip.tests);
+  }
   return report;
 }
 

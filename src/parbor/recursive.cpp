@@ -5,6 +5,8 @@
 
 #include "common/bitvec.h"
 #include "common/check.h"
+#include "common/telemetry/progress.h"
+#include "common/telemetry/trace.h"
 
 namespace parbor::core {
 
@@ -58,6 +60,15 @@ NeighborSearchResult find_neighbor_distances(mc::TestHost& host,
     RecursionLevel level;
     level.level = static_cast<int>(li + 1);
     level.region_size = size;
+
+    telemetry::TraceSpan span("parbor.search.level");
+    span.note("level", level.level);
+    span.note("region_size", level.region_size);
+    if (telemetry::phase_progress()) {
+      telemetry::phase_note("search level " + std::to_string(level.level) +
+                            " (region size " +
+                            std::to_string(level.region_size) + ")");
+    }
 
     for (auto& s : states) {
       s.fails_this_level = 0;
@@ -149,6 +160,8 @@ NeighborSearchResult find_neighbor_distances(mc::TestHost& host,
       level.found = level.ranking.keys_above(0.0);
     }
 
+    span.note("tests", level.tests);
+    span.note("found", level.found.size());
     result.tests += level.tests;
     prev_found = level.found;
     prev_size = size;

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "common/build_info.h"
 #include "common/check.h"
 #include "common/json.h"
 
@@ -13,6 +14,10 @@ std::string report_to_json(const ParborReport& report,
                            const ReportIoOptions& options) {
   JsonWriter w;
   w.begin_object();
+  if (options.with_build_info) {
+    w.key("build");
+    write_build_info(w);
+  }
   if (!options.module_name.empty()) w.field("module", options.module_name);
   if (!options.vendor.empty()) w.field("vendor", options.vendor);
 

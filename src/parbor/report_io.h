@@ -22,6 +22,10 @@ struct ReportIoOptions {
   // Module metadata to stamp into the report.
   std::string module_name;
   std::string vendor;
+  // Prepend a "build" provenance object (git describe, compiler, flags) so
+  // artifacts are traceable to a commit.  Off by default: the golden-file
+  // test and cross-binary comparisons need build-independent bytes.
+  bool with_build_info = false;
 };
 
 // Full characterisation report as a single JSON document.

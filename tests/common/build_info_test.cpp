@@ -1,0 +1,35 @@
+#include "common/build_info.h"
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace parbor {
+namespace {
+
+TEST(BuildInfo, FieldsArePopulated) {
+  const BuildInfo& info = build_info();
+  EXPECT_FALSE(info.git_describe.empty());
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_FALSE(info.build_type.empty());
+}
+
+TEST(BuildInfo, WritesValidJsonObject) {
+  JsonWriter w;
+  write_build_info(w);
+  const auto doc = JsonValue::parse(w.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("git").as_string(), build_info().git_describe);
+  EXPECT_EQ(doc.at("compiler").as_string(), build_info().compiler);
+  EXPECT_TRUE(doc.has("build_type"));
+  EXPECT_TRUE(doc.has("cxx_flags"));
+}
+
+TEST(BuildInfo, LineMentionsGitAndCompiler) {
+  const std::string line = build_info_line();
+  EXPECT_NE(line.find("parbor"), std::string::npos);
+  EXPECT_NE(line.find(build_info().git_describe), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parbor

@@ -62,5 +62,25 @@ TEST(Flags, BooleanLiterals) {
   EXPECT_FALSE(parse({"--x", "no"}).get_bool("x"));
 }
 
+TEST(Flags, UnknownReportsFlagsOutsideTheKnownSet) {
+  const auto f = parse({"--job", "4", "--vendor", "A", "--xyz"});
+  const auto unknown = f.unknown({"jobs", "vendor", "scale"});
+  EXPECT_EQ(unknown, (std::vector<std::string>{"job", "xyz"}));
+}
+
+TEST(Flags, UnknownIsEmptyWhenEverythingIsKnown) {
+  const auto f = parse({"--jobs", "4", "--vendor", "A"});
+  EXPECT_TRUE(f.unknown({"jobs", "vendor"}).empty());
+}
+
+TEST(Flags, SuggestFindsTheClosestKnownName) {
+  EXPECT_EQ(Flags::suggest("job", {"jobs", "vendor", "scale"}), "jobs");
+  EXPECT_EQ(Flags::suggest("vendro", {"jobs", "vendor", "scale"}), "vendor");
+}
+
+TEST(Flags, SuggestReturnsEmptyWhenNothingIsClose) {
+  EXPECT_EQ(Flags::suggest("completely-different", {"jobs", "vendor"}), "");
+}
+
 }  // namespace
 }  // namespace parbor

@@ -1,0 +1,144 @@
+#include "common/telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/json.h"
+#include "common/telemetry/trace_check.h"
+#include "common/threadpool.h"
+
+namespace parbor::telemetry {
+namespace {
+
+TEST(MetricsRegistry, DisabledUpdatesRecordNothing) {
+  MetricsRegistry reg;
+  const auto c = reg.counter("c");
+  const auto g = reg.gauge("g");
+  const auto h = reg.histogram("h", {1.0, 2.0});
+  ASSERT_FALSE(reg.enabled());
+  reg.inc(c, 5);
+  reg.gauge_set(g, 7);
+  reg.observe(h, 1.5);
+  const auto snap = reg.scrape();
+  EXPECT_EQ(snap.counters[0].second, 0u);
+  EXPECT_EQ(snap.gauges[0].second, 0);
+  EXPECT_EQ(snap.histograms[0].second.count, 0u);
+}
+
+TEST(MetricsRegistry, CounterAccumulates) {
+  MetricsRegistry reg;
+  const auto c = reg.counter("tests");
+  reg.set_enabled(true);
+  reg.inc(c);
+  reg.inc(c, 9);
+  const auto snap = reg.scrape();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "tests");
+  EXPECT_EQ(snap.counters[0].second, 10u);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotentPerName) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counter("a"), reg.counter("a"));
+  EXPECT_NE(reg.counter("a"), reg.counter("b"));
+  EXPECT_EQ(reg.gauge("g"), reg.gauge("g"));
+  EXPECT_EQ(reg.histogram("h", {1.0}), reg.histogram("h", {1.0}));
+}
+
+TEST(MetricsRegistry, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  const auto g = reg.gauge("depth");
+  reg.set_enabled(true);
+  reg.gauge_set(g, 10);
+  reg.gauge_add(g, -3);
+  EXPECT_EQ(reg.scrape().gauges[0].second, 7);
+}
+
+TEST(MetricsRegistry, HistogramBucketsObservations) {
+  MetricsRegistry reg;
+  const auto h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  reg.set_enabled(true);
+  reg.observe(h, 0.5);    // <= 1
+  reg.observe(h, 1.0);    // <= 1 (bound is inclusive)
+  reg.observe(h, 5.0);    // <= 10
+  reg.observe(h, 1000.0); // overflow
+  const auto snap = reg.scrape().histograms[0].second;
+  EXPECT_EQ(snap.buckets, (std::vector<std::uint64_t>{2, 1, 0, 1}));
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 1006.5);
+}
+
+TEST(MetricsRegistry, HistogramRejectsUnsortedBounds) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("bad", {2.0, 1.0}), CheckError);
+  EXPECT_THROW(reg.histogram("dup", {1.0, 1.0}), CheckError);
+  EXPECT_THROW(reg.histogram("empty", {}), CheckError);
+}
+
+TEST(MetricsRegistry, MultiThreadMergeIsDeterministic) {
+  MetricsRegistry reg;
+  const auto c = reg.counter("ops");
+  const auto h = reg.histogram("v", {10.0, 100.0});
+  reg.set_enabled(true);
+  ThreadPool pool(8);
+  // 64 tasks of 1000 increments each; every task observes its index.
+  pool.parallel_for(64, [&](std::size_t i) {
+    for (int k = 0; k < 1000; ++k) reg.inc(c);
+    reg.observe(h, static_cast<double>(i));
+  });
+  const auto snap = reg.scrape();
+  EXPECT_EQ(snap.counters[0].second, 64000u);
+  const auto& hist = snap.histograms[0].second;
+  EXPECT_EQ(hist.count, 64u);
+  // Indices 0..10 land <= 10, 11..63 land <= 100.
+  EXPECT_EQ(hist.buckets, (std::vector<std::uint64_t>{11, 53, 0}));
+  // Integral observations sum reproducibly: 0+1+...+63.
+  EXPECT_DOUBLE_EQ(hist.sum, 2016.0);
+  // A second scrape is identical.
+  const auto again = reg.scrape();
+  EXPECT_EQ(again.counters, snap.counters);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  const auto c = reg.counter("c");
+  reg.set_enabled(true);
+  reg.inc(c, 3);
+  reg.reset();
+  const auto snap = reg.scrape();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].second, 0u);
+  reg.inc(c, 2);
+  EXPECT_EQ(reg.scrape().counters[0].second, 2u);
+}
+
+TEST(MetricsRegistry, DumpJsonIsValidAndComplete) {
+  MetricsRegistry reg;
+  const auto c = reg.counter("host.tests");
+  const auto g = reg.gauge("engine.jobs_running");
+  const auto h = reg.histogram("host.test_sim_ms", {1.0, 10.0});
+  reg.set_enabled(true);
+  reg.inc(c, 42);
+  reg.gauge_set(g, 3);
+  reg.observe(h, 5.0);
+  const std::string json = reg.dump_json();
+  const auto result =
+      check_metrics_json(json, {"host.tests"});
+  EXPECT_TRUE(result.ok) << result.error;
+  const auto doc = JsonValue::parse(json);
+  EXPECT_EQ(doc.at("counters").at("host.tests").as_uint(), 42u);
+  EXPECT_EQ(doc.at("gauges").at("engine.jobs_running").as_int(), 3);
+  EXPECT_EQ(doc.at("histograms").at("host.test_sim_ms").at("count").as_uint(),
+            1u);
+}
+
+TEST(CheckMetricsJson, FlagsMissingRequiredCounter) {
+  MetricsRegistry reg;
+  reg.counter("present");
+  const auto result = check_metrics_json(reg.dump_json(), {"absent"});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("absent"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parbor::telemetry

@@ -1,0 +1,140 @@
+#include "common/telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/json.h"
+#include "common/telemetry/trace_check.h"
+#include "common/threadpool.h"
+
+namespace parbor::telemetry {
+namespace {
+
+TEST(TraceRecorder, DisabledRecorderMakesSpansInert) {
+  TraceRecorder recorder;
+  ASSERT_FALSE(recorder.enabled());
+  {
+    TraceSpan span("work", recorder);
+    span.note("k", std::int64_t{1});
+  }
+  recorder.set_track_name(0, "main");
+  EXPECT_EQ(recorder.event_count(), 0u);
+}
+
+TEST(TraceRecorder, SpanEmitsBalancedBeginEnd) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  {
+    TraceSpan outer("outer", recorder);
+    TraceSpan inner("inner", recorder);
+  }
+  const auto result = check_trace_json(recorder.dump_json());
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.span_count, 2u);
+}
+
+TEST(TraceRecorder, SpanStartedWhileEnabledAlwaysCloses) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  {
+    TraceSpan span("work", recorder);
+    recorder.set_enabled(false);  // flipped mid-span: E must still land
+  }
+  const auto result = check_trace_json(recorder.dump_json());
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.span_count, 1u);
+}
+
+TEST(TraceRecorder, DumpRoundTripsThroughJsonValueWithTypedArgs) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  {
+    TraceSpan span("job", recorder);
+    span.note("module", "A1");
+    span.note("tests", std::uint64_t{42});
+    span.note("delta", std::int64_t{-3});
+    span.note("frac", 0.25);
+  }
+  const auto doc = JsonValue::parse(recorder.dump_json());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const auto& events = doc.at("traceEvents");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("ph").as_string(), "B");
+  EXPECT_EQ(events[1].at("ph").as_string(), "E");
+  const auto& args = events[1].at("args");
+  EXPECT_EQ(args.at("module").as_string(), "A1");
+  EXPECT_EQ(args.at("tests").as_uint(), 42u);
+  EXPECT_EQ(args.at("delta").as_int(), -3);
+  EXPECT_DOUBLE_EQ(args.at("frac").as_double(), 0.25);
+}
+
+TEST(TraceRecorder, TrackNameMetadataEvent) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.set_track_name(3, "job A1 full");
+  const auto doc = JsonValue::parse(recorder.dump_json());
+  const auto& ev = doc.at("traceEvents")[0];
+  EXPECT_EQ(ev.at("ph").as_string(), "M");
+  EXPECT_EQ(ev.at("name").as_string(), "thread_name");
+  EXPECT_EQ(ev.at("tid").as_uint(), 3u);
+  EXPECT_EQ(ev.at("args").at("name").as_string(), "job A1 full");
+}
+
+TEST(TraceRecorder, TimestampsAreMonotonicPerTrackUnderConcurrency) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  ThreadPool pool(4);
+  pool.parallel_for(16, [&](std::size_t i) {
+    TraceRecorder::set_current_track(static_cast<std::uint32_t>(i % 4));
+    for (int k = 0; k < 25; ++k) {
+      TraceSpan span("tick", recorder);
+      span.note("i", i);
+    }
+    TraceRecorder::set_current_track(TraceRecorder::kMainTrack);
+  });
+  const auto result = check_trace_json(recorder.dump_json());
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.span_count, 16u * 25u);
+  EXPECT_EQ(result.track_count, 4u);
+}
+
+TEST(TraceRecorder, ResetDropsEventsButKeepsEnabled) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  { TraceSpan span("x", recorder); }
+  ASSERT_GT(recorder.event_count(), 0u);
+  recorder.reset();
+  EXPECT_EQ(recorder.event_count(), 0u);
+  EXPECT_TRUE(recorder.enabled());
+}
+
+TEST(CheckTraceJson, RejectsUnbalancedAndNonMonotonicTraces) {
+  // E without B.
+  auto bad = check_trace_json(
+      R"({"traceEvents":[{"name":"x","cat":"c","ph":"E","ts":1,"pid":1,"tid":0}]})");
+  EXPECT_FALSE(bad.ok);
+  // B never closed.
+  bad = check_trace_json(
+      R"({"traceEvents":[{"name":"x","cat":"c","ph":"B","ts":1,"pid":1,"tid":0}]})");
+  EXPECT_FALSE(bad.ok);
+  // ts goes backwards on one track.
+  bad = check_trace_json(
+      R"({"traceEvents":[)"
+      R"({"name":"a","cat":"c","ph":"B","ts":5,"pid":1,"tid":0},)"
+      R"({"name":"a","cat":"c","ph":"E","ts":4,"pid":1,"tid":0}]})");
+  EXPECT_FALSE(bad.ok);
+  // Not JSON at all.
+  EXPECT_FALSE(check_trace_json("not json").ok);
+  // Mismatched nesting (E name != innermost B).
+  bad = check_trace_json(
+      R"({"traceEvents":[)"
+      R"({"name":"a","cat":"c","ph":"B","ts":1,"pid":1,"tid":0},)"
+      R"({"name":"b","cat":"c","ph":"E","ts":2,"pid":1,"tid":0}]})");
+  EXPECT_FALSE(bad.ok);
+}
+
+}  // namespace
+}  // namespace parbor::telemetry

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/telemetry/metrics.h"
+
 namespace parbor::mc {
 namespace {
 
@@ -143,6 +145,49 @@ TEST(TestHost, RowOperationAccountingCoversWritesAndReads) {
   host.run_broadcast_test(BitVec(512));
   // 16 rows written + 16 rows read.
   EXPECT_EQ(host.row_operations() - before, 32u);
+}
+
+TEST(TestHost, TelemetryCountsCommandsPerKind) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  reg.reset();
+  reg.set_enabled(true);
+  auto cfg = quiet_module();
+  dram::Module module(cfg);
+  TestHost host(module);
+  host.run_broadcast_test(BitVec(512));  // 16 WR + 16 RD
+  BitVec p(512);
+  std::vector<RowPattern> rows{{{0, 0, 0}, &p}};
+  host.run_test(rows);  // 1 WR + 1 RD
+  const auto snap = reg.scrape();
+  reg.set_enabled(false);
+  reg.reset();
+
+  auto counter = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "counter " << name << " not registered";
+    return 0;
+  };
+  EXPECT_EQ(counter("host.wr_cmds"), 17u);
+  EXPECT_EQ(counter("host.rd_cmds"), 17u);
+  // Every row operation opens its row: ACT = WR + RD.
+  EXPECT_EQ(counter("host.act_cmds"), 34u);
+  EXPECT_EQ(counter("host.tests"), 2u);
+}
+
+TEST(TestHost, TelemetryDisabledLeavesCountersUntouched) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  reg.reset();
+  ASSERT_FALSE(reg.enabled());
+  auto cfg = quiet_module();
+  dram::Module module(cfg);
+  TestHost host(module);
+  host.run_broadcast_test(BitVec(512));
+  EXPECT_EQ(host.tests_run(), 1u);  // the host's own accounting still works
+  for (const auto& [name, value] : reg.scrape().counters) {
+    EXPECT_EQ(value, 0u) << name;
+  }
 }
 
 TEST(TestHost, GeneratedTestUsesPerRowContent) {

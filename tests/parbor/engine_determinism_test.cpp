@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
+#include "common/telemetry/trace_check.h"
 #include "parbor/report_io.h"
 
 namespace parbor::core {
@@ -117,6 +120,45 @@ TEST(EngineDeterminism, PopulationCharacterisesToGroundTruthOnTheEngine) {
     EXPECT_EQ(result.report.search.abs_distances(), result.truth_distances)
         << result.module_name;
   }
+}
+
+TEST(EngineDeterminism, TracingNeverChangesResults) {
+  // The observability contract: sweep reports are byte-identical with
+  // telemetry fully enabled vs fully disabled, and across worker counts
+  // with tracing on.
+  const auto jobs = make_population_jobs(
+      dram::Scale::kTiny, CampaignKind::kFullPipeline, {dram::Vendor::kA},
+      {1, 2, 3});
+  const std::string off_json =
+      sweep_report_to_json(CampaignEngine(4).run(jobs));
+
+  auto& trace = telemetry::TraceRecorder::global();
+  auto& metrics = telemetry::MetricsRegistry::global();
+  trace.reset();
+  trace.set_enabled(true);
+  metrics.set_enabled(true);
+  const std::string traced_1 =
+      sweep_report_to_json(CampaignEngine(1).run(jobs));
+  const std::string traced_8 =
+      sweep_report_to_json(CampaignEngine(8).run(jobs));
+  const std::string trace_json = trace.dump_json();
+  const std::string metrics_json = metrics.dump_json();
+  trace.set_enabled(false);
+  metrics.set_enabled(false);
+  trace.reset();
+  metrics.reset();
+
+  EXPECT_EQ(traced_1, off_json);
+  EXPECT_EQ(traced_8, off_json);
+
+  // And the telemetry the traced runs produced is well-formed.
+  const auto checked = telemetry::check_trace_json(trace_json);
+  EXPECT_TRUE(checked.ok) << checked.error;
+  EXPECT_GT(checked.span_count, 0u);
+  const auto metrics_checked = telemetry::check_metrics_json(
+      metrics_json, {"engine.jobs_done", "host.tests", "host.act_cmds",
+                     "host.wr_cmds", "host.rd_cmds"});
+  EXPECT_TRUE(metrics_checked.ok) << metrics_checked.error;
 }
 
 TEST(EngineDeterminism, JobFailurePropagatesLowestIndexAndEngineSurvives) {

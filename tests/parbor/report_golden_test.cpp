@@ -8,7 +8,9 @@
 // Regenerate after an INTENTIONAL format change with
 //   ./build/tools/parbor_cli test --vendor A --index 1 --scale tiny
 //       --json tests/parbor/golden/report_a1_tiny --cells true
-// (one line; split here only for comment width)
+//       --build-info false
+// (one line; split here only for comment width.  --build-info false keeps
+// the golden bytes free of commit/compiler provenance.)
 #include "parbor/report_io.h"
 
 #include <gtest/gtest.h>

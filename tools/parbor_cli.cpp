@@ -32,13 +32,29 @@
 //       Characterise a whole module population in parallel on the campaign
 //       engine.  --jobs bounds the worker count (default: all cores);
 //       results are bit-identical for every worker count.
+//
+//   parbor_cli version
+//       Print the build provenance (git describe, compiler, build type).
+//
+// Telemetry flags, accepted by every subcommand (off by default; reports
+// and flip streams are byte-identical with telemetry on or off):
+//   --trace-out FILE    record a Chrome-trace-format JSON (Perfetto)
+//   --metrics-out FILE  dump the metrics registry as JSON on exit
+//   --progress          live progress on stderr (sweep: job meter;
+//                       other commands: pipeline phase notes)
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
+#include <map>
 #include <string>
 
+#include "common/build_info.h"
 #include "common/flags.h"
 #include "common/table.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/progress.h"
+#include "common/telemetry/trace.h"
 #include "dcref/sim.h"
 #include "parbor/classic_tests.h"
 #include "parbor/engine.h"
@@ -104,6 +120,7 @@ int cmd_map(const Flags& flags) {
     core::ReportIoOptions options;
     options.module_name = module.name();
     options.vendor = dram::vendor_name(module.vendor());
+    options.with_build_info = flags.get_bool("build-info", true);
     const auto path =
         core::write_report_files(report, flags.get("json"), options);
     std::printf("report written to %s\n", path.c_str());
@@ -132,6 +149,7 @@ int cmd_test(const Flags& flags) {
     options.module_name = module.name();
     options.vendor = dram::vendor_name(module.vendor());
     options.include_cells = flags.get_bool("cells");
+    options.with_build_info = flags.get_bool("build-info", true);
     const auto path =
         core::write_report_files(report, flags.get("json"), options);
     std::printf("report written to %s\n", path.c_str());
@@ -317,7 +335,9 @@ int cmd_sweep(const Flags& flags) {
   core::CampaignEngine engine(flags.get_jobs());
   std::printf("sweeping %zu modules (%s) on %zu workers...\n", jobs.size(),
               core::campaign_kind_name(kind), engine.workers());
-  const auto sweep = engine.run(jobs);
+  core::CampaignEngine::RunOptions options;
+  options.progress = flags.get_bool("progress");
+  const auto sweep = engine.run(jobs, options);
 
   const bool full = kind != core::CampaignKind::kSearchOnly;
   std::vector<std::string> header = {"Module", "Tests", "Distances"};
@@ -360,24 +380,124 @@ int cmd_sweep(const Flags& flags) {
       std::fprintf(stderr, "cannot open %s\n", path.c_str());
       return 1;
     }
-    os << core::sweep_report_to_json(sweep) << '\n';
+    os << core::sweep_report_to_json(sweep, flags.get_bool("build-info", true))
+       << '\n';
     std::printf("sweep report written to %s\n", path.c_str());
   }
+  return 0;
+}
+
+int cmd_version() {
+  std::printf("%s\n", build_info_line().c_str());
   return 0;
 }
 
 int usage() {
   std::printf(
       "usage: parbor_cli "
-      "<map|test|compare|profile|mitigate|remap|dcref|sweep> [flags]\n"
+      "<map|test|compare|profile|mitigate|remap|dcref|sweep|version> "
+      "[flags]\n"
       "  common flags: --vendor A|B|C|linear --index 1..6 "
       "--scale tiny|small|medium|large\n"
-      "  map/test:     --json PREFIX [--cells true]\n"
+      "  map/test:     --json PREFIX [--cells true] [--build-info false]\n"
       "  profile:      --interval-ms N\n"
       "  dcref:        --workload N --trfc-ns N\n"
       "  sweep:        --vendors A,B,C --indices 1-6 --mode map|test|compare "
-      "--jobs N [--json PREFIX]\n");
+      "--jobs N [--json PREFIX]\n"
+      "  telemetry:    --trace-out FILE --metrics-out FILE --progress "
+      "(any subcommand)\n");
   return 2;
+}
+
+// Every flag a subcommand accepts; anything else on the command line is a
+// hard error (a misspelled --job would otherwise be silently ignored).
+const std::vector<std::string>& known_flags(const std::string& cmd) {
+  static const std::map<std::string, std::vector<std::string>> table = {
+      {"map", {"vendor", "index", "scale", "json", "build-info"}},
+      {"test",
+       {"vendor", "index", "scale", "json", "cells", "build-info"}},
+      {"compare", {"vendor", "index", "scale"}},
+      {"profile", {"vendor", "index", "scale", "interval-ms"}},
+      {"mitigate", {"vendor", "index", "scale"}},
+      {"remap", {"vendor", "index", "scale"}},
+      {"dcref", {"workload", "trfc-ns"}},
+      {"sweep",
+       {"vendors", "indices", "scale", "mode", "jobs", "json",
+        "build-info"}},
+      {"version", {}},
+  };
+  static const std::vector<std::string> empty;
+  const auto it = table.find(cmd);
+  return it == table.end() ? empty : it->second;
+}
+
+int reject_unknown_flags(const Flags& flags, const std::string& cmd) {
+  std::vector<std::string> known = known_flags(cmd);
+  known.insert(known.end(), {"trace-out", "metrics-out", "progress"});
+  const auto unknown = flags.unknown(known);
+  if (unknown.empty()) return 0;
+  for (const auto& name : unknown) {
+    const std::string hint = Flags::suggest(name, known);
+    if (hint.empty()) {
+      std::fprintf(stderr, "unknown flag --%s for '%s'\n", name.c_str(),
+                   cmd.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag --%s for '%s' (did you mean --%s?)\n",
+                   name.c_str(), cmd.c_str(), hint.c_str());
+    }
+  }
+  return usage();
+}
+
+// Enables the requested telemetry sinks before the command runs; the
+// returned functor flushes them to disk afterwards (even if the command
+// fails, so a crashing campaign still leaves its partial trace).
+std::function<void()> setup_telemetry(const Flags& flags,
+                                      const std::string& cmd) {
+  if (flags.has("trace-out")) {
+    telemetry::TraceRecorder::global().set_enabled(true);
+  }
+  if (flags.has("metrics-out")) {
+    telemetry::MetricsRegistry::global().set_enabled(true);
+  }
+  // Phase narration is for single-run commands only; the sweep drives its
+  // own job meter and the two must not interleave on stderr.
+  telemetry::set_phase_progress(flags.get_bool("progress") &&
+                                cmd != "sweep");
+  return [&flags] {
+    if (flags.has("trace-out")) {
+      std::ofstream os(flags.get("trace-out"));
+      if (os.good()) {
+        os << telemetry::TraceRecorder::global().dump_json() << '\n';
+      } else {
+        std::fprintf(stderr, "cannot open %s\n",
+                     flags.get("trace-out").c_str());
+      }
+    }
+    if (flags.has("metrics-out")) {
+      std::ofstream os(flags.get("metrics-out"));
+      if (os.good()) {
+        os << telemetry::MetricsRegistry::global().dump_json() << '\n';
+      } else {
+        std::fprintf(stderr, "cannot open %s\n",
+                     flags.get("metrics-out").c_str());
+      }
+    }
+  };
+}
+
+int dispatch(const std::string& cmd, const Flags& flags) {
+  if (cmd == "map") return cmd_map(flags);
+  if (cmd == "test") return cmd_test(flags);
+  if (cmd == "compare") return cmd_compare(flags);
+  if (cmd == "profile") return cmd_profile(flags);
+  if (cmd == "mitigate") return cmd_mitigate(flags);
+  if (cmd == "remap") return cmd_remap(flags);
+  if (cmd == "dcref") return cmd_dcref(flags);
+  if (cmd == "sweep") return cmd_sweep(flags);
+  if (cmd == "version") return cmd_version();
+  return usage();
 }
 
 }  // namespace
@@ -386,18 +506,16 @@ int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   if (!flags.ok() || flags.positional().empty()) return usage();
   const std::string& cmd = flags.positional().front();
+  if (const int rc = reject_unknown_flags(flags, cmd); rc != 0) return rc;
+  const auto flush_telemetry = setup_telemetry(flags, cmd);
+  int rc = 1;
   try {
-    if (cmd == "map") return cmd_map(flags);
-    if (cmd == "test") return cmd_test(flags);
-    if (cmd == "compare") return cmd_compare(flags);
-    if (cmd == "profile") return cmd_profile(flags);
-    if (cmd == "mitigate") return cmd_mitigate(flags);
-    if (cmd == "remap") return cmd_remap(flags);
-    if (cmd == "dcref") return cmd_dcref(flags);
-    if (cmd == "sweep") return cmd_sweep(flags);
+    rc = dispatch(cmd, flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    flush_telemetry();
     return 1;
   }
-  return usage();
+  flush_telemetry();
+  return rc;
 }

@@ -1,0 +1,96 @@
+// trace_check — validates telemetry artifacts in CI.
+//
+//   trace_check --trace FILE [--metrics FILE] [--require c1,c2,...]
+//
+// Exits 0 when every given file is well-formed: the trace parses as Chrome
+// trace format with balanced, per-track-monotonic spans, and the metrics
+// dump has the three sections, internally consistent histograms, and every
+// --require'd counter present.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/telemetry/trace_check.h"
+
+using namespace parbor;
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    if (c == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_check --trace FILE [--metrics FILE] "
+               "[--require counter1,counter2,...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  if (!flags.ok()) return usage();
+  const auto unknown = flags.unknown({"trace", "metrics", "require"});
+  if (!unknown.empty()) {
+    for (const auto& name : unknown) {
+      std::fprintf(stderr, "trace_check: unknown flag --%s\n", name.c_str());
+    }
+    return usage();
+  }
+  if (!flags.has("trace") && !flags.has("metrics")) return usage();
+
+  int rc = 0;
+  if (flags.has("trace")) {
+    std::string text;
+    if (!read_file(flags.get("trace"), text)) return 1;
+    const auto result = telemetry::check_trace_json(text);
+    if (result.ok) {
+      std::printf("trace OK: %zu events, %zu spans, %zu tracks\n",
+                  result.event_count, result.span_count, result.track_count);
+    } else {
+      std::fprintf(stderr, "trace INVALID: %s\n", result.error.c_str());
+      rc = 1;
+    }
+  }
+  if (flags.has("metrics")) {
+    std::string text;
+    if (!read_file(flags.get("metrics"), text)) return 1;
+    const auto required = split_csv(flags.get("require", ""));
+    const auto result = telemetry::check_metrics_json(text, required);
+    if (result.ok) {
+      std::printf("metrics OK: %zu counters\n", result.event_count);
+    } else {
+      std::fprintf(stderr, "metrics INVALID: %s\n", result.error.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}
