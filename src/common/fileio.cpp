@@ -1,0 +1,43 @@
+#include "common/fileio.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+namespace parbor {
+
+namespace {
+
+std::string describe_errno(const std::string& path) {
+  const int err = errno;
+  std::string message = "cannot write " + path;
+  if (err != 0) {
+    message += ": ";
+    message += std::strerror(err);
+  }
+  return message;
+}
+
+}  // namespace
+
+std::string probe_writable_file(const std::string& path) {
+  errno = 0;
+  // Append mode creates a missing file without clobbering an existing one;
+  // the probe must be harmless when the real write happens much later.
+  std::ofstream os(path, std::ios::app);
+  if (!os.good()) return describe_errno(path);
+  return {};
+}
+
+std::string write_text_file(const std::string& path,
+                            const std::string& text) {
+  errno = 0;
+  std::ofstream os(path, std::ios::trunc);
+  if (!os.good()) return describe_errno(path);
+  os << text;
+  os.flush();
+  if (!os.good()) return describe_errno(path);
+  return {};
+}
+
+}  // namespace parbor

@@ -1,0 +1,23 @@
+// Checked file-sink helpers for CLI output flags.
+//
+// An output flag that fails only at flush time throws away the whole run:
+// a campaign can compute for minutes and then silently drop its artifact
+// because the directory never existed.  Sinks are therefore probed when the
+// flag is parsed (fail fast, before any work) and written through a helper
+// whose error is propagated into the process exit code.
+#pragma once
+
+#include <string>
+
+namespace parbor {
+
+// Verifies that `path` can be opened for writing, creating the file if it
+// does not exist (existing contents are left untouched).  Returns an empty
+// string on success, otherwise a human-readable error.
+std::string probe_writable_file(const std::string& path);
+
+// Writes `text` to `path`, replacing any previous contents, and flushes.
+// Returns an empty string on success, otherwise a human-readable error.
+std::string write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace parbor

@@ -1,0 +1,291 @@
+#include "common/ledger/coverage.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace parbor::ledger {
+
+namespace {
+
+int coupling_distance(const FaultRecord& fault) {
+  int distance = 0;
+  for (auto d : fault.deltas) distance = std::max(distance, std::abs(d));
+  return distance;
+}
+
+bool is_parbor_phase(Phase phase) {
+  return phase == Phase::kDiscovery || phase == Phase::kFullchip;
+}
+
+const FaultRecord* find_fault(const LedgerData& data, std::uint32_t job,
+                              std::uint64_t fault_id) {
+  for (const auto& f : data.faults) {
+    if (f.job == job && f.id == fault_id) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool probe_mask_bit(const std::string& mask_hex, std::uint32_t mask) {
+  // dump_jsonl writes 64 nibbles, most significant first: nibble i covers
+  // mask values [4*(63-i), 4*(63-i)+3].
+  if (mask_hex.size() != 64 || mask > 255) return false;
+  const char c = mask_hex[63 - mask / 4];
+  int nibble = 0;
+  if (c >= '0' && c <= '9') {
+    nibble = c - '0';
+  } else if (c >= 'a' && c <= 'f') {
+    nibble = c - 'a' + 10;
+  } else {
+    return false;
+  }
+  return (nibble >> (mask % 4)) & 1;
+}
+
+CoverageReport compute_coverage(const LedgerData& data) {
+  CoverageReport report;
+
+  std::set<std::pair<std::uint32_t, std::uint64_t>> detected;
+  for (const auto& e : data.flips) {
+    if (mechanism_has_fault(e.mech) && e.fault_id != 0) {
+      detected.insert({e.job, e.fault_id});
+    }
+  }
+
+  std::vector<ModuleRecord> modules = data.modules;
+  std::sort(modules.begin(), modules.end(),
+            [](const ModuleRecord& a, const ModuleRecord& b) {
+              return a.job < b.job;
+            });
+
+  for (const auto& m : modules) {
+    ModuleCoverage cov;
+    cov.job = m.job;
+    cov.module = m.module;
+    cov.vendor = m.vendor;
+    cov.campaign = m.campaign;
+
+    for (const auto& f : data.faults) {
+      if (f.job != m.job) continue;
+      const FaultCoord coord = unpack_fault_id(f.id);
+      const bool hit = detected.count({f.job, f.id}) != 0;
+      MechanismCoverage& mc = cov.by_mechanism[mechanism_name(coord.mech)];
+      ++mc.injected;
+      if (hit) ++mc.detected;
+      if (coord.mech == Mechanism::kCoupling) {
+        MechanismCoverage& dc = cov.coupling_by_distance[coupling_distance(f)];
+        ++dc.injected;
+        if (hit) ++dc.detected;
+      }
+      if (!hit) cov.false_negatives.push_back(f.id);
+    }
+    std::sort(cov.false_negatives.begin(), cov.false_negatives.end());
+
+    // Fig. 13 split over distinct observed cells.
+    using Cell = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
+                            std::uint32_t>;
+    std::set<Cell> parbor_cells;
+    std::set<Cell> random_cells;
+    for (const auto& e : data.flips) {
+      if (e.job != m.job) continue;
+      const Cell cell{e.chip, e.bank, e.row, e.sys_bit};
+      if (is_parbor_phase(e.phase)) parbor_cells.insert(cell);
+      if (e.phase == Phase::kRandom) random_cells.insert(cell);
+    }
+    cov.cells_parbor = parbor_cells.size();
+    cov.cells_random = random_cells.size();
+    for (const auto& cell : parbor_cells) {
+      if (random_cells.count(cell)) {
+        ++cov.cells_both;
+      } else {
+        ++cov.cells_parbor_only;
+      }
+    }
+    cov.cells_random_only = random_cells.size() - cov.cells_both;
+
+    for (const auto& [mech, mc] : cov.by_mechanism) {
+      MechanismCoverage& vc = report.by_vendor[cov.vendor][mech];
+      vc.injected += mc.injected;
+      vc.detected += mc.detected;
+    }
+    report.modules.push_back(std::move(cov));
+  }
+  return report;
+}
+
+std::string coverage_to_json(const CoverageReport& report) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("coverage").begin_object();
+  w.key("modules").begin_array();
+  for (const auto& m : report.modules) {
+    w.begin_object();
+    w.field("job", static_cast<std::uint64_t>(m.job));
+    w.field("module", m.module);
+    w.field("vendor", m.vendor);
+    w.field("campaign", m.campaign);
+    w.key("mechanisms").begin_object();
+    for (const auto& [mech, mc] : m.by_mechanism) {
+      w.key(mech).begin_object();
+      w.field("injected", mc.injected);
+      w.field("detected", mc.detected);
+      w.end_object();
+    }
+    w.end_object();
+    w.key("coupling_by_distance").begin_object();
+    for (const auto& [distance, mc] : m.coupling_by_distance) {
+      w.key(std::to_string(distance)).begin_object();
+      w.field("injected", mc.injected);
+      w.field("detected", mc.detected);
+      w.end_object();
+    }
+    w.end_object();
+    w.field("cells_parbor", m.cells_parbor);
+    w.field("cells_random", m.cells_random);
+    w.field("parbor_only", m.cells_parbor_only);
+    w.field("random_only", m.cells_random_only);
+    w.field("both", m.cells_both);
+    w.key("false_negatives").begin_array();
+    for (auto id : m.false_negatives) w.value(id);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("vendors").begin_object();
+  for (const auto& [vendor, mechs] : report.by_vendor) {
+    w.key(vendor).begin_object();
+    for (const auto& [mech, mc] : mechs) {
+      w.key(mech).begin_object();
+      w.field("injected", mc.injected);
+      w.field("detected", mc.detected);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string explain_cell(const LedgerData& data, std::uint32_t job,
+                         std::uint32_t chip, std::uint32_t bank,
+                         std::uint32_t row, std::uint32_t bit) {
+  std::ostringstream out;
+  out << "cell job=" << job << " chip=" << chip << " bank=" << bank
+      << " row=" << row << " bit=" << bit << "\n";
+
+  std::size_t faults_here = 0;
+  for (const auto& f : data.faults) {
+    const FaultCoord coord = unpack_fault_id(f.id);
+    if (f.job != job || coord.chip != chip || coord.bank != bank ||
+        coord.row != row || f.sys_bit != bit) {
+      continue;
+    }
+    ++faults_here;
+    out << "  hosts fault " << f.id << " (" << mechanism_name(coord.mech)
+        << (coord.spare ? ", spare region" : "") << ", col " << f.victim_col
+        << ", hold_ms " << f.hold_ms << ")\n";
+  }
+  if (faults_here == 0) {
+    out << "  hosts no injected fault\n";
+  }
+
+  std::size_t events = 0;
+  for (const auto& e : data.flips) {
+    if (e.job != job || e.chip != chip || e.bank != bank || e.row != row ||
+        e.sys_bit != bit) {
+      continue;
+    }
+    ++events;
+    out << "  flip: test " << e.test << ", phase " << phase_name(e.phase);
+    if (!e.pattern.empty()) out << ", pattern " << e.pattern;
+    out << ", mechanism " << mechanism_name(e.mech);
+    if (e.fault_id != 0) out << ", fault " << e.fault_id;
+    out << ", hold_ms " << e.hold_ms << "\n";
+  }
+  if (events == 0) {
+    out << "  never observed flipping\n";
+  }
+  return out.str();
+}
+
+std::string explain_fault(const LedgerData& data, std::uint32_t job,
+                          std::uint64_t fault_id) {
+  std::ostringstream out;
+  const FaultRecord* fault = find_fault(data, job, fault_id);
+  if (fault == nullptr) {
+    out << "fault " << fault_id << " not in job " << job
+        << "'s injected-fault table\n";
+    return out.str();
+  }
+  const FaultCoord coord = unpack_fault_id(fault->id);
+  out << "fault " << fault->id << " (job " << job << "): "
+      << mechanism_name(coord.mech) << (coord.spare ? " (spare region)" : "")
+      << " at chip " << coord.chip << " bank " << coord.bank << " row "
+      << coord.row << " col " << fault->victim_col << " (system bit "
+      << fault->sys_bit << "), hold_ms " << fault->hold_ms << "\n";
+  if (coord.mech == Mechanism::kCoupling) {
+    out << "  threshold " << fault->threshold << ", live sources at offsets";
+    for (auto d : fault->deltas) out << " " << d;
+    out << "\n";
+  }
+  if (coord.mech == Mechanism::kWordline) {
+    out << "  disturbed by row " << (static_cast<std::int64_t>(coord.row) +
+                                     fault->row_delta)
+        << "\n";
+  }
+
+  std::size_t events = 0;
+  const FlipEvent* first = nullptr;
+  for (const auto& e : data.flips) {
+    if (e.job != job || e.fault_id != fault_id) continue;
+    ++events;
+    if (first == nullptr) first = &e;
+  }
+  const ProbeRecord* probe = nullptr;
+  for (const auto& p : data.probes) {
+    if (p.job == job && p.fault_id == fault_id) {
+      probe = &p;
+      break;
+    }
+  }
+  if (probe != nullptr) {
+    out << "  probed " << probe->count << " times under "
+        << probe->distinct_states << " distinct neighbour state(s)\n";
+  }
+
+  if (events > 0) {
+    out << "  DETECTED: " << events << " flip event(s), first at test "
+        << first->test << " (phase " << phase_name(first->phase);
+    if (!first->pattern.empty()) out << ", pattern " << first->pattern;
+    out << ")\n";
+  } else if (probe == nullptr) {
+    out << "  MISSED: never probed — no read found the victim charged with "
+           "a qualifying hold\n";
+  } else {
+    out << "  MISSED: probed but never flipped";
+    if (coord.mech == Mechanism::kCoupling) {
+      const auto worst =
+          static_cast<std::uint32_t>((1u << fault->deltas.size()) - 1);
+      if (!probe_mask_bit(probe->mask_hex, worst)) {
+        out << " — the all-sources-discharged worst case was never "
+               "exercised";
+      } else {
+        out << " — even the all-sources-discharged state stayed below the "
+               "threshold (live coupling sum is insufficient)";
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace parbor::ledger

@@ -1,0 +1,71 @@
+// Coverage accountant: joins a flip ledger against its injected-fault table.
+//
+// Everything here is an offline computation over a parsed LedgerData — no
+// simulator state is needed, so the same numbers can be reproduced from the
+// ledger artifact alone (which is the point: Fig. 13's only-PARBOR /
+// only-random split becomes independently checkable).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ledger/ledger_check.h"
+
+namespace parbor::ledger {
+
+struct MechanismCoverage {
+  std::uint64_t injected = 0;
+  std::uint64_t detected = 0;  // faults with at least one flip event
+};
+
+struct ModuleCoverage {
+  std::uint32_t job = 0;
+  std::string module;
+  std::string vendor;
+  std::string campaign;
+  // Keyed by mechanism name; only deterministic mechanisms appear (soft
+  // errors have no injected table to cover).
+  std::map<std::string, MechanismCoverage> by_mechanism;
+  // Coupling faults by neighbourhood span: the largest |source offset| a
+  // victim draws interference from (1 = immediate neighbours only).
+  std::map<int, MechanismCoverage> coupling_by_distance;
+  // Fig. 13 accounting over distinct observed cells (chip, bank, row, bit):
+  // PARBOR = discovery + fullchip phases, random = the random baseline.
+  std::uint64_t cells_parbor = 0;
+  std::uint64_t cells_random = 0;
+  std::uint64_t cells_parbor_only = 0;
+  std::uint64_t cells_random_only = 0;
+  std::uint64_t cells_both = 0;
+  // Injected faults never seen flipping, sorted by id.
+  std::vector<std::uint64_t> false_negatives;
+};
+
+struct CoverageReport {
+  std::vector<ModuleCoverage> modules;  // job order
+  // Vendor aggregate of the per-module mechanism tables.
+  std::map<std::string, std::map<std::string, MechanismCoverage>> by_vendor;
+};
+
+CoverageReport compute_coverage(const LedgerData& data);
+
+// One JSON document: {"coverage":{"modules":[...],"vendors":{...}}}.
+std::string coverage_to_json(const CoverageReport& report);
+
+// Why did cell (chip, bank, row, bit) flip?  Lists every recorded flip
+// event of the cell plus the injected faults living at that address.
+std::string explain_cell(const LedgerData& data, std::uint32_t job,
+                         std::uint32_t chip, std::uint32_t bank,
+                         std::uint32_t row, std::uint32_t bit);
+
+// Why was fault `fault_id` detected — or missed?  Joins the fault record
+// with its flip events and probe statistics and renders a verdict.
+std::string explain_fault(const LedgerData& data, std::uint32_t job,
+                          std::uint64_t fault_id);
+
+// True when the probe bitmap (64-char hex, as dumped) has the bit for
+// neighbour-state `mask` set.  Exposed for tests.
+bool probe_mask_bit(const std::string& mask_hex, std::uint32_t mask);
+
+}  // namespace parbor::ledger

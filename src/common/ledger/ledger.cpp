@@ -1,0 +1,334 @@
+#include "common/ledger/ledger.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <tuple>
+
+#include "common/check.h"
+#include "common/json.h"
+#include "common/telemetry/metrics.h"
+
+namespace parbor::ledger {
+
+namespace {
+
+constexpr const char* kMechanismNames[] = {
+    "coupling", "weak", "vrt", "marginal", "wordline", "soft", "unexplained",
+};
+constexpr const char* kPhaseNames[] = {
+    "none",   "discovery", "search", "fullchip", "random",
+    "baseline", "retention", "remap",  "mitigation",
+};
+
+// Per-mechanism flip counters, visible in --metrics-out dumps alongside the
+// host/engine counters.
+struct LedgerMetrics {
+  telemetry::MetricsRegistry::Id flips[7];
+};
+
+const LedgerMetrics& ledger_metrics() {
+  static const LedgerMetrics metrics = [] {
+    auto& reg = telemetry::MetricsRegistry::global();
+    LedgerMetrics m;
+    for (int i = 0; i < 7; ++i) {
+      m.flips[i] = reg.counter(std::string("ledger.flips.") +
+                               kMechanismNames[i]);
+    }
+    return m;
+  }();
+  return metrics;
+}
+
+std::atomic<std::uint64_t> g_next_uid{1};
+
+}  // namespace
+
+const char* mechanism_name(Mechanism mech) {
+  const auto i = static_cast<std::size_t>(mech);
+  return i < std::size(kMechanismNames) ? kMechanismNames[i] : "?";
+}
+
+std::optional<Mechanism> mechanism_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < std::size(kMechanismNames); ++i) {
+    if (name == kMechanismNames[i]) return static_cast<Mechanism>(i);
+  }
+  return std::nullopt;
+}
+
+const char* phase_name(Phase phase) {
+  const auto i = static_cast<std::size_t>(phase);
+  return i < std::size(kPhaseNames) ? kPhaseNames[i] : "?";
+}
+
+std::optional<Phase> phase_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < std::size(kPhaseNames); ++i) {
+    if (name == kPhaseNames[i]) return static_cast<Phase>(i);
+  }
+  return std::nullopt;
+}
+
+std::uint64_t pack_fault_id(const FaultCoord& coord) {
+  PARBOR_CHECK_MSG(coord.chip < (1u << 8), "fault chip out of range");
+  PARBOR_CHECK_MSG(coord.bank < (1u << 8), "fault bank out of range");
+  PARBOR_CHECK_MSG(coord.row < (1u << 24), "fault row out of range");
+  PARBOR_CHECK_MSG(coord.ordinal < (1u << 19), "fault ordinal out of range");
+  PARBOR_CHECK_MSG(static_cast<unsigned>(coord.mech) < 7,
+                   "fault mechanism out of range");
+  return (std::uint64_t{1} << 63) |
+         (static_cast<std::uint64_t>(coord.chip) << 55) |
+         (static_cast<std::uint64_t>(coord.bank) << 47) |
+         (static_cast<std::uint64_t>(coord.row) << 23) |
+         (static_cast<std::uint64_t>(coord.spare ? 1 : 0) << 22) |
+         (static_cast<std::uint64_t>(coord.mech) << 19) |
+         static_cast<std::uint64_t>(coord.ordinal);
+}
+
+FaultCoord unpack_fault_id(std::uint64_t id) {
+  FaultCoord coord;
+  coord.chip = static_cast<std::uint32_t>((id >> 55) & 0xff);
+  coord.bank = static_cast<std::uint32_t>((id >> 47) & 0xff);
+  coord.row = static_cast<std::uint32_t>((id >> 23) & 0xffffff);
+  coord.spare = ((id >> 22) & 1) != 0;
+  coord.mech = static_cast<Mechanism>((id >> 19) & 7);
+  coord.ordinal = static_cast<std::uint32_t>(id & 0x7ffff);
+  return coord;
+}
+
+std::uint32_t ProbeStats::distinct_masks() const {
+  return static_cast<std::uint32_t>(
+      std::popcount(mask_bits[0]) + std::popcount(mask_bits[1]) +
+      std::popcount(mask_bits[2]) + std::popcount(mask_bits[3]));
+}
+
+namespace {
+
+auto flip_key(const FlipEvent& e) {
+  return std::tie(e.job, e.test, e.chip, e.bank, e.row, e.phys_col, e.mech,
+                  e.fault_id, e.sys_bit, e.phase, e.pattern, e.hold_ms);
+}
+
+}  // namespace
+
+bool operator<(const FlipEvent& a, const FlipEvent& b) {
+  return flip_key(a) < flip_key(b);
+}
+bool operator==(const FlipEvent& a, const FlipEvent& b) {
+  return flip_key(a) == flip_key(b);
+}
+
+ReadContext& read_context() {
+  static thread_local ReadContext context;
+  return context;
+}
+
+JobScope::JobScope(std::uint32_t job) : saved_(read_context().job) {
+  read_context().job = job;
+}
+JobScope::~JobScope() { read_context().job = saved_; }
+
+PhaseScope::PhaseScope(Phase phase)
+    : saved_phase_(read_context().phase),
+      saved_pattern_(std::move(read_context().pattern)) {
+  read_context().phase = phase;
+  read_context().pattern.clear();
+}
+PhaseScope::~PhaseScope() {
+  read_context().phase = saved_phase_;
+  read_context().pattern = std::move(saved_pattern_);
+}
+
+void set_pattern(std::string label) {
+  read_context().pattern = std::move(label);
+}
+
+thread_local std::uint64_t FlipLedger::tls_uid = 0;
+thread_local void* FlipLedger::tls_shard = nullptr;
+
+FlipLedger::FlipLedger()
+    : uid_(g_next_uid.fetch_add(1, std::memory_order_relaxed)) {}
+
+FlipLedger& FlipLedger::global() {
+  static FlipLedger* ledger = new FlipLedger();
+  return *ledger;
+}
+
+FlipLedger::Shard& FlipLedger::shard_slow() {
+  auto owned = std::make_shared<Shard>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards_.push_back(owned);
+  }
+  tls_uid = uid_;
+  tls_shard = owned.get();
+  // The shared_ptr in shards_ keeps the shard alive for the ledger's
+  // lifetime; the raw TLS pointer is only a cache.
+  return *owned;
+}
+
+void FlipLedger::record_flip(const FlipEvent& event) {
+  shard().flips.push_back(event);
+  auto& reg = telemetry::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.inc(ledger_metrics().flips[static_cast<std::size_t>(event.mech)]);
+  }
+}
+
+void FlipLedger::record_fault(const FaultRecord& fault) {
+  shard().faults.push_back(fault);
+}
+
+void FlipLedger::record_module(const ModuleRecord& module) {
+  shard().modules.push_back(module);
+}
+
+void FlipLedger::record_probe(std::uint32_t job, std::uint64_t fault_id,
+                              std::uint32_t mask) {
+  shard().probes[ProbeKey{job, fault_id}].add(mask);
+}
+
+namespace {
+
+void write_mask_hex(std::string& out, const std::uint64_t (&bits)[4]) {
+  static const char* hex = "0123456789abcdef";
+  // Most significant word first: a fixed-width 64-nibble bitmap over mask
+  // values 0..255.
+  for (int w = 3; w >= 0; --w) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out += hex[(bits[w] >> shift) & 0xf];
+    }
+  }
+}
+
+}  // namespace
+
+std::string FlipLedger::dump_jsonl() const {
+  std::vector<FlipEvent> flips;
+  std::vector<FaultRecord> faults;
+  std::vector<ModuleRecord> modules;
+  std::map<ProbeKey, ProbeStats> probes;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& shard : shards_) {
+      flips.insert(flips.end(), shard->flips.begin(), shard->flips.end());
+      faults.insert(faults.end(), shard->faults.begin(),
+                    shard->faults.end());
+      modules.insert(modules.end(), shard->modules.begin(),
+                     shard->modules.end());
+      for (const auto& [key, stats] : shard->probes) {
+        ProbeStats& merged = probes[key];
+        merged.count += stats.count;
+        for (int w = 0; w < 4; ++w) merged.mask_bits[w] |= stats.mask_bits[w];
+      }
+    }
+  }
+  std::sort(flips.begin(), flips.end());
+  std::sort(faults.begin(), faults.end(),
+            [](const FaultRecord& a, const FaultRecord& b) {
+              return std::tie(a.job, a.id) < std::tie(b.job, b.id);
+            });
+  std::sort(modules.begin(), modules.end(),
+            [](const ModuleRecord& a, const ModuleRecord& b) {
+              return std::tie(a.job, a.module) < std::tie(b.job, b.module);
+            });
+
+  std::string out;
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.field("kind", "header");
+    w.field("version", kFormatVersion);
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  for (const auto& m : modules) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("kind", "module");
+    w.field("job", static_cast<std::uint64_t>(m.job));
+    w.field("module", m.module);
+    w.field("vendor", m.vendor);
+    w.field("campaign", m.campaign);
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  for (const auto& f : faults) {
+    const FaultCoord coord = unpack_fault_id(f.id);
+    JsonWriter w;
+    w.begin_object();
+    w.field("kind", "fault");
+    w.field("job", static_cast<std::uint64_t>(f.job));
+    w.field("id", f.id);
+    w.field("mech", mechanism_name(coord.mech));
+    w.field("chip", coord.chip);
+    w.field("bank", coord.bank);
+    w.field("row", coord.row);
+    w.field("spare", coord.spare);
+    w.field("ordinal", coord.ordinal);
+    w.field("col", f.victim_col);
+    w.field("bit", f.sys_bit);
+    w.field("hold_ms", f.hold_ms);
+    if (coord.mech == Mechanism::kCoupling) {
+      w.field("threshold", static_cast<double>(f.threshold));
+      w.key("sources").begin_array();
+      for (auto d : f.deltas) w.value(static_cast<std::int64_t>(d));
+      w.end_array();
+    }
+    if (coord.mech == Mechanism::kWordline) {
+      w.field("row_delta", static_cast<std::int64_t>(f.row_delta));
+    }
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  for (const auto& e : flips) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("kind", "flip");
+    w.field("job", static_cast<std::uint64_t>(e.job));
+    w.field("test", e.test);
+    w.field("phase", phase_name(e.phase));
+    w.field("pattern", e.pattern);
+    w.field("chip", e.chip);
+    w.field("bank", e.bank);
+    w.field("row", e.row);
+    w.field("bit", e.sys_bit);
+    w.field("col", e.phys_col);
+    w.field("mech", mechanism_name(e.mech));
+    w.field("fault", e.fault_id);
+    w.field("hold_ms", e.hold_ms);
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  for (const auto& [key, stats] : probes) {
+    std::string mask;
+    write_mask_hex(mask, stats.mask_bits);
+    JsonWriter w;
+    w.begin_object();
+    w.field("kind", "probe");
+    w.field("job", static_cast<std::uint64_t>(key.job));
+    w.field("fault", key.fault_id);
+    w.field("count", stats.count);
+    w.field("states", static_cast<std::uint64_t>(stats.distinct_masks()));
+    w.field("mask", mask);
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+void FlipLedger::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    shard->flips.clear();
+    shard->faults.clear();
+    shard->modules.clear();
+    shard->probes.clear();
+  }
+}
+
+}  // namespace parbor::ledger

@@ -1,0 +1,278 @@
+// Flip provenance ledger: ground-truth observability for fault detection.
+//
+// The DRAM model knows exactly which faults it injects; a test campaign only
+// sees which bits flipped.  The ledger connects the two: while enabled, the
+// bank read path emits one structured event per committed flip — which test,
+// which pattern, which cell, WHICH INJECTED FAULT — plus per-fault probe
+// statistics (which neighbour data states a vulnerable cell was actually
+// tested under), and the fault-injection side records the full injected
+// fault table.  Joining the two answers the questions the paper's authors
+// could not ask of real chips: "why did this cell flip?" and "why was this
+// fault never detected?".
+//
+// Design rules (shared with common/telemetry):
+//  - Off by default; the disabled path is one relaxed atomic load + branch.
+//  - Recording never touches RNG, ordering, or simulation state, so campaign
+//    results are byte-identical with the ledger on or off.
+//  - Recording goes to per-thread shards (registered under a mutex on first
+//    use per thread); dump_jsonl() merges and SORTS everything, so two runs
+//    of the same sweep produce byte-identical ledgers regardless of worker
+//    count or scheduling.  Dumping/reset require the recording threads to be
+//    quiescent (the engine guarantees this: dump after run() returns).
+//
+// Identity model.  A FaultId is a pure function of a fault's structural
+// coordinates — (chip, bank, row, region, mechanism, ordinal) packed into 64
+// bits — where `ordinal` is the fault's index within its row's per-mechanism
+// population vector.  Populations are generated deterministically from the
+// module seed, so the same module always yields the same FaultIds and a
+// ledger can be joined against a table produced by a different process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parbor::ledger {
+
+// Failure mechanisms of dram/faults.h, plus the kUnexplained sentinel the
+// bank emits if a committed flip matches no attribution (an instrumentation
+// gap by definition — ledger_check treats any occurrence as an error).
+enum class Mechanism : std::uint8_t {
+  kCoupling = 0,
+  kWeak = 1,
+  kVrt = 2,
+  kMarginal = 3,
+  kWordline = 4,
+  kSoft = 5,         // random per-read upset; carries no FaultId
+  kUnexplained = 6,
+};
+
+const char* mechanism_name(Mechanism mech);
+std::optional<Mechanism> mechanism_from_name(std::string_view name);
+
+// True for mechanisms whose events must join the injected-fault table.
+inline bool mechanism_has_fault(Mechanism mech) {
+  return mech != Mechanism::kSoft && mech != Mechanism::kUnexplained;
+}
+
+// Which campaign stage issued the test that observed an event.  Fig. 13's
+// split falls out of this: PARBOR-detected cells are the distinct cells of
+// {kDiscovery, kFullchip} events, the random baseline's are {kRandom}.
+enum class Phase : std::uint8_t {
+  kNone = 0,
+  kDiscovery = 1,
+  kSearch = 2,
+  kFullchip = 3,
+  kRandom = 4,
+  kBaseline = 5,
+  kRetention = 6,
+  kRemap = 7,
+  kMitigation = 8,
+};
+
+const char* phase_name(Phase phase);
+std::optional<Phase> phase_from_name(std::string_view name);
+
+// --- FaultId ---------------------------------------------------------------
+//
+// Bit layout: [63] always 1 | [62:55] chip | [54:47] bank | [46:23] row
+//             | [22] spare region | [21:19] mechanism | [18:0] ordinal.
+// The forced top bit keeps every packed id nonzero, so a FlipEvent can use
+// fault_id == 0 as "no fault" (soft errors) without colliding with the
+// all-zero coordinate (chip 0, bank 0, row 0, coupling fault 0).
+
+struct FaultCoord {
+  std::uint32_t chip = 0;   // < 2^8
+  std::uint32_t bank = 0;   // < 2^8
+  std::uint32_t row = 0;    // < 2^24
+  bool spare = false;       // spare-region coupling population
+  Mechanism mech = Mechanism::kCoupling;
+  std::uint32_t ordinal = 0;  // < 2^19, index in the row's mechanism vector
+
+  auto operator<=>(const FaultCoord&) const = default;
+};
+
+std::uint64_t pack_fault_id(const FaultCoord& coord);
+FaultCoord unpack_fault_id(std::uint64_t id);
+
+// --- records ---------------------------------------------------------------
+
+// One committed bit flip, as observed by a read while the ledger is armed.
+struct FlipEvent {
+  std::uint32_t job = 0;       // sweep job index (0 for single-module runs)
+  std::uint64_t test = 0;      // host test counter of the observing read
+  Phase phase = Phase::kNone;
+  std::string pattern;         // short label of the pattern under test
+  std::uint32_t chip = 0;
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+  std::uint32_t sys_bit = 0;   // system bit address (what the host sees)
+  std::uint32_t phys_col = 0;  // physical column (what the model flipped)
+  Mechanism mech = Mechanism::kUnexplained;
+  std::uint64_t fault_id = 0;  // 0 when mechanism_has_fault() is false
+  double hold_ms = 0.0;        // effective (temperature-scaled) hold time
+};
+
+bool operator<(const FlipEvent& a, const FlipEvent& b);
+bool operator==(const FlipEvent& a, const FlipEvent& b);
+
+// One injected fault, as recorded by the fault-table enumeration.
+struct FaultRecord {
+  std::uint32_t job = 0;
+  std::uint64_t id = 0;        // pack_fault_id of the coordinates
+  std::uint32_t victim_col = 0;  // physical column reported on failure
+  std::uint32_t sys_bit = 0;     // scrambler image of victim_col
+  double hold_ms = 0.0;        // min_hold / retention of the mechanism
+  float threshold = 0.0f;      // coupling only
+  std::vector<std::int32_t> deltas;  // coupling: live source slot offsets
+  std::int32_t row_delta = 0;  // wordline only
+};
+
+// Module metadata for one job, so a ledger is self-describing.
+struct ModuleRecord {
+  std::uint32_t job = 0;
+  std::string module;
+  std::string vendor;
+  std::string campaign;
+};
+
+// Per-fault probe statistics.  A "probe" is one read that could have
+// detected the fault (victim charged, hold long enough); `mask` encodes the
+// neighbour data state it was tested under — for coupling, bit k is set when
+// compiled source k was discharged; for the single-condition mechanisms,
+// bit 0 is set when the arming condition beyond charge+hold held.  The
+// bitmap over observed mask values is the cell's probe bitmap: which
+// neighbour data states the campaign actually exercised.
+struct ProbeStats {
+  std::uint64_t count = 0;       // qualifying reads
+  std::uint64_t mask_bits[4] = {0, 0, 0, 0};  // bitmap over mask values 0..255
+
+  void add(std::uint32_t mask) {
+    ++count;
+    mask_bits[(mask >> 6) & 3] |= std::uint64_t{1} << (mask & 63);
+  }
+  std::uint32_t distinct_masks() const;
+};
+
+// --- per-read context ------------------------------------------------------
+//
+// The bank knows which column flipped and why, but not which chip it lives
+// in, which test is running, or which campaign phase issued it.  Callers up
+// the stack fill a thread-local context instead of threading parameters
+// through every layer: the host arms it per read, the pipeline sets the
+// phase and pattern label, the engine sets the job index.
+
+struct ReadContext {
+  bool armed = false;  // a TestHost read is in flight
+  std::uint32_t job = 0;
+  std::uint64_t test = 0;
+  Phase phase = Phase::kNone;
+  std::string pattern;
+  std::uint32_t chip = 0;
+  std::uint32_t bank = 0;
+};
+
+ReadContext& read_context();
+
+// Sets the job index for the current thread; restores the old one on exit.
+class JobScope {
+ public:
+  explicit JobScope(std::uint32_t job);
+  ~JobScope();
+  JobScope(const JobScope&) = delete;
+  JobScope& operator=(const JobScope&) = delete;
+
+ private:
+  std::uint32_t saved_;
+};
+
+// Sets the campaign phase (and clears the pattern label) for the current
+// thread; restores both on exit.  Scopes nest: an inner scope wins.
+class PhaseScope {
+ public:
+  explicit PhaseScope(Phase phase);
+  ~PhaseScope();
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Phase saved_phase_;
+  std::string saved_pattern_;
+};
+
+// Labels the pattern under test.  Call only when the ledger is enabled (the
+// label is sticky until the next call or the end of the phase scope).
+void set_pattern(std::string label);
+
+// --- the ledger ------------------------------------------------------------
+
+class FlipLedger {
+ public:
+  FlipLedger();
+
+  static FlipLedger& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Recording (call only while enabled; cheap but not free).
+  void record_flip(const FlipEvent& event);
+  void record_fault(const FaultRecord& fault);
+  void record_module(const ModuleRecord& module);
+  void record_probe(std::uint32_t job, std::uint64_t fault_id,
+                    std::uint32_t mask);
+
+  // Merges every shard and serialises to JSON-lines: one header line, then
+  // module, fault, flip, and probe records, each sorted by their natural
+  // key.  Deterministic: two runs of the same jobs produce byte-identical
+  // dumps regardless of worker count.
+  std::string dump_jsonl() const;
+
+  // Drops all recorded data; the enabled flag survives.  Like dump_jsonl(),
+  // requires recording threads to be quiescent.
+  void reset();
+
+  static constexpr int kFormatVersion = 1;
+
+ private:
+  struct ProbeKey {
+    std::uint32_t job;
+    std::uint64_t fault_id;
+    bool operator<(const ProbeKey& o) const {
+      return job != o.job ? job < o.job : fault_id < o.fault_id;
+    }
+  };
+  struct Shard {
+    std::vector<FlipEvent> flips;
+    std::vector<FaultRecord> faults;
+    std::vector<ModuleRecord> modules;
+    std::map<ProbeKey, ProbeStats> probes;
+  };
+
+  Shard& shard() {
+    if (tls_uid == uid_ && tls_shard != nullptr) {
+      return *static_cast<Shard*>(tls_shard);
+    }
+    return shard_slow();
+  }
+  Shard& shard_slow();
+
+  static thread_local std::uint64_t tls_uid;
+  static thread_local void* tls_shard;
+
+  const std::uint64_t uid_;
+  std::atomic<bool> enabled_{false};
+
+  mutable std::mutex mutex_;  // shard list, dump, reset
+  std::vector<std::shared_ptr<Shard>> shards_;
+};
+
+}  // namespace parbor::ledger

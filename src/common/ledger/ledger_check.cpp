@@ -1,0 +1,209 @@
+#include "common/ledger/ledger_check.h"
+
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace parbor::ledger {
+
+namespace {
+
+Mechanism parse_mechanism(const JsonValue& value) {
+  const auto mech = mechanism_from_name(value.as_string());
+  PARBOR_CHECK_MSG(mech.has_value(),
+                   "ledger: unknown mechanism \"" << value.as_string() << "\"");
+  return *mech;
+}
+
+Phase parse_phase(const JsonValue& value) {
+  const auto phase = phase_from_name(value.as_string());
+  PARBOR_CHECK_MSG(phase.has_value(),
+                   "ledger: unknown phase \"" << value.as_string() << "\"");
+  return *phase;
+}
+
+std::uint32_t as_u32(const JsonValue& value) {
+  const std::uint64_t v = value.as_uint();
+  PARBOR_CHECK_MSG(v <= 0xffffffffULL, "ledger: field exceeds 32 bits");
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+LedgerData parse_ledger_jsonl(std::string_view text) {
+  LedgerData data;
+  bool saw_header = false;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    const JsonValue value = JsonValue::parse(line);
+    PARBOR_CHECK_MSG(value.is_object(),
+                     "ledger line " << line_no << ": not an object");
+    const std::string& kind = value.at("kind").as_string();
+    if (kind == "header") {
+      PARBOR_CHECK_MSG(!saw_header,
+                       "ledger line " << line_no << ": duplicate header");
+      saw_header = true;
+      data.version = static_cast<int>(value.at("version").as_int());
+      PARBOR_CHECK_MSG(data.version == FlipLedger::kFormatVersion,
+                       "ledger: unsupported format version " << data.version);
+    } else if (kind == "module") {
+      ModuleRecord m;
+      m.job = as_u32(value.at("job"));
+      m.module = value.at("module").as_string();
+      m.vendor = value.at("vendor").as_string();
+      m.campaign = value.at("campaign").as_string();
+      data.modules.push_back(std::move(m));
+    } else if (kind == "fault") {
+      FaultRecord f;
+      f.job = as_u32(value.at("job"));
+      f.id = value.at("id").as_uint();
+      f.victim_col = as_u32(value.at("col"));
+      f.sys_bit = as_u32(value.at("bit"));
+      f.hold_ms = value.at("hold_ms").as_double();
+      const FaultCoord coord = unpack_fault_id(f.id);
+      PARBOR_CHECK_MSG(
+          parse_mechanism(value.at("mech")) == coord.mech,
+          "ledger line " << line_no << ": fault mech does not match its id");
+      if (coord.mech == Mechanism::kCoupling) {
+        f.threshold = static_cast<float>(value.at("threshold").as_double());
+        for (const auto& d : value.at("sources").items()) {
+          f.deltas.push_back(static_cast<std::int32_t>(d.as_int()));
+        }
+      }
+      if (coord.mech == Mechanism::kWordline) {
+        f.row_delta = static_cast<std::int32_t>(value.at("row_delta").as_int());
+      }
+      data.faults.push_back(std::move(f));
+    } else if (kind == "flip") {
+      FlipEvent e;
+      e.job = as_u32(value.at("job"));
+      e.test = value.at("test").as_uint();
+      e.phase = parse_phase(value.at("phase"));
+      e.pattern = value.at("pattern").as_string();
+      e.chip = as_u32(value.at("chip"));
+      e.bank = as_u32(value.at("bank"));
+      e.row = as_u32(value.at("row"));
+      e.sys_bit = as_u32(value.at("bit"));
+      e.phys_col = as_u32(value.at("col"));
+      e.mech = parse_mechanism(value.at("mech"));
+      e.fault_id = value.at("fault").as_uint();
+      e.hold_ms = value.at("hold_ms").as_double();
+      data.flips.push_back(std::move(e));
+    } else if (kind == "probe") {
+      ProbeRecord p;
+      p.job = as_u32(value.at("job"));
+      p.fault_id = value.at("fault").as_uint();
+      p.count = value.at("count").as_uint();
+      p.distinct_states = as_u32(value.at("states"));
+      p.mask_hex = value.at("mask").as_string();
+      data.probes.push_back(std::move(p));
+    } else {
+      PARBOR_CHECK_MSG(false, "ledger line " << line_no
+                                             << ": unknown kind \"" << kind
+                                             << "\"");
+    }
+  }
+  PARBOR_CHECK_MSG(saw_header, "ledger: missing header line");
+  return data;
+}
+
+LedgerCheckResult check_ledger(const LedgerData& data, bool allow_soft) {
+  LedgerCheckResult result;
+  result.module_count = data.modules.size();
+  result.fault_count = data.faults.size();
+  result.flip_count = data.flips.size();
+  result.probe_count = data.probes.size();
+
+  auto fail = [&](const std::string& why) {
+    result.ok = false;
+    result.error = why;
+    return result;
+  };
+
+  std::set<std::uint32_t> module_jobs;
+  for (const auto& m : data.modules) module_jobs.insert(m.job);
+
+  std::set<std::pair<std::uint32_t, std::uint64_t>> fault_keys;
+  for (const auto& f : data.faults) {
+    if (!module_jobs.count(f.job)) {
+      std::ostringstream ss;
+      ss << "fault " << f.id << " references job " << f.job
+         << " with no module record";
+      return fail(ss.str());
+    }
+    if (!fault_keys.insert({f.job, f.id}).second) {
+      std::ostringstream ss;
+      ss << "duplicate fault id " << f.id << " in job " << f.job;
+      return fail(ss.str());
+    }
+  }
+
+  for (const auto& e : data.flips) {
+    std::ostringstream where;
+    where << "flip at job " << e.job << " test " << e.test << " chip "
+          << e.chip << " bank " << e.bank << " row " << e.row << " col "
+          << e.phys_col;
+    if (e.mech == Mechanism::kUnexplained) {
+      return fail(where.str() + ": unexplained (instrumentation gap)");
+    }
+    if (e.mech == Mechanism::kSoft) {
+      if (!allow_soft) {
+        return fail(where.str() +
+                    ": soft-error event in a no-soft-error campaign");
+      }
+      if (e.fault_id != 0) {
+        return fail(where.str() + ": soft-error event carries a fault id");
+      }
+      continue;
+    }
+    if (e.fault_id == 0) {
+      return fail(where.str() + ": deterministic mechanism without fault id");
+    }
+    if (!fault_keys.count({e.job, e.fault_id})) {
+      std::ostringstream ss;
+      ss << where.str() << ": fault id " << e.fault_id
+         << " not in the job's injected-fault table";
+      return fail(ss.str());
+    }
+    const FaultCoord coord = unpack_fault_id(e.fault_id);
+    if (coord.mech != e.mech || coord.chip != e.chip ||
+        coord.bank != e.bank || coord.row != e.row) {
+      return fail(where.str() + ": fault id coordinates disagree with event");
+    }
+  }
+
+  for (const auto& p : data.probes) {
+    if (!fault_keys.count({p.job, p.fault_id})) {
+      std::ostringstream ss;
+      ss << "probe record for fault " << p.fault_id << " in job " << p.job
+         << " not in the injected-fault table";
+      return fail(ss.str());
+    }
+  }
+
+  result.ok = true;
+  return result;
+}
+
+LedgerCheckResult check_ledger_jsonl(std::string_view text, bool allow_soft) {
+  try {
+    return check_ledger(parse_ledger_jsonl(text), allow_soft);
+  } catch (const CheckError& e) {
+    LedgerCheckResult result;
+    result.ok = false;
+    result.error = e.what();
+    return result;
+  }
+}
+
+}  // namespace parbor::ledger

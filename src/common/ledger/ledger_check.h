@@ -1,0 +1,61 @@
+// Ledger parsing + closure validation (CI's ledger_check and the coverage
+// accountant both build on this).
+//
+// "Closure" is the ledger's core promise: every detected flip joins to a
+// live injected fault.  check_ledger verifies it structurally — every flip
+// event of a deterministic mechanism references a fault id present in the
+// same job's fault table (with matching mechanism bits), no kUnexplained
+// sentinel ever appears, every probe record joins a fault, and (optionally)
+// no soft-error events exist, which must hold exactly when the campaign ran
+// with soft-error injection disabled.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ledger/ledger.h"
+
+namespace parbor::ledger {
+
+// A parsed ledger file.  Probe bitmaps keep their raw mask hex string; the
+// coverage accountant decodes them on demand.
+struct ProbeRecord {
+  std::uint32_t job = 0;
+  std::uint64_t fault_id = 0;
+  std::uint64_t count = 0;
+  std::uint32_t distinct_states = 0;
+  std::string mask_hex;
+};
+
+struct LedgerData {
+  int version = 0;
+  std::vector<ModuleRecord> modules;
+  std::vector<FaultRecord> faults;
+  std::vector<FlipEvent> flips;
+  std::vector<ProbeRecord> probes;
+};
+
+// Parses one JSONL ledger document; malformed lines, unknown kinds, or a
+// missing/invalid header throw CheckError.
+LedgerData parse_ledger_jsonl(std::string_view text);
+
+struct LedgerCheckResult {
+  bool ok = false;
+  std::string error;
+  std::size_t module_count = 0;
+  std::size_t fault_count = 0;
+  std::size_t flip_count = 0;
+  std::size_t probe_count = 0;
+};
+
+// Validates closure (see file comment).  `allow_soft` permits kSoft events;
+// pass false for campaigns that ran with soft-error injection disabled,
+// where ANY unattributed flip is an instrumentation bug.
+LedgerCheckResult check_ledger(const LedgerData& data, bool allow_soft);
+
+// Convenience: parse + check; a parse failure becomes an error result.
+LedgerCheckResult check_ledger_jsonl(std::string_view text, bool allow_soft);
+
+}  // namespace parbor::ledger

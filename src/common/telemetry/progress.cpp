@@ -23,11 +23,36 @@ void phase_note(const std::string& message) {
   std::fflush(stderr);
 }
 
+std::string format_progress_line(const std::string& label, std::size_t done,
+                                 std::size_t total, std::size_t running,
+                                 std::uint64_t flips, double elapsed_s) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "[%s] %zu/%zu jobs done, %zu running, %llu flips",
+                label.c_str(), done, total, running,
+                static_cast<unsigned long long>(flips));
+  std::string line = buf;
+  if (total > 0) {
+    std::snprintf(buf, sizeof buf, " (%.0f%%)",
+                  100.0 * static_cast<double>(done) /
+                      static_cast<double>(total));
+    line += buf;
+  }
+  if (done > 0 && done < total && elapsed_s > 0.0) {
+    const double eta_s = elapsed_s * static_cast<double>(total - done) /
+                         static_cast<double>(done);
+    std::snprintf(buf, sizeof buf, ", ETA %.1fs", eta_s);
+    line += buf;
+  }
+  return line;
+}
+
 ProgressMeter::ProgressMeter(std::string label, std::size_t total,
                              bool enabled)
     : label_(std::move(label)),
       total_(total),
       enabled_(enabled),
+      start_(std::chrono::steady_clock::now()),
       last_render_(std::chrono::steady_clock::now() - kRenderInterval) {}
 
 ProgressMeter::~ProgressMeter() { finish(); }
@@ -62,9 +87,12 @@ void ProgressMeter::render(bool force) {
   const auto now = std::chrono::steady_clock::now();
   if (!force && now - last_render_ < kRenderInterval) return;
   last_render_ = now;
-  std::fprintf(stderr, "\r[%s] %zu/%zu jobs done, %zu running, %llu flips",
-               label_.c_str(), done_, total_, running_,
-               static_cast<unsigned long long>(flips_));
+  const double elapsed_s =
+      std::chrono::duration<double>(now - start_).count();
+  std::fprintf(stderr, "\r%s",
+               format_progress_line(label_, done_, total_, running_, flips_,
+                                    elapsed_s)
+                   .c_str());
   std::fflush(stderr);
 }
 

@@ -29,6 +29,15 @@ bool phase_progress();
 // Prints "[parbor] <message>\n" to stderr when phase progress is enabled.
 void phase_note(const std::string& message);
 
+// Renders one meter line (without the leading "\r").  Pure so the edge
+// cases stay unit-testable: percent is suppressed when `total` is zero
+// (an empty sweep must not divide by zero) and the ETA extrapolation is
+// suppressed until at least one job finished with measurable elapsed time
+// (done == 0 or elapsed_s <= 0 would yield garbage).
+std::string format_progress_line(const std::string& label, std::size_t done,
+                                 std::size_t total, std::size_t running,
+                                 std::uint64_t flips, double elapsed_s);
+
 class ProgressMeter {
  public:
   // `label` prefixes the line; `total` is the job count.  A disabled meter
@@ -57,6 +66,7 @@ class ProgressMeter {
   std::size_t done_ = 0;
   std::uint64_t flips_ = 0;
   bool finished_ = false;
+  const std::chrono::steady_clock::time_point start_;
   std::chrono::steady_clock::time_point last_render_;
 };
 

@@ -1,8 +1,10 @@
 #include "dram/bank.h"
 
 #include <algorithm>
+#include <tuple>
 
 #include "common/check.h"
+#include "common/ledger/ledger.h"
 
 namespace parbor::dram {
 
@@ -159,42 +161,127 @@ void Bank::read_row_flips_append(std::uint32_t row, SimTime now,
 
   const std::size_t base = out.size();
 
+  // Flip provenance: while the ledger is enabled AND a TestHost read armed
+  // the thread context, every committed flip is attributed to the injected
+  // fault that produced it, and armed faults report probe statistics.  The
+  // instrumentation only observes — it never adds or removes an event_rng_
+  // draw and never perturbs the float accumulation, so flip streams are
+  // byte-identical with the ledger on or off.
+  ledger::FlipLedger& led = ledger::FlipLedger::global();
+  const ledger::ReadContext& ctx = ledger::read_context();
+  const bool attributed = led.enabled() && ctx.armed;
+
+  struct Attr {
+    std::uint32_t col;
+    ledger::Mechanism mech;
+    bool spare;
+    std::uint32_t ordinal;
+  };
+  std::vector<Attr> attrs;
+  auto fault_coord = [&](ledger::Mechanism mech, bool spare,
+                         std::uint32_t ordinal) {
+    return ledger::FaultCoord{ctx.chip, ctx.bank, row, spare, mech, ordinal};
+  };
+
   // Coupling (data-dependent) failures, main array then spare region, both
   // through the precompiled plans.  A victim is vulnerable only in the
   // charged state; an oppositely-charged (discharged) source contributes
   // its coupling coefficient to the interference.
-  evaluate_coupling_plan(plan.coupling, eff, bits, anti, out);
-  if (!remap_.empty()) {
-    evaluate_coupling_plan(spare_entry(row).coupling, eff, bits, anti, out);
+  if (!attributed) {
+    evaluate_coupling_plan(plan.coupling, eff, bits, anti, out);
+    if (!remap_.empty()) {
+      evaluate_coupling_plan(spare_entry(row).coupling, eff, bits, anti, out);
+    }
+  } else {
+    std::vector<CouplingAttribution> cflips;
+    std::vector<CouplingProbe> cprobes;
+    auto absorb = [&](bool spare) {
+      for (const CouplingAttribution& f : cflips) {
+        attrs.push_back(
+            {f.col, ledger::Mechanism::kCoupling, spare, f.profile_index});
+      }
+      for (const CouplingProbe& p : cprobes) {
+        led.record_probe(ctx.job,
+                         ledger::pack_fault_id(fault_coord(
+                             ledger::Mechanism::kCoupling, spare,
+                             p.profile_index)),
+                         p.source_mask);
+      }
+      cflips.clear();
+      cprobes.clear();
+    };
+    evaluate_coupling_plan_attributed(plan.coupling, eff, bits, anti, out,
+                                      cflips, cprobes);
+    absorb(false);
+    if (!remap_.empty()) {
+      evaluate_coupling_plan_attributed(spare_entry(row).coupling, eff, bits,
+                                        anti, out, cflips, cprobes);
+      absorb(true);
+    }
   }
 
   auto charged = [&](std::uint32_t col) { return bits.get(col) != anti; };
+  auto probe = [&](ledger::Mechanism mech, std::uint32_t ordinal,
+                   bool arming) {
+    led.record_probe(ctx.job,
+                     ledger::pack_fault_id(fault_coord(mech, false, ordinal)),
+                     arming ? 1u : 0u);
+  };
 
   // Weak (retention) cells: charged state leaks away after the retention
   // time regardless of neighbour content.
   for (const WeakCellProfile& w : plan.faults.weak) {
-    if (eff >= w.retention && charged(w.phys_col)) out.push_back(w.phys_col);
+    const auto ord =
+        static_cast<std::uint32_t>(&w - plan.faults.weak.data());
+    if (attributed && charged(w.phys_col)) {
+      probe(ledger::Mechanism::kWeak, ord, eff >= w.retention);
+    }
+    if (eff >= w.retention && charged(w.phys_col)) {
+      out.push_back(w.phys_col);
+      if (attributed) {
+        attrs.push_back({w.phys_col, ledger::Mechanism::kWeak, false, ord});
+      }
+    }
   }
 
   // VRT cells: two-state machine; the leaky state behaves like a weak cell.
   for (VrtCellProfile& v : plan.faults.vrt) {
+    const auto ord = static_cast<std::uint32_t>(&v - plan.faults.vrt.data());
+    if (attributed && charged(v.phys_col)) {
+      probe(ledger::Mechanism::kVrt, ord,
+            v.leaky && eff >= v.leaky_retention);
+    }
     if (v.leaky && eff >= v.leaky_retention && charged(v.phys_col)) {
       out.push_back(v.phys_col);
+      if (attributed) {
+        attrs.push_back({v.phys_col, ledger::Mechanism::kVrt, false, ord});
+      }
     }
     if (event_rng_.bernoulli(v.toggle_prob)) v.leaky = !v.leaky;
   }
 
   // Marginal cells: probabilistic loss on long holds.
   for (const MarginalCellProfile& m : plan.faults.marginal) {
+    const auto ord =
+        static_cast<std::uint32_t>(&m - plan.faults.marginal.data());
+    if (attributed && charged(m.phys_col)) {
+      probe(ledger::Mechanism::kMarginal, ord, eff >= m.min_hold);
+    }
     if (eff >= m.min_hold && charged(m.phys_col) &&
         event_rng_.bernoulli(m.fail_prob)) {
       out.push_back(m.phys_col);
+      if (attributed) {
+        attrs.push_back(
+            {m.phys_col, ledger::Mechanism::kMarginal, false, ord});
+      }
     }
   }
 
   // Wordline (row-to-row) coupling: disturbed by the same column of an
   // adjacent row.  An unwritten neighbour row holds zeros.
   for (const WordlineCellProfile& w : plan.faults.wordline) {
+    const auto ord =
+        static_cast<std::uint32_t>(&w - plan.faults.wordline.data());
     if (eff < w.min_hold || !charged(w.phys_col)) continue;
     const std::int64_t nb_row = static_cast<std::int64_t>(row) + w.row_delta;
     if (nb_row < 0 || nb_row >= static_cast<std::int64_t>(config_.rows)) {
@@ -204,7 +291,14 @@ void Bank::read_row_flips_append(std::uint32_t row, SimTime now,
     const bool nb_data = !nb_bits.empty() && nb_bits.get(w.phys_col);
     const bool nb_charged =
         nb_data != is_anti_row(static_cast<std::uint32_t>(nb_row));
-    if (!nb_charged) out.push_back(w.phys_col);
+    if (attributed) probe(ledger::Mechanism::kWordline, ord, !nb_charged);
+    if (!nb_charged) {
+      out.push_back(w.phys_col);
+      if (attributed) {
+        attrs.push_back(
+            {w.phys_col, ledger::Mechanism::kWordline, false, ord});
+      }
+    }
   }
 
   // Soft errors: rare random flips, either polarity.  Drawn over the live
@@ -215,7 +309,11 @@ void Bank::read_row_flips_append(std::uint32_t row, SimTime now,
       event_rng_,
       fault_params_.soft_error_rate * static_cast<double>(config_.row_bits));
   for (std::uint64_t i = 0; i < n_soft; ++i) {
-    out.push_back(live_cols_[event_rng_.below(live_cols_.size())]);
+    const std::uint32_t col = live_cols_[event_rng_.below(live_cols_.size())];
+    out.push_back(col);
+    if (attributed) {
+      attrs.push_back({col, ledger::Mechanism::kSoft, false, 0});
+    }
   }
 
   // Commit: flips restore the wrong value; the hold timer resets.
@@ -225,6 +323,56 @@ void Bank::read_row_flips_append(std::uint32_t row, SimTime now,
             out.end());
   for (std::size_t i = base; i < out.size(); ++i) bits.flip(out[i]);
   write_time_[row] = now;
+
+  if (attributed && out.size() > base) {
+    // One event per (committed column, attribution).  A column can carry
+    // more than one attribution (e.g. a soft error landing on a weak cell
+    // that also leaked); a committed column with none is an instrumentation
+    // gap and is flagged kUnexplained for ledger_check to reject.
+    auto key = [](const Attr& a) {
+      return std::make_tuple(a.col, static_cast<int>(a.mech), a.spare,
+                             a.ordinal);
+    };
+    std::sort(attrs.begin(), attrs.end(),
+              [&](const Attr& a, const Attr& b) { return key(a) < key(b); });
+    attrs.erase(std::unique(attrs.begin(), attrs.end(),
+                            [&](const Attr& a, const Attr& b) {
+                              return key(a) == key(b);
+                            }),
+                attrs.end());
+    ledger::FlipEvent event;
+    event.job = ctx.job;
+    event.test = ctx.test;
+    event.phase = ctx.phase;
+    event.pattern = ctx.pattern;
+    event.chip = ctx.chip;
+    event.bank = ctx.bank;
+    event.row = row;
+    event.hold_ms = eff.milliseconds();
+    for (std::size_t i = base; i < out.size(); ++i) {
+      const std::uint32_t col = out[i];
+      event.phys_col = col;
+      event.sys_bit =
+          static_cast<std::uint32_t>(scrambler_->to_system(col));
+      bool found = false;
+      for (const Attr& a : attrs) {
+        if (a.col != col) continue;
+        found = true;
+        event.mech = a.mech;
+        event.fault_id =
+            ledger::mechanism_has_fault(a.mech)
+                ? ledger::pack_fault_id(fault_coord(a.mech, a.spare,
+                                                    a.ordinal))
+                : 0;
+        led.record_flip(event);
+      }
+      if (!found) {
+        event.mech = ledger::Mechanism::kUnexplained;
+        event.fault_id = 0;
+        led.record_flip(event);
+      }
+    }
+  }
 }
 
 std::vector<std::uint32_t> Bank::read_row_flips(std::uint32_t row, SimTime now,

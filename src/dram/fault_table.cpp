@@ -1,0 +1,100 @@
+#include "dram/fault_table.h"
+
+#include "common/ledger/ledger.h"
+
+namespace parbor::dram {
+
+namespace {
+
+void record_coupling_plan(ledger::FlipLedger& led, std::uint32_t job,
+                          const Scrambler& scrambler,
+                          const CompiledCouplingPlan& plan, std::uint32_t chip,
+                          std::uint32_t bank, std::uint32_t row, bool spare) {
+  for (const CompiledCouplingVictim& v : plan.victims) {
+    ledger::FaultRecord rec;
+    rec.job = job;
+    rec.id = ledger::pack_fault_id({chip, bank, row, spare,
+                                    ledger::Mechanism::kCoupling,
+                                    v.profile_index});
+    rec.victim_col = v.col;
+    rec.sys_bit = static_cast<std::uint32_t>(scrambler.to_system(v.col));
+    rec.hold_ms = v.min_hold.milliseconds();
+    rec.threshold = v.threshold;
+    rec.deltas.reserve(v.src_count);
+    for (std::uint32_t k = 0; k < v.src_count; ++k) {
+      rec.deltas.push_back(plan.sources[v.src_begin + k].delta);
+    }
+    led.record_fault(rec);
+  }
+}
+
+}  // namespace
+
+void record_fault_table(Module& module, std::uint32_t job,
+                        const std::string& campaign) {
+  ledger::FlipLedger& led = ledger::FlipLedger::global();
+  if (!led.enabled()) return;
+
+  led.record_module({job, module.name(),
+                     std::string(vendor_name(module.vendor())), campaign});
+
+  for (std::uint32_t c = 0; c < module.chip_count(); ++c) {
+    Chip& chip = module.chip(c);
+    const Scrambler& scrambler = chip.scrambler();
+    for (std::uint32_t b = 0; b < chip.banks(); ++b) {
+      Bank& bank = chip.bank(b);
+      for (std::uint32_t r = 0; r < bank.rows(); ++r) {
+        record_coupling_plan(led, job, scrambler, bank.compiled_coupling(r),
+                             c, b, r, false);
+        if (!bank.remapped_columns().empty()) {
+          record_coupling_plan(led, job, scrambler,
+                               bank.compiled_spare_coupling(r), c, b, r,
+                               true);
+        }
+        const RowFaults& faults = bank.row_faults(r);
+        auto base_record = [&](ledger::Mechanism mech, std::uint32_t ordinal,
+                               std::uint32_t col, double hold_ms) {
+          ledger::FaultRecord rec;
+          rec.job = job;
+          rec.id = ledger::pack_fault_id({c, b, r, false, mech, ordinal});
+          rec.victim_col = col;
+          rec.sys_bit = static_cast<std::uint32_t>(scrambler.to_system(col));
+          rec.hold_ms = hold_ms;
+          return rec;
+        };
+        for (std::size_t i = 0; i < faults.weak.size(); ++i) {
+          const WeakCellProfile& w = faults.weak[i];
+          led.record_fault(base_record(ledger::Mechanism::kWeak,
+                                       static_cast<std::uint32_t>(i),
+                                       w.phys_col,
+                                       w.retention.milliseconds()));
+        }
+        for (std::size_t i = 0; i < faults.vrt.size(); ++i) {
+          const VrtCellProfile& v = faults.vrt[i];
+          led.record_fault(base_record(ledger::Mechanism::kVrt,
+                                       static_cast<std::uint32_t>(i),
+                                       v.phys_col,
+                                       v.leaky_retention.milliseconds()));
+        }
+        for (std::size_t i = 0; i < faults.marginal.size(); ++i) {
+          const MarginalCellProfile& m = faults.marginal[i];
+          led.record_fault(base_record(ledger::Mechanism::kMarginal,
+                                       static_cast<std::uint32_t>(i),
+                                       m.phys_col,
+                                       m.min_hold.milliseconds()));
+        }
+        for (std::size_t i = 0; i < faults.wordline.size(); ++i) {
+          const WordlineCellProfile& w = faults.wordline[i];
+          ledger::FaultRecord rec =
+              base_record(ledger::Mechanism::kWordline,
+                          static_cast<std::uint32_t>(i), w.phys_col,
+                          w.min_hold.milliseconds());
+          rec.row_delta = w.row_delta;
+          led.record_fault(rec);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace parbor::dram

@@ -1,0 +1,25 @@
+// Injected-fault table enumeration for the provenance ledger.
+//
+// Walks every row of a module's ground-truth fault population (forcing lazy
+// generation where needed — safe, because populations are pure functions of
+// the module seed) and records one ledger FaultRecord per live injected
+// fault, with the same FaultId packing the bank read path uses for flip
+// attribution.  Coupling faults are taken from the COMPILED plans, so the
+// recorded source offsets are exactly the live sources the read path
+// evaluates (tile boundaries and repaired columns already baked in).
+#pragma once
+
+#include <cstdint>
+
+#include "dram/module.h"
+
+namespace parbor::dram {
+
+// Records the module metadata line plus every live injected fault of
+// `module` into the global FlipLedger under job index `job`.  No-op while
+// the ledger is disabled.  `campaign` labels the module record (free text,
+// e.g. the engine's campaign kind).
+void record_fault_table(Module& module, std::uint32_t job,
+                        const std::string& campaign);
+
+}  // namespace parbor::dram

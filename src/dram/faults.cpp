@@ -147,6 +147,8 @@ CompiledCouplingPlan compile_coupling_plan(
   for (const CouplingProfile& c : profiles) {
     CompiledCouplingVictim v;
     v.col = victim_col(c);
+    v.profile_index =
+        static_cast<std::uint32_t>(&c - profiles.data());
     v.threshold = c.threshold;
     v.min_hold = c.min_hold;
     v.src_begin = static_cast<std::uint32_t>(plan.sources.size());
@@ -155,7 +157,7 @@ CompiledCouplingPlan compile_coupling_plan(
       if (coeff == 0.0f) continue;  // adds nothing (coefficients are >= 0)
       const auto src = source_col(c, slot.delta);
       if (!src.has_value()) continue;  // edge / cross-tile / repaired: dead
-      plan.sources.push_back({*src, coeff});
+      plan.sources.push_back({*src, coeff, slot.delta});
     }
     v.src_count =
         static_cast<std::uint32_t>(plan.sources.size()) - v.src_begin;
@@ -190,6 +192,39 @@ void evaluate_coupling_plan(const CompiledCouplingPlan& plan, SimTime eff,
           s[k].coeff * static_cast<float>(discharged(s[k].col));
     }
     if (interference >= v.threshold) out.push_back(v.col);
+  }
+}
+
+void evaluate_coupling_plan_attributed(
+    const CompiledCouplingPlan& plan, SimTime eff, const BitVec& bits,
+    bool anti, std::vector<std::uint32_t>& out,
+    std::vector<CouplingAttribution>& flips,
+    std::vector<CouplingProbe>& probes) {
+  // Mirrors evaluate_coupling_plan exactly; the mask bookkeeping must not
+  // change the float accumulation, so flip sets stay bit-identical whether
+  // or not the ledger observes a read.
+  const CompiledCouplingSource* sources = plan.sources.data();
+  const std::uint64_t* words = bits.words().data();
+  const std::uint64_t anti_bit = anti ? 1u : 0u;
+  auto discharged = [&](std::uint32_t col) -> std::uint64_t {
+    return ((words[col >> 6] >> (col & 63)) & 1u) ^ anti_bit ^ 1u;
+  };
+  for (const CompiledCouplingVictim& v : plan.victims) {
+    if (eff < v.min_hold) break;  // sorted: nothing further can arm
+    if (discharged(v.col)) continue;  // victim vulnerable only when charged
+    float interference = 0.0f;
+    std::uint32_t mask = 0;
+    const CompiledCouplingSource* s = sources + v.src_begin;
+    for (std::uint32_t k = 0; k < v.src_count; ++k) {
+      const std::uint64_t d = discharged(s[k].col);
+      mask |= static_cast<std::uint32_t>(d) << k;
+      interference += s[k].coeff * static_cast<float>(d);
+    }
+    probes.push_back({v.profile_index, mask});
+    if (interference >= v.threshold) {
+      out.push_back(v.col);
+      flips.push_back({v.col, v.profile_index});
+    }
   }
 }
 

@@ -182,12 +182,16 @@ struct RowFaults {
 struct CompiledCouplingSource {
   std::uint32_t col = 0;  // physical column whose charge is probed
   float coeff = 0.0f;
+  std::int32_t delta = 0;  // the profile slot this source came from (-4..+4)
 };
 
 struct CompiledCouplingVictim {
   std::uint32_t col = 0;  // column charged-checked and reported on failure
   std::uint32_t src_begin = 0;  // span into CompiledCouplingPlan::sources
   std::uint32_t src_count = 0;
+  // Index of the originating profile in the compile input — the fault's
+  // stable per-row ordinal for the provenance ledger.
+  std::uint32_t profile_index = 0;
   float threshold = 1.0f;
   SimTime min_hold;
 };
@@ -220,6 +224,27 @@ CompiledCouplingPlan compile_coupling_plan(
 void evaluate_coupling_plan(const CompiledCouplingPlan& plan, SimTime eff,
                             const BitVec& bits, bool anti,
                             std::vector<std::uint32_t>& out);
+
+// Provenance-carrying evaluation for the flip ledger.  Produces the exact
+// flip set and order of evaluate_coupling_plan (the interference sum uses
+// the same addends in the same order), and additionally reports which
+// profile each flip came from and, per armed victim (charged, hold long
+// enough), the neighbour state it was probed under: `source_mask` bit k is
+// set when compiled source k was discharged.
+struct CouplingAttribution {
+  std::uint32_t col = 0;
+  std::uint32_t profile_index = 0;
+};
+struct CouplingProbe {
+  std::uint32_t profile_index = 0;
+  std::uint32_t source_mask = 0;
+};
+void evaluate_coupling_plan_attributed(const CompiledCouplingPlan& plan,
+                                       SimTime eff, const BitVec& bits,
+                                       bool anti,
+                                       std::vector<std::uint32_t>& out,
+                                       std::vector<CouplingAttribution>& flips,
+                                       std::vector<CouplingProbe>& probes);
 
 // Tells the generator which physical neighbours of a column actually exist
 // as interference sources (same tile, inside the array).  delta is the

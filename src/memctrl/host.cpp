@@ -1,11 +1,37 @@
 #include "memctrl/host.h"
 
 #include "common/check.h"
+#include "common/ledger/ledger.h"
 #include "common/telemetry/metrics.h"
 
 namespace parbor::mc {
 
 namespace {
+
+// Arms the flip-provenance context for one read: the bank read path only
+// attributes flips while a host read is in flight, and it needs the chip /
+// bank coordinates and the test id (1-based: the test being run when
+// `tests_run` completed tests precede it).  No-op while the ledger is off.
+struct LedgerReadScope {
+  LedgerReadScope(std::uint32_t chip, std::uint32_t bank,
+                  std::uint64_t tests_run) {
+    if (!ledger::FlipLedger::global().enabled()) return;
+    ledger::ReadContext& ctx = ledger::read_context();
+    ctx.armed = true;
+    ctx.chip = chip;
+    ctx.bank = bank;
+    ctx.test = tests_run + 1;
+    armed_ = true;
+  }
+  ~LedgerReadScope() {
+    if (armed_) ledger::read_context().armed = false;
+  }
+  LedgerReadScope(const LedgerReadScope&) = delete;
+  LedgerReadScope& operator=(const LedgerReadScope&) = delete;
+
+ private:
+  bool armed_ = false;
+};
 
 // Registered once per process; ids are stable for the process lifetime and
 // updates are no-ops while telemetry is disabled.
@@ -102,12 +128,14 @@ void TestHost::write_row(RowAddr addr, const BitVec& sys_bits) {
 BitVec TestHost::read_row(RowAddr addr) {
   PARBOR_CHECK(addr.chip < module_->chip_count());
   account_row_op(RowOp::kRead);
+  LedgerReadScope ledger_scope(addr.chip, addr.bank, tests_run_);
   return module_->chip(addr.chip).read_row(addr.bank, addr.row, now_);
 }
 
 std::vector<std::uint32_t> TestHost::read_row_flips(RowAddr addr) {
   PARBOR_CHECK(addr.chip < module_->chip_count());
   account_row_op(RowOp::kRead);
+  LedgerReadScope ledger_scope(addr.chip, addr.bank, tests_run_);
   return module_->chip(addr.chip).read_row_flips(addr.bank, addr.row, now_);
 }
 
@@ -172,6 +200,7 @@ std::vector<FlipRecord> TestHost::collect_flips() {
     for (std::uint32_t b = 0; b < cfg.chip.banks; ++b) {
       for (std::uint32_t r = 0; r < cfg.chip.rows; ++r) {
         account_row_op(RowOp::kRead);
+        LedgerReadScope ledger_scope(c, b, tests_run_);
         bits.clear();
         module_->chip(c).read_row_flips_append(b, r, now_, bits);
         for (auto bit : bits) flips.push_back({{c, b, r}, bit});

@@ -1,16 +1,21 @@
 #include "parbor/baselines.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/bitvec.h"
+#include "common/ledger/ledger.h"
 
 namespace parbor::core {
 
 CampaignResult run_random_campaign(mc::TestHost& host, std::uint64_t tests,
                                    std::uint64_t seed) {
   CampaignResult result;
+  ledger::PhaseScope phase(ledger::Phase::kRandom);
+  const bool label = ledger::FlipLedger::global().enabled();
   Rng rng = Rng(seed).fork("random-campaign");
   for (std::uint64_t t = 0; t < tests; ++t) {
+    if (label) ledger::set_pattern("u" + std::to_string(t));
     // Uniformly random content is permutation-invariant, so it can be
     // generated directly in physical space (skipping the scrambler pass).
     const auto flips = host.run_generated_physical_test(
@@ -23,6 +28,7 @@ CampaignResult run_random_campaign(mc::TestHost& host, std::uint64_t tests,
 
 CampaignResult run_simple_campaign(mc::TestHost& host) {
   CampaignResult result;
+  ledger::PhaseScope phase(ledger::Phase::kBaseline);
   const std::uint32_t row_bits = host.row_bits();
   std::vector<BitVec> patterns;
   patterns.emplace_back(row_bits, false);  // all 0s
@@ -42,6 +48,7 @@ std::set<std::int64_t> exhaustive_neighbor_search(mc::TestHost& host,
                                                   const Victim& victim,
                                                   std::uint64_t* tests_out) {
   const std::uint32_t n = host.row_bits();
+  ledger::PhaseScope phase(ledger::Phase::kSearch);
   std::uint64_t tests = 0;
   BitVec pattern(n);
   bool have_intersection = false;
@@ -89,6 +96,7 @@ std::set<std::int64_t> linear_neighbor_search(
     mc::TestHost& host, const std::vector<Victim>& victims,
     std::uint64_t* tests_out) {
   const std::uint32_t n = host.row_bits();
+  ledger::PhaseScope phase(ledger::Phase::kSearch);
   std::uint64_t tests = 0;
   std::set<std::int64_t> distances;
   BitVec pattern(n);

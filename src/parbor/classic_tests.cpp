@@ -1,9 +1,12 @@
 #include "parbor/classic_tests.h"
 
+#include "common/ledger/ledger.h"
+
 namespace parbor::core {
 
 CampaignResult run_march_cm_campaign(mc::TestHost& host) {
   CampaignResult result;
+  ledger::PhaseScope phase(ledger::Phase::kBaseline);
   const std::uint32_t row_bits = host.row_bits();
   const BitVec zeros(row_bits, false);
   const BitVec ones(row_bits, true);
@@ -35,6 +38,7 @@ CampaignResult run_march_cm_campaign(mc::TestHost& host) {
 CampaignResult run_npsf_campaign(
     mc::TestHost& host, const std::set<std::int64_t>& assumed_distances) {
   CampaignResult result;
+  ledger::PhaseScope phase(ledger::Phase::kBaseline);
   // The NPSF base cell + deleted neighbourhood reduces to exactly the
   // round-pattern machinery, with the *assumed* distance set instead of a
   // measured one: every bit is placed at the worst case of the assumed

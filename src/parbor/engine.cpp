@@ -5,7 +5,9 @@
 #include "common/build_info.h"
 #include "common/check.h"
 #include "common/json.h"
+#include "common/ledger/ledger.h"
 #include "common/rng.h"
+#include "dram/fault_table.h"
 #include "common/telemetry/metrics.h"
 #include "common/telemetry/progress.h"
 #include "common/telemetry/trace.h"
@@ -91,8 +93,9 @@ SweepJobResult CampaignEngine::run_job(const SweepJob& job) {
   SweepJobResult out;
   out.job = job;
 
-  const auto module_config =
+  auto module_config =
       dram::make_module_config(job.vendor, job.index, job.scale, job.seed_base);
+  if (!job.soft_errors) module_config.chip.faults.soft_error_rate = 0.0;
   dram::Module module(module_config);
   module.set_temperature(job.temperature_c);
   mc::TestHost host(module);
@@ -106,6 +109,15 @@ SweepJobResult CampaignEngine::run_job(const SweepJob& job) {
   if (job.kind == CampaignKind::kFullWithRandom) {
     out.random = run_random_campaign(host, out.report.total_tests(),
                                      config.seed ^ 0xabcdefULL);
+  }
+
+  // Ground truth for the provenance ledger: the module's injected-fault
+  // table under the current job index (set by the sweep's JobScope; 0 for
+  // standalone runs).  Populations are pure functions of the module seed,
+  // so enumerating rows the campaign never touched perturbs nothing.
+  if (ledger::FlipLedger::global().enabled()) {
+    dram::record_fault_table(module, ledger::read_context().job,
+                             campaign_kind_name(job.kind));
   }
 
   out.module_name = module.name();
@@ -162,6 +174,7 @@ SweepReport CampaignEngine::run(const std::vector<SweepJob>& jobs,
     telemetry::TraceRecorder::set_current_track(
         static_cast<std::uint32_t>(i + 1));
     {
+      ledger::JobScope ledger_job(static_cast<std::uint32_t>(i));
       telemetry::TraceSpan span("engine.job");
       if (trace.enabled()) span.note("job", job_label(jobs[i]));
       sweep.results[i] = run_job(jobs[i]);

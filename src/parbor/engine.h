@@ -39,6 +39,11 @@ struct SweepJob {
   dram::Scale scale = dram::Scale::kSmall;
   CampaignKind kind = CampaignKind::kSearchOnly;
   double temperature_c = 45.0;  // nominal test temperature (§6)
+  // Soft-error injection toggle.  Disabling it (parbor_cli --no-soft) makes
+  // every flip attributable to an injected fault, which is how ledger_check
+  // proves closure.  A model toggle like temperature: deliberately excluded
+  // from derive_job_seed.
+  bool soft_errors = true;
   ParborConfig config{};        // config.seed is the base of the derived stream
   std::uint64_t seed_base = 0x5eed;  // population seed (module fault maps)
 };

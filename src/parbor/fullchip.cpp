@@ -1,12 +1,21 @@
 #include "parbor/fullchip.h"
 
+#include <string>
+
+#include "common/ledger/ledger.h"
+
 namespace parbor::core {
 
 CampaignResult run_fullchip_test(mc::TestHost& host, const RoundPlan& plan) {
   CampaignResult result;
   const std::uint32_t row_bits = host.row_bits();
+  const bool label = ledger::FlipLedger::global().enabled();
   for (std::size_t r = 0; r < plan.rounds.size(); ++r) {
     for (bool tested_value : {true, false}) {
+      if (label) {
+        ledger::set_pattern("r" + std::to_string(r) +
+                            (tested_value ? "" : "~"));
+      }
       const BitVec pattern = round_pattern(plan, r, tested_value, row_bits);
       for (const auto& flip : host.run_broadcast_test(pattern)) {
         result.cells.insert(flip);

@@ -1,6 +1,7 @@
 #include "parbor/mitigation.h"
 
 #include "common/check.h"
+#include "common/ledger/ledger.h"
 #include "common/telemetry/trace.h"
 
 namespace parbor::core {
@@ -64,6 +65,7 @@ MitigationPlan plan_mitigation(const CampaignResult& campaign,
 MitigationCheck verify_mitigation(mc::TestHost& host, const RoundPlan& plan,
                                   const MitigationPlan& mitigation) {
   telemetry::TraceSpan span("parbor.mitigation.verify");
+  ledger::PhaseScope phase(ledger::Phase::kMitigation);
   span.note("policy", mitigation_policy_name(mitigation.policy));
   MitigationCheck check;
   auto covered_by_plan = [&](const mc::FlipRecord& f) {

@@ -1,6 +1,7 @@
 #include "parbor/parbor.h"
 
 #include "common/check.h"
+#include "common/ledger/ledger.h"
 #include "common/telemetry/progress.h"
 #include "common/telemetry/trace.h"
 
@@ -29,6 +30,7 @@ ParborReport run_parbor_search_only(mc::TestHost& host,
   ParborReport report;
   {
     telemetry::TraceSpan span("parbor.discovery");
+    ledger::PhaseScope phase(ledger::Phase::kDiscovery);
     telemetry::phase_note("victim discovery");
     report.discovery = discover_victims(host, config);
     span.note("victims", report.discovery.victims.size());
@@ -36,6 +38,7 @@ ParborReport run_parbor_search_only(mc::TestHost& host,
   }
   {
     telemetry::TraceSpan span("parbor.search");
+    ledger::PhaseScope phase(ledger::Phase::kSearch);
     telemetry::phase_note("recursive neighbour search");
     report.search =
         find_neighbor_distances(host, report.discovery.victims, config);
@@ -55,6 +58,7 @@ ParborReport run_parbor(mc::TestHost& host, const ParborConfig& config) {
                                 host.row_bits());
   {
     telemetry::TraceSpan span("parbor.fullchip");
+    ledger::PhaseScope phase(ledger::Phase::kFullchip);
     telemetry::phase_note("full-chip campaign");
     report.fullchip = run_fullchip_test(host, report.plan);
     span.note("rounds", report.plan.rounds.size());

@@ -5,6 +5,7 @@
 
 #include "common/bitvec.h"
 #include "common/check.h"
+#include "common/ledger/ledger.h"
 #include "common/telemetry/progress.h"
 #include "common/telemetry/trace.h"
 
@@ -64,6 +65,9 @@ NeighborSearchResult find_neighbor_distances(mc::TestHost& host,
     telemetry::TraceSpan span("parbor.search.level");
     span.note("level", level.level);
     span.note("region_size", level.region_size);
+    if (ledger::FlipLedger::global().enabled()) {
+      ledger::set_pattern("L" + std::to_string(level.level));
+    }
     if (telemetry::phase_progress()) {
       telemetry::phase_note("search level " + std::to_string(level.level) +
                             " (region size " +

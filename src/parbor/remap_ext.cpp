@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bitvec.h"
+#include "common/ledger/ledger.h"
 #include "parbor/recursive.h"
 
 namespace parbor::core {
@@ -96,6 +97,7 @@ RemapDetectionResult detect_irregular_victims(
     mc::TestHost& host, const std::vector<Victim>& victims,
     const NeighborSearchResult& main_result, const ParborConfig& config) {
   RemapDetectionResult result;
+  ledger::PhaseScope phase(ledger::Phase::kRemap);
   for (const Victim& v : victims) {
     if (verify_regularity(host, v, main_result.distances, &result.tests)) {
       continue;  // obeys the regular mapping

@@ -1,10 +1,13 @@
 #include "parbor/retention.h"
 
+#include "common/ledger/ledger.h"
+
 namespace parbor::core {
 
 RetentionProfile profile_retention(mc::TestHost& host, const RoundPlan& plan,
                                    SimTime relaxed_interval) {
   RetentionProfile profile;
+  ledger::PhaseScope phase(ledger::Phase::kRetention);
   profile.rows_total = host.all_rows().size();
 
   // A separate host over the same module runs the profiling at the relaxed

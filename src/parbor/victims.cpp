@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/bitvec.h"
+#include "common/ledger/ledger.h"
 
 namespace parbor::core {
 
@@ -26,7 +27,9 @@ DiscoveryReport discover_victims(mc::TestHost& host,
   // flip_sets[t] = cells that flipped in test t.
   std::vector<std::set<mc::FlipRecord>> flip_sets;
   std::set<mc::FlipRecord> any_flip;
+  const bool label = ledger::FlipLedger::global().enabled();
   for (const BitVec& p : patterns) {
+    if (label) ledger::set_pattern("d" + std::to_string(flip_sets.size()));
     auto flips = host.run_broadcast_test(p);
     std::set<mc::FlipRecord> s(flips.begin(), flips.end());
     for (const auto& f : s) any_flip.insert(f);

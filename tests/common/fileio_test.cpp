@@ -1,0 +1,54 @@
+#include "common/fileio.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace parbor {
+namespace {
+
+std::filesystem::path temp_file(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+TEST(FileIo, ProbeCreatesMissingFile) {
+  const auto path = temp_file("parbor_fileio_probe.txt");
+  std::filesystem::remove(path);
+  EXPECT_EQ(probe_writable_file(path.string()), "");
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove(path);
+}
+
+TEST(FileIo, ProbeLeavesExistingContentsIntact) {
+  const auto path = temp_file("parbor_fileio_keep.txt");
+  ASSERT_EQ(write_text_file(path.string(), "payload"), "");
+  EXPECT_EQ(probe_writable_file(path.string()), "");
+  std::ifstream is(path);
+  std::string got;
+  std::getline(is, got);
+  EXPECT_EQ(got, "payload");
+  std::filesystem::remove(path);
+}
+
+TEST(FileIo, WriteReplacesContents) {
+  const auto path = temp_file("parbor_fileio_replace.txt");
+  ASSERT_EQ(write_text_file(path.string(), "something much longer"), "");
+  ASSERT_EQ(write_text_file(path.string(), "short"), "");
+  std::ifstream is(path);
+  std::string got;
+  std::getline(is, got);
+  EXPECT_EQ(got, "short");
+  std::filesystem::remove(path);
+}
+
+TEST(FileIo, MissingDirectoryIsReportedWithThePath) {
+  const std::string path = "/nonexistent-parbor-dir/out.json";
+  const std::string probe = probe_writable_file(path);
+  EXPECT_NE(probe.find(path), std::string::npos) << probe;
+  EXPECT_NE(write_text_file(path, "x"), "");
+}
+
+}  // namespace
+}  // namespace parbor

@@ -124,6 +124,42 @@ TEST(JsonValue, RejectsMalformedInput) {
   EXPECT_THROW(JsonValue::parse(R"("\q")"), CheckError);
 }
 
+TEST(JsonEscaping, EveryControlCharacterRoundTrips) {
+  // The ledger and telemetry sinks put campaign-controlled labels into
+  // string fields; every control character must survive a write/parse
+  // round trip, whether escaped as \uXXXX or as a shorthand (\n, \t, ...).
+  for (int c = 1; c < 0x20; ++c) {
+    const std::string raw(1, static_cast<char>(c));
+    const std::string doc = "\"" + JsonWriter::escape(raw) + "\"";
+    EXPECT_EQ(JsonValue::parse(doc).as_string(), raw) << "control char " << c;
+  }
+}
+
+TEST(JsonEscaping, EmbeddedQuotesAndBackslashesRoundTrip) {
+  const std::string raw = "she said \"hi\\there\",\r\n\tthen \"left\\\"";
+  const std::string doc = "\"" + JsonWriter::escape(raw) + "\"";
+  EXPECT_EQ(JsonValue::parse(doc).as_string(), raw);
+  // Round trip through a full document too: escape + re-dump is stable.
+  JsonWriter w;
+  w.begin_object().field("s", raw).end_object();
+  const auto v = JsonValue::parse(w.str());
+  EXPECT_EQ(v.at("s").as_string(), raw);
+  EXPECT_EQ(v.dump(), w.str());
+}
+
+TEST(JsonEscaping, UnicodeEscapesAreAsciiOnly) {
+  // Explicit \uXXXX escapes decode below 0x80...
+  EXPECT_EQ(JsonValue::parse(R"("\u0041\u005c\u0022")").as_string(),
+            "A\\\"");
+  EXPECT_EQ(JsonValue::parse(R"("\u007f")").as_string(),
+            std::string(1, '\x7f'));
+  // ...and are rejected beyond ASCII instead of being silently mangled
+  // (the writer never emits them, so acceptance would be a decoding trap).
+  EXPECT_THROW(JsonValue::parse(R"("\u00e9")"), CheckError);
+  EXPECT_THROW(JsonValue::parse(R"("\u12g4")"), CheckError);  // bad hex
+  EXPECT_THROW(JsonValue::parse(R"("\u12")"), CheckError);    // truncated
+}
+
 TEST(JsonValue, KindMismatchesAreRejected) {
   const auto v = JsonValue::parse(R"({"n":1.5,"s":"x"})");
   EXPECT_THROW(v.at("n").as_int(), CheckError);     // non-integral token

@@ -1,0 +1,314 @@
+#include "common/ledger/ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ledger/coverage.h"
+#include "common/ledger/ledger_check.h"
+
+namespace parbor::ledger {
+namespace {
+
+TEST(FaultId, PackUnpackRoundTrip) {
+  const FaultCoord coord{3, 7, 123456, true, Mechanism::kWordline, 4242};
+  const std::uint64_t id = pack_fault_id(coord);
+  EXPECT_EQ(unpack_fault_id(id), coord);
+}
+
+TEST(FaultId, AllZeroCoordinateIsNotTheNullSentinel) {
+  // FlipEvent uses fault_id == 0 for "no fault" (soft errors).  The packed
+  // id of the very first coupling fault of chip 0 / bank 0 / row 0 — the
+  // all-zero coordinate — must not collide with that sentinel.
+  EXPECT_NE(pack_fault_id(FaultCoord{}), 0u);
+  EXPECT_EQ(unpack_fault_id(pack_fault_id(FaultCoord{})), FaultCoord{});
+}
+
+TEST(FaultId, OutOfRangeFieldsAreRejected) {
+  FaultCoord coord;
+  coord.row = 1u << 24;
+  EXPECT_THROW(pack_fault_id(coord), CheckError);
+  coord = {};
+  coord.ordinal = 1u << 19;
+  EXPECT_THROW(pack_fault_id(coord), CheckError);
+  coord = {};
+  coord.chip = 256;
+  EXPECT_THROW(pack_fault_id(coord), CheckError);
+}
+
+TEST(Mechanism_, NamesRoundTrip) {
+  for (auto mech : {Mechanism::kCoupling, Mechanism::kWeak, Mechanism::kVrt,
+                    Mechanism::kMarginal, Mechanism::kWordline,
+                    Mechanism::kSoft, Mechanism::kUnexplained}) {
+    EXPECT_EQ(mechanism_from_name(mechanism_name(mech)), mech);
+  }
+  EXPECT_FALSE(mechanism_from_name("bogus").has_value());
+}
+
+TEST(Phase_, NamesRoundTrip) {
+  for (auto phase : {Phase::kNone, Phase::kDiscovery, Phase::kSearch,
+                     Phase::kFullchip, Phase::kRandom, Phase::kBaseline,
+                     Phase::kRetention, Phase::kRemap, Phase::kMitigation}) {
+    EXPECT_EQ(phase_from_name(phase_name(phase)), phase);
+  }
+}
+
+// One small but complete ledger: a module, a coupling fault, two flips of
+// it (inserted out of order), and two probes with distinct masks.
+struct TinyLedger {
+  FlipLedger ledger;
+  std::uint64_t fault_id = 0;
+
+  TinyLedger() {
+    ledger.set_enabled(true);
+    ledger.record_module({0, "A1", "A", "full"});
+    FaultRecord fault;
+    fault.id = pack_fault_id({0, 1, 2, false, Mechanism::kCoupling, 0});
+    fault.victim_col = 9;
+    fault.sys_bit = 5;
+    fault.hold_ms = 100.0;
+    fault.threshold = 1.0f;
+    fault.deltas = {-1, 1};
+    ledger.record_fault(fault);
+    fault_id = fault.id;
+
+    FlipEvent e;
+    e.test = 2;
+    e.phase = Phase::kDiscovery;
+    e.pattern = "d1";
+    e.bank = 1;
+    e.row = 2;
+    e.sys_bit = 5;
+    e.phys_col = 9;
+    e.mech = Mechanism::kCoupling;
+    e.fault_id = fault.id;
+    e.hold_ms = 100.0;
+    ledger.record_flip(e);
+    e.test = 1;
+    e.pattern = "d0";
+    ledger.record_flip(e);
+    ledger.record_probe(0, fault.id, 3);
+    ledger.record_probe(0, fault.id, 0);
+  }
+};
+
+TEST(FlipLedger, DumpIsSortedAndParsesBack) {
+  TinyLedger tiny;
+  const LedgerData data = parse_ledger_jsonl(tiny.ledger.dump_jsonl());
+
+  EXPECT_EQ(data.version, FlipLedger::kFormatVersion);
+  ASSERT_EQ(data.modules.size(), 1u);
+  EXPECT_EQ(data.modules[0].module, "A1");
+  ASSERT_EQ(data.faults.size(), 1u);
+  EXPECT_EQ(data.faults[0].id, tiny.fault_id);
+  EXPECT_EQ(data.faults[0].deltas, (std::vector<std::int32_t>{-1, 1}));
+  ASSERT_EQ(data.flips.size(), 2u);
+  // Sorted by key, not by insertion order.
+  EXPECT_EQ(data.flips[0].test, 1u);
+  EXPECT_EQ(data.flips[0].pattern, "d0");
+  EXPECT_EQ(data.flips[1].test, 2u);
+  ASSERT_EQ(data.probes.size(), 1u);
+  EXPECT_EQ(data.probes[0].count, 2u);
+  EXPECT_EQ(data.probes[0].distinct_states, 2u);
+  EXPECT_TRUE(probe_mask_bit(data.probes[0].mask_hex, 0));
+  EXPECT_TRUE(probe_mask_bit(data.probes[0].mask_hex, 3));
+  EXPECT_FALSE(probe_mask_bit(data.probes[0].mask_hex, 1));
+
+  const auto check = check_ledger(data, /*allow_soft=*/false);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.flip_count, 2u);
+}
+
+TEST(FlipLedger, ResetDropsEverything) {
+  TinyLedger tiny;
+  tiny.ledger.reset();
+  const LedgerData data = parse_ledger_jsonl(tiny.ledger.dump_jsonl());
+  EXPECT_TRUE(data.modules.empty());
+  EXPECT_TRUE(data.faults.empty());
+  EXPECT_TRUE(data.flips.empty());
+  EXPECT_TRUE(data.probes.empty());
+}
+
+TEST(FlipLedger, DumpIsDeterministicAcrossThreadInterleavings) {
+  const auto build = [](unsigned threads) {
+    FlipLedger ledger;
+    ledger.set_enabled(true);
+    ledger.record_module({0, "A1", "A", "full"});
+    const auto record_slice = [&ledger](unsigned first, unsigned step) {
+      for (unsigned i = first; i < 64; i += step) {
+        FlipEvent e;
+        e.test = i;
+        e.phase = Phase::kFullchip;
+        e.pattern = "r" + std::to_string(i % 5);
+        e.bank = i % 3;
+        e.row = i % 7;
+        e.sys_bit = i;
+        e.phys_col = 63 - i;
+        e.mech = Mechanism::kWeak;
+        e.fault_id = pack_fault_id(
+            {0, i % 3, i % 7, false, Mechanism::kWeak, i % 4});
+        ledger.record_flip(e);
+        ledger.record_probe(0, e.fault_id, i % 8);
+      }
+    };
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back(record_slice, t, threads);
+    }
+    for (auto& w : workers) w.join();
+    return ledger.dump_jsonl();
+  };
+  const std::string serial = build(1);
+  EXPECT_EQ(serial, build(4));
+  EXPECT_EQ(serial, build(8));
+}
+
+LedgerData tiny_data() {
+  TinyLedger tiny;
+  return parse_ledger_jsonl(tiny.ledger.dump_jsonl());
+}
+
+TEST(LedgerCheck, RejectsUnexplainedFlips) {
+  LedgerData data = tiny_data();
+  data.flips[0].mech = Mechanism::kUnexplained;
+  data.flips[0].fault_id = 0;
+  const auto result = check_ledger(data, true);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unexplained"), std::string::npos);
+}
+
+TEST(LedgerCheck, RejectsFlipsWithoutAMatchingFault) {
+  LedgerData data = tiny_data();
+  data.flips[0].fault_id =
+      pack_fault_id({0, 1, 2, false, Mechanism::kCoupling, 7});
+  EXPECT_FALSE(check_ledger(data, true).ok);
+  // A fault id whose coordinates disagree with the event's address is just
+  // as broken as a missing one.
+  data = tiny_data();
+  data.flips[0].row += 1;
+  EXPECT_FALSE(check_ledger(data, true).ok);
+}
+
+TEST(LedgerCheck, SoftErrorsAreOnlyLegalWhenAllowed) {
+  LedgerData data = tiny_data();
+  data.flips[0].mech = Mechanism::kSoft;
+  data.flips[0].fault_id = 0;
+  EXPECT_TRUE(check_ledger(data, true).ok);
+  const auto strict = check_ledger(data, false);
+  EXPECT_FALSE(strict.ok);
+  EXPECT_NE(strict.error.find("soft"), std::string::npos);
+}
+
+TEST(LedgerCheck, RejectsOrphanProbes) {
+  LedgerData data = tiny_data();
+  data.probes[0].fault_id =
+      pack_fault_id({0, 1, 2, false, Mechanism::kCoupling, 9});
+  EXPECT_FALSE(check_ledger(data, true).ok);
+}
+
+TEST(LedgerCheck, RejectsMalformedDocuments) {
+  EXPECT_FALSE(check_ledger_jsonl("not json\n", true).ok);
+  EXPECT_FALSE(check_ledger_jsonl(R"({"kind":"module","job":0})"
+                                  "\n",
+                                  true)
+                   .ok);  // missing header
+}
+
+// Synthetic coverage scenario: coupling fault f1 flips under PARBOR and
+// random, f2 never flips, and weak fault f3 flips under random only.
+TEST(Coverage, AccountsMechanismsAndFig13Split) {
+  FlipLedger ledger;
+  ledger.set_enabled(true);
+  ledger.record_module({0, "A1", "A", "full+random"});
+
+  const auto add_fault = [&](Mechanism mech, std::uint32_t row,
+                             std::uint32_t ordinal, std::uint32_t col,
+                             std::vector<std::int32_t> deltas) {
+    FaultRecord fault;
+    fault.id = pack_fault_id({0, 0, row, false, mech, ordinal});
+    fault.victim_col = col;
+    fault.sys_bit = col;
+    fault.hold_ms = 64.0;
+    fault.deltas = std::move(deltas);
+    ledger.record_fault(fault);
+    return fault.id;
+  };
+  const auto f1 = add_fault(Mechanism::kCoupling, 1, 0, 10, {-1, 1, -3});
+  add_fault(Mechanism::kCoupling, 2, 0, 20, {-1, 1});
+  const auto f3 = add_fault(Mechanism::kWeak, 3, 0, 30, {});
+
+  const auto add_flip = [&](std::uint64_t id, Phase phase,
+                            std::uint64_t test) {
+    const FaultCoord coord = unpack_fault_id(id);
+    FlipEvent e;
+    e.test = test;
+    e.phase = phase;
+    e.row = coord.row;
+    e.sys_bit = coord.row * 10;  // one distinct cell per fault
+    e.phys_col = coord.row * 10;
+    e.mech = coord.mech;
+    e.fault_id = id;
+    ledger.record_flip(e);
+  };
+  add_flip(f1, Phase::kDiscovery, 1);
+  add_flip(f1, Phase::kRandom, 9);
+  add_flip(f3, Phase::kRandom, 11);
+
+  const auto report =
+      compute_coverage(parse_ledger_jsonl(ledger.dump_jsonl()));
+  ASSERT_EQ(report.modules.size(), 1u);
+  const ModuleCoverage& m = report.modules[0];
+  EXPECT_EQ(m.by_mechanism.at("coupling").injected, 2u);
+  EXPECT_EQ(m.by_mechanism.at("coupling").detected, 1u);
+  EXPECT_EQ(m.by_mechanism.at("weak").injected, 1u);
+  EXPECT_EQ(m.by_mechanism.at("weak").detected, 1u);
+  // Coupling spans: f1 reaches offset 3, f2 only 1.
+  EXPECT_EQ(m.coupling_by_distance.at(3).injected, 1u);
+  EXPECT_EQ(m.coupling_by_distance.at(1).injected, 1u);
+  // Fig. 13: f1's cell is seen by both campaigns, f3's by random only.
+  EXPECT_EQ(m.cells_parbor, 1u);
+  EXPECT_EQ(m.cells_random, 2u);
+  EXPECT_EQ(m.cells_both, 1u);
+  EXPECT_EQ(m.cells_parbor_only, 0u);
+  EXPECT_EQ(m.cells_random_only, 1u);
+  // f2 is the lone false negative.
+  ASSERT_EQ(m.false_negatives.size(), 1u);
+  EXPECT_EQ(unpack_fault_id(m.false_negatives[0]).row, 2u);
+  ASSERT_TRUE(report.by_vendor.contains("A"));
+}
+
+TEST(Explain, RendersDetectionVerdicts) {
+  TinyLedger tiny;
+  const LedgerData data = parse_ledger_jsonl(tiny.ledger.dump_jsonl());
+
+  const std::string cell = explain_cell(data, 0, 0, 1, 2, 5);
+  EXPECT_NE(cell.find("hosts fault"), std::string::npos);
+  EXPECT_NE(cell.find("coupling"), std::string::npos);
+
+  const std::string detected = explain_fault(data, 0, tiny.fault_id);
+  EXPECT_NE(detected.find("DETECTED"), std::string::npos);
+
+  const std::string unknown = explain_fault(
+      data, 0, pack_fault_id({0, 1, 2, false, Mechanism::kCoupling, 7}));
+  EXPECT_EQ(unknown.find("DETECTED"), std::string::npos);
+}
+
+TEST(Explain, ExplainsMisses) {
+  TinyLedger tiny;
+  // A second fault that never flips and was never probed.
+  FaultRecord fault;
+  fault.id = pack_fault_id({0, 1, 3, false, Mechanism::kWeak, 0});
+  fault.victim_col = 4;
+  fault.sys_bit = 4;
+  fault.hold_ms = 200.0;
+  tiny.ledger.record_fault(fault);
+  const LedgerData data = parse_ledger_jsonl(tiny.ledger.dump_jsonl());
+  const std::string missed = explain_fault(data, 0, fault.id);
+  EXPECT_NE(missed.find("MISSED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parbor::ledger

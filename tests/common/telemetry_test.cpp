@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/json.h"
+#include "common/telemetry/progress.h"
 #include "common/telemetry/trace_check.h"
 #include "common/threadpool.h"
 
@@ -138,6 +139,46 @@ TEST(CheckMetricsJson, FlagsMissingRequiredCounter) {
   const auto result = check_metrics_json(reg.dump_json(), {"absent"});
   EXPECT_FALSE(result.ok);
   EXPECT_NE(result.error.find("absent"), std::string::npos);
+}
+
+TEST(ProgressLine, ZeroJobsSuppressesPercentAndEta) {
+  // An empty sweep must render without dividing by the zero total.
+  EXPECT_EQ(format_progress_line("sweep", 0, 0, 0, 0, 1.0),
+            "[sweep] 0/0 jobs done, 0 running, 0 flips");
+}
+
+TEST(ProgressLine, MidSweepShowsPercentAndEta) {
+  const std::string line = format_progress_line("sweep", 2, 4, 1, 7, 10.0);
+  EXPECT_NE(line.find("2/4 jobs done"), std::string::npos) << line;
+  EXPECT_NE(line.find("(50%)"), std::string::npos) << line;
+  // 2 done in 10 s -> 2 remaining in another 10 s.
+  EXPECT_NE(line.find("ETA 10.0s"), std::string::npos) << line;
+}
+
+TEST(ProgressLine, EtaNeedsEvidence) {
+  // Before the first completion there is nothing to extrapolate from...
+  EXPECT_EQ(format_progress_line("s", 0, 4, 4, 0, 10.0).find("ETA"),
+            std::string::npos);
+  // ...after the last one there is nothing left to predict...
+  EXPECT_EQ(format_progress_line("s", 4, 4, 0, 9, 10.0).find("ETA"),
+            std::string::npos);
+  // ...and instant completion (no measurable elapsed time) must not
+  // extrapolate a zero or negative rate into garbage.
+  EXPECT_EQ(format_progress_line("s", 2, 4, 1, 0, 0.0).find("ETA"),
+            std::string::npos);
+  EXPECT_EQ(format_progress_line("s", 2, 4, 1, 0, -1.0).find("ETA"),
+            std::string::npos);
+}
+
+TEST(ProgressLine, InstantMeterLifecycleIsSafe) {
+  // A zero-job meter created and finished immediately must not crash or
+  // divide by zero anywhere in its lifecycle (rendering goes to stderr).
+  ProgressMeter meter("empty", 0, true);
+  meter.finish();
+  ProgressMeter quick("quick", 1, true);
+  quick.job_started();
+  quick.job_finished(3);
+  quick.finish();
 }
 
 }  // namespace

@@ -1,0 +1,174 @@
+// Flip-provenance ledger contracts at the campaign-engine level:
+//
+//  1. Enabling the ledger never changes campaign results (byte-identical
+//     sweep reports, like telemetry).
+//  2. The ledger dump itself is byte-identical for every worker count.
+//  3. Closure: with soft errors disabled, every flip joins an injected
+//     fault — check_ledger passes in strict mode.
+//  4. Fig. 13 from the artifact alone: the coverage accountant's
+//     PARBOR/random cell split matches the in-process campaign results
+//     exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/ledger/coverage.h"
+#include "common/ledger/ledger.h"
+#include "common/ledger/ledger_check.h"
+#include "parbor/engine.h"
+
+namespace parbor::core {
+namespace {
+
+std::vector<SweepJob> provenance_jobs(bool soft_errors) {
+  SweepJob job;
+  job.vendor = dram::Vendor::kA;
+  job.scale = dram::Scale::kTiny;
+  job.kind = CampaignKind::kFullWithRandom;
+  job.soft_errors = soft_errors;
+  SweepJob second = job;
+  second.vendor = dram::Vendor::kB;
+  SweepJob third = job;
+  third.vendor = dram::Vendor::kC;
+  third.kind = CampaignKind::kFullPipeline;
+  return {job, second, third};
+}
+
+// Enables the process-global ledger for one test and guarantees a clean
+// slate on both sides, so provenance tests cannot leak into each other.
+struct LedgerGuard {
+  LedgerGuard() {
+    ledger::FlipLedger::global().reset();
+    ledger::FlipLedger::global().set_enabled(true);
+  }
+  ~LedgerGuard() {
+    ledger::FlipLedger::global().set_enabled(false);
+    ledger::FlipLedger::global().reset();
+  }
+};
+
+TEST(LedgerDeterminism, EnablingTheLedgerNeverChangesResults) {
+  const auto jobs = provenance_jobs(true);
+  const std::string plain =
+      sweep_report_to_json(CampaignEngine(2).run(jobs));
+  std::string ledgered;
+  {
+    LedgerGuard guard;
+    ledgered = sweep_report_to_json(CampaignEngine(2).run(jobs));
+  }
+  EXPECT_EQ(plain, ledgered);
+}
+
+TEST(LedgerDeterminism, WorkerCountNeverChangesTheDump) {
+  const auto jobs = provenance_jobs(true);
+  std::string serial, parallel;
+  {
+    LedgerGuard guard;
+    CampaignEngine(1).run(jobs);
+    serial = ledger::FlipLedger::global().dump_jsonl();
+  }
+  {
+    LedgerGuard guard;
+    CampaignEngine(8).run(jobs);
+    parallel = ledger::FlipLedger::global().dump_jsonl();
+  }
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(LedgerClosure, EveryFlipJoinsAFaultWithSoftErrorsDisabled) {
+  std::string dump;
+  {
+    LedgerGuard guard;
+    CampaignEngine(4).run(provenance_jobs(false));
+    dump = ledger::FlipLedger::global().dump_jsonl();
+  }
+  const auto result = ledger::check_ledger_jsonl(dump, /*allow_soft=*/false);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_GT(result.module_count, 0u);
+  EXPECT_GT(result.fault_count, 0u);
+  EXPECT_GT(result.flip_count, 0u);
+  EXPECT_GT(result.probe_count, 0u);
+}
+
+TEST(LedgerClosure, SoftErrorEventsStillValidateInLenientMode) {
+  std::string dump;
+  {
+    LedgerGuard guard;
+    CampaignEngine(4).run(provenance_jobs(true));
+    dump = ledger::FlipLedger::global().dump_jsonl();
+  }
+  const auto result = ledger::check_ledger_jsonl(dump, /*allow_soft=*/true);
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+TEST(LedgerCoverage, Fig13SplitMatchesTheCampaignExactly) {
+  const auto jobs = provenance_jobs(true);
+  SweepReport sweep;
+  std::string dump;
+  {
+    LedgerGuard guard;
+    sweep = CampaignEngine(4).run(jobs);
+    dump = ledger::FlipLedger::global().dump_jsonl();
+  }
+  const auto coverage =
+      ledger::compute_coverage(ledger::parse_ledger_jsonl(dump));
+  ASSERT_EQ(coverage.modules.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const ledger::ModuleCoverage& cov = coverage.modules[i];
+    const SweepJobResult& r = sweep.results[i];
+    SCOPED_TRACE(r.module_name);
+    EXPECT_EQ(cov.job, i);
+    EXPECT_EQ(cov.module, r.module_name);
+
+    const auto parbor_cells = r.report.all_detected();
+    std::size_t both = 0;
+    for (const auto& cell : r.random.cells) {
+      both += parbor_cells.contains(cell) ? 1 : 0;
+    }
+    EXPECT_EQ(cov.cells_parbor, parbor_cells.size());
+    EXPECT_EQ(cov.cells_random, r.random.cells.size());
+    EXPECT_EQ(cov.cells_both, both);
+    EXPECT_EQ(cov.cells_parbor_only, parbor_cells.size() - both);
+    EXPECT_EQ(cov.cells_random_only, r.random.cells.size() - both);
+  }
+}
+
+TEST(LedgerCoverage, FaultTableIsRecordedPerJob) {
+  const auto jobs = provenance_jobs(true);
+  std::string dump;
+  {
+    LedgerGuard guard;
+    CampaignEngine(2).run(jobs);
+    dump = ledger::FlipLedger::global().dump_jsonl();
+  }
+  const auto data = ledger::parse_ledger_jsonl(dump);
+  ASSERT_EQ(data.modules.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(data.modules[i].job, i);
+    EXPECT_EQ(data.modules[i].vendor,
+              dram::vendor_name(jobs[i].vendor));
+    EXPECT_EQ(data.modules[i].campaign,
+              campaign_kind_name(jobs[i].kind));
+  }
+  // Every job contributed faults, and ids unpack to sane coordinates.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    bool seen = false;
+    for (const auto& f : data.faults) seen |= f.job == i;
+    EXPECT_TRUE(seen) << "job " << i << " recorded no faults";
+  }
+}
+
+TEST(LedgerDeterminism, SoftErrorToggleDoesNotPerturbTheSeed) {
+  // soft_errors is a model toggle like temperature: the test stream (and
+  // thus the derived seed) must not depend on it.
+  SweepJob job;
+  job.soft_errors = true;
+  const auto with_soft = derive_job_seed(job);
+  job.soft_errors = false;
+  EXPECT_EQ(derive_job_seed(job), with_soft);
+}
+
+}  // namespace
+}  // namespace parbor::core

@@ -1,0 +1,47 @@
+// ledger_check — CI validator for flip-provenance ledgers (parbor_cli
+// --ledger-out artifacts).
+//
+//   ledger_check --ledger FILE [--expect-no-soft]
+//
+// Exits 0 iff the ledger parses and closure holds: every flip event of a
+// deterministic mechanism joins an injected fault of the same job (with
+// matching coordinates), no kUnexplained sentinel appears, and every probe
+// record joins a fault.  --expect-no-soft additionally rejects soft-error
+// events — mandatory for campaigns that ran with --no-soft, where any
+// unattributed flip is an instrumentation bug.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/flags.h"
+#include "common/ledger/ledger_check.h"
+
+using namespace parbor;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  if (!flags.ok() || !flags.has("ledger")) {
+    std::fprintf(stderr,
+                 "usage: ledger_check --ledger FILE [--expect-no-soft]\n");
+    return 2;
+  }
+  std::ifstream is(flags.get("ledger"), std::ios::binary);
+  if (!is.good()) {
+    std::fprintf(stderr, "cannot read %s\n", flags.get("ledger").c_str());
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  const auto result = ledger::check_ledger_jsonl(
+      ss.str(), !flags.get_bool("expect-no-soft"));
+  if (!result.ok) {
+    std::fprintf(stderr, "FAIL %s: %s\n", flags.get("ledger").c_str(),
+                 result.error.c_str());
+    return 1;
+  }
+  std::printf(
+      "OK %s: %zu module(s), %zu fault(s), %zu flip(s), %zu probe record(s)\n",
+      flags.get("ledger").c_str(), result.module_count, result.fault_count,
+      result.flip_count, result.probe_count);
+  return 0;
+}

@@ -33,25 +33,43 @@
 //       engine.  --jobs bounds the worker count (default: all cores);
 //       results are bit-identical for every worker count.
 //
+//   parbor_cli coverage --ledger FILE [--json PREFIX]
+//       Offline coverage accounting over a flip-provenance ledger:
+//       per-mechanism / per-coupling-span detection rates, the Fig. 13
+//       only-PARBOR / only-random split, and false-negative counts.
+//
+//   parbor_cli explain  --ledger FILE (--cell CHIP,BANK,ROW,BIT | --fault ID)
+//                       [--job N]
+//       Why did this cell flip?  Why was this injected fault missed?
+//
 //   parbor_cli version
 //       Print the build provenance (git describe, compiler, build type).
 //
-// Telemetry flags, accepted by every subcommand (off by default; reports
-// and flip streams are byte-identical with telemetry on or off):
+// Observability flags, accepted by every campaign subcommand (off by
+// default; reports and flip streams are byte-identical with all of them on
+// or off).  Output paths are validated before the campaign starts and a
+// failed flush exits nonzero:
 //   --trace-out FILE    record a Chrome-trace-format JSON (Perfetto)
 //   --metrics-out FILE  dump the metrics registry as JSON on exit
+//   --ledger-out FILE   record the flip-provenance ledger (JSONL)
 //   --progress          live progress on stderr (sweep: job meter;
 //                       other commands: pipeline phase notes)
+//   --no-soft           disable soft-error injection so that every flip is
+//                       attributable to an injected fault (ledger closure)
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <functional>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "common/build_info.h"
+#include "common/fileio.h"
 #include "common/flags.h"
+#include "common/ledger/coverage.h"
+#include "common/ledger/ledger.h"
 #include "common/table.h"
+#include "dram/fault_table.h"
 #include "common/telemetry/metrics.h"
 #include "common/telemetry/progress.h"
 #include "common/telemetry/trace.h"
@@ -83,9 +101,21 @@ dram::Scale parse_scale(const std::string& name) {
 }
 
 dram::ModuleConfig config_from_flags(const Flags& flags) {
-  return dram::make_module_config(parse_vendor(flags.get("vendor", "A")),
-                                  static_cast<int>(flags.get_int("index", 1)),
-                                  parse_scale(flags.get("scale", "small")));
+  auto config =
+      dram::make_module_config(parse_vendor(flags.get("vendor", "A")),
+                               static_cast<int>(flags.get_int("index", 1)),
+                               parse_scale(flags.get("scale", "small")));
+  // Same knob as SweepJob::soft_errors: with soft errors off, ledger_check
+  // can prove closure (zero unattributed flips).
+  if (flags.get_bool("no-soft")) config.chip.faults.soft_error_rate = 0.0;
+  return config;
+}
+
+// Ground truth for --ledger-out: the module's injected-fault table.
+// Single-module commands have no sweep job index, so they record as job 0.
+void record_ledger_truth(dram::Module& module, const char* campaign) {
+  if (!ledger::FlipLedger::global().enabled()) return;
+  dram::record_fault_table(module, 0, campaign);
 }
 
 void print_search(const core::NeighborSearchResult& search) {
@@ -113,6 +143,7 @@ int cmd_map(const Flags& flags) {
   dram::Module module(config);
   mc::TestHost host(module);
   const auto report = core::run_parbor_search_only(host, {});
+  record_ledger_truth(module, "map");
   std::printf("module %s (%s scrambling)\n", module.name().c_str(),
               module.chip(0).scrambler().name().c_str());
   print_search(report.search);
@@ -133,6 +164,7 @@ int cmd_test(const Flags& flags) {
   dram::Module module(config);
   mc::TestHost host(module);
   const auto report = core::run_parbor(host, {});
+  record_ledger_truth(module, "full");
   std::printf("module %s: %llu cells\n", module.name().c_str(),
               static_cast<unsigned long long>(module.total_cells()));
   print_search(report.search);
@@ -167,6 +199,7 @@ int cmd_compare(const Flags& flags) {
                                                 config.seed ^ 0xc11);
   const auto march = core::run_march_cm_campaign(host);
   const auto npsf = core::run_npsf_campaign(host, {1});
+  record_ledger_truth(module, "full+random");
 
   Table table({"Campaign", "Tests", "Failures", "vs PARBOR %"});
   const double p = static_cast<double>(parbor_cells.size());
@@ -196,6 +229,7 @@ int cmd_profile(const Flags& flags) {
   const double interval_ms = flags.get_double("interval-ms", 256.0);
   const auto profile =
       core::profile_retention(host, plan, SimTime::ms(interval_ms));
+  record_ledger_truth(module, "profile");
   std::printf(
       "module %s at %.0f ms: %zu of %llu rows (%.2f%%) need the fast "
       "refresh rate (%llu profiling tests)\n",
@@ -227,6 +261,7 @@ int cmd_mitigate(const Flags& flags) {
     table.add(core::mitigation_policy_name(policy), plan.rows.size(),
               plan.bits.size(), cost, check.residual);
   }
+  record_ledger_truth(module, "mitigate");
   std::printf("module %s: %zu failing cells\n%s", module.name().c_str(),
               report.fullchip.cells.size(), table.to_string().c_str());
   return 0;
@@ -239,6 +274,7 @@ int cmd_remap(const Flags& flags) {
   const auto report = core::run_parbor_search_only(host, {});
   const auto detection = core::detect_irregular_victims(
       host, report.discovery.victims, report.search, {});
+  record_ledger_truth(module, "remap");
   std::printf(
       "module %s: %zu victims screened, %zu irregular (remapped) victims "
       "mapped with %llu extra tests\n",
@@ -331,7 +367,10 @@ int cmd_sweep(const Flags& flags) {
     return 2;
   }
 
-  const auto jobs = core::make_population_jobs(scale, kind, vendors, indices);
+  auto jobs = core::make_population_jobs(scale, kind, vendors, indices);
+  if (flags.get_bool("no-soft")) {
+    for (auto& job : jobs) job.soft_errors = false;
+  }
   core::CampaignEngine engine(flags.get_jobs());
   std::printf("sweeping %zu modules (%s) on %zu workers...\n", jobs.size(),
               core::campaign_kind_name(kind), engine.workers());
@@ -387,6 +426,132 @@ int cmd_sweep(const Flags& flags) {
   return 0;
 }
 
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// Parses --ledger FILE into a LedgerData; prints the failure and returns
+// false when the file is unreadable or malformed.
+bool load_ledger(const Flags& flags, ledger::LedgerData* out) {
+  if (!flags.has("ledger")) {
+    std::fprintf(stderr, "missing required --ledger FILE\n");
+    return false;
+  }
+  std::string text;
+  if (!read_file(flags.get("ledger"), &text)) {
+    std::fprintf(stderr, "cannot read %s\n", flags.get("ledger").c_str());
+    return false;
+  }
+  try {
+    *out = ledger::parse_ledger_jsonl(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad ledger %s: %s\n", flags.get("ledger").c_str(),
+                 e.what());
+    return false;
+  }
+  return true;
+}
+
+void print_mechanism_table(
+    const char* key_header,
+    const std::map<std::string, ledger::MechanismCoverage>& rows) {
+  Table table({key_header, "Injected", "Detected", "Coverage %"});
+  for (const auto& [key, cov] : rows) {
+    table.add(key, cov.injected, cov.detected,
+              cov.injected > 0
+                  ? 100.0 * static_cast<double>(cov.detected) /
+                        static_cast<double>(cov.injected)
+                  : 0.0);
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+int cmd_coverage(const Flags& flags) {
+  ledger::LedgerData data;
+  if (!load_ledger(flags, &data)) return 2;
+  const auto report = ledger::compute_coverage(data);
+  for (const auto& m : report.modules) {
+    std::printf("job %u: module %s (vendor %s, %s campaign)\n", m.job,
+                m.module.c_str(), m.vendor.c_str(), m.campaign.c_str());
+    print_mechanism_table("Mechanism", m.by_mechanism);
+    if (!m.coupling_by_distance.empty()) {
+      Table spans({"Coupling span", "Injected", "Detected", "Coverage %"});
+      for (const auto& [span, cov] : m.coupling_by_distance) {
+        spans.add(span, cov.injected, cov.detected,
+                  cov.injected > 0
+                      ? 100.0 * static_cast<double>(cov.detected) /
+                            static_cast<double>(cov.injected)
+                      : 0.0);
+      }
+      std::printf("%s", spans.to_string().c_str());
+    }
+    std::printf(
+        "cells: %llu PARBOR vs %llu random (%llu only-PARBOR, %llu "
+        "only-random, %llu both); %zu injected fault(s) never flipped\n",
+        static_cast<unsigned long long>(m.cells_parbor),
+        static_cast<unsigned long long>(m.cells_random),
+        static_cast<unsigned long long>(m.cells_parbor_only),
+        static_cast<unsigned long long>(m.cells_random_only),
+        static_cast<unsigned long long>(m.cells_both),
+        m.false_negatives.size());
+  }
+  if (report.by_vendor.size() > 1) {
+    for (const auto& [vendor, rows] : report.by_vendor) {
+      std::printf("vendor %s aggregate\n", vendor.c_str());
+      print_mechanism_table("Mechanism", rows);
+    }
+  }
+  if (flags.has("json")) {
+    const std::string path = flags.get("json") + "_coverage.json";
+    const auto err =
+        parbor::write_text_file(path, ledger::coverage_to_json(report) + "\n");
+    if (!err.empty()) {
+      std::fprintf(stderr, "--json: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("coverage report written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_explain(const Flags& flags) {
+  if (flags.has("cell") == flags.has("fault")) {
+    std::fprintf(stderr,
+                 "explain needs exactly one of --cell CHIP,BANK,ROW,BIT or "
+                 "--fault ID\n");
+    return 2;
+  }
+  ledger::LedgerData data;
+  if (!load_ledger(flags, &data)) return 2;
+  const auto job = static_cast<std::uint32_t>(flags.get_int("job", 0));
+  std::string out;
+  if (flags.has("cell")) {
+    const auto parts = split_csv(flags.get("cell"));
+    if (parts.size() != 4) {
+      std::fprintf(stderr, "--cell wants CHIP,BANK,ROW,BIT\n");
+      return 2;
+    }
+    out = ledger::explain_cell(
+        data, job, static_cast<std::uint32_t>(std::atoll(parts[0].c_str())),
+        static_cast<std::uint32_t>(std::atoll(parts[1].c_str())),
+        static_cast<std::uint32_t>(std::atoll(parts[2].c_str())),
+        static_cast<std::uint32_t>(std::atoll(parts[3].c_str())));
+  } else {
+    // Fault ids are printed in hex by explain_cell; accept 0x..., hex, or
+    // decimal.
+    const std::uint64_t id =
+        std::strtoull(flags.get("fault").c_str(), nullptr, 0);
+    out = ledger::explain_fault(data, job, id);
+  }
+  std::printf("%s", out.c_str());
+  return 0;
+}
+
 int cmd_version() {
   std::printf("%s\n", build_info_line().c_str());
   return 0;
@@ -395,8 +560,8 @@ int cmd_version() {
 int usage() {
   std::printf(
       "usage: parbor_cli "
-      "<map|test|compare|profile|mitigate|remap|dcref|sweep|version> "
-      "[flags]\n"
+      "<map|test|compare|profile|mitigate|remap|dcref|sweep|coverage|explain|"
+      "version> [flags]\n"
       "  common flags: --vendor A|B|C|linear --index 1..6 "
       "--scale tiny|small|medium|large\n"
       "  map/test:     --json PREFIX [--cells true] [--build-info false]\n"
@@ -404,8 +569,11 @@ int usage() {
       "  dcref:        --workload N --trfc-ns N\n"
       "  sweep:        --vendors A,B,C --indices 1-6 --mode map|test|compare "
       "--jobs N [--json PREFIX]\n"
-      "  telemetry:    --trace-out FILE --metrics-out FILE --progress "
-      "(any subcommand)\n");
+      "  coverage:     --ledger FILE [--json PREFIX]\n"
+      "  explain:      --ledger FILE (--cell CHIP,BANK,ROW,BIT | --fault ID) "
+      "[--job N]\n"
+      "  observability: --trace-out FILE --metrics-out FILE "
+      "--ledger-out FILE --progress --no-soft (any campaign subcommand)\n");
   return 2;
 }
 
@@ -424,6 +592,8 @@ const std::vector<std::string>& known_flags(const std::string& cmd) {
       {"sweep",
        {"vendors", "indices", "scale", "mode", "jobs", "json",
         "build-info"}},
+      {"coverage", {"ledger", "json"}},
+      {"explain", {"ledger", "cell", "fault", "job"}},
       {"version", {}},
   };
   static const std::vector<std::string> empty;
@@ -433,7 +603,9 @@ const std::vector<std::string>& known_flags(const std::string& cmd) {
 
 int reject_unknown_flags(const Flags& flags, const std::string& cmd) {
   std::vector<std::string> known = known_flags(cmd);
-  known.insert(known.end(), {"trace-out", "metrics-out", "progress"});
+  known.insert(known.end(),
+               {"trace-out", "metrics-out", "ledger-out", "progress",
+                "no-soft"});
   const auto unknown = flags.unknown(known);
   if (unknown.empty()) return 0;
   for (const auto& name : unknown) {
@@ -450,41 +622,57 @@ int reject_unknown_flags(const Flags& flags, const std::string& cmd) {
   return usage();
 }
 
-// Enables the requested telemetry sinks before the command runs; the
-// returned functor flushes them to disk afterwards (even if the command
-// fails, so a crashing campaign still leaves its partial trace).
-std::function<void()> setup_telemetry(const Flags& flags,
-                                      const std::string& cmd) {
+// Validates every requested output sink up front — a doomed --trace-out
+// must fail the run before the campaign burns its budget, not after — and
+// enables the matching recorders.  Returns nonzero on an unwritable sink.
+int setup_sinks(const Flags& flags, const std::string& cmd) {
+  for (const char* flag : {"trace-out", "metrics-out", "ledger-out"}) {
+    if (!flags.has(flag)) continue;
+    if (const auto err = probe_writable_file(flags.get(flag));
+        !err.empty()) {
+      std::fprintf(stderr, "--%s: %s\n", flag, err.c_str());
+      return 1;
+    }
+  }
   if (flags.has("trace-out")) {
     telemetry::TraceRecorder::global().set_enabled(true);
   }
   if (flags.has("metrics-out")) {
     telemetry::MetricsRegistry::global().set_enabled(true);
   }
+  if (flags.has("ledger-out")) {
+    ledger::FlipLedger::global().set_enabled(true);
+  }
   // Phase narration is for single-run commands only; the sweep drives its
   // own job meter and the two must not interleave on stderr.
   telemetry::set_phase_progress(flags.get_bool("progress") &&
                                 cmd != "sweep");
-  return [&flags] {
-    if (flags.has("trace-out")) {
-      std::ofstream os(flags.get("trace-out"));
-      if (os.good()) {
-        os << telemetry::TraceRecorder::global().dump_json() << '\n';
-      } else {
-        std::fprintf(stderr, "cannot open %s\n",
-                     flags.get("trace-out").c_str());
-      }
-    }
-    if (flags.has("metrics-out")) {
-      std::ofstream os(flags.get("metrics-out"));
-      if (os.good()) {
-        os << telemetry::MetricsRegistry::global().dump_json() << '\n';
-      } else {
-        std::fprintf(stderr, "cannot open %s\n",
-                     flags.get("metrics-out").c_str());
-      }
+  return 0;
+}
+
+// Flushes the enabled sinks (run even if the command failed, so a crashing
+// campaign still leaves its partial artifacts).  Returns nonzero if any
+// write failed: a vanished directory or full disk must not exit 0.
+int flush_sinks(const Flags& flags) {
+  int rc = 0;
+  const auto dump = [&](const char* flag, const std::string& text) {
+    if (const auto err = write_text_file(flags.get(flag), text);
+        !err.empty()) {
+      std::fprintf(stderr, "--%s: %s\n", flag, err.c_str());
+      rc = 1;
     }
   };
+  if (flags.has("trace-out")) {
+    dump("trace-out", telemetry::TraceRecorder::global().dump_json() + "\n");
+  }
+  if (flags.has("metrics-out")) {
+    dump("metrics-out",
+         telemetry::MetricsRegistry::global().dump_json() + "\n");
+  }
+  if (flags.has("ledger-out")) {
+    dump("ledger-out", ledger::FlipLedger::global().dump_jsonl());
+  }
+  return rc;
 }
 
 int dispatch(const std::string& cmd, const Flags& flags) {
@@ -496,6 +684,8 @@ int dispatch(const std::string& cmd, const Flags& flags) {
   if (cmd == "remap") return cmd_remap(flags);
   if (cmd == "dcref") return cmd_dcref(flags);
   if (cmd == "sweep") return cmd_sweep(flags);
+  if (cmd == "coverage") return cmd_coverage(flags);
+  if (cmd == "explain") return cmd_explain(flags);
   if (cmd == "version") return cmd_version();
   return usage();
 }
@@ -507,15 +697,15 @@ int main(int argc, char** argv) {
   if (!flags.ok() || flags.positional().empty()) return usage();
   const std::string& cmd = flags.positional().front();
   if (const int rc = reject_unknown_flags(flags, cmd); rc != 0) return rc;
-  const auto flush_telemetry = setup_telemetry(flags, cmd);
+  if (const int rc = setup_sinks(flags, cmd); rc != 0) return rc;
   int rc = 1;
   try {
     rc = dispatch(cmd, flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    flush_telemetry();
+    flush_sinks(flags);
     return 1;
   }
-  flush_telemetry();
-  return rc;
+  const int sink_rc = flush_sinks(flags);
+  return rc != 0 ? rc : sink_rc;
 }
