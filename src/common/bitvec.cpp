@@ -1,7 +1,8 @@
 #include "common/bitvec.h"
 
 #include <bit>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace parbor {
 
@@ -53,7 +54,7 @@ std::size_t BitVec::popcount() const {
 }
 
 std::size_t BitVec::hamming_distance(const BitVec& other) const {
-  assert(nbits_ == other.nbits_);
+  PARBOR_CHECK(nbits_ == other.nbits_);
   std::size_t n = 0;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     n += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
@@ -62,7 +63,7 @@ std::size_t BitVec::hamming_distance(const BitVec& other) const {
 }
 
 std::vector<std::size_t> BitVec::diff_positions(const BitVec& other) const {
-  assert(nbits_ == other.nbits_);
+  PARBOR_CHECK(nbits_ == other.nbits_);
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     std::uint64_t d = words_[i] ^ other.words_[i];
@@ -96,19 +97,19 @@ BitVec BitVec::operator~() const {
 }
 
 BitVec& BitVec::operator^=(const BitVec& other) {
-  assert(nbits_ == other.nbits_);
+  PARBOR_CHECK(nbits_ == other.nbits_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
   return *this;
 }
 
 BitVec& BitVec::operator|=(const BitVec& other) {
-  assert(nbits_ == other.nbits_);
+  PARBOR_CHECK(nbits_ == other.nbits_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
   return *this;
 }
 
 BitVec& BitVec::operator&=(const BitVec& other) {
-  assert(nbits_ == other.nbits_);
+  PARBOR_CHECK(nbits_ == other.nbits_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
   return *this;
 }

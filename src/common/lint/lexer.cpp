@@ -1,0 +1,270 @@
+#include "common/lint/lexer.h"
+
+#include <cctype>
+
+namespace parbor::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+bool is_raw_string_prefix(std::string_view id) {
+  return id == "R" || id == "uR" || id == "u8R" || id == "UR" || id == "LR";
+}
+
+bool is_encoding_prefix(std::string_view id) {
+  return id == "u8" || id == "u" || id == "U" || id == "L";
+}
+
+}  // namespace
+
+LexedSource lex(std::string_view src) {
+  LexedSource out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  // True while only whitespace (and comments) have been seen since the last
+  // newline; a '#' is a directive only in that position.
+  bool at_line_start = true;
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+
+  // Consumes a non-raw string literal starting at src[i] == '"'.
+  auto eat_string = [&] {
+    const int start_line = line;
+    ++i;  // opening quote
+    while (i < n) {
+      if (src[i] == '\\' && i + 1 < n) {
+        i += 2;
+        continue;
+      }
+      if (src[i] == '"') {
+        ++i;
+        break;
+      }
+      if (src[i] == '\n') break;  // unterminated; stop at the line end
+      ++i;
+    }
+    out.tokens.push_back({TokKind::kString, "", start_line});
+  };
+
+  // Consumes a character literal starting at src[i] == '\''.
+  auto eat_char = [&] {
+    const int start_line = line;
+    ++i;  // opening quote
+    while (i < n) {
+      if (src[i] == '\\' && i + 1 < n) {
+        i += 2;
+        continue;
+      }
+      if (src[i] == '\'') {
+        ++i;
+        break;
+      }
+      if (src[i] == '\n') break;  // unterminated
+      ++i;
+    }
+    out.tokens.push_back({TokKind::kChar, "", start_line});
+  };
+
+  // Consumes a raw string literal; i points at the '"' after the R prefix.
+  auto eat_raw_string = [&] {
+    const int start_line = line;
+    std::size_t j = i + 1;  // past the opening quote
+    std::string delim;
+    while (j < n && src[j] != '(' && src[j] != '\n') delim += src[j++];
+    std::string closer = ")" + delim + "\"";
+    std::size_t pos = src.find(closer, j);
+    std::size_t end = pos == std::string_view::npos ? n : pos + closer.size();
+    for (std::size_t t = i; t < end; ++t) {
+      if (src[t] == '\n') ++line;
+    }
+    i = end;
+    out.tokens.push_back({TokKind::kString, "", start_line});
+  };
+
+  // Consumes a // or /* */ comment starting at src[i] == '/'; returns false
+  // if src[i..] is not actually a comment.
+  auto eat_comment = [&]() -> bool {
+    if (peek(1) == '/') {
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      out.comments.push_back({std::string(src.substr(i + 2, j - i - 2)), line});
+      i = j;  // leave the newline for the main loop
+      return true;
+    }
+    if (peek(1) == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      const std::size_t end = j + 1 < n ? j : n;
+      out.comments.push_back(
+          {std::string(src.substr(i + 2, end - i - 2)), start_line});
+      i = j + 1 < n ? j + 2 : n;
+      return true;
+    }
+    return false;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    if (c == '/' && eat_comment()) continue;
+
+    if (c == '#' && at_line_start) {
+      // One logical directive: fold backslash continuations, strip comments,
+      // squeeze whitespace runs so rule code can match on exact text.
+      const int start_line = line;
+      std::string text = "#";
+      ++i;
+      while (i < n && (src[i] == ' ' || src[i] == '\t')) ++i;
+      while (i < n) {
+        const char d = src[i];
+        if (d == '\n') break;
+        if (d == '\\' && (peek(1) == '\n' ||
+                          (peek(1) == '\r' && peek(2) == '\n'))) {
+          i += peek(1) == '\n' ? 2 : 3;
+          ++line;
+          if (!text.empty() && text.back() != ' ') text += ' ';
+          continue;
+        }
+        if (d == '/' && eat_comment()) continue;
+        if (d == ' ' || d == '\t') {
+          if (!text.empty() && text.back() != ' ') text += ' ';
+          ++i;
+          continue;
+        }
+        text += d;
+        ++i;
+      }
+      while (!text.empty() && text.back() == ' ') text.pop_back();
+      out.directives.push_back({text, start_line});
+      continue;  // the pending '\n' resets at_line_start
+    }
+
+    at_line_start = false;
+
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident_char(src[j])) ++j;
+      const std::string_view id = src.substr(i, j - i);
+      if (j < n && src[j] == '"' && is_raw_string_prefix(id)) {
+        i = j;
+        eat_raw_string();
+        continue;
+      }
+      if (j < n && src[j] == '"' && is_encoding_prefix(id)) {
+        i = j;
+        eat_string();
+        continue;
+      }
+      if (j < n && src[j] == '\'' && is_encoding_prefix(id)) {
+        i = j;
+        eat_char();
+        continue;
+      }
+      out.tokens.push_back({TokKind::kIdent, std::string(id), line});
+      i = j;
+      continue;
+    }
+
+    if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+      // pp-number: digits, identifier chars, '.', digit separators, and
+      // signs directly after an exponent marker (1e+9, 0x1p-3).
+      std::size_t j = i;
+      while (j < n) {
+        const char d = src[j];
+        if (is_ident_char(d) || d == '.') {
+          ++j;
+          continue;
+        }
+        if (d == '\'' && j + 1 < n && is_ident_char(src[j + 1])) {
+          j += 2;
+          continue;
+        }
+        if ((d == '+' || d == '-') && j > i &&
+            (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+             src[j - 1] == 'P')) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      out.tokens.push_back({TokKind::kNumber, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+
+    if (c == '"') {
+      eat_string();
+      continue;
+    }
+    if (c == '\'') {
+      eat_char();
+      continue;
+    }
+
+    if (c == ':' && peek(1) == ':') {
+      out.tokens.push_back({TokKind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+
+  return out;
+}
+
+std::vector<IncludeTarget> include_targets(const LexedSource& lx) {
+  std::vector<IncludeTarget> out;
+  for (const Directive& d : lx.directives) {
+    constexpr std::string_view kInclude = "#include";
+    if (d.text.rfind(kInclude, 0) != 0) continue;
+    std::string_view rest = std::string_view(d.text).substr(kInclude.size());
+    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+    if (rest.size() < 2) continue;
+    const char open = rest.front();
+    const char close = open == '<' ? '>' : '"';
+    if (open != '<' && open != '"') continue;
+    const std::size_t end = rest.find(close, 1);
+    if (end == std::string_view::npos) continue;
+    out.push_back(
+        {std::string(rest.substr(1, end - 1)), open == '<', d.line});
+  }
+  return out;
+}
+
+bool has_pragma_once(const LexedSource& lx) {
+  for (const Directive& d : lx.directives) {
+    if (d.text == "#pragma once") return true;
+  }
+  return false;
+}
+
+}  // namespace parbor::lint

@@ -1,0 +1,78 @@
+// Lossy-but-honest C++ lexer for the determinism linter (detlint).
+//
+// detlint's rules are token-level: "the identifier mt19937 appears",
+// "`time` is called", "a range-for iterates an unordered container".  A
+// grep cannot enforce those without false positives — banned names show up
+// legitimately in comments (rng.h documents *why* std::mt19937 is banned),
+// in string literals (rule tables, test snippets), and inside raw strings.
+// This lexer produces exactly the three streams the rules need:
+//
+//   * code tokens (identifiers, numbers, punctuation) with line numbers —
+//     comments, string literals, char literals and raw strings are consumed
+//     and never appear as identifier tokens;
+//   * preprocessor directives, one entry per logical directive (backslash
+//     continuations folded), so include-gating and `#pragma once` checks
+//     see the directive text verbatim;
+//   * comments, verbatim, so the annotation layer can parse suppression
+//     markers (see rules.h for the grammar).
+//
+// It is not a preprocessor: macros are not expanded, and tokens inside a
+// multi-line `#define` body belong to the directive, not the code stream.
+// That trade keeps the lexer dependency-free and byte-deterministic, which
+// is the property the rest of the repository is built around.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parbor::lint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords, e.g. `for`, `mt19937`, `finish_time`
+  kNumber,  // numeric literal incl. digit separators, e.g. 1'000'000
+  kString,  // a (non-raw or raw) string literal, text "" — content stripped
+  kChar,    // a character literal, content stripped
+  kPunct,   // single punctuation char, except `::` which is one token
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;  // empty for kString / kChar
+  int line = 0;      // 1-based line of the token's first character
+};
+
+struct Directive {
+  std::string text;  // logical text, continuations folded: "#include <x>"
+  int line = 0;      // line of the '#'
+};
+
+struct Comment {
+  std::string text;  // without the // or /* */ markers
+  int line = 0;      // start line (block comments may span further)
+};
+
+struct LexedSource {
+  std::vector<Token> tokens;
+  std::vector<Directive> directives;
+  std::vector<Comment> comments;
+};
+
+// Lexes one source file.  Never fails: malformed input (unterminated
+// string, stray byte) degrades to best-effort tokens rather than throwing,
+// because the linter must be able to look at broken fixtures.
+LexedSource lex(std::string_view src);
+
+// One #include target, e.g. {"random", /*system=*/true} for <random> or
+// {"common/json.h", /*system=*/false} for "common/json.h".
+struct IncludeTarget {
+  std::string path;
+  bool system = false;
+  int line = 0;
+};
+
+std::vector<IncludeTarget> include_targets(const LexedSource& lx);
+
+bool has_pragma_once(const LexedSource& lx);
+
+}  // namespace parbor::lint

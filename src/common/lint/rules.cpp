@@ -1,0 +1,483 @@
+#include "common/lint/rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/lint/lexer.h"
+
+namespace parbor::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Path scoping helpers.  Paths are repo-relative with forward slashes.
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool is_header(std::string_view path) { return ends_with(path, ".h"); }
+
+// True when `target` (an #include path) names exactly `name` as its final
+// path component: "common/json.h" matches "json.h"; "dram/fault_table.h"
+// does NOT match "table.h".
+bool include_names(std::string_view target, std::string_view name) {
+  if (target == name) return true;
+  return ends_with(target, name) &&
+         target[target.size() - name.size() - 1] == '/';
+}
+
+// ---------------------------------------------------------------------------
+// Rule tables.
+
+// Identifiers banned anywhere they appear (type and engine names).
+const char* const kRngTypeIdents[] = {
+    "mt19937",
+    "mt19937_64",
+    "minstd_rand",
+    "minstd_rand0",
+    "ranlux24",
+    "ranlux24_base",
+    "ranlux48",
+    "ranlux48_base",
+    "knuth_b",
+    "default_random_engine",
+    "random_device",
+    "mersenne_twister_engine",
+    "linear_congruential_engine",
+    "subtract_with_carry_engine",
+    "uniform_int_distribution",
+    "uniform_real_distribution",
+    "normal_distribution",
+    "lognormal_distribution",
+    "bernoulli_distribution",
+    "binomial_distribution",
+    "poisson_distribution",
+    "exponential_distribution",
+    "geometric_distribution",
+    "discrete_distribution",
+    "random_shuffle",
+};
+
+// C randomness functions: banned only in call position, so that e.g. a
+// field named `srand` in parsed JSON never trips the rule.
+const char* const kRngCallIdents[] = {
+    "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48", "srand48",
+};
+
+// Wall-clock identifiers banned anywhere.
+const char* const kClockTypeIdents[] = {
+    "system_clock", "steady_clock", "high_resolution_clock",
+    "gettimeofday",  "clock_gettime", "timespec_get",
+    "localtime",     "gmtime",        "mktime",
+    "strftime",      "ftime",
+};
+
+// Wall-clock functions banned only in call position (`finish_time()` is an
+// identifier of its own and never matches; `sim.time` members do not call).
+const char* const kClockCallIdents[] = {"time", "clock"};
+
+const char* const kUnorderedIdents[] = {
+    "unordered_map",
+    "unordered_set",
+    "unordered_multimap",
+    "unordered_multiset",
+};
+
+// Files whose inclusion marks a translation unit as order-sensitive: they
+// serialize (JSON report writer, flip ledger, ASCII tables), so iteration
+// feeding them must be in a deterministic order.
+const char* const kOrderSensitiveHeaders[] = {"json.h", "ledger.h", "table.h"};
+
+template <typename Array>
+bool contains(const Array& arr, std::string_view s) {
+  for (const char* e : arr) {
+    if (s == e) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Annotation parsing.
+
+struct AllowAnnotation {
+  int line = 0;
+  std::vector<std::string> rules;
+  bool valid = false;  // every rule id known AND a `-- reason` present
+};
+
+void skip_spaces(std::string_view text, std::size_t& pos) {
+  while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+}
+
+// Parses a comma-separated id list up to ')'. Returns false on syntax error.
+bool parse_id_list(std::string_view text, std::size_t& pos,
+                   std::vector<std::string>& out) {
+  while (true) {
+    skip_spaces(text, pos);
+    std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '-' || text[pos] == '_')) {
+      ++pos;
+    }
+    if (pos == start) return false;
+    out.emplace_back(text.substr(start, pos - start));
+    skip_spaces(text, pos);
+    if (pos < text.size() && text[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (pos < text.size() && text[pos] == ')') {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+}
+
+// Extracts every allow marker in a comment.  Markers with a syntax error,
+// an unknown rule id, or no `-- reason` are reported with valid=false so
+// the caller can turn them into allow-syntax findings.
+void parse_allows(const Comment& comment, std::vector<AllowAnnotation>& out) {
+  const std::string_view text = comment.text;
+  constexpr std::string_view kMarker = "detlint:";
+  std::size_t search = 0;
+  while (true) {
+    const std::size_t at = text.find(kMarker, search);
+    if (at == std::string_view::npos) return;
+    std::size_t pos = at + kMarker.size();
+    search = pos;
+    skip_spaces(text, pos);
+    constexpr std::string_view kAllow = "allow(";
+    if (text.substr(pos, kAllow.size()) != kAllow) continue;
+    pos += kAllow.size();
+    AllowAnnotation ann;
+    ann.line = comment.line;
+    bool ok = parse_id_list(text, pos, ann.rules);
+    if (ok) {
+      for (const std::string& r : ann.rules) {
+        const auto& ids = rule_ids();
+        if (std::find(ids.begin(), ids.end(), r) == ids.end()) ok = false;
+      }
+    }
+    if (ok) {
+      skip_spaces(text, pos);
+      constexpr std::string_view kReason = "--";
+      if (text.substr(pos, kReason.size()) == kReason) {
+        pos += kReason.size();
+        skip_spaces(text, pos);
+        ok = pos < text.size();  // non-empty reason
+      } else {
+        ok = false;
+      }
+    }
+    ann.valid = ok;
+    out.push_back(std::move(ann));
+    search = pos;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-rule checks.  Each appends raw findings (pre-suppression).
+
+void add(std::vector<Finding>& out, const std::string& path, int line,
+         const char* rule, std::string message) {
+  out.push_back({path, line, rule, std::move(message)});
+}
+
+void check_rng(const std::string& path, const LexedSource& lx,
+               std::vector<Finding>& out) {
+  if (path == "src/common/rng.h" || path == "src/common/rng.cpp") return;
+  for (const IncludeTarget& inc : include_targets(lx)) {
+    if (inc.system && inc.path == "random") {
+      add(out, path, inc.line, "rng",
+          "banned include <random>: all randomness flows through the seeded "
+          "parbor::Rng in src/common/rng.h");
+    }
+  }
+  const auto& toks = lx.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    if (contains(kRngTypeIdents, toks[i].text)) {
+      add(out, path, toks[i].line, "rng",
+          "banned randomness primitive '" + toks[i].text +
+              "': draw from the seeded parbor::Rng (src/common/rng.h) so "
+              "populations replay bit-identically everywhere");
+    } else if (contains(kRngCallIdents, toks[i].text) &&
+               i + 1 < toks.size() && toks[i + 1].kind == TokKind::kPunct &&
+               toks[i + 1].text == "(") {
+      add(out, path, toks[i].line, "rng",
+          "banned randomness call '" + toks[i].text +
+              "()': draw from the seeded parbor::Rng (src/common/rng.h)");
+    }
+  }
+}
+
+void check_wall_clock(const std::string& path, const LexedSource& lx,
+                      std::vector<Finding>& out) {
+  if (!starts_with(path, "src/") && !starts_with(path, "tools/")) return;
+  // Allowlist: the telemetry subsystem exists to observe wall time.  All
+  // other legitimate uses (engine wall_seconds, host wall-time histograms)
+  // carry an inline `detlint: allow(wall-clock) -- reason` annotation.
+  if (starts_with(path, "src/common/telemetry/")) return;
+  const auto& toks = lx.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    if (contains(kClockTypeIdents, toks[i].text)) {
+      add(out, path, toks[i].line, "wall-clock",
+          "wall-clock read '" + toks[i].text +
+              "' outside the telemetry allowlist: result-producing code "
+              "must use sim_time");
+    } else if (contains(kClockCallIdents, toks[i].text) &&
+               i + 1 < toks.size() && toks[i + 1].kind == TokKind::kPunct &&
+               toks[i + 1].text == "(") {
+      add(out, path, toks[i].line, "wall-clock",
+          "wall-clock call '" + toks[i].text +
+              "()' outside the telemetry allowlist: result-producing code "
+              "must use sim_time");
+    }
+  }
+}
+
+void check_unordered_iter(const std::string& path, const LexedSource& lx,
+                          std::vector<Finding>& out) {
+  bool order_sensitive = false;
+  for (const IncludeTarget& inc : include_targets(lx)) {
+    for (const char* name : kOrderSensitiveHeaders) {
+      if (include_names(inc.path, name)) order_sensitive = true;
+    }
+  }
+  if (!order_sensitive) return;
+
+  const auto& toks = lx.tokens;
+
+  // Pass 1: names declared with an unordered container type.  Handles
+  // `std::unordered_map<K, V> counts;` and `std::unordered_set<T>& used`
+  // (declarations, members, parameters).  Type aliases on the left of a
+  // `using X = ...` are a known miss; the fixture tests document it.
+  std::set<std::string> unordered_names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        !contains(kUnorderedIdents, toks[i].text)) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j >= toks.size() || toks[j].kind != TokKind::kPunct ||
+        toks[j].text != "<") {
+      continue;
+    }
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].kind != TokKind::kPunct) continue;
+      if (toks[j].text == "<") ++depth;
+      if (toks[j].text == ">" && --depth == 0) break;
+    }
+    // Skip ref/pointer markers and cv qualifiers before the declared name.
+    for (++j; j < toks.size(); ++j) {
+      if (toks[j].kind == TokKind::kPunct &&
+          (toks[j].text == "&" || toks[j].text == "*")) {
+        continue;
+      }
+      if (toks[j].kind == TokKind::kIdent && toks[j].text == "const") continue;
+      break;
+    }
+    if (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+      unordered_names.insert(toks[j].text);
+    }
+  }
+  if (unordered_names.empty()) return;
+
+  // Pass 2: range-for statements whose range expression references one of
+  // those names.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != "for") continue;
+    if (toks[i + 1].kind != TokKind::kPunct || toks[i + 1].text != "(")
+      continue;
+    int depth = 1;
+    std::size_t colon = 0;
+    for (std::size_t j = i + 2; j < toks.size() && depth > 0; ++j) {
+      if (toks[j].kind != TokKind::kPunct) continue;
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")") --depth;
+      if (depth == 1 && toks[j].text == ";") break;  // classic for
+      if (depth == 1 && toks[j].text == ":") {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;
+    depth = 1;
+    for (std::size_t j = colon + 1; j < toks.size() && depth > 0; ++j) {
+      if (toks[j].kind == TokKind::kPunct) {
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")") {
+          if (--depth == 0) break;
+        }
+      }
+      if (toks[j].kind == TokKind::kIdent &&
+          unordered_names.count(toks[j].text) != 0) {
+        add(out, path, toks[i].line, "unordered-iter",
+            "range-for over unordered container '" + toks[j].text +
+                "' in a file that serializes (includes json.h / ledger.h / "
+                "table.h): iterate in sorted order so output bytes are "
+                "deterministic");
+        break;
+      }
+    }
+  }
+}
+
+void check_hygiene(const std::string& path, const LexedSource& lx,
+                   std::vector<Finding>& out) {
+  if (is_header(path) && !has_pragma_once(lx)) {
+    add(out, path, 1, "pragma-once", "header is missing '#pragma once'");
+  }
+
+  if (starts_with(path, "src/") || starts_with(path, "tools/")) {
+    for (const IncludeTarget& inc : include_targets(lx)) {
+      if (inc.system && (inc.path == "cassert" || inc.path == "assert.h")) {
+        add(out, path, inc.line, "assert",
+            "include <" + inc.path +
+                ">: use PARBOR_CHECK from common/check.h, which fires in "
+                "every build type and throws instead of aborting");
+      }
+    }
+    const auto& toks = lx.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind == TokKind::kIdent && toks[i].text == "assert" &&
+          toks[i + 1].kind == TokKind::kPunct && toks[i + 1].text == "(") {
+        add(out, path, toks[i].line, "assert",
+            "raw assert: use PARBOR_CHECK from common/check.h, which fires "
+            "in every build type and throws instead of aborting");
+      }
+    }
+  }
+
+  if (starts_with(path, "src/")) {
+    for (const IncludeTarget& inc : include_targets(lx)) {
+      if (inc.system && inc.path == "iostream") {
+        add(out, path, inc.line, "iostream",
+            "<iostream> in library code under src/: use <cstdio> (CLI tools "
+            "under tools/ are exempt)");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> kIds = {
+      "allow-syntax", "assert",      "iostream", "pragma-once",
+      "rng",          "unordered-iter", "wall-clock",
+  };
+  return kIds;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 std::string_view content) {
+  const LexedSource lx = lex(content);
+
+  std::vector<Finding> raw;
+  check_rng(path, lx, raw);
+  check_wall_clock(path, lx, raw);
+  check_unordered_iter(path, lx, raw);
+  check_hygiene(path, lx, raw);
+
+  std::vector<AllowAnnotation> allows;
+  for (const Comment& c : lx.comments) parse_allows(c, allows);
+
+  // A finding is suppressed by a *valid* allow for its rule on the same
+  // line or the line directly above.
+  auto suppressed = [&](const Finding& f) {
+    for (const AllowAnnotation& a : allows) {
+      if (!a.valid) continue;
+      if (a.line != f.line && a.line != f.line - 1) continue;
+      if (std::find(a.rules.begin(), a.rules.end(), f.rule) != a.rules.end())
+        return true;
+    }
+    return false;
+  };
+
+  std::vector<Finding> out;
+  for (Finding& f : raw) {
+    if (!suppressed(f)) out.push_back(std::move(f));
+  }
+  for (const AllowAnnotation& a : allows) {
+    if (!a.valid) {
+      add(out, path, a.line, "allow-syntax",
+          "malformed detlint annotation: expected "
+          "'detlint: allow(<rule>[, <rule>...]) -- <reason>' with known "
+          "rule ids and a non-empty reason");
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  // Dedupe per (line, rule): several banned tokens on one line are one
+  // diagnosis, and fixtures annotate expectations per line.
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Finding& a, const Finding& b) {
+                          return a.line == b.line && a.rule == b.rule;
+                        }),
+            out.end());
+  return out;
+}
+
+std::vector<std::pair<int, std::string>> expected_findings(
+    std::string_view content) {
+  const LexedSource lx = lex(content);
+  std::vector<std::pair<int, std::string>> out;
+  for (const Comment& c : lx.comments) {
+    const std::string_view text = c.text;
+    constexpr std::string_view kMarker = "detlint:";
+    std::size_t search = 0;
+    while (true) {
+      const std::size_t at = text.find(kMarker, search);
+      if (at == std::string_view::npos) break;
+      std::size_t pos = at + kMarker.size();
+      search = pos;
+      skip_spaces(text, pos);
+      constexpr std::string_view kExpect = "expect(";
+      if (text.substr(pos, kExpect.size()) != kExpect) continue;
+      pos += kExpect.size();
+      std::vector<std::string> rules;
+      if (parse_id_list(text, pos, rules)) {
+        for (std::string& r : rules) out.emplace_back(c.line, std::move(r));
+      }
+      search = pos;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string fixture_virtual_path(std::string_view content) {
+  const LexedSource lx = lex(content);
+  constexpr std::string_view kMarker = "detlint-fixture:";
+  for (const Comment& c : lx.comments) {
+    const std::size_t at = c.text.find(kMarker);
+    if (at == std::string::npos) continue;
+    std::size_t pos = at + kMarker.size();
+    skip_spaces(c.text, pos);
+    std::size_t end = pos;
+    while (end < c.text.size() && c.text[end] != ' ' && c.text[end] != '\t') {
+      ++end;
+    }
+    return c.text.substr(pos, end - pos);
+  }
+  return "";
+}
+
+}  // namespace parbor::lint

@@ -1,0 +1,75 @@
+// detlint rule engine: the repository's written determinism and hygiene
+// invariants, enforced at the token level.
+//
+// Every figure this reproduction produces rests on bit-identical replay:
+// sweep reports must be byte-identical across worker counts, telemetry
+// on/off, and ledger on/off.  The runtime `cmp` steps in CI only catch a
+// nondeterminism bug when a test happens to tickle it; these rules reject
+// the constructs themselves at build time:
+//
+//   rng            std::mt19937 / rand() / random_device / *_distribution
+//                  anywhere but src/common/rng.h — randomness must flow
+//                  through the seeded, implementation-pinned parbor::Rng.
+//   wall-clock     system_clock / steady_clock / time() / clock() outside
+//                  the telemetry + progress + engine-timing allowlist;
+//                  result-producing code must use sim_time.
+//   unordered-iter range-for over a declared unordered_map/unordered_set
+//                  in a file that also includes json.h, ledger.h, or
+//                  table.h — serialization paths iterate in sorted order.
+//   pragma-once    every header carries #pragma once.
+//   assert         raw assert / <cassert>; use PARBOR_CHECK, which fires in
+//                  every build type and throws instead of aborting.
+//   iostream       <iostream> in library code under src/ (CLI tools under
+//                  tools/ are exempt; they use <cstdio>).
+//   allow-syntax   a malformed suppression annotation (see below) is
+//                  itself a finding, so typos cannot silently suppress.
+//
+// Findings are suppressible only in-place, on the finding's line or the
+// line directly above it, by a comment naming the rule and a mandatory
+// reason — for example:
+//
+//   // detlint: allow(wall-clock) -- per-test wall histogram, telemetry only
+//
+// so every exception to an invariant is documented where it lives.  (That
+// example is itself a well-formed annotation; a malformed one would be
+// flagged right here.)
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace parbor::lint {
+
+struct Finding {
+  std::string file;  // repo-relative path, forward slashes
+  int line = 0;
+  std::string rule;  // stable rule id, e.g. "rng"
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+// All rule ids, sorted; allow()/expect() annotations must name one of these.
+const std::vector<std::string>& rule_ids();
+
+// Lints one file.  `path` is the repo-relative path (it drives rule scoping
+// and allowlists); `content` is the file's bytes.  Findings come back
+// sorted by line then rule, deduplicated per (line, rule).
+std::vector<Finding> lint_source(const std::string& path,
+                                 std::string_view content);
+
+// `detlint: expect(<rule>[, <rule>...])` markers, used by the self-test to
+// assert that fixture violations fire exactly where annotated.  Returns
+// (line, rule) pairs sorted like lint_source output.
+std::vector<std::pair<int, std::string>> expected_findings(
+    std::string_view content);
+
+// Fixture files declare the path they should be linted *as* (so the
+// production scoping rules apply to them) via a leading comment:
+//   // detlint-fixture: src/parbor/bad_rng.cpp
+// Returns that virtual path, or "" when the marker is absent.
+std::string fixture_virtual_path(std::string_view content);
+
+}  // namespace parbor::lint

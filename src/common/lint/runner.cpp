@@ -1,0 +1,174 @@
+#include "common/lint/runner.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace parbor::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool slurp(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cpp";
+}
+
+std::string to_slashes(std::string s) {
+  std::replace(s.begin(), s.end(), '\\', '/');
+  return s;
+}
+
+}  // namespace
+
+const std::vector<std::string>& lint_roots() {
+  static const std::vector<std::string> kRoots = {
+      "bench", "examples", "src", "tests", "tools",
+  };
+  return kRoots;
+}
+
+std::vector<std::string> collect_tree_files(const std::string& root) {
+  std::vector<std::string> out;
+  for (const std::string& sub : lint_roots()) {
+    const fs::path base = fs::path(root) / sub;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) continue;
+    for (fs::recursive_directory_iterator it(base, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (!it->is_regular_file() || !lintable_extension(it->path())) continue;
+      const std::string rel = to_slashes(
+          fs::relative(it->path(), root, ec).generic_string());
+      if (ec) continue;
+      // The fixtures violate on purpose; the self-test owns them.
+      if (rel.rfind("tests/lint/fixtures/", 0) == 0) continue;
+      out.push_back(rel);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+RunResult lint_files(const std::string& root,
+                     const std::vector<std::string>& rel_paths) {
+  RunResult result;
+  for (const std::string& rel : rel_paths) {
+    const std::string full = root.empty() ? rel : root + "/" + rel;
+    std::string content;
+    if (!slurp(full, content)) {
+      result.io_errors.push_back(full);
+      continue;
+    }
+    std::string lint_as = fixture_virtual_path(content);
+    if (lint_as.empty()) lint_as = to_slashes(rel);
+    result.files.push_back(rel);
+    for (Finding& f : lint_source(lint_as, content)) {
+      // Report under the on-disk path so diagnostics are clickable even
+      // when the file was linted under a fixture's virtual path.
+      f.file = to_slashes(rel);
+      result.findings.push_back(std::move(f));
+    }
+  }
+  return result;
+}
+
+std::string findings_to_json(const RunResult& result) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("tool", "detlint");
+  w.field("files_scanned", static_cast<std::uint64_t>(result.files.size()));
+  w.field("finding_count",
+          static_cast<std::uint64_t>(result.findings.size()));
+  w.key("findings");
+  w.begin_array();
+  for (const Finding& f : result.findings) {
+    w.begin_object();
+    w.field("file", f.file);
+    w.field("line", static_cast<std::int64_t>(f.line));
+    w.field("rule", f.rule);
+    w.field("message", f.message);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool self_test(const std::string& fixtures_dir, std::string& log) {
+  std::error_code ec;
+  std::vector<std::string> files;
+  for (fs::directory_iterator it(fixtures_dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file() && lintable_extension(it->path())) {
+      files.push_back(it->path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    log += "self-test: no fixtures found under " + fixtures_dir + "\n";
+    return false;
+  }
+
+  bool ok = true;
+  std::size_t total_expected = 0;
+  for (const std::string& path : files) {
+    std::string content;
+    if (!slurp(path, content)) {
+      log += "self-test: cannot read " + path + "\n";
+      ok = false;
+      continue;
+    }
+    const std::string vpath = fixture_virtual_path(content);
+    if (vpath.empty()) {
+      log += "self-test: " + path +
+             " is missing its '// detlint-fixture: <virtual-path>' marker\n";
+      ok = false;
+      continue;
+    }
+    auto expected = expected_findings(content);
+    total_expected += expected.size();
+    std::vector<std::pair<int, std::string>> actual;
+    for (const Finding& f : lint_source(vpath, content)) {
+      actual.emplace_back(f.line, f.rule);
+    }
+    std::sort(actual.begin(), actual.end());
+    for (const auto& e : expected) {
+      if (!std::binary_search(actual.begin(), actual.end(), e)) {
+        log += "self-test: " + path + ":" + std::to_string(e.first) +
+               " expected rule '" + e.second + "' to fire, but it did not\n";
+        ok = false;
+      }
+    }
+    for (const auto& a : actual) {
+      if (!std::binary_search(expected.begin(), expected.end(), a)) {
+        log += "self-test: " + path + ":" + std::to_string(a.first) +
+               " rule '" + a.second +
+               "' fired without a matching 'detlint: expect(...)' marker\n";
+        ok = false;
+      }
+    }
+  }
+  if (ok && total_expected == 0) {
+    log += "self-test: fixtures exist but annotate no expected findings; "
+           "the rules are not being exercised\n";
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace parbor::lint

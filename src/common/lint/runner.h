@@ -1,0 +1,44 @@
+// detlint driver: tree walking, report serialization, and the fixture
+// self-test.  Split from the rules so tests can lint in-memory sources and
+// the CLI stays a thin flag parser.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/lint/rules.h"
+
+namespace parbor::lint {
+
+// The directories under the repo root that detlint walks.  Everything the
+// build compiles lives here; build trees and third-party state do not.
+const std::vector<std::string>& lint_roots();
+
+// Repo-relative paths (forward slashes, sorted) of every *.h / *.cpp under
+// the lint roots, excluding tests/lint/fixtures/ (those files violate on
+// purpose; the self-test owns them).
+std::vector<std::string> collect_tree_files(const std::string& root);
+
+struct RunResult {
+  std::vector<std::string> files;  // what was actually linted
+  std::vector<Finding> findings;
+  std::vector<std::string> io_errors;  // unreadable paths
+};
+
+// Lints `rel_paths` (resolved against `root`).  A file carrying a
+// `detlint-fixture:` marker is linted under its declared virtual path, so
+// production scoping applies to fixtures wherever they live on disk.
+RunResult lint_files(const std::string& root,
+                     const std::vector<std::string>& rel_paths);
+
+// Machine-readable findings report (stable key order, sorted findings).
+std::string findings_to_json(const RunResult& result);
+
+// Runs every fixture under `fixtures_dir`: each file's findings must match
+// its `detlint: expect(...)` annotations exactly, in both directions.  An
+// empty or missing fixture directory fails (a self-test that tests nothing
+// must not pass).  Appends human-readable mismatches to `log`; returns
+// true when all fixtures behave as annotated.
+bool self_test(const std::string& fixtures_dir, std::string& log);
+
+}  // namespace parbor::lint

@@ -82,6 +82,7 @@ void TestHost::account_row_op(RowOp op) {
 void TestHost::test_begin() {
   test_start_sim_ = now_;
   if (telemetry::MetricsRegistry::global().enabled()) {
+    // detlint: allow(wall-clock) -- per-test wall histogram, telemetry only
     test_start_wall_ = std::chrono::steady_clock::now();
     test_wall_valid_ = true;
   } else {
@@ -97,6 +98,7 @@ void TestHost::test_end() {
   reg.inc(m.tests);
   reg.observe(m.test_sim_ms, (now_ - test_start_sim_).milliseconds());
   if (test_wall_valid_) {
+    // detlint: allow(wall-clock) -- per-test wall histogram, telemetry only
     const auto wall = std::chrono::steady_clock::now() - test_start_wall_;
     reg.observe(
         m.test_wall_us,

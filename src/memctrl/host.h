@@ -107,6 +107,9 @@ class TestHost {
   std::uint64_t row_ops_ = 0;
 
   SimTime test_start_sim_;
+  // Wall-time of the running test, recorded only while the metrics
+  // registry is enabled and observed only into host.test_wall_us.
+  // detlint: allow(wall-clock) -- per-test wall histogram, telemetry only
   std::chrono::steady_clock::time_point test_start_wall_;
   bool test_wall_valid_ = false;
 };

@@ -16,6 +16,12 @@ namespace parbor::core {
 
 namespace {
 
+// The engine's only wall-clock reads: they feed the advisory wall_seconds
+// report field and the engine.job_wall_s histogram, never result bytes
+// (sweep payloads derive exclusively from sim_time and the seeded Rng).
+// detlint: allow(wall-clock) -- engine wall-timing telemetry, not results
+using WallClock = std::chrono::steady_clock;
+
 struct EngineMetrics {
   telemetry::MetricsRegistry::Id jobs_done;
   telemetry::MetricsRegistry::Id flips;
@@ -88,7 +94,7 @@ SimTime SweepReport::total_sim_time() const {
 }
 
 SweepJobResult CampaignEngine::run_job(const SweepJob& job) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = WallClock::now();
 
   SweepJobResult out;
   out.job = job;
@@ -127,7 +133,7 @@ SweepJobResult CampaignEngine::run_job(const SweepJob& job) {
   out.sim_elapsed = host.now();
   out.row_operations = host.row_operations();
   out.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      std::chrono::duration<double>(WallClock::now() - t0)
           .count();
   return out;
 }
@@ -138,7 +144,7 @@ SweepReport CampaignEngine::run(const std::vector<SweepJob>& jobs) {
 
 SweepReport CampaignEngine::run(const std::vector<SweepJob>& jobs,
                                 const RunOptions& options) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = WallClock::now();
   SweepReport sweep;
   sweep.workers = workers();
   sweep.results.resize(jobs.size());
@@ -203,7 +209,7 @@ SweepReport CampaignEngine::run(const std::vector<SweepJob>& jobs,
   });
   meter.finish();
   sweep.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      std::chrono::duration<double>(WallClock::now() - t0)
           .count();
   return sweep;
 }

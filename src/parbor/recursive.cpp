@@ -1,7 +1,6 @@
 #include "parbor/recursive.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/bitvec.h"
 #include "common/check.h"

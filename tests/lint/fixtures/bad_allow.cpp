@@ -1,0 +1,16 @@
+// detlint-fixture: src/parbor/bad_allow.cpp
+//
+// Malformed suppressions: an allow() without a reason, or naming an
+// unknown rule, must not suppress anything — and is itself a finding, so
+// a typo cannot silently hide a violation.  Never compiled.
+#include <ctime>
+
+inline double no_reason() {
+  // detlint: allow(wall-clock) detlint: expect(allow-syntax)
+  return static_cast<double>(clock());  // detlint: expect(wall-clock)
+}
+
+inline double typoed_rule_id() {
+  // detlint: allow(wal-clock) -- reason present but id unknown detlint: expect(allow-syntax)
+  return static_cast<double>(clock());  // detlint: expect(wall-clock)
+}

@@ -1,0 +1,11 @@
+// detlint-fixture: src/common/bad_header.h -- detlint: expect(pragma-once)
+// (This header deliberately lacks #pragma once; the finding lands on
+// line 1, where the marker above expects it.)
+#include <cassert>   // detlint: expect(assert)
+#include <iostream>  // detlint: expect(iostream)
+
+inline void check_positive(int v) {
+  assert(v > 0);  // detlint: expect(assert)
+  // static_assert is its own identifier and must not fire:
+  static_assert(sizeof(int) >= 4, "int width");
+}

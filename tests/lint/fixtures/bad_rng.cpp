@@ -1,0 +1,21 @@
+// detlint-fixture: src/parbor/bad_rng.cpp
+//
+// Violations of rule `rng`: randomness primitives outside src/common/rng.h.
+// Never compiled; detlint --self-test asserts each annotated line fires.
+#include <random>  // detlint: expect(rng)
+
+int banned_generator() {
+  std::mt19937 gen(42);                           // detlint: expect(rng)
+  std::uniform_int_distribution<int> dist(0, 9);  // detlint: expect(rng)
+  return dist(gen) + rand();                      // detlint: expect(rng)
+}
+
+int banned_device() {
+  std::random_device dev;  // detlint: expect(rng)
+  return static_cast<int>(dev());
+}
+
+struct NotACall {
+  // `rand` not in call position must not fire (e.g. a parsed JSON field).
+  int rand = 0;
+};

@@ -1,0 +1,35 @@
+// detlint-fixture: src/parbor/bad_report.cpp
+//
+// Violations of rule `unordered-iter`: this file includes json.h, so it
+// serializes, and iterating an unordered container here can leak hash
+// order into output bytes.  Never compiled.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/json.h"
+
+void dump_counts() {
+  std::unordered_map<int, int> counts;
+  for (const auto& kv : counts) {  // detlint: expect(unordered-iter)
+    (void)kv;
+  }
+}
+
+struct Report {
+  std::unordered_set<long> rows_;
+
+  void emit() const {
+    for (long r : rows_) {  // detlint: expect(unordered-iter)
+      (void)r;
+    }
+  }
+};
+
+void dump_sorted() {
+  std::vector<int> sorted_rows;
+  // Ordered containers iterate deterministically: no finding.
+  for (int r : sorted_rows) {
+    (void)r;
+  }
+}

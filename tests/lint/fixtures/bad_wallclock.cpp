@@ -1,0 +1,17 @@
+// detlint-fixture: src/parbor/bad_clock.cpp
+//
+// Violations of rule `wall-clock`: reading real time in result-producing
+// code under src/.  Never compiled.
+#include <chrono>
+#include <ctime>
+
+double finish_time();  // own identifier ending in "time": must not fire
+
+double stamp_result() {
+  auto t0 = std::chrono::system_clock::now();  // detlint: expect(wall-clock)
+  auto t1 = std::chrono::steady_clock::now();  // detlint: expect(wall-clock)
+  long raw = time(nullptr);                    // detlint: expect(wall-clock)
+  (void)t0;
+  (void)t1;
+  return static_cast<double>(raw) + finish_time();
+}

@@ -1,0 +1,15 @@
+// detlint-fixture: src/parbor/ok_allowed.cpp
+//
+// Properly annotated exceptions produce no findings: same-line and
+// preceding-line allow() forms, each with the mandatory reason.  The
+// self-test asserts this file is finding-free.  Never compiled.
+#include <ctime>
+
+inline double wall_preceding_line() {
+  // detlint: allow(wall-clock) -- operator-facing progress meter only
+  return static_cast<double>(clock());
+}
+
+inline double wall_same_line() {
+  return static_cast<double>(clock());  // detlint: allow(wall-clock) -- stderr ETA display only
+}

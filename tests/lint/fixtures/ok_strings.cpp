@@ -1,0 +1,25 @@
+// detlint-fixture: src/parbor/ok_strings.cpp
+//
+// Banned names in comments, string literals, raw strings, and char
+// literals must never fire: the lexer strips them before the rules run.
+// The self-test asserts this file is finding-free.  Never compiled.
+//
+// In a comment: std::mt19937 gen; rand(); system_clock::now(); assert(x);
+
+#include <string>
+
+inline const char* in_a_string() {
+  return "std::mt19937, rand(), and steady_clock::now() in a string";
+}
+
+inline const char* in_a_raw_string() {
+  return R"(for (auto& kv : counts) over std::unordered_map, time(nullptr))";
+}
+
+inline const char* in_a_delimited_raw_string() {
+  return R"lint(random_device inside )" quotes )lint";
+}
+
+inline char apostrophe() { return '\''; }
+
+inline long long digit_separators() { return 1'000'000; }

@@ -1,0 +1,12 @@
+// detlint-fixture: src/common/telemetry/ok_clock.cpp
+//
+// The telemetry subsystem is the wall-clock allowlist: it exists to
+// observe wall time and never feeds result bytes.  The self-test asserts
+// this file is finding-free.  Never compiled.
+#include <chrono>
+
+inline double epoch_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

@@ -1,0 +1,15 @@
+// detlint-fixture: src/parbor/ok_counting_only.cpp
+//
+// The unordered-iter rule only applies to translation units that include
+// json.h / ledger.h / table.h.  This file iterates an unordered_map but
+// serializes nothing, and fault_table.h must not be mistaken for table.h.
+// The self-test asserts this file is finding-free.  Never compiled.
+#include <unordered_map>
+
+#include "dram/fault_table.h"
+
+inline int total(const std::unordered_map<int, int>& counts) {
+  int sum = 0;
+  for (const auto& kv : counts) sum += kv.second;
+  return sum;
+}

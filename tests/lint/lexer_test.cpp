@@ -1,0 +1,161 @@
+// Tokenizer contract tests: detlint's rules are only trustworthy if the
+// lexer never leaks identifiers out of comments, string literals, raw
+// strings, char literals, or macro bodies — banned names legitimately
+// appear in all of those (rng.h documents *why* std::mt19937 is banned).
+#include "common/lint/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace parbor::lint {
+namespace {
+
+std::vector<std::string> idents(const LexedSource& lx) {
+  std::vector<std::string> out;
+  for (const Token& t : lx.tokens) {
+    if (t.kind == TokKind::kIdent) out.push_back(t.text);
+  }
+  return out;
+}
+
+bool has_ident(const LexedSource& lx, const std::string& name) {
+  for (const Token& t : lx.tokens) {
+    if (t.kind == TokKind::kIdent && t.text == name) return true;
+  }
+  return false;
+}
+
+TEST(LintLexer, IdentifiersCarryLineNumbers) {
+  const LexedSource lx = lex("int a;\nint b;\n");
+  ASSERT_EQ(idents(lx), (std::vector<std::string>{"int", "a", "int", "b"}));
+  EXPECT_EQ(lx.tokens.front().line, 1);
+  EXPECT_EQ(lx.tokens.back().line, 2);
+}
+
+TEST(LintLexer, LineCommentsAreStrippedButCaptured) {
+  const LexedSource lx = lex("int a;  // std::mt19937 rand()\nint b;\n");
+  EXPECT_FALSE(has_ident(lx, "mt19937"));
+  EXPECT_FALSE(has_ident(lx, "rand"));
+  ASSERT_EQ(lx.comments.size(), 1u);
+  EXPECT_EQ(lx.comments[0].line, 1);
+  EXPECT_NE(lx.comments[0].text.find("mt19937"), std::string::npos);
+  EXPECT_EQ(lx.tokens.back().line, 2);  // ';' of the second statement
+}
+
+TEST(LintLexer, BlockCommentsSpanLinesAndKeepCounting) {
+  const LexedSource lx = lex("/* one\ntwo\nthree */ int c;\n");
+  ASSERT_EQ(lx.comments.size(), 1u);
+  EXPECT_EQ(lx.comments[0].line, 1);
+  ASSERT_TRUE(has_ident(lx, "c"));
+  EXPECT_EQ(lx.tokens.front().line, 3);  // `int` lands after the comment
+}
+
+TEST(LintLexer, StringLiteralsProduceNoIdentifiers) {
+  const LexedSource lx =
+      lex("const char* s = \"rand() and mt19937 and \\\"steady_clock\\\"\";");
+  EXPECT_FALSE(has_ident(lx, "rand"));
+  EXPECT_FALSE(has_ident(lx, "mt19937"));
+  EXPECT_FALSE(has_ident(lx, "steady_clock"));
+  int strings = 0;
+  for (const Token& t : lx.tokens) strings += t.kind == TokKind::kString;
+  EXPECT_EQ(strings, 1);
+}
+
+TEST(LintLexer, RawStringsAreOpaque) {
+  const LexedSource lx = lex(R"cpp(auto s = R"(rand() "quoted" mt19937)";)cpp");
+  EXPECT_FALSE(has_ident(lx, "rand"));
+  EXPECT_FALSE(has_ident(lx, "mt19937"));
+}
+
+TEST(LintLexer, DelimitedRawStringsRespectTheirCloser) {
+  // The payload contains `)"` which must NOT close a d-char raw string.
+  const LexedSource lx =
+      lex("auto s = R\"lint(random_device inside )\" quotes)lint\"; int tail;");
+  EXPECT_FALSE(has_ident(lx, "random_device"));
+  EXPECT_FALSE(has_ident(lx, "quotes"));
+  EXPECT_TRUE(has_ident(lx, "tail"));
+}
+
+TEST(LintLexer, EncodingPrefixedLiteralsAreStrings) {
+  const LexedSource lx = lex("auto a = u8\"mt19937\"; auto b = L'x';");
+  EXPECT_FALSE(has_ident(lx, "mt19937"));
+  EXPECT_FALSE(has_ident(lx, "u8"));
+  EXPECT_FALSE(has_ident(lx, "L"));
+  EXPECT_FALSE(has_ident(lx, "x"));
+}
+
+TEST(LintLexer, CharLiteralsAndDigitSeparators) {
+  const LexedSource lx = lex("long n = 1'000'000; char q = '\\'';");
+  bool found_number = false;
+  for (const Token& t : lx.tokens) {
+    if (t.kind == TokKind::kNumber) {
+      EXPECT_EQ(t.text, "1'000'000");
+      found_number = true;
+    }
+  }
+  EXPECT_TRUE(found_number);
+  // The escaped apostrophe must not swallow the rest of the file.
+  EXPECT_TRUE(has_ident(lx, "q"));
+}
+
+TEST(LintLexer, ScopeResolutionIsOneToken) {
+  const LexedSource lx = lex("for (auto x : std::vector<int>{}) {}");
+  int lone_colons = 0;
+  int scope_ops = 0;
+  for (const Token& t : lx.tokens) {
+    if (t.kind != TokKind::kPunct) continue;
+    lone_colons += t.text == ":";
+    scope_ops += t.text == "::";
+  }
+  EXPECT_EQ(lone_colons, 1);  // the range-for colon survives
+  EXPECT_EQ(scope_ops, 1);    // std::vector
+}
+
+TEST(LintLexer, DirectivesAreCapturedAndNormalized) {
+  const LexedSource lx = lex(
+      "#include <random>\n"
+      "#  pragma   once\n"
+      "#define BAD \\\n"
+      "  rand()\n");
+  ASSERT_EQ(lx.directives.size(), 3u);
+  EXPECT_EQ(lx.directives[0].text, "#include <random>");
+  EXPECT_EQ(lx.directives[1].text, "#pragma once");
+  EXPECT_EQ(lx.directives[2].text, "#define BAD rand()");
+  EXPECT_TRUE(has_pragma_once(lx));
+  // Macro bodies belong to the directive, not the code token stream.
+  EXPECT_FALSE(has_ident(lx, "rand"));
+}
+
+TEST(LintLexer, IncludeTargets) {
+  const LexedSource lx = lex(
+      "#include <random>\n"
+      "#include \"common/json.h\"  // trailing comment\n"
+      "#include BROKEN\n");
+  const auto targets = include_targets(lx);
+  ASSERT_EQ(targets.size(), 2u);
+  EXPECT_EQ(targets[0].path, "random");
+  EXPECT_TRUE(targets[0].system);
+  EXPECT_EQ(targets[0].line, 1);
+  EXPECT_EQ(targets[1].path, "common/json.h");
+  EXPECT_FALSE(targets[1].system);
+  EXPECT_EQ(targets[1].line, 2);
+  // The trailing comment on the include line is still captured.
+  ASSERT_EQ(lx.comments.size(), 1u);
+  EXPECT_EQ(lx.comments[0].line, 2);
+}
+
+TEST(LintLexer, HashMidLineIsNotADirective) {
+  const LexedSource lx = lex("int a = 1; // #include <random>\nint b;\n");
+  EXPECT_TRUE(lx.directives.empty());
+  EXPECT_TRUE(include_targets(lx).empty());
+}
+
+TEST(LintLexer, UnterminatedStringStopsAtLineEnd) {
+  const LexedSource lx = lex("const char* s = \"broken\nint next;\n");
+  EXPECT_TRUE(has_ident(lx, "next"));
+}
+
+}  // namespace
+}  // namespace parbor::lint

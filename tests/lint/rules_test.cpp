@@ -1,0 +1,266 @@
+// Per-rule behaviour: scoping, allowlists, call-position requirements,
+// include gating, suppression annotations, and the annotation grammar
+// itself.  All violating code lives in string literals, which the lexer
+// strips — so this file is itself detlint-clean.
+#include "common/lint/rules.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace parbor::lint {
+namespace {
+
+bool has(const std::vector<Finding>& fs, int line, const std::string& rule) {
+  for (const Finding& f : fs) {
+    if (f.line == line && f.rule == rule) return true;
+  }
+  return false;
+}
+
+int count_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  int n = 0;
+  for (const Finding& f : fs) n += f.rule == rule;
+  return n;
+}
+
+// --------------------------------------------------------------------- rng
+
+TEST(LintRules, RngPrimitivesFireAnywhereInTheTree) {
+  const char* src =
+      "#include <random>\n"
+      "int f() { std::mt19937 g(1); return (int)g(); }\n";
+  for (const char* path :
+       {"src/parbor/x.cpp", "tools/x.cpp", "tests/parbor/x.cpp",
+        "bench/x.cpp", "examples/x.cpp"}) {
+    const auto fs = lint_source(path, src);
+    EXPECT_TRUE(has(fs, 1, "rng")) << path;
+    EXPECT_TRUE(has(fs, 2, "rng")) << path;
+  }
+}
+
+TEST(LintRules, RngHeaderItselfIsExempt) {
+  const char* src = "#pragma once\nint mt19937 = 0;\n";
+  EXPECT_TRUE(lint_source("src/common/rng.h", src).empty());
+  EXPECT_TRUE(lint_source("src/common/rng.cpp", src).empty());
+  EXPECT_EQ(count_rule(lint_source("src/common/stats.cpp", src), "rng"), 1);
+}
+
+TEST(LintRules, CRandFamilyRequiresCallPosition) {
+  EXPECT_TRUE(
+      lint_source("src/a.cpp", "struct S { int rand = 0; };\n").empty());
+  EXPECT_TRUE(has(lint_source("src/a.cpp", "int x = rand();\n"), 1, "rng"));
+  EXPECT_TRUE(has(lint_source("src/a.cpp", "void f() { srand(7); }\n"), 1,
+                  "rng"));
+}
+
+// --------------------------------------------------------------- wall-clock
+
+TEST(LintRules, WallClockScopedToSrcAndTools) {
+  const char* src = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(has(lint_source("src/parbor/x.cpp", src), 1, "wall-clock"));
+  EXPECT_TRUE(has(lint_source("tools/x.cpp", src), 1, "wall-clock"));
+  EXPECT_TRUE(lint_source("tests/parbor/x.cpp", src).empty());
+  EXPECT_TRUE(lint_source("bench/x.cpp", src).empty());
+}
+
+TEST(LintRules, TelemetryDirectoryIsTheAllowlist) {
+  const char* src = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(lint_source("src/common/telemetry/progress.cpp", src).empty());
+  EXPECT_FALSE(lint_source("src/common/stats.cpp", src).empty());
+}
+
+TEST(LintRules, TimeRequiresCallPositionAndExactIdentifier) {
+  EXPECT_TRUE(
+      lint_source("src/a.cpp", "double x = finish_time();\n").empty());
+  EXPECT_TRUE(
+      lint_source("src/a.cpp", "double sim_time = 1.0;\n").empty());
+  EXPECT_TRUE(
+      has(lint_source("src/a.cpp", "long t = time(nullptr);\n"), 1,
+          "wall-clock"));
+}
+
+// ----------------------------------------------------------- unordered-iter
+
+TEST(LintRules, UnorderedIterationGatedOnSerializationIncludes) {
+  const char* body =
+      "void f() {\n"
+      "  std::unordered_map<int, int> counts;\n"
+      "  for (const auto& kv : counts) { (void)kv; }\n"
+      "}\n";
+  const std::string with_json = std::string("#include \"common/json.h\"\n") + body;
+  const std::string with_table =
+      std::string("#include \"common/table.h\"\n") + body;
+  const std::string with_fault_table =
+      std::string("#include \"dram/fault_table.h\"\n") + body;
+  EXPECT_TRUE(has(lint_source("src/a.cpp", with_json), 4, "unordered-iter"));
+  EXPECT_TRUE(has(lint_source("src/a.cpp", with_table), 4, "unordered-iter"));
+  // No serialization include: hash-order iteration cannot reach output.
+  EXPECT_TRUE(lint_source("src/a.cpp", body).empty());
+  // fault_table.h must not be confused with table.h.
+  EXPECT_TRUE(lint_source("src/a.cpp", with_fault_table).empty());
+}
+
+TEST(LintRules, UnorderedMembersAndParametersAreTracked) {
+  const char* src =
+      "#include \"common/ledger/ledger.h\"\n"
+      "struct R { std::unordered_set<long> rows_; };\n"
+      "void emit(const std::unordered_set<long>& rows_) {\n"
+      "  for (long r : rows_) { (void)r; }\n"
+      "}\n";
+  EXPECT_TRUE(has(lint_source("src/a.cpp", src), 4, "unordered-iter"));
+}
+
+TEST(LintRules, OrderedContainersIterateFreely) {
+  const char* src =
+      "#include \"common/json.h\"\n"
+      "#include <map>\n"
+      "void f() {\n"
+      "  std::map<int, int> counts;\n"
+      "  for (const auto& kv : counts) { (void)kv; }\n"
+      "  std::vector<int> rows;\n"
+      "  for (int r : rows) { (void)r; }\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/a.cpp", src).empty());
+}
+
+TEST(LintRules, ClassicForOverUnorderedIndexingIsFine) {
+  const char* src =
+      "#include \"common/json.h\"\n"
+      "void f(std::unordered_map<int, int>& m) {\n"
+      "  for (int i = 0; i < 3; ++i) { (void)m[i]; }\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/a.cpp", src).empty());
+}
+
+// ------------------------------------------------------------------ hygiene
+
+TEST(LintRules, PragmaOnceRequiredInHeadersOnly) {
+  EXPECT_TRUE(has(lint_source("src/a.h", "int x;\n"), 1, "pragma-once"));
+  EXPECT_TRUE(
+      lint_source("src/a.h", "#pragma once\nint x;\n").empty());
+  EXPECT_TRUE(lint_source("src/a.cpp", "int x;\n").empty());
+  // Fixture headers outside src/tools still need it (they model headers).
+  EXPECT_TRUE(has(lint_source("tests/a.h", "int x;\n"), 1, "pragma-once"));
+}
+
+TEST(LintRules, AssertScopedToLibraryAndTools) {
+  const char* src = "void f(int v) { assert(v > 0); }\n";
+  EXPECT_TRUE(has(lint_source("src/a.cpp", src), 1, "assert"));
+  EXPECT_TRUE(has(lint_source("tools/a.cpp", src), 1, "assert"));
+  EXPECT_TRUE(lint_source("tests/a_test.cpp", src).empty());
+  EXPECT_TRUE(has(lint_source("src/a.cpp", "#include <cassert>\n"), 1,
+                  "assert"));
+  EXPECT_TRUE(
+      lint_source("src/a.cpp", "static_assert(1 + 1 == 2);\n").empty());
+}
+
+TEST(LintRules, IostreamBannedInLibraryCodeOnly) {
+  const char* src = "#include <iostream>\n";
+  EXPECT_TRUE(has(lint_source("src/a.cpp", src), 1, "iostream"));
+  EXPECT_TRUE(lint_source("tools/a.cpp", src).empty());
+  EXPECT_TRUE(lint_source("tests/a.cpp", src).empty());
+}
+
+// -------------------------------------------------------------- suppression
+
+TEST(LintRules, AllowOnSameLineSuppresses) {
+  const char* src =
+      "long t = time(nullptr);  // detlint: allow(wall-clock) -- test\n";
+  EXPECT_TRUE(lint_source("src/a.cpp", src).empty());
+}
+
+TEST(LintRules, AllowOnPrecedingLineSuppresses) {
+  const char* src =
+      "// detlint: allow(wall-clock) -- progress meter only\n"
+      "long t = time(nullptr);\n";
+  EXPECT_TRUE(lint_source("src/a.cpp", src).empty());
+}
+
+TEST(LintRules, AllowTwoLinesAwayDoesNotSuppress) {
+  const char* src =
+      "// detlint: allow(wall-clock) -- too far away\n"
+      "int pad;\n"
+      "long t = time(nullptr);\n";
+  EXPECT_TRUE(has(lint_source("src/a.cpp", src), 3, "wall-clock"));
+}
+
+TEST(LintRules, AllowForADifferentRuleDoesNotSuppress) {
+  const char* src =
+      "long t = time(nullptr);  // detlint: allow(rng) -- wrong rule\n";
+  EXPECT_TRUE(has(lint_source("src/a.cpp", src), 1, "wall-clock"));
+}
+
+TEST(LintRules, AllowWithoutReasonIsItselfAFinding) {
+  const char* src = "long t = time(nullptr);  // detlint: allow(wall-clock)\n";
+  const auto fs = lint_source("src/a.cpp", src);
+  EXPECT_TRUE(has(fs, 1, "wall-clock"));  // not suppressed
+  EXPECT_TRUE(has(fs, 1, "allow-syntax"));
+}
+
+TEST(LintRules, AllowWithUnknownRuleIdIsItselfAFinding) {
+  const char* src =
+      "long t = time(nullptr);  // detlint: allow(wallclock) -- typo\n";
+  const auto fs = lint_source("src/a.cpp", src);
+  EXPECT_TRUE(has(fs, 1, "wall-clock"));
+  EXPECT_TRUE(has(fs, 1, "allow-syntax"));
+}
+
+TEST(LintRules, AllowMayNameSeveralRules) {
+  const char* src =
+      "// detlint: allow(wall-clock, rng) -- both on the next line\n"
+      "long t = time(nullptr) + rand();\n";
+  EXPECT_TRUE(lint_source("src/a.cpp", src).empty());
+}
+
+// ------------------------------------------------------------ infrastructure
+
+TEST(LintRules, FindingsDedupePerLineAndRule) {
+  const char* src = "int a = rand() + rand() + rand();\n";
+  EXPECT_EQ(count_rule(lint_source("src/a.cpp", src), "rng"), 1);
+}
+
+TEST(LintRules, FindingsAreSortedByLineThenRule) {
+  const char* src =
+      "#include <iostream>\n"
+      "void f(int v) { assert(v); }\n"
+      "long t = time(nullptr);\n";
+  const auto fs = lint_source("src/a.cpp", src);
+  ASSERT_EQ(fs.size(), 3u);
+  EXPECT_EQ(fs[0].rule, "iostream");
+  EXPECT_EQ(fs[1].rule, "assert");
+  EXPECT_EQ(fs[2].rule, "wall-clock");
+}
+
+TEST(LintRules, RuleIdsAreSortedAndUnique) {
+  const auto& ids = rule_ids();
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_LT(ids[i - 1], ids[i]);
+  }
+}
+
+TEST(LintRules, ExpectedFindingsParsing) {
+  const char* src =
+      "int a;  // detlint: expect(rng)\n"
+      "int b;  // detlint: expect(wall-clock, assert)\n"
+      "int c;  // unrelated comment\n";
+  const auto exp = expected_findings(src);
+  ASSERT_EQ(exp.size(), 3u);
+  EXPECT_EQ(exp[0], (std::pair<int, std::string>{1, "rng"}));
+  EXPECT_EQ(exp[1], (std::pair<int, std::string>{2, "assert"}));
+  EXPECT_EQ(exp[2], (std::pair<int, std::string>{2, "wall-clock"}));
+}
+
+TEST(LintRules, FixtureVirtualPathParsing) {
+  EXPECT_EQ(fixture_virtual_path(
+                "// detlint-fixture: src/parbor/bad_rng.cpp\nint x;\n"),
+            "src/parbor/bad_rng.cpp");
+  EXPECT_EQ(fixture_virtual_path(
+                "// detlint-fixture: src/a.h -- detlint: expect(pragma-once)\n"),
+            "src/a.h");
+  EXPECT_EQ(fixture_virtual_path("int x;\n"), "");
+}
+
+}  // namespace
+}  // namespace parbor::lint

@@ -1,0 +1,190 @@
+// Runner and self-test harness: the tree walk, the JSON report, and the
+// fixture round-trip — including the property the CI gate leans on: the
+// self-test FAILS when a fixture's expected finding is removed, in either
+// direction (rule stops firing, or fires without a marker).
+#include "common/lint/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace parbor::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void spit(const fs::path& path, const std::string& text) {
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// Copies the checked-in fixtures into a scratch dir the test may mutate.
+fs::path copy_fixtures(const std::string& tag) {
+  const fs::path src = PARBOR_LINT_FIXTURES;
+  const fs::path dst = fs::path(::testing::TempDir()) / ("detlint_" + tag);
+  fs::remove_all(dst);
+  fs::create_directories(dst);
+  for (const auto& entry : fs::directory_iterator(src)) {
+    if (entry.is_regular_file()) {
+      fs::copy_file(entry.path(), dst / entry.path().filename());
+    }
+  }
+  return dst;
+}
+
+TEST(LintSelfTest, PassesOnTheCheckedInFixtures) {
+  std::string log;
+  EXPECT_TRUE(self_test(PARBOR_LINT_FIXTURES, log)) << log;
+}
+
+TEST(LintSelfTest, FailsWhenAViolationStopsFiring) {
+  const fs::path dir = copy_fixtures("defused");
+  const fs::path target = dir / "bad_rng.cpp";
+  std::string text = slurp(target);
+  // Defuse the violation but keep its expect() marker: the rule no longer
+  // fires where the fixture says it must.
+  const std::string needle = "std::mt19937 gen(42);";
+  const auto at = text.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, needle.size(), "int gen_value(42);  ");
+  spit(target, text);
+
+  std::string log;
+  EXPECT_FALSE(self_test(dir.string(), log));
+  EXPECT_NE(log.find("expected rule 'rng' to fire"), std::string::npos) << log;
+}
+
+TEST(LintSelfTest, FailsWhenAnExpectMarkerIsRemoved) {
+  const fs::path dir = copy_fixtures("unmarked");
+  const fs::path target = dir / "bad_wallclock.cpp";
+  std::string text = slurp(target);
+  const std::string needle = "// detlint: expect(wall-clock)";
+  const auto at = text.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, needle.size(), "//");
+  spit(target, text);
+
+  std::string log;
+  EXPECT_FALSE(self_test(dir.string(), log));
+  EXPECT_NE(log.find("fired without a matching"), std::string::npos) << log;
+}
+
+TEST(LintSelfTest, FailsOnMissingOrEmptyFixtureDir) {
+  std::string log;
+  EXPECT_FALSE(self_test("/nonexistent/fixtures", log));
+  const fs::path empty = fs::path(::testing::TempDir()) / "detlint_empty";
+  fs::create_directories(empty);
+  log.clear();
+  EXPECT_FALSE(self_test(empty.string(), log));
+}
+
+TEST(LintSelfTest, FixtureMissingItsVirtualPathMarkerFails) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "detlint_nomarker";
+  fs::remove_all(dir);
+  spit(dir / "stray.cpp", "int x = rand();  // detlint: expect(rng)\n");
+  std::string log;
+  EXPECT_FALSE(self_test(dir.string(), log));
+  EXPECT_NE(log.find("detlint-fixture"), std::string::npos) << log;
+}
+
+TEST(LintRunner, TreeWalkFindsSourcesAndSkipsFixtures) {
+  const auto files = collect_tree_files(PARBOR_REPO_ROOT);
+  EXPECT_GT(files.size(), 100u);
+  bool saw_rng_header = false;
+  for (const auto& f : files) {
+    EXPECT_EQ(f.rfind("tests/lint/fixtures/", 0), std::string::npos) << f;
+    saw_rng_header |= f == "src/common/rng.h";
+  }
+  EXPECT_TRUE(saw_rng_header);
+  EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
+}
+
+// The acceptance property the CI static-analysis job leans on: the whole
+// tracked tree lints clean.  Any regression names its file and line here.
+TEST(LintRunner, TrackedTreeIsLintClean) {
+  const auto files = collect_tree_files(PARBOR_REPO_ROOT);
+  const RunResult result = lint_files(PARBOR_REPO_ROOT, files);
+  EXPECT_TRUE(result.io_errors.empty());
+  std::string diag;
+  for (const Finding& f : result.findings) {
+    diag += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+            f.message + "\n";
+  }
+  EXPECT_TRUE(result.findings.empty()) << diag;
+}
+
+// A seeded violation anywhere in the tree is caught — the demonstrable
+// failure mode the CI job documents.
+TEST(LintRunner, SeededViolationIsCaught) {
+  const fs::path root = fs::path(::testing::TempDir()) / "detlint_seeded";
+  fs::remove_all(root);
+  spit(root / "src" / "parbor" / "evil.cpp",
+       "#include \"common/json.h\"\n"
+       "int jitter() { return rand(); }\n");
+  const auto files = collect_tree_files(root.string());
+  ASSERT_EQ(files.size(), 1u);
+  const RunResult result = lint_files(root.string(), files);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "rng");
+  EXPECT_EQ(result.findings[0].file, "src/parbor/evil.cpp");
+  EXPECT_EQ(result.findings[0].line, 2);
+}
+
+TEST(LintRunner, FixtureVirtualPathGovernsScopingButReportsDiskPath) {
+  const fs::path root = fs::path(::testing::TempDir()) / "detlint_virtual";
+  fs::remove_all(root);
+  // On disk under tests/ (where wall-clock does not apply), linted as
+  // src/ via the fixture marker — the finding must still fire and must be
+  // reported under the on-disk path.
+  spit(root / "tests" / "probe.cpp",
+       "// detlint-fixture: src/parbor/probe.cpp\n"
+       "long t = time(nullptr);\n");
+  const RunResult result = lint_files(root.string(), {"tests/probe.cpp"});
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "wall-clock");
+  EXPECT_EQ(result.findings[0].file, "tests/probe.cpp");
+}
+
+TEST(LintRunner, JsonReportRoundTripsThroughTheParser) {
+  const fs::path root = fs::path(::testing::TempDir()) / "detlint_json";
+  fs::remove_all(root);
+  spit(root / "src" / "bad.cpp", "long t = time(nullptr);\n");
+  const RunResult result = lint_files(root.string(), {"src/bad.cpp"});
+  const std::string json = findings_to_json(result);
+
+  const JsonValue doc = JsonValue::parse(json);
+  EXPECT_EQ(doc.at("tool").as_string(), "detlint");
+  EXPECT_EQ(doc.at("files_scanned").as_uint(), 1u);
+  EXPECT_EQ(doc.at("finding_count").as_uint(), 1u);
+  const JsonValue& f = doc.at("findings")[0];
+  EXPECT_EQ(f.at("file").as_string(), "src/bad.cpp");
+  EXPECT_EQ(f.at("line").as_int(), 1);
+  EXPECT_EQ(f.at("rule").as_string(), "wall-clock");
+  EXPECT_FALSE(f.at("message").as_string().empty());
+}
+
+TEST(LintRunner, UnreadablePathsAreIoErrorsNotFindings) {
+  const RunResult result = lint_files(".", {"no/such/file.cpp"});
+  EXPECT_TRUE(result.findings.empty());
+  ASSERT_EQ(result.io_errors.size(), 1u);
+}
+
+}  // namespace
+}  // namespace parbor::lint

@@ -1,0 +1,106 @@
+// detlint — the repository's determinism & hygiene linter.
+//
+//   detlint [--root DIR] [--json FILE] [files...]
+//       Lint the tracked source tree under DIR (default: .), or just the
+//       listed files (paths relative to --root).  Prints file:line
+//       diagnostics, optionally writes a machine-readable findings report,
+//       and exits 1 when anything fires.
+//
+//   detlint --self-test [--fixtures DIR]
+//       Run every rule over the checked-in violation fixtures (default:
+//       <root>/tests/lint/fixtures) and verify each rule fires exactly
+//       where the fixture's `detlint: expect(...)` markers say — in both
+//       directions.  Exits 1 on any mismatch, so removing a fixture's
+//       expected finding (or breaking a rule) fails CI.
+//
+// The rules and the suppression annotation grammar are documented in
+// src/common/lint/rules.h; DESIGN.md has the rationale.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/fileio.h"
+#include "common/flags.h"
+#include "common/lint/runner.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: detlint [--root DIR] [--json FILE] [files...]\n"
+               "       detlint --self-test [--root DIR] [--fixtures DIR]\n");
+  return 2;
+}
+
+int reject_unknown_flags(const parbor::Flags& flags) {
+  const std::vector<std::string> known = {"root", "json", "self-test",
+                                          "fixtures"};
+  const auto unknown = flags.unknown(known);
+  if (unknown.empty()) return 0;
+  for (const auto& name : unknown) {
+    const std::string hint = parbor::Flags::suggest(name, known);
+    if (hint.empty()) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+    } else {
+      std::fprintf(stderr, "unknown flag --%s (did you mean --%s?)\n",
+                   name.c_str(), hint.c_str());
+    }
+  }
+  return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const parbor::Flags flags = parbor::Flags::parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "detlint: %s\n", flags.error().c_str());
+    return usage();
+  }
+  if (const int rc = reject_unknown_flags(flags); rc != 0) return rc;
+
+  const std::string root = flags.get("root", ".");
+
+  if (flags.get_bool("self-test")) {
+    const std::string fixtures =
+        flags.get("fixtures", root + "/tests/lint/fixtures");
+    std::string log;
+    const bool ok = parbor::lint::self_test(fixtures, log);
+    std::fputs(log.c_str(), stderr);
+    if (ok) std::fprintf(stderr, "detlint: self-test passed (%s)\n",
+                         fixtures.c_str());
+    return ok ? 0 : 1;
+  }
+
+  std::vector<std::string> files = flags.positional();
+  if (files.empty()) files = parbor::lint::collect_tree_files(root);
+
+  const parbor::lint::RunResult result = parbor::lint::lint_files(root, files);
+  for (const std::string& path : result.io_errors) {
+    std::fprintf(stderr, "detlint: cannot read %s\n", path.c_str());
+  }
+  for (const parbor::lint::Finding& f : result.findings) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                 f.message.c_str());
+  }
+
+  const std::string json_out = flags.get("json");
+  if (!json_out.empty()) {
+    const std::string err = parbor::write_text_file(
+        json_out, parbor::lint::findings_to_json(result) + "\n");
+    if (!err.empty()) {
+      std::fprintf(stderr, "detlint: %s\n", err.c_str());
+      return 2;
+    }
+  }
+
+  if (!result.io_errors.empty()) return 2;
+  if (!result.findings.empty()) {
+    std::fprintf(stderr, "detlint: %zu finding(s) in %zu file(s) scanned\n",
+                 result.findings.size(), result.files.size());
+    return 1;
+  }
+  std::fprintf(stderr, "detlint: clean (%zu files scanned)\n",
+               result.files.size());
+  return 0;
+}
