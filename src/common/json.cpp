@@ -62,6 +62,13 @@ JsonWriter& JsonWriter::value(const std::string& v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw(const std::string& json) {
+  PARBOR_CHECK_MSG(!json.empty(), "raw JSON splice may not be empty");
+  separator();
+  out_ << json;
+  return *this;
+}
+
 JsonWriter& JsonWriter::value(std::int64_t v) {
   separator();
   out_ << v;

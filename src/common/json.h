@@ -38,6 +38,13 @@ class JsonWriter {
   JsonWriter& value(double v);
   JsonWriter& value(bool v);
 
+  // Splices pre-serialised JSON verbatim into value position (with the
+  // usual comma bookkeeping).  For re-emitting parsed documents byte-exact
+  // — e.g. the fleet merge folds checked-in shard result objects into one
+  // sweep report without reformatting a single byte.  The caller vouches
+  // that `json` is one well-formed value.
+  JsonWriter& raw(const std::string& json);
+
   // key + value in one call.
   template <typename T>
   JsonWriter& field(const std::string& name, const T& v) {

@@ -1,0 +1,168 @@
+#include "common/leasedir.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+#include "common/check.h"
+#include "common/fileio.h"
+#include "common/json.h"
+
+namespace parbor::leasedir {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+fs::path todo_dir(const std::string& root) { return fs::path(root) / "todo"; }
+fs::path lease_dir(const std::string& root) {
+  return fs::path(root) / "leases";
+}
+
+void check_key(const std::string& key) {
+  PARBOR_CHECK_MSG(!key.empty(), "leasedir: empty key");
+  PARBOR_CHECK_MSG(key.find('/') == std::string::npos &&
+                       key.find('@') == std::string::npos &&
+                       key.find('\0') == std::string::npos,
+                   "leasedir: key \"" << key
+                                      << "\" may not contain '/', '@', or NUL");
+}
+
+// Atomic two-party transition: returns true iff this caller moved `from`
+// to `to`.  Every failure mode (ENOENT because a racer won, a vanished
+// parent, EXDEV) reads as "not ours".
+bool try_rename(const fs::path& from, const fs::path& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  return !ec;
+}
+
+// Sorted regular-file names of a directory (empty if the directory does
+// not exist — callers treat that as an empty queue).
+std::vector<std::string> list_names(const fs::path& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file()) names.push_back(it->path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// The advisory lease body: who claimed, and when (wall clock, for humans
+// reading `fleet status`; never consulted for correctness or results).
+std::string lease_body(const std::string& key, const std::string& owner) {
+  const auto now =
+      // detlint: allow(wall-clock) -- advisory lease claim timestamp only
+      std::chrono::system_clock::now().time_since_epoch();
+  const auto now_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  JsonWriter w;
+  w.begin_object();
+  w.field("key", key);
+  w.field("owner", owner);
+  w.field("claimed_unix_ms", static_cast<std::int64_t>(now_ms));
+  w.end_object();
+  return w.str() + "\n";
+}
+
+}  // namespace
+
+void init_queue(const std::string& root,
+                const std::vector<std::string>& keys) {
+  fs::create_directories(todo_dir(root));
+  fs::create_directories(lease_dir(root));
+  for (const std::string& key : keys) {
+    check_key(key);
+    const fs::path marker = todo_dir(root) / key;
+    PARBOR_CHECK_MSG(!fs::exists(marker),
+                     "leasedir: queue already holds \"" << key << "\"");
+    const auto err = write_text_file(marker.string(), key + "\n");
+    PARBOR_CHECK_MSG(err.empty(), "leasedir: " << err);
+  }
+}
+
+std::string process_owner() { return std::to_string(::getpid()); }
+
+std::optional<Claim> try_claim(const std::string& root,
+                               const std::string& owner) {
+  PARBOR_CHECK_MSG(!owner.empty() && owner.find('/') == std::string::npos,
+                   "leasedir: bad owner token \"" << owner << "\"");
+  for (const std::string& key : list_names(todo_dir(root))) {
+    const fs::path lease = lease_dir(root) / (key + "@" + owner);
+    if (!try_rename(todo_dir(root) / key, lease)) continue;
+    // We own the lease name now; the body rewrite is advisory and safe.
+    write_text_file(lease.string(), lease_body(key, owner));
+    return Claim{key, owner, lease.string()};
+  }
+  return std::nullopt;
+}
+
+void release(const Claim& claim) {
+  std::error_code ec;
+  fs::remove(claim.lease_path, ec);
+  PARBOR_CHECK_MSG(!ec, "leasedir: cannot release lease "
+                            << claim.lease_path << ": " << ec.message());
+}
+
+void requeue(const Claim& claim) {
+  const fs::path root = fs::path(claim.lease_path).parent_path().parent_path();
+  PARBOR_CHECK_MSG(try_rename(claim.lease_path, root / "todo" / claim.key),
+                   "leasedir: cannot requeue " << claim.lease_path);
+}
+
+std::vector<std::string> pending(const std::string& root) {
+  return list_names(todo_dir(root));
+}
+
+std::vector<Lease> leases(const std::string& root) {
+  std::vector<Lease> out;
+  for (const std::string& name : list_names(lease_dir(root))) {
+    const std::size_t at = name.find('@');
+    if (at == std::string::npos) continue;  // not a lease file
+    Lease lease;
+    lease.key = name.substr(0, at);
+    lease.owner = name.substr(at + 1);
+    lease.pid = std::strtoll(lease.owner.c_str(), nullptr, 10);
+    lease.path = (lease_dir(root) / name).string();
+    out.push_back(std::move(lease));
+  }
+  return out;
+}
+
+bool pid_alive(std::int64_t pid) {
+  if (pid <= 0) return false;
+  // kill(pid, 0) delivers nothing; it only reports whether the pid exists.
+  // EPERM still means "exists" (someone else's process).
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
+}
+
+ReclaimStats reclaim_stale(
+    const std::string& root,
+    const std::function<bool(const std::string&)>& done) {
+  ReclaimStats stats;
+  for (const Lease& lease : leases(root)) {
+    if (pid_alive(lease.pid)) continue;
+    if (done(lease.key)) {
+      // Crash landed between checkpoint and release: the work survived,
+      // only the lease is litter.  remove() racing another sweeper is fine;
+      // exactly one call observes the file.
+      std::error_code ec;
+      if (fs::remove(lease.path, ec) && !ec) ++stats.released_done;
+    } else {
+      if (try_rename(lease.path, todo_dir(root) / lease.key)) {
+        ++stats.requeued;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace parbor::leasedir

@@ -1,0 +1,91 @@
+// Rename-based exactly-once work queues on a shared directory.
+//
+// A queue is two sibling directories under one root:
+//
+//   <root>/todo/<key>          one marker file per unclaimed work item
+//   <root>/leases/<key>@<owner>  the same file after a worker claimed it
+//
+// The claim primitive is rename(2): a worker claims <key> by renaming
+// todo/<key> to leases/<key>@<owner>.  POSIX rename is atomic and fails
+// with ENOENT for every racer after the first, so however many workers
+// (threads or processes) race on the same key, exactly one owns it — no
+// locks, no fsync ordering, no server.  Releasing a finished claim unlinks
+// the lease; abandoning one renames it back into todo/, which is again
+// exactly-once, so a crashed worker's shard is re-queued by whichever
+// surviving worker notices first and by nobody else.
+//
+// Crash model (single host): the owner token embedded in the lease file
+// NAME starts with the worker's pid, and a lease is stale exactly when that
+// pid no longer exists.  The lease file CONTENT is advisory — the owner
+// rewrites it with a wall-clock claim timestamp for humans reading `fleet
+// status` — and is never consulted for correctness, so a worker killed
+// between the claim rename and the content write leaves a perfectly
+// recoverable lease.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parbor::leasedir {
+
+// Creates <root>/todo and <root>/leases and one todo marker per key.
+// Keys become file names: '/', '@', NUL, and empty keys are rejected.
+// Fails (CheckError) if any marker already exists — a queue is initialised
+// exactly once.
+void init_queue(const std::string& root, const std::vector<std::string>& keys);
+
+// A successful claim: the caller now exclusively owns `key` and must
+// eventually release() or requeue() it (or die and be reclaimed).
+struct Claim {
+  std::string key;
+  std::string owner;       // "<pid>" or "<pid>.<token>"
+  std::string lease_path;  // <root>/leases/<key>@<owner>
+};
+
+// The default owner token for this process.
+std::string process_owner();
+
+// Scans todo/ in sorted order and tries to claim each entry via rename.
+// Returns the first win, or nullopt when nothing was claimable (queue
+// drained, or every remaining item is leased).
+std::optional<Claim> try_claim(const std::string& root,
+                               const std::string& owner = process_owner());
+
+// Completes a claim: the lease is unlinked and the key is gone for good.
+void release(const Claim& claim);
+
+// Abandons a claim: the lease is renamed back into todo/.
+void requeue(const Claim& claim);
+
+// One live or stale lease, parsed from its file name.
+struct Lease {
+  std::string key;
+  std::string owner;
+  std::int64_t pid = 0;  // leading integer of `owner`; 0 if unparseable
+  std::string path;
+};
+
+// Sorted listings (by key) of the two states.
+std::vector<std::string> pending(const std::string& root);
+std::vector<Lease> leases(const std::string& root);
+
+// True when `pid` names a live process on this host.  pid <= 0 is dead.
+bool pid_alive(std::int64_t pid);
+
+struct ReclaimStats {
+  std::size_t released_done = 0;  // dead owner, work already checkpointed
+  std::size_t requeued = 0;       // dead owner, work lost — back to todo/
+};
+
+// Sweeps leases/ for entries whose owner pid is dead.  A stale lease whose
+// work `done(key)` reports as checkpointed is released (the crash happened
+// between checkpoint and release — nothing to redo); otherwise it is
+// renamed back into todo/.  Both transitions are rename/unlink-based, so
+// concurrent sweepers reclaim each lease exactly once.
+ReclaimStats reclaim_stale(const std::string& root,
+                           const std::function<bool(const std::string&)>& done);
+
+}  // namespace parbor::leasedir

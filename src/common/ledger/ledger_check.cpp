@@ -1,5 +1,6 @@
 #include "common/ledger/ledger_check.h"
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -204,6 +205,97 @@ LedgerCheckResult check_ledger_jsonl(std::string_view text, bool allow_soft) {
     result.error = e.what();
     return result;
   }
+}
+
+LedgerCheckResult check_fleet_ledgers(const std::vector<LedgerData>& fragments,
+                                      bool allow_soft) {
+  LedgerData merged;
+  LedgerCheckResult result;
+  auto fail = [&](const std::string& why) {
+    result.ok = false;
+    result.error = why;
+    return result;
+  };
+
+  // Job-disjointness across fragments: a shard's ledger lives in exactly
+  // one fragment, so a job id seen in two fragments means that shard's work
+  // was computed (and would be counted) twice.
+  std::set<std::uint32_t> seen_jobs;
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    const LedgerData& frag = fragments[i];
+    if (i == 0) {
+      merged.version = frag.version;
+    } else if (frag.version != merged.version) {
+      std::ostringstream ss;
+      ss << "fragment " << i << " has format version " << frag.version
+         << ", fragment 0 has " << merged.version;
+      return fail(ss.str());
+    }
+    std::set<std::uint32_t> frag_jobs;
+    for (const auto& m : frag.modules) frag_jobs.insert(m.job);
+    for (const auto& f : frag.faults) frag_jobs.insert(f.job);
+    for (const auto& e : frag.flips) frag_jobs.insert(e.job);
+    for (const auto& p : frag.probes) frag_jobs.insert(p.job);
+    for (const std::uint32_t job : frag_jobs) {
+      if (!seen_jobs.insert(job).second) {
+        std::ostringstream ss;
+        ss << "fragment " << i << " repeats job " << job
+           << " of an earlier fragment (shard double-counted)";
+        return fail(ss.str());
+      }
+    }
+    const LedgerCheckResult frag_result = check_ledger(frag, allow_soft);
+    if (!frag_result.ok) {
+      std::ostringstream ss;
+      ss << "fragment " << i << ": " << frag_result.error;
+      return fail(ss.str());
+    }
+    merged.modules.insert(merged.modules.end(), frag.modules.begin(),
+                          frag.modules.end());
+    merged.faults.insert(merged.faults.end(), frag.faults.begin(),
+                         frag.faults.end());
+    merged.flips.insert(merged.flips.end(), frag.flips.begin(),
+                        frag.flips.end());
+    merged.probes.insert(merged.probes.end(), frag.probes.begin(),
+                         frag.probes.end());
+  }
+
+  // No flip event may appear twice anywhere in the union — the direct
+  // "no double-counted flips" guarantee (also catches the same fragment
+  // file being fed in twice, which disjointness alone would flag first).
+  std::vector<FlipEvent> flips = merged.flips;
+  std::sort(flips.begin(), flips.end());
+  for (std::size_t i = 1; i < flips.size(); ++i) {
+    if (flips[i] == flips[i - 1]) {
+      std::ostringstream ss;
+      ss << "flip at job " << flips[i].job << " test " << flips[i].test
+         << " chip " << flips[i].chip << " bank " << flips[i].bank << " row "
+         << flips[i].row << " col " << flips[i].phys_col
+         << " recorded twice (double-counted)";
+      return fail(ss.str());
+    }
+  }
+
+  result = check_ledger(merged, allow_soft);
+  return result;
+}
+
+LedgerCheckResult check_fleet_ledgers_jsonl(
+    const std::vector<std::pair<std::string, std::string>>& named_fragments,
+    bool allow_soft) {
+  std::vector<LedgerData> fragments;
+  fragments.reserve(named_fragments.size());
+  for (const auto& [name, text] : named_fragments) {
+    try {
+      fragments.push_back(parse_ledger_jsonl(text));
+    } catch (const CheckError& e) {
+      LedgerCheckResult result;
+      result.ok = false;
+      result.error = name + ": " + e.what();
+      return result;
+    }
+  }
+  return check_fleet_ledgers(fragments, allow_soft);
 }
 
 }  // namespace parbor::ledger

@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/ledger/ledger.h"
@@ -57,5 +58,21 @@ LedgerCheckResult check_ledger(const LedgerData& data, bool allow_soft);
 
 // Convenience: parse + check; a parse failure becomes an error result.
 LedgerCheckResult check_ledger_jsonl(std::string_view text, bool allow_soft);
+
+// Fleet closure: validates a set of per-shard ledger fragments as ONE
+// campaign's ledger.  On top of per-fragment closure this proves the fleet
+// invariants: job ids are disjoint across fragments (a job id in two
+// fragments means a shard's work was double-counted), the union of all
+// fragments passes check_ledger, and no flip event appears twice anywhere.
+// Counts in the result are union totals.
+LedgerCheckResult check_fleet_ledgers(const std::vector<LedgerData>& fragments,
+                                      bool allow_soft);
+
+// Convenience for files: each (name, jsonl-text) pair is parsed (a parse
+// failure becomes an error result naming the fragment) and the set is
+// checked with check_fleet_ledgers.
+LedgerCheckResult check_fleet_ledgers_jsonl(
+    const std::vector<std::pair<std::string, std::string>>& named_fragments,
+    bool allow_soft);
 
 }  // namespace parbor::ledger

@@ -12,6 +12,24 @@ Module::Module(const ModuleConfig& config) : config_(config) {
   }
 }
 
+const char* scale_name(Scale scale) {
+  switch (scale) {
+    case Scale::kTiny: return "tiny";
+    case Scale::kSmall: return "small";
+    case Scale::kMedium: return "medium";
+    case Scale::kLarge: return "large";
+  }
+  return "?";
+}
+
+std::optional<Scale> scale_from_name(std::string_view name) {
+  if (name == "tiny") return Scale::kTiny;
+  if (name == "small") return Scale::kSmall;
+  if (name == "medium") return Scale::kMedium;
+  if (name == "large") return Scale::kLarge;
+  return std::nullopt;
+}
+
 void Module::set_temperature(double celsius) {
   for (auto& chip : chips_) chip.set_temperature(celsius);
 }

@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -53,6 +55,11 @@ enum class Scale {
   kMedium,  // 8 chips, 1 bank,  256 rows  (default bench scale)
   kLarge,   // 8 chips, 2 banks, 512 rows  (slow benches)
 };
+
+// Stable scale names ("tiny", "small", "medium", "large") and their
+// inverse; fleet manifests and CLI flags round-trip scales through these.
+const char* scale_name(Scale scale);
+std::optional<Scale> scale_from_name(std::string_view name);
 
 // Builds the configuration of module `index` (1-based, 1..6) of a vendor,
 // reproducing the paper's population structure: per-vendor fault-model

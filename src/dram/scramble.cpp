@@ -20,6 +20,14 @@ std::string vendor_name(Vendor v) {
   return "?";
 }
 
+std::optional<Vendor> vendor_from_name(std::string_view name) {
+  if (name == "linear") return Vendor::kLinear;
+  if (name == "A") return Vendor::kA;
+  if (name == "B") return Vendor::kB;
+  if (name == "C") return Vendor::kC;
+  return std::nullopt;
+}
+
 void Scrambler::finalize(std::vector<std::uint32_t> phys_to_sys,
                          std::vector<std::uint32_t> tile_of) {
   const std::size_t n = phys_to_sys.size();

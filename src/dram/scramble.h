@@ -22,7 +22,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <set>
+#include <string_view>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,9 @@ namespace parbor::dram {
 enum class Vendor { kLinear, kA, kB, kC };
 
 std::string vendor_name(Vendor v);
+// Inverse of vendor_name; nullopt for unknown names.  Serialisation (fleet
+// manifests, CLI flags) round-trips vendors through these two.
+std::optional<Vendor> vendor_from_name(std::string_view name);
 
 class Scrambler {
  public:

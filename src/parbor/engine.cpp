@@ -1,5 +1,6 @@
 #include "parbor/engine.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/build_info.h"
@@ -61,6 +62,19 @@ const char* campaign_kind_name(CampaignKind kind) {
     case CampaignKind::kFullWithRandom: return "full+random";
   }
   return "?";
+}
+
+std::optional<CampaignKind> campaign_kind_from_name(std::string_view name) {
+  if (name == "search") return CampaignKind::kSearchOnly;
+  if (name == "full") return CampaignKind::kFullPipeline;
+  if (name == "full+random") return CampaignKind::kFullWithRandom;
+  return std::nullopt;
+}
+
+bool job_order_less(const SweepJob& a, const SweepJob& b) {
+  if (a.vendor != b.vendor) return a.vendor < b.vendor;
+  if (a.index != b.index) return a.index < b.index;
+  return a.kind < b.kind;
 }
 
 std::uint64_t derive_job_seed(const SweepJob& job) {
@@ -138,6 +152,34 @@ SweepJobResult CampaignEngine::run_job(const SweepJob& job) {
   return out;
 }
 
+SweepJobResult CampaignEngine::run_job_instrumented(const SweepJob& job,
+                                                    std::uint32_t job_index) {
+  auto& trace = telemetry::TraceRecorder::global();
+  auto& reg = telemetry::MetricsRegistry::global();
+  telemetry::TraceRecorder::set_current_track(job_index + 1);
+  SweepJobResult result;
+  {
+    ledger::JobScope ledger_job(job_index);
+    telemetry::TraceSpan span("engine.job");
+    if (trace.enabled()) span.note("job", job_label(job));
+    result = run_job(job);
+    if (trace.enabled()) {
+      span.note("module", result.module_name);
+      span.note("tests", result.report.total_tests());
+      span.note("flips", result.report.all_detected().size());
+    }
+  }
+  telemetry::TraceRecorder::set_current_track(
+      telemetry::TraceRecorder::kMainTrack);
+  if (reg.enabled()) {
+    reg.inc(engine_metrics().jobs_done);
+    reg.inc(engine_metrics().flips,
+            result.report.all_detected().size() + result.random.cells.size());
+    reg.observe(engine_metrics().job_wall_s, result.wall_seconds);
+  }
+  return result;
+}
+
 SweepReport CampaignEngine::run(const std::vector<SweepJob>& jobs) {
   return run(jobs, RunOptions{});
 }
@@ -177,34 +219,14 @@ SweepReport CampaignEngine::run(const std::vector<SweepJob>& jobs,
       reg.gauge_add(engine_metrics().jobs_running, 1);
     }
     meter.job_started();
-    telemetry::TraceRecorder::set_current_track(
-        static_cast<std::uint32_t>(i + 1));
-    {
-      ledger::JobScope ledger_job(static_cast<std::uint32_t>(i));
-      telemetry::TraceSpan span("engine.job");
-      if (trace.enabled()) span.note("job", job_label(jobs[i]));
-      sweep.results[i] = run_job(jobs[i]);
-      if (trace.enabled()) {
-        const SweepJobResult& r = sweep.results[i];
-        span.note("module", r.module_name);
-        span.note("tests", r.report.total_tests());
-        span.note("flips", r.report.all_detected().size());
-      }
-    }
-    telemetry::TraceRecorder::set_current_track(
-        telemetry::TraceRecorder::kMainTrack);
+    sweep.results[i] =
+        run_job_instrumented(jobs[i], static_cast<std::uint32_t>(i));
     std::uint64_t flips = 0;
     if (reg.enabled() || options.progress) {
       const SweepJobResult& r = sweep.results[i];
       flips = r.report.all_detected().size() + r.random.cells.size();
     }
-    if (reg.enabled()) {
-      reg.gauge_add(engine_metrics().jobs_running, -1);
-      reg.inc(engine_metrics().jobs_done);
-      reg.inc(engine_metrics().flips, flips);
-      reg.observe(engine_metrics().job_wall_s,
-                  sweep.results[i].wall_seconds);
-    }
+    if (reg.enabled()) reg.gauge_add(engine_metrics().jobs_running, -1);
     meter.job_finished(flips);
   });
   meter.finish();
@@ -235,41 +257,66 @@ std::vector<SweepJob> make_population_jobs(dram::Scale scale,
   return jobs;
 }
 
-std::string sweep_report_to_json(const SweepReport& sweep,
-                                 bool with_build_info) {
+std::string sweep_result_to_json(const SweepJobResult& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("module", r.module_name);
+  w.field("vendor", dram::vendor_name(r.job.vendor));
+  w.field("kind", campaign_kind_name(r.job.kind));
+  w.field("seed", derive_job_seed(r.job));
+  w.field("tests", r.report.total_tests());
+  w.field("victims",
+          static_cast<std::uint64_t>(r.report.discovery.victims.size()));
+  w.key("distances").begin_array();
+  for (auto d : r.report.search.distances) w.value(d);
+  w.end_array();
+  w.field("cells_detected",
+          static_cast<std::uint64_t>(r.report.all_detected().size()));
+  if (r.job.kind == CampaignKind::kFullWithRandom) {
+    w.field("random_tests", r.random.tests);
+    w.field("random_cells", static_cast<std::uint64_t>(r.random.cells.size()));
+  }
+  w.field("sim_seconds", r.sim_elapsed.seconds());
+  w.end_object();
+  return w.str();
+}
+
+std::string assemble_sweep_json(const std::vector<std::string>& result_objects,
+                                std::uint64_t total_tests,
+                                bool with_build_info) {
   JsonWriter w;
   w.begin_object();
   if (with_build_info) {
     w.key("build");
     write_build_info(w);
   }
-  w.field("modules", static_cast<std::uint64_t>(sweep.results.size()));
-  w.field("total_tests", sweep.total_tests());
+  w.field("modules", static_cast<std::uint64_t>(result_objects.size()));
+  w.field("total_tests", total_tests);
   w.key("results").begin_array();
-  for (const auto& r : sweep.results) {
-    w.begin_object();
-    w.field("module", r.module_name);
-    w.field("vendor", dram::vendor_name(r.job.vendor));
-    w.field("kind", campaign_kind_name(r.job.kind));
-    w.field("seed", derive_job_seed(r.job));
-    w.field("tests", r.report.total_tests());
-    w.field("victims",
-            static_cast<std::uint64_t>(r.report.discovery.victims.size()));
-    w.key("distances").begin_array();
-    for (auto d : r.report.search.distances) w.value(d);
-    w.end_array();
-    w.field("cells_detected",
-            static_cast<std::uint64_t>(r.report.all_detected().size()));
-    if (r.job.kind == CampaignKind::kFullWithRandom) {
-      w.field("random_tests", r.random.tests);
-      w.field("random_cells", static_cast<std::uint64_t>(r.random.cells.size()));
-    }
-    w.field("sim_seconds", r.sim_elapsed.seconds());
-    w.end_object();
-  }
+  for (const auto& obj : result_objects) w.raw(obj);
   w.end_array();
   w.end_object();
   return w.str();
+}
+
+std::string sweep_report_to_json(const SweepReport& sweep,
+                                 bool with_build_info) {
+  // Canonical order, not submission order: stable-sort by the job key so
+  // the bytes are invariant under job-list permutation — the same order a
+  // fleet merge reconstructs from per-shard checkpoints.
+  std::vector<const SweepJobResult*> ordered;
+  ordered.reserve(sweep.results.size());
+  for (const auto& r : sweep.results) ordered.push_back(&r);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const SweepJobResult* a, const SweepJobResult* b) {
+                     return job_order_less(a->job, b->job);
+                   });
+  std::vector<std::string> objects;
+  objects.reserve(ordered.size());
+  for (const SweepJobResult* r : ordered) {
+    objects.push_back(sweep_result_to_json(*r));
+  }
+  return assemble_sweep_json(objects, sweep.total_tests(), with_build_info);
 }
 
 }  // namespace parbor::core

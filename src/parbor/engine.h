@@ -15,7 +15,9 @@
 // perturb any stream.  Results land in per-job slots ordered by submission.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -32,6 +34,9 @@ enum class CampaignKind {
 };
 
 const char* campaign_kind_name(CampaignKind kind);
+// Inverse of campaign_kind_name; nullopt for unknown names (fleet
+// manifests and `--mode` flags round-trip kinds through these).
+std::optional<CampaignKind> campaign_kind_from_name(std::string_view name);
 
 struct SweepJob {
   dram::Vendor vendor = dram::Vendor::kA;
@@ -52,6 +57,12 @@ struct SweepJob {
 // so every module gets its own independent stream (never a shared one) and
 // the result is invariant under scheduling.
 std::uint64_t derive_job_seed(const SweepJob& job);
+
+// Canonical job order: (vendor, index, kind), the identity tuple a fleet
+// shard key names.  Report serialisation and the fleet manifest both sort
+// by this, which is what makes a merged fleet report byte-identical to a
+// single-process sweep regardless of submission or completion order.
+bool job_order_less(const SweepJob& a, const SweepJob& b);
 
 struct SweepJobResult {
   SweepJob job;
@@ -103,6 +114,15 @@ class CampaignEngine {
   // worker executes).  Exposed so tests can pin down single-job behaviour.
   static SweepJobResult run_job(const SweepJob& job);
 
+  // run_job plus the full per-job observability wrapping — ledger JobScope,
+  // engine.job trace span on its own track, engine.jobs_done/flips/wall
+  // metrics.  The unit of execution shared by the in-process sweep and the
+  // fleet worker, so a fleet shard reports through exactly the same
+  // counters and spans as a pooled job.  `job_index` is the ledger job id
+  // (sweep: submission index; fleet: manifest index).
+  static SweepJobResult run_job_instrumented(const SweepJob& job,
+                                             std::uint32_t job_index);
+
  private:
   ThreadPool pool_;
 };
@@ -116,11 +136,25 @@ std::vector<SweepJob> make_population_jobs(
                                                 dram::Vendor::kC},
     const std::vector<int>& indices = {1, 2, 3, 4, 5, 6});
 
-// Sweep summary as one JSON document (module entries in submission order;
-// wall-clock fields are excluded so the document is reproducible).
+// Sweep summary as one JSON document (module entries sorted by
+// job_order_less — stable, so duplicate tuples keep submission order — and
+// wall-clock fields excluded, so the document is reproducible and
+// independent of submission, scheduling, and completion order).
 // `with_build_info` prepends a "build" provenance object — off by default
 // so two binaries of different commits can still be compared byte-wise.
 std::string sweep_report_to_json(const SweepReport& sweep,
                                  bool with_build_info = false);
+
+// One result as the JSON object sweep_report_to_json puts in "results".
+// The fleet worker checkpoints exactly these bytes per shard, and the
+// fleet merge splices them back verbatim — byte-identity of the merged
+// report falls out of sharing this writer.
+std::string sweep_result_to_json(const SweepJobResult& result);
+
+// Assembles the sweep document from pre-serialised result objects (each a
+// sweep_result_to_json string, already in canonical order).
+std::string assemble_sweep_json(const std::vector<std::string>& result_objects,
+                                std::uint64_t total_tests,
+                                bool with_build_info);
 
 }  // namespace parbor::core

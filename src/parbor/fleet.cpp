@@ -1,0 +1,364 @@
+#include "parbor/fleet.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <system_error>
+
+#include "common/check.h"
+#include "common/fileio.h"
+#include "common/json.h"
+#include "common/leasedir.h"
+#include "common/ledger/ledger.h"
+
+namespace parbor::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr int kFleetFormatVersion = 1;
+
+fs::path manifest_path(const std::string& dir) {
+  return fs::path(dir) / "manifest.json";
+}
+
+fs::path results_dir(const std::string& dir) {
+  return fs::path(dir) / "results";
+}
+
+fs::path result_path(const std::string& dir, const std::string& key) {
+  return results_dir(dir) / (key + ".json");
+}
+
+fs::path ledger_fragment_path(const std::string& dir,
+                              const std::string& key) {
+  return results_dir(dir) / (key + ".ledger.jsonl");
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  PARBOR_CHECK_MSG(is.good(), "fleet: cannot read " << path.string());
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+// Checkpoint writes are whole-file atomic: a private tmp file, then one
+// rename.  A killed worker therefore leaves either no checkpoint or a
+// complete one — a torn shard result cannot exist, which is what makes
+// resume "read it or redo it" with no third case.
+void atomic_replace(const fs::path& path, const std::string& text) {
+  const fs::path tmp(path.string() + ".tmp." + leasedir::process_owner());
+  const auto err = write_text_file(tmp.string(), text);
+  PARBOR_CHECK_MSG(err.empty(), "fleet: " << err);
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  PARBOR_CHECK_MSG(!ec, "fleet: cannot publish " << path.string() << ": "
+                                                 << ec.message());
+}
+
+// The per-shard checkpoint document: a versioned wrapper around the exact
+// result-object bytes the sweep serialiser emits.
+std::string shard_checkpoint_json(const FleetShard& shard,
+                                  const SweepJobResult& result) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("fleet_shard", kFleetFormatVersion);
+  w.field("key", shard.key);
+  w.key("result").raw(sweep_result_to_json(result));
+  w.end_object();
+  return w.str();
+}
+
+std::map<std::string, const FleetShard*> shards_by_key(
+    const std::vector<FleetShard>& shards) {
+  std::map<std::string, const FleetShard*> by_key;
+  for (const FleetShard& shard : shards) by_key[shard.key] = &shard;
+  return by_key;
+}
+
+}  // namespace
+
+std::string shard_key(const SweepJob& job) {
+  return dram::vendor_name(job.vendor) + std::to_string(job.index) + "-" +
+         campaign_kind_name(job.kind);
+}
+
+std::vector<FleetShard> fleet_shards(const FleetSpec& spec) {
+  auto jobs =
+      make_population_jobs(spec.scale, spec.kind, spec.vendors, spec.indices);
+  for (SweepJob& job : jobs) {
+    job.soft_errors = spec.soft_errors;
+    job.seed_base = spec.seed_base;
+    job.config.seed = spec.config_seed;
+  }
+  std::stable_sort(jobs.begin(), jobs.end(), job_order_less);
+
+  std::vector<FleetShard> shards;
+  shards.reserve(jobs.size());
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    FleetShard shard;
+    shard.key = shard_key(jobs[i]);
+    shard.job = jobs[i];
+    shard.index = static_cast<std::uint32_t>(i);
+    PARBOR_CHECK_MSG(seen.insert(shard.key).second,
+                     "fleet: duplicate shard key \"" << shard.key << "\"");
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+std::string fleet_manifest_to_json(const FleetSpec& spec) {
+  const auto shards = fleet_shards(spec);  // validates the spec
+  JsonWriter w;
+  w.begin_object();
+  w.field("fleet", kFleetFormatVersion);
+  w.key("vendors").begin_array();
+  for (auto vendor : spec.vendors) w.value(dram::vendor_name(vendor));
+  w.end_array();
+  w.key("indices").begin_array();
+  for (int index : spec.indices) w.value(index);
+  w.end_array();
+  w.field("scale", dram::scale_name(spec.scale));
+  w.field("kind", campaign_kind_name(spec.kind));
+  w.field("soft_errors", spec.soft_errors);
+  w.field("ledger", spec.ledger);
+  w.field("seed_base", spec.seed_base);
+  w.field("config_seed", spec.config_seed);
+  w.key("shards").begin_array();
+  for (const FleetShard& shard : shards) w.value(shard.key);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+FleetSpec fleet_manifest_from_json(const std::string& json) {
+  const JsonValue v = JsonValue::parse(json);
+  PARBOR_CHECK_MSG(v.is_object() && v.has("fleet"),
+                   "fleet: not a manifest document");
+  PARBOR_CHECK_MSG(v.at("fleet").as_int() == kFleetFormatVersion,
+                   "fleet: unsupported manifest version "
+                       << v.at("fleet").as_int());
+  FleetSpec spec;
+  spec.vendors.clear();
+  for (const auto& name : v.at("vendors").items()) {
+    const auto vendor = dram::vendor_from_name(name.as_string());
+    PARBOR_CHECK_MSG(vendor.has_value(),
+                     "fleet: unknown vendor \"" << name.as_string() << "\"");
+    spec.vendors.push_back(*vendor);
+  }
+  spec.indices.clear();
+  for (const auto& index : v.at("indices").items()) {
+    spec.indices.push_back(static_cast<int>(index.as_int()));
+  }
+  const auto scale = dram::scale_from_name(v.at("scale").as_string());
+  PARBOR_CHECK_MSG(scale.has_value(), "fleet: unknown scale \""
+                                          << v.at("scale").as_string()
+                                          << "\"");
+  spec.scale = *scale;
+  const auto kind = campaign_kind_from_name(v.at("kind").as_string());
+  PARBOR_CHECK_MSG(kind.has_value(), "fleet: unknown campaign kind \""
+                                         << v.at("kind").as_string() << "\"");
+  spec.kind = *kind;
+  spec.soft_errors = v.at("soft_errors").as_bool();
+  spec.ledger = v.at("ledger").as_bool();
+  spec.seed_base = v.at("seed_base").as_uint();
+  spec.config_seed = v.at("config_seed").as_uint();
+
+  // The shard list is derived state; a hand-edited manifest whose list
+  // disagrees with its own spec would silently skew the merge, so verify.
+  const auto shards = fleet_shards(spec);
+  const auto& listed = v.at("shards").items();
+  PARBOR_CHECK_MSG(listed.size() == shards.size(),
+                   "fleet: manifest shard list disagrees with its spec");
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    PARBOR_CHECK_MSG(listed[i].as_string() == shards[i].key,
+                     "fleet: manifest shard list disagrees with its spec at "
+                         << i);
+  }
+  return spec;
+}
+
+void fleet_init(const std::string& dir, const FleetSpec& spec) {
+  PARBOR_CHECK_MSG(!fs::exists(manifest_path(dir)),
+                   "fleet: " << dir << " already holds a campaign");
+  const auto shards = fleet_shards(spec);
+  fs::create_directories(results_dir(dir));
+  std::vector<std::string> keys;
+  keys.reserve(shards.size());
+  for (const FleetShard& shard : shards) keys.push_back(shard.key);
+  leasedir::init_queue(dir, keys);
+  // The manifest is published last: a directory with a manifest is a
+  // fully-formed campaign, so workers can never attach to a half-built one.
+  atomic_replace(manifest_path(dir), fleet_manifest_to_json(spec) + "\n");
+}
+
+FleetSpec fleet_load_manifest(const std::string& dir) {
+  PARBOR_CHECK_MSG(fs::exists(manifest_path(dir)),
+                   "fleet: no campaign at " << dir << " (missing "
+                                            << manifest_path(dir).string()
+                                            << ")");
+  return fleet_manifest_from_json(slurp(manifest_path(dir)));
+}
+
+FleetWorkerResult fleet_work(const std::string& dir,
+                             const FleetWorkerOptions& options) {
+  const FleetSpec spec = fleet_load_manifest(dir);
+  const auto shards = fleet_shards(spec);
+  const auto by_key = shards_by_key(shards);
+  const auto has_checkpoint = [&](const std::string& key) {
+    return fs::exists(result_path(dir, key));
+  };
+
+  // While a ledgered campaign runs, the worker owns the process-global
+  // flip ledger (armed per shard, dumped into the shard's fragment).  The
+  // ambient enabled-state is restored on return for in-process callers.
+  auto& ledger = ledger::FlipLedger::global();
+  const bool ledger_was_enabled = ledger.enabled();
+  if (spec.ledger) ledger.set_enabled(true);
+
+  FleetWorkerResult out;
+  while (true) {
+    const auto reclaimed = leasedir::reclaim_stale(dir, has_checkpoint);
+    out.requeued_stale += reclaimed.requeued;
+    out.released_done += reclaimed.released_done;
+    const auto claim = leasedir::try_claim(dir);
+    if (!claim) {
+      // Nothing claimable: the queue is drained (or every remaining shard
+      // is leased to a live worker).  If we just re-queued stale work, go
+      // around once more in case nobody else grabbed it yet.
+      if (reclaimed.requeued == 0) break;
+      continue;
+    }
+    const FleetShard& shard = *by_key.at(claim->key);
+    if (options.progress) {
+      std::fprintf(stderr, "[fleet worker %s] shard %s...\n",
+                   claim->owner.c_str(), shard.key.c_str());
+    }
+    if (spec.ledger) ledger.reset();
+    const SweepJobResult result =
+        CampaignEngine::run_job_instrumented(shard.job, shard.index);
+    if (options.die_after_shards >= 0 &&
+        out.shards_run >=
+            static_cast<std::size_t>(options.die_after_shards)) {
+      // Crash-test hook: die mid-shard, after the work but before any
+      // checkpoint byte — the worst honest crash (lease held, work lost).
+      std::raise(SIGKILL);
+    }
+    if (spec.ledger) {
+      atomic_replace(ledger_fragment_path(dir, shard.key),
+                     ledger.dump_jsonl());
+    }
+    atomic_replace(result_path(dir, shard.key),
+                   shard_checkpoint_json(shard, result) + "\n");
+    leasedir::release(*claim);
+    ++out.shards_run;
+    if (options.progress) {
+      std::fprintf(stderr, "[fleet worker %s] shard %s done (%llu tests)\n",
+                   claim->owner.c_str(), shard.key.c_str(),
+                   static_cast<unsigned long long>(
+                       result.report.total_tests() + result.random.tests));
+    }
+    if (options.max_shards >= 0 &&
+        out.shards_run >= static_cast<std::size_t>(options.max_shards)) {
+      break;
+    }
+  }
+  if (spec.ledger) {
+    ledger.reset();
+    ledger.set_enabled(ledger_was_enabled);
+  }
+  return out;
+}
+
+FleetStatus fleet_status(const std::string& dir) {
+  const FleetSpec spec = fleet_load_manifest(dir);
+  const auto shards = fleet_shards(spec);
+  std::map<std::string, leasedir::Lease> lease_by_key;
+  for (auto& lease : leasedir::leases(dir)) {
+    lease_by_key[lease.key] = lease;
+  }
+
+  FleetStatus status;
+  status.total = shards.size();
+  for (const FleetShard& shard : shards) {
+    FleetShardStatus s;
+    s.key = shard.key;
+    if (fs::exists(result_path(dir, shard.key))) {
+      s.state = ShardState::kDone;
+      ++status.done;
+    } else if (const auto it = lease_by_key.find(shard.key);
+               it != lease_by_key.end()) {
+      s.state = ShardState::kClaimed;
+      s.owner_pid = it->second.pid;
+      s.owner_alive = leasedir::pid_alive(it->second.pid);
+      ++status.claimed;
+    } else {
+      s.state = ShardState::kTodo;
+      ++status.todo;
+    }
+    status.shards.push_back(std::move(s));
+  }
+  return status;
+}
+
+std::string fleet_merge(const std::string& dir, bool with_build_info) {
+  const FleetSpec spec = fleet_load_manifest(dir);
+  const auto shards = fleet_shards(spec);
+
+  std::vector<std::string> objects;
+  objects.reserve(shards.size());
+  std::uint64_t total_tests = 0;
+  std::size_t missing = 0;
+  std::string first_missing;
+  for (const FleetShard& shard : shards) {
+    if (!fs::exists(result_path(dir, shard.key))) {
+      if (missing == 0) first_missing = shard.key;
+      ++missing;
+      continue;
+    }
+    const JsonValue v = JsonValue::parse(slurp(result_path(dir, shard.key)));
+    PARBOR_CHECK_MSG(v.is_object() && v.has("fleet_shard") &&
+                         v.at("fleet_shard").as_int() == kFleetFormatVersion,
+                     "fleet: " << result_path(dir, shard.key).string()
+                               << " is not a shard checkpoint");
+    PARBOR_CHECK_MSG(v.at("key").as_string() == shard.key,
+                     "fleet: checkpoint key \"" << v.at("key").as_string()
+                                                << "\" under file for \""
+                                                << shard.key << "\"");
+    const JsonValue& result = v.at("result");
+    total_tests += result.at("tests").as_uint();
+    if (result.has("random_tests")) {
+      total_tests += result.at("random_tests").as_uint();
+    }
+    // dump() re-emits the parsed object byte-exact, so the merged document
+    // carries the checkpoint bytes verbatim.
+    objects.push_back(result.dump());
+  }
+  PARBOR_CHECK_MSG(missing == 0,
+                   "fleet: campaign incomplete — " << missing << " of "
+                                                   << shards.size()
+                                                   << " shard(s) without a "
+                                                      "checkpoint (first: "
+                                                   << first_missing << ")");
+  return assemble_sweep_json(objects, total_tests, with_build_info);
+}
+
+std::vector<std::string> fleet_ledger_fragments(const std::string& dir) {
+  const FleetSpec spec = fleet_load_manifest(dir);
+  std::vector<std::string> paths;
+  for (const FleetShard& shard : fleet_shards(spec)) {
+    const fs::path p = ledger_fragment_path(dir, shard.key);
+    if (fs::exists(p)) paths.push_back(p.string());
+  }
+  return paths;
+}
+
+}  // namespace parbor::core

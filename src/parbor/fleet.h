@@ -1,0 +1,139 @@
+// Fleet-scale campaign service: sharded, crash-resumable, multi-process
+// sweeps over a shared campaign directory.
+//
+// The paper characterises 18 modules on one host; a production deployment
+// characterises a datacenter fleet under a rolling maintenance budget.  The
+// unit of work is a shard — one (vendor, module, kind) campaign job — and
+// the coordination substrate is nothing but a directory tree:
+//
+//   <dir>/manifest.json              the campaign spec + ordered shard list
+//   <dir>/todo/<key>                 unclaimed shards   (common/leasedir)
+//   <dir>/leases/<key>@<pid>         claimed shards     (common/leasedir)
+//   <dir>/results/<key>.json         per-shard result checkpoint
+//   <dir>/results/<key>.ledger.jsonl per-shard flip-ledger fragment (opt-in)
+//   <dir>/fleet_sweep.json           the merged report (fleet merge)
+//
+// Any number of `fleet work` processes attach to the directory and drain
+// the queue; claims are exactly-once by atomic rename (see leasedir.h).  A
+// shard's result is checkpointed with an atomic whole-file replace when —
+// and only when — the shard completes, so a SIGKILLed worker leaves either
+// nothing or a finished checkpoint, never a torn one.  Recovery is built
+// into every worker: stale leases (dead owner pid) with a checkpoint are
+// released, those without are re-queued.  Completed shards are NEVER
+// recomputed and never double-counted — the merge reads each checkpoint
+// exactly once, in manifest order.
+//
+// Headline invariant: `fleet merge` output is byte-identical to
+// `parbor_cli sweep` of the same spec, for every worker-process count,
+// including runs where workers were killed and resumed mid-campaign.  It
+// holds by construction: shards are deterministic pure functions of the
+// manifest (per-job derived seeds), checkpoints carry the exact bytes
+// sweep_result_to_json emits, and both serialisation paths order results
+// by job_order_less.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parbor/engine.h"
+
+namespace parbor::core {
+
+// The campaign spec a manifest persists: everything needed to reconstruct
+// the exact job list (and thus every derived seed) in any process.
+struct FleetSpec {
+  std::vector<dram::Vendor> vendors = {dram::Vendor::kA, dram::Vendor::kB,
+                                       dram::Vendor::kC};
+  std::vector<int> indices = {1, 2, 3, 4, 5, 6};
+  dram::Scale scale = dram::Scale::kSmall;
+  CampaignKind kind = CampaignKind::kSearchOnly;
+  bool soft_errors = true;
+  // Record a per-shard flip-ledger fragment next to each checkpoint
+  // (ledger_check --fleet-dir proves closure over the union).
+  bool ledger = false;
+  std::uint64_t seed_base = SweepJob{}.seed_base;
+  std::uint64_t config_seed = ParborConfig{}.seed;
+
+  bool operator==(const FleetSpec&) const = default;
+};
+
+// One manifest entry: the shard key, its job, and its manifest index —
+// which is also the shard's ledger job id, so fragments from different
+// worker processes join like one sweep's ledger.
+struct FleetShard {
+  std::string key;
+  SweepJob job;
+  std::uint32_t index = 0;
+};
+
+// "A1-search": the (vendor, module, kind) identity, filename-safe.
+std::string shard_key(const SweepJob& job);
+
+// The spec's shard list, sorted by job_order_less (= manifest order =
+// merge order).  Keys are checked unique.
+std::vector<FleetShard> fleet_shards(const FleetSpec& spec);
+
+// Manifest (de)serialisation; parsing rejects malformed documents loudly.
+std::string fleet_manifest_to_json(const FleetSpec& spec);
+FleetSpec fleet_manifest_from_json(const std::string& json);
+
+// Creates the campaign directory: manifest, results/, and the work queue
+// with one todo marker per shard.  Refuses to re-init an existing campaign.
+void fleet_init(const std::string& dir, const FleetSpec& spec);
+
+// Loads <dir>/manifest.json (CheckError if missing/malformed).
+FleetSpec fleet_load_manifest(const std::string& dir);
+
+struct FleetWorkerOptions {
+  // Crash-test hook (also reachable via PARBOR_FLEET_DIE_AT from the CLI):
+  // after `die_after_shards` completed shards the worker claims one more,
+  // computes it, and SIGKILLs itself before writing any checkpoint — the
+  // exact mid-shard crash the resume machinery must absorb.  < 0 disables.
+  int die_after_shards = -1;
+  // Stop after this many completed shards (< 0: drain the queue).
+  int max_shards = -1;
+  // Per-shard progress lines on stderr.
+  bool progress = false;
+};
+
+struct FleetWorkerResult {
+  std::size_t shards_run = 0;       // computed and checkpointed by us
+  std::size_t requeued_stale = 0;   // recovered from dead workers
+  std::size_t released_done = 0;    // stale leases whose checkpoint survived
+};
+
+// Claims and runs shards until the queue is drained (or max_shards).
+// Safe to call from any number of processes concurrently; idempotent on a
+// finished campaign (returns with shards_run == 0).
+FleetWorkerResult fleet_work(const std::string& dir,
+                             const FleetWorkerOptions& options = {});
+
+enum class ShardState { kTodo, kClaimed, kDone };
+
+struct FleetShardStatus {
+  std::string key;
+  ShardState state = ShardState::kTodo;
+  std::int64_t owner_pid = 0;  // kClaimed only
+  bool owner_alive = false;    // kClaimed only
+};
+
+struct FleetStatus {
+  std::size_t total = 0;
+  std::size_t todo = 0;
+  std::size_t claimed = 0;
+  std::size_t done = 0;
+  std::vector<FleetShardStatus> shards;  // manifest order
+};
+
+FleetStatus fleet_status(const std::string& dir);
+
+// Folds every shard checkpoint into the sweep document (no trailing
+// newline), byte-identical to sweep_report_to_json of a single-process run
+// of the same spec.  CheckError if any shard is not yet checkpointed.
+std::string fleet_merge(const std::string& dir, bool with_build_info = false);
+
+// Sorted list of the ledger fragment paths of a campaign directory.
+std::vector<std::string> fleet_ledger_fragments(const std::string& dir);
+
+}  // namespace parbor::core

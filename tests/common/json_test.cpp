@@ -18,6 +18,21 @@ TEST(JsonWriter, FieldsAreCommaSeparated) {
   EXPECT_EQ(w.str(), R"({"a":1,"b":"x","c":true})");
 }
 
+TEST(JsonWriter, RawSplicesPreSerialisedValuesVerbatim) {
+  // raw() is the fleet-merge primitive: checkpointed result objects are
+  // spliced into the merged document byte-for-byte, comma/separator rules
+  // still applying around them.
+  JsonWriter w;
+  w.begin_object();
+  w.field("n", 1);
+  w.key("spliced").raw(R"({"a":[1,2],"b":"x"})");
+  w.key("xs").begin_array().raw("7").raw(R"({"k":true})").end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"n":1,"spliced":{"a":[1,2],"b":"x"},"xs":[7,{"k":true}]})");
+  EXPECT_THROW(JsonWriter().raw(""), CheckError);
+}
+
 TEST(JsonWriter, NestedContainers) {
   JsonWriter w;
   w.begin_object();

@@ -1,0 +1,135 @@
+// Property test for the shard-claim protocol: however many workers race on
+// one queue, every key is owned exactly once — no double-claims, no
+// orphans — including when the queue starts littered with stale leases
+// from dead owners.  Threads stand in for worker processes here; the claim
+// primitive (rename on one filesystem path) is process-agnostic, and the
+// kill/resume suite covers the true multi-process case.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/leasedir.h"
+
+namespace parbor::leasedir {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kThreads = 8;
+
+std::vector<std::string> make_keys(int n) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < n; ++i) {
+    keys.push_back("shard-" + std::to_string(100 + i));
+  }
+  return keys;
+}
+
+// One worker loop, same shape as the fleet worker: reclaim, claim, work
+// (here: record), release.  Owner tokens get a per-thread suffix so two
+// threads of one process cannot collide on a lease name.
+std::vector<std::string> drain(const std::string& root, int thread_id,
+                               const std::set<std::string>& checkpointed) {
+  const std::string owner =
+      process_owner() + "." + std::to_string(thread_id);
+  std::vector<std::string> claimed;
+  while (true) {
+    const auto stats = reclaim_stale(root, [&](const std::string& key) {
+      return checkpointed.count(key) > 0;
+    });
+    const auto claim = try_claim(root, owner);
+    if (!claim.has_value()) {
+      if (stats.requeued == 0) break;
+      continue;
+    }
+    claimed.push_back(claim->key);
+    release(*claim);
+  }
+  return claimed;
+}
+
+std::map<std::string, int> race(const std::string& root,
+                                const std::set<std::string>& checkpointed) {
+  std::vector<std::vector<std::string>> per_thread(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back(
+          [&, t] { per_thread[t] = drain(root, t, checkpointed); });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  std::map<std::string, int> counts;
+  for (const auto& claims : per_thread) {
+    for (const auto& key : claims) ++counts[key];
+  }
+  return counts;
+}
+
+TEST(LeasedirProperty, RacingWorkersClaimEveryKeyExactlyOnce) {
+  const std::string root =
+      (fs::path(::testing::TempDir()) / "leasedir_race").string();
+  fs::remove_all(root);
+  const auto keys = make_keys(48);
+  init_queue(root, keys);
+
+  const auto counts = race(root, {});
+
+  EXPECT_EQ(counts.size(), keys.size());
+  for (const auto& key : keys) {
+    const auto it = counts.find(key);
+    ASSERT_NE(it, counts.end()) << key << " orphaned";
+    EXPECT_EQ(it->second, 1) << key << " claimed " << it->second << " times";
+  }
+  EXPECT_TRUE(pending(root).empty());
+  EXPECT_TRUE(leases(root).empty());
+  fs::remove_all(root);
+}
+
+TEST(LeasedirProperty, StaleLeasesAreReclaimedExactlyOnce) {
+  const std::string root =
+      (fs::path(::testing::TempDir()) / "leasedir_race_stale").string();
+  fs::remove_all(root);
+  const auto keys = make_keys(32);
+  init_queue(root, keys);
+
+  // Simulate crashed workers: four shards lost mid-work (lease held by a
+  // dead pid, no checkpoint) and two that died between checkpoint and
+  // release (lease held, work done).
+  std::set<std::string> checkpointed = {keys[1], keys[2]};
+  for (const auto& key : {keys[0], keys[1], keys[2], keys[3], keys[4],
+                          keys[5]}) {
+    const auto stale = try_claim(root, "999999999.crashed");
+    ASSERT_TRUE(stale.has_value());
+    ASSERT_EQ(stale->key, key);  // sorted claim order makes this exact
+  }
+
+  const auto counts = race(root, checkpointed);
+
+  // Checkpointed shards are released without recompute: nobody claims them.
+  for (const auto& key : checkpointed) {
+    EXPECT_EQ(counts.count(key), 0u) << key << " was recomputed";
+  }
+  // Everything else — including the four re-queued crash victims — is
+  // claimed exactly once.
+  for (const auto& key : keys) {
+    if (checkpointed.count(key)) continue;
+    const auto it = counts.find(key);
+    ASSERT_NE(it, counts.end()) << key << " orphaned";
+    EXPECT_EQ(it->second, 1) << key << " claimed " << it->second << " times";
+  }
+  EXPECT_TRUE(pending(root).empty());
+  EXPECT_TRUE(leases(root).empty());
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace parbor::leasedir

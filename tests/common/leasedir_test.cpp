@@ -1,0 +1,149 @@
+// leasedir: the rename-based exactly-once work queue under the fleet
+// service.  These tests pin the single-process contract — claim order,
+// release/requeue transitions, and stale-lease reclamation under the
+// dead-pid crash model; the multi-racer exactly-once property has its own
+// suite in leasedir_property_test.cpp.
+#include "common/leasedir.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "common/check.h"
+
+namespace parbor::leasedir {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A pid that cannot exist on this host: pid_max tops out well below 2^22
+// by default and far below this either way.
+constexpr const char* kDeadOwner = "999999999";
+
+class LeasedirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (fs::path(::testing::TempDir()) /
+             ("leasedir_" + std::string(::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name())))
+                .string();
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string root_;
+};
+
+TEST_F(LeasedirTest, InitPublishesSortedPendingKeys) {
+  init_queue(root_, {"b", "a", "c"});
+  EXPECT_EQ(pending(root_), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(leases(root_).empty());
+}
+
+TEST_F(LeasedirTest, InitRefusesExistingKeys) {
+  init_queue(root_, {"a"});
+  EXPECT_THROW(init_queue(root_, {"a"}), CheckError);
+}
+
+TEST_F(LeasedirTest, InitRejectsUnsafeKeys) {
+  EXPECT_THROW(init_queue(root_, {""}), CheckError);
+  EXPECT_THROW(init_queue(root_, {"a/b"}), CheckError);
+  EXPECT_THROW(init_queue(root_, {"a@b"}), CheckError);
+}
+
+TEST_F(LeasedirTest, ClaimsDrainInSortedOrderThenRunDry) {
+  init_queue(root_, {"b", "a"});
+  const auto first = try_claim(root_);
+  const auto second = try_claim(root_);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->key, "a");
+  EXPECT_EQ(second->key, "b");
+  EXPECT_EQ(first->owner, process_owner());
+  EXPECT_FALSE(try_claim(root_).has_value());
+  EXPECT_TRUE(pending(root_).empty());
+  EXPECT_EQ(leases(root_).size(), 2u);
+}
+
+TEST_F(LeasedirTest, ReleaseRemovesTheKeyForGood) {
+  init_queue(root_, {"a"});
+  const auto claim = try_claim(root_);
+  ASSERT_TRUE(claim.has_value());
+  release(*claim);
+  EXPECT_TRUE(pending(root_).empty());
+  EXPECT_TRUE(leases(root_).empty());
+  EXPECT_FALSE(try_claim(root_).has_value());
+}
+
+TEST_F(LeasedirTest, RequeueReturnsTheKeyToTodo) {
+  init_queue(root_, {"a"});
+  const auto claim = try_claim(root_);
+  ASSERT_TRUE(claim.has_value());
+  requeue(*claim);
+  EXPECT_EQ(pending(root_), (std::vector<std::string>{"a"}));
+  EXPECT_TRUE(leases(root_).empty());
+  EXPECT_TRUE(try_claim(root_).has_value());
+}
+
+TEST_F(LeasedirTest, LeaseListingParsesOwnerPids) {
+  init_queue(root_, {"a"});
+  ASSERT_TRUE(try_claim(root_).has_value());
+  const auto listing = leases(root_);
+  ASSERT_EQ(listing.size(), 1u);
+  EXPECT_EQ(listing[0].key, "a");
+  EXPECT_EQ(listing[0].pid, static_cast<std::int64_t>(::getpid()));
+  EXPECT_TRUE(pid_alive(listing[0].pid));
+}
+
+TEST_F(LeasedirTest, PidAlivenessMatchesTheHost) {
+  EXPECT_TRUE(pid_alive(::getpid()));
+  EXPECT_FALSE(pid_alive(0));
+  EXPECT_FALSE(pid_alive(-1));
+  EXPECT_FALSE(pid_alive(999999999));
+}
+
+TEST_F(LeasedirTest, ReclaimRequeuesDeadOwnersLostWork) {
+  init_queue(root_, {"a"});
+  ASSERT_TRUE(try_claim(root_, kDeadOwner).has_value());
+  const auto stats =
+      reclaim_stale(root_, [](const std::string&) { return false; });
+  EXPECT_EQ(stats.requeued, 1u);
+  EXPECT_EQ(stats.released_done, 0u);
+  EXPECT_EQ(pending(root_), (std::vector<std::string>{"a"}));
+  EXPECT_TRUE(leases(root_).empty());
+}
+
+TEST_F(LeasedirTest, ReclaimReleasesDeadOwnersCheckpointedWork) {
+  init_queue(root_, {"a"});
+  ASSERT_TRUE(try_claim(root_, kDeadOwner).has_value());
+  const auto stats =
+      reclaim_stale(root_, [](const std::string&) { return true; });
+  EXPECT_EQ(stats.released_done, 1u);
+  EXPECT_EQ(stats.requeued, 0u);
+  // The key is finished: never pending, never claimable again.
+  EXPECT_TRUE(pending(root_).empty());
+  EXPECT_TRUE(leases(root_).empty());
+  EXPECT_FALSE(try_claim(root_).has_value());
+}
+
+TEST_F(LeasedirTest, ReclaimLeavesLiveOwnersAlone) {
+  init_queue(root_, {"a"});
+  ASSERT_TRUE(try_claim(root_).has_value());  // our own (live) pid
+  const auto stats =
+      reclaim_stale(root_, [](const std::string&) { return false; });
+  EXPECT_EQ(stats.requeued, 0u);
+  EXPECT_EQ(stats.released_done, 0u);
+  EXPECT_EQ(leases(root_).size(), 1u);
+}
+
+TEST_F(LeasedirTest, ListingsOnMissingRootAreEmpty) {
+  EXPECT_TRUE(pending(root_).empty());
+  EXPECT_TRUE(leases(root_).empty());
+  EXPECT_FALSE(try_claim(root_).has_value());
+}
+
+}  // namespace
+}  // namespace parbor::leasedir

@@ -1,0 +1,202 @@
+// Kill/resume determinism battery: real worker processes, a real SIGKILL
+// mid-shard, and the headline invariant checked byte-for-byte — a fleet
+// campaign that lost a worker and was resumed merges to exactly the bytes
+// of an uninterrupted single-process sweep, and its ledger fragments close
+// with no flip double-counted.
+//
+// Workers are fork()ed children running fleet_work() directly (no exec, so
+// the test needs no binary paths and runs the same under sanitizers).  The
+// in-process crash hook die_after_shards raises SIGKILL after the shard's
+// compute but before its checkpoint — the worst honest crash window.  This
+// suite owns its executable: it forks, and must do so before any test in
+// the process has spawned sweep threads.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/ledger/ledger.h"
+#include "common/ledger/ledger_check.h"
+#include "parbor/engine.h"
+#include "parbor/fleet.h"
+
+namespace parbor::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+FleetSpec kill_spec() {
+  FleetSpec spec;
+  spec.indices = {1};
+  spec.scale = dram::Scale::kTiny;
+  spec.ledger = true;
+  // Soft errors off so ledger closure is airtight: every flip in every
+  // fragment must join an injected fault, no statistical noise excuses.
+  spec.soft_errors = false;
+  return spec;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << path;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+// Forks a worker process onto the campaign.  The child never returns into
+// gtest: it drains (or dies by the crash hook) and _exits 0.
+pid_t spawn_worker(const std::string& dir, const FleetWorkerOptions& options) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    fleet_work(dir, options);
+    _exit(0);
+  }
+  EXPECT_GT(pid, 0);
+  return pid;
+}
+
+int await(pid_t pid) {
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  return status;
+}
+
+// The reference ledger of a single-process run: the same jobs through the
+// same instrumented unit, job ids = manifest indices, exactly what the
+// union of fleet fragments must reproduce.
+ledger::LedgerData reference_ledger(const FleetSpec& spec) {
+  auto& led = ledger::FlipLedger::global();
+  led.set_enabled(true);
+  led.reset();
+  const auto shards = fleet_shards(spec);
+  for (const auto& shard : shards) {
+    CampaignEngine::run_job_instrumented(shard.job, shard.index);
+  }
+  const std::string text = led.dump_jsonl();
+  led.reset();
+  led.set_enabled(false);
+  return ledger::parse_ledger_jsonl(text);
+}
+
+TEST(FleetKillResume, KilledWorkerResumesToByteIdenticalReport) {
+  const std::string base =
+      (fs::path(::testing::TempDir()) / "fleet_kill_resume").string();
+  const std::string killed_dir = base + "/killed";
+  const std::string calm_dir = base + "/calm";
+  fs::remove_all(base);
+  const FleetSpec spec = kill_spec();
+  fleet_init(killed_dir, spec);
+  fleet_init(calm_dir, spec);
+
+  // Victim worker: one shard checkpointed, then SIGKILL mid-second-shard.
+  FleetWorkerOptions die;
+  die.die_after_shards = 1;
+  const int victim_status = await(spawn_worker(killed_dir, die));
+  ASSERT_TRUE(WIFSIGNALED(victim_status));
+  ASSERT_EQ(WTERMSIG(victim_status), SIGKILL);
+
+  // The crash left exactly the state the resume machinery must absorb:
+  // one checkpoint, one lease owned by a dead pid, one untouched shard.
+  const auto after_kill = fleet_status(killed_dir);
+  EXPECT_EQ(after_kill.done, 1u);
+  EXPECT_EQ(after_kill.claimed, 1u);
+  EXPECT_EQ(after_kill.todo, 1u);
+  ASSERT_EQ(after_kill.shards[1].state, ShardState::kClaimed);
+  EXPECT_FALSE(after_kill.shards[1].owner_alive);
+
+  // Resume with TWO concurrent workers racing over the wreckage, while a
+  // single uninterrupted worker drains the control campaign.
+  const pid_t resume_a = spawn_worker(killed_dir, {});
+  const pid_t resume_b = spawn_worker(killed_dir, {});
+  const pid_t calm = spawn_worker(calm_dir, {});
+  for (const pid_t pid : {resume_a, resume_b, calm}) {
+    const int status = await(pid);
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+  EXPECT_EQ(fleet_status(killed_dir).done, 3u);
+
+  // Headline invariant, all three ways: killed+resumed == uninterrupted
+  // fleet == single-process sweep, byte for byte.
+  const std::string killed_json = fleet_merge(killed_dir);
+  EXPECT_EQ(killed_json, fleet_merge(calm_dir));
+  std::vector<SweepJob> jobs;
+  for (const auto& shard : fleet_shards(spec)) jobs.push_back(shard.job);
+  CampaignEngine engine(1);
+  EXPECT_EQ(killed_json, sweep_report_to_json(engine.run(jobs)));
+
+  // Ledger closure across the fragments of the killed-and-resumed run:
+  // per-fragment closure, disjoint jobs, no flip recorded twice — even
+  // though one shard was computed twice (once by the victim, once on
+  // resume), only one fragment of it survives.
+  const auto fragment_paths = fleet_ledger_fragments(killed_dir);
+  ASSERT_EQ(fragment_paths.size(), 3u);
+  std::vector<ledger::LedgerData> fragments;
+  for (const auto& path : fragment_paths) {
+    fragments.push_back(ledger::parse_ledger_jsonl(slurp(path)));
+  }
+  const auto closure = ledger::check_fleet_ledgers(fragments, false);
+  EXPECT_TRUE(closure.ok) << closure.error;
+
+  // And the union is the single-process ledger: same flips, same faults,
+  // with matching job ids (fragment job id = manifest index).
+  const auto reference = reference_ledger(spec);
+  std::vector<ledger::FlipEvent> fleet_flips;
+  std::size_t fleet_faults = 0;
+  for (const auto& fragment : fragments) {
+    fleet_flips.insert(fleet_flips.end(), fragment.flips.begin(),
+                       fragment.flips.end());
+    fleet_faults += fragment.faults.size();
+  }
+  std::vector<ledger::FlipEvent> reference_flips = reference.flips;
+  std::sort(fleet_flips.begin(), fleet_flips.end());
+  std::sort(reference_flips.begin(), reference_flips.end());
+  EXPECT_EQ(fleet_flips.size(), reference_flips.size());
+  EXPECT_TRUE(fleet_flips == reference_flips)
+      << "fleet fragments and single-process ledger disagree on the flip set";
+  EXPECT_EQ(fleet_faults, reference.faults.size());
+
+  fs::remove_all(base);
+}
+
+TEST(FleetKillResume, EveryShardCanDieOnceAndTheFleetStillConverges) {
+  // Harsher schedule: kill a worker on its FIRST shard, repeatedly — each
+  // incarnation re-claims the re-queued shard, computes it, and dies before
+  // the checkpoint, like a crash-looping host that still must never lose
+  // or double-count work.
+  const std::string dir =
+      (fs::path(::testing::TempDir()) / "fleet_crash_loop").string();
+  fs::remove_all(dir);
+  const FleetSpec spec = kill_spec();
+  fleet_init(dir, spec);
+
+  FleetWorkerOptions die_now;
+  die_now.die_after_shards = 0;
+  for (int incarnation = 0; incarnation < 3; ++incarnation) {
+    const int status = await(spawn_worker(dir, die_now));
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+  }
+  // Three deaths, zero checkpoints: every incarnation died pre-checkpoint.
+  EXPECT_EQ(fleet_status(dir).done, 0u);
+
+  const int status = await(spawn_worker(dir, {}));
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(fleet_status(dir).done, 3u);
+
+  std::vector<SweepJob> jobs;
+  for (const auto& shard : fleet_shards(spec)) jobs.push_back(shard.job);
+  CampaignEngine engine(1);
+  EXPECT_EQ(fleet_merge(dir), sweep_report_to_json(engine.run(jobs)));
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace parbor::core

@@ -1,0 +1,285 @@
+// Fleet service tests: manifest round-trip, the init/work/merge lifecycle,
+// resume semantics (never recompute, never double-count), and the headline
+// invariant — a merged fleet report is byte-identical to a single-process
+// sweep of the same spec, pinned against checked-in golden bytes.
+//
+// Regenerate the golden after an INTENTIONAL format change with
+//   ./build/tools/parbor_cli fleet init --dir /tmp/fg --vendors A,B,C
+//       --indices 1 --scale tiny
+//   ./build/tools/parbor_cli fleet work --dir /tmp/fg
+//   ./build/tools/parbor_cli fleet merge --dir /tmp/fg
+//   cp /tmp/fg/fleet_sweep.json tests/parbor/golden/fleet_sweep.json
+// (one command per line; --build-info defaults off for fleet merge.)
+#include "parbor/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/fileio.h"
+#include "common/leasedir.h"
+#include "common/ledger/ledger_check.h"
+
+namespace parbor::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+// The golden spec: the paper population's *1 modules at tiny scale — small
+// enough for test time, three vendors so merge order actually matters.
+FleetSpec tiny_spec() {
+  FleetSpec spec;
+  spec.indices = {1};
+  spec.scale = dram::Scale::kTiny;
+  return spec;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << path;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+// What a single-process run of the spec serialises to — the byte target
+// every merge must hit.
+std::string reference_sweep_json(const FleetSpec& spec) {
+  std::vector<SweepJob> jobs;
+  for (const auto& shard : fleet_shards(spec)) jobs.push_back(shard.job);
+  CampaignEngine engine(1);
+  return sweep_report_to_json(engine.run(jobs));
+}
+
+class FleetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("fleet_" + std::string(::testing::UnitTest::GetInstance()
+                                        ->current_test_info()
+                                        ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST(FleetShards, KeysNameTheJobTuple) {
+  SweepJob job;
+  job.vendor = dram::Vendor::kB;
+  job.index = 3;
+  job.kind = CampaignKind::kFullWithRandom;
+  EXPECT_EQ(shard_key(job), "B3-full+random");
+  EXPECT_EQ(shard_key(SweepJob{}), "A1-search");
+}
+
+TEST(FleetShards, AreSortedByJobOrderWithManifestIndices) {
+  FleetSpec spec = tiny_spec();
+  // Deliberately unsorted spec: the shard list must come out canonical.
+  spec.vendors = {dram::Vendor::kC, dram::Vendor::kA, dram::Vendor::kB};
+  spec.indices = {2, 1};
+  const auto shards = fleet_shards(spec);
+  ASSERT_EQ(shards.size(), 6u);
+  EXPECT_EQ(shards[0].key, "A1-search");
+  EXPECT_EQ(shards[1].key, "A2-search");
+  EXPECT_EQ(shards[2].key, "B1-search");
+  EXPECT_EQ(shards[5].key, "C2-search");
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    EXPECT_EQ(shards[i].index, i);
+    if (i > 0) {
+      EXPECT_TRUE(job_order_less(shards[i - 1].job, shards[i].job));
+    }
+  }
+}
+
+TEST(FleetManifest, RoundTripsTheSpec) {
+  FleetSpec spec = tiny_spec();
+  spec.kind = CampaignKind::kFullPipeline;
+  spec.soft_errors = false;
+  spec.ledger = true;
+  spec.config_seed = 0x1234;
+  spec.seed_base = 0x5678;
+  EXPECT_EQ(fleet_manifest_from_json(fleet_manifest_to_json(spec)), spec);
+  EXPECT_EQ(fleet_manifest_from_json(fleet_manifest_to_json(FleetSpec{})),
+            FleetSpec{});
+}
+
+TEST(FleetManifest, RejectsTamperedDocuments) {
+  const std::string json = fleet_manifest_to_json(tiny_spec());
+  EXPECT_THROW(fleet_manifest_from_json("{}"), CheckError);
+  EXPECT_THROW(fleet_manifest_from_json("[1,2]"), CheckError);
+  // A shard list that disagrees with its own spec would skew the merge.
+  std::string tampered = json;
+  const auto pos = tampered.find("\"A1-search\"");
+  ASSERT_NE(pos, std::string::npos);
+  tampered.replace(pos, 11, "\"A9-search\"");
+  EXPECT_THROW(fleet_manifest_from_json(tampered), CheckError);
+}
+
+TEST_F(FleetTest, InitWorkMergeMatchesSingleProcessSweep) {
+  const FleetSpec spec = tiny_spec();
+  fleet_init(dir_, spec);
+  EXPECT_THROW(fleet_init(dir_, spec), CheckError);  // no re-init
+
+  const auto worked = fleet_work(dir_);
+  EXPECT_EQ(worked.shards_run, 3u);
+  EXPECT_EQ(fleet_merge(dir_), reference_sweep_json(spec));
+}
+
+TEST_F(FleetTest, MergeMatchesCheckedInGoldenBytes) {
+  const std::string golden =
+      slurp(PARBOR_TEST_DATA_DIR "/golden/fleet_sweep.json");
+  ASSERT_FALSE(golden.empty());
+  const FleetSpec spec = tiny_spec();
+  fleet_init(dir_, spec);
+  fleet_work(dir_);
+  // Both paths hit the same checked-in bytes: the golden pins the format,
+  // and the pair pins fleet-vs-single-process byte identity from both sides.
+  EXPECT_EQ(fleet_merge(dir_) + "\n", golden);
+  EXPECT_EQ(reference_sweep_json(spec) + "\n", golden);
+}
+
+TEST_F(FleetTest, SecondWorkerOnAFinishedCampaignIsIdempotent) {
+  fleet_init(dir_, tiny_spec());
+  ASSERT_EQ(fleet_work(dir_).shards_run, 3u);
+  const std::string merged = fleet_merge(dir_);
+  const auto again = fleet_work(dir_);
+  EXPECT_EQ(again.shards_run, 0u);
+  EXPECT_EQ(again.requeued_stale, 0u);
+  EXPECT_EQ(fleet_merge(dir_), merged);
+}
+
+TEST_F(FleetTest, CheckpointedShardsAreNeverRecomputed) {
+  fleet_init(dir_, tiny_spec());
+  ASSERT_EQ(fleet_work(dir_).shards_run, 3u);
+  // Plant a sentinel in one checkpoint.  If any later worker recomputed the
+  // shard it would atomically replace the file and erase the sentinel.
+  const std::string path = dir_ + "/results/A1-search.json";
+  const std::string sentinel =
+      "{\"fleet_shard\":1,\"key\":\"A1-search\","
+      "\"result\":{\"tests\":12345}}\n";
+  ASSERT_TRUE(write_text_file(path, sentinel).empty());
+  EXPECT_EQ(fleet_work(dir_).shards_run, 0u);
+  EXPECT_EQ(slurp(path), sentinel);
+}
+
+TEST_F(FleetTest, WorkerResumesACrashedWorkersShard) {
+  const FleetSpec spec = tiny_spec();
+  fleet_init(dir_, spec);
+  // A dead-pid owner stands in for a worker SIGKILLed mid-shard: lease
+  // held, no checkpoint (the fork-based kill/resume suite exercises the
+  // real signal path).
+  ASSERT_TRUE(leasedir::try_claim(dir_, "999999999").has_value());
+  const auto worked = fleet_work(dir_);
+  EXPECT_EQ(worked.requeued_stale, 1u);
+  EXPECT_EQ(worked.shards_run, 3u);
+  EXPECT_EQ(fleet_merge(dir_), reference_sweep_json(spec));
+}
+
+TEST_F(FleetTest, StaleLeaseWithCheckpointIsReleasedWithoutRecompute) {
+  fleet_init(dir_, tiny_spec());
+  ASSERT_EQ(fleet_work(dir_).shards_run, 3u);
+  const std::string merged = fleet_merge(dir_);
+  // A worker that died between checkpoint and release leaves this exact
+  // state: done work, stale lease.  Re-creating the lease marker needs raw
+  // file IO because the todo entry is long gone.
+  ASSERT_TRUE(write_text_file(dir_ + "/leases/A1-search@999999999", "stale\n")
+                  .empty());
+  const auto worked = fleet_work(dir_);
+  EXPECT_EQ(worked.released_done, 1u);
+  EXPECT_EQ(worked.requeued_stale, 0u);
+  EXPECT_EQ(worked.shards_run, 0u);
+  EXPECT_EQ(fleet_merge(dir_), merged);
+}
+
+TEST_F(FleetTest, MergeRefusesAnIncompleteCampaign) {
+  fleet_init(dir_, tiny_spec());
+  FleetWorkerOptions options;
+  options.max_shards = 1;
+  ASSERT_EQ(fleet_work(dir_, options).shards_run, 1u);
+  EXPECT_THROW(fleet_merge(dir_), CheckError);
+}
+
+TEST_F(FleetTest, StatusTracksShardLifecycle) {
+  fleet_init(dir_, tiny_spec());
+  auto status = fleet_status(dir_);
+  EXPECT_EQ(status.total, 3u);
+  EXPECT_EQ(status.todo, 3u);
+  EXPECT_EQ(status.done, 0u);
+  ASSERT_EQ(status.shards.size(), 3u);
+  EXPECT_EQ(status.shards[0].key, "A1-search");
+  EXPECT_EQ(status.shards[0].state, ShardState::kTodo);
+
+  // Claim (sorted order: A1) without finishing — reads as claimed + alive.
+  const auto claim = leasedir::try_claim(dir_);
+  ASSERT_TRUE(claim.has_value());
+  status = fleet_status(dir_);
+  EXPECT_EQ(status.claimed, 1u);
+  EXPECT_EQ(status.shards[0].state, ShardState::kClaimed);
+  EXPECT_TRUE(status.shards[0].owner_alive);
+  leasedir::requeue(*claim);
+
+  FleetWorkerOptions options;
+  options.max_shards = 1;
+  fleet_work(dir_, options);
+  status = fleet_status(dir_);
+  EXPECT_EQ(status.done, 1u);
+  EXPECT_EQ(status.todo, 2u);
+
+  fleet_work(dir_);
+  status = fleet_status(dir_);
+  EXPECT_EQ(status.done, 3u);
+  EXPECT_EQ(status.todo, 0u);
+  EXPECT_EQ(status.claimed, 0u);
+}
+
+TEST_F(FleetTest, LedgerFragmentsCloseOverTheFleet) {
+  FleetSpec spec = tiny_spec();
+  spec.ledger = true;
+  spec.soft_errors = false;  // closure must be airtight, not just plausible
+  fleet_init(dir_, spec);
+  fleet_work(dir_);
+
+  const auto fragments = fleet_ledger_fragments(dir_);
+  ASSERT_EQ(fragments.size(), 3u);
+  std::vector<std::pair<std::string, std::string>> named;
+  for (const auto& path : fragments) named.emplace_back(path, slurp(path));
+  const auto result = ledger::check_fleet_ledgers_jsonl(named, false);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.module_count, 3u);
+
+  // The same fragment twice = a shard counted twice; closure must fail.
+  named.push_back(named.front());
+  const auto doubled = ledger::check_fleet_ledgers_jsonl(named, false);
+  EXPECT_FALSE(doubled.ok);
+  EXPECT_NE(doubled.error.find("double-counted"), std::string::npos)
+      << doubled.error;
+}
+
+TEST(FleetSerialisation, SweepBytesAreSubmissionOrderInvariant) {
+  // Satellite regression: the report serialiser must not depend on job
+  // submission (and thus completion) order.  Run the same population in
+  // canonical, reversed, and rotated order — identical bytes each time.
+  const FleetSpec spec = tiny_spec();
+  std::vector<SweepJob> jobs;
+  for (const auto& shard : fleet_shards(spec)) jobs.push_back(shard.job);
+
+  CampaignEngine engine(2);
+  const std::string canonical = sweep_report_to_json(engine.run(jobs));
+
+  std::vector<SweepJob> reversed(jobs.rbegin(), jobs.rend());
+  EXPECT_EQ(sweep_report_to_json(engine.run(reversed)), canonical);
+
+  std::vector<SweepJob> rotated = jobs;
+  std::rotate(rotated.begin(), rotated.begin() + 1, rotated.end());
+  EXPECT_EQ(sweep_report_to_json(engine.run(rotated)), canonical);
+}
+
+}  // namespace
+}  // namespace parbor::core

@@ -2,6 +2,7 @@
 // --ledger-out artifacts).
 //
 //   ledger_check --ledger FILE [--expect-no-soft]
+//   ledger_check --fleet-dir DIR [--expect-no-soft]
 //
 // Exits 0 iff the ledger parses and closure holds: every flip event of a
 // deterministic mechanism joins an injected fault of the same job (with
@@ -9,39 +10,112 @@
 // record joins a fault.  --expect-no-soft additionally rejects soft-error
 // events — mandatory for campaigns that ran with --no-soft, where any
 // unattributed flip is an instrumentation bug.
+//
+// --fleet-dir validates the per-shard ledger fragments of a fleet campaign
+// directory (DIR/results/*.ledger.jsonl) as ONE campaign: each fragment
+// must close on its own, job ids must be disjoint across fragments, the
+// union must close, and no flip event may be recorded twice — the
+// "never double-counted" half of the fleet resume guarantee.
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/ledger/ledger_check.h"
 
 using namespace parbor;
 
-int main(int argc, char** argv) {
-  const Flags flags = Flags::parse(argc, argv);
-  if (!flags.ok() || !flags.has("ledger")) {
-    std::fprintf(stderr,
-                 "usage: ledger_check --ledger FILE [--expect-no-soft]\n");
-    return 2;
-  }
-  std::ifstream is(flags.get("ledger"), std::ios::binary);
-  if (!is.good()) {
-    std::fprintf(stderr, "cannot read %s\n", flags.get("ledger").c_str());
-    return 2;
-  }
+namespace {
+
+bool slurp(const std::string& path, std::string* out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return false;
   std::ostringstream ss;
   ss << is.rdbuf();
-  const auto result = ledger::check_ledger_jsonl(
-      ss.str(), !flags.get_bool("expect-no-soft"));
+  *out = ss.str();
+  return true;
+}
+
+// DIR/results/*.ledger.jsonl, sorted by path for deterministic fragment
+// indices in error messages.
+std::vector<std::string> fleet_fragment_paths(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  const fs::path results = fs::path(dir) / "results";
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(results, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    constexpr const char* kSuffix = ".ledger.jsonl";
+    if (name.size() > 13 && name.compare(name.size() - 13, 13, kSuffix) == 0) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+void report(const std::string& what, const ledger::LedgerCheckResult& result) {
   if (!result.ok) {
-    std::fprintf(stderr, "FAIL %s: %s\n", flags.get("ledger").c_str(),
-                 result.error.c_str());
-    return 1;
+    std::fprintf(stderr, "FAIL %s: %s\n", what.c_str(), result.error.c_str());
+    return;
   }
   std::printf(
       "OK %s: %zu module(s), %zu fault(s), %zu flip(s), %zu probe record(s)\n",
-      flags.get("ledger").c_str(), result.module_count, result.fault_count,
+      what.c_str(), result.module_count, result.fault_count,
       result.flip_count, result.probe_count);
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const bool single = flags.has("ledger");
+  const bool fleet = flags.has("fleet-dir");
+  if (!flags.ok() || single == fleet) {
+    std::fprintf(stderr,
+                 "usage: ledger_check --ledger FILE [--expect-no-soft]\n"
+                 "       ledger_check --fleet-dir DIR [--expect-no-soft]\n");
+    return 2;
+  }
+  const bool allow_soft = !flags.get_bool("expect-no-soft");
+
+  if (single) {
+    std::string text;
+    if (!slurp(flags.get("ledger"), &text)) {
+      std::fprintf(stderr, "cannot read %s\n", flags.get("ledger").c_str());
+      return 2;
+    }
+    const auto result = ledger::check_ledger_jsonl(text, allow_soft);
+    report(flags.get("ledger"), result);
+    return result.ok ? 0 : 1;
+  }
+
+  const std::string dir = flags.get("fleet-dir");
+  const auto paths = fleet_fragment_paths(dir);
+  if (paths.empty()) {
+    std::fprintf(stderr, "no ledger fragments under %s/results\n",
+                 dir.c_str());
+    return 2;
+  }
+  std::vector<std::pair<std::string, std::string>> fragments;
+  fragments.reserve(paths.size());
+  for (const auto& path : paths) {
+    std::string text;
+    if (!slurp(path, &text)) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 2;
+    }
+    fragments.emplace_back(path, std::move(text));
+  }
+  const auto result = ledger::check_fleet_ledgers_jsonl(fragments, allow_soft);
+  std::ostringstream what;
+  what << dir << " (" << fragments.size() << " fragment(s))";
+  report(what.str(), result);
+  return result.ok ? 0 : 1;
 }

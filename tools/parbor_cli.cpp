@@ -33,6 +33,20 @@
 //       engine.  --jobs bounds the worker count (default: all cores);
 //       results are bit-identical for every worker count.
 //
+//   parbor_cli fleet init   --dir DIR [--vendors A,B,C] [--indices 1-6]
+//                           [--scale ...] [--mode map|test|compare]
+//                           [--ledger true] [--seed N]
+//   parbor_cli fleet work   --dir DIR [--max-shards N] [--die-after-shards N]
+//   parbor_cli fleet merge  --dir DIR [--build-info true]
+//   parbor_cli fleet status --dir DIR
+//       Sharded, crash-resumable campaign service over a shared directory
+//       (see src/parbor/fleet.h).  `init` publishes the manifest and work
+//       queue; any number of `work` processes — concurrent, sequential,
+//       SIGKILLed and restarted — drain it exactly once; `merge` folds the
+//       per-shard checkpoints into DIR/fleet_sweep.json, byte-identical to
+//       `sweep` of the same spec.  PARBOR_FLEET_DIE_AT=N in the environment
+//       is the crash-injection hook (same as --die-after-shards N).
+//
 //   parbor_cli coverage --ledger FILE [--json PREFIX]
 //       Offline coverage accounting over a flip-provenance ledger:
 //       per-mechanism / per-coupling-span detection rates, the Fig. 13
@@ -66,6 +80,7 @@
 #include "common/build_info.h"
 #include "common/fileio.h"
 #include "common/flags.h"
+#include "common/leasedir.h"
 #include "common/ledger/coverage.h"
 #include "common/ledger/ledger.h"
 #include "common/table.h"
@@ -76,6 +91,7 @@
 #include "dcref/sim.h"
 #include "parbor/classic_tests.h"
 #include "parbor/engine.h"
+#include "parbor/fleet.h"
 #include "parbor/parbor.h"
 #include "parbor/mitigation.h"
 #include "parbor/report_io.h"
@@ -426,6 +442,112 @@ int cmd_sweep(const Flags& flags) {
   return 0;
 }
 
+// --mode map|test|compare, same vocabulary as `sweep`; returns false (and
+// complains) on anything else.
+bool parse_mode(const Flags& flags, core::CampaignKind* kind) {
+  const std::string mode = flags.get("mode", "map");
+  if (mode == "map") *kind = core::CampaignKind::kSearchOnly;
+  else if (mode == "test") *kind = core::CampaignKind::kFullPipeline;
+  else if (mode == "compare") *kind = core::CampaignKind::kFullWithRandom;
+  else {
+    std::fprintf(stderr, "unknown --mode %s\n", mode.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmd_fleet(const Flags& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr,
+                 "usage: parbor_cli fleet <init|work|merge|status> --dir DIR "
+                 "[flags]\n");
+    return 2;
+  }
+  const std::string& action = flags.positional()[1];
+  if (!flags.has("dir")) {
+    std::fprintf(stderr, "fleet %s needs --dir DIR\n", action.c_str());
+    return 2;
+  }
+  const std::string dir = flags.get("dir");
+
+  if (action == "init") {
+    core::FleetSpec spec;
+    spec.vendors.clear();
+    for (const auto& name : split_csv(flags.get("vendors", "A,B,C"))) {
+      spec.vendors.push_back(parse_vendor(name));
+    }
+    spec.indices = parse_indices(flags.get("indices", "1-6"));
+    spec.scale = parse_scale(flags.get("scale", "small"));
+    if (!parse_mode(flags, &spec.kind)) return 2;
+    spec.soft_errors = !flags.get_bool("no-soft");
+    spec.ledger = flags.get_bool("ledger");
+    if (flags.has("seed")) {
+      spec.config_seed = std::strtoull(flags.get("seed").c_str(), nullptr, 0);
+    }
+    core::fleet_init(dir, spec);
+    std::printf("fleet campaign at %s: %zu shard(s) (%s mode, %s scale)\n",
+                dir.c_str(), core::fleet_shards(spec).size(),
+                core::campaign_kind_name(spec.kind),
+                dram::scale_name(spec.scale));
+    return 0;
+  }
+
+  if (action == "work") {
+    core::FleetWorkerOptions options;
+    options.progress = flags.get_bool("progress");
+    options.max_shards = static_cast<int>(flags.get_int("max-shards", -1));
+    if (flags.has("die-after-shards")) {
+      options.die_after_shards =
+          static_cast<int>(flags.get_int("die-after-shards", -1));
+    } else if (const char* env = std::getenv("PARBOR_FLEET_DIE_AT")) {
+      options.die_after_shards = std::atoi(env);
+    }
+    const auto result = core::fleet_work(dir, options);
+    std::printf(
+        "worker %s: %zu shard(s) computed, %zu stale lease(s) re-queued, "
+        "%zu stale lease(s) released as done\n",
+        leasedir::process_owner().c_str(), result.shards_run,
+        result.requeued_stale, result.released_done);
+    return 0;
+  }
+
+  if (action == "merge") {
+    const std::string json =
+        core::fleet_merge(dir, flags.get_bool("build-info"));
+    const std::string path = dir + "/fleet_sweep.json";
+    if (const auto err = write_text_file(path, json + "\n"); !err.empty()) {
+      std::fprintf(stderr, "fleet merge: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("fleet report written to %s\n", path.c_str());
+    return 0;
+  }
+
+  if (action == "status") {
+    const auto status = core::fleet_status(dir);
+    Table table({"Shard", "State", "Owner"});
+    for (const auto& shard : status.shards) {
+      const char* state = "todo";
+      if (shard.state == core::ShardState::kDone) state = "done";
+      if (shard.state == core::ShardState::kClaimed) state = "claimed";
+      std::string owner;
+      if (shard.state == core::ShardState::kClaimed) {
+        owner = "pid " + std::to_string(shard.owner_pid) +
+                (shard.owner_alive ? "" : " (dead)");
+      }
+      table.add(shard.key, state, owner);
+    }
+    std::printf("%s", table.to_string().c_str());
+    std::printf("%zu/%zu done, %zu claimed, %zu todo\n", status.done,
+                status.total, status.claimed, status.todo);
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown fleet action '%s' (init|work|merge|status)\n",
+               action.c_str());
+  return 2;
+}
+
 bool read_file(const std::string& path, std::string* out) {
   std::ifstream is(path, std::ios::binary);
   if (!is.good()) return false;
@@ -560,8 +682,8 @@ int cmd_version() {
 int usage() {
   std::printf(
       "usage: parbor_cli "
-      "<map|test|compare|profile|mitigate|remap|dcref|sweep|coverage|explain|"
-      "version> [flags]\n"
+      "<map|test|compare|profile|mitigate|remap|dcref|sweep|fleet|coverage|"
+      "explain|version> [flags]\n"
       "  common flags: --vendor A|B|C|linear --index 1..6 "
       "--scale tiny|small|medium|large\n"
       "  map/test:     --json PREFIX [--cells true] [--build-info false]\n"
@@ -569,6 +691,9 @@ int usage() {
       "  dcref:        --workload N --trfc-ns N\n"
       "  sweep:        --vendors A,B,C --indices 1-6 --mode map|test|compare "
       "--jobs N [--json PREFIX]\n"
+      "  fleet:        <init|work|merge|status> --dir DIR (init: sweep spec "
+      "flags + --ledger; work: --max-shards N --die-after-shards N; merge: "
+      "--build-info true)\n"
       "  coverage:     --ledger FILE [--json PREFIX]\n"
       "  explain:      --ledger FILE (--cell CHIP,BANK,ROW,BIT | --fault ID) "
       "[--job N]\n"
@@ -592,6 +717,9 @@ const std::vector<std::string>& known_flags(const std::string& cmd) {
       {"sweep",
        {"vendors", "indices", "scale", "mode", "jobs", "json",
         "build-info"}},
+      {"fleet",
+       {"dir", "vendors", "indices", "scale", "mode", "ledger", "seed",
+        "max-shards", "die-after-shards", "build-info"}},
       {"coverage", {"ledger", "json"}},
       {"explain", {"ledger", "cell", "fault", "job"}},
       {"version", {}},
@@ -644,9 +772,10 @@ int setup_sinks(const Flags& flags, const std::string& cmd) {
     ledger::FlipLedger::global().set_enabled(true);
   }
   // Phase narration is for single-run commands only; the sweep drives its
-  // own job meter and the two must not interleave on stderr.
+  // own job meter, the fleet worker its per-shard lines, and the two must
+  // not interleave on stderr.
   telemetry::set_phase_progress(flags.get_bool("progress") &&
-                                cmd != "sweep");
+                                cmd != "sweep" && cmd != "fleet");
   return 0;
 }
 
@@ -684,6 +813,7 @@ int dispatch(const std::string& cmd, const Flags& flags) {
   if (cmd == "remap") return cmd_remap(flags);
   if (cmd == "dcref") return cmd_dcref(flags);
   if (cmd == "sweep") return cmd_sweep(flags);
+  if (cmd == "fleet") return cmd_fleet(flags);
   if (cmd == "coverage") return cmd_coverage(flags);
   if (cmd == "explain") return cmd_explain(flags);
   if (cmd == "version") return cmd_version();
