@@ -98,6 +98,51 @@ void BM_ReadKernelCouplingSweep(benchmark::State& state, bool telemetry) {
 BENCHMARK_CAPTURE(BM_ReadKernelCouplingSweep, telemetry_off, false);
 BENCHMARK_CAPTURE(BM_ReadKernelCouplingSweep, telemetry_on, true);
 
+// The same coupling-dominated sweep through the batched block-kernel entry
+// (TestHost::read_rows_flips): one call covers the whole bank, so the timed
+// region exercises the structure-of-arrays plan, the branchless charged-
+// victim compaction and the interleaved accumulation.  CI records this case
+// into BENCH_read_kernel_batched.json, gates it against its own baseline,
+// and additionally gates it against the *scalar* baseline at --max-ratio 0.5
+// — the batched kernel must stay at least 2x faster than the scalar one it
+// shadows, or the whole point of the block path is gone.
+void BM_ReadKernelCouplingSweepBatched(benchmark::State& state,
+                                       bool telemetry) {
+  auto& registry = telemetry::MetricsRegistry::global();
+  registry.set_enabled(telemetry);
+  auto cfg = dram::make_module_config(dram::Vendor::kA, 1, dram::Scale::kTiny);
+  cfg.chip.faults.coupling_cell_rate = 2e-2;
+  cfg.chip.faults.weak_cell_rate = 0.0;
+  cfg.chip.faults.vrt_cell_rate = 0.0;
+  cfg.chip.faults.marginal_cell_rate = 0.0;
+  cfg.chip.faults.soft_error_rate = 0.0;
+  dram::Module module(cfg);
+  mc::TestHost host(module);
+  host.set_read_path(mc::TestHost::ReadPath::kBatched);
+  BitVec pattern(cfg.chip.row_bits);
+  for (std::size_t i = 0; i < cfg.chip.row_bits; ++i) {
+    pattern.set(i, (i >> 3) & 1);
+  }
+  const auto rows = host.all_rows();
+  for (const auto& addr : rows) host.write_row(addr, pattern);
+  std::vector<mc::FlipRecord> out;
+  host.wait(host.test_wait());
+  host.read_rows_flips(rows, out);  // warm-up: lazy generation + compilation
+  std::size_t flips = 0;
+  for (auto _ : state) {
+    host.wait(host.test_wait());
+    out.clear();  // read_rows_flips appends; capacity stays warm
+    host.read_rows_flips(rows, out);
+    flips += out.size();
+    benchmark::DoNotOptimize(flips);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rows.size()));
+  registry.set_enabled(false);
+}
+BENCHMARK_CAPTURE(BM_ReadKernelCouplingSweepBatched, telemetry_off, false);
+BENCHMARK_CAPTURE(BM_ReadKernelCouplingSweepBatched, telemetry_on, true);
+
 void BM_RoundPlanConstruction(benchmark::State& state) {
   const std::set<std::int64_t> distances{1, 64};
   for (auto _ : state) {

@@ -53,23 +53,23 @@ std::vector<BenchSample> parse_gbench_json(std::string_view text) {
   return out;
 }
 
-std::vector<PerfRegression> find_perf_regressions(
-    const std::vector<BenchSample>& measured,
-    const std::vector<BenchSample>& baseline, double max_ratio) {
+PerfComparison compare_perf(const std::vector<BenchSample>& measured,
+                            const std::vector<BenchSample>& baseline,
+                            double max_ratio) {
   PARBOR_CHECK_MSG(max_ratio > 0.0, "max_ratio must be positive");
   const auto measured_min = min_cpu_by_name(measured);
   const auto baseline_min = min_cpu_by_name(baseline);
-  std::vector<PerfRegression> out;
+  PerfComparison out;
   for (const auto& [name, base_ns] : baseline_min) {
     const auto it = measured_min.find(name);
     if (it == measured_min.end()) {
       // A benchmark that vanished must not silently pass the gate.
-      out.push_back({name, 0.0, base_ns, 0.0});
+      out.missing.push_back(name);
       continue;
     }
     const double ratio = base_ns > 0.0 ? it->second / base_ns : 0.0;
     if (ratio > max_ratio) {
-      out.push_back({name, it->second, base_ns, ratio});
+      out.regressions.push_back({name, it->second, base_ns, ratio});
     }
   }
   return out;

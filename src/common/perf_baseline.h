@@ -31,16 +31,26 @@ struct PerfRegression {
   double ratio = 0.0;  // measured / baseline
 };
 
+// Outcome of a baseline comparison.  A slow benchmark (regressions) and a
+// benchmark the run never produced (missing) are different failures: the
+// first is a perf problem, the second a configuration problem — a renamed
+// benchmark, a stale baseline, the wrong --benchmark_filter — and perf_gate
+// reports them with different exit codes.
+struct PerfComparison {
+  std::vector<PerfRegression> regressions;
+  std::vector<std::string> missing;  // baseline names absent from the run
+};
+
 // Compares measurement against baseline by benchmark name (cpu_time; the
 // wall clock of a shared CI runner is too noisy).  For names with several
 // samples (repetitions) the minimum is used on both sides — the minimum is
-// the least noise-contaminated statistic of a benchmark run.  Returns every
-// baseline benchmark whose measured time exceeds `max_ratio` times its
-// baseline time.  Baseline entries missing from the measurement are
-// reported as regressions with ratio 0 (a silently dropped benchmark must
-// not pass the gate); measured entries without a baseline are ignored.
-std::vector<PerfRegression> find_perf_regressions(
-    const std::vector<BenchSample>& measured,
-    const std::vector<BenchSample>& baseline, double max_ratio);
+// the least noise-contaminated statistic of a benchmark run.  Every baseline
+// benchmark whose measured time exceeds `max_ratio` times its baseline time
+// lands in `regressions`; baseline entries the measurement never produced
+// land in `missing` (a silently dropped benchmark must not pass the gate);
+// measured entries without a baseline are ignored.
+PerfComparison compare_perf(const std::vector<BenchSample>& measured,
+                            const std::vector<BenchSample>& baseline,
+                            double max_ratio);
 
 }  // namespace parbor

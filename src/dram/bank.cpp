@@ -108,7 +108,8 @@ Bank::RowPlan& Bank::faults_entry(std::uint32_t row) {
             return std::nullopt;
           }
           return col;
-        });
+        },
+        config_.row_bits);
     faults_[row].emplace(RowPlan{std::move(f), std::move(plan)});
   }
   return *faults_[row];
@@ -131,7 +132,8 @@ Bank::RowPlan& Bank::spare_entry(std::uint32_t row) {
           const auto nb = static_cast<std::int64_t>(c.phys_col) + delta;
           if (nb < 0 || nb >= n) return std::nullopt;
           return remap_[static_cast<std::size_t>(nb)];
-        });
+        },
+        remap_.size());
     spare_faults_[row].emplace(RowPlan{std::move(f), std::move(plan)});
   }
   return *spare_faults_[row];
@@ -153,6 +155,24 @@ const CompiledCouplingPlan& Bank::compiled_spare_coupling(std::uint32_t row) {
 void Bank::read_row_flips_append(std::uint32_t row, SimTime now,
                                  double temp_factor,
                                  std::vector<std::uint32_t>& out) {
+  evaluate_row_flips(row, now, temp_factor, nullptr, out);
+}
+
+void Bank::read_rows_flips(const std::uint32_t* rows, const SimTime* nows,
+                           std::size_t count, double temp_factor,
+                           std::vector<std::uint32_t>& out,
+                           std::vector<std::uint32_t>& row_ends) {
+  CouplingBlockScratch scratch;
+  for (std::size_t i = 0; i < count; ++i) {
+    evaluate_row_flips(rows[i], nows[i], temp_factor, &scratch, out);
+    row_ends.push_back(static_cast<std::uint32_t>(out.size()));
+  }
+}
+
+void Bank::evaluate_row_flips(std::uint32_t row, SimTime now,
+                              double temp_factor,
+                              CouplingBlockScratch* scratch,
+                              std::vector<std::uint32_t>& out) {
   BitVec& bits = row_data(row, now);
   const SimTime held = now - write_time_[row];
   const SimTime eff = SimTime::sec(held.seconds() * temp_factor);
@@ -186,8 +206,18 @@ void Bank::read_row_flips_append(std::uint32_t row, SimTime now,
   // Coupling (data-dependent) failures, main array then spare region, both
   // through the precompiled plans.  A victim is vulnerable only in the
   // charged state; an oppositely-charged (discharged) source contributes
-  // its coupling coefficient to the interference.
-  if (!attributed) {
+  // its coupling coefficient to the interference.  The block and scalar
+  // kernels are bit-exact against each other, so which one runs never
+  // changes the flip stream; attributed reads always take the scalar path,
+  // which is the only one instrumented for provenance.
+  if (!attributed && scratch != nullptr) {
+    evaluate_coupling_plan_block(plan.coupling, eff, bits, anti, *scratch,
+                                 out);
+    if (!remap_.empty()) {
+      evaluate_coupling_plan_block(spare_entry(row).coupling, eff, bits, anti,
+                                   *scratch, out);
+    }
+  } else if (!attributed) {
     evaluate_coupling_plan(plan.coupling, eff, bits, anti, out);
     if (!remap_.empty()) {
       evaluate_coupling_plan(spare_entry(row).coupling, eff, bits, anti, out);

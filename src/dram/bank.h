@@ -68,6 +68,22 @@ class Bank {
                              double temp_factor,
                              std::vector<std::uint32_t>& out);
 
+  // Batched read: destructively reads `count` rows in order, each at its own
+  // clock value `nows[i]` (the host advances the clock per row op), using the
+  // block coupling kernel with per-batch scratch reuse.  Appends the flipped
+  // physical columns of row i to `out` and records the absolute `out` size
+  // after row i in `row_ends`, so callers can slice per-row spans.  Flip
+  // streams are bit-identical to `count` read_row_flips_append calls: rows
+  // evaluate strictly in order (the sequential event_rng_ draws and the
+  // wordline reads of already-committed neighbour content depend on it), and
+  // the block kernel is bit-exact against the scalar one.  While a ledger
+  // read context is armed, rows fall back to the attributed scalar path so
+  // provenance events are identical too.
+  void read_rows_flips(const std::uint32_t* rows, const SimTime* nows,
+                       std::size_t count, double temp_factor,
+                       std::vector<std::uint32_t>& out,
+                       std::vector<std::uint32_t>& row_ends);
+
   // Full-content read (same semantics, returns the post-failure data).
   BitVec read_row(std::uint32_t row, SimTime now, double temp_factor);
 
@@ -104,6 +120,12 @@ class Bank {
   BitVec& row_data(std::uint32_t row, SimTime now);
   RowPlan& faults_entry(std::uint32_t row);
   RowPlan& spare_entry(std::uint32_t row);
+
+  // The full single-row read: coupling (block kernel when `scratch` is
+  // given, scalar otherwise), the other fault classes, commit, ledger.
+  void evaluate_row_flips(std::uint32_t row, SimTime now, double temp_factor,
+                          CouplingBlockScratch* scratch,
+                          std::vector<std::uint32_t>& out);
 
   BankConfig config_;
   FaultModelParams fault_params_;

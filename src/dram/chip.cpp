@@ -80,4 +80,18 @@ void Chip::read_row_flips_append(std::uint32_t bank, std::uint32_t row,
   }
 }
 
+void Chip::read_rows_flips_append(std::uint32_t bank,
+                                  const std::uint32_t* rows,
+                                  const SimTime* nows, std::size_t count,
+                                  std::vector<std::uint32_t>& out,
+                                  std::vector<std::uint32_t>& row_ends) {
+  PARBOR_CHECK(bank < config_.banks);
+  const std::size_t base = out.size();
+  banks_[bank].read_rows_flips(rows, nows, count, temp_factor(), out,
+                               row_ends);
+  for (std::size_t i = base; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint32_t>(scrambler_->to_system(out[i]));
+  }
+}
+
 }  // namespace parbor::dram

@@ -62,6 +62,15 @@ class Chip {
   // `out` (the per-read tail stays sorted by physical column).
   void read_row_flips_append(std::uint32_t bank, std::uint32_t row,
                              SimTime now, std::vector<std::uint32_t>& out);
+  // Batched variant over one bank: reads `count` rows in order, row i at
+  // clock `nows[i]`, through Bank::read_rows_flips (block coupling kernel,
+  // shared scratch).  Appends flipped system bits to `out`; `row_ends[i]`
+  // records the absolute `out` size after row i.  Bit-identical to `count`
+  // read_row_flips_append calls.
+  void read_rows_flips_append(std::uint32_t bank, const std::uint32_t* rows,
+                              const SimTime* nows, std::size_t count,
+                              std::vector<std::uint32_t>& out,
+                              std::vector<std::uint32_t>& row_ends);
 
   // --- broadcast fast path ----------------------------------------------
   BitVec permute_to_physical(const BitVec& sys_bits) const;

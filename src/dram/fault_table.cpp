@@ -10,19 +10,21 @@ void record_coupling_plan(ledger::FlipLedger& led, std::uint32_t job,
                           const Scrambler& scrambler,
                           const CompiledCouplingPlan& plan, std::uint32_t chip,
                           std::uint32_t bank, std::uint32_t row, bool spare) {
-  for (const CompiledCouplingVictim& v : plan.victims) {
+  for (std::size_t v = 0; v < plan.victim_count(); ++v) {
     ledger::FaultRecord rec;
     rec.job = job;
     rec.id = ledger::pack_fault_id({chip, bank, row, spare,
                                     ledger::Mechanism::kCoupling,
-                                    v.profile_index});
-    rec.victim_col = v.col;
-    rec.sys_bit = static_cast<std::uint32_t>(scrambler.to_system(v.col));
-    rec.hold_ms = v.min_hold.milliseconds();
-    rec.threshold = v.threshold;
-    rec.deltas.reserve(v.src_count);
-    for (std::uint32_t k = 0; k < v.src_count; ++k) {
-      rec.deltas.push_back(plan.sources[v.src_begin + k].delta);
+                                    plan.profile_index[v]});
+    rec.victim_col = plan.victim_col[v];
+    rec.sys_bit =
+        static_cast<std::uint32_t>(scrambler.to_system(plan.victim_col[v]));
+    rec.hold_ms = plan.min_hold[v].milliseconds();
+    rec.threshold = plan.threshold[v];
+    rec.deltas.reserve(plan.src_offset[v + 1] - plan.src_offset[v]);
+    for (std::uint32_t k = plan.src_offset[v]; k < plan.src_offset[v + 1];
+         ++k) {
+      rec.deltas.push_back(plan.src_delta[k]);
     }
     led.record_fault(rec);
   }

@@ -1,6 +1,7 @@
 #include "dram/faults.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <unordered_set>
 
@@ -127,11 +128,73 @@ CouplingProfile make_coupling(const FaultModelParams& p, Rng& rng,
 
 }  // namespace
 
+namespace {
+
+// Fills the windowed fire tables of a fully-built plan, or leaves the plan
+// non-windowed when any source falls outside the victim+delta shape (spare
+// plans) or the row is too narrow for a window.
+void build_fire_tables(CompiledCouplingPlan& plan, std::size_t row_bits) {
+  constexpr std::uint32_t kWin = CompiledCouplingPlan::kWindow;
+  if (row_bits < kWin) return;
+  const std::size_t n = plan.victim_count();
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::uint32_t k = plan.src_offset[v]; k < plan.src_offset[v + 1];
+         ++k) {
+      const std::int64_t expect =
+          static_cast<std::int64_t>(plan.victim_col[v]) + plan.src_delta[k];
+      if (static_cast<std::int64_t>(plan.src_col[k]) != expect) return;
+    }
+  }
+
+  plan.win_base.resize(n);
+  plan.fire_table.assign(n * CompiledCouplingPlan::kTableBytes, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint32_t vcol = plan.victim_col[v];
+    const std::uint32_t base =
+        std::min(vcol >= 4 ? vcol - 4 : 0,
+                 static_cast<std::uint32_t>(row_bits - kWin));
+    plan.win_base[v] = base;
+    const std::uint32_t s0 = plan.src_offset[v];
+    const std::uint32_t ns = plan.src_offset[v + 1] - s0;
+    PARBOR_CHECK(ns <= CompiledCouplingPlan::kPaddedSources);
+    // Exact interference sum for every subset of the live sources.  The
+    // recursion adds the highest-index member last, so each subset's addends
+    // land in ascending slot order — the scalar kernel's exact sequence.
+    float sums[1u << CompiledCouplingPlan::kPaddedSources];
+    sums[0] = 0.0f;
+    for (std::uint32_t m = 1; m < (1u << ns); ++m) {
+      const auto h = static_cast<std::uint32_t>(std::bit_width(m) - 1);
+      sums[m] = sums[m & ~(1u << h)] + plan.src_coeff[s0 + h];
+    }
+    // Window positions of the victim and of each live source.
+    const std::uint32_t pv = vcol - base;
+    std::uint32_t pos[CompiledCouplingPlan::kPaddedSources] = {};
+    for (std::uint32_t k = 0; k < ns; ++k) {
+      pos[k] = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(vcol) + plan.src_delta[s0 + k] -
+          static_cast<std::int64_t>(base));
+      PARBOR_CHECK(pos[k] < kWin);
+    }
+    std::uint8_t* tab =
+        plan.fire_table.data() + v * CompiledCouplingPlan::kTableBytes;
+    for (std::uint32_t d = 0; d < (1u << kWin); ++d) {
+      if ((d >> pv) & 1u) continue;  // victim discharged: invulnerable
+      std::uint32_t m = 0;
+      for (std::uint32_t k = 0; k < ns; ++k) {
+        m |= ((d >> pos[k]) & 1u) << k;
+      }
+      if (sums[m] >= plan.threshold[v]) tab[d >> 3] |= 1u << (d & 7);
+    }
+  }
+  plan.windowed = true;
+}
+
+}  // namespace
+
 CompiledCouplingPlan compile_coupling_plan(
     const std::vector<CouplingProfile>& profiles,
-    const VictimResolver& victim_col, const SourceResolver& source_col) {
-  CompiledCouplingPlan plan;
-  plan.victims.reserve(profiles.size());
+    const VictimResolver& victim_col, const SourceResolver& source_col,
+    std::size_t row_bits) {
   // Slot order mirrors the original evaluation loop so the interference sum
   // accumulates in the same order (float addition is not associative).
   struct Slot {
@@ -144,54 +207,185 @@ CompiledCouplingPlan compile_coupling_plan(
       {-3, &CouplingProfile::c_left3}, {+3, &CouplingProfile::c_right3},
       {-4, &CouplingProfile::c_left4}, {+4, &CouplingProfile::c_right4},
   };
-  for (const CouplingProfile& c : profiles) {
-    CompiledCouplingVictim v;
-    v.col = victim_col(c);
-    v.profile_index =
-        static_cast<std::uint32_t>(&c - profiles.data());
-    v.threshold = c.threshold;
-    v.min_hold = c.min_hold;
-    v.src_begin = static_cast<std::uint32_t>(plan.sources.size());
+  static_assert(CompiledCouplingPlan::kPaddedSources == 8,
+                "padded rows must hold every profile slot");
+
+  // Lay the plan out in final (min_hold-sorted) victim order from the
+  // start, so the flat source arrays are emitted as one contiguous prefix
+  // walk.  Ties keep generation order, so plans are deterministic.
+  const std::size_t n = profiles.size();
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return profiles[a].min_hold < profiles[b].min_hold;
+                   });
+
+  CompiledCouplingPlan plan;
+  plan.victim_col.reserve(n);
+  plan.profile_index.reserve(n);
+  plan.threshold.reserve(n);
+  plan.min_hold.reserve(n);
+  plan.src_offset.reserve(n + 1);
+  plan.src_offset.push_back(0);
+  plan.pad_col.reserve(n * CompiledCouplingPlan::kPaddedSources);
+  plan.pad_coeff.reserve(n * CompiledCouplingPlan::kPaddedSources);
+  for (const std::uint32_t idx : order) {
+    const CouplingProfile& c = profiles[idx];
+    const std::uint32_t vcol = victim_col(c);
+    plan.victim_col.push_back(vcol);
+    plan.profile_index.push_back(idx);
+    plan.threshold.push_back(c.threshold);
+    plan.min_hold.push_back(c.min_hold);
     for (const Slot& slot : kSlots) {
       const float coeff = c.*slot.coeff;
       if (coeff == 0.0f) continue;  // adds nothing (coefficients are >= 0)
       const auto src = source_col(c, slot.delta);
       if (!src.has_value()) continue;  // edge / cross-tile / repaired: dead
-      plan.sources.push_back({*src, coeff, slot.delta});
+      plan.src_col.push_back(*src);
+      plan.src_coeff.push_back(coeff);
+      plan.src_delta.push_back(slot.delta);
+      plan.pad_col.push_back(*src);
+      plan.pad_coeff.push_back(coeff);
     }
-    v.src_count =
-        static_cast<std::uint32_t>(plan.sources.size()) - v.src_begin;
-    plan.victims.push_back(v);
+    plan.src_offset.push_back(static_cast<std::uint32_t>(plan.src_col.size()));
+    // Pad the fixed-width row: zero coefficients probing the victim's own
+    // column (always a valid load) leave the float sum bit-identical.
+    while (plan.pad_coeff.size() <
+           plan.victim_count() * CompiledCouplingPlan::kPaddedSources) {
+      plan.pad_col.push_back(vcol);
+      plan.pad_coeff.push_back(0.0f);
+    }
   }
-  std::stable_sort(plan.victims.begin(), plan.victims.end(),
-                   [](const CompiledCouplingVictim& a,
-                      const CompiledCouplingVictim& b) {
-                     return a.min_hold < b.min_hold;
-                   });
+  build_fire_tables(plan, row_bits);
   return plan;
 }
 
 void evaluate_coupling_plan(const CompiledCouplingPlan& plan, SimTime eff,
                             const BitVec& bits, bool anti,
                             std::vector<std::uint32_t>& out) {
-  const CompiledCouplingSource* sources = plan.sources.data();
   const std::uint64_t* words = bits.words().data();
   const std::uint64_t anti_bit = anti ? 1u : 0u;
   auto discharged = [&](std::uint32_t col) -> std::uint64_t {
     return ((words[col >> 6] >> (col & 63)) & 1u) ^ anti_bit ^ 1u;
   };
-  for (const CompiledCouplingVictim& v : plan.victims) {
-    if (eff < v.min_hold) break;  // sorted: nothing further can arm
-    if (discharged(v.col)) continue;  // victim vulnerable only when charged
+  const std::size_t n = plan.victim_count();
+  for (std::size_t v = 0; v < n; ++v) {
+    if (eff < plan.min_hold[v]) break;  // sorted: nothing further can arm
+    const std::uint32_t vcol = plan.victim_col[v];
+    if (discharged(vcol)) continue;  // victim vulnerable only when charged
     float interference = 0.0f;
-    const CompiledCouplingSource* s = sources + v.src_begin;
-    for (std::uint32_t k = 0; k < v.src_count; ++k) {
+    for (std::uint32_t k = plan.src_offset[v]; k < plan.src_offset[v + 1];
+         ++k) {
       // Branchless: a charged source multiplies its coefficient by 0, which
       // leaves the float sum bit-identical (coefficients are non-negative).
       interference +=
-          s[k].coeff * static_cast<float>(discharged(s[k].col));
+          plan.src_coeff[k] * static_cast<float>(discharged(plan.src_col[k]));
     }
-    if (interference >= v.threshold) out.push_back(v.col);
+    if (interference >= plan.threshold[v]) out.push_back(vcol);
+  }
+}
+
+void evaluate_coupling_plan_block(const CompiledCouplingPlan& plan,
+                                  SimTime eff, const BitVec& bits, bool anti,
+                                  CouplingBlockScratch& scratch,
+                                  std::vector<std::uint32_t>& out) {
+  const std::size_t n = plan.victim_count();
+  if (n == 0) return;
+  // One binary search replaces the per-victim early-out: victims are sorted
+  // by min_hold, so the armed set is exactly the prefix with min_hold <= eff.
+  const std::size_t armed = static_cast<std::size_t>(
+      std::upper_bound(plan.min_hold.begin(), plan.min_hold.end(), eff) -
+      plan.min_hold.begin());
+  if (armed == 0) return;
+
+  const std::uint64_t* words = bits.words().data();
+  const std::uint32_t anti_bit = anti ? 1u : 0u;
+  auto bit_at = [&](std::uint32_t col) -> std::uint32_t {
+    return static_cast<std::uint32_t>((words[col >> 6] >> (col & 63)) & 1u);
+  };
+
+  if (plan.windowed) {
+    // Float-free path: the nine raw window bits, XORed into discharge space,
+    // index the victim's precomputed fire table.  In an anti row charge is
+    // the data bit itself, so discharged == ~bit there and == bit otherwise.
+    constexpr std::uint32_t kWinMask = (1u << CompiledCouplingPlan::kWindow) - 1;
+    const std::uint64_t inv = anti ? 0u : kWinMask;
+    const std::uint8_t* tables = plan.fire_table.data();
+    const std::uint32_t* bases = plan.win_base.data();
+    for (std::size_t v = 0; v < armed; ++v) {
+      const std::uint32_t base = bases[v];
+      const std::uint32_t sh = base & 63;
+      std::uint64_t w = words[base >> 6] >> sh;
+      if (sh > 64 - CompiledCouplingPlan::kWindow) {
+        w |= words[(base >> 6) + 1] << (64 - sh);
+      }
+      const auto d = static_cast<std::uint32_t>((w ^ inv) & kWinMask);
+      const std::uint8_t* tab =
+          tables + v * CompiledCouplingPlan::kTableBytes;
+      if ((tab[d >> 3] >> (d & 7)) & 1u) out.push_back(plan.victim_col[v]);
+    }
+    return;
+  }
+
+  // Compact the charged armed victims branchlessly; a discharged victim is
+  // invulnerable and its sources are never summed (matching the scalar
+  // kernel's skip, and halving the float work on typical half-charged rows).
+  scratch.charged.resize(armed);
+  std::uint32_t* idx = scratch.charged.data();
+  std::size_t m = 0;
+  for (std::size_t v = 0; v < armed; ++v) {
+    idx[m] = static_cast<std::uint32_t>(v);
+    m += bit_at(plan.victim_col[v]) ^ anti_bit;  // charged: bit != anti
+  }
+
+  constexpr std::uint32_t P = CompiledCouplingPlan::kPaddedSources;
+  const std::uint32_t* pcol = plan.pad_col.data();
+  const float* pcoef = plan.pad_coeff.data();
+  auto disch = [&](std::uint32_t col) -> float {
+    return static_cast<float>(bit_at(col) ^ anti_bit ^ 1u);
+  };
+  auto commit = [&](std::uint32_t v, float acc) {
+    if (acc >= plan.threshold[v]) out.push_back(plan.victim_col[v]);
+  };
+  // Four victims in flight: four independent accumulator chains hide the
+  // FP-add latency the one-victim-at-a-time kernel serialises on.  Each
+  // accumulator still adds its own victim's terms in slot order (padding
+  // terms are exact +0.0f no-ops), so every float matches the scalar kernel
+  // bit for bit, and victims retire in index order, so `out` is identical.
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const std::uint32_t v0 = idx[i], v1 = idx[i + 1];
+    const std::uint32_t v2 = idx[i + 2], v3 = idx[i + 3];
+    const std::uint32_t* c0 = pcol + v0 * P;
+    const std::uint32_t* c1 = pcol + v1 * P;
+    const std::uint32_t* c2 = pcol + v2 * P;
+    const std::uint32_t* c3 = pcol + v3 * P;
+    const float* f0 = pcoef + v0 * P;
+    const float* f1 = pcoef + v1 * P;
+    const float* f2 = pcoef + v2 * P;
+    const float* f3 = pcoef + v3 * P;
+    float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+    for (std::uint32_t k = 0; k < P; ++k) {
+      a0 += f0[k] * disch(c0[k]);
+      a1 += f1[k] * disch(c1[k]);
+      a2 += f2[k] * disch(c2[k]);
+      a3 += f3[k] * disch(c3[k]);
+    }
+    commit(v0, a0);
+    commit(v1, a1);
+    commit(v2, a2);
+    commit(v3, a3);
+  }
+  for (; i < m; ++i) {
+    const std::uint32_t v = idx[i];
+    const std::uint32_t* c = pcol + v * P;
+    const float* f = pcoef + v * P;
+    float acc = 0.0f;
+    for (std::uint32_t k = 0; k < P; ++k) acc += f[k] * disch(c[k]);
+    commit(v, acc);
   }
 }
 
@@ -203,27 +397,28 @@ void evaluate_coupling_plan_attributed(
   // Mirrors evaluate_coupling_plan exactly; the mask bookkeeping must not
   // change the float accumulation, so flip sets stay bit-identical whether
   // or not the ledger observes a read.
-  const CompiledCouplingSource* sources = plan.sources.data();
   const std::uint64_t* words = bits.words().data();
   const std::uint64_t anti_bit = anti ? 1u : 0u;
   auto discharged = [&](std::uint32_t col) -> std::uint64_t {
     return ((words[col >> 6] >> (col & 63)) & 1u) ^ anti_bit ^ 1u;
   };
-  for (const CompiledCouplingVictim& v : plan.victims) {
-    if (eff < v.min_hold) break;  // sorted: nothing further can arm
-    if (discharged(v.col)) continue;  // victim vulnerable only when charged
+  const std::size_t n = plan.victim_count();
+  for (std::size_t v = 0; v < n; ++v) {
+    if (eff < plan.min_hold[v]) break;  // sorted: nothing further can arm
+    const std::uint32_t vcol = plan.victim_col[v];
+    if (discharged(vcol)) continue;  // victim vulnerable only when charged
     float interference = 0.0f;
     std::uint32_t mask = 0;
-    const CompiledCouplingSource* s = sources + v.src_begin;
-    for (std::uint32_t k = 0; k < v.src_count; ++k) {
-      const std::uint64_t d = discharged(s[k].col);
-      mask |= static_cast<std::uint32_t>(d) << k;
-      interference += s[k].coeff * static_cast<float>(d);
+    const std::uint32_t begin = plan.src_offset[v];
+    for (std::uint32_t k = begin; k < plan.src_offset[v + 1]; ++k) {
+      const std::uint64_t d = discharged(plan.src_col[k]);
+      mask |= static_cast<std::uint32_t>(d) << (k - begin);
+      interference += plan.src_coeff[k] * static_cast<float>(d);
     }
-    probes.push_back({v.profile_index, mask});
-    if (interference >= v.threshold) {
-      out.push_back(v.col);
-      flips.push_back({v.col, v.profile_index});
+    probes.push_back({plan.profile_index[v], mask});
+    if (interference >= plan.threshold[v]) {
+      out.push_back(vcol);
+      flips.push_back({vcol, plan.profile_index[v]});
     }
   }
 }

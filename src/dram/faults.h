@@ -168,37 +168,77 @@ struct RowFaults {
 // on every read means re-deriving the same facts each time: which of the
 // eight neighbour slots exist at all (array edges, tile boundaries, repaired
 // columns) and which column each slot refers to.  All of that is immutable
-// once a row's population exists, so it is resolved ONCE into a flat plan:
-// per victim, a contiguous span of (source column, coefficient) pairs with
-// only the live, non-zero sources kept, victims sorted by ascending min_hold
-// so a scan can stop at the first profile the effective hold cannot arm.
+// once a row's population exists, so it is resolved ONCE into a flat plan
+// held in structure-of-arrays form: per-victim attributes live in parallel
+// flat arrays indexed by victim (sorted by ascending min_hold so a scan can
+// stop at the first victim the effective hold cannot arm), and each victim's
+// live, non-zero sources occupy the contiguous span [src_offset[v],
+// src_offset[v+1]) of the flat source arrays.
 //
 // Bit-exactness invariant: for any data content, evaluate_coupling_plan()
 // produces exactly the flip set the original eight-slot walk produced.
 // Sources are kept in the original accumulation order (l1, r1, l2, r2, l3,
 // r3, l4, r4), so the float sum sees the same addends in the same order;
 // dropped sources are exactly those that contribute 0.0f or are never live.
-
-struct CompiledCouplingSource {
-  std::uint32_t col = 0;  // physical column whose charge is probed
-  float coeff = 0.0f;
-  std::int32_t delta = 0;  // the profile slot this source came from (-4..+4)
-};
-
-struct CompiledCouplingVictim {
-  std::uint32_t col = 0;  // column charged-checked and reported on failure
-  std::uint32_t src_begin = 0;  // span into CompiledCouplingPlan::sources
-  std::uint32_t src_count = 0;
-  // Index of the originating profile in the compile input — the fault's
-  // stable per-row ordinal for the provenance ledger.
-  std::uint32_t profile_index = 0;
-  float threshold = 1.0f;
-  SimTime min_hold;
-};
+//
+// The padded mirror (pad_col / pad_coeff) re-states every victim's sources
+// in fixed-width rows of kPaddedSources entries so the block kernel can
+// interleave several victims without per-victim span bookkeeping.  Padding
+// slots carry coefficient 0.0f and the victim's own column: the interference
+// sum only ever adds non-negative terms, so appending `+= 0.0f * x` terms
+// leaves the float value bit-identical (+0.0f is the additive identity for
+// every non-negative float).
+//
+// Windowed fire tables: in the main array every source sits at victim+delta
+// with delta in -4..+4, so a victim's entire fate is a function of the nine
+// data bits in the window [win_base, win_base + 8] around it.  When the
+// compile input has that shape (and row_bits >= 9 so the window fits), the
+// plan additionally carries, per victim, the window base column and a
+// 512-entry one-bit table indexed by the DISCHARGE pattern of the window:
+// entry d answers "does this victim fire when window bit j is discharged iff
+// bit j of d is set?".  Entries are precomputed by running the exact scalar
+// float accumulation (slot order, same addends) for every subset of the
+// victim's live sources, so a table lookup IS the scalar kernel's answer —
+// the block kernel then needs no float math at all on the read path.  Spare
+// plans resolve sources through the remap table (not victim+delta) and keep
+// windowed == false.
 
 struct CompiledCouplingPlan {
-  std::vector<CompiledCouplingVictim> victims;  // ascending min_hold
-  std::vector<CompiledCouplingSource> sources;
+  // One entry per victim, index order = ascending min_hold (ties keep
+  // generation order).  profile_index is the originating profile's position
+  // in the compile input — the fault's stable per-row ordinal for the
+  // provenance ledger.
+  std::vector<std::uint32_t> victim_col;
+  std::vector<std::uint32_t> profile_index;
+  std::vector<float> threshold;
+  std::vector<SimTime> min_hold;
+  // Prefix offsets into the source arrays; always victim_count()+1 entries.
+  std::vector<std::uint32_t> src_offset;
+
+  // Flat victim-major source arrays (exact form, no padding): column whose
+  // charge is probed, its coupling coefficient, and the profile slot it came
+  // from (-4..+4).
+  std::vector<std::uint32_t> src_col;
+  std::vector<float> src_coeff;
+  std::vector<std::int32_t> src_delta;
+
+  // Fixed-width padded mirror for the block kernel: victim v's sources sit
+  // at [v * kPaddedSources, (v + 1) * kPaddedSources).
+  static constexpr std::uint32_t kPaddedSources = 8;
+  std::vector<std::uint32_t> pad_col;
+  std::vector<float> pad_coeff;
+
+  // Windowed fire tables (see the header comment above).  When `windowed`
+  // is set, victim v's window starts at column win_base[v] and its table
+  // occupies fire_table[v * kTableBytes .. (v + 1) * kTableBytes).
+  static constexpr std::uint32_t kWindow = 9;  // victim +/- 4 columns
+  static constexpr std::uint32_t kTableBytes = (1u << kWindow) / 8;
+  bool windowed = false;
+  std::vector<std::uint32_t> win_base;
+  std::vector<std::uint8_t> fire_table;
+
+  std::size_t victim_count() const { return victim_col.size(); }
+  std::size_t source_count() const { return src_col.size(); }
 };
 
 // Resolves one neighbour slot of a profile: the physical column that acts as
@@ -214,16 +254,45 @@ using VictimResolver =
 
 // Flattens `profiles` into an evaluation plan.  Victims are stable-sorted by
 // min_hold (ties keep generation order), so plans are deterministic.
+// `row_bits` is the width of the row the plan will be evaluated against; it
+// sizes the windowed fire tables (pass the alias count for spare plans — the
+// contiguity check rejects them anyway, and 0 disables windowing outright).
 CompiledCouplingPlan compile_coupling_plan(
     const std::vector<CouplingProfile>& profiles,
-    const VictimResolver& victim_col, const SourceResolver& source_col);
+    const VictimResolver& victim_col, const SourceResolver& source_col,
+    std::size_t row_bits);
 
 // Evaluates a compiled plan against row content: a victim in the charged
 // state (bit != anti) fails when the summed coefficients of its discharged
 // sources reach its threshold.  Failing columns are appended to `out`.
+// This is the scalar reference kernel — the bit-exactness oracle the block
+// kernel below is tested against.
 void evaluate_coupling_plan(const CompiledCouplingPlan& plan, SimTime eff,
                             const BitVec& bits, bool anti,
                             std::vector<std::uint32_t>& out);
+
+// Reusable buffers for the block kernel so batched campaign loops allocate
+// nothing per row.
+struct CouplingBlockScratch {
+  std::vector<std::uint32_t> charged;  // armed victims in the charged state
+};
+
+// Block evaluation: same flip set, same output order, same decisions as
+// evaluate_coupling_plan, restructured for throughput.  The armed prefix is
+// found with one binary search on the min_hold array.  Windowed plans then
+// run float-free: per armed victim, load the nine-bit window around it, XOR
+// it into discharge space, and look the answer up in the precomputed fire
+// table (whose entries were filled by the exact scalar accumulation — slot
+// order, same addends — so the §4b accumulation-order invariant is baked
+// into the table rather than re-run per read).  Non-windowed plans (the
+// spare region) fall back to the padded-mirror path: charged victims are
+// compacted branchlessly and their padded source rows accumulated four
+// victims at a time on independent float chains, each chain adding its own
+// victim's terms in the original slot order.
+void evaluate_coupling_plan_block(const CompiledCouplingPlan& plan,
+                                  SimTime eff, const BitVec& bits, bool anti,
+                                  CouplingBlockScratch& scratch,
+                                  std::vector<std::uint32_t>& out);
 
 // Provenance-carrying evaluation for the flip ledger.  Produces the exact
 // flip set and order of evaluate_coupling_plan (the interference sum uses

@@ -1,5 +1,8 @@
 #include "memctrl/host.h"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "common/check.h"
 #include "common/ledger/ledger.h"
 #include "common/telemetry/metrics.h"
@@ -7,6 +10,19 @@
 namespace parbor::mc {
 
 namespace {
+
+// PARBOR_READ_PATH selects the collect_flips kernel without a rebuild —
+// CI forces "scalar" on the reference runs its byte-compares diff against.
+TestHost::ReadPath read_path_from_env() {
+  const char* env = std::getenv("PARBOR_READ_PATH");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "batched") == 0) {
+    return TestHost::ReadPath::kBatched;
+  }
+  if (std::strcmp(env, "scalar") == 0) return TestHost::ReadPath::kScalar;
+  PARBOR_CHECK_MSG(false, "PARBOR_READ_PATH must be 'batched' or 'scalar', got '"
+                              << env << "'");
+  return TestHost::ReadPath::kBatched;
+}
 
 // Arms the flip-provenance context for one read: the bank read path only
 // attributes flips while a host read is in flight, and it needs the chip /
@@ -66,7 +82,10 @@ const HostMetrics& host_metrics() {
 }  // namespace
 
 TestHost::TestHost(dram::Module& module, Ddr3Timing timing, SimTime test_wait)
-    : module_(&module), timing_(timing), test_wait_(test_wait) {}
+    : module_(&module),
+      timing_(timing),
+      test_wait_(test_wait),
+      read_path_(read_path_from_env()) {}
 
 void TestHost::account_row_op(RowOp op) {
   now_ += timing_.full_row_access(row_bits() / 8);
@@ -141,6 +160,48 @@ std::vector<std::uint32_t> TestHost::read_row_flips(RowAddr addr) {
   return module_->chip(addr.chip).read_row_flips(addr.bank, addr.row, now_);
 }
 
+void TestHost::read_rows_flips(const std::vector<RowAddr>& addrs,
+                               std::vector<FlipRecord>& out) {
+  std::vector<std::uint32_t> rows;
+  std::vector<SimTime> nows;
+  std::vector<std::uint32_t> bits;      // reused across every batch
+  std::vector<std::uint32_t> row_ends;  // absolute `bits` size per row
+  std::size_t i = 0;
+  while (i < addrs.size()) {
+    const std::uint32_t chip = addrs[i].chip;
+    const std::uint32_t bank = addrs[i].bank;
+    PARBOR_CHECK(chip < module_->chip_count());
+    // One batch per run of consecutive same-(chip, bank) addresses.  The
+    // clock advances before each row's read, exactly like the one-row path,
+    // so every row is evaluated at the SimTime its own read lands on.
+    rows.clear();
+    nows.clear();
+    std::size_t j = i;
+    for (; j < addrs.size() && addrs[j].chip == chip && addrs[j].bank == bank;
+         ++j) {
+      account_row_op(RowOp::kRead);
+      rows.push_back(addrs[j].row);
+      nows.push_back(now_);
+    }
+    // One ledger arming per batch: the context carries (chip, bank, test),
+    // all identical across the batch, so attributed events match the
+    // per-row scopes of the scalar path.
+    LedgerReadScope ledger_scope(chip, bank, tests_run_);
+    bits.clear();
+    row_ends.clear();
+    module_->chip(chip).read_rows_flips_append(bank, rows.data(), nows.data(),
+                                               rows.size(), bits, row_ends);
+    std::size_t begin = 0;
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      for (std::size_t p = begin; p < row_ends[k]; ++p) {
+        out.push_back({{chip, bank, rows[k]}, bits[p]});
+      }
+      begin = row_ends[k];
+    }
+    i = j;
+  }
+}
+
 std::vector<FlipRecord> TestHost::run_test(
     const std::vector<RowPattern>& patterns) {
   test_begin();
@@ -150,9 +211,16 @@ std::vector<FlipRecord> TestHost::run_test(
   }
   wait(test_wait_);
   std::vector<FlipRecord> flips;
-  for (const RowPattern& p : patterns) {
-    for (auto bit : read_row_flips(p.addr)) {
-      flips.push_back({p.addr, bit});
+  if (read_path_ == ReadPath::kBatched) {
+    std::vector<RowAddr> addrs;
+    addrs.reserve(patterns.size());
+    for (const RowPattern& p : patterns) addrs.push_back(p.addr);
+    read_rows_flips(addrs, flips);
+  } else {
+    for (const RowPattern& p : patterns) {
+      for (auto bit : read_row_flips(p.addr)) {
+        flips.push_back({p.addr, bit});
+      }
     }
   }
   test_end();
@@ -197,6 +265,11 @@ std::vector<FlipRecord> TestHost::run_generated_physical_test(
 std::vector<FlipRecord> TestHost::collect_flips() {
   const auto& cfg = module_->config();
   std::vector<FlipRecord> flips;
+  if (read_path_ == ReadPath::kBatched) {
+    read_rows_flips(all_rows(), flips);
+    test_end();
+    return flips;
+  }
   std::vector<std::uint32_t> bits;  // reused across every row of the pass
   for (std::uint32_t c = 0; c < cfg.chips; ++c) {
     for (std::uint32_t b = 0; b < cfg.chip.banks; ++b) {

@@ -44,8 +44,20 @@ struct RowPattern {
 
 class TestHost {
  public:
+  // Which kernel collect_flips() drives.  kBatched groups the rows of each
+  // (chip, bank) into one Bank::read_rows_flips call (block coupling kernel,
+  // per-batch scratch reuse); kScalar reads one row at a time.  Both produce
+  // bit-identical flip streams — kScalar survives as the oracle the batched
+  // path is verified against (tests + CI byte-compare).  The initial value
+  // comes from the PARBOR_READ_PATH environment variable ("batched" or
+  // "scalar"; default batched).
+  enum class ReadPath : std::uint8_t { kBatched, kScalar };
+
   explicit TestHost(dram::Module& module, Ddr3Timing timing = {},
                     SimTime test_wait = SimTime::sec(4));
+
+  ReadPath read_path() const { return read_path_; }
+  void set_read_path(ReadPath path) { read_path_ = path; }
 
   dram::Module& module() { return *module_; }
   const Ddr3Timing& timing() const { return timing_; }
@@ -63,6 +75,13 @@ class TestHost {
   void write_row(RowAddr addr, const BitVec& sys_bits);
   BitVec read_row(RowAddr addr);
   std::vector<std::uint32_t> read_row_flips(RowAddr addr);
+  // Batched read of many rows: consecutive addresses on the same
+  // (chip, bank) become one Bank-level block read.  The clock advances by
+  // one row access per row exactly as the one-row calls do, and the
+  // appended FlipRecord stream is bit-identical to calling read_row_flips
+  // per address in order.
+  void read_rows_flips(const std::vector<RowAddr>& addrs,
+                       std::vector<FlipRecord>& out);
   void wait(SimTime duration) { now_ += duration; }
 
   // --- test iterations ----------------------------------------------------
@@ -103,6 +122,7 @@ class TestHost {
   Ddr3Timing timing_;
   SimTime test_wait_;
   SimTime now_;
+  ReadPath read_path_ = ReadPath::kBatched;
   std::uint64_t tests_run_ = 0;
   std::uint64_t row_ops_ = 0;
 

@@ -44,40 +44,55 @@ std::vector<BenchSample> one(const std::string& name, double cpu_ns) {
 }
 
 TEST(PerfBaseline, PassesWithinRatio) {
-  const auto regressions = find_perf_regressions(
-      one("BM_ReadKernel", 180.0), one("BM_ReadKernel", 100.0), 2.0);
-  EXPECT_TRUE(regressions.empty());
+  const auto cmp = compare_perf(one("BM_ReadKernel", 180.0),
+                                one("BM_ReadKernel", 100.0), 2.0);
+  EXPECT_TRUE(cmp.regressions.empty());
+  EXPECT_TRUE(cmp.missing.empty());
 }
 
 TEST(PerfBaseline, FlagsRegressionBeyondRatio) {
-  const auto regressions = find_perf_regressions(
-      one("BM_ReadKernel", 250.0), one("BM_ReadKernel", 100.0), 2.0);
-  ASSERT_EQ(regressions.size(), 1u);
-  EXPECT_EQ(regressions[0].name, "BM_ReadKernel");
-  EXPECT_DOUBLE_EQ(regressions[0].ratio, 2.5);
+  const auto cmp = compare_perf(one("BM_ReadKernel", 250.0),
+                                one("BM_ReadKernel", 100.0), 2.0);
+  ASSERT_EQ(cmp.regressions.size(), 1u);
+  EXPECT_EQ(cmp.regressions[0].name, "BM_ReadKernel");
+  EXPECT_DOUBLE_EQ(cmp.regressions[0].ratio, 2.5);
+}
+
+TEST(PerfBaseline, SubUnityRatioActsAsSpeedupFloor) {
+  // The cross-baseline gate in CI demands the batched kernel stay at least
+  // 2x faster than the scalar baseline: max_ratio 0.5.
+  const auto fast = compare_perf(one("BM_Batched", 40.0),
+                                 one("BM_Batched", 100.0), 0.5);
+  EXPECT_TRUE(fast.regressions.empty());
+  const auto slow = compare_perf(one("BM_Batched", 60.0),
+                                 one("BM_Batched", 100.0), 0.5);
+  ASSERT_EQ(slow.regressions.size(), 1u);
+  EXPECT_DOUBLE_EQ(slow.regressions[0].ratio, 0.6);
 }
 
 TEST(PerfBaseline, UsesMinimumAcrossRepetitions) {
   // One noisy outlier among the repetitions must not trip the gate.
   const std::vector<BenchSample> measured = {
       {"BM_ReadKernel", 900.0, 900.0}, {"BM_ReadKernel", 150.0, 150.0}};
-  EXPECT_TRUE(
-      find_perf_regressions(measured, one("BM_ReadKernel", 100.0), 2.0)
-          .empty());
+  const auto cmp = compare_perf(measured, one("BM_ReadKernel", 100.0), 2.0);
+  EXPECT_TRUE(cmp.regressions.empty());
 }
 
-TEST(PerfBaseline, MissingBenchmarkIsARegression) {
-  const auto regressions = find_perf_regressions(
-      one("BM_Other", 50.0), one("BM_ReadKernel", 100.0), 2.0);
-  ASSERT_EQ(regressions.size(), 1u);
-  EXPECT_EQ(regressions[0].name, "BM_ReadKernel");
-  EXPECT_DOUBLE_EQ(regressions[0].measured_ns, 0.0);
+TEST(PerfBaseline, MissingBenchmarkIsAConfigError) {
+  // A benchmark the run never produced is reported on the separate missing
+  // channel (perf_gate exit 2), not as a fake zero-time regression.
+  const auto cmp =
+      compare_perf(one("BM_Other", 50.0), one("BM_ReadKernel", 100.0), 2.0);
+  EXPECT_TRUE(cmp.regressions.empty());
+  ASSERT_EQ(cmp.missing.size(), 1u);
+  EXPECT_EQ(cmp.missing[0], "BM_ReadKernel");
 }
 
 TEST(PerfBaseline, ImprovementsNeverFlag) {
-  EXPECT_TRUE(find_perf_regressions(one("BM_ReadKernel", 10.0),
-                                    one("BM_ReadKernel", 100.0), 2.0)
-                  .empty());
+  const auto cmp = compare_perf(one("BM_ReadKernel", 10.0),
+                                one("BM_ReadKernel", 100.0), 2.0);
+  EXPECT_TRUE(cmp.regressions.empty());
+  EXPECT_TRUE(cmp.missing.empty());
 }
 
 }  // namespace

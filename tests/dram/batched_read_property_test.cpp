@@ -1,0 +1,183 @@
+// Batched-vs-scalar read-path equivalence: the block-kernel batched entry
+// (Bank::read_rows_flips and the host path above it) must produce the exact
+// flip stream of the one-row-at-a-time scalar oracle — same columns, same
+// per-row spans, same ledger attribution — for every vendor scrambler, for
+// random patterns, with every fault class live (coupling incl. spares, weak,
+// VRT, marginal, wordline, soft errors), and for any batching shape.  The
+// sequential event_rng_ draws and the wordline reads of already-committed
+// neighbour rows make this a real ordering property, not just a kernel
+// equality.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/ledger/ledger.h"
+#include "dram/bank.h"
+#include "dram/module.h"
+#include "dram/scramble.h"
+#include "memctrl/host.h"
+
+namespace parbor::dram {
+namespace {
+
+constexpr std::uint32_t kRows = 96;
+constexpr std::uint32_t kRowBits = 2048;
+
+FaultModelParams every_fault_class() {
+  FaultModelParams p;
+  p.coupling_cell_rate = 8e-3;
+  p.weak_cell_rate = 2e-3;
+  p.vrt_cell_rate = 1e-3;
+  p.vrt_toggle_prob = 0.2;  // toggles happen within a 3-pass test
+  p.marginal_cell_rate = 1e-3;
+  p.soft_error_rate = 2e-6;
+  p.wordline_cell_rate = 1e-3;
+  return p;
+}
+
+// Writes one fresh random pattern per row into both banks (identical
+// content, so their fault state machines stay in lockstep).
+void write_random_rows(Bank& a, Bank& b, Rng& rng, SimTime now) {
+  for (std::uint32_t r = 0; r < kRows; ++r) {
+    BitVec bits(kRowBits);
+    bits.fill_random(rng);
+    a.write_row(r, bits, now);
+    b.write_row(r, bits, now);
+  }
+}
+
+TEST(BatchedReadProperty, BlockShapesMatchScalarForAllVendors) {
+  const Vendor vendors[] = {Vendor::kA, Vendor::kB, Vendor::kC};
+  const std::size_t blocks[] = {1, 7, 64, kRows};  // kRows = full bank
+  for (const Vendor vendor : vendors) {
+    const auto scr = make_scrambler(vendor, kRowBits);
+    for (const std::size_t block : blocks) {
+      BankConfig cfg;
+      cfg.rows = kRows;
+      cfg.row_bits = kRowBits;
+      cfg.spare_cols = 8;
+      cfg.remapped_cols = 4;
+      cfg.spare_coupling_rate = 0.2;
+      const auto seed = 1000 + static_cast<std::uint64_t>(vendor);
+      Bank scalar_bank(cfg, every_fault_class(), scr.get(), Rng(seed));
+      Bank batched_bank(cfg, every_fault_class(), scr.get(), Rng(seed));
+      Rng pattern_rng(77);  // every block shape sees the same patterns
+      SimTime now;
+      std::size_t flips_total = 0;
+      for (int pass = 0; pass < 3; ++pass) {
+        write_random_rows(scalar_bank, batched_bank, pattern_rng, now);
+        now += SimTime::sec(1);  // arms most of the population
+        // Per-row clocks advance like the host's (one row access apart).
+        std::vector<std::uint32_t> rows(kRows);
+        std::vector<SimTime> nows(kRows);
+        for (std::uint32_t r = 0; r < kRows; ++r) {
+          rows[r] = r;
+          nows[r] = now + SimTime::ms(0.01 * static_cast<double>(r));
+        }
+
+        std::vector<std::uint32_t> want;
+        std::vector<std::uint32_t> want_ends;
+        for (std::uint32_t r = 0; r < kRows; ++r) {
+          scalar_bank.read_row_flips_append(r, nows[r], 1.0, want);
+          want_ends.push_back(static_cast<std::uint32_t>(want.size()));
+        }
+
+        std::vector<std::uint32_t> got;
+        std::vector<std::uint32_t> got_ends;
+        for (std::size_t at = 0; at < kRows; at += block) {
+          const std::size_t n = std::min(block, kRows - at);
+          batched_bank.read_rows_flips(rows.data() + at, nows.data() + at, n,
+                                       1.0, got, got_ends);
+        }
+
+        ASSERT_EQ(got, want) << "vendor " << vendor_name(vendor) << " block "
+                             << block << " pass " << pass;
+        ASSERT_EQ(got_ends, want_ends)
+            << "vendor " << vendor_name(vendor) << " block " << block
+            << " pass " << pass;
+        flips_total += want.size();
+        now = nows.back();
+      }
+      EXPECT_GT(flips_total, 0u) << "population never flipped: test is vacuous";
+    }
+  }
+}
+
+// While the provenance ledger observes reads, the batched entry must yield
+// the exact attributed event stream of the scalar path — same FlipEvents,
+// same FaultIds, same probes — so enabling batching can never change what
+// `explain`/`coverage`/ledger_check see.
+TEST(BatchedReadProperty, LedgerAttributionIdenticalAcrossReadPaths) {
+  auto run = [](mc::TestHost::ReadPath path) {
+    auto cfg = make_module_config(Vendor::kB, 3, Scale::kTiny);
+    cfg.chip.faults.coupling_cell_rate = 5e-3;
+    cfg.chip.faults.wordline_cell_rate = 5e-4;
+    Module module(cfg);
+    mc::TestHost host(module);
+    host.set_read_path(path);
+    ledger::FlipLedger::global().reset();
+    ledger::FlipLedger::global().set_enabled(true);
+    BitVec pattern(host.row_bits());
+    for (std::size_t i = 0; i < host.row_bits(); ++i) {
+      pattern.set(i, (i >> 2) & 1);
+    }
+    host.run_broadcast_test(pattern);
+    Rng rng(5);
+    host.run_generated_test(
+        [&](mc::RowAddr, BitVec& bits) { bits.fill_random(rng); });
+    std::string dump = ledger::FlipLedger::global().dump_jsonl();
+    ledger::FlipLedger::global().set_enabled(false);
+    ledger::FlipLedger::global().reset();
+    return dump;
+  };
+  const std::string scalar = run(mc::TestHost::ReadPath::kScalar);
+  const std::string batched = run(mc::TestHost::ReadPath::kBatched);
+  EXPECT_FALSE(scalar.empty());
+  EXPECT_EQ(scalar, batched);
+}
+
+// Host-level contract across several chips and banks: collect_flips batches
+// per (chip, bank) run, and the FlipRecord stream, the simulated clock, and
+// the op accounting all match the scalar path exactly.
+TEST(BatchedReadProperty, HostCollectFlipsIdenticalAcrossReadPaths) {
+  struct Outcome {
+    std::vector<mc::FlipRecord> flips;
+    SimTime now;
+    std::uint64_t row_ops = 0;
+    std::uint64_t tests = 0;
+  };
+  auto run = [](mc::TestHost::ReadPath path) {
+    auto cfg = make_module_config(Vendor::kC, 4, Scale::kTiny);
+    cfg.chips = 2;
+    cfg.chip.banks = 2;
+    cfg.chip.rows = 32;
+    cfg.chip.faults.coupling_cell_rate = 5e-3;
+    cfg.chip.faults.soft_error_rate = 1e-6;
+    Module module(cfg);
+    mc::TestHost host(module);
+    host.set_read_path(path);
+    Outcome out;
+    Rng rng(123);
+    for (int pass = 0; pass < 2; ++pass) {
+      const auto flips = host.run_generated_test(
+          [&](mc::RowAddr, BitVec& bits) { bits.fill_random(rng); });
+      out.flips.insert(out.flips.end(), flips.begin(), flips.end());
+    }
+    out.now = host.now();
+    out.row_ops = host.row_operations();
+    out.tests = host.tests_run();
+    return out;
+  };
+  const Outcome scalar = run(mc::TestHost::ReadPath::kScalar);
+  const Outcome batched = run(mc::TestHost::ReadPath::kBatched);
+  EXPECT_FALSE(scalar.flips.empty());
+  EXPECT_EQ(scalar.flips, batched.flips);
+  EXPECT_EQ(scalar.now, batched.now);
+  EXPECT_EQ(scalar.row_ops, batched.row_ops);
+  EXPECT_EQ(scalar.tests, batched.tests);
+}
+
+}  // namespace
+}  // namespace parbor::dram

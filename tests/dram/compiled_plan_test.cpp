@@ -45,24 +45,28 @@ TEST(CompiledPlan, SourcesAreInRangeSameTileAndLive) {
   std::size_t edge_victims = 0;
   for (std::uint32_t row = 0; row < bank.rows(); ++row) {
     const CompiledCouplingPlan& plan = bank.compiled_coupling(row);
-    ASSERT_LE(plan.victims.size(), bank.row_faults(row).coupling.size());
-    for (const CompiledCouplingVictim& v : plan.victims) {
+    ASSERT_LE(plan.victim_count(), bank.row_faults(row).coupling.size());
+    ASSERT_EQ(plan.src_offset.size(), plan.victim_count() + 1);
+    for (std::size_t v = 0; v < plan.victim_count(); ++v) {
       ++victims_seen;
-      const bool at_edge = v.col < 4 || v.col + 4 >= kRowBits;
+      const std::uint32_t vcol = plan.victim_col[v];
+      const bool at_edge = vcol < 4 || vcol + 4 >= kRowBits;
       edge_victims += at_edge;
-      ASSERT_LT(v.col, kRowBits);
-      EXPECT_FALSE(dead.contains(v.col));
-      ASSERT_LE(v.src_begin + v.src_count, plan.sources.size());
-      for (std::uint32_t k = 0; k < v.src_count; ++k) {
-        const CompiledCouplingSource& s = plan.sources[v.src_begin + k];
-        ASSERT_LT(s.col, kRowBits) << "out-of-range source for col " << v.col;
-        EXPECT_TRUE(scr.same_tile(s.col, v.col))
-            << "cross-tile source " << s.col << " for victim " << v.col;
-        EXPECT_FALSE(dead.contains(s.col))
-            << "repaired column " << s.col << " used as a source";
-        EXPECT_GT(s.coeff, 0.0f);
-        const auto delta = static_cast<std::int64_t>(s.col) -
-                           static_cast<std::int64_t>(v.col);
+      ASSERT_LT(vcol, kRowBits);
+      EXPECT_FALSE(dead.contains(vcol));
+      ASSERT_LE(plan.src_offset[v], plan.src_offset[v + 1]);
+      ASSERT_LE(plan.src_offset[v + 1], plan.source_count());
+      for (std::uint32_t k = plan.src_offset[v]; k < plan.src_offset[v + 1];
+           ++k) {
+        const std::uint32_t scol = plan.src_col[k];
+        ASSERT_LT(scol, kRowBits) << "out-of-range source for col " << vcol;
+        EXPECT_TRUE(scr.same_tile(scol, vcol))
+            << "cross-tile source " << scol << " for victim " << vcol;
+        EXPECT_FALSE(dead.contains(scol))
+            << "repaired column " << scol << " used as a source";
+        EXPECT_GT(plan.src_coeff[k], 0.0f);
+        const auto delta = static_cast<std::int64_t>(scol) -
+                           static_cast<std::int64_t>(vcol);
         EXPECT_TRUE(delta != 0 && delta >= -4 && delta <= 4);
       }
     }
@@ -94,12 +98,12 @@ TEST(CompiledPlan, SpareSourcesResolveThroughRemapTable) {
   std::size_t victims_seen = 0;
   for (std::uint32_t row = 0; row < bank.rows(); ++row) {
     const CompiledCouplingPlan& plan = bank.compiled_spare_coupling(row);
-    for (const CompiledCouplingVictim& v : plan.victims) {
+    for (std::size_t v = 0; v < plan.victim_count(); ++v) {
       ++victims_seen;
-      EXPECT_TRUE(aliases.contains(v.col));
-      for (std::uint32_t k = 0; k < v.src_count; ++k) {
-        EXPECT_TRUE(
-            aliases.contains(plan.sources[v.src_begin + k].col));
+      EXPECT_TRUE(aliases.contains(plan.victim_col[v]));
+      for (std::uint32_t k = plan.src_offset[v]; k < plan.src_offset[v + 1];
+           ++k) {
+        EXPECT_TRUE(aliases.contains(plan.src_col[k]));
       }
     }
   }
@@ -111,13 +115,75 @@ TEST(CompiledPlan, VictimsSortedByMinHold) {
   Bank bank({.rows = 16, .row_bits = kRowBits}, dense_coupling(), &scr,
             Rng(7));
   for (std::uint32_t row = 0; row < bank.rows(); ++row) {
-    const auto& victims = bank.compiled_coupling(row).victims;
-    EXPECT_TRUE(std::is_sorted(victims.begin(), victims.end(),
-                               [](const CompiledCouplingVictim& a,
-                                  const CompiledCouplingVictim& b) {
-                                 return a.min_hold < b.min_hold;
-                               }));
+    const auto& hold = bank.compiled_coupling(row).min_hold;
+    EXPECT_TRUE(std::is_sorted(hold.begin(), hold.end()));
   }
+}
+
+// The fixed-width padded mirror must restate the exact source spans: real
+// sources first in slot order, then zero-coefficient fillers probing the
+// victim's own column.
+TEST(CompiledPlan, PaddedMirrorRestatesSourceSpans) {
+  VendorAScrambler scr(kRowBits);
+  Bank bank({.rows = 16, .row_bits = kRowBits}, dense_coupling(), &scr,
+            Rng(5));
+  constexpr std::uint32_t P = CompiledCouplingPlan::kPaddedSources;
+  std::size_t victims_seen = 0;
+  for (std::uint32_t row = 0; row < bank.rows(); ++row) {
+    const CompiledCouplingPlan& plan = bank.compiled_coupling(row);
+    ASSERT_EQ(plan.pad_col.size(), plan.victim_count() * P);
+    ASSERT_EQ(plan.pad_coeff.size(), plan.victim_count() * P);
+    for (std::size_t v = 0; v < plan.victim_count(); ++v) {
+      ++victims_seen;
+      const std::uint32_t count = plan.src_offset[v + 1] - plan.src_offset[v];
+      ASSERT_LE(count, P);
+      for (std::uint32_t k = 0; k < P; ++k) {
+        if (k < count) {
+          EXPECT_EQ(plan.pad_col[v * P + k],
+                    plan.src_col[plan.src_offset[v] + k]);
+          EXPECT_EQ(plan.pad_coeff[v * P + k],
+                    plan.src_coeff[plan.src_offset[v] + k]);
+        } else {
+          EXPECT_EQ(plan.pad_col[v * P + k], plan.victim_col[v]);
+          EXPECT_EQ(plan.pad_coeff[v * P + k], 0.0f);
+        }
+      }
+    }
+  }
+  EXPECT_GT(victims_seen, 100u);
+}
+
+// The block kernel is the batched read path's workhorse; its flip output
+// (set AND order) must match the scalar oracle exactly for random contents,
+// random polarities, and hold times that arm none / some / all victims.
+TEST(CompiledPlan, BlockKernelMatchesScalarExactly) {
+  VendorBScrambler scr(kRowBits);
+  BankConfig c;
+  c.rows = 16;
+  c.row_bits = kRowBits;
+  c.spare_cols = 8;
+  c.remapped_cols = 4;
+  Bank bank(c, dense_coupling(), &scr, Rng(31));
+  Rng rng(17);
+  CouplingBlockScratch scratch;
+  std::size_t flips_seen = 0;
+  for (std::uint32_t row = 0; row < bank.rows(); ++row) {
+    const auto& plan = bank.compiled_coupling(row);
+    for (int trial = 0; trial < 12; ++trial) {
+      BitVec bits(kRowBits);
+      bits.fill_random(rng);
+      const bool anti = trial % 2 == 1;
+      const double hold_ms = trial < 4 ? 1000.0 : (trial < 8 ? 160.0 : 1.0);
+      const SimTime eff = SimTime::ms(hold_ms);
+      std::vector<std::uint32_t> scalar;
+      evaluate_coupling_plan(plan, eff, bits, anti, scalar);
+      std::vector<std::uint32_t> block;
+      evaluate_coupling_plan_block(plan, eff, bits, anti, scratch, block);
+      EXPECT_EQ(block, scalar) << "row " << row << " trial " << trial;
+      flips_seen += scalar.size();
+    }
+  }
+  EXPECT_GT(flips_seen, 0u) << "contents never excited a victim";
 }
 
 // The compiled evaluation is the read path's ground truth, so pin it

@@ -1,73 +1,168 @@
 // CI perf-regression gate.
 //
 //   perf_gate <measured.json> <baseline.json> [--max-ratio R]
+//             [--map MEASURED=BASELINE ...]
 //
 // Both files are Google-benchmark JSON documents (--benchmark_out_format=
-// json).  Exits 0 when every benchmark named in the baseline is present in
-// the measurement and within R times its baseline cpu_time (default 2.0 —
-// wide enough to absorb runner-to-runner variance, tight enough to catch a
-// real kernel regression); exits 1 otherwise, listing the offenders.
+// json).  Every benchmark named in the baseline must be present in the
+// measurement and within R times its baseline cpu_time (default 2.0 — wide
+// enough to absorb runner-to-runner variance, tight enough to catch a real
+// kernel regression).
+//
+// --map compares across benchmark names: each MEASURED=BASELINE pair gates
+// the measured benchmark MEASURED against the baseline entry BASELINE, and
+// only the mapped pairs are compared.  With a sub-1.0 --max-ratio this turns
+// the gate into a speedup floor — e.g. the batched read kernel must stay at
+// least 2x faster than the checked-in scalar baseline:
+//
+//   perf_gate batched.json BENCH_read_kernel.json --max-ratio 0.5
+//     --map 'BM_ReadKernelCouplingSweepBatched/telemetry_off=
+//            BM_ReadKernelCouplingSweep/telemetry_off'  (one shell word)
+//
+// Exit codes: 0 = gate passed; 1 = a perf regression (a benchmark ran too
+// slow); 2 = configuration error with a one-line diagnostic — unreadable or
+// malformed JSON, a baseline naming a benchmark the run never produced, a
+// --map naming an unknown baseline entry, or bad usage.  CI treats 1 as
+// "the code got slower" and 2 as "the gate itself is mis-wired"; neither
+// should ever surface as a parse crash.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/perf_baseline.h"
 
 namespace {
 
-std::string slurp(const std::string& path) {
+constexpr const char* kUsage =
+    "usage: perf_gate <measured.json> <baseline.json> [--max-ratio R] "
+    "[--map MEASURED=BASELINE ...]\n";
+
+// Reads a whole file; false (with errno untouched by later calls) when the
+// file cannot be opened — the caller turns that into the exit-2 diagnostic.
+bool slurp(const std::string& path, std::string& out) {
   std::ifstream in(path, std::ios::binary);
-  PARBOR_CHECK_MSG(in.good(), "cannot open " << path);
-  std::ostringstream out;
-  out << in.rdbuf();
-  return out.str();
+  if (!in.good()) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+int config_error(const std::string& message) {
+  std::fprintf(stderr, "perf_gate: %s\n", message.c_str());
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: perf_gate <measured.json> <baseline.json> "
-                 "[--max-ratio R]\n");
-    return 2;
-  }
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> maps;
   double max_ratio = 2.0;
-  for (int i = 3; i + 1 < argc; i += 2) {
-    if (std::string(argv[i]) == "--max-ratio") {
-      max_ratio = std::atof(argv[i + 1]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-ratio") {
+      if (i + 1 >= argc) return config_error("--max-ratio needs a value");
+      max_ratio = std::atof(argv[++i]);
+      if (max_ratio <= 0.0) {
+        return config_error("--max-ratio must be a positive number, got '" +
+                            std::string(argv[i]) + "'");
+      }
+    } else if (arg == "--map") {
+      if (i + 1 >= argc) return config_error("--map needs MEASURED=BASELINE");
+      const std::string pair = argv[++i];
+      const auto eq = pair.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == pair.size()) {
+        return config_error("--map expects MEASURED=BASELINE, got '" + pair +
+                            "'");
+      }
+      maps.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "%s", kUsage);
+      return config_error("unknown option '" + arg + "'");
+    } else {
+      positional.push_back(arg);
     }
   }
+  if (positional.size() != 2) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  const std::string& measured_path = positional[0];
+  const std::string& baseline_path = positional[1];
 
-  const auto measured = parbor::parse_gbench_json(slurp(argv[1]));
-  const auto baseline = parbor::parse_gbench_json(slurp(argv[2]));
-  const auto regressions =
-      parbor::find_perf_regressions(measured, baseline, max_ratio);
+  std::string measured_text, baseline_text;
+  if (!slurp(measured_path, measured_text)) {
+    return config_error("cannot open measurement file '" + measured_path +
+                        "'");
+  }
+  if (!slurp(baseline_path, baseline_text)) {
+    return config_error("cannot open baseline file '" + baseline_path + "'");
+  }
+
+  std::vector<parbor::BenchSample> measured, baseline;
+  try {
+    measured = parbor::parse_gbench_json(measured_text);
+  } catch (const parbor::CheckError& e) {
+    return config_error("malformed measurement '" + measured_path +
+                        "': " + e.what());
+  }
+  try {
+    baseline = parbor::parse_gbench_json(baseline_text);
+  } catch (const parbor::CheckError& e) {
+    return config_error("malformed baseline '" + baseline_path +
+                        "': " + e.what());
+  }
+
+  if (!maps.empty()) {
+    // Cross-name mode: the effective baseline holds one entry per mapped
+    // pair, renamed to the measured-side name, so the comparison below is
+    // the plain by-name gate over exactly the mapped pairs.
+    std::vector<parbor::BenchSample> mapped;
+    for (const auto& [measured_name, baseline_name] : maps) {
+      bool found = false;
+      for (const parbor::BenchSample& s : baseline) {
+        if (s.name != baseline_name) continue;
+        mapped.push_back({measured_name, s.real_time_ns, s.cpu_time_ns});
+        found = true;
+      }
+      if (!found) {
+        return config_error("--map baseline benchmark '" + baseline_name +
+                            "' not present in '" + baseline_path + "'");
+      }
+    }
+    baseline = std::move(mapped);
+  }
+
+  const auto comparison =
+      parbor::compare_perf(measured, baseline, max_ratio);
 
   for (const auto& s : baseline) {
-    std::printf("baseline  %-40s %12.1f ns\n", s.name.c_str(), s.cpu_time_ns);
+    std::printf("baseline  %-52s %12.1f ns\n", s.name.c_str(), s.cpu_time_ns);
   }
   for (const auto& s : measured) {
-    std::printf("measured  %-40s %12.1f ns\n", s.name.c_str(), s.cpu_time_ns);
+    std::printf("measured  %-52s %12.1f ns\n", s.name.c_str(), s.cpu_time_ns);
   }
-  if (regressions.empty()) {
+  if (!comparison.missing.empty()) {
+    return config_error("baseline benchmark '" + comparison.missing.front() +
+                        "' missing from the run '" + measured_path +
+                        "' (renamed benchmark or stale baseline?)");
+  }
+  if (comparison.regressions.empty()) {
     std::printf("perf gate OK (max allowed ratio %.2f)\n", max_ratio);
     return 0;
   }
-  for (const auto& r : regressions) {
-    if (r.measured_ns == 0.0) {
-      std::fprintf(stderr, "REGRESSION %s: missing from measurement\n",
-                   r.name.c_str());
-    } else {
-      std::fprintf(stderr,
-                   "REGRESSION %s: %.1f ns vs baseline %.1f ns (%.2fx > "
-                   "%.2fx allowed)\n",
-                   r.name.c_str(), r.measured_ns, r.baseline_ns, r.ratio,
-                   max_ratio);
-    }
+  for (const auto& r : comparison.regressions) {
+    std::fprintf(stderr,
+                 "REGRESSION %s: %.1f ns vs baseline %.1f ns (%.2fx > "
+                 "%.2fx allowed)\n",
+                 r.name.c_str(), r.measured_ns, r.baseline_ns, r.ratio,
+                 max_ratio);
   }
   return 1;
 }
