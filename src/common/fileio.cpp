@@ -40,4 +40,15 @@ std::string write_text_file(const std::string& path,
   return {};
 }
 
+std::string append_text_file(const std::string& path,
+                             const std::string& text) {
+  errno = 0;
+  std::ofstream os(path, std::ios::app);
+  if (!os.good()) return describe_errno(path);
+  os << text;
+  os.flush();
+  if (!os.good()) return describe_errno(path);
+  return {};
+}
+
 }  // namespace parbor

@@ -20,4 +20,12 @@ std::string probe_writable_file(const std::string& path);
 // Returns an empty string on success, otherwise a human-readable error.
 std::string write_text_file(const std::string& path, const std::string& text);
 
+// Appends `text` to `path` (creating it if missing) in one write, and
+// flushes.  Used for line-oriented logs where each call carries one or
+// more complete lines; a crash between calls can truncate at most the
+// line being written, never corrupt earlier ones.
+// Returns an empty string on success, otherwise a human-readable error.
+std::string append_text_file(const std::string& path,
+                             const std::string& text);
+
 }  // namespace parbor

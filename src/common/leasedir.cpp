@@ -8,6 +8,8 @@
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <system_error>
 
 #include "common/check.h"
@@ -137,6 +139,22 @@ std::vector<Lease> leases(const std::string& root) {
   return out;
 }
 
+std::int64_t lease_claimed_unix_ms(const Lease& lease) {
+  std::ifstream is(lease.path, std::ios::binary);
+  if (!is.good()) return 0;
+  std::string body((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  try {
+    const JsonValue v = JsonValue::parse(body);
+    if (v.is_object() && v.has("claimed_unix_ms")) {
+      return v.at("claimed_unix_ms").as_int();
+    }
+  } catch (const CheckError&) {
+    // Advisory only: an unwritten or torn body reads as "unknown".
+  }
+  return 0;
+}
+
 bool pid_alive(std::int64_t pid) {
   if (pid <= 0) return false;
   // kill(pid, 0) delivers nothing; it only reports whether the pid exists.
@@ -155,10 +173,14 @@ ReclaimStats reclaim_stale(
       // only the lease is litter.  remove() racing another sweeper is fine;
       // exactly one call observes the file.
       std::error_code ec;
-      if (fs::remove(lease.path, ec) && !ec) ++stats.released_done;
+      if (fs::remove(lease.path, ec) && !ec) {
+        ++stats.released_done;
+        stats.released_leases.push_back(lease);
+      }
     } else {
       if (try_rename(lease.path, todo_dir(root) / lease.key)) {
         ++stats.requeued;
+        stats.requeued_leases.push_back(lease);
       }
     }
   }

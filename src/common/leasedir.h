@@ -75,9 +75,20 @@ std::vector<Lease> leases(const std::string& root);
 // True when `pid` names a live process on this host.  pid <= 0 is dead.
 bool pid_alive(std::int64_t pid);
 
+// Parses the advisory lease body for its wall-clock claim timestamp
+// (unix epoch ms).  Returns 0 when the body is missing or torn — a
+// worker killed between the claim rename and the content write leaves an
+// empty body, and that lease is still perfectly valid.
+std::int64_t lease_claimed_unix_ms(const Lease& lease);
+
 struct ReclaimStats {
   std::size_t released_done = 0;  // dead owner, work already checkpointed
   std::size_t requeued = 0;       // dead owner, work lost — back to todo/
+  // The leases behind those counts (key + dead owner), in sweep order —
+  // callers that log takeovers per shard need the identities, not just
+  // totals.
+  std::vector<Lease> released_leases;
+  std::vector<Lease> requeued_leases;
 };
 
 // Sweeps leases/ for entries whose owner pid is dead.  A stale lease whose

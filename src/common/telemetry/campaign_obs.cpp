@@ -1,0 +1,220 @@
+#include "common/telemetry/campaign_obs.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/fileio.h"
+#include "common/json.h"
+#include "common/telemetry/prom.h"
+
+namespace parbor::telemetry {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr int kHeartbeatFormatVersion = 1;
+constexpr int kEventFormatVersion = 1;
+constexpr const char* kSnapshotPrefix = "worker-";
+constexpr const char* kSnapshotSuffix = ".json";
+constexpr const char* kEventLogName = "events.jsonl";
+
+bool has_prefix(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string slurp_or_empty(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return {};
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+std::int64_t unix_now_ms() {
+  const auto now =
+      // Advisory heartbeat/event stamps only; never feeds result bytes.
+      std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+}
+
+std::string campaign_telemetry_dir(const std::string& campaign_dir) {
+  return (fs::path(campaign_dir) / "telemetry").string();
+}
+
+std::string worker_snapshot_to_json(const WorkerSnapshot& snapshot) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("fleet_heartbeat", kHeartbeatFormatVersion);
+  w.field("owner", snapshot.owner);
+  w.field("pid", snapshot.pid);
+  w.field("seq", snapshot.seq);
+  w.field("unix_ms", snapshot.unix_ms);
+  w.field("phase", snapshot.phase);
+  w.field("shard", snapshot.shard);
+  w.field("shards_done", snapshot.shards_done);
+  w.key("metrics").raw(metrics_snapshot_to_json(snapshot.metrics));
+  w.end_object();
+  return w.str();
+}
+
+WorkerSnapshot worker_snapshot_from_json(const std::string& json) {
+  const JsonValue v = JsonValue::parse(json);
+  PARBOR_CHECK_MSG(v.is_object() && v.has("fleet_heartbeat"),
+                   "not a worker heartbeat document");
+  PARBOR_CHECK_MSG(v.at("fleet_heartbeat").as_int() == kHeartbeatFormatVersion,
+                   "unsupported heartbeat version "
+                       << v.at("fleet_heartbeat").as_int());
+  WorkerSnapshot s;
+  s.owner = v.at("owner").as_string();
+  s.pid = v.at("pid").as_int();
+  s.seq = v.at("seq").as_uint();
+  s.unix_ms = v.at("unix_ms").as_int();
+  s.phase = v.at("phase").as_string();
+  s.shard = v.at("shard").as_string();
+  s.shards_done = v.at("shards_done").as_uint();
+  s.metrics = metrics_snapshot_from_json(v.at("metrics").dump());
+  return s;
+}
+
+CampaignObserver::CampaignObserver(const std::string& campaign_dir,
+                                   std::string owner)
+    : dir_(campaign_telemetry_dir(campaign_dir)),
+      owner_(std::move(owner)),
+      pid_(static_cast<std::int64_t>(::getpid())) {
+  fs::create_directories(dir_);
+}
+
+void CampaignObserver::heartbeat(const std::string& phase,
+                                 const std::string& shard,
+                                 std::uint64_t shards_done) {
+  if (!enabled()) return;
+  WorkerSnapshot s;
+  s.owner = owner_;
+  s.pid = pid_;
+  s.seq = ++seq_;
+  s.unix_ms = unix_now_ms();
+  s.phase = phase;
+  s.shard = shard;
+  s.shards_done = shards_done;
+  s.metrics = MetricsRegistry::global().scrape();
+
+  const fs::path path =
+      fs::path(dir_) / (kSnapshotPrefix + owner_ + kSnapshotSuffix);
+  const fs::path tmp(path.string() + ".tmp." + owner_);
+  const auto err = write_text_file(tmp.string(), worker_snapshot_to_json(s) +
+                                                     "\n");
+  PARBOR_CHECK_MSG(err.empty(), "heartbeat: " << err);
+  if (die_at_heartbeat_ >= 0 &&
+      seq_ == static_cast<std::uint64_t>(die_at_heartbeat_)) {
+    // Crash-test hook: die with the tmp written but the rename pending —
+    // if publication were not atomic, this is when a reader would see a
+    // torn snapshot.
+    std::raise(SIGKILL);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  PARBOR_CHECK_MSG(!ec, "heartbeat: cannot publish " << path.string() << ": "
+                                                     << ec.message());
+}
+
+void CampaignObserver::event(
+    const std::string& type, const std::string& shard,
+    const std::vector<std::pair<std::string, std::uint64_t>>& extra) {
+  if (!enabled()) return;
+  JsonWriter w;
+  w.begin_object();
+  w.field("fleet_event", kEventFormatVersion);
+  w.field("unix_ms", unix_now_ms());
+  w.field("owner", owner_);
+  w.field("type", type);
+  w.field("shard", shard);
+  for (const auto& [key, value] : extra) w.field(key, value);
+  w.end_object();
+  const auto err = append_text_file(
+      (fs::path(dir_) / kEventLogName).string(), w.str() + "\n");
+  PARBOR_CHECK_MSG(err.empty(), "campaign event: " << err);
+}
+
+std::vector<WorkerSnapshot> read_worker_snapshots(
+    const std::string& campaign_dir) {
+  std::vector<WorkerSnapshot> out;
+  std::error_code ec;
+  for (fs::directory_iterator
+           it(campaign_telemetry_dir(campaign_dir), ec),
+       end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    const std::string name = it->path().filename().string();
+    // The ".json" suffix match excludes in-flight "*.json.tmp.<pid>"
+    // files a killed worker may have left behind.
+    if (!has_prefix(name, kSnapshotPrefix) ||
+        !has_suffix(name, kSnapshotSuffix)) {
+      continue;
+    }
+    try {
+      out.push_back(worker_snapshot_from_json(slurp_or_empty(it->path())));
+    } catch (const CheckError&) {
+      // Torn, empty, or foreign file: a monitor keeps working anyway.
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WorkerSnapshot& a, const WorkerSnapshot& b) {
+              return a.owner < b.owner;
+            });
+  return out;
+}
+
+std::vector<CampaignEvent> read_campaign_events(
+    const std::string& campaign_dir) {
+  std::vector<CampaignEvent> out;
+  const std::string text = slurp_or_empty(
+      fs::path(campaign_telemetry_dir(campaign_dir)) / kEventLogName);
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty()) continue;
+    try {
+      const JsonValue v = JsonValue::parse(line);
+      if (!v.is_object() || !v.has("fleet_event") ||
+          v.at("fleet_event").as_int() != kEventFormatVersion) {
+        continue;
+      }
+      CampaignEvent e;
+      e.unix_ms = v.at("unix_ms").as_int();
+      e.owner = v.at("owner").as_string();
+      e.type = v.at("type").as_string();
+      e.shard = v.at("shard").as_string();
+      for (const auto& [key, value] : v.members()) {
+        if (key == "fleet_event" || key == "unix_ms" || key == "owner" ||
+            key == "type" || key == "shard") {
+          continue;
+        }
+        e.extra.emplace_back(key, value.as_uint());
+      }
+      out.push_back(std::move(e));
+    } catch (const CheckError&) {
+      // A worker killed mid-append leaves a truncated tail; skip it.
+    }
+  }
+  return out;
+}
+
+}  // namespace parbor::telemetry

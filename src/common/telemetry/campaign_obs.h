@@ -1,0 +1,122 @@
+// Campaign-level observability: worker heartbeats and a structured event
+// log, published into `<campaign>/telemetry/` beside the work queue.
+//
+// A fleet worker that opted in (`fleet work --heartbeat`) periodically
+// publishes one snapshot file per worker:
+//
+//   <campaign>/telemetry/worker-<owner>.json   latest heartbeat (atomic)
+//   <campaign>/telemetry/events.jsonl          append-only event log
+//
+// The snapshot carries the worker's pid, its current shard and phase, a
+// monotonic sequence number, a wall-clock stamp, and a full
+// MetricsRegistry scrape — everything `fleet monitor` needs to render a
+// live campaign view and everything a prometheus exposition needs to
+// describe one worker.  Publication uses the checkpoint idiom (private
+// tmp file, then one rename), so a SIGKILLed worker leaves either its
+// previous snapshot or its new one, never a torn file; readers are
+// additionally tolerant and simply skip anything that does not parse.
+//
+// The event log is line-oriented JSONL: worker start/exit, lease
+// claim/release, stale-lease takeover, checkpoint commit.  Each event is
+// appended in one write, so a crash can truncate at most the final line;
+// `read_campaign_events` skips a torn tail instead of failing.
+//
+// Everything here is advisory telemetry.  No campaign result byte ever
+// depends on this module — the monitored and unmonitored merges of a
+// campaign are byte-identical by construction (heartbeats never touch
+// RNG, ordering, or checkpoint contents).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/telemetry/metrics.h"
+
+namespace parbor::telemetry {
+
+// Wall-clock unix epoch milliseconds.  Telemetry timestamps only — never
+// consulted for results (detlint confines wall-clock reads to this
+// directory for exactly that reason).
+std::int64_t unix_now_ms();
+
+// "<campaign>/telemetry"
+std::string campaign_telemetry_dir(const std::string& campaign_dir);
+
+// One published worker heartbeat.
+struct WorkerSnapshot {
+  std::string owner;          // leasedir owner token ("<pid>")
+  std::int64_t pid = 0;
+  std::uint64_t seq = 0;      // monotonic per worker, starts at 1
+  std::int64_t unix_ms = 0;   // publication wall-clock stamp
+  std::string phase;          // start | compute | checkpoint | exit
+  std::string shard;          // current shard key; empty between shards
+  std::uint64_t shards_done = 0;  // shards this worker checkpointed
+  MetricsRegistry::Snapshot metrics;
+};
+
+std::string worker_snapshot_to_json(const WorkerSnapshot& snapshot);
+// Throws CheckError on anything but a well-formed snapshot document.
+WorkerSnapshot worker_snapshot_from_json(const std::string& json);
+
+// One line of the campaign event log.
+struct CampaignEvent {
+  std::int64_t unix_ms = 0;
+  std::string owner;
+  std::string type;   // worker_start | claim | checkpoint | release |
+                      // stale_requeue | stale_release | worker_exit
+  std::string shard;  // empty for worker-level events
+  // Additional integral payload ("tests", "shards_run", ...).
+  std::vector<std::pair<std::string, std::uint64_t>> extra;
+};
+
+// Publishes heartbeats and events for one worker.  A default-constructed
+// observer is inert: every call is a cheap no-op, so the fleet worker
+// wires it unconditionally and the disabled path stays free.
+class CampaignObserver {
+ public:
+  CampaignObserver() = default;
+  // Creates `<campaign_dir>/telemetry/` eagerly so a monitor attaching
+  // before the first heartbeat sees a campaign that is observed.
+  CampaignObserver(const std::string& campaign_dir, std::string owner);
+
+  bool enabled() const { return !dir_.empty(); }
+
+  // Publishes worker-<owner>.json atomically (tmp + rename) with a fresh
+  // MetricsRegistry::global() scrape.  Fails loudly (CheckError) on I/O
+  // errors — an operator who asked for heartbeats wants to know.
+  void heartbeat(const std::string& phase, const std::string& shard,
+                 std::uint64_t shards_done);
+
+  // Appends one event line to events.jsonl.
+  void event(const std::string& type, const std::string& shard = {},
+             const std::vector<std::pair<std::string, std::uint64_t>>&
+                 extra = {});
+
+  // Crash-test hook: SIGKILL this process in the middle of publishing the
+  // `n`-th heartbeat (tmp file written, rename not yet issued) — the
+  // exact window where a torn snapshot would appear if publication were
+  // not atomic.  < 0 disables.
+  void set_die_at_heartbeat(int n) { die_at_heartbeat_ = n; }
+
+ private:
+  std::string dir_;  // telemetry dir; empty = inert
+  std::string owner_;
+  std::int64_t pid_ = 0;
+  std::uint64_t seq_ = 0;
+  int die_at_heartbeat_ = -1;
+};
+
+// Every parseable worker snapshot under `<campaign_dir>/telemetry/`,
+// sorted by owner.  Unparseable, torn, or in-flight tmp files are
+// skipped: a monitor must work while workers are being killed.
+std::vector<WorkerSnapshot> read_worker_snapshots(
+    const std::string& campaign_dir);
+
+// Every parseable line of the event log, in file order.  A truncated
+// final line (worker killed mid-append) is skipped, not an error.
+std::vector<CampaignEvent> read_campaign_events(
+    const std::string& campaign_dir);
+
+}  // namespace parbor::telemetry

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
-#include "common/json.h"
+#include "common/telemetry/prom.h"
 
 namespace parbor::telemetry {
 
@@ -161,31 +161,7 @@ MetricsRegistry::Snapshot MetricsRegistry::scrape() const {
 }
 
 std::string MetricsRegistry::dump_json() const {
-  const Snapshot snap = scrape();
-  JsonWriter w;
-  w.begin_object();
-  w.key("counters").begin_object();
-  for (const auto& [name, value] : snap.counters) w.field(name, value);
-  w.end_object();
-  w.key("gauges").begin_object();
-  for (const auto& [name, value] : snap.gauges) w.field(name, value);
-  w.end_object();
-  w.key("histograms").begin_object();
-  for (const auto& [name, h] : snap.histograms) {
-    w.key(name).begin_object();
-    w.key("upper_bounds").begin_array();
-    for (double b : h.upper_bounds) w.value(b);
-    w.end_array();
-    w.key("buckets").begin_array();
-    for (std::uint64_t b : h.buckets) w.value(b);
-    w.end_array();
-    w.field("count", h.count);
-    w.field("sum", h.sum);
-    w.end_object();
-  }
-  w.end_object();
-  w.end_object();
-  return w.str();
+  return metrics_snapshot_to_json(scrape());
 }
 
 void MetricsRegistry::reset() {

@@ -25,7 +25,8 @@ void phase_note(const std::string& message) {
 
 std::string format_progress_line(const std::string& label, std::size_t done,
                                  std::size_t total, std::size_t running,
-                                 std::uint64_t flips, double elapsed_s) {
+                                 std::uint64_t flips, double elapsed_s,
+                                 std::size_t eta_base) {
   char buf[192];
   std::snprintf(buf, sizeof buf,
                 "[%s] %zu/%zu jobs done, %zu running, %llu flips",
@@ -38,9 +39,9 @@ std::string format_progress_line(const std::string& label, std::size_t done,
                       static_cast<double>(total));
     line += buf;
   }
-  if (done > 0 && done < total && elapsed_s > 0.0) {
+  if (done > eta_base && done < total && elapsed_s > 0.0) {
     const double eta_s = elapsed_s * static_cast<double>(total - done) /
-                         static_cast<double>(done);
+                         static_cast<double>(done - eta_base);
     std::snprintf(buf, sizeof buf, ", ETA %.1fs", eta_s);
     line += buf;
   }
@@ -48,10 +49,12 @@ std::string format_progress_line(const std::string& label, std::size_t done,
 }
 
 ProgressMeter::ProgressMeter(std::string label, std::size_t total,
-                             bool enabled)
+                             bool enabled, std::size_t initial_done)
     : label_(std::move(label)),
       total_(total),
       enabled_(enabled),
+      eta_base_(initial_done),
+      done_(initial_done),
       start_(std::chrono::steady_clock::now()),
       last_render_(std::chrono::steady_clock::now() - kRenderInterval) {}
 
@@ -73,6 +76,19 @@ void ProgressMeter::job_finished(std::uint64_t flips) {
   render(false);
 }
 
+void ProgressMeter::note(const std::string& message) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Overwrite the meter line (padding clears any leftover tail), let the
+  // note scroll away, then put the meter back on the fresh bottom line.
+  std::string line = message;
+  if (line.size() < last_line_len_) {
+    line.append(last_line_len_ - line.size(), ' ');
+  }
+  std::fprintf(stderr, "\r%s\n", line.c_str());
+  render(true);
+}
+
 void ProgressMeter::finish() {
   if (!enabled_) return;
   std::lock_guard<std::mutex> lock(mutex_);
@@ -89,10 +105,10 @@ void ProgressMeter::render(bool force) {
   last_render_ = now;
   const double elapsed_s =
       std::chrono::duration<double>(now - start_).count();
-  std::fprintf(stderr, "\r%s",
-               format_progress_line(label_, done_, total_, running_, flips_,
-                                    elapsed_s)
-                   .c_str());
+  const std::string line = format_progress_line(
+      label_, done_, total_, running_, flips_, elapsed_s, eta_base_);
+  std::fprintf(stderr, "\r%s", line.c_str());
+  last_line_len_ = line.size();
   std::fflush(stderr);
 }
 

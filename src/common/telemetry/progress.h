@@ -33,16 +33,24 @@ void phase_note(const std::string& message);
 // cases stay unit-testable: percent is suppressed when `total` is zero
 // (an empty sweep must not divide by zero) and the ETA extrapolation is
 // suppressed until at least one job finished with measurable elapsed time
-// (done == 0 or elapsed_s <= 0 would yield garbage).
+// (done == 0 or elapsed_s <= 0 would yield garbage).  `eta_base` is the
+// number of jobs that were already done before the clock started (a
+// resumed fleet campaign): those jobs cost this run nothing, so the ETA
+// rate divides by `done - eta_base` instead of `done` — counting them
+// would extrapolate an impossibly fast finish.
 std::string format_progress_line(const std::string& label, std::size_t done,
                                  std::size_t total, std::size_t running,
-                                 std::uint64_t flips, double elapsed_s);
+                                 std::uint64_t flips, double elapsed_s,
+                                 std::size_t eta_base = 0);
 
 class ProgressMeter {
  public:
   // `label` prefixes the line; `total` is the job count.  A disabled meter
-  // is completely inert.
-  ProgressMeter(std::string label, std::size_t total, bool enabled);
+  // is completely inert.  `initial_done` seeds the done count for resumed
+  // campaigns (shards checkpointed by earlier workers); it also becomes
+  // the ETA baseline so the extrapolation only measures this run's rate.
+  ProgressMeter(std::string label, std::size_t total, bool enabled,
+                std::size_t initial_done = 0);
   ~ProgressMeter();
 
   ProgressMeter(const ProgressMeter&) = delete;
@@ -50,6 +58,11 @@ class ProgressMeter {
 
   void job_started();
   void job_finished(std::uint64_t flips);
+
+  // Prints `message` on its own line (overwriting the meter, which then
+  // re-renders below it), so per-shard narration and the live meter can
+  // share stderr without interleaving mid-line.  No-op when disabled.
+  void note(const std::string& message);
 
   // Prints the final line (unthrottled) and a trailing newline.
   void finish();
@@ -60,11 +73,13 @@ class ProgressMeter {
   const std::string label_;
   const std::size_t total_;
   const bool enabled_;
+  const std::size_t eta_base_;
 
   std::mutex mutex_;
   std::size_t running_ = 0;
   std::size_t done_ = 0;
   std::uint64_t flips_ = 0;
+  std::size_t last_line_len_ = 0;
   bool finished_ = false;
   const std::chrono::steady_clock::time_point start_;
   std::chrono::steady_clock::time_point last_render_;

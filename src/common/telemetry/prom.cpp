@@ -1,0 +1,183 @@
+#include "common/telemetry/prom.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace parbor::telemetry {
+
+namespace {
+
+// Matches JsonWriter's double formatting so a value that travelled
+// through the JSON dump and one scraped directly expose identically.
+std::string format_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void sample(std::string& out, const std::string& name,
+            const std::string& labels, const std::string& value) {
+  out += name;
+  out += labels;
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+void type_line(std::string& out, const std::string& name,
+               const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prom_name(const std::string& name) {
+  std::string out;
+  if (name.rfind("parbor_", 0) != 0) out = "parbor_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string metrics_to_prom(const MetricsRegistry::Snapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prom_name(name) + "_total";
+    type_line(out, prom, "counter");
+    sample(out, prom, "", std::to_string(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prom_name(name);
+    type_line(out, prom, "gauge");
+    sample(out, prom, "", std::to_string(value));
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string prom = prom_name(name);
+    type_line(out, prom, "histogram");
+    // The registry stores each observation in exactly one bucket;
+    // prometheus buckets are cumulative, so fold a running total.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+      cumulative += i < h.buckets.size() ? h.buckets[i] : 0;
+      sample(out, prom + "_bucket",
+             "{le=\"" + format_double(h.upper_bounds[i]) + "\"}",
+             std::to_string(cumulative));
+    }
+    sample(out, prom + "_bucket", "{le=\"+Inf\"}", std::to_string(h.count));
+    sample(out, prom + "_sum", "", format_double(h.sum));
+    sample(out, prom + "_count", "", std::to_string(h.count));
+  }
+  return out;
+}
+
+std::string metrics_snapshot_to_json(
+    const MetricsRegistry::Snapshot& snapshot) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : snapshot.counters) w.field(name, value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : snapshot.gauges) w.field(name, value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : snapshot.histograms) {
+    w.key(name).begin_object();
+    w.key("upper_bounds").begin_array();
+    for (double b : h.upper_bounds) w.value(b);
+    w.end_array();
+    w.key("buckets").begin_array();
+    for (std::uint64_t b : h.buckets) w.value(b);
+    w.end_array();
+    w.field("count", h.count);
+    w.field("sum", h.sum);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+MetricsRegistry::Snapshot metrics_snapshot_from_json(
+    const std::string& json) {
+  const JsonValue doc = JsonValue::parse(json);
+  PARBOR_CHECK_MSG(doc.is_object() && doc.has("counters") &&
+                       doc.has("gauges") && doc.has("histograms"),
+                   "metrics document missing counters/gauges/histograms");
+  MetricsRegistry::Snapshot snap;
+  for (const auto& [name, value] : doc.at("counters").members()) {
+    snap.counters.emplace_back(name, value.as_uint());
+  }
+  for (const auto& [name, value] : doc.at("gauges").members()) {
+    snap.gauges.emplace_back(name, value.as_int());
+  }
+  for (const auto& [name, h] : doc.at("histograms").members()) {
+    PARBOR_CHECK_MSG(h.is_object() && h.has("upper_bounds") &&
+                         h.has("buckets") && h.has("count") && h.has("sum"),
+                     "histogram '" << name << "' is malformed");
+    MetricsRegistry::HistogramSnapshot hs;
+    for (const auto& b : h.at("upper_bounds").items()) {
+      hs.upper_bounds.push_back(b.as_double());
+    }
+    for (const auto& b : h.at("buckets").items()) {
+      hs.buckets.push_back(b.as_uint());
+    }
+    PARBOR_CHECK_MSG(hs.buckets.size() == hs.upper_bounds.size() + 1,
+                     "histogram '" << name << "' has " << hs.buckets.size()
+                                   << " buckets for "
+                                   << hs.upper_bounds.size() << " bounds");
+    hs.count = h.at("count").as_uint();
+    hs.sum = h.at("sum").as_double();
+    snap.histograms.emplace_back(name, std::move(hs));
+  }
+  return snap;
+}
+
+MetricsRegistry::Snapshot merge_metrics_snapshots(
+    const std::vector<MetricsRegistry::Snapshot>& snapshots) {
+  // std::map keeps the merged families in name order, matching scrape().
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, MetricsRegistry::HistogramSnapshot> histograms;
+  for (const auto& snap : snapshots) {
+    for (const auto& [name, value] : snap.counters) counters[name] += value;
+    for (const auto& [name, value] : snap.gauges) gauges[name] += value;
+    for (const auto& [name, h] : snap.histograms) {
+      auto [it, inserted] = histograms.emplace(name, h);
+      if (inserted) continue;
+      MetricsRegistry::HistogramSnapshot& acc = it->second;
+      PARBOR_CHECK_MSG(acc.upper_bounds == h.upper_bounds &&
+                           acc.buckets.size() == h.buckets.size(),
+                       "histogram '" << name
+                                     << "' bucket bounds differ across "
+                                        "snapshots — cannot merge");
+      for (std::size_t i = 0; i < acc.buckets.size(); ++i) {
+        acc.buckets[i] += h.buckets[i];
+      }
+      acc.count += h.count;
+      acc.sum += h.sum;
+    }
+  }
+  MetricsRegistry::Snapshot merged;
+  for (auto& [name, value] : counters) merged.counters.emplace_back(name, value);
+  for (auto& [name, value] : gauges) merged.gauges.emplace_back(name, value);
+  for (auto& [name, h] : histograms) {
+    merged.histograms.emplace_back(name, std::move(h));
+  }
+  return merged;
+}
+
+}  // namespace parbor::telemetry

@@ -1,0 +1,60 @@
+// Prometheus text-format exposition for MetricsRegistry snapshots.
+//
+// Campaigns are long-running; standard scrape tooling expects the
+// text-based exposition format (one `# TYPE` line per metric family, one
+// sample per line).  This module maps a `MetricsRegistry::Snapshot` onto
+// that format deterministically:
+//
+//  - metric names are sanitised ('.' and every other character outside
+//    [a-zA-Z0-9_:] becomes '_') and prefixed "parbor_", so
+//    "engine.jobs_done" exposes as "parbor_engine_jobs_done_total";
+//  - counters gain the conventional "_total" suffix, gauges expose as-is;
+//  - histograms expose CUMULATIVE "_bucket{le="..."}" samples (the
+//    registry stores per-bucket counts; prometheus buckets nest), plus
+//    the "+Inf" bucket, "_sum", and "_count".
+//
+// The snapshot struct also round-trips through the registry's JSON dump
+// (`metrics_snapshot_from_json`) and merges across workers
+// (`merge_metrics_snapshots`), so a fleet monitor can fold N worker
+// metric files into one campaign-wide exposition without touching any
+// registry.  Everything here is pure string/struct manipulation — no
+// clocks, no global state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/telemetry/metrics.h"
+
+namespace parbor::telemetry {
+
+// "engine.jobs_done" -> "parbor_engine_jobs_done".  Already-prefixed
+// names are left alone so synthetic campaign metrics can pick their own.
+std::string prom_name(const std::string& name);
+
+// Renders a snapshot in the exposition format (trailing newline included;
+// empty snapshot renders empty).  Deterministic: snapshot order is name
+// order, and the section order per family is fixed.
+std::string metrics_to_prom(const MetricsRegistry::Snapshot& snapshot);
+
+// The registry's JSON dump format, as a free function over a snapshot:
+//   {"counters":{...},"gauges":{...},"histograms":{name:{...}}}
+// `MetricsRegistry::dump_json()` is exactly this applied to scrape(), so
+// a snapshot that travelled through a heartbeat file and one dumped
+// directly serialise byte-identically.
+std::string metrics_snapshot_to_json(const MetricsRegistry::Snapshot& snapshot);
+
+// Inverse of `metrics_snapshot_to_json`.  Throws CheckError on malformed
+// documents (missing sections, histogram bucket/bound mismatch).
+MetricsRegistry::Snapshot metrics_snapshot_from_json(const std::string& json);
+
+// Sums snapshots element-wise by metric name: counters and gauges add,
+// histograms add bucket-wise.  Histograms sharing a name must share
+// bucket bounds (CheckError otherwise).  Merging zero snapshots yields an
+// empty snapshot.  Gauges add because every per-worker gauge this
+// repository emits is a live quantity (queue depth, running jobs) whose
+// campaign-wide value is the sum over workers.
+MetricsRegistry::Snapshot merge_metrics_snapshots(
+    const std::vector<MetricsRegistry::Snapshot>& snapshots);
+
+}  // namespace parbor::telemetry

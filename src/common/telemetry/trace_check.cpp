@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "common/check.h"
 #include "common/json.h"
@@ -18,6 +20,19 @@ CheckResult fail(std::string message) {
   return r;
 }
 
+// Parser errors can span lines (they quote context); a CI log or a
+// monitor wants one line that names the likely cause — a worker killed
+// mid-dump leaves a file that simply stops.
+std::string one_line(const std::string& message) {
+  std::string out = message.substr(0, message.find('\n'));
+  constexpr std::size_t kMaxLen = 160;
+  if (out.size() > kMaxLen) {
+    out.resize(kMaxLen);
+    out += "...";
+  }
+  return out;
+}
+
 }  // namespace
 
 CheckResult check_trace_json(const std::string& json) {
@@ -25,7 +40,9 @@ CheckResult check_trace_json(const std::string& json) {
   try {
     doc = JsonValue::parse(json);
   } catch (const CheckError& e) {
-    return fail(std::string("trace does not parse as JSON: ") + e.what());
+    return fail(
+        "trace is not valid JSON (truncated dump from a killed worker?): " +
+        one_line(e.what()));
   }
   if (!doc.is_object() || !doc.has("traceEvents")) {
     return fail("trace root must be an object with a traceEvents array");
@@ -39,7 +56,10 @@ CheckResult check_trace_json(const std::string& json) {
     bool has_ts = false;
     std::vector<std::string> open;  // B names, innermost last
   };
-  std::map<std::uint64_t, Track> tracks;
+  // Keyed by (pid, tid): in a merged fleet trace every worker keeps its
+  // own process lane, and tid 0 of worker 1 is a different track from
+  // tid 0 of worker 2 (their steady-clock epochs are unrelated).
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Track> tracks;
 
   for (std::size_t i = 0; i < events.size(); ++i) {
     const JsonValue& ev = events[i];
@@ -53,8 +73,11 @@ CheckResult check_trace_json(const std::string& json) {
     }
     const std::string& name = ev.at("name").as_string();
     const std::string& ph = ev.at("ph").as_string();
+    const std::uint64_t pid = ev.at("pid").as_uint();
     const std::uint64_t tid = ev.at("tid").as_uint();
-    Track& track = tracks[tid];
+    Track& track = tracks[{pid, tid}];
+    const std::string track_label =
+        "pid " + std::to_string(pid) + " tid " + std::to_string(tid);
 
     if (ph == "M") continue;  // metadata: no ts, not a span
     if (ph != "B" && ph != "E" && ph != "i") {
@@ -66,8 +89,8 @@ CheckResult check_trace_json(const std::string& json) {
     const std::uint64_t ts = ev.at("ts").as_uint();
     if (track.has_ts && ts < track.last_ts) {
       std::ostringstream msg;
-      msg << where.str() << " ts " << ts << " goes backwards on tid " << tid
-          << " (previous " << track.last_ts << ")";
+      msg << where.str() << " ts " << ts << " goes backwards on "
+          << track_label << " (previous " << track.last_ts << ")";
       return fail(msg.str());
     }
     track.last_ts = ts;
@@ -77,13 +100,12 @@ CheckResult check_trace_json(const std::string& json) {
       track.open.push_back(name);
     } else if (ph == "E") {
       if (track.open.empty()) {
-        return fail(where.str() + " ends span '" + name + "' on tid " +
-                    std::to_string(tid) + " with no open span");
+        return fail(where.str() + " ends span '" + name + "' on " +
+                    track_label + " with no open span");
       }
       if (track.open.back() != name) {
         return fail(where.str() + " ends span '" + name + "' but '" +
-                    track.open.back() + "' is open on tid " +
-                    std::to_string(tid));
+                    track.open.back() + "' is open on " + track_label);
       }
       track.open.pop_back();
       ++result.span_count;
@@ -91,13 +113,17 @@ CheckResult check_trace_json(const std::string& json) {
     ++result.event_count;
   }
 
-  for (const auto& [tid, track] : tracks) {
+  std::set<std::uint64_t> pids;
+  for (const auto& [key, track] : tracks) {
     if (!track.open.empty()) {
-      return fail("span '" + track.open.back() + "' on tid " +
-                  std::to_string(tid) + " never ends");
+      return fail("span '" + track.open.back() + "' on pid " +
+                  std::to_string(key.first) + " tid " +
+                  std::to_string(key.second) + " never ends");
     }
+    pids.insert(key.first);
   }
   result.track_count = tracks.size();
+  result.process_count = pids.size();
   return result;
 }
 
@@ -108,7 +134,10 @@ CheckResult check_metrics_json(
   try {
     doc = JsonValue::parse(json);
   } catch (const CheckError& e) {
-    return fail(std::string("metrics do not parse as JSON: ") + e.what());
+    return fail(
+        "metrics are not valid JSON (truncated dump from a killed "
+        "worker?): " +
+        one_line(e.what()));
   }
   if (!doc.is_object()) return fail("metrics root must be an object");
   for (const char* key : {"counters", "gauges", "histograms"}) {

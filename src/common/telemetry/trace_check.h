@@ -6,10 +6,15 @@
 //   - the document parses and has a `traceEvents` array of objects with
 //     the required keys (`name`, `ph`, `pid`, `tid`, and `ts` for
 //     non-metadata events);
-//   - per track (tid), timestamps are monotonically non-decreasing in
-//     document order;
+//   - per track — a (pid, tid) pair, so merged multi-worker traces where
+//     every worker contributes its own process lane validate too —
+//     timestamps are monotonically non-decreasing in document order;
 //   - per track, B/E events nest: every E matches the innermost open B by
 //     name, and no B is left open at the end.
+//
+// A document that does not parse at all (the signature of a trace from a
+// SIGKILLed worker, cut off mid-write) fails with a one-line diagnostic
+// naming that likely cause instead of a raw parser error.
 //
 // `check_metrics_json` verifies a MetricsRegistry dump: the three sections
 // exist, histograms are internally consistent (bucket count = bounds + 1,
@@ -27,8 +32,9 @@ struct CheckResult {
 
   // Trace statistics (populated on success).
   std::size_t event_count = 0;
-  std::size_t span_count = 0;   // matched B/E pairs
-  std::size_t track_count = 0;  // distinct tids
+  std::size_t span_count = 0;     // matched B/E pairs
+  std::size_t track_count = 0;    // distinct (pid, tid) pairs
+  std::size_t process_count = 0;  // distinct pids
 };
 
 CheckResult check_trace_json(const std::string& json);

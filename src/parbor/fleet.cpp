@@ -15,6 +15,10 @@
 #include "common/json.h"
 #include "common/leasedir.h"
 #include "common/ledger/ledger.h"
+#include "common/telemetry/campaign_obs.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/progress.h"
+#include "common/telemetry/trace.h"
 
 namespace parbor::core {
 
@@ -81,6 +85,26 @@ std::map<std::string, const FleetShard*> shards_by_key(
   std::map<std::string, const FleetShard*> by_key;
   for (const FleetShard& shard : shards) by_key[shard.key] = &shard;
   return by_key;
+}
+
+// Worker-level counters, registered lazily like engine_metrics() so a
+// process that never runs fleet work never pays for the names.
+struct FleetMetrics {
+  telemetry::MetricsRegistry::Id shards_done;
+  telemetry::MetricsRegistry::Id stale_requeued;
+  telemetry::MetricsRegistry::Id stale_released;
+};
+
+const FleetMetrics& fleet_metrics() {
+  static const FleetMetrics metrics = [] {
+    auto& reg = telemetry::MetricsRegistry::global();
+    FleetMetrics m;
+    m.shards_done = reg.counter("fleet.shards_done");
+    m.stale_requeued = reg.counter("fleet.stale_requeued");
+    m.stale_released = reg.counter("fleet.stale_released");
+    return m;
+  }();
+  return metrics;
 }
 
 }  // namespace
@@ -224,11 +248,51 @@ FleetWorkerResult fleet_work(const std::string& dir,
   const bool ledger_was_enabled = ledger.enabled();
   if (spec.ledger) ledger.set_enabled(true);
 
+  // Heartbeats carry MetricsRegistry scrapes, so an observed worker owns
+  // the global registry for its lifetime (same restore pattern as the
+  // ledger).  Everything below is advisory: results never depend on it.
+  auto& reg = telemetry::MetricsRegistry::global();
+  const bool metrics_was_enabled = reg.enabled();
+  telemetry::CampaignObserver obs;
+  if (options.heartbeat) {
+    obs = telemetry::CampaignObserver(dir, leasedir::process_owner());
+    obs.set_die_at_heartbeat(options.die_at_heartbeat);
+    reg.set_enabled(true);
+  }
+  // Register the fleet counter names up front: a worker that drains zero
+  // shards from a racing queue still dumps them (as zeros), so a metrics
+  // consumer can --require them unconditionally.
+  if (reg.enabled()) fleet_metrics();
+
+  // Shards checkpointed before we attached (a resumed campaign) seed the
+  // meter's done count and its ETA baseline: they cost this run nothing.
+  std::size_t done_at_start = 0;
+  for (const FleetShard& shard : shards) {
+    if (has_checkpoint(shard.key)) ++done_at_start;
+  }
+  telemetry::ProgressMeter meter("fleet", shards.size(), options.progress,
+                                 done_at_start);
+
+  auto& trace = telemetry::TraceRecorder::global();
+  telemetry::TraceSpan worker_span("fleet.worker");
+  obs.event("worker_start");
+  obs.heartbeat("start", {}, 0);
+
   FleetWorkerResult out;
   while (true) {
     const auto reclaimed = leasedir::reclaim_stale(dir, has_checkpoint);
     out.requeued_stale += reclaimed.requeued;
     out.released_done += reclaimed.released_done;
+    for (const auto& lease : reclaimed.requeued_leases) {
+      if (reg.enabled()) reg.inc(fleet_metrics().stale_requeued);
+      obs.event("stale_requeue", lease.key,
+                {{"dead_pid", static_cast<std::uint64_t>(lease.pid)}});
+    }
+    for (const auto& lease : reclaimed.released_leases) {
+      if (reg.enabled()) reg.inc(fleet_metrics().stale_released);
+      obs.event("stale_release", lease.key,
+                {{"dead_pid", static_cast<std::uint64_t>(lease.pid)}});
+    }
     const auto claim = leasedir::try_claim(dir);
     if (!claim) {
       // Nothing claimable: the queue is drained (or every remaining shard
@@ -238,13 +302,18 @@ FleetWorkerResult fleet_work(const std::string& dir,
       continue;
     }
     const FleetShard& shard = *by_key.at(claim->key);
-    if (options.progress) {
-      std::fprintf(stderr, "[fleet worker %s] shard %s...\n",
-                   claim->owner.c_str(), shard.key.c_str());
-    }
+    obs.event("claim", shard.key);
+    obs.heartbeat("compute", shard.key, out.shards_run);
+    meter.note("[fleet worker " + claim->owner + "] shard " + shard.key +
+               "...");
+    meter.job_started();
     if (spec.ledger) ledger.reset();
-    const SweepJobResult result =
-        CampaignEngine::run_job_instrumented(shard.job, shard.index);
+    SweepJobResult result;
+    {
+      telemetry::TraceSpan shard_span("fleet.shard");
+      if (trace.enabled()) shard_span.note("shard", shard.key);
+      result = CampaignEngine::run_job_instrumented(shard.job, shard.index);
+    }
     if (options.die_after_shards >= 0 &&
         out.shards_run >=
             static_cast<std::size_t>(options.die_after_shards)) {
@@ -258,23 +327,31 @@ FleetWorkerResult fleet_work(const std::string& dir,
     }
     atomic_replace(result_path(dir, shard.key),
                    shard_checkpoint_json(shard, result) + "\n");
+    const std::uint64_t tests =
+        result.report.total_tests() + result.random.tests;
+    obs.event("checkpoint", shard.key, {{"tests", tests}});
+    if (reg.enabled()) reg.inc(fleet_metrics().shards_done);
     leasedir::release(*claim);
+    obs.event("release", shard.key);
     ++out.shards_run;
-    if (options.progress) {
-      std::fprintf(stderr, "[fleet worker %s] shard %s done (%llu tests)\n",
-                   claim->owner.c_str(), shard.key.c_str(),
-                   static_cast<unsigned long long>(
-                       result.report.total_tests() + result.random.tests));
-    }
+    obs.heartbeat("checkpoint", shard.key, out.shards_run);
+    meter.job_finished(result.report.all_detected().size() +
+                       result.random.cells.size());
+    meter.note("[fleet worker " + claim->owner + "] shard " + shard.key +
+               " done (" + std::to_string(tests) + " tests)");
     if (options.max_shards >= 0 &&
         out.shards_run >= static_cast<std::size_t>(options.max_shards)) {
       break;
     }
   }
+  obs.event("worker_exit", {}, {{"shards_run", out.shards_run}});
+  obs.heartbeat("exit", {}, out.shards_run);
+  meter.finish();
   if (spec.ledger) {
     ledger.reset();
     ledger.set_enabled(ledger_was_enabled);
   }
+  if (options.heartbeat) reg.set_enabled(metrics_was_enabled);
   return out;
 }
 
@@ -299,6 +376,7 @@ FleetStatus fleet_status(const std::string& dir) {
       s.state = ShardState::kClaimed;
       s.owner_pid = it->second.pid;
       s.owner_alive = leasedir::pid_alive(it->second.pid);
+      s.claimed_unix_ms = leasedir::lease_claimed_unix_ms(it->second);
       ++status.claimed;
     } else {
       s.state = ShardState::kTodo;

@@ -93,8 +93,20 @@ struct FleetWorkerOptions {
   int die_after_shards = -1;
   // Stop after this many completed shards (< 0: drain the queue).
   int max_shards = -1;
-  // Per-shard progress lines on stderr.
+  // Live meter + per-shard narration on stderr (telemetry ProgressMeter;
+  // a resumed campaign's pre-existing checkpoints seed the done count).
   bool progress = false;
+  // Publish heartbeats + metrics snapshots under <dir>/telemetry/ and
+  // append to the campaign event log (see common/telemetry/campaign_obs).
+  // Forces the global MetricsRegistry on for the worker's lifetime (the
+  // ambient enabled-state is restored on return).  Advisory only: results
+  // stay byte-identical with heartbeats on or off.
+  bool heartbeat = false;
+  // Crash-test hook (PARBOR_FLEET_DIE_AT_HEARTBEAT from the CLI): SIGKILL
+  // while publishing the n-th heartbeat, after its tmp file is written
+  // but before the rename — the window where a non-atomic publisher
+  // would tear a snapshot.  < 0 disables.  Requires `heartbeat`.
+  int die_at_heartbeat = -1;
 };
 
 struct FleetWorkerResult {
@@ -116,6 +128,11 @@ struct FleetShardStatus {
   ShardState state = ShardState::kTodo;
   std::int64_t owner_pid = 0;  // kClaimed only
   bool owner_alive = false;    // kClaimed only
+  // Advisory wall-clock claim stamp from the lease body; 0 when the body
+  // was never written (owner died between rename and write).  Lets a
+  // status view show lease age — how long a dead owner has been sitting
+  // on a shard.
+  std::int64_t claimed_unix_ms = 0;  // kClaimed only
 };
 
 struct FleetStatus {

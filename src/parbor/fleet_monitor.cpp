@@ -1,0 +1,209 @@
+#include "parbor/fleet_monitor.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/fileio.h"
+#include "common/leasedir.h"
+#include "common/table.h"
+#include "common/telemetry/progress.h"
+#include "common/telemetry/prom.h"
+
+namespace parbor::core {
+
+namespace {
+
+std::uint64_t counter_value(const telemetry::MetricsRegistry::Snapshot& snap,
+                            const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::string format_age(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1fs", seconds);
+  return buf;
+}
+
+}  // namespace
+
+FleetMonitorView fleet_monitor_view(const std::string& dir,
+                                    double watchdog_s,
+                                    std::int64_t now_unix_ms) {
+  FleetMonitorView view;
+  view.now_unix_ms = now_unix_ms;
+  view.status = fleet_status(dir);
+  view.events = telemetry::read_campaign_events(dir);
+
+  std::vector<telemetry::MetricsRegistry::Snapshot> snapshots;
+  for (auto& snapshot : telemetry::read_worker_snapshots(dir)) {
+    FleetWorkerView w;
+    w.alive = leasedir::pid_alive(snapshot.pid);
+    w.heartbeat_age_s =
+        static_cast<double>(now_unix_ms - snapshot.unix_ms) / 1000.0;
+    // A worker that reported its exit heartbeat is finished, not stalled —
+    // its snapshot will age forever by design.
+    w.stalled = w.alive && snapshot.phase != "exit" &&
+                w.heartbeat_age_s > watchdog_s;
+    if (!w.alive) {
+      ++view.workers_dead;
+    } else if (w.stalled) {
+      ++view.workers_stalled;
+    } else {
+      ++view.workers_alive;
+    }
+    if (view.campaign_start_ms == 0 ||
+        snapshot.unix_ms < view.campaign_start_ms) {
+      view.campaign_start_ms = snapshot.unix_ms;
+    }
+    snapshots.push_back(snapshot.metrics);
+    w.snapshot = std::move(snapshot);
+    view.workers.push_back(std::move(w));
+  }
+  view.metrics = telemetry::merge_metrics_snapshots(snapshots);
+  view.jobs_done = counter_value(view.metrics, "engine.jobs_done");
+  view.flips = counter_value(view.metrics, "engine.flips");
+  view.tests = counter_value(view.metrics, "host.tests");
+
+  for (const auto& event : view.events) {
+    if (event.type == "stale_requeue") ++view.stale_takeovers;
+    if (view.campaign_start_ms == 0 ||
+        event.unix_ms < view.campaign_start_ms) {
+      view.campaign_start_ms = event.unix_ms;
+    }
+  }
+  if (view.campaign_start_ms > 0 && now_unix_ms > view.campaign_start_ms) {
+    view.elapsed_s =
+        static_cast<double>(now_unix_ms - view.campaign_start_ms) / 1000.0;
+  }
+  return view;
+}
+
+std::string render_fleet_view(const FleetMonitorView& view) {
+  std::string out;
+  char buf[256];
+
+  std::snprintf(buf, sizeof buf,
+                "fleet campaign: %zu shard(s) — %zu done, %zu claimed, "
+                "%zu todo\n",
+                view.status.total, view.status.done, view.status.claimed,
+                view.status.todo);
+  out += buf;
+
+  // The engine meter line, driven by shard completion: running = shards
+  // claimed by live workers, ETA extrapolated from campaign elapsed time.
+  std::size_t running = 0;
+  for (const auto& shard : view.status.shards) {
+    if (shard.state == ShardState::kClaimed && shard.owner_alive) ++running;
+  }
+  out += telemetry::format_progress_line("fleet", view.status.done,
+                                         view.status.total, running,
+                                         view.flips, view.elapsed_s);
+  out += '\n';
+  if (view.elapsed_s > 0.0) {
+    std::snprintf(buf, sizeof buf, "rate: %.2f shards/s, %.1f flips/s\n",
+                  static_cast<double>(view.status.done) / view.elapsed_s,
+                  static_cast<double>(view.flips) / view.elapsed_s);
+    out += buf;
+  }
+
+  if (!view.workers.empty()) {
+    Table table({"Worker", "State", "Phase", "Shard", "Heartbeat", "Done"});
+    for (const auto& w : view.workers) {
+      const char* state = "alive";
+      if (!w.alive) state = "dead";
+      else if (w.stalled) state = "STALLED";
+      table.add(w.snapshot.owner, state, w.snapshot.phase, w.snapshot.shard,
+                format_age(w.heartbeat_age_s),
+                std::to_string(w.snapshot.shards_done));
+    }
+    out += table.to_string();
+    std::snprintf(buf, sizeof buf,
+                  "workers: %zu alive, %zu dead, %zu stalled\n",
+                  view.workers_alive, view.workers_dead,
+                  view.workers_stalled);
+    out += buf;
+  }
+
+  // Shards held by dead or heartbeat-less owners deserve their own lines:
+  // they are exactly what the next worker's reclaim pass will take over.
+  for (const auto& shard : view.status.shards) {
+    if (shard.state != ShardState::kClaimed || shard.owner_alive) continue;
+    std::string line = "dead owner: shard " + shard.key + " leased to pid " +
+                       std::to_string(shard.owner_pid);
+    if (shard.claimed_unix_ms > 0 &&
+        view.now_unix_ms > shard.claimed_unix_ms) {
+      line += " (lease age " +
+              format_age(static_cast<double>(view.now_unix_ms -
+                                             shard.claimed_unix_ms) /
+                         1000.0) +
+              ")";
+    }
+    out += line + "\n";
+  }
+
+  if (!view.events.empty() || view.stale_takeovers > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "events: %zu logged, %zu stale takeover(s)\n",
+                  view.events.size(), view.stale_takeovers);
+    out += buf;
+  }
+
+  if (view.complete()) {
+    std::snprintf(buf, sizeof buf,
+                  "campaign complete: %zu/%zu shards checkpointed\n",
+                  view.status.done, view.status.total);
+    out += buf;
+  }
+  return out;
+}
+
+std::string fleet_view_to_prom(const FleetMonitorView& view) {
+  std::string out = telemetry::metrics_to_prom(view.metrics);
+  out += "# TYPE parbor_fleet_campaign_shards gauge\n";
+  out += "parbor_fleet_campaign_shards{state=\"todo\"} " +
+         std::to_string(view.status.todo) + "\n";
+  out += "parbor_fleet_campaign_shards{state=\"claimed\"} " +
+         std::to_string(view.status.claimed) + "\n";
+  out += "parbor_fleet_campaign_shards{state=\"done\"} " +
+         std::to_string(view.status.done) + "\n";
+  out += "# TYPE parbor_fleet_campaign_workers gauge\n";
+  out += "parbor_fleet_campaign_workers{state=\"alive\"} " +
+         std::to_string(view.workers_alive) + "\n";
+  out += "parbor_fleet_campaign_workers{state=\"dead\"} " +
+         std::to_string(view.workers_dead) + "\n";
+  out += "parbor_fleet_campaign_workers{state=\"stalled\"} " +
+         std::to_string(view.workers_stalled) + "\n";
+  out += "# TYPE parbor_fleet_campaign_complete gauge\n";
+  out += std::string("parbor_fleet_campaign_complete ") +
+         (view.complete() ? "1" : "0") + "\n";
+  return out;
+}
+
+int run_fleet_monitor(const FleetMonitorOptions& options) {
+  int rc = 0;
+  while (true) {
+    const auto view = fleet_monitor_view(options.dir, options.watchdog_s,
+                                         telemetry::unix_now_ms());
+    if (options.clear_screen) std::fputs("\033[H\033[2J", stdout);
+    std::fputs(render_fleet_view(view).c_str(), stdout);
+    std::fflush(stdout);
+    if (!options.prom_out.empty()) {
+      if (const auto err =
+              write_text_file(options.prom_out, fleet_view_to_prom(view));
+          !err.empty()) {
+        std::fprintf(stderr, "--prom-out: %s\n", err.c_str());
+        rc = 1;
+      }
+    }
+    if (options.once || view.complete() || rc != 0) break;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options.interval_ms));
+  }
+  return rc;
+}
+
+}  // namespace parbor::core

@@ -1,0 +1,95 @@
+// Fleet campaign monitoring: aggregates the worker heartbeats, the event
+// log, and the shard queue state into one live campaign view.
+//
+// The view layer is split from the rendering loop so every piece stays
+// testable without a terminal or a clock:
+//
+//  - `fleet_monitor_view(dir, watchdog_s, now_unix_ms)` is a pure
+//    function of the campaign directory contents and the caller's notion
+//    of "now" — tests pass fixed timestamps and get deterministic views;
+//  - `render_fleet_view` turns a view into the `fleet_top` text page;
+//  - `fleet_view_to_prom` turns it into a Prometheus exposition (the
+//    merged worker metrics plus synthetic campaign-level gauges);
+//  - `run_fleet_monitor` is the thin refresh loop behind
+//    `parbor_cli fleet monitor` and `tools/fleet_top`.
+//
+// Health model: a worker is DEAD when its snapshot pid no longer exists,
+// and STALLED when the pid is alive but its last heartbeat is older than
+// the watchdog window (heartbeats are published at shard boundaries, so
+// a stall means a shard has been computing suspiciously long — or the
+// worker is wedged).  Both are advisory; the lease protocol alone decides
+// reclamation.  Everything here only reads the campaign directory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/campaign_obs.h"
+#include "parbor/fleet.h"
+
+namespace parbor::core {
+
+struct FleetWorkerView {
+  telemetry::WorkerSnapshot snapshot;
+  bool alive = false;
+  bool stalled = false;          // alive, but heartbeat older than watchdog
+  double heartbeat_age_s = 0.0;  // now - snapshot.unix_ms
+};
+
+struct FleetMonitorView {
+  FleetStatus status;
+  std::vector<FleetWorkerView> workers;  // sorted by owner
+  std::vector<telemetry::CampaignEvent> events;
+
+  // Merged over every worker snapshot (see merge_metrics_snapshots).
+  telemetry::MetricsRegistry::Snapshot metrics;
+  std::uint64_t jobs_done = 0;  // merged engine.jobs_done
+  std::uint64_t flips = 0;      // merged engine.flips
+  std::uint64_t tests = 0;      // merged host.tests
+
+  std::size_t workers_alive = 0;
+  std::size_t workers_dead = 0;
+  std::size_t workers_stalled = 0;
+  std::size_t stale_takeovers = 0;  // stale_requeue events logged
+
+  std::int64_t now_unix_ms = 0;
+  // Earliest event/heartbeat stamp; 0 when the campaign is unobserved.
+  std::int64_t campaign_start_ms = 0;
+  double elapsed_s = 0.0;  // since campaign_start_ms; 0 when unknown
+
+  bool complete() const { return status.total > 0 && status.done == status.total; }
+};
+
+// Snapshot of the campaign as of `now_unix_ms`.  Tolerant by design:
+// missing telemetry (unobserved campaign), torn snapshots, and truncated
+// event logs all yield a view, never an error.  CheckError only for a
+// directory that is not a campaign at all.
+FleetMonitorView fleet_monitor_view(const std::string& dir,
+                                    double watchdog_s,
+                                    std::int64_t now_unix_ms);
+
+// The human page: summary line, progress/ETA meter line, worker table,
+// event tally — and, when every shard is checkpointed, the final
+// "campaign complete: N/N shards checkpointed" line CI greps for.
+std::string render_fleet_view(const FleetMonitorView& view);
+
+// Merged worker metrics plus campaign-level gauges
+// (parbor_fleet_campaign_shards{state=...}, ..._workers{state=...},
+// ..._complete) in the exposition format.
+std::string fleet_view_to_prom(const FleetMonitorView& view);
+
+struct FleetMonitorOptions {
+  std::string dir;
+  bool once = false;       // render one view and exit
+  int interval_ms = 2000;  // refresh period
+  double watchdog_s = 30.0;
+  std::string prom_out;      // rewrite this exposition file every refresh
+  bool clear_screen = false;  // top-style full-screen refresh
+};
+
+// Renders to stdout every interval until the campaign completes (or
+// immediately with `once`).  Returns 0; sink failures print and return 1.
+int run_fleet_monitor(const FleetMonitorOptions& options);
+
+}  // namespace parbor::core

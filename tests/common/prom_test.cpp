@@ -1,0 +1,124 @@
+// Prometheus exposition and snapshot plumbing: name sanitisation, the
+// exposition text itself (golden), the JSON round-trip a heartbeat file
+// rides on, and the cross-worker merge the fleet monitor folds with.
+#include "common/telemetry/prom.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/telemetry/metrics.h"
+
+namespace parbor::telemetry {
+namespace {
+
+using Snapshot = MetricsRegistry::Snapshot;
+using HistogramSnapshot = MetricsRegistry::HistogramSnapshot;
+
+Snapshot sample_snapshot() {
+  Snapshot snap;
+  snap.counters = {{"engine.flips", 42}, {"engine.jobs_done", 7}};
+  snap.gauges = {{"pool.queue_depth", -3}};
+  HistogramSnapshot h;
+  h.upper_bounds = {1.0, 10.0};
+  h.buckets = {5, 2, 1};  // one per bound + overflow
+  h.count = 8;
+  h.sum = 23.5;
+  snap.histograms = {{"host.test_us", h}};
+  return snap;
+}
+
+TEST(PromName, SanitisesAndPrefixes) {
+  EXPECT_EQ(prom_name("engine.jobs_done"), "parbor_engine_jobs_done");
+  EXPECT_EQ(prom_name("a.b-c d"), "parbor_a_b_c_d");
+  // Synthetic campaign metrics pick their own prefix; leave it alone.
+  EXPECT_EQ(prom_name("parbor_fleet_campaign_complete"),
+            "parbor_fleet_campaign_complete");
+}
+
+TEST(PromExposition, GoldenText) {
+  EXPECT_EQ(metrics_to_prom(sample_snapshot()),
+            "# TYPE parbor_engine_flips_total counter\n"
+            "parbor_engine_flips_total 42\n"
+            "# TYPE parbor_engine_jobs_done_total counter\n"
+            "parbor_engine_jobs_done_total 7\n"
+            "# TYPE parbor_pool_queue_depth gauge\n"
+            "parbor_pool_queue_depth -3\n"
+            "# TYPE parbor_host_test_us histogram\n"
+            "parbor_host_test_us_bucket{le=\"1\"} 5\n"
+            "parbor_host_test_us_bucket{le=\"10\"} 7\n"
+            "parbor_host_test_us_bucket{le=\"+Inf\"} 8\n"
+            "parbor_host_test_us_sum 23.5\n"
+            "parbor_host_test_us_count 8\n");
+}
+
+TEST(PromExposition, EmptySnapshotRendersEmpty) {
+  EXPECT_EQ(metrics_to_prom(Snapshot{}), "");
+}
+
+TEST(SnapshotJson, RoundTripsByteExact) {
+  const Snapshot snap = sample_snapshot();
+  const std::string json = metrics_snapshot_to_json(snap);
+  const Snapshot back = metrics_snapshot_from_json(json);
+  // Byte-identity of the re-serialisation is the real contract: the
+  // heartbeat metrics section must match dump_json exactly.
+  EXPECT_EQ(metrics_snapshot_to_json(back), json);
+  EXPECT_EQ(metrics_to_prom(back), metrics_to_prom(snap));
+}
+
+TEST(SnapshotJson, MatchesRegistryDump) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  const auto flips = reg.counter("engine.flips");
+  const auto depth = reg.gauge("pool.queue_depth");
+  const auto us = reg.histogram("host.test_us", {1.0, 10.0});
+  reg.inc(flips, 42);
+  reg.gauge_set(depth, -3);
+  reg.observe(us, 0.5);
+  reg.observe(us, 7.0);
+  EXPECT_EQ(metrics_snapshot_to_json(reg.scrape()), reg.dump_json());
+}
+
+TEST(SnapshotJson, RejectsTornDocument) {
+  EXPECT_THROW(metrics_snapshot_from_json("{\"counters\":{\"a\":1"),
+               CheckError);
+  EXPECT_THROW(metrics_snapshot_from_json("{\"counters\":{}}"), CheckError);
+}
+
+TEST(SnapshotJson, RejectsBucketBoundMismatch) {
+  EXPECT_THROW(
+      metrics_snapshot_from_json(
+          "{\"counters\":{},\"gauges\":{},\"histograms\":"
+          "{\"h\":{\"upper_bounds\":[1],\"buckets\":[1],\"count\":1,"
+          "\"sum\":1}}}"),
+      CheckError);
+}
+
+TEST(SnapshotMerge, SumsByName) {
+  Snapshot a = sample_snapshot();
+  Snapshot b = sample_snapshot();
+  b.counters.emplace_back("fleet.shards_done", 3);
+  const Snapshot merged = merge_metrics_snapshots({a, b});
+  ASSERT_EQ(merged.counters.size(), 3u);
+  EXPECT_EQ(merged.counters[0].first, "engine.flips");
+  EXPECT_EQ(merged.counters[0].second, 84u);
+  EXPECT_EQ(merged.counters[1].first, "engine.jobs_done");
+  EXPECT_EQ(merged.counters[1].second, 14u);
+  EXPECT_EQ(merged.counters[2].first, "fleet.shards_done");
+  EXPECT_EQ(merged.counters[2].second, 3u);
+  EXPECT_EQ(merged.gauges[0].second, -6);
+  const HistogramSnapshot& h = merged.histograms[0].second;
+  EXPECT_EQ(h.buckets, (std::vector<std::uint64_t>{10, 4, 2}));
+  EXPECT_EQ(h.count, 16u);
+  EXPECT_DOUBLE_EQ(h.sum, 47.0);
+}
+
+TEST(SnapshotMerge, EmptyAndMismatched) {
+  EXPECT_TRUE(merge_metrics_snapshots({}).counters.empty());
+  Snapshot a = sample_snapshot();
+  Snapshot b = sample_snapshot();
+  b.histograms[0].second.upper_bounds = {2.0, 20.0};
+  EXPECT_THROW(merge_metrics_snapshots({a, b}), CheckError);
+}
+
+}  // namespace
+}  // namespace parbor::telemetry

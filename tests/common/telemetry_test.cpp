@@ -181,5 +181,67 @@ TEST(ProgressLine, InstantMeterLifecycleIsSafe) {
   quick.finish();
 }
 
+TEST(ProgressLine, EtaBaseExcludesResumedWork) {
+  // A resumed campaign starts with checkpoints it did not compute; the
+  // rate (and so the ETA) must extrapolate only from work done since.
+  // 1 shard since resume in 10 s -> 5 remaining in another 50 s.
+  const std::string line = format_progress_line("fleet", 5, 10, 1, 0, 10.0,
+                                                /*eta_base=*/4);
+  EXPECT_NE(line.find("ETA 50.0s"), std::string::npos) << line;
+  // Nothing finished since resume: no evidence, no ETA.
+  EXPECT_EQ(format_progress_line("fleet", 4, 10, 1, 0, 10.0, 4).find("ETA"),
+            std::string::npos);
+}
+
+TEST(ProgressMeter, ResumedMeterAndNotesAreSafe) {
+  ProgressMeter meter("fleet", 3, true, /*initial_done=*/2);
+  meter.note("[fleet] resuming with 2 checkpoints");
+  meter.job_started();
+  meter.job_finished(1);
+  meter.note("[fleet] shard A3-search done");
+  meter.finish();
+  // A disabled meter's note must be silent and free.
+  ProgressMeter quiet("fleet", 3, false);
+  quiet.note("never printed");
+}
+
+TEST(CheckTraceJson, TruncatedDumpGetsOneLineDiagnostic) {
+  // A SIGKILLed worker leaves a trace file that simply stops; the checker
+  // must name the likely cause in one line rather than dump parser
+  // context.
+  const auto result =
+      check_trace_json("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{\"na");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("truncated"), std::string::npos)
+      << result.error;
+  EXPECT_EQ(result.error.find('\n'), std::string::npos) << result.error;
+}
+
+TEST(CheckTraceJson, MergedTraceKeepsPerProcessTracks) {
+  // In a merged fleet trace, tid 0 of worker 1 and tid 0 of worker 2 are
+  // different tracks: their steady-clock epochs are unrelated, so their
+  // timestamps interleave arbitrarily without being "backwards".
+  const std::string merged =
+      "{\"traceEvents\":["
+      "{\"name\":\"s\",\"ph\":\"B\",\"ts\":100,\"pid\":1,\"tid\":0},"
+      "{\"name\":\"s\",\"ph\":\"B\",\"ts\":5,\"pid\":2,\"tid\":0},"
+      "{\"name\":\"s\",\"ph\":\"E\",\"ts\":200,\"pid\":1,\"tid\":0},"
+      "{\"name\":\"s\",\"ph\":\"E\",\"ts\":6,\"pid\":2,\"tid\":0}]}";
+  const auto result = check_trace_json(merged);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.track_count, 2u);
+  EXPECT_EQ(result.process_count, 2u);
+  EXPECT_EQ(result.span_count, 2u);
+
+  // The same interleaving within ONE pid is a genuine violation.
+  const std::string clash =
+      "{\"traceEvents\":["
+      "{\"name\":\"s\",\"ph\":\"B\",\"ts\":100,\"pid\":1,\"tid\":0},"
+      "{\"name\":\"s\",\"ph\":\"E\",\"ts\":5,\"pid\":1,\"tid\":0}]}";
+  const auto bad = check_trace_json(clash);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("backwards"), std::string::npos) << bad.error;
+}
+
 }  // namespace
 }  // namespace parbor::telemetry

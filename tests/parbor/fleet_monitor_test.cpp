@@ -1,0 +1,317 @@
+// Fleet observability battery: heartbeat snapshots under SIGKILL, the
+// campaign event log, the monitor view/renderer/exposition, and the
+// invariant that makes all of it safe to ship on by default in CI — a
+// monitored campaign merges to exactly the bytes of an unmonitored one.
+//
+// Workers are fork()ed children running fleet_work() directly, like
+// fleet_kill_resume_test; this suite owns its executable so the forks
+// happen before any test spawns sweep threads.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fileio.h"
+#include "common/telemetry/campaign_obs.h"
+#include "common/telemetry/metrics.h"
+#include "parbor/engine.h"
+#include "parbor/fleet.h"
+#include "parbor/fleet_monitor.h"
+
+namespace parbor::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+FleetSpec tiny_spec() {
+  FleetSpec spec;
+  spec.indices = {1};
+  spec.scale = dram::Scale::kTiny;
+  spec.soft_errors = false;
+  return spec;
+}
+
+pid_t spawn_worker(const std::string& dir, const FleetWorkerOptions& options) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    fleet_work(dir, options);
+    _exit(0);
+  }
+  EXPECT_GT(pid, 0);
+  return pid;
+}
+
+int await(pid_t pid) {
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  return status;
+}
+
+std::uint64_t counter_of(const telemetry::MetricsRegistry::Snapshot& snap,
+                         const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::size_t count_events(const std::vector<telemetry::CampaignEvent>& events,
+                         const std::string& type) {
+  std::size_t n = 0;
+  for (const auto& e : events) n += e.type == type;
+  return n;
+}
+
+TEST(FleetMonitor, HeartbeatsPublishAtomicSnapshotsAndEvents) {
+  const std::string base =
+      (fs::path(::testing::TempDir()) / "fleet_mon_hb").string();
+  fs::remove_all(base);
+  const FleetSpec spec = tiny_spec();
+  const std::string monitored = base + "/monitored";
+  const std::string plain = base + "/plain";
+  fleet_init(monitored, spec);
+  fleet_init(plain, spec);
+
+  FleetWorkerOptions with_hb;
+  with_hb.heartbeat = true;
+  const pid_t worker = spawn_worker(monitored, with_hb);
+  const int status = await(worker);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+  ASSERT_TRUE(WIFEXITED(await(spawn_worker(plain, {}))));
+
+  // One worker, one snapshot: final heartbeat is the exit one, carrying
+  // the worker's pid, a monotonic seq, and the full metrics scrape.
+  const auto snapshots = telemetry::read_worker_snapshots(monitored);
+  ASSERT_EQ(snapshots.size(), 1u);
+  const auto& snap = snapshots[0];
+  EXPECT_EQ(snap.pid, static_cast<std::int64_t>(worker));
+  EXPECT_EQ(snap.phase, "exit");
+  EXPECT_EQ(snap.shards_done, 3u);
+  // start + (compute + checkpoint) per shard + exit = 8 publications.
+  EXPECT_EQ(snap.seq, 8u);
+  EXPECT_GT(snap.unix_ms, 0);
+  EXPECT_EQ(counter_of(snap.metrics, "fleet.shards_done"), 3u);
+  EXPECT_EQ(counter_of(snap.metrics, "engine.jobs_done"), 3u);
+
+  // The event log tells the campaign's story in order.
+  const auto events = telemetry::read_campaign_events(monitored);
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events.front().type, "worker_start");
+  EXPECT_EQ(events.back().type, "worker_exit");
+  EXPECT_EQ(count_events(events, "claim"), 3u);
+  EXPECT_EQ(count_events(events, "checkpoint"), 3u);
+  EXPECT_EQ(count_events(events, "release"), 3u);
+  for (const auto& e : events) EXPECT_EQ(e.owner, snap.owner);
+
+  // Telemetry is advisory: the monitored merge is byte-identical to the
+  // unmonitored one, which is byte-identical to a single-process sweep.
+  const std::string merged = fleet_merge(monitored);
+  EXPECT_EQ(merged, fleet_merge(plain));
+  std::vector<SweepJob> jobs;
+  for (const auto& shard : fleet_shards(spec)) jobs.push_back(shard.job);
+  CampaignEngine engine(1);
+  EXPECT_EQ(merged, sweep_report_to_json(engine.run(jobs)));
+
+  // And the completed campaign's monitor view agrees with everything.
+  const auto view =
+      fleet_monitor_view(monitored, 30.0, telemetry::unix_now_ms());
+  EXPECT_TRUE(view.complete());
+  EXPECT_EQ(view.jobs_done, 3u);
+  const std::string page = render_fleet_view(view);
+  EXPECT_NE(page.find("campaign complete: 3/3 shards checkpointed"),
+            std::string::npos)
+      << page;
+  const std::string prom = fleet_view_to_prom(view);
+  EXPECT_NE(prom.find("parbor_fleet_campaign_shards{state=\"done\"} 3"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("parbor_fleet_campaign_complete 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("parbor_fleet_shards_done_total 3"),
+            std::string::npos);
+  fs::remove_all(base);
+}
+
+TEST(FleetMonitor, SigkillMidHeartbeatNeverTearsASnapshot) {
+  const std::string dir =
+      (fs::path(::testing::TempDir()) / "fleet_mon_die").string();
+  fs::remove_all(dir);
+  fleet_init(dir, tiny_spec());
+
+  // Die while publishing the first heartbeat: tmp written, rename never
+  // issued — the exact window a non-atomic publisher would tear.
+  FleetWorkerOptions die;
+  die.heartbeat = true;
+  die.die_at_heartbeat = 1;
+  const int status = await(spawn_worker(dir, die));
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // The telemetry dir holds the orphaned tmp file and nothing published.
+  const std::string tdir = telemetry::campaign_telemetry_dir(dir);
+  bool saw_tmp = false;
+  for (const auto& entry : fs::directory_iterator(tdir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos) saw_tmp = true;
+  }
+  EXPECT_TRUE(saw_tmp);
+  EXPECT_TRUE(telemetry::read_worker_snapshots(dir).empty());
+
+  // A later heartbeat death leaves the previous snapshot intact: die on
+  // the third publication, after "start" and the first "compute".
+  FleetWorkerOptions die_later;
+  die_later.heartbeat = true;
+  die_later.die_at_heartbeat = 3;
+  const int later = await(spawn_worker(dir, die_later));
+  ASSERT_TRUE(WIFSIGNALED(later));
+  const auto snapshots = telemetry::read_worker_snapshots(dir);
+  ASSERT_EQ(snapshots.size(), 1u);
+  EXPECT_EQ(snapshots[0].seq, 2u);
+
+  // The monitor shrugs at all of it — and at garbage snapshots dropped
+  // in by a hostile filesystem.
+  ASSERT_TRUE(write_text_file(tdir + "/worker-junk.json", "not json {{{")
+                  .empty());
+  const auto view = fleet_monitor_view(dir, 30.0, telemetry::unix_now_ms());
+  EXPECT_EQ(view.workers.size(), 1u);  // junk skipped, dead worker kept
+  EXPECT_EQ(view.workers_dead, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(FleetMonitor, DeadWorkerAndStaleTakeoverAreReported) {
+  const std::string dir =
+      (fs::path(::testing::TempDir()) / "fleet_mon_dead").string();
+  fs::remove_all(dir);
+  const FleetSpec spec = tiny_spec();
+  fleet_init(dir, spec);
+
+  // Victim checkpoints one shard, then SIGKILLs mid-second-shard while
+  // heartbeating: its last published phase is "compute" on that shard.
+  FleetWorkerOptions die;
+  die.heartbeat = true;
+  die.die_after_shards = 1;
+  const pid_t victim = spawn_worker(dir, die);
+  ASSERT_TRUE(WIFSIGNALED(await(victim)));
+
+  auto view = fleet_monitor_view(dir, 30.0, telemetry::unix_now_ms());
+  EXPECT_FALSE(view.complete());
+  ASSERT_EQ(view.workers.size(), 1u);
+  EXPECT_FALSE(view.workers[0].alive);
+  EXPECT_EQ(view.workers[0].snapshot.phase, "compute");
+  EXPECT_EQ(view.workers_dead, 1u);
+  std::string page = render_fleet_view(view);
+  EXPECT_NE(page.find("dead owner: shard"), std::string::npos) << page;
+  EXPECT_NE(page.find("lease age"), std::string::npos) << page;
+
+  // The dead owner's lease carries its advisory claim stamp.
+  bool saw_claimed = false;
+  for (const auto& shard : view.status.shards) {
+    if (shard.state != ShardState::kClaimed) continue;
+    EXPECT_FALSE(shard.owner_alive);
+    EXPECT_GT(shard.claimed_unix_ms, 0);
+    saw_claimed = true;
+  }
+  EXPECT_TRUE(saw_claimed);
+
+  // A resumed worker takes the stale lease over and logs the takeover.
+  FleetWorkerOptions resume;
+  resume.heartbeat = true;
+  ASSERT_TRUE(WIFEXITED(await(spawn_worker(dir, resume))));
+  view = fleet_monitor_view(dir, 30.0, telemetry::unix_now_ms());
+  EXPECT_TRUE(view.complete());
+  EXPECT_EQ(view.stale_takeovers, 1u);
+  EXPECT_EQ(count_events(view.events, "stale_requeue"), 1u);
+  EXPECT_EQ(counter_of(view.metrics, "fleet.stale_requeued"), 1u);
+  page = render_fleet_view(view);
+  EXPECT_NE(page.find("1 stale takeover(s)"), std::string::npos) << page;
+  EXPECT_NE(page.find("campaign complete: 3/3 shards checkpointed"),
+            std::string::npos)
+      << page;
+
+  // Even this wreckage merges byte-identical to a single-process sweep.
+  std::vector<SweepJob> jobs;
+  for (const auto& shard : fleet_shards(spec)) jobs.push_back(shard.job);
+  CampaignEngine engine(1);
+  EXPECT_EQ(fleet_merge(dir), sweep_report_to_json(engine.run(jobs)));
+  fs::remove_all(dir);
+}
+
+TEST(FleetMonitor, WatchdogFlagsStalledWorkers) {
+  const std::string dir =
+      (fs::path(::testing::TempDir()) / "fleet_mon_stall").string();
+  fs::remove_all(dir);
+  fleet_init(dir, tiny_spec());
+
+  // A live pid (ours) whose heartbeat has aged past the watchdog.
+  telemetry::CampaignObserver obs(dir, "stall-test");
+  obs.heartbeat("compute", "A1-search", 0);
+  const auto snapshots = telemetry::read_worker_snapshots(dir);
+  ASSERT_EQ(snapshots.size(), 1u);
+  const std::int64_t published = snapshots[0].unix_ms;
+
+  auto view = fleet_monitor_view(dir, 30.0, published + 31'000);
+  ASSERT_EQ(view.workers.size(), 1u);
+  EXPECT_TRUE(view.workers[0].alive);
+  EXPECT_TRUE(view.workers[0].stalled);
+  EXPECT_EQ(view.workers_stalled, 1u);
+  EXPECT_NE(render_fleet_view(view).find("STALLED"), std::string::npos);
+  EXPECT_NE(fleet_view_to_prom(view).find(
+                "parbor_fleet_campaign_workers{state=\"stalled\"} 1"),
+            std::string::npos);
+
+  // Inside the window it is merely alive...
+  view = fleet_monitor_view(dir, 30.0, published + 29'000);
+  EXPECT_FALSE(view.workers[0].stalled);
+
+  // ...and an exit-phase snapshot never stalls, however old it gets.
+  obs.heartbeat("exit", "", 3);
+  view = fleet_monitor_view(dir, 30.0, published + 3'600'000);
+  EXPECT_FALSE(view.workers[0].stalled);
+  fs::remove_all(dir);
+}
+
+TEST(FleetMonitor, EventLogToleratesTruncatedTail) {
+  const std::string dir =
+      (fs::path(::testing::TempDir()) / "fleet_mon_torn").string();
+  fs::remove_all(dir);
+  fleet_init(dir, tiny_spec());
+
+  telemetry::CampaignObserver obs(dir, "torn-test");
+  obs.event("worker_start");
+  obs.event("claim", "A1-search");
+  // A worker killed mid-append leaves a final line that simply stops.
+  const std::string log =
+      telemetry::campaign_telemetry_dir(dir) + "/events.jsonl";
+  ASSERT_TRUE(
+      append_text_file(log, "{\"fleet_event\":1,\"unix_ms\":12,\"own")
+          .empty());
+
+  const auto events = telemetry::read_campaign_events(dir);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, "worker_start");
+  EXPECT_EQ(events[1].type, "claim");
+  EXPECT_EQ(events[1].shard, "A1-search");
+
+  // Monitoring an unobserved campaign is equally fine: no telemetry dir
+  // at all yields an empty-but-valid view.
+  const std::string bare =
+      (fs::path(::testing::TempDir()) / "fleet_mon_bare").string();
+  fs::remove_all(bare);
+  fleet_init(bare, tiny_spec());
+  const auto view = fleet_monitor_view(bare, 30.0, 1'000);
+  EXPECT_TRUE(view.workers.empty());
+  EXPECT_TRUE(view.events.empty());
+  EXPECT_EQ(view.status.todo, 3u);
+  fs::remove_all(bare);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace parbor::core

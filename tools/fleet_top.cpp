@@ -1,0 +1,56 @@
+// fleet_top — live top-style view of a fleet campaign directory.
+//
+//   fleet_top --dir DIR [--once] [--interval-ms N] [--watchdog-s N]
+//             [--prom-out FILE]
+//
+// Full-screen wrapper over the same monitor loop as `parbor_cli fleet
+// monitor`: redraws the campaign page every interval until every shard is
+// checkpointed.  Reads only worker heartbeats, the event log, and the
+// shard queue — attach and detach freely while workers run.
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "parbor/fleet_monitor.h"
+
+using namespace parbor;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fleet_top --dir DIR [--once] [--interval-ms N] "
+               "[--watchdog-s N] [--prom-out FILE]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  if (!flags.ok()) return usage();
+  const auto unknown = flags.unknown(
+      {"dir", "once", "interval-ms", "watchdog-s", "prom-out"});
+  if (!unknown.empty()) {
+    for (const auto& name : unknown) {
+      std::fprintf(stderr, "fleet_top: unknown flag --%s\n", name.c_str());
+    }
+    return usage();
+  }
+  if (!flags.has("dir")) return usage();
+
+  core::FleetMonitorOptions options;
+  options.dir = flags.get("dir");
+  options.once = flags.get_bool("once");
+  options.interval_ms =
+      static_cast<int>(flags.get_int("interval-ms", 2000));
+  options.watchdog_s = flags.get_double("watchdog-s", 30.0);
+  options.prom_out = flags.get("prom-out", "");
+  options.clear_screen = !options.once;
+  try {
+    return core::run_fleet_monitor(options);
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "fleet_top: %s\n", e.what());
+    return 1;
+  }
+}

@@ -37,8 +37,11 @@
 //                           [--scale ...] [--mode map|test|compare]
 //                           [--ledger true] [--seed N]
 //   parbor_cli fleet work   --dir DIR [--max-shards N] [--die-after-shards N]
+//                           [--heartbeat] [--die-at-heartbeat N]
 //   parbor_cli fleet merge  --dir DIR [--build-info true]
-//   parbor_cli fleet status --dir DIR
+//   parbor_cli fleet status --dir DIR [--json]
+//   parbor_cli fleet monitor --dir DIR [--once] [--interval-ms N]
+//                           [--watchdog-s N] [--prom-out FILE]
 //       Sharded, crash-resumable campaign service over a shared directory
 //       (see src/parbor/fleet.h).  `init` publishes the manifest and work
 //       queue; any number of `work` processes — concurrent, sequential,
@@ -46,6 +49,12 @@
 //       per-shard checkpoints into DIR/fleet_sweep.json, byte-identical to
 //       `sweep` of the same spec.  PARBOR_FLEET_DIE_AT=N in the environment
 //       is the crash-injection hook (same as --die-after-shards N).
+//       `work --heartbeat` publishes per-worker heartbeat + metrics
+//       snapshots under DIR/telemetry/ plus a campaign event log, and
+//       `monitor` aggregates them into a live campaign view (shards,
+//       worker health, flips/s, ETA; see src/parbor/fleet_monitor.h).
+//       PARBOR_FLEET_DIE_AT_HEARTBEAT=N kills a worker mid-heartbeat
+//       (same as --die-at-heartbeat N) for snapshot-atomicity tests.
 //
 //   parbor_cli coverage --ledger FILE [--json PREFIX]
 //       Offline coverage accounting over a flip-provenance ledger:
@@ -64,7 +73,10 @@
 // or off).  Output paths are validated before the campaign starts and a
 // failed flush exits nonzero:
 //   --trace-out FILE    record a Chrome-trace-format JSON (Perfetto)
-//   --metrics-out FILE  dump the metrics registry as JSON on exit
+//   --metrics-out FILE  dump the metrics registry on exit
+//   --metrics-format json|prom
+//                       format of --metrics-out (default json; prom is
+//                       the Prometheus text exposition)
 //   --ledger-out FILE   record the flip-provenance ledger (JSONL)
 //   --progress          live progress on stderr (sweep: job meter;
 //                       other commands: pipeline phase notes)
@@ -80,18 +92,22 @@
 #include "common/build_info.h"
 #include "common/fileio.h"
 #include "common/flags.h"
+#include "common/json.h"
 #include "common/leasedir.h"
 #include "common/ledger/coverage.h"
 #include "common/ledger/ledger.h"
 #include "common/table.h"
 #include "dram/fault_table.h"
+#include "common/telemetry/campaign_obs.h"
 #include "common/telemetry/metrics.h"
 #include "common/telemetry/progress.h"
+#include "common/telemetry/prom.h"
 #include "common/telemetry/trace.h"
 #include "dcref/sim.h"
 #include "parbor/classic_tests.h"
 #include "parbor/engine.h"
 #include "parbor/fleet.h"
+#include "parbor/fleet_monitor.h"
 #include "parbor/parbor.h"
 #include "parbor/mitigation.h"
 #include "parbor/report_io.h"
@@ -459,8 +475,8 @@ bool parse_mode(const Flags& flags, core::CampaignKind* kind) {
 int cmd_fleet(const Flags& flags) {
   if (flags.positional().size() < 2) {
     std::fprintf(stderr,
-                 "usage: parbor_cli fleet <init|work|merge|status> --dir DIR "
-                 "[flags]\n");
+                 "usage: parbor_cli fleet <init|work|merge|status|monitor> "
+                 "--dir DIR [flags]\n");
     return 2;
   }
   const std::string& action = flags.positional()[1];
@@ -495,12 +511,25 @@ int cmd_fleet(const Flags& flags) {
   if (action == "work") {
     core::FleetWorkerOptions options;
     options.progress = flags.get_bool("progress");
+    options.heartbeat = flags.get_bool("heartbeat");
     options.max_shards = static_cast<int>(flags.get_int("max-shards", -1));
     if (flags.has("die-after-shards")) {
       options.die_after_shards =
           static_cast<int>(flags.get_int("die-after-shards", -1));
     } else if (const char* env = std::getenv("PARBOR_FLEET_DIE_AT")) {
       options.die_after_shards = std::atoi(env);
+    }
+    if (flags.has("die-at-heartbeat")) {
+      options.die_at_heartbeat =
+          static_cast<int>(flags.get_int("die-at-heartbeat", -1));
+    } else if (const char* env =
+                   std::getenv("PARBOR_FLEET_DIE_AT_HEARTBEAT")) {
+      options.die_at_heartbeat = std::atoi(env);
+    }
+    if (options.die_at_heartbeat >= 0 && !options.heartbeat) {
+      std::fprintf(stderr,
+                   "fleet work: --die-at-heartbeat needs --heartbeat\n");
+      return 2;
     }
     const auto result = core::fleet_work(dir, options);
     std::printf(
@@ -525,17 +554,78 @@ int cmd_fleet(const Flags& flags) {
 
   if (action == "status") {
     const auto status = core::fleet_status(dir);
-    Table table({"Shard", "State", "Owner"});
+    const std::int64_t now_ms = telemetry::unix_now_ms();
+    // Last heartbeat per owner pid, so a dead-owner row can say how long
+    // ago that worker was last heard from.
+    std::map<std::int64_t, std::int64_t> heartbeat_by_pid;
+    for (const auto& snapshot : telemetry::read_worker_snapshots(dir)) {
+      heartbeat_by_pid[snapshot.pid] = snapshot.unix_ms;
+    }
+    const auto age_s = [&](std::int64_t then_ms) {
+      return static_cast<double>(now_ms - then_ms) / 1000.0;
+    };
+
+    if (flags.get_bool("json")) {
+      JsonWriter w;
+      w.begin_object();
+      w.field("fleet_status", 1);
+      w.field("total", static_cast<std::uint64_t>(status.total));
+      w.field("todo", static_cast<std::uint64_t>(status.todo));
+      w.field("claimed", static_cast<std::uint64_t>(status.claimed));
+      w.field("done", static_cast<std::uint64_t>(status.done));
+      w.field("now_unix_ms", now_ms);
+      w.key("shards").begin_array();
+      for (const auto& shard : status.shards) {
+        w.begin_object();
+        w.field("key", shard.key);
+        const char* state = "todo";
+        if (shard.state == core::ShardState::kDone) state = "done";
+        if (shard.state == core::ShardState::kClaimed) state = "claimed";
+        w.field("state", state);
+        if (shard.state == core::ShardState::kClaimed) {
+          w.field("owner_pid", shard.owner_pid);
+          w.field("owner_alive", shard.owner_alive);
+          if (shard.claimed_unix_ms > 0) {
+            w.field("claimed_unix_ms", shard.claimed_unix_ms);
+            w.field("lease_age_s", age_s(shard.claimed_unix_ms));
+          }
+          if (const auto it = heartbeat_by_pid.find(shard.owner_pid);
+              it != heartbeat_by_pid.end()) {
+            w.field("heartbeat_unix_ms", it->second);
+            w.field("heartbeat_age_s", age_s(it->second));
+          }
+        }
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+      std::printf("%s\n", w.str().c_str());
+      return 0;
+    }
+
+    Table table({"Shard", "State", "Owner", "Lease age", "Heard from"});
+    const auto fmt_age = [&](std::int64_t then_ms) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.1fs ago", age_s(then_ms));
+      return std::string(buf);
+    };
     for (const auto& shard : status.shards) {
       const char* state = "todo";
       if (shard.state == core::ShardState::kDone) state = "done";
       if (shard.state == core::ShardState::kClaimed) state = "claimed";
-      std::string owner;
+      std::string owner, lease_age, heard_from;
       if (shard.state == core::ShardState::kClaimed) {
         owner = "pid " + std::to_string(shard.owner_pid) +
                 (shard.owner_alive ? "" : " (dead)");
+        if (shard.claimed_unix_ms > 0) {
+          lease_age = fmt_age(shard.claimed_unix_ms);
+        }
+        if (const auto it = heartbeat_by_pid.find(shard.owner_pid);
+            it != heartbeat_by_pid.end()) {
+          heard_from = fmt_age(it->second);
+        }
       }
-      table.add(shard.key, state, owner);
+      table.add(shard.key, state, owner, lease_age, heard_from);
     }
     std::printf("%s", table.to_string().c_str());
     std::printf("%zu/%zu done, %zu claimed, %zu todo\n", status.done,
@@ -543,7 +633,27 @@ int cmd_fleet(const Flags& flags) {
     return 0;
   }
 
-  std::fprintf(stderr, "unknown fleet action '%s' (init|work|merge|status)\n",
+  if (action == "monitor") {
+    core::FleetMonitorOptions options;
+    options.dir = dir;
+    options.once = flags.get_bool("once");
+    options.interval_ms =
+        static_cast<int>(flags.get_int("interval-ms", 2000));
+    options.watchdog_s =
+        static_cast<double>(flags.get_int("watchdog-s", 30));
+    if (flags.has("prom-out")) {
+      if (const auto err = probe_writable_file(flags.get("prom-out"));
+          !err.empty()) {
+        std::fprintf(stderr, "--prom-out: %s\n", err.c_str());
+        return 1;
+      }
+      options.prom_out = flags.get("prom-out");
+    }
+    return core::run_fleet_monitor(options);
+  }
+
+  std::fprintf(stderr,
+               "unknown fleet action '%s' (init|work|merge|status|monitor)\n",
                action.c_str());
   return 2;
 }
@@ -691,14 +801,16 @@ int usage() {
       "  dcref:        --workload N --trfc-ns N\n"
       "  sweep:        --vendors A,B,C --indices 1-6 --mode map|test|compare "
       "--jobs N [--json PREFIX]\n"
-      "  fleet:        <init|work|merge|status> --dir DIR (init: sweep spec "
-      "flags + --ledger; work: --max-shards N --die-after-shards N; merge: "
-      "--build-info true)\n"
+      "  fleet:        <init|work|merge|status|monitor> --dir DIR (init: "
+      "sweep spec flags + --ledger; work: --max-shards N --die-after-shards "
+      "N --heartbeat; status: --json; monitor: --once --interval-ms N "
+      "--watchdog-s N --prom-out FILE; merge: --build-info true)\n"
       "  coverage:     --ledger FILE [--json PREFIX]\n"
       "  explain:      --ledger FILE (--cell CHIP,BANK,ROW,BIT | --fault ID) "
       "[--job N]\n"
       "  observability: --trace-out FILE --metrics-out FILE "
-      "--ledger-out FILE --progress --no-soft (any campaign subcommand)\n");
+      "[--metrics-format json|prom] --ledger-out FILE --progress --no-soft "
+      "(any campaign subcommand)\n");
   return 2;
 }
 
@@ -719,7 +831,9 @@ const std::vector<std::string>& known_flags(const std::string& cmd) {
         "build-info"}},
       {"fleet",
        {"dir", "vendors", "indices", "scale", "mode", "ledger", "seed",
-        "max-shards", "die-after-shards", "build-info"}},
+        "max-shards", "die-after-shards", "build-info", "heartbeat",
+        "die-at-heartbeat", "json", "once", "interval-ms", "watchdog-s",
+        "prom-out"}},
       {"coverage", {"ledger", "json"}},
       {"explain", {"ledger", "cell", "fault", "job"}},
       {"version", {}},
@@ -732,8 +846,8 @@ const std::vector<std::string>& known_flags(const std::string& cmd) {
 int reject_unknown_flags(const Flags& flags, const std::string& cmd) {
   std::vector<std::string> known = known_flags(cmd);
   known.insert(known.end(),
-               {"trace-out", "metrics-out", "ledger-out", "progress",
-                "no-soft"});
+               {"trace-out", "metrics-out", "metrics-format", "ledger-out",
+                "progress", "no-soft"});
   const auto unknown = flags.unknown(known);
   if (unknown.empty()) return 0;
   for (const auto& name : unknown) {
@@ -761,6 +875,13 @@ int setup_sinks(const Flags& flags, const std::string& cmd) {
       std::fprintf(stderr, "--%s: %s\n", flag, err.c_str());
       return 1;
     }
+  }
+  if (const std::string format = flags.get("metrics-format", "json");
+      format != "json" && format != "prom") {
+    std::fprintf(stderr,
+                 "--metrics-format wants json or prom, got '%s'\n",
+                 format.c_str());
+    return 2;
   }
   if (flags.has("trace-out")) {
     telemetry::TraceRecorder::global().set_enabled(true);
@@ -795,8 +916,13 @@ int flush_sinks(const Flags& flags) {
     dump("trace-out", telemetry::TraceRecorder::global().dump_json() + "\n");
   }
   if (flags.has("metrics-out")) {
-    dump("metrics-out",
-         telemetry::MetricsRegistry::global().dump_json() + "\n");
+    if (flags.get("metrics-format", "json") == "prom") {
+      dump("metrics-out", telemetry::metrics_to_prom(
+                              telemetry::MetricsRegistry::global().scrape()));
+    } else {
+      dump("metrics-out",
+           telemetry::MetricsRegistry::global().dump_json() + "\n");
+    }
   }
   if (flags.has("ledger-out")) {
     dump("ledger-out", ledger::FlipLedger::global().dump_jsonl());

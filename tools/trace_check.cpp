@@ -73,8 +73,10 @@ int main(int argc, char** argv) {
     if (!read_file(flags.get("trace"), text)) return 1;
     const auto result = telemetry::check_trace_json(text);
     if (result.ok) {
-      std::printf("trace OK: %zu events, %zu spans, %zu tracks\n",
-                  result.event_count, result.span_count, result.track_count);
+      std::printf("trace OK: %zu events, %zu spans, %zu tracks, "
+                  "%zu processes\n",
+                  result.event_count, result.span_count, result.track_count,
+                  result.process_count);
     } else {
       std::fprintf(stderr, "trace INVALID: %s\n", result.error.c_str());
       rc = 1;

@@ -1,0 +1,136 @@
+// trace_merge — splices per-worker Chrome traces into one Perfetto
+// timeline.
+//
+//   trace_merge --out merged.json trace1.json trace2.json ...
+//
+// Every fleet worker records its own trace with pid 1 (a single-process
+// recorder has no reason to care); side by side they would collide onto
+// one process lane with unrelated steady-clock epochs.  The merge gives
+// input N pid N+1 and a process_name metadata row naming the source file,
+// so Perfetto renders one process track per worker.  Events are otherwise
+// re-emitted byte-exact (JsonValue::parse + dump round-trips the writer's
+// own output), each input is validated before merging, and the merged
+// document is self-checked with check_trace_json before it is written.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fileio.h"
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/telemetry/trace_check.h"
+
+using namespace parbor;
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    std::fprintf(stderr, "trace_merge: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+std::string basename_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_merge --out merged.json trace1.json "
+               "trace2.json ...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  if (!flags.ok()) return usage();
+  const auto unknown = flags.unknown({"out"});
+  if (!unknown.empty()) {
+    for (const auto& name : unknown) {
+      std::fprintf(stderr, "trace_merge: unknown flag --%s\n", name.c_str());
+    }
+    return usage();
+  }
+  const auto& inputs = flags.positional();
+  if (!flags.has("out") || inputs.empty()) return usage();
+
+  JsonWriter w;
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    std::string text;
+    if (!read_file(inputs[i], text)) return 1;
+    // Validate each input on its own first: a truncated dump from a
+    // killed worker should name the offending file, not surface as a
+    // parse error halfway through the merge.
+    const auto input_check = telemetry::check_trace_json(text);
+    if (!input_check.ok) {
+      std::fprintf(stderr, "trace_merge: %s: %s\n", inputs[i].c_str(),
+                   input_check.error.c_str());
+      return 1;
+    }
+    const std::uint64_t pid = i + 1;
+
+    // One process_name metadata row per input so Perfetto labels the
+    // lane with the worker it came from.
+    w.begin_object();
+    w.field("name", "process_name");
+    w.field("cat", "parbor");
+    w.field("ph", "M");
+    w.field("ts", std::uint64_t{0});
+    w.field("pid", pid);
+    w.field("tid", std::uint64_t{0});
+    w.key("args").begin_object();
+    w.field("name", basename_of(inputs[i]));
+    w.end_object();
+    w.end_object();
+
+    const JsonValue doc = JsonValue::parse(text);
+    for (const JsonValue& ev : doc.at("traceEvents").items()) {
+      w.begin_object();
+      for (const auto& [key, value] : ev.members()) {
+        if (key == "pid") {
+          w.field("pid", pid);
+        } else {
+          w.key(key).raw(value.dump());
+        }
+      }
+      w.end_object();
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  const std::string merged = w.str();
+
+  const auto result = telemetry::check_trace_json(merged);
+  if (!result.ok) {
+    std::fprintf(stderr, "trace_merge: merged trace is invalid: %s\n",
+                 result.error.c_str());
+    return 1;
+  }
+  if (const auto err = write_text_file(flags.get("out"), merged);
+      !err.empty()) {
+    std::fprintf(stderr, "trace_merge: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("merged %zu trace(s): %zu events, %zu spans, %zu tracks, "
+              "%zu processes -> %s\n",
+              inputs.size(), result.event_count, result.span_count,
+              result.track_count, result.process_count,
+              flags.get("out").c_str());
+  return 0;
+}
