@@ -32,6 +32,12 @@ std::map<std::string, double> min_cpu_by_name(
 
 }  // namespace
 
+std::vector<std::pair<std::string, double>> bench_cpu_minima(
+    const std::vector<BenchSample>& samples) {
+  const auto by_name = min_cpu_by_name(samples);
+  return {by_name.begin(), by_name.end()};
+}
+
 std::vector<BenchSample> parse_gbench_json(std::string_view text) {
   const JsonValue doc = JsonValue::parse(text);
   PARBOR_CHECK_MSG(doc.is_object() && doc.has("benchmarks"),

@@ -7,6 +7,7 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace parbor {
@@ -23,6 +24,12 @@ struct BenchSample {
 // Parses the "benchmarks" array of a gbench JSON document.  Throws
 // CheckError on malformed JSON or a missing benchmarks array.
 std::vector<BenchSample> parse_gbench_json(std::string_view text);
+
+// Per-name cpu-time minimum across samples (repetitions), sorted by name —
+// the exact statistic compare_perf gates on, exposed so the run archive
+// records the same number the gate would compare.
+std::vector<std::pair<std::string, double>> bench_cpu_minima(
+    const std::vector<BenchSample>& samples);
 
 struct PerfRegression {
   std::string name;

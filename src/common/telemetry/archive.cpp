@@ -1,0 +1,232 @@
+#include "common/telemetry/archive.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/fileio.h"
+#include "common/json.h"
+#include "common/telemetry/prom.h"
+
+namespace parbor::telemetry {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr int kRunFormatVersion = 1;
+constexpr const char* kRunsFileName = "runs.jsonl";
+
+void write_vendor_summary(JsonWriter& w, const RunVendorSummary& v) {
+  w.begin_object();
+  w.field("modules", v.modules);
+  w.field("tests", v.tests);
+  w.field("cells", v.cells);
+  w.field("random_cells", v.random_cells);
+  w.end_object();
+}
+
+RunVendorSummary vendor_summary_from_json(const JsonValue& v) {
+  RunVendorSummary out;
+  out.modules = v.at("modules").as_uint();
+  out.tests = v.at("tests").as_uint();
+  out.cells = v.at("cells").as_uint();
+  out.random_cells = v.at("random_cells").as_uint();
+  return out;
+}
+
+}  // namespace
+
+std::string run_record_to_json(const RunRecord& record) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("parbor_run", kRunFormatVersion);
+  w.field("id", record.id);
+  w.field("unix_ms", record.unix_ms);
+  w.field("kind", record.kind);
+  w.field("label", record.label);
+  w.field("argv", record.argv);
+  if (record.with_build) {
+    w.key("build").begin_object();
+    w.field("git", record.build.git_describe);
+    w.field("compiler", record.build.compiler);
+    w.field("build_type", record.build.build_type);
+    w.field("cxx_flags", record.build.cxx_flags);
+    w.end_object();
+  }
+  if (!record.bench.empty()) {
+    w.key("bench").begin_object();
+    for (const auto& [name, ns] : record.bench) w.field(name, ns);
+    w.end_object();
+  }
+  if (record.with_metrics) {
+    w.key("metrics").raw(metrics_snapshot_to_json(record.metrics));
+  }
+  if (record.sweep.present) {
+    const RunSweepSummary& s = record.sweep;
+    w.key("sweep").begin_object();
+    w.field("modules", s.modules);
+    w.field("tests", s.tests);
+    w.field("cells", s.cells);
+    w.field("random_cells", s.random_cells);
+    w.key("vendors").begin_object();
+    for (const auto& [vendor, v] : s.vendors) {
+      w.key(vendor);
+      write_vendor_summary(w, v);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  if (record.fleet.present) {
+    const RunFleetSummary& f = record.fleet;
+    w.key("fleet").begin_object();
+    w.field("shards", f.shards);
+    w.field("workers", f.workers);
+    w.field("stale_takeovers", f.stale_takeovers);
+    w.field("wall_ms", f.wall_ms);
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+RunRecord run_record_from_json(const std::string& json) {
+  const JsonValue v = JsonValue::parse(json);
+  PARBOR_CHECK_MSG(v.is_object() && v.has("parbor_run"),
+                   "not a run-archive record document");
+  PARBOR_CHECK_MSG(v.at("parbor_run").as_int() == kRunFormatVersion,
+                   "unsupported run-record version "
+                       << v.at("parbor_run").as_int());
+  RunRecord r;
+  r.id = v.at("id").as_string();
+  PARBOR_CHECK_MSG(!r.id.empty(), "run record with an empty id");
+  r.unix_ms = v.at("unix_ms").as_int();
+  r.kind = v.at("kind").as_string();
+  r.label = v.at("label").as_string();
+  r.argv = v.at("argv").as_string();
+  if (v.has("build")) {
+    const JsonValue& b = v.at("build");
+    r.with_build = true;
+    r.build.git_describe = b.at("git").as_string();
+    r.build.compiler = b.at("compiler").as_string();
+    r.build.build_type = b.at("build_type").as_string();
+    r.build.cxx_flags = b.at("cxx_flags").as_string();
+  }
+  if (v.has("bench")) {
+    for (const auto& [name, ns] : v.at("bench").members()) {
+      r.bench.emplace_back(name, ns.as_double());
+    }
+  }
+  if (v.has("metrics")) {
+    r.with_metrics = true;
+    r.metrics = metrics_snapshot_from_json(v.at("metrics").dump());
+  }
+  if (v.has("sweep")) {
+    const JsonValue& s = v.at("sweep");
+    r.sweep.present = true;
+    r.sweep.modules = s.at("modules").as_uint();
+    r.sweep.tests = s.at("tests").as_uint();
+    r.sweep.cells = s.at("cells").as_uint();
+    r.sweep.random_cells = s.at("random_cells").as_uint();
+    for (const auto& [vendor, vv] : s.at("vendors").members()) {
+      r.sweep.vendors.emplace_back(vendor, vendor_summary_from_json(vv));
+    }
+  }
+  if (v.has("fleet")) {
+    const JsonValue& f = v.at("fleet");
+    r.fleet.present = true;
+    r.fleet.shards = f.at("shards").as_uint();
+    r.fleet.workers = f.at("workers").as_uint();
+    r.fleet.stale_takeovers = f.at("stale_takeovers").as_uint();
+    r.fleet.wall_ms = f.at("wall_ms").as_int();
+  }
+  return r;
+}
+
+std::string archive_runs_path(const std::string& archive_dir) {
+  return (fs::path(archive_dir) / kRunsFileName).string();
+}
+
+std::string archive_probe(const std::string& archive_dir) {
+  std::error_code ec;
+  fs::create_directories(archive_dir, ec);
+  if (ec) {
+    return "cannot create archive directory " + archive_dir + ": " +
+           ec.message();
+  }
+  return probe_writable_file(archive_runs_path(archive_dir));
+}
+
+void archive_append(const std::string& archive_dir,
+                    const RunRecord& record) {
+  std::error_code ec;
+  fs::create_directories(archive_dir, ec);
+  PARBOR_CHECK_MSG(!ec, "cannot create archive directory "
+                            << archive_dir << ": " << ec.message());
+  // One line, one write: a crash mid-append tears at most this line, and
+  // readers skip a torn tail (see read_run_archive).
+  const auto err = append_text_file(archive_runs_path(archive_dir),
+                                    run_record_to_json(record) + "\n");
+  PARBOR_CHECK_MSG(err.empty(), "run archive: " << err);
+}
+
+std::vector<RunRecord> read_run_archive(const std::string& archive_dir) {
+  std::vector<RunRecord> out;
+  std::ifstream is(archive_runs_path(archive_dir), std::ios::binary);
+  if (!is.good()) return out;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  const std::string text = ss.str();
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty()) continue;
+    try {
+      out.push_back(run_record_from_json(line));
+    } catch (const CheckError&) {
+      // Torn tail (writer killed mid-append) or foreign line: skip it —
+      // an archive reader must work over a half-written archive.
+    }
+  }
+  return out;
+}
+
+std::string new_run_id(std::int64_t unix_ms, std::int64_t pid) {
+  return std::to_string(unix_ms) + "-" + std::to_string(pid);
+}
+
+RunSweepSummary summarize_sweep_json(const std::string& sweep_json) {
+  const JsonValue doc = JsonValue::parse(sweep_json);
+  PARBOR_CHECK_MSG(doc.is_object() && doc.has("results"),
+                   "not a sweep report document (no results array)");
+  RunSweepSummary out;
+  out.present = true;
+  // std::map keeps vendors in name order, matching serialisation.
+  std::map<std::string, RunVendorSummary> vendors;
+  for (const JsonValue& r : doc.at("results").items()) {
+    RunVendorSummary& v = vendors[r.at("vendor").as_string()];
+    v.modules += 1;
+    v.tests += r.at("tests").as_uint();
+    v.cells += r.at("cells_detected").as_uint();
+    if (r.has("random_cells")) {
+      v.random_cells += r.at("random_cells").as_uint();
+      v.tests += r.at("random_tests").as_uint();
+    }
+    out.modules += 1;
+  }
+  for (const auto& [vendor, v] : vendors) {
+    out.tests += v.tests;
+    out.cells += v.cells;
+    out.random_cells += v.random_cells;
+    out.vendors.emplace_back(vendor, v);
+  }
+  return out;
+}
+
+}  // namespace parbor::telemetry

@@ -1,0 +1,119 @@
+// Longitudinal run archive: an append-only, torn-tail-tolerant JSONL
+// record of every sweep / fleet / bench / CI run, stored as one line per
+// run in `<archive_dir>/runs.jsonl`.
+//
+// Every other telemetry artifact in this repository is a point in time —
+// a metrics dump, a trace, a sweep report — and the relationships between
+// runs (is the kernel still 27 µs?  did vendor-B coverage drop since last
+// week's commit?) live only in people's heads.  The archive is the memory
+// between runs: each record is self-describing and carries the run's
+// identity (id, wall-clock stamp, kind, free-form label), its provenance
+// (`build_info` — git describe, compiler, build type), the exact CLI argv
+// that produced it, and whichever result summaries the run had to offer —
+// benchmark cpu-time minima, a full MetricsRegistry snapshot (byte-shared
+// with `metrics_snapshot_to_json`), a campaign summary (tests / detected
+// cells per vendor), and a fleet summary (shards, workers, takeovers).
+// Every section except the identity is optional, so one schema archives a
+// microbench run and an 18-module fleet campaign alike.
+//
+// Atomicity contract (same discipline as campaign_obs's event log): each
+// record is appended in ONE write, so a crash — SIGKILL mid-append
+// included — can tear at most the final line, never an earlier record.
+// `read_run_archive` skips anything that does not parse as a record, so
+// readers keep working over a half-dead archive exactly like `fleet
+// monitor` keeps working over a half-dead campaign.
+//
+// Everything here is advisory telemetry.  No campaign result byte ever
+// depends on the archive — a sweep with `--archive` writes the same report
+// bytes as one without (CI proves it with cmp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/build_info.h"
+#include "common/telemetry/metrics.h"
+
+namespace parbor::telemetry {
+
+// Per-vendor slice of a campaign summary.
+struct RunVendorSummary {
+  std::uint64_t modules = 0;
+  std::uint64_t tests = 0;
+  std::uint64_t cells = 0;         // detected failing cells (coverage)
+  std::uint64_t random_cells = 0;  // equal-budget random baseline, if run
+};
+
+// Campaign totals of a sweep or merged fleet report.
+struct RunSweepSummary {
+  bool present = false;
+  std::uint64_t modules = 0;
+  std::uint64_t tests = 0;
+  std::uint64_t cells = 0;
+  std::uint64_t random_cells = 0;
+  // Sorted by vendor name (serialisation order).
+  std::vector<std::pair<std::string, RunVendorSummary>> vendors;
+};
+
+// Shape of a fleet campaign, reconstructed from the campaign directory.
+struct RunFleetSummary {
+  bool present = false;
+  std::uint64_t shards = 0;
+  std::uint64_t workers = 0;          // distinct workers that started
+  std::uint64_t stale_takeovers = 0;  // stale leases re-queued
+  std::int64_t wall_ms = 0;  // first..last campaign event, 0 if unknown
+};
+
+// One archived run.
+struct RunRecord {
+  std::string id;     // unique within the archive by convention
+  std::int64_t unix_ms = 0;
+  std::string kind;   // "sweep" | "fleet" | "bench" | "ci" | free-form
+  std::string label;  // free-form human note
+  std::string argv;   // the CLI line that produced the run, if any
+  // Build provenance of the recording binary (git describe, compiler...).
+  bool with_build = false;
+  BuildInfo build;
+  // Benchmark name -> cpu-time minimum in ns, sorted by name.
+  std::vector<std::pair<std::string, double>> bench;
+  // Full metrics snapshot (byte-shared with metrics_snapshot_to_json).
+  bool with_metrics = false;
+  MetricsRegistry::Snapshot metrics;
+  RunSweepSummary sweep;
+  RunFleetSummary fleet;
+};
+
+// One line (no trailing newline); the archive's on-disk record format.
+std::string run_record_to_json(const RunRecord& record);
+// Throws CheckError on anything but a well-formed record document.
+RunRecord run_record_from_json(const std::string& json);
+
+// "<archive_dir>/runs.jsonl"
+std::string archive_runs_path(const std::string& archive_dir);
+
+// Probes that the archive can be appended to (creating the directory and
+// an empty runs.jsonl if needed) without writing a record.  Returns an
+// empty string on success, otherwise a human-readable error — callers
+// fail fast before burning a campaign budget.
+std::string archive_probe(const std::string& archive_dir);
+
+// Appends one record as one line in one write (creates the directory on
+// first use).  Throws CheckError on I/O failure.
+void archive_append(const std::string& archive_dir, const RunRecord& record);
+
+// Every parseable record, in file (= append = chronological) order.  A
+// torn tail or a foreign line is skipped, never an error; a missing
+// archive reads as empty.
+std::vector<RunRecord> read_run_archive(const std::string& archive_dir);
+
+// "<unix_ms>-<pid>": unique enough across processes and time for run ids.
+std::string new_run_id(std::int64_t unix_ms, std::int64_t pid);
+
+// Aggregates a sweep/fleet report document (sweep_report_to_json bytes)
+// into a campaign summary: totals plus per-vendor tests / detected cells.
+// Throws CheckError on a document without the sweep shape.
+RunSweepSummary summarize_sweep_json(const std::string& sweep_json);
+
+}  // namespace parbor::telemetry

@@ -1,0 +1,191 @@
+#include "common/telemetry/drift.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "common/json.h"
+#include "common/perf_baseline.h"
+#include "common/stats.h"
+
+namespace parbor::telemetry {
+
+namespace {
+
+constexpr const char* kBenchPrefix = "bench:";
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool has_prefix(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+void write_string_array(JsonWriter& w, const char* key,
+                        const std::vector<std::string>& xs) {
+  w.key(key).begin_array();
+  for (const std::string& x : xs) w.value(x);
+  w.end_array();
+}
+
+void write_findings(JsonWriter& w, const char* key,
+                    const std::vector<DriftFinding>& findings) {
+  w.key(key).begin_array();
+  for (const DriftFinding& f : findings) {
+    w.begin_object();
+    w.field("series", f.series);
+    w.field("measured", f.measured);
+    w.field("baseline", f.baseline);
+    w.field("ratio", f.ratio);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, double>> run_series(
+    const RunRecord& record) {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [name, ns] : record.bench) {
+    out.emplace_back(kBenchPrefix + name, ns);
+  }
+  if (record.sweep.present) {
+    out.emplace_back("sweep:all:tests",
+                     static_cast<double>(record.sweep.tests));
+    out.emplace_back("sweep:all:cells",
+                     static_cast<double>(record.sweep.cells));
+    if (record.sweep.random_cells > 0) {
+      out.emplace_back("sweep:all:random_cells",
+                       static_cast<double>(record.sweep.random_cells));
+    }
+    for (const auto& [vendor, v] : record.sweep.vendors) {
+      out.emplace_back("sweep:" + vendor + ":tests",
+                       static_cast<double>(v.tests));
+      out.emplace_back("sweep:" + vendor + ":cells",
+                       static_cast<double>(v.cells));
+      if (v.random_cells > 0) {
+        out.emplace_back("sweep:" + vendor + ":random_cells",
+                         static_cast<double>(v.random_cells));
+      }
+    }
+  }
+  if (record.fleet.present) {
+    out.emplace_back("fleet:shards",
+                     static_cast<double>(record.fleet.shards));
+    if (record.fleet.wall_ms > 0) {
+      out.emplace_back("fleet:shard_rate",
+                       static_cast<double>(record.fleet.shards) * 1000.0 /
+                           static_cast<double>(record.fleet.wall_ms));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> rolling_baseline(
+    const std::vector<RunRecord>& history, std::size_t window) {
+  PARBOR_CHECK_MSG(window > 0, "rolling-baseline window must be positive");
+  // Newest-first values per series, capped at `window` — a series only a few
+  // old runs measured still gets a baseline from the runs that did.
+  std::map<std::string, std::vector<double>> values;
+  for (auto it = history.rbegin(); it != history.rend(); ++it) {
+    for (const auto& [series, value] : run_series(*it)) {
+      std::vector<double>& xs = values[series];
+      if (xs.size() < window) xs.push_back(value);
+    }
+  }
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(values.size());
+  for (auto& [series, xs] : values) {
+    out.emplace_back(series, percentile_of(std::move(xs), 50.0));
+  }
+  return out;
+}
+
+DriftReport detect_drift(const std::vector<RunRecord>& history,
+                         const RunRecord& candidate,
+                         const DriftThresholds& thresholds) {
+  PARBOR_CHECK_MSG(
+      thresholds.perf_max_ratio > 0.0 && thresholds.budget_max_ratio > 0.0,
+      "drift max ratios must be positive");
+  PARBOR_CHECK_MSG(
+      thresholds.coverage_min_ratio > 0.0 &&
+          thresholds.coverage_min_ratio <= 1.0,
+      "coverage_min_ratio must be in (0, 1]");
+  DriftReport report;
+  report.history_runs = std::min(history.size(), thresholds.window);
+  const auto baseline = rolling_baseline(history, thresholds.window);
+  const auto measured = run_series(candidate);
+  std::map<std::string, double> baseline_by_name(baseline.begin(),
+                                                 baseline.end());
+  std::map<std::string, double> measured_by_name(measured.begin(),
+                                                 measured.end());
+
+  // Perf series go through compare_perf so a rolling baseline gates by the
+  // exact rules of a checked-in BENCH_*.json one.
+  std::vector<BenchSample> bench_measured;
+  std::vector<BenchSample> bench_baseline;
+  for (const auto& [series, value] : measured) {
+    if (!has_prefix(series, kBenchPrefix)) continue;
+    if (baseline_by_name.count(series) == 0) continue;  // fresh, below
+    bench_measured.push_back({series, value, value});
+    bench_baseline.push_back({series, baseline_by_name.at(series),
+                              baseline_by_name.at(series)});
+  }
+  const PerfComparison perf = compare_perf(bench_measured, bench_baseline,
+                                           thresholds.perf_max_ratio);
+  for (const PerfRegression& r : perf.regressions) {
+    report.perf.push_back({r.name, r.measured_ns, r.baseline_ns, r.ratio});
+  }
+
+  for (const auto& [series, value] : measured) {
+    const auto it = baseline_by_name.find(series);
+    if (it == baseline_by_name.end()) {
+      report.fresh.push_back(series);
+      continue;
+    }
+    const double base = it->second;
+    if (base <= 0.0) continue;  // a zero baseline cannot express a ratio
+    const double ratio = value / base;
+    if (has_suffix(series, ":cells") && !has_suffix(series, ":random_cells")) {
+      if (ratio < thresholds.coverage_min_ratio) {
+        report.coverage.push_back({series, value, base, ratio});
+      }
+    } else if (has_suffix(series, ":tests")) {
+      if (ratio > thresholds.budget_max_ratio) {
+        report.budget.push_back({series, value, base, ratio});
+      }
+    }
+  }
+  for (const auto& [series, value] : baseline) {
+    if (measured_by_name.count(series) == 0) report.missing.push_back(series);
+  }
+  return report;
+}
+
+std::string drift_report_to_json(const DriftReport& report,
+                                 const DriftThresholds& thresholds) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("parbor_drift", 1);
+  w.field("clean", report.clean());
+  w.field("history_runs", static_cast<std::uint64_t>(report.history_runs));
+  w.key("thresholds").begin_object();
+  w.field("window", static_cast<std::uint64_t>(thresholds.window));
+  w.field("perf_max_ratio", thresholds.perf_max_ratio);
+  w.field("budget_max_ratio", thresholds.budget_max_ratio);
+  w.field("coverage_min_ratio", thresholds.coverage_min_ratio);
+  w.end_object();
+  write_findings(w, "perf", report.perf);
+  write_findings(w, "coverage", report.coverage);
+  write_findings(w, "budget", report.budget);
+  write_string_array(w, "fresh", report.fresh);
+  write_string_array(w, "missing", report.missing);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace parbor::telemetry

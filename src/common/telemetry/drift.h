@@ -1,0 +1,91 @@
+// Cross-run drift detection over the longitudinal run archive.
+//
+// A checked-in BENCH_*.json baseline answers "is this build slower than
+// the pinned measurement?"; it says nothing about a slow slide across ten
+// commits, and it knows nothing about coverage or test budgets.  The
+// drift detector derives ROLLING baselines from the archive itself —
+// per series, the median of that series' values over the last `window`
+// archived runs that measured it — and compares a candidate run against
+// them:
+//
+//  - perf series ("bench:<name>", cpu ns): slower than
+//    `perf_max_ratio` × median is a regression.  The comparison reuses
+//    perf_baseline's compare machinery (compare_perf over minima), so a
+//    rolling baseline and a checked-in one gate with identical rules.
+//  - coverage series ("sweep:<vendor>:cells" and "sweep:all:cells"):
+//    detected cells falling below `coverage_min_ratio` × median means
+//    the detector is finding fewer failures than it used to.
+//  - budget series ("sweep:<vendor>:tests", "sweep:all:tests"): a test
+//    count growing past `budget_max_ratio` × median means PARBOR's
+//    efficiency headline (Table 1) is eroding.
+//
+// A series the candidate measures for the first time is reported as
+// `fresh` (no baseline — nothing to gate); a baseline series the
+// candidate did not measure is reported as `missing` (informational: a
+// bench-only run is not failed for lacking a sweep).  Medians make one
+// noisy CI runner harmless; thresholds are deliberately wide for the
+// same reason.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/telemetry/archive.h"
+
+namespace parbor::telemetry {
+
+struct DriftThresholds {
+  std::size_t window = 8;          // rolling-baseline depth, per series
+  double perf_max_ratio = 2.0;     // bench: measured/median above = drift
+  double budget_max_ratio = 2.0;   // tests: measured/median above = drift
+  double coverage_min_ratio = 0.7; // cells: measured/median below = drift
+};
+
+// One gated comparison that tripped.
+struct DriftFinding {
+  std::string series;
+  double measured = 0.0;
+  double baseline = 0.0;  // rolling median
+  double ratio = 0.0;     // measured / baseline
+};
+
+struct DriftReport {
+  std::vector<DriftFinding> perf;      // got slower
+  std::vector<DriftFinding> coverage;  // detects less
+  std::vector<DriftFinding> budget;    // spends more tests
+  std::vector<std::string> fresh;      // candidate series with no history
+  std::vector<std::string> missing;    // history series the candidate lacks
+  std::size_t history_runs = 0;        // records the baselines drew from
+
+  bool clean() const {
+    return perf.empty() && coverage.empty() && budget.empty();
+  }
+};
+
+// The gated series of one record, sorted by name:
+//   bench:<benchmark>            cpu ns (lower is better)
+//   sweep:all:{tests,cells,random_cells} and per-vendor
+//   sweep:<vendor>:{tests,cells,random_cells}
+//   fleet:shards, fleet:shard_rate (shards per wall second, if known)
+std::vector<std::pair<std::string, double>> run_series(
+    const RunRecord& record);
+
+// Median per series over the last `window` records that measured it
+// (walking `history` backwards), sorted by series name.
+std::vector<std::pair<std::string, double>> rolling_baseline(
+    const std::vector<RunRecord>& history, std::size_t window);
+
+// Gates `candidate` against rolling baselines from `history` (which must
+// not include the candidate itself).  Empty history yields a clean
+// report whose every candidate series is fresh.
+DriftReport detect_drift(const std::vector<RunRecord>& history,
+                         const RunRecord& candidate,
+                         const DriftThresholds& thresholds = {});
+
+// One-line machine-readable verdict for CI.
+std::string drift_report_to_json(const DriftReport& report,
+                                 const DriftThresholds& thresholds);
+
+}  // namespace parbor::telemetry

@@ -52,6 +52,20 @@ std::string prom_name(const std::string& name) {
   return out;
 }
 
+std::string prom_label_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string metrics_to_prom(const MetricsRegistry::Snapshot& snapshot) {
   std::string out;
   for (const auto& [name, value] : snapshot.counters) {

@@ -32,6 +32,11 @@ namespace parbor::telemetry {
 // names are left alone so synthetic campaign metrics can pick their own.
 std::string prom_name(const std::string& name);
 
+// Escapes a label VALUE for the exposition format: backslash, double
+// quote, and newline become \\, \", and \n (the three escapes the format
+// defines).  Callers still quote the result: {vendor="<escaped>"}.
+std::string prom_label_escape(const std::string& value);
+
 // Renders a snapshot in the exposition format (trailing newline included;
 // empty snapshot renders empty).  Deterministic: snapshot order is name
 // order, and the section order per family is fixed.

@@ -1,0 +1,375 @@
+#include "common/telemetry/run_report.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace parbor::telemetry {
+
+namespace {
+
+// One charted value: which archived run it came from, and the value.
+struct SeriesPoint {
+  std::size_t run_index = 0;
+  double value = 0.0;
+};
+
+struct Series {
+  std::string name;
+  std::vector<SeriesPoint> points;
+};
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Locale-independent short number formatting for labels and tooltips.
+std::string fmt_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string fmt_coord(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+// Axis ticks stay coarse on purpose: three significant digits read as a
+// scale, not a measurement (tooltips carry the exact values).
+std::string fmt_tick(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
+}
+
+// unix_ms -> "YYYY-MM-DD" (UTC), via the days-from-civil inverse.  Data-
+// derived, not a clock read: the same record always renders the same date.
+std::string utc_date(std::int64_t unix_ms) {
+  std::int64_t z = unix_ms / 86400000 + 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const std::int64_t doe = z - era * 146097;
+  const std::int64_t yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = yoe + era * 400;
+  const std::int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const std::int64_t mp = (5 * doy + 2) / 153;
+  const std::int64_t d = doy - (153 * mp + 2) / 5 + 1;
+  const std::int64_t m = mp < 10 ? mp + 3 : mp - 9;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04lld-%02lld-%02lld",
+                static_cast<long long>(m <= 2 ? y + 1 : y),
+                static_cast<long long>(m), static_cast<long long>(d));
+  return buf;
+}
+
+// Tooltip line carried by every chart point: value, run identity, and
+// build provenance.
+std::string point_tooltip(const RunRecord& rec, const std::string& series,
+                          double value, const std::string& unit) {
+  std::string text = series + ": " + fmt_num(value);
+  if (!unit.empty()) text += " " + unit;
+  text += " — run " + rec.id + " (" + utc_date(rec.unix_ms);
+  if (rec.with_build && !rec.build.git_describe.empty()) {
+    text += ", " + rec.build.git_describe;
+  }
+  text += ")";
+  return html_escape(text);
+}
+
+// Inline SVG line chart: one y-axis, 2px lines, 8px markers with <title>
+// tooltips, hairline quarter gridlines, zero-anchored scale.
+void render_line_chart(std::ostream& os, const std::string& title,
+                       const std::string& unit,
+                       const std::vector<Series>& series,
+                       const std::vector<RunRecord>& records) {
+  constexpr double kW = 760.0, kH = 240.0;
+  constexpr double kLeft = 64.0, kRight = 16.0, kTop = 14.0, kBottom = 30.0;
+  const double plot_w = kW - kLeft - kRight;
+  const double plot_h = kH - kTop - kBottom;
+
+  std::size_t max_index = 0;
+  double max_value = 0.0;
+  for (const Series& s : series) {
+    for (const SeriesPoint& p : s.points) {
+      max_index = std::max(max_index, p.run_index);
+      max_value = std::max(max_value, p.value);
+    }
+  }
+  if (max_value <= 0.0) max_value = 1.0;
+  const double y_top = max_value * 1.05;
+  const auto x_of = [&](std::size_t i) {
+    if (max_index == 0) return kLeft + plot_w / 2.0;
+    return kLeft + plot_w * static_cast<double>(i) /
+                       static_cast<double>(max_index);
+  };
+  const auto y_of = [&](double v) { return kTop + plot_h * (1.0 - v / y_top); };
+
+  os << "<figure class=\"chart\">\n<figcaption>"
+     << html_escape(title) << "</figcaption>\n";
+  os << "<svg viewBox=\"0 0 " << fmt_coord(kW) << " " << fmt_coord(kH)
+     << "\" role=\"img\" aria-label=\"" << html_escape(title) << "\">\n";
+  // Quarter gridlines plus value labels; baseline at zero.
+  for (int q = 0; q <= 4; ++q) {
+    const double v = y_top * q / 4.0;
+    const double y = y_of(v);
+    os << "<line class=\"" << (q == 0 ? "axis" : "grid") << "\" x1=\""
+       << fmt_coord(kLeft) << "\" y1=\"" << fmt_coord(y) << "\" x2=\""
+       << fmt_coord(kW - kRight) << "\" y2=\"" << fmt_coord(y) << "\"/>\n";
+    os << "<text class=\"tick\" x=\"" << fmt_coord(kLeft - 6.0) << "\" y=\""
+       << fmt_coord(y + 3.5) << "\" text-anchor=\"end\">" << fmt_tick(v)
+       << "</text>\n";
+  }
+  if (!unit.empty()) {
+    os << "<text class=\"tick\" x=\"" << fmt_coord(kLeft - 6.0) << "\" y=\""
+       << fmt_coord(kTop - 2.0) << "\" text-anchor=\"end\">"
+       << html_escape(unit) << "</text>\n";
+  }
+  // Run-index ticks (first and last run id, dated).
+  if (!records.empty()) {
+    os << "<text class=\"tick\" x=\"" << fmt_coord(kLeft) << "\" y=\""
+       << fmt_coord(kH - 10.0) << "\">"
+       << html_escape(utc_date(records.front().unix_ms)) << "</text>\n";
+    if (records.size() > 1) {
+      os << "<text class=\"tick\" x=\"" << fmt_coord(kW - kRight) << "\" y=\""
+         << fmt_coord(kH - 10.0) << "\" text-anchor=\"end\">"
+         << html_escape(utc_date(records.back().unix_ms)) << "</text>\n";
+    }
+  }
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const Series& s = series[si];
+    const std::string cls = "s" + std::to_string(si % 8 + 1);
+    if (s.points.size() > 1) {
+      os << "<polyline class=\"line " << cls << "\" points=\"";
+      for (const SeriesPoint& p : s.points) {
+        os << fmt_coord(x_of(p.run_index)) << "," << fmt_coord(y_of(p.value))
+           << " ";
+      }
+      os << "\"/>\n";
+    }
+    for (const SeriesPoint& p : s.points) {
+      os << "<circle class=\"dot " << cls << "\" cx=\""
+         << fmt_coord(x_of(p.run_index)) << "\" cy=\""
+         << fmt_coord(y_of(p.value)) << "\" r=\"4\"><title>"
+         << point_tooltip(records[p.run_index], s.name, p.value, unit)
+         << "</title></circle>\n";
+    }
+  }
+  os << "</svg>\n";
+  // Legend for >= 2 series; one series is named by the caption.
+  if (series.size() >= 2) {
+    os << "<div class=\"legend\">";
+    for (std::size_t si = 0; si < series.size(); ++si) {
+      os << "<span class=\"item\"><span class=\"chip s"
+         << (si % 8 + 1) << "\"></span>" << html_escape(series[si].name)
+         << "</span>";
+    }
+    os << "</div>\n";
+  }
+  os << "</figure>\n";
+}
+
+// Pulls one named series across all records out of per-record pairs.
+std::vector<Series> collect_series(
+    const std::vector<RunRecord>& records,
+    std::vector<std::pair<std::string, double>> (*extract)(
+        const RunRecord&)) {
+  std::map<std::string, Series> by_name;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    for (const auto& [name, value] : extract(records[i])) {
+      Series& s = by_name[name];
+      s.name = name;
+      s.points.push_back({i, value});
+    }
+  }
+  std::vector<Series> out;
+  out.reserve(by_name.size());
+  for (auto& [name, s] : by_name) out.push_back(std::move(s));
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> extract_bench_us(
+    const RunRecord& r) {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [name, ns] : r.bench) out.emplace_back(name, ns / 1000.0);
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> extract_vendor_cells(
+    const RunRecord& r) {
+  std::vector<std::pair<std::string, double>> out;
+  if (!r.sweep.present) return out;
+  for (const auto& [vendor, v] : r.sweep.vendors) {
+    out.emplace_back("vendor " + vendor, static_cast<double>(v.cells));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> extract_vendor_tests(
+    const RunRecord& r) {
+  std::vector<std::pair<std::string, double>> out;
+  if (!r.sweep.present) return out;
+  for (const auto& [vendor, v] : r.sweep.vendors) {
+    out.emplace_back("vendor " + vendor, static_cast<double>(v.tests));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> extract_shard_rate(
+    const RunRecord& r) {
+  std::vector<std::pair<std::string, double>> out;
+  if (r.fleet.present && r.fleet.wall_ms > 0) {
+    out.emplace_back("shards / s",
+                     static_cast<double>(r.fleet.shards) * 1000.0 /
+                         static_cast<double>(r.fleet.wall_ms));
+  }
+  return out;
+}
+
+// The style block: dataviz reference palette as CSS custom properties,
+// light and dark, with chart chrome held to the ink/grid tokens.
+constexpr const char* kStyle = R"css(
+:root {
+  color-scheme: light dark;
+  --surface: #fcfcfb; --page: #f9f9f7;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a; --s4: #eda100;
+  --s5: #e87ba4; --s6: #008300; --s7: #4a3aa7; --s8: #e34948;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --page: #0d0d0d;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70; --s4: #c98500;
+    --s5: #d55181; --s6: #008300; --s7: #9085e9; --s8: #e66767;
+  }
+}
+body { background: var(--page); color: var(--ink); margin: 0;
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif; }
+main { max-width: 820px; margin: 0 auto; padding: 24px 16px 48px; }
+h1 { font-size: 20px; margin: 0 0 2px; }
+p.sub { color: var(--ink-2); margin: 0 0 20px; }
+figure.chart { background: var(--surface); border: 1px solid var(--grid);
+  border-radius: 8px; margin: 0 0 20px; padding: 12px 14px 10px; }
+figure.chart figcaption { font-weight: 600; margin-bottom: 6px; }
+svg { display: block; width: 100%; height: auto; }
+.grid { stroke: var(--grid); stroke-width: 1; }
+.axis { stroke: var(--axis); stroke-width: 1; }
+.tick { fill: var(--muted); font-size: 10px; }
+.line { fill: none; stroke-width: 2; }
+.dot { stroke: var(--surface); stroke-width: 2; }
+.line.s1 { stroke: var(--s1); } .dot.s1 { fill: var(--s1); }
+.line.s2 { stroke: var(--s2); } .dot.s2 { fill: var(--s2); }
+.line.s3 { stroke: var(--s3); } .dot.s3 { fill: var(--s3); }
+.line.s4 { stroke: var(--s4); } .dot.s4 { fill: var(--s4); }
+.line.s5 { stroke: var(--s5); } .dot.s5 { fill: var(--s5); }
+.line.s6 { stroke: var(--s6); } .dot.s6 { fill: var(--s6); }
+.line.s7 { stroke: var(--s7); } .dot.s7 { fill: var(--s7); }
+.line.s8 { stroke: var(--s8); } .dot.s8 { fill: var(--s8); }
+.legend { display: flex; flex-wrap: wrap; gap: 4px 16px; margin-top: 6px;
+  color: var(--ink-2); font-size: 12px; }
+.legend .item { display: inline-flex; align-items: center; gap: 6px; }
+.legend .chip { width: 10px; height: 10px; border-radius: 3px;
+  display: inline-block; }
+.chip.s1 { background: var(--s1); } .chip.s2 { background: var(--s2); }
+.chip.s3 { background: var(--s3); } .chip.s4 { background: var(--s4); }
+.chip.s5 { background: var(--s5); } .chip.s6 { background: var(--s6); }
+.chip.s7 { background: var(--s7); } .chip.s8 { background: var(--s8); }
+table { border-collapse: collapse; width: 100%; background: var(--surface);
+  border: 1px solid var(--grid); border-radius: 8px; font-size: 13px; }
+th, td { text-align: left; padding: 6px 10px;
+  border-bottom: 1px solid var(--grid); }
+th { color: var(--ink-2); font-weight: 600; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+td.mono { font-family: ui-monospace, monospace; font-size: 12px;
+  color: var(--ink-2); }
+)css";
+
+}  // namespace
+
+std::string render_run_report_html(const std::vector<RunRecord>& records) {
+  std::ostringstream os;
+  os << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+     << "<meta charset=\"utf-8\">\n"
+     << "<meta name=\"viewport\" content=\"width=device-width, "
+        "initial-scale=1\">\n"
+     << "<title>PARBOR run trajectory</title>\n<style>" << kStyle
+     << "</style>\n</head>\n<body>\n<main>\n";
+  os << "<h1>PARBOR run trajectory</h1>\n";
+  os << "<p class=\"sub\">" << records.size() << " archived run"
+     << (records.size() == 1 ? "" : "s");
+  if (!records.empty()) {
+    os << " &middot; " << html_escape(utc_date(records.front().unix_ms))
+       << " to " << html_escape(utc_date(records.back().unix_ms));
+  }
+  os << "</p>\n";
+
+  const auto bench = collect_series(records, extract_bench_us);
+  if (!bench.empty()) {
+    render_line_chart(os, "Read-kernel latency", "µs", bench, records);
+  }
+  const auto cells = collect_series(records, extract_vendor_cells);
+  if (!cells.empty()) {
+    render_line_chart(os, "Detected failing cells per vendor", "cells",
+                      cells, records);
+  }
+  const auto tests = collect_series(records, extract_vendor_tests);
+  if (!tests.empty()) {
+    render_line_chart(os, "Test budget per vendor", "tests", tests, records);
+  }
+  const auto rate = collect_series(records, extract_shard_rate);
+  if (!rate.empty()) {
+    render_line_chart(os, "Fleet shard throughput", "shards/s", rate,
+                      records);
+  }
+
+  // Accessible table view: every record, every headline number.
+  os << "<table>\n<thead><tr><th>#</th><th>date</th><th>kind</th>"
+        "<th>label</th><th>build</th><th class=\"num\">bench min "
+        "(µs)</th><th class=\"num\">tests</th>"
+        "<th class=\"num\">cells</th><th class=\"num\">shards</th>"
+        "</tr></thead>\n<tbody>\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const RunRecord& r = records[i];
+    os << "<tr><td class=\"mono\">" << html_escape(r.id) << "</td><td>"
+       << html_escape(utc_date(r.unix_ms)) << "</td><td>"
+       << html_escape(r.kind) << "</td><td>" << html_escape(r.label)
+       << "</td><td class=\"mono\">"
+       << html_escape(r.with_build ? r.build.git_describe : "")
+       << "</td><td class=\"num\">";
+    if (!r.bench.empty()) {
+      double best = r.bench.front().second;
+      for (const auto& [name, ns] : r.bench) best = std::min(best, ns);
+      os << fmt_num(best / 1000.0);
+    }
+    os << "</td><td class=\"num\">";
+    if (r.sweep.present) os << r.sweep.tests;
+    os << "</td><td class=\"num\">";
+    if (r.sweep.present) os << r.sweep.cells;
+    os << "</td><td class=\"num\">";
+    if (r.fleet.present) os << r.fleet.shards;
+    os << "</td></tr>\n";
+  }
+  os << "</tbody>\n</table>\n</main>\n</body>\n</html>\n";
+  return os.str();
+}
+
+}  // namespace parbor::telemetry

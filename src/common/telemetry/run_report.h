@@ -1,0 +1,27 @@
+// Static HTML trajectory dashboard over the longitudinal run archive.
+//
+// `render_run_report_html` is a pure function from archived records to one
+// self-contained HTML document — no scripts, no external assets, inline
+// SVG charts only — so the dashboard can be checked against a golden file
+// and shipped as a CI artifact that renders anywhere.  It charts the
+// kernel-latency trajectory (one line per benchmark), per-vendor detection
+// coverage and test budgets, and fleet shard throughput, with the full
+// record list as an accessible table.  Every chart point carries an SVG
+// <title> tooltip with the run's id, date, and build provenance (git
+// describe), so a kink in a line is traceable to a commit.
+//
+// Determinism: output bytes depend only on `records` — no clock, no
+// environment, no randomness — which is what makes the golden test honest.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/telemetry/archive.h"
+
+namespace parbor::telemetry {
+
+// Renders the archive (in append order) into one self-contained HTML page.
+std::string render_run_report_html(const std::vector<RunRecord>& records);
+
+}  // namespace parbor::telemetry

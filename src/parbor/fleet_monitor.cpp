@@ -163,20 +163,27 @@ std::string render_fleet_view(const FleetMonitorView& view) {
 
 std::string fleet_view_to_prom(const FleetMonitorView& view) {
   std::string out = telemetry::metrics_to_prom(view.metrics);
+  // Label values go through prom_label_escape even when static, so a
+  // future dynamic label (worker id, campaign name) is safe by
+  // construction rather than by review.
+  const auto state_sample = [&out](const char* metric,
+                                   const std::string& state,
+                                   std::size_t value) {
+    out += std::string(metric) + "{state=\"" +
+           telemetry::prom_label_escape(state) + "\"} " +
+           std::to_string(value) + "\n";
+  };
   out += "# TYPE parbor_fleet_campaign_shards gauge\n";
-  out += "parbor_fleet_campaign_shards{state=\"todo\"} " +
-         std::to_string(view.status.todo) + "\n";
-  out += "parbor_fleet_campaign_shards{state=\"claimed\"} " +
-         std::to_string(view.status.claimed) + "\n";
-  out += "parbor_fleet_campaign_shards{state=\"done\"} " +
-         std::to_string(view.status.done) + "\n";
+  state_sample("parbor_fleet_campaign_shards", "todo", view.status.todo);
+  state_sample("parbor_fleet_campaign_shards", "claimed",
+               view.status.claimed);
+  state_sample("parbor_fleet_campaign_shards", "done", view.status.done);
   out += "# TYPE parbor_fleet_campaign_workers gauge\n";
-  out += "parbor_fleet_campaign_workers{state=\"alive\"} " +
-         std::to_string(view.workers_alive) + "\n";
-  out += "parbor_fleet_campaign_workers{state=\"dead\"} " +
-         std::to_string(view.workers_dead) + "\n";
-  out += "parbor_fleet_campaign_workers{state=\"stalled\"} " +
-         std::to_string(view.workers_stalled) + "\n";
+  state_sample("parbor_fleet_campaign_workers", "alive",
+               view.workers_alive);
+  state_sample("parbor_fleet_campaign_workers", "dead", view.workers_dead);
+  state_sample("parbor_fleet_campaign_workers", "stalled",
+               view.workers_stalled);
   out += "# TYPE parbor_fleet_campaign_complete gauge\n";
   out += std::string("parbor_fleet_campaign_complete ") +
          (view.complete() ? "1" : "0") + "\n";

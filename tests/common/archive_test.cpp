@@ -1,0 +1,217 @@
+// Longitudinal run archive: record round-trips, torn-tail tolerance, and
+// the fork/SIGKILL battery proving appends are atomic-per-record (same
+// discipline as the campaign event log).  Forks happen here, so this
+// suite owns its executable (like fleet_kill_resume_test).
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/fileio.h"
+#include "common/telemetry/archive.h"
+
+namespace parbor::telemetry {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const char* name) {
+  const std::string dir = (fs::path(::testing::TempDir()) / name).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+RunRecord full_record() {
+  RunRecord rec;
+  rec.id = "1000-42";
+  rec.unix_ms = 1000;
+  rec.kind = "sweep";
+  rec.label = "tiny A1 \"smoke\"";
+  rec.argv = "sweep --vendors A --indices 1 --archive runs";
+  rec.with_build = true;
+  rec.build.git_describe = "abc1234-dirty";
+  rec.build.compiler = "GNU 13.2";
+  rec.build.build_type = "Release";
+  rec.build.cxx_flags = "-O2";
+  rec.bench = {{"BM_ReadKernel/off", 27000.0}, {"BM_ReadKernel/on", 29500.5}};
+  rec.with_metrics = true;
+  rec.metrics.counters = {{"engine.jobs_done", 3}};
+  rec.metrics.gauges = {{"engine.queue_depth", 0}};
+  RunVendorSummary a;
+  a.modules = 2;
+  a.tests = 900;
+  a.cells = 40;
+  a.random_cells = 11;
+  rec.sweep.present = true;
+  rec.sweep.modules = 2;
+  rec.sweep.tests = 900;
+  rec.sweep.cells = 40;
+  rec.sweep.random_cells = 11;
+  rec.sweep.vendors = {{"A", a}};
+  rec.fleet.present = true;
+  rec.fleet.shards = 6;
+  rec.fleet.workers = 2;
+  rec.fleet.stale_takeovers = 1;
+  rec.fleet.wall_ms = 4200;
+  return rec;
+}
+
+TEST(RunArchive, RecordRoundTripsByteExact) {
+  const RunRecord rec = full_record();
+  const std::string json = run_record_to_json(rec);
+  EXPECT_EQ(run_record_to_json(run_record_from_json(json)), json);
+}
+
+TEST(RunArchive, MinimalRecordRoundTrips) {
+  RunRecord rec;
+  rec.id = "7-7";
+  rec.unix_ms = 7;
+  rec.kind = "bench";
+  const std::string json = run_record_to_json(rec);
+  const RunRecord back = run_record_from_json(json);
+  EXPECT_EQ(run_record_to_json(back), json);
+  EXPECT_FALSE(back.with_build);
+  EXPECT_FALSE(back.with_metrics);
+  EXPECT_FALSE(back.sweep.present);
+  EXPECT_FALSE(back.fleet.present);
+}
+
+TEST(RunArchive, RejectsForeignDocumentsAndEmptyIds) {
+  EXPECT_THROW(run_record_from_json("{}"), CheckError);
+  EXPECT_THROW(run_record_from_json("not json"), CheckError);
+  EXPECT_THROW(run_record_from_json(R"({"parbor_run":99,"id":"x"})"),
+               CheckError);
+  EXPECT_THROW(
+      run_record_from_json(
+          R"({"parbor_run":1,"id":"","unix_ms":1,"kind":"k","label":"","argv":""})"),
+      CheckError);
+}
+
+TEST(RunArchive, MissingArchiveReadsEmpty) {
+  EXPECT_TRUE(read_run_archive(temp_dir("archive_missing")).empty());
+}
+
+TEST(RunArchive, AppendsAndReadsInOrderSkippingTornTail) {
+  const std::string dir = temp_dir("archive_torn");
+  RunRecord rec = full_record();
+  archive_append(dir, rec);
+  rec.id = "1001-42";
+  archive_append(dir, rec);
+  // A writer SIGKILLed mid-append leaves a final line that simply stops.
+  ASSERT_TRUE(append_text_file(archive_runs_path(dir),
+                               "{\"parbor_run\":1,\"id\":\"10")
+                  .empty());
+  const auto records = read_run_archive(dir);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].id, "1000-42");
+  EXPECT_EQ(records[1].id, "1001-42");
+  fs::remove_all(dir);
+}
+
+TEST(RunArchive, ProbeCreatesDirectoryWithoutRecords) {
+  const std::string dir = temp_dir("archive_probe");
+  EXPECT_EQ(archive_probe(dir), "");
+  EXPECT_TRUE(fs::exists(archive_runs_path(dir)));
+  EXPECT_TRUE(read_run_archive(dir).empty());
+  fs::remove_all(dir);
+}
+
+TEST(RunArchive, SummarizeSweepJsonAggregatesPerVendor) {
+  const std::string sweep_json = R"({"parbor_sweep":1,"modules":3,)"
+      R"("total_tests":0,"results":[)"
+      R"({"module":"A1","vendor":"A","kind":"full+random","seed":1,)"
+      R"("tests":100,"victims":4,"distances":[1],"cells_detected":10,)"
+      R"("random_tests":100,"random_cells":3,"sim_seconds":1.0},)"
+      R"({"module":"B1","vendor":"B","kind":"full+random","seed":2,)"
+      R"("tests":200,"victims":4,"distances":[1],"cells_detected":20,)"
+      R"("random_tests":200,"random_cells":5,"sim_seconds":1.0},)"
+      R"({"module":"A2","vendor":"A","kind":"full+random","seed":3,)"
+      R"("tests":50,"victims":2,"distances":[1],"cells_detected":7,)"
+      R"("random_tests":50,"random_cells":1,"sim_seconds":1.0}]})";
+  const RunSweepSummary s = summarize_sweep_json(sweep_json);
+  EXPECT_TRUE(s.present);
+  EXPECT_EQ(s.modules, 3u);
+  EXPECT_EQ(s.tests, 700u);  // per-module tests + random_tests
+  EXPECT_EQ(s.cells, 37u);
+  EXPECT_EQ(s.random_cells, 9u);
+  ASSERT_EQ(s.vendors.size(), 2u);
+  EXPECT_EQ(s.vendors[0].first, "A");
+  EXPECT_EQ(s.vendors[0].second.modules, 2u);
+  EXPECT_EQ(s.vendors[0].second.tests, 300u);
+  EXPECT_EQ(s.vendors[0].second.cells, 17u);
+  EXPECT_EQ(s.vendors[1].first, "B");
+  EXPECT_EQ(s.vendors[1].second.tests, 400u);
+  EXPECT_EQ(s.vendors[1].second.cells, 20u);
+  EXPECT_THROW(summarize_sweep_json("{}"), CheckError);
+}
+
+// The acceptance battery: concurrent forked appenders, some SIGKILLed
+// mid-run.  Every surviving line parses as a whole record (appends are
+// one write, so no record ever interleaves with another), and each
+// child's records appear in its own append order.
+TEST(RunArchive, ForkedAppendersSurviveSigkill) {
+  const std::string dir = temp_dir("archive_kill");
+  ASSERT_EQ(archive_probe(dir), "");
+  constexpr int kChildren = 4;
+  constexpr int kRecords = 24;
+  // A fat label makes a torn or interleaved line unmistakably unparseable.
+  const std::string fat_label(512, 'x');
+
+  std::vector<pid_t> children;
+  for (int c = 0; c < kChildren; ++c) {
+    const pid_t pid = fork();
+    if (pid == 0) {
+      for (int j = 0; j < kRecords; ++j) {
+        RunRecord rec;
+        rec.id = "c" + std::to_string(c) + "-" + std::to_string(j);
+        rec.unix_ms = j + 1;
+        rec.kind = "bench";
+        rec.label = fat_label;
+        archive_append(dir, rec);
+      }
+      _exit(0);
+    }
+    ASSERT_GT(pid, 0);
+    children.push_back(pid);
+  }
+  // SIGKILL half of them while they are (very likely) mid-loop.
+  kill(children[0], SIGKILL);
+  kill(children[1], SIGKILL);
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  }
+
+  const auto records = read_run_archive(dir);
+  ASSERT_LE(records.size(), kChildren * kRecords);
+  std::vector<int> next_j(kChildren, 0);
+  for (const auto& rec : records) {
+    EXPECT_EQ(rec.label, fat_label);
+    ASSERT_EQ(rec.id[0], 'c');
+    const auto dash = rec.id.find('-');
+    ASSERT_NE(dash, std::string::npos);
+    const int c = std::stoi(rec.id.substr(1, dash - 1));
+    const int j = std::stoi(rec.id.substr(dash + 1));
+    ASSERT_LT(c, kChildren);
+    // Per-child append order is file order.
+    EXPECT_EQ(j, next_j[c]);
+    next_j[c] = j + 1;
+  }
+  // The children that were never signalled lost nothing.
+  EXPECT_EQ(next_j[2], kRecords);
+  EXPECT_EQ(next_j[3], kRecords);
+  fs::remove_all(dir);
+}
+
+TEST(RunArchive, NewRunIdCombinesStampAndPid) {
+  EXPECT_EQ(new_run_id(1234, 56), "1234-56");
+}
+
+}  // namespace
+}  // namespace parbor::telemetry

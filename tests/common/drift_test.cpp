@@ -1,0 +1,177 @@
+// Drift detector: series extraction, rolling medians, and the three gates
+// (perf, coverage, test budget) over archived run history.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/telemetry/drift.h"
+
+namespace parbor::telemetry {
+namespace {
+
+RunRecord bench_run(const std::string& id, double kernel_ns) {
+  RunRecord rec;
+  rec.id = id;
+  rec.unix_ms = 1;
+  rec.kind = "bench";
+  rec.bench = {{"BM_ReadKernel", kernel_ns}};
+  return rec;
+}
+
+RunRecord sweep_run(const std::string& id, std::uint64_t tests,
+                    std::uint64_t cells) {
+  RunRecord rec;
+  rec.id = id;
+  rec.unix_ms = 1;
+  rec.kind = "sweep";
+  rec.sweep.present = true;
+  rec.sweep.modules = 1;
+  rec.sweep.tests = tests;
+  rec.sweep.cells = cells;
+  RunVendorSummary v;
+  v.modules = 1;
+  v.tests = tests;
+  v.cells = cells;
+  rec.sweep.vendors = {{"A", v}};
+  return rec;
+}
+
+double series_value(const std::vector<std::pair<std::string, double>>& xs,
+                    const std::string& name) {
+  for (const auto& [series, value] : xs) {
+    if (series == name) return value;
+  }
+  ADD_FAILURE() << "series " << name << " not present";
+  return 0.0;
+}
+
+TEST(Drift, RunSeriesNamesBenchSweepAndFleet) {
+  RunRecord rec = sweep_run("r", 100, 10);
+  rec.bench = {{"BM_ReadKernel", 27000.0}};
+  rec.fleet.present = true;
+  rec.fleet.shards = 18;
+  rec.fleet.wall_ms = 9000;
+  const auto series = run_series(rec);
+  EXPECT_EQ(series_value(series, "bench:BM_ReadKernel"), 27000.0);
+  EXPECT_EQ(series_value(series, "sweep:all:tests"), 100.0);
+  EXPECT_EQ(series_value(series, "sweep:all:cells"), 10.0);
+  EXPECT_EQ(series_value(series, "sweep:A:tests"), 100.0);
+  EXPECT_EQ(series_value(series, "sweep:A:cells"), 10.0);
+  EXPECT_EQ(series_value(series, "fleet:shards"), 18.0);
+  EXPECT_EQ(series_value(series, "fleet:shard_rate"), 2.0);
+  // Sorted by name.
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LT(series[i - 1].first, series[i].first);
+  }
+}
+
+TEST(Drift, RollingBaselineIsPerSeriesMedianOverWindow) {
+  std::vector<RunRecord> history;
+  for (double ns : {100.0, 200.0, 300.0, 400.0}) {
+    history.push_back(bench_run("r" + std::to_string(int(ns)), ns));
+  }
+  // Window 4: median of {100,200,300,400} = 250.
+  auto base = rolling_baseline(history, 4);
+  EXPECT_EQ(series_value(base, "bench:BM_ReadKernel"), 250.0);
+  // Window 2 walks backwards: median of {300,400} = 350.
+  base = rolling_baseline(history, 2);
+  EXPECT_EQ(series_value(base, "bench:BM_ReadKernel"), 350.0);
+  EXPECT_THROW(rolling_baseline(history, 0), CheckError);
+}
+
+TEST(Drift, SeededKernelRegressionIsFlagged) {
+  const std::vector<RunRecord> history = {
+      bench_run("a", 27000.0), bench_run("b", 28000.0),
+      bench_run("c", 27500.0)};
+  // 2x the 27500 median trips the default 2.0 ratio...
+  DriftReport report = detect_drift(history, bench_run("slow", 56000.0));
+  ASSERT_EQ(report.perf.size(), 1u);
+  EXPECT_EQ(report.perf[0].series, "bench:BM_ReadKernel");
+  EXPECT_EQ(report.perf[0].baseline, 27500.0);
+  EXPECT_FALSE(report.clean());
+  // ...while the same speed again is clean.
+  report = detect_drift(history, bench_run("same", 27200.0));
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.history_runs, 3u);
+}
+
+TEST(Drift, CoverageDropAndBudgetGrowthAreFlagged) {
+  const std::vector<RunRecord> history = {
+      sweep_run("a", 1000, 100), sweep_run("b", 1000, 100),
+      sweep_run("c", 1000, 100)};
+  // Coverage: cells fall below 0.7x the median.
+  DriftReport report = detect_drift(history, sweep_run("drop", 1000, 60));
+  ASSERT_EQ(report.coverage.size(), 2u);  // sweep:A:cells and sweep:all:cells
+  EXPECT_EQ(report.coverage[0].series, "sweep:A:cells");
+  EXPECT_EQ(report.coverage[1].series, "sweep:all:cells");
+  EXPECT_TRUE(report.budget.empty());
+  // Budget: tests grow past 2x the median.
+  report = detect_drift(history, sweep_run("bloat", 2500, 100));
+  ASSERT_EQ(report.budget.size(), 2u);
+  EXPECT_TRUE(report.coverage.empty());
+  // A mild change in both directions is clean.
+  report = detect_drift(history, sweep_run("ok", 1100, 90));
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(Drift, FreshAndMissingSeriesAreInformationalOnly) {
+  const std::vector<RunRecord> history = {sweep_run("a", 1000, 100)};
+  // A bench-only candidate is missing every sweep series and fresh on its
+  // bench series — and still clean.
+  const DriftReport report = detect_drift(history, bench_run("b", 27000.0));
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.fresh,
+            std::vector<std::string>{"bench:BM_ReadKernel"});
+  EXPECT_EQ(report.missing.size(), 4u);  // all/A x tests/cells
+}
+
+TEST(Drift, EmptyHistoryIsCleanAndAllFresh) {
+  const DriftReport report = detect_drift({}, bench_run("first", 27000.0));
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.history_runs, 0u);
+  EXPECT_EQ(report.fresh.size(), 1u);
+}
+
+TEST(Drift, WindowExcludesOldHistory) {
+  // Old slow runs outside the window must not excuse a regression.
+  std::vector<RunRecord> history = {
+      bench_run("old1", 340000.0), bench_run("old2", 340000.0),
+      bench_run("n1", 27000.0),   bench_run("n2", 27000.0),
+      bench_run("n3", 27000.0)};
+  DriftThresholds th;
+  th.window = 3;
+  const DriftReport report =
+      detect_drift(history, bench_run("slow", 60000.0), th);
+  ASSERT_EQ(report.perf.size(), 1u);
+  EXPECT_EQ(report.perf[0].baseline, 27000.0);
+}
+
+TEST(Drift, ThresholdsAreValidated) {
+  DriftThresholds th;
+  th.coverage_min_ratio = 1.5;
+  EXPECT_THROW(detect_drift({}, bench_run("x", 1.0), th), CheckError);
+  th = {};
+  th.perf_max_ratio = 0.0;
+  EXPECT_THROW(detect_drift({}, bench_run("x", 1.0), th), CheckError);
+}
+
+TEST(Drift, ReportJsonIsOneStableLine) {
+  const std::vector<RunRecord> history = {
+      bench_run("a", 27000.0), bench_run("b", 27000.0)};
+  const DriftReport report = detect_drift(history, bench_run("s", 60000.0));
+  const std::string json = drift_report_to_json(report, DriftThresholds{});
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\"parbor_drift\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"clean\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"series\":\"bench:BM_ReadKernel\""),
+            std::string::npos);
+  const DriftReport clean = detect_drift(history, bench_run("ok", 27000.0));
+  EXPECT_NE(drift_report_to_json(clean, DriftThresholds{})
+                .find("\"clean\":true"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace parbor::telemetry

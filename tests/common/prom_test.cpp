@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "common/telemetry/archive.h"
 #include "common/telemetry/metrics.h"
 
 namespace parbor::telemetry {
@@ -55,6 +56,36 @@ TEST(PromExposition, EmptySnapshotRendersEmpty) {
   EXPECT_EQ(metrics_to_prom(Snapshot{}), "");
 }
 
+TEST(PromExposition, InfBucketStaysCumulativeUnderOverflow) {
+  // Observations past the last bound live only in the overflow bucket;
+  // +Inf must still equal the total count (cumulativity), and every
+  // finite bucket must stay <= it.
+  Snapshot snap;
+  HistogramSnapshot h;
+  h.upper_bounds = {1.0, 10.0};
+  h.buckets = {0, 0, 9};  // everything overflowed
+  h.count = 9;
+  h.sum = 900.0;
+  snap.histograms = {{"host.test_us", h}};
+  EXPECT_EQ(metrics_to_prom(snap),
+            "# TYPE parbor_host_test_us histogram\n"
+            "parbor_host_test_us_bucket{le=\"1\"} 0\n"
+            "parbor_host_test_us_bucket{le=\"10\"} 0\n"
+            "parbor_host_test_us_bucket{le=\"+Inf\"} 9\n"
+            "parbor_host_test_us_sum 900\n"
+            "parbor_host_test_us_count 9\n");
+}
+
+TEST(PromLabelEscape, EscapesBackslashQuoteAndNewline) {
+  EXPECT_EQ(prom_label_escape("plain"), "plain");
+  EXPECT_EQ(prom_label_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_label_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prom_label_escape("line1\nline2"), "line1\\nline2");
+  // All three at once, in order.
+  EXPECT_EQ(prom_label_escape("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(prom_label_escape(""), "");
+}
+
 TEST(SnapshotJson, RoundTripsByteExact) {
   const Snapshot snap = sample_snapshot();
   const std::string json = metrics_snapshot_to_json(snap);
@@ -63,6 +94,25 @@ TEST(SnapshotJson, RoundTripsByteExact) {
   // heartbeat metrics section must match dump_json exactly.
   EXPECT_EQ(metrics_snapshot_to_json(back), json);
   EXPECT_EQ(metrics_to_prom(back), metrics_to_prom(snap));
+}
+
+TEST(SnapshotJson, ByteStableThroughArchivedRunRecord) {
+  // The run archive embeds the metrics section via raw() splicing; a
+  // snapshot that travelled through an archived record must re-serialise
+  // byte-identically to one dumped directly.
+  RunRecord rec;
+  rec.id = "m-1";
+  rec.unix_ms = 1;
+  rec.kind = "sweep";
+  rec.with_metrics = true;
+  rec.metrics = sample_snapshot();
+  const std::string json = metrics_snapshot_to_json(rec.metrics);
+  const RunRecord back = run_record_from_json(run_record_to_json(rec));
+  ASSERT_TRUE(back.with_metrics);
+  EXPECT_EQ(metrics_snapshot_to_json(back.metrics), json);
+  // And the record line itself contains that exact byte sequence.
+  EXPECT_NE(run_record_to_json(rec).find("\"metrics\":" + json),
+            std::string::npos);
 }
 
 TEST(SnapshotJson, MatchesRegistryDump) {

@@ -1,0 +1,128 @@
+// Trajectory dashboard: deterministic, self-contained HTML from archived
+// records, golden-pinned against the checked-in bench/trajectory fixture.
+//
+// Regenerate the golden after an intentional renderer change with:
+//
+//   build/tools/run_report --archive bench/trajectory \
+//       --out tests/parbor/golden/run_report.html
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/archive.h"
+#include "common/telemetry/run_report.h"
+
+namespace parbor::telemetry {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << "cannot read " << path;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+std::vector<RunRecord> trajectory_fixture() {
+  const auto records =
+      read_run_archive(std::string(PARBOR_REPO_ROOT) + "/bench/trajectory");
+  EXPECT_GE(records.size(), 3u)
+      << "bench/trajectory fixture lost its seeded kernel history";
+  return records;
+}
+
+TEST(RunReport, GoldenDashboardFromTrajectoryFixture) {
+  const std::string html = render_run_report_html(trajectory_fixture());
+  EXPECT_EQ(html,
+            slurp(std::string(PARBOR_TEST_DATA_DIR) +
+                  "/golden/run_report.html"));
+}
+
+TEST(RunReport, RenderIsDeterministic) {
+  const auto records = trajectory_fixture();
+  EXPECT_EQ(render_run_report_html(records),
+            render_run_report_html(records));
+}
+
+TEST(RunReport, FixtureTrajectoryRendersChartAndProvenance) {
+  const auto records = trajectory_fixture();
+  const std::string html = render_run_report_html(records);
+  // Self-contained: one document, no external fetches.
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  // The kernel-latency chart exists, with a tooltip per point carrying
+  // the run id (build provenance rides the same <title>).
+  EXPECT_NE(html.find("Read-kernel latency"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  for (const auto& rec : records) {
+    EXPECT_NE(html.find("run " + rec.id), std::string::npos);
+  }
+}
+
+TEST(RunReport, EmptyArchiveRendersValidPage) {
+  const std::string html = render_run_report_html({});
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(html.find("0 archived runs"), std::string::npos);
+  EXPECT_EQ(html.find("<svg"), std::string::npos);
+}
+
+TEST(RunReport, SyntheticRecordsRenderEverySection) {
+  std::vector<RunRecord> records;
+  for (int i = 0; i < 3; ++i) {
+    RunRecord rec;
+    rec.id = "r" + std::to_string(i);
+    rec.unix_ms = 1700000000000 + i * 86400000;
+    rec.kind = "sweep";
+    rec.with_build = true;
+    rec.build.git_describe = "deadbee" + std::to_string(i);
+    rec.bench = {{"BM_Kernel", 30000.0 - i * 1000.0}};
+    rec.sweep.present = true;
+    rec.sweep.tests = 1000;
+    rec.sweep.cells = 50;
+    RunVendorSummary v;
+    v.tests = 500;
+    v.cells = 25;
+    rec.sweep.vendors = {{"A", v}, {"B", v}};
+    rec.fleet.present = true;
+    rec.fleet.shards = 18;
+    rec.fleet.wall_ms = 9000;
+    records.push_back(rec);
+  }
+  const std::string html = render_run_report_html(records);
+  EXPECT_NE(html.find("Read-kernel latency"), std::string::npos);
+  EXPECT_NE(html.find("Detected failing cells per vendor"),
+            std::string::npos);
+  EXPECT_NE(html.find("Test budget per vendor"), std::string::npos);
+  EXPECT_NE(html.find("Fleet shard throughput"), std::string::npos);
+  // Two vendor series: a legend must name both.
+  EXPECT_NE(html.find("vendor A"), std::string::npos);
+  EXPECT_NE(html.find("vendor B"), std::string::npos);
+  EXPECT_NE(html.find("class=\"legend\""), std::string::npos);
+  // Provenance tooltip on chart points.
+  EXPECT_NE(html.find("deadbee0"), std::string::npos);
+  // The table view lists every run.
+  EXPECT_NE(html.find("<table>"), std::string::npos);
+  EXPECT_NE(html.find(">r0<"), std::string::npos);
+  EXPECT_NE(html.find(">r2<"), std::string::npos);
+}
+
+TEST(RunReport, EscapesUntrustedText) {
+  RunRecord rec;
+  rec.id = "x";
+  rec.unix_ms = 1;
+  rec.kind = "sweep";
+  rec.label = "<script>alert(1)</script> & \"quotes\"";
+  const std::string html = render_run_report_html({rec});
+  EXPECT_EQ(html.find("<script>alert"), std::string::npos);
+  EXPECT_NE(html.find("&lt;script&gt;alert(1)&lt;/script&gt; &amp; "
+                      "&quot;quotes&quot;"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace parbor::telemetry

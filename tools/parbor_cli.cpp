@@ -65,7 +65,25 @@
 //                       [--job N]
 //       Why did this cell flip?  Why was this injected fault missed?
 //
-//   parbor_cli version
+//   parbor_cli history record --archive DIR [--kind K] [--label TEXT]
+//                       [--id ID] [--unix-ms MS] [--bench F1,F2]
+//                       [--metrics FILE] [--sweep FILE] [--fleet-dir DIR]
+//   parbor_cli history list    --archive DIR [--json]
+//   parbor_cli history show    --archive DIR --id ID [--json]
+//   parbor_cli history compare --archive DIR --from ID --to ID
+//   parbor_cli history drift   --archive DIR [--window N] [--max-ratio R]
+//                       [--budget-ratio R] [--min-coverage-ratio R]
+//                       [--id ID] [--json]
+//       Longitudinal run archive (src/common/telemetry/archive.h): record
+//       appends one self-describing run record (build provenance, argv,
+//       bench minima from gbench JSON, metrics snapshot, sweep / fleet
+//       summaries); drift gates the newest record (or --id) against
+//       rolling medians of the archived history and exits 1 on a perf,
+//       coverage, or test-budget drift.  `sweep` and `fleet merge` accept
+//       --archive DIR to append their own record automatically; archived
+//       and unarchived runs emit byte-identical reports.
+//
+//   parbor_cli version [--json]
 //       Print the build provenance (git describe, compiler, build type).
 //
 // Observability flags, accepted by every campaign subcommand (off by
@@ -82,10 +100,14 @@
 //                       other commands: pipeline phase notes)
 //   --no-soft           disable soft-error injection so that every flip is
 //                       attributable to an injected fault (ledger closure)
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -96,9 +118,12 @@
 #include "common/leasedir.h"
 #include "common/ledger/coverage.h"
 #include "common/ledger/ledger.h"
+#include "common/perf_baseline.h"
 #include "common/table.h"
 #include "dram/fault_table.h"
+#include "common/telemetry/archive.h"
 #include "common/telemetry/campaign_obs.h"
+#include "common/telemetry/drift.h"
 #include "common/telemetry/metrics.h"
 #include "common/telemetry/progress.h"
 #include "common/telemetry/prom.h"
@@ -117,6 +142,10 @@
 using namespace parbor;
 
 namespace {
+
+// The invocation's argv joined with spaces, captured in main so run
+// records carry the exact command line that produced them.
+std::string g_cli_argv;
 
 dram::Vendor parse_vendor(const std::string& name) {
   if (name == "B") return dram::Vendor::kB;
@@ -383,6 +412,48 @@ std::vector<int> parse_indices(const std::string& text) {
   return out;
 }
 
+// Run-record skeleton shared by `history record` and the sweep / fleet
+// auto-record hooks: identity (overridable --id / --unix-ms so fixtures
+// and tests are reproducible), argv, and build provenance.
+telemetry::RunRecord make_run_record(const Flags& flags,
+                                     const std::string& default_kind) {
+  telemetry::RunRecord rec;
+  rec.unix_ms = flags.has("unix-ms") ? flags.get_int("unix-ms", 0)
+                                     : telemetry::unix_now_ms();
+  rec.id = flags.has("id")
+               ? flags.get("id")
+               : telemetry::new_run_id(
+                     rec.unix_ms, static_cast<std::int64_t>(::getpid()));
+  rec.kind = flags.get("kind", default_kind);
+  rec.label = flags.get("label");
+  rec.argv = g_cli_argv;
+  rec.with_build = true;
+  rec.build = build_info();
+  return rec;
+}
+
+// Fleet shape for a run record, reconstructed from the campaign directory:
+// shard count from the work queue, workers / takeovers / wall span from
+// the (torn-tolerant) event log.  All advisory; an unobserved campaign
+// still records its shard count.
+telemetry::RunFleetSummary fleet_summary_from_dir(const std::string& dir) {
+  telemetry::RunFleetSummary out;
+  out.present = true;
+  out.shards = core::fleet_status(dir).total;
+  std::set<std::string> workers;
+  std::int64_t first_ms = 0;
+  std::int64_t last_ms = 0;
+  for (const auto& event : telemetry::read_campaign_events(dir)) {
+    if (event.type == "worker_start") workers.insert(event.owner);
+    if (event.type == "stale_requeue") ++out.stale_takeovers;
+    if (first_ms == 0 || event.unix_ms < first_ms) first_ms = event.unix_ms;
+    last_ms = std::max(last_ms, event.unix_ms);
+  }
+  out.workers = workers.size();
+  if (first_ms > 0 && last_ms > first_ms) out.wall_ms = last_ms - first_ms;
+  return out;
+}
+
 int cmd_sweep(const Flags& flags) {
   std::vector<dram::Vendor> vendors;
   for (const auto& name : split_csv(flags.get("vendors", "A,B,C"))) {
@@ -397,6 +468,16 @@ int cmd_sweep(const Flags& flags) {
   else if (mode != "map") {
     std::fprintf(stderr, "unknown --mode %s\n", mode.c_str());
     return 2;
+  }
+
+  // A doomed --archive must fail before the campaign burns its budget,
+  // same as the observability sinks.
+  if (flags.has("archive")) {
+    if (const auto err = telemetry::archive_probe(flags.get("archive"));
+        !err.empty()) {
+      std::fprintf(stderr, "--archive: %s\n", err.c_str());
+      return 1;
+    }
   }
 
   auto jobs = core::make_population_jobs(scale, kind, vendors, indices);
@@ -454,6 +535,21 @@ int cmd_sweep(const Flags& flags) {
     os << core::sweep_report_to_json(sweep, flags.get_bool("build-info", true))
        << '\n';
     std::printf("sweep report written to %s\n", path.c_str());
+  }
+  if (flags.has("archive")) {
+    // The record summarises the exact report bytes (minus build info,
+    // which the record carries separately); the report itself is
+    // untouched — archived and unarchived sweeps stay byte-identical.
+    telemetry::RunRecord rec = make_run_record(flags, "sweep");
+    rec.sweep = telemetry::summarize_sweep_json(
+        core::sweep_report_to_json(sweep, false));
+    if (telemetry::MetricsRegistry::global().enabled()) {
+      rec.with_metrics = true;
+      rec.metrics = telemetry::MetricsRegistry::global().scrape();
+    }
+    telemetry::archive_append(flags.get("archive"), rec);
+    std::printf("run %s archived to %s\n", rec.id.c_str(),
+                flags.get("archive").c_str());
   }
   return 0;
 }
@@ -541,6 +637,13 @@ int cmd_fleet(const Flags& flags) {
   }
 
   if (action == "merge") {
+    if (flags.has("archive")) {
+      if (const auto err = telemetry::archive_probe(flags.get("archive"));
+          !err.empty()) {
+        std::fprintf(stderr, "--archive: %s\n", err.c_str());
+        return 1;
+      }
+    }
     const std::string json =
         core::fleet_merge(dir, flags.get_bool("build-info"));
     const std::string path = dir + "/fleet_sweep.json";
@@ -549,6 +652,14 @@ int cmd_fleet(const Flags& flags) {
       return 1;
     }
     std::printf("fleet report written to %s\n", path.c_str());
+    if (flags.has("archive")) {
+      telemetry::RunRecord rec = make_run_record(flags, "fleet");
+      rec.sweep = telemetry::summarize_sweep_json(json);
+      rec.fleet = fleet_summary_from_dir(dir);
+      telemetry::archive_append(flags.get("archive"), rec);
+      std::printf("run %s archived to %s\n", rec.id.c_str(),
+                  flags.get("archive").c_str());
+    }
     return 0;
   }
 
@@ -784,7 +895,243 @@ int cmd_explain(const Flags& flags) {
   return 0;
 }
 
-int cmd_version() {
+// Shared by list / show / compare: one human-readable line per record.
+void print_record_summary(const telemetry::RunRecord& rec, Table* table) {
+  std::string bench_us;
+  if (!rec.bench.empty()) {
+    double best = rec.bench.front().second;
+    for (const auto& [name, ns] : rec.bench) best = std::min(best, ns);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", best / 1000.0);
+    bench_us = buf;
+  }
+  table->add(rec.id, rec.kind, rec.label,
+             rec.with_build ? rec.build.git_describe : std::string(),
+             bench_us,
+             rec.sweep.present ? std::to_string(rec.sweep.tests)
+                               : std::string(),
+             rec.sweep.present ? std::to_string(rec.sweep.cells)
+                               : std::string());
+}
+
+const telemetry::RunRecord* find_record(
+    const std::vector<telemetry::RunRecord>& records, const std::string& id) {
+  for (const auto& rec : records) {
+    if (rec.id == id) return &rec;
+  }
+  std::fprintf(stderr, "no run '%s' in the archive\n", id.c_str());
+  return nullptr;
+}
+
+int cmd_history(const Flags& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr,
+                 "usage: parbor_cli history "
+                 "<record|list|show|compare|drift> --archive DIR [flags]\n");
+    return 2;
+  }
+  const std::string& action = flags.positional()[1];
+  if (!flags.has("archive")) {
+    std::fprintf(stderr, "history %s needs --archive DIR\n", action.c_str());
+    return 2;
+  }
+  const std::string dir = flags.get("archive");
+
+  if (action == "record") {
+    telemetry::RunRecord rec = make_run_record(flags, "manual");
+    if (flags.has("bench")) {
+      std::vector<BenchSample> samples;
+      for (const auto& path : split_csv(flags.get("bench"))) {
+        std::string text;
+        if (!read_file(path, &text)) {
+          std::fprintf(stderr, "cannot read %s\n", path.c_str());
+          return 2;
+        }
+        const auto parsed = parse_gbench_json(text);
+        samples.insert(samples.end(), parsed.begin(), parsed.end());
+      }
+      rec.bench = bench_cpu_minima(samples);
+    }
+    if (flags.has("metrics")) {
+      std::string text;
+      if (!read_file(flags.get("metrics"), &text)) {
+        std::fprintf(stderr, "cannot read %s\n",
+                     flags.get("metrics").c_str());
+        return 2;
+      }
+      rec.with_metrics = true;
+      rec.metrics = telemetry::metrics_snapshot_from_json(text);
+    }
+    if (flags.has("sweep")) {
+      std::string text;
+      if (!read_file(flags.get("sweep"), &text)) {
+        std::fprintf(stderr, "cannot read %s\n", flags.get("sweep").c_str());
+        return 2;
+      }
+      rec.sweep = telemetry::summarize_sweep_json(text);
+    }
+    if (flags.has("fleet-dir")) {
+      rec.fleet = fleet_summary_from_dir(flags.get("fleet-dir"));
+    }
+    telemetry::archive_append(dir, rec);
+    std::printf("recorded run %s in %s\n", rec.id.c_str(),
+                telemetry::archive_runs_path(dir).c_str());
+    return 0;
+  }
+
+  const auto records = telemetry::read_run_archive(dir);
+
+  if (action == "list") {
+    if (flags.get_bool("json")) {
+      for (const auto& rec : records) {
+        std::printf("%s\n", telemetry::run_record_to_json(rec).c_str());
+      }
+      return 0;
+    }
+    Table table({"Run", "Kind", "Label", "Build", "Bench µs", "Tests",
+                 "Cells"});
+    for (const auto& rec : records) print_record_summary(rec, &table);
+    std::printf("%s", table.to_string().c_str());
+    std::printf("%zu archived run(s)\n", records.size());
+    return 0;
+  }
+
+  if (action == "show") {
+    if (!flags.has("id")) {
+      std::fprintf(stderr, "history show needs --id ID\n");
+      return 2;
+    }
+    const auto* rec = find_record(records, flags.get("id"));
+    if (rec == nullptr) return 1;
+    if (flags.get_bool("json")) {
+      std::printf("%s\n", telemetry::run_record_to_json(*rec).c_str());
+      return 0;
+    }
+    std::printf("run %s (%s)\n", rec->id.c_str(), rec->kind.c_str());
+    if (!rec->label.empty()) std::printf("label: %s\n", rec->label.c_str());
+    if (!rec->argv.empty()) std::printf("argv: %s\n", rec->argv.c_str());
+    if (rec->with_build) {
+      std::printf("build: %s, %s, %s\n", rec->build.git_describe.c_str(),
+                  rec->build.compiler.c_str(), rec->build.build_type.c_str());
+    }
+    Table table({"Series", "Value"});
+    for (const auto& [series, value] : telemetry::run_series(*rec)) {
+      table.add(series, value);
+    }
+    std::printf("%s", table.to_string().c_str());
+    return 0;
+  }
+
+  if (action == "compare") {
+    if (!flags.has("from") || !flags.has("to")) {
+      std::fprintf(stderr, "history compare needs --from ID --to ID\n");
+      return 2;
+    }
+    const auto* from = find_record(records, flags.get("from"));
+    const auto* to = find_record(records, flags.get("to"));
+    if (from == nullptr || to == nullptr) return 1;
+    const auto from_series = telemetry::run_series(*from);
+    const auto to_series = telemetry::run_series(*to);
+    const std::map<std::string, double> to_by_name(to_series.begin(),
+                                                   to_series.end());
+    std::set<std::string> seen;
+    Table table({"Series", flags.get("from"), flags.get("to"), "Ratio"});
+    for (const auto& [series, value] : from_series) {
+      seen.insert(series);
+      const auto it = to_by_name.find(series);
+      if (it == to_by_name.end()) {
+        table.add(series, value, "", "");
+      } else {
+        table.add(series, value, it->second,
+                  value > 0.0 ? it->second / value : 0.0);
+      }
+    }
+    for (const auto& [series, value] : to_series) {
+      if (seen.count(series) == 0) table.add(series, "", value, "");
+    }
+    std::printf("%s", table.to_string().c_str());
+    return 0;
+  }
+
+  if (action == "drift") {
+    telemetry::DriftThresholds th;
+    th.window = static_cast<std::size_t>(
+        flags.get_int("window", static_cast<std::int64_t>(th.window)));
+    th.perf_max_ratio = flags.get_double("max-ratio", th.perf_max_ratio);
+    th.budget_max_ratio =
+        flags.get_double("budget-ratio", th.budget_max_ratio);
+    th.coverage_min_ratio =
+        flags.get_double("min-coverage-ratio", th.coverage_min_ratio);
+    if (th.window == 0 || th.perf_max_ratio <= 0.0 ||
+        th.budget_max_ratio <= 0.0 || th.coverage_min_ratio <= 0.0 ||
+        th.coverage_min_ratio > 1.0) {
+      std::fprintf(stderr,
+                   "history drift: --window wants >= 1, ratios want > 0, "
+                   "--min-coverage-ratio wants (0, 1]\n");
+      return 2;
+    }
+    if (records.empty()) {
+      std::fprintf(stderr, "history drift: archive %s is empty\n",
+                   dir.c_str());
+      return 2;
+    }
+    // Candidate = the newest record (or --id); history = what preceded it.
+    std::size_t candidate_index = records.size() - 1;
+    if (flags.has("id")) {
+      const auto* rec = find_record(records, flags.get("id"));
+      if (rec == nullptr) return 2;
+      candidate_index =
+          static_cast<std::size_t>(rec - records.data());
+    }
+    const std::vector<telemetry::RunRecord> history(
+        records.begin(),
+        records.begin() + static_cast<std::ptrdiff_t>(candidate_index));
+    const auto report =
+        telemetry::detect_drift(history, records[candidate_index], th);
+    if (flags.get_bool("json")) {
+      std::printf("%s\n",
+                  telemetry::drift_report_to_json(report, th).c_str());
+    } else {
+      std::printf("run %s vs rolling median of %zu run(s):\n",
+                  records[candidate_index].id.c_str(), report.history_runs);
+      const auto print_findings =
+          [](const char* what,
+             const std::vector<telemetry::DriftFinding>& findings) {
+            for (const auto& f : findings) {
+              std::printf("  %s: %s %.6g vs baseline %.6g (%.2fx)\n", what,
+                          f.series.c_str(), f.measured, f.baseline, f.ratio);
+            }
+          };
+      print_findings("perf drift", report.perf);
+      print_findings("coverage drift", report.coverage);
+      print_findings("budget drift", report.budget);
+      if (report.clean()) {
+        std::printf("  no drift (%zu fresh series, %zu missing)\n",
+                    report.fresh.size(), report.missing.size());
+      }
+    }
+    return report.clean() ? 0 : 1;
+  }
+
+  std::fprintf(stderr,
+               "unknown history action '%s' "
+               "(record|list|show|compare|drift)\n",
+               action.c_str());
+  return 2;
+}
+
+int cmd_version(const Flags& flags) {
+  if (flags.get_bool("json")) {
+    // One line, machine-readable: what `history record` embeds per run.
+    JsonWriter w;
+    w.begin_object();
+    w.field("parbor_version", 1);
+    w.key("build");
+    write_build_info(w);
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
   std::printf("%s\n", build_info_line().c_str());
   return 0;
 }
@@ -793,7 +1140,7 @@ int usage() {
   std::printf(
       "usage: parbor_cli "
       "<map|test|compare|profile|mitigate|remap|dcref|sweep|fleet|coverage|"
-      "explain|version> [flags]\n"
+      "explain|history|version> [flags]\n"
       "  common flags: --vendor A|B|C|linear --index 1..6 "
       "--scale tiny|small|medium|large\n"
       "  map/test:     --json PREFIX [--cells true] [--build-info false]\n"
@@ -808,6 +1155,14 @@ int usage() {
       "  coverage:     --ledger FILE [--json PREFIX]\n"
       "  explain:      --ledger FILE (--cell CHIP,BANK,ROW,BIT | --fault ID) "
       "[--job N]\n"
+      "  history:      <record|list|show|compare|drift> --archive DIR "
+      "(record: --kind K --label TEXT --bench F1,F2 --metrics FILE --sweep "
+      "FILE --fleet-dir DIR; drift: --window N --max-ratio R --budget-ratio "
+      "R --min-coverage-ratio R; show: --id ID; compare: --from ID --to "
+      "ID)\n"
+      "  version:      [--json]\n"
+      "  sweep / fleet merge also take --archive DIR [--label TEXT] to "
+      "append a run record\n"
       "  observability: --trace-out FILE --metrics-out FILE "
       "[--metrics-format json|prom] --ledger-out FILE --progress --no-soft "
       "(any campaign subcommand)\n");
@@ -828,15 +1183,19 @@ const std::vector<std::string>& known_flags(const std::string& cmd) {
       {"dcref", {"workload", "trfc-ns"}},
       {"sweep",
        {"vendors", "indices", "scale", "mode", "jobs", "json",
-        "build-info"}},
+        "build-info", "archive", "label", "id", "unix-ms"}},
       {"fleet",
        {"dir", "vendors", "indices", "scale", "mode", "ledger", "seed",
         "max-shards", "die-after-shards", "build-info", "heartbeat",
         "die-at-heartbeat", "json", "once", "interval-ms", "watchdog-s",
-        "prom-out"}},
+        "prom-out", "archive", "label", "id", "unix-ms"}},
       {"coverage", {"ledger", "json"}},
       {"explain", {"ledger", "cell", "fault", "job"}},
-      {"version", {}},
+      {"history",
+       {"archive", "kind", "label", "id", "unix-ms", "bench", "metrics",
+        "sweep", "fleet-dir", "json", "from", "to", "window", "max-ratio",
+        "budget-ratio", "min-coverage-ratio"}},
+      {"version", {"json"}},
   };
   static const std::vector<std::string> empty;
   const auto it = table.find(cmd);
@@ -942,13 +1301,18 @@ int dispatch(const std::string& cmd, const Flags& flags) {
   if (cmd == "fleet") return cmd_fleet(flags);
   if (cmd == "coverage") return cmd_coverage(flags);
   if (cmd == "explain") return cmd_explain(flags);
-  if (cmd == "version") return cmd_version();
+  if (cmd == "history") return cmd_history(flags);
+  if (cmd == "version") return cmd_version(flags);
   return usage();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (i > 1) g_cli_argv += ' ';
+    g_cli_argv += argv[i];
+  }
   const Flags flags = Flags::parse(argc, argv);
   if (!flags.ok() || flags.positional().empty()) return usage();
   const std::string& cmd = flags.positional().front();

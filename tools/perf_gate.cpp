@@ -1,7 +1,12 @@
 // CI perf-regression gate.
 //
 //   perf_gate <measured.json> <baseline.json> [--max-ratio R]
-//             [--map MEASURED=BASELINE ...]
+//             [--map MEASURED=BASELINE ...] [--json]
+//
+// --json replaces the human-readable listing with ONE machine-readable
+// verdict line on stdout ({"perf_gate":1,"ok":...,"max_ratio":...,
+// "regressions":[...],"missing":[...]}), so CI and `history record` can
+// ingest the verdict without scraping text.  Exit codes are unchanged.
 //
 // Both files are Google-benchmark JSON documents (--benchmark_out_format=
 // json).  Every benchmark named in the baseline must be present in the
@@ -34,13 +39,14 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/json.h"
 #include "common/perf_baseline.h"
 
 namespace {
 
 constexpr const char* kUsage =
     "usage: perf_gate <measured.json> <baseline.json> [--max-ratio R] "
-    "[--map MEASURED=BASELINE ...]\n";
+    "[--map MEASURED=BASELINE ...] [--json]\n";
 
 // Reads a whole file; false (with errno untouched by later calls) when the
 // file cannot be opened — the caller turns that into the exit-2 diagnostic.
@@ -64,9 +70,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   std::vector<std::pair<std::string, std::string>> maps;
   double max_ratio = 2.0;
+  bool json_verdict = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--max-ratio") {
+    if (arg == "--json") {
+      json_verdict = true;
+    } else if (arg == "--max-ratio") {
       if (i + 1 >= argc) return config_error("--max-ratio needs a value");
       max_ratio = std::atof(argv[++i]);
       if (max_ratio <= 0.0) {
@@ -141,6 +150,32 @@ int main(int argc, char** argv) {
 
   const auto comparison =
       parbor::compare_perf(measured, baseline, max_ratio);
+
+  if (json_verdict) {
+    parbor::JsonWriter w;
+    w.begin_object();
+    w.field("perf_gate", 1);
+    w.field("ok",
+            comparison.regressions.empty() && comparison.missing.empty());
+    w.field("max_ratio", max_ratio);
+    w.key("regressions").begin_array();
+    for (const auto& r : comparison.regressions) {
+      w.begin_object();
+      w.field("name", r.name);
+      w.field("measured_ns", r.measured_ns);
+      w.field("baseline_ns", r.baseline_ns);
+      w.field("ratio", r.ratio);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("missing").begin_array();
+    for (const auto& name : comparison.missing) w.value(name);
+    w.end_array();
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    if (!comparison.missing.empty()) return 2;
+    return comparison.regressions.empty() ? 0 : 1;
+  }
 
   for (const auto& s : baseline) {
     std::printf("baseline  %-52s %12.1f ns\n", s.name.c_str(), s.cpu_time_ns);

@@ -1,0 +1,40 @@
+// run_report — renders the longitudinal run archive into one
+// self-contained static HTML dashboard (src/common/telemetry/run_report.h).
+//
+//   run_report --archive DIR --out FILE
+//
+// The output depends only on the archive bytes, so CI can golden-test it
+// and upload it as an artifact that renders without any external assets.
+// Exit codes: 0 = written; 1 = I/O failure; 2 = bad usage.
+#include <cstdio>
+#include <string>
+
+#include "common/fileio.h"
+#include "common/flags.h"
+#include "common/telemetry/archive.h"
+#include "common/telemetry/run_report.h"
+
+int main(int argc, char** argv) {
+  using namespace parbor;
+  const Flags flags = Flags::parse(argc, argv);
+  if (!flags.ok() || !flags.has("archive") || !flags.has("out")) {
+    std::fprintf(stderr, "usage: run_report --archive DIR --out FILE\n");
+    return 2;
+  }
+  if (const auto unknown = flags.unknown({"archive", "out"});
+      !unknown.empty()) {
+    std::fprintf(stderr, "run_report: unknown flag --%s\n",
+                 unknown.front().c_str());
+    return 2;
+  }
+  const auto records = telemetry::read_run_archive(flags.get("archive"));
+  const std::string html = telemetry::render_run_report_html(records);
+  if (const auto err = write_text_file(flags.get("out"), html);
+      !err.empty()) {
+    std::fprintf(stderr, "run_report: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("dashboard for %zu run(s) written to %s\n", records.size(),
+              flags.get("out").c_str());
+  return 0;
+}
