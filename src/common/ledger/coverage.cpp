@@ -6,7 +6,6 @@
 #include <sstream>
 #include <tuple>
 
-#include "common/check.h"
 #include "common/json.h"
 
 namespace parbor::ledger {

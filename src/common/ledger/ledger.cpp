@@ -146,6 +146,7 @@ thread_local std::uint64_t FlipLedger::tls_uid = 0;
 thread_local void* FlipLedger::tls_shard = nullptr;
 
 FlipLedger::FlipLedger()
+    // archlint: allow(shard-single-writer) -- registry uid counter, not a shard cell
     : uid_(g_next_uid.fetch_add(1, std::memory_order_relaxed)) {}
 
 FlipLedger& FlipLedger::global() {

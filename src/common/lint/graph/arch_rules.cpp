@@ -1,0 +1,338 @@
+#include "common/lint/graph/arch_rules.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/lint/graph/locks.h"
+#include "common/lint/graph/symbols.h"
+
+namespace parbor::lint::graph {
+
+namespace {
+
+constexpr std::string_view kMarker = "archlint:";
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool is_header(std::string_view path) {
+  return path.size() >= 2 && path.substr(path.size() - 2) == ".h";
+}
+
+std::string stem_of(std::string_view path) {
+  const std::size_t dot = path.rfind('.');
+  const std::size_t slash = path.rfind('/');
+  if (dot == std::string_view::npos ||
+      (slash != std::string_view::npos && dot < slash)) {
+    return std::string(path);
+  }
+  return std::string(path.substr(0, dot));
+}
+
+struct RawFinding {
+  Finding finding;
+  std::string detail;  // stable, line-free key component
+};
+
+}  // namespace
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> kIds = {
+      "allow-syntax",       "dead-symbol",        "layering",
+      "lock-order",         "missing-include",    "shard-single-writer",
+      "syscall-under-lock", "unused-include",
+  };
+  return kIds;
+}
+
+AnalysisResult analyze_tree(const std::vector<SourceFile>& files,
+                            const ArchDag& dag,
+                            const AnalysisOptions& options) {
+  AnalysisResult result;
+  result.files_scanned = files.size();
+
+  const IncludeGraph graph = IncludeGraph::build(files);
+  const auto& nodes = graph.nodes();
+
+  const auto structural = [&](std::string_view path) {
+    return std::any_of(options.structural_roots.begin(),
+                       options.structural_roots.end(),
+                       [&](const std::string& root) {
+                         return starts_with(path, root);
+                       });
+  };
+
+  // Per-file derived tables.  Symbols for every scanned file (tests and
+  // bench keep declared functions alive); locks only where structural.
+  std::map<std::string, FileSymbols> symbols;
+  std::map<std::string, FileLocks> locks;
+  for (const FileNode& n : nodes) {
+    symbols.emplace(n.path, scan_symbols(n.lx));
+    if (structural(n.path)) locks.emplace(n.path, scan_locks(n.path, n.lx));
+  }
+
+  std::vector<RawFinding> raw;
+  const auto add = [&](const std::string& file, int line,
+                       const std::string& rule, std::string message,
+                       std::string detail) {
+    raw.push_back({{file, line, rule, std::move(message)}, std::move(detail)});
+  };
+
+  // ---- layering ---------------------------------------------------------
+  if (!dag.empty()) {
+    for (const FileNode& n : nodes) {
+      if (!structural(n.path)) continue;
+      const std::string from = dag.layer_of(n.path);
+      if (from.empty()) continue;
+      for (const ResolvedInclude& inc : n.includes) {
+        const std::string to = dag.layer_of_include(inc);
+        if (to.empty() || dag.allows(from, to)) continue;
+        add(n.path, inc.line, "layering",
+            "includes '" + inc.target + "', but layer '" + from + "' ⇏ '" +
+                to + "' (edge not allowed by lint/ARCH.dag)",
+            inc.target);
+      }
+    }
+  }
+
+  // ---- unused-include ---------------------------------------------------
+  for (const FileNode& n : nodes) {
+    if (!structural(n.path)) continue;
+    const FileSymbols& self = symbols.at(n.path);
+    const std::string own_stem = stem_of(n.path);
+    for (const ResolvedInclude& inc : n.includes) {
+      if (inc.resolved.empty()) continue;               // system / generated
+      if (stem_of(inc.resolved) == own_stem) continue;  // x.cpp -> x.h
+      const FileSymbols& provided = symbols.at(inc.resolved);
+      // A header our scanner sees no declarations in (extern tables,
+      // macro-minted interfaces) cannot be judged; stay silent.
+      if (provided.types.empty() && provided.functions.empty() &&
+          provided.macros.empty()) {
+        continue;
+      }
+      const auto any_used = [&](const std::vector<DeclaredSymbol>& xs) {
+        return std::any_of(xs.begin(), xs.end(), [&](const DeclaredSymbol& d) {
+          return self.referenced.count(d.name) != 0;
+        });
+      };
+      if (any_used(provided.types) || any_used(provided.functions) ||
+          any_used(provided.macros)) {
+        continue;
+      }
+      add(n.path, inc.line, "unused-include",
+          "includes '" + inc.target +
+              "' but references none of its declared symbols",
+          inc.target);
+    }
+  }
+
+  // ---- missing-include --------------------------------------------------
+  // Map symbol name -> set of providing headers (src/ and tools/ headers
+  // only), so "unique provider" is well defined.  Only symbols that can be
+  // *named* from outside create include demand: types, macros, and
+  // namespace-scope functions — `bv.set(...)` never requires bitvec.h by
+  // name, `splitmix64(...)` does.
+  std::map<std::string, std::set<std::string>> providers;
+  for (const FileNode& n : nodes) {
+    if (!structural(n.path) || !is_header(n.path)) continue;
+    const FileSymbols& s = symbols.at(n.path);
+    for (const auto* vec : {&s.types, &s.free_functions, &s.macros}) {
+      for (const DeclaredSymbol& d : *vec) providers[d.name].insert(n.path);
+    }
+  }
+  for (const FileNode& n : nodes) {
+    if (!structural(n.path)) continue;
+    const FileSymbols& self = symbols.at(n.path);
+    const std::string own_stem = stem_of(n.path);
+    std::set<std::string> direct;
+    for (const ResolvedInclude& inc : n.includes) {
+      if (!inc.resolved.empty()) direct.insert(inc.resolved);
+    }
+    const std::vector<std::string> trans = graph.transitive_includes(n.path);
+    const std::set<std::string> reachable(trans.begin(), trans.end());
+    // A .cpp may rely on everything its own header pulls in: the header's
+    // interface already demands those includes for its own correctness, so
+    // they cannot vanish out from under the .cpp.
+    std::set<std::string> via_own_header;
+    if (!is_header(n.path)) {
+      const std::string paired = own_stem + ".h";
+      if (graph.node(paired) != nullptr) {
+        via_own_header.insert(paired);
+        for (const std::string& p : graph.transitive_includes(paired)) {
+          via_own_header.insert(p);
+        }
+      }
+    }
+    std::set<std::string> flagged;  // one finding per missing header
+    for (const std::string& name : self.referenced) {
+      if (name.size() < 3) continue;  // template params, loop vars
+      if (self.provides(name)) continue;
+      const auto it = providers.find(name);
+      if (it == providers.end() || it->second.size() != 1) continue;
+      const std::string& provider = *it->second.begin();
+      if (provider == n.path || stem_of(provider) == own_stem) continue;
+      if (direct.count(provider) != 0) continue;
+      if (via_own_header.count(provider) != 0) continue;
+      if (reachable.count(provider) == 0) continue;  // not ours to demand
+      if (!flagged.insert(provider).second) continue;
+      // Quote the include the way the tree writes it (paths are rooted at
+      // src/ on the include path).
+      std::string spell = provider;
+      if (starts_with(spell, "src/")) spell = spell.substr(4);
+      const auto line_it = self.first_ref_line.find(name);
+      add(n.path, line_it == self.first_ref_line.end() ? 1 : line_it->second,
+          "missing-include",
+          "references '" + name + "' from '" + provider +
+              "' but includes it only transitively; include \"" + spell +
+              "\" directly",
+          provider);
+    }
+  }
+
+  // ---- dead-symbol ------------------------------------------------------
+  // Which stems reference each identifier, across *everything* scanned
+  // (tests and bench keep symbols alive), and which names are types
+  // anywhere (constructors look like function declarators).
+  std::map<std::string, std::set<std::string>> ref_stems;
+  std::set<std::string> type_names;
+  for (const FileNode& n : nodes) {
+    const std::string stem = stem_of(n.path);
+    const FileSymbols& s = symbols.at(n.path);
+    for (const std::string& name : s.referenced) ref_stems[name].insert(stem);
+    for (const DeclaredSymbol& d : s.types) type_names.insert(d.name);
+  }
+  for (const FileNode& n : nodes) {
+    if (!is_header(n.path) || !starts_with(n.path, "src/")) continue;
+    const std::string stem = stem_of(n.path);
+    std::set<std::string> seen;  // overloads: one finding per name
+    for (const DeclaredSymbol& f : symbols.at(n.path).api_functions) {
+      if (f.name == "main" || type_names.count(f.name) != 0) continue;
+      if (!seen.insert(f.name).second) continue;
+      const auto it = ref_stems.find(f.name);
+      bool alive = false;
+      if (it != ref_stems.end()) {
+        for (const std::string& s : it->second) {
+          if (s != stem) {
+            alive = true;
+            break;
+          }
+        }
+      }
+      if (alive) continue;
+      add(n.path, f.line, "dead-symbol",
+          "function '" + f.name +
+              "' is declared here but referenced by no file outside " + stem +
+              ".{h,cpp}",
+          f.name);
+    }
+  }
+
+  // ---- lock-order -------------------------------------------------------
+  std::vector<LockNesting> nestings;
+  for (const auto& [path, fl] : locks) {
+    nestings.insert(nestings.end(), fl.nestings.begin(), fl.nestings.end());
+  }
+  for (const LockNesting& n : find_order_cycles(nestings)) {
+    add(n.path, n.line, "lock-order",
+        "acquires '" + n.inner + "' while holding '" + n.outer +
+            "', but the reverse order is also taken somewhere — cycle in "
+            "the global acquisition-order graph",
+        n.outer + "->" + n.inner);
+  }
+
+  // ---- syscall-under-lock ----------------------------------------------
+  for (const auto& [path, fl] : locks) {
+    if (!starts_with(path, "src/")) continue;
+    if (starts_with(path, options.telemetry_prefix)) continue;
+    for (const HeldCall& c : fl.held_calls) {
+      add(path, c.line, "syscall-under-lock",
+          "'" + c.what +
+              "' inside a held-lock region; move the blocking work outside "
+              "the critical section",
+          c.what);
+    }
+  }
+
+  // ---- shard-single-writer ---------------------------------------------
+  std::set<std::string> shard_stems;
+  for (const auto& [path, fl] : locks) {
+    if (fl.declares_shard) shard_stems.insert(stem_of(path));
+  }
+  for (const auto& [path, fl] : locks) {
+    if (shard_stems.count(stem_of(path)) == 0) continue;
+    for (const HeldCall& c : fl.rmw_calls) {
+      add(path, c.line, "shard-single-writer",
+          "atomic RMW '" + c.what +
+              "' in a shard-owning file; shard cells are single-writer and "
+              "use plain load/store",
+          c.what);
+    }
+  }
+
+  // ---- allow-syntax + suppression ---------------------------------------
+  // Valid annotations suppress findings on their own line or the line
+  // below; invalid ones are findings themselves.
+  std::map<std::string, std::vector<AllowAnnotation>> allows;
+  for (const FileNode& n : nodes) {
+    auto anns = parse_allow_annotations(n.lx, kMarker, rule_ids());
+    for (const AllowAnnotation& a : anns) {
+      if (!a.valid) {
+        add(n.path, a.line, "allow-syntax",
+            "malformed archlint allow annotation; expected "
+            "'archlint: allow(<rule>[, <rule>...]) -- <reason>'",
+            "malformed");
+      }
+    }
+    allows.emplace(n.path, std::move(anns));
+  }
+  const auto allowed = [&](const Finding& f) {
+    if (f.rule == "allow-syntax") return false;
+    const auto it = allows.find(f.file);
+    if (it == allows.end()) return false;
+    for (const AllowAnnotation& a : it->second) {
+      if (!a.valid || (a.line != f.line && a.line != f.line - 1)) continue;
+      if (std::find(a.rules.begin(), a.rules.end(), f.rule) != a.rules.end()) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const std::set<std::string> baseline(options.baseline.begin(),
+                                       options.baseline.end());
+  std::vector<ArchFinding> active;
+  std::vector<ArchFinding> grandfathered;
+  for (RawFinding& r : raw) {
+    if (allowed(r.finding)) continue;
+    ArchFinding af;
+    af.key = r.finding.file + "|" + r.finding.rule + "|" + r.detail;
+    af.baselined = baseline.count(af.key) != 0;
+    af.finding = std::move(r.finding);
+    (af.baselined ? grandfathered : active).push_back(std::move(af));
+  }
+  const auto order = [](const ArchFinding& a, const ArchFinding& b) {
+    const Finding& x = a.finding;
+    const Finding& y = b.finding;
+    if (x.file != y.file) return x.file < y.file;
+    if (x.line != y.line) return x.line < y.line;
+    if (x.rule != y.rule) return x.rule < y.rule;
+    return a.key < b.key;
+  };
+  const auto same = [](const ArchFinding& a, const ArchFinding& b) {
+    return a.finding.file == b.finding.file &&
+           a.finding.line == b.finding.line &&
+           a.finding.rule == b.finding.rule && a.key == b.key;
+  };
+  for (auto* vec : {&active, &grandfathered}) {
+    std::sort(vec->begin(), vec->end(), order);
+    vec->erase(std::unique(vec->begin(), vec->end(), same), vec->end());
+  }
+  result.findings = std::move(active);
+  result.suppressed = std::move(grandfathered);
+  return result;
+}
+
+}  // namespace parbor::lint::graph

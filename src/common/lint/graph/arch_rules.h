@@ -1,0 +1,83 @@
+// archlint rule engine: whole-program rules over the include graph, the
+// per-TU symbol tables, and the lock scans.
+//
+// Rule families (ids in rule_ids()):
+//
+//   layering            an include edge the checked-in lint/ARCH.dag does
+//                       not allow: "X includes Y, but layer A does not
+//                       depend on layer B".  Applies to src/ and tools/.
+//   unused-include      IWYU-lite: a resolved project include none of
+//                       whose declared symbols the includer references.
+//   missing-include     the dual: a referenced symbol whose unique
+//                       providing header is reachable only transitively —
+//                       the TU compiles by luck and breaks when an
+//                       intermediate header sheds the include.
+//   dead-symbol         a function declared at namespace/class scope in a
+//                       src/ header that no file outside its own .h/.cpp
+//                       stem pair references.
+//   lock-order          the global acquisition-order graph (locks.h) has a
+//                       cycle; reported at every nested acquisition on the
+//                       cycle.
+//   syscall-under-lock  a blocking call or TraceSpan construction inside a
+//                       held-lock region in non-telemetry src/ code.
+//   shard-single-writer an atomic RMW (fetch_add & friends) in a file
+//                       whose stem pair declares a `struct Shard`; shard
+//                       cells are single-writer by contract and must use
+//                       plain load/store.  Registry-level atomics in such
+//                       files carry an inline allow with the reason.
+//   allow-syntax        a malformed allow annotation (the archlint marker
+//                       with a bad rule list or a missing reason).
+//
+// Suppression mirrors detlint exactly: after the `archlint:` marker,
+//
+//   allow(<rule>[, <rule>...]) -- <reason>
+//
+// on the finding line or the line directly above.  Separately, a baseline
+// file (lint/archlint_baseline.json) can grandfather pre-existing findings
+// by stable key — (file, rule, detail), deliberately line-free so findings
+// do not escape the baseline by drifting a few lines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/lint/graph/include_graph.h"
+#include "common/lint/rules.h"
+
+namespace parbor::lint::graph {
+
+// All archlint rule ids, sorted.
+const std::vector<std::string>& rule_ids();
+
+struct ArchFinding {
+  Finding finding;
+  // "file|rule|detail" — line-free stable identity for the baseline.
+  std::string key;
+  bool baselined = false;  // matched the baseline (suppressed but counted)
+};
+
+struct AnalysisOptions {
+  // Paths under these prefixes get the structural rules (layering,
+  // include hygiene, lock discipline); everything scanned still
+  // contributes references for dead-symbol.
+  std::vector<std::string> structural_roots = {"src/", "tools/"};
+  // Held-region blocking calls are legal here (the telemetry plane exists
+  // to observe; its writers flush under their own locks by design).
+  std::string telemetry_prefix = "src/common/telemetry/";
+  // Baseline keys to suppress (sorted or not; matched exactly).
+  std::vector<std::string> baseline;
+};
+
+struct AnalysisResult {
+  std::vector<ArchFinding> findings;   // active, sorted (file, line, rule)
+  std::vector<ArchFinding> suppressed; // baselined, same order
+  std::size_t files_scanned = 0;
+};
+
+// Runs every rule family over the tree.  `dag` may be empty (no layering
+// checks); fixture mini-trees opt in by shipping their own ARCH.dag.
+AnalysisResult analyze_tree(const std::vector<SourceFile>& files,
+                            const ArchDag& dag,
+                            const AnalysisOptions& options = {});
+
+}  // namespace parbor::lint::graph

@@ -1,0 +1,269 @@
+#include "common/lint/graph/graph_runner.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/lint/runner.h"
+
+namespace parbor::lint::graph {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool slurp(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+std::string to_slashes(std::string s) {
+  std::replace(s.begin(), s.end(), '\\', '/');
+  return s;
+}
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cpp";
+}
+
+}  // namespace
+
+std::vector<SourceFile> load_tree(const std::string& root,
+                                  std::vector<std::string>* io_errors) {
+  std::vector<SourceFile> out;
+  for (const std::string& rel : collect_tree_files(root)) {
+    const std::string full = root.empty() ? rel : root + "/" + rel;
+    std::string content;
+    if (!slurp(full, content)) {
+      if (io_errors != nullptr) io_errors->push_back(full);
+      continue;
+    }
+    out.push_back({rel, std::move(content)});
+  }
+  return out;
+}
+
+TreeRunResult run_tree(const std::string& root, const std::string& dag_path,
+                       const std::string& baseline_path) {
+  TreeRunResult result;
+
+  ArchDag dag;
+  if (!dag_path.empty()) {
+    const std::string full = root.empty() ? dag_path : root + "/" + dag_path;
+    std::string text;
+    if (!slurp(full, text)) {
+      result.config_error = "cannot read DAG file " + full;
+      return result;
+    }
+    std::string error;
+    if (!ArchDag::parse(text, &dag, &error)) {
+      result.config_error = dag_path + ": " + error;
+      return result;
+    }
+  }
+
+  AnalysisOptions options;
+  if (!baseline_path.empty()) {
+    const std::string full =
+        root.empty() ? baseline_path : root + "/" + baseline_path;
+    std::string error;
+    if (!load_baseline(full, &options.baseline, &error)) {
+      result.config_error = error;
+      return result;
+    }
+  }
+
+  const std::vector<SourceFile> files = load_tree(root, &result.io_errors);
+  result.files_loaded = files.size();
+  result.analysis = analyze_tree(files, dag, options);
+  return result;
+}
+
+bool load_baseline(const std::string& path, std::vector<std::string>* keys,
+                   std::string* error) {
+  std::string text;
+  if (!slurp(path, text)) return true;  // missing baseline == empty baseline
+  try {
+    const JsonValue doc = JsonValue::parse(text);
+    for (const JsonValue& k : doc.at("keys").items()) {
+      keys->push_back(k.as_string());
+    }
+  } catch (const std::exception& e) {
+    if (error != nullptr) {
+      *error = "malformed baseline " + path + ": " + e.what();
+    }
+    return false;
+  }
+  return true;
+}
+
+std::string baseline_to_json(const std::vector<ArchFinding>& findings) {
+  std::vector<std::string> keys;
+  for (const ArchFinding& f : findings) keys.push_back(f.key);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  JsonWriter w;
+  w.begin_object();
+  w.field("tool", "archlint");
+  w.key("keys");
+  w.begin_array();
+  for (const std::string& k : keys) w.value(k);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string report_to_json(const TreeRunResult& result) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("tool", "archlint");
+  w.field("files_scanned",
+          static_cast<std::uint64_t>(result.analysis.files_scanned));
+  w.field("finding_count",
+          static_cast<std::uint64_t>(result.analysis.findings.size()));
+  w.field("baselined_count",
+          static_cast<std::uint64_t>(result.analysis.suppressed.size()));
+  w.key("rules");
+  w.begin_array();
+  for (const std::string& r : rule_ids()) w.value(r);
+  w.end_array();
+  const auto emit = [&](const char* name,
+                        const std::vector<ArchFinding>& findings) {
+    w.key(name);
+    w.begin_array();
+    for (const ArchFinding& f : findings) {
+      w.begin_object();
+      w.field("file", f.finding.file);
+      w.field("line", static_cast<std::int64_t>(f.finding.line));
+      w.field("rule", f.finding.rule);
+      w.field("message", f.finding.message);
+      w.field("key", f.key);
+      w.end_object();
+    }
+    w.end_array();
+  };
+  emit("findings", result.analysis.findings);
+  emit("baselined", result.analysis.suppressed);
+  w.end_object();
+  return w.str();
+}
+
+std::string dag_to_text(const ArchDag& dag) {
+  std::string out;
+  for (const ArchLayer& l : dag.layers()) {
+    out += "layer " + l.name;
+    for (const std::string& p : l.prefixes) out += " " + p;
+    out += "\n";
+  }
+  for (const auto& [from, to] : dag.edges()) {
+    out += "allow " + from + " -> " + to + "\n";
+  }
+  return out;
+}
+
+bool graph_self_test(const std::string& fixtures_root, std::string& log) {
+  std::error_code ec;
+  std::vector<std::string> trees;
+  for (fs::directory_iterator it(fixtures_root, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_directory()) trees.push_back(it->path().filename().string());
+  }
+  std::sort(trees.begin(), trees.end());
+  if (trees.empty()) {
+    log += "self-test: no fixture mini-trees under " + fixtures_root + "\n";
+    return false;
+  }
+
+  bool ok = true;
+  std::size_t total_expected = 0;
+  for (const std::string& tree : trees) {
+    const fs::path base = fs::path(fixtures_root) / tree;
+
+    std::vector<SourceFile> files;
+    for (fs::recursive_directory_iterator it(base, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      if (!it->is_regular_file() || !lintable_extension(it->path())) continue;
+      std::string content;
+      if (!slurp(it->path().string(), content)) {
+        log += "self-test: cannot read " + it->path().string() + "\n";
+        ok = false;
+        continue;
+      }
+      const std::string rel =
+          to_slashes(fs::relative(it->path(), base, ec).generic_string());
+      files.push_back({rel, std::move(content)});
+    }
+    std::sort(files.begin(), files.end(),
+              [](const SourceFile& a, const SourceFile& b) {
+                return a.path < b.path;
+              });
+    if (files.empty()) {
+      log += "self-test: mini-tree " + tree + " holds no lintable files\n";
+      ok = false;
+      continue;
+    }
+
+    ArchDag dag;
+    std::string dag_text;
+    if (slurp((base / "ARCH.dag").string(), dag_text)) {
+      std::string error;
+      if (!ArchDag::parse(dag_text, &dag, &error)) {
+        log += "self-test: " + tree + "/" + error + "\n";
+        ok = false;
+        continue;
+      }
+    }
+
+    const AnalysisResult analysis = analyze_tree(files, dag);
+
+    // Expectations are inline `archlint: expect(<rule>)` markers; matching
+    // is exact in both directions, keyed (file, line, rule).
+    std::vector<std::pair<std::string, std::pair<int, std::string>>> expected;
+    for (const SourceFile& f : files) {
+      for (const auto& e : expected_findings_in(lex(f.content), "archlint:")) {
+        expected.push_back({f.path, e});
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    total_expected += expected.size();
+
+    std::vector<std::pair<std::string, std::pair<int, std::string>>> actual;
+    for (const ArchFinding& f : analysis.findings) {
+      actual.push_back({f.finding.file, {f.finding.line, f.finding.rule}});
+    }
+    std::sort(actual.begin(), actual.end());
+
+    for (const auto& e : expected) {
+      if (!std::binary_search(actual.begin(), actual.end(), e)) {
+        log += "self-test: " + tree + "/" + e.first + ":" +
+               std::to_string(e.second.first) + " expected rule '" +
+               e.second.second + "' to fire, but it did not\n";
+        ok = false;
+      }
+    }
+    for (const auto& a : actual) {
+      if (!std::binary_search(expected.begin(), expected.end(), a)) {
+        log += "self-test: " + tree + "/" + a.first + ":" +
+               std::to_string(a.second.first) + " rule '" + a.second.second +
+               "' fired without a matching 'archlint: expect(...)' marker\n";
+        ok = false;
+      }
+    }
+  }
+  if (ok && total_expected == 0) {
+    log += "self-test: mini-trees exist but annotate no expected findings; "
+           "the rules are not being exercised\n";
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace parbor::lint::graph

@@ -1,0 +1,59 @@
+// archlint driver: disk tree loading, the baseline file, report
+// serialization, DAG printing, and the fixture-mini-tree self-test.  Split
+// from arch_rules so tests can analyze in-memory trees and the CLI stays a
+// thin flag parser, mirroring the detlint runner one directory up.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/lint/graph/arch_rules.h"
+#include "common/lint/graph/include_graph.h"
+
+namespace parbor::lint::graph {
+
+struct TreeRunResult {
+  AnalysisResult analysis;
+  std::size_t files_loaded = 0;
+  std::vector<std::string> io_errors;  // unreadable paths
+  // Non-empty when lint/ARCH.dag (or the baseline) failed to parse — a
+  // configuration error, exit code 2 territory, never a finding.
+  std::string config_error;
+};
+
+// Every *.h / *.cpp under the detlint lint roots of `root`, loaded into
+// memory with repo-relative forward-slash paths.  tests/lint/fixtures/ is
+// excluded (the self-test owns it).
+std::vector<SourceFile> load_tree(const std::string& root,
+                                  std::vector<std::string>* io_errors);
+
+// Full pipeline: load the tree, parse `dag_path` (relative to root;
+// "" skips layering), load `baseline_path` ("" or a missing file means an
+// empty baseline), analyze.  Parse failures land in config_error.
+TreeRunResult run_tree(const std::string& root, const std::string& dag_path,
+                       const std::string& baseline_path);
+
+// Baseline file format: {"tool":"archlint","keys":[...]} — written by
+// --write-baseline, read on every run.  Returns false and sets *error on a
+// malformed file; a missing file is an empty baseline and succeeds.
+bool load_baseline(const std::string& path, std::vector<std::string>* keys,
+                   std::string* error);
+std::string baseline_to_json(const std::vector<ArchFinding>& findings);
+
+// Machine-readable report (stable key order, sorted findings, each with
+// its baseline key so --write-baseline output can be audited).
+std::string report_to_json(const TreeRunResult& result);
+
+// Human-readable dump of a parsed ARCH.dag: layers with their prefixes,
+// then the allowed edges, sorted.
+std::string dag_to_text(const ArchDag& dag);
+
+// Runs every fixture mini-tree under `fixtures_root` (one subdirectory per
+// tree, each a miniature repo with src/ and optionally its own ARCH.dag at
+// the tree root).  Each tree's findings must match its inline
+// `archlint: expect(<rule>)` markers exactly, in both directions; an empty
+// fixture root, a tree with no files, or zero expectations overall fails.
+// Appends human-readable mismatches to `log`.
+bool graph_self_test(const std::string& fixtures_root, std::string& log);
+
+}  // namespace parbor::lint::graph

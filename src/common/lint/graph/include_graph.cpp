@@ -1,0 +1,241 @@
+#include "common/lint/graph/include_graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace parbor::lint::graph {
+
+namespace {
+
+std::string dirname_of(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? std::string()
+                                         : std::string(path.substr(0, slash));
+}
+
+// Collapses "a/b/../c" and "./c" so sibling-relative includes resolve to
+// canonical repo-relative paths.
+std::string normalize(std::string_view path) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t slash = path.find('/', start);
+    if (slash == std::string_view::npos) slash = path.size();
+    const std::string_view part = path.substr(start, slash - start);
+    start = slash + 1;
+    if (part.empty() || part == ".") continue;
+    if (part == "..") {
+      if (!parts.empty()) parts.pop_back();
+      continue;
+    }
+    parts.emplace_back(part);
+  }
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += '/';
+    out += p;
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace
+
+IncludeGraph IncludeGraph::build(const std::vector<SourceFile>& files) {
+  IncludeGraph g;
+  g.nodes_.reserve(files.size());
+  for (const SourceFile& f : files) {
+    FileNode node;
+    node.path = f.path;
+    node.lx = lex(f.content);
+    g.nodes_.push_back(std::move(node));
+  }
+  std::sort(g.nodes_.begin(), g.nodes_.end(),
+            [](const FileNode& a, const FileNode& b) { return a.path < b.path; });
+  for (std::size_t i = 0; i < g.nodes_.size(); ++i) {
+    g.index_[g.nodes_[i].path] = i;
+  }
+  for (FileNode& node : g.nodes_) {
+    const std::string dir = dirname_of(node.path);
+    for (const IncludeTarget& t : include_targets(node.lx)) {
+      ResolvedInclude inc;
+      inc.target = t.path;
+      inc.system = t.system;
+      inc.line = t.line;
+      const std::string candidates[] = {
+          dir.empty() ? t.path : normalize(dir + "/" + t.path),
+          "src/" + t.path,
+          "tools/" + t.path,
+          normalize(t.path),
+      };
+      for (const std::string& c : candidates) {
+        if (g.index_.count(c) != 0) {
+          inc.resolved = c;
+          break;
+        }
+      }
+      node.includes.push_back(std::move(inc));
+    }
+  }
+  return g;
+}
+
+const FileNode* IncludeGraph::node(std::string_view path) const {
+  const auto it = index_.find(path);
+  return it == index_.end() ? nullptr : &nodes_[it->second];
+}
+
+std::vector<std::string> IncludeGraph::transitive_includes(
+    std::string_view path) const {
+  std::set<std::string> seen;
+  std::vector<const FileNode*> stack;
+  if (const FileNode* start = node(path)) stack.push_back(start);
+  while (!stack.empty()) {
+    const FileNode* n = stack.back();
+    stack.pop_back();
+    for (const ResolvedInclude& inc : n->includes) {
+      if (inc.resolved.empty() || inc.resolved == path) continue;
+      if (!seen.insert(inc.resolved).second) continue;
+      if (const FileNode* next = node(inc.resolved)) stack.push_back(next);
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+bool ArchDag::parse(std::string_view text, ArchDag* out, std::string* error) {
+  ArchDag dag;
+  std::set<std::string> layer_names;
+  std::set<std::pair<std::string, std::string>> edge_set;
+  int line_no = 0;
+  std::size_t start = 0;
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = "ARCH.dag:" + std::to_string(line_no) + ": " + what;
+    }
+    return false;
+  };
+  while (start <= text.size() && start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string_view line = text.substr(start, nl - start);
+    start = nl + 1;
+    ++line_no;
+    // Strip a trailing comment and surrounding whitespace.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    std::vector<std::string> words;
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+      while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+      std::size_t end = pos;
+      while (end < line.size() && line[end] != ' ' && line[end] != '\t') ++end;
+      if (end > pos) words.emplace_back(line.substr(pos, end - pos));
+      pos = end;
+    }
+    if (words.empty()) continue;
+
+    if (words[0] == "layer") {
+      if (words.size() < 3) {
+        return fail("expected 'layer <name> <prefix> [<prefix>...]'");
+      }
+      if (!layer_names.insert(words[1]).second) {
+        return fail("duplicate layer '" + words[1] + "'");
+      }
+      ArchLayer layer;
+      layer.name = words[1];
+      layer.prefixes.assign(words.begin() + 2, words.end());
+      dag.layers_.push_back(std::move(layer));
+      continue;
+    }
+    if (words[0] == "allow") {
+      if (words.size() < 4 || words[2] != "->") {
+        return fail("expected 'allow <from> -> <to> [<to>...]'");
+      }
+      if (layer_names.count(words[1]) == 0) {
+        return fail("unknown layer '" + words[1] + "' in allow");
+      }
+      for (std::size_t i = 3; i < words.size(); ++i) {
+        if (layer_names.count(words[i]) == 0) {
+          return fail("unknown layer '" + words[i] + "' in allow");
+        }
+        if (words[i] != words[1]) edge_set.emplace(words[1], words[i]);
+      }
+      continue;
+    }
+    return fail("unknown directive '" + words[0] +
+                "' (expected 'layer' or 'allow')");
+  }
+  dag.edges_.assign(edge_set.begin(), edge_set.end());
+
+  // The allow relation must be a DAG: an architecture that permits mutual
+  // dependency cannot order its layers, so reject it at parse time.
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [from, to] : dag.edges_) adj[from].push_back(to);
+  std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+  // Iterative DFS with an explicit exit marker per node.
+  for (const ArchLayer& l : dag.layers_) {
+    if (state[l.name] != 0) continue;
+    std::vector<std::pair<std::string, bool>> stack = {{l.name, false}};
+    while (!stack.empty()) {
+      auto [name, exiting] = stack.back();
+      stack.pop_back();
+      if (exiting) {
+        state[name] = 2;
+        continue;
+      }
+      if (state[name] == 2) continue;
+      if (state[name] == 1) continue;
+      state[name] = 1;
+      stack.emplace_back(name, true);
+      for (const std::string& next : adj[name]) {
+        if (state[next] == 1) {
+          line_no = 0;
+          return fail("allow relation has a cycle through '" + name +
+                      "' and '" + next + "'");
+        }
+        if (state[next] == 0) stack.emplace_back(next, false);
+      }
+    }
+  }
+
+  if (out != nullptr) *out = std::move(dag);
+  return true;
+}
+
+std::string ArchDag::layer_of(std::string_view path) const {
+  std::string best;
+  std::size_t best_len = 0;
+  for (const ArchLayer& l : layers_) {
+    for (const std::string& p : l.prefixes) {
+      if (p.size() >= best_len && starts_with(path, p)) {
+        best = l.name;
+        best_len = p.size();
+      }
+    }
+  }
+  return best;
+}
+
+std::string ArchDag::layer_of_include(const ResolvedInclude& inc) const {
+  if (!inc.resolved.empty()) return layer_of(inc.resolved);
+  if (inc.system) return "";
+  // Unresolved project-style includes (generated headers, deleted files)
+  // still classify by target text so they cannot dodge layering.
+  const std::string as_src = "src/" + inc.target;
+  const std::string layer = layer_of(as_src);
+  if (!layer.empty()) return layer;
+  return layer_of(inc.target);
+}
+
+bool ArchDag::allows(std::string_view from, std::string_view to) const {
+  if (from.empty() || to.empty() || from == to) return true;
+  for (const auto& [f, t] : edges_) {
+    if (f == from && t == to) return true;
+  }
+  return false;
+}
+
+}  // namespace parbor::lint::graph

@@ -1,0 +1,121 @@
+// Whole-program include graph for archlint.
+//
+// detlint (../rules.h) sees one translation unit at a time; everything in
+// this directory sees the tree at once.  The include graph is the spine of
+// that view: every lintable file is a node, every resolved project
+// `#include` is an edge, and the checked-in `lint/ARCH.dag` assigns nodes
+// to named layers and says which layer→layer edges are legal.  Layering
+// violations, unused includes, and compile-by-luck transitive includes are
+// all questions about this graph.
+//
+// Resolution is deliberately simple and deterministic: an include target
+// like "common/json.h" is looked up, in order, as
+//   <dir of includer>/<target>,  src/<target>,  tools/<target>,  <target>
+// against the set of scanned files.  A target that resolves to none of
+// them (system headers, the generated build_info_gen.h) stays unresolved:
+// it forms no edge and is exempt from hygiene checks, but it still has a
+// *layer* when "src/<target>" matches an ARCH.dag prefix, so a generated
+// or deleted header cannot dodge the layering rules.
+//
+// The ARCH.dag grammar (see lint/ARCH.dag for the live instance):
+//
+//   # comment                      blank lines and #-lines are skipped
+//   layer <name> <prefix> [...]    files under any prefix belong to <name>;
+//                                  the longest matching prefix wins, so
+//                                  src/common/telemetry/ can be a distinct
+//                                  layer inside src/common/
+//   allow <from> -> <to> [...]     <from> may include headers of <to>
+//
+// Every layer may include itself; the allow relation must be acyclic
+// (parse() rejects a cyclic DAG — an architecture file that permits
+// mutual dependency is a config error, not a lint finding).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/lint/lexer.h"
+
+namespace parbor::lint::graph {
+
+// One file of the analyzed tree, by repo-relative path (forward slashes).
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+// A directed include edge as written, plus where it landed.
+struct ResolvedInclude {
+  std::string target;    // literal include text, e.g. "common/json.h"
+  bool system = false;   // <...> vs "..."
+  int line = 0;
+  std::string resolved;  // repo-relative path of the node, "" if unresolved
+};
+
+struct FileNode {
+  std::string path;
+  LexedSource lx;
+  std::vector<ResolvedInclude> includes;
+};
+
+class IncludeGraph {
+ public:
+  // Lexes every file and resolves every include against the set.  File
+  // order in `files` does not matter; nodes are stored sorted by path.
+  static IncludeGraph build(const std::vector<SourceFile>& files);
+
+  const std::vector<FileNode>& nodes() const { return nodes_; }
+  const FileNode* node(std::string_view path) const;
+
+  // Every path reachable from `path` through resolved includes, excluding
+  // `path` itself, sorted.  Cycles (include guards make them legal) are
+  // handled; each node appears once.
+  std::vector<std::string> transitive_includes(std::string_view path) const;
+
+ private:
+  std::vector<FileNode> nodes_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+struct ArchLayer {
+  std::string name;
+  std::vector<std::string> prefixes;
+};
+
+class ArchDag {
+ public:
+  // Parses the grammar above.  On failure returns false and describes the
+  // problem (line number included) in `*error`: malformed line, duplicate
+  // layer, unknown layer name in an allow line, or a cycle in the allow
+  // relation.
+  static bool parse(std::string_view text, ArchDag* out, std::string* error);
+
+  bool empty() const { return layers_.empty(); }
+  const std::vector<ArchLayer>& layers() const { return layers_; }
+  // Sorted (from, to) pairs, exactly as allowed (self-edges not listed).
+  const std::vector<std::pair<std::string, std::string>>& edges() const {
+    return edges_;
+  }
+
+  // Layer of a repo-relative file path by longest matching prefix; "" when
+  // no prefix matches (tests/, bench/, examples/ are typically unlayered).
+  std::string layer_of(std::string_view path) const;
+
+  // Layer an include *target* points into: the layer of the resolved path
+  // when available, else of "src/<target>" or "<target>".  "" for system
+  // and other out-of-tree targets.
+  std::string layer_of_include(const ResolvedInclude& inc) const;
+
+  // True when `from` may include headers of `to` (always true for
+  // from == to and for any empty layer name).
+  bool allows(std::string_view from, std::string_view to) const;
+
+ private:
+  std::vector<ArchLayer> layers_;
+  std::vector<std::pair<std::string, std::string>> edges_;
+};
+
+}  // namespace parbor::lint::graph

@@ -1,0 +1,215 @@
+#include "common/lint/graph/locks.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace parbor::lint::graph {
+
+namespace {
+
+const char* const kGuardTypes[] = {
+    "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+};
+
+// Blocking calls banned while a lock is held (call position): raw
+// syscalls, stdio that reaches the filesystem, and this repository's own
+// file-sink helpers (common/fileio.h, which fsync-flush under the hood).
+const char* const kBlockingCalls[] = {
+    "rename",  "fsync",  "fdatasync", "fopen",
+    "fwrite",  "fread",  "unlink",    "pread",
+    "pwrite",  "system", "write",     "read",
+    "write_text_file", "append_text_file", "probe_writable_file",
+};
+
+const char* const kRmwCalls[] = {
+    "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+    "exchange",  "compare_exchange_weak",  "compare_exchange_strong",
+};
+
+template <typename Array>
+bool contains(const Array& arr, std::string_view s) {
+  for (const char* e : arr) {
+    if (s == e) return true;
+  }
+  return false;
+}
+
+std::string stem_of(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  const std::size_t slash = path.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path;
+  }
+  return path.substr(0, dot);
+}
+
+}  // namespace
+
+FileLocks scan_locks(const std::string& path, const LexedSource& lx) {
+  FileLocks out;
+  const auto& toks = lx.tokens;
+  const std::string stem = stem_of(path);
+
+  // Brace depth of every token, so a guard's region can extend to the end
+  // of its enclosing scope.
+  std::vector<int> depth(toks.size(), 0);
+  {
+    int d = 0;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind == TokKind::kPunct) {
+        if (toks[i].text == "{") ++d;
+        if (toks[i].text == "}") d = std::max(0, d - 1);
+      }
+      depth[i] = d;
+    }
+  }
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+
+    if (t.text == "struct" && i + 1 < toks.size() &&
+        toks[i + 1].kind == TokKind::kIdent && toks[i + 1].text == "Shard") {
+      out.declares_shard = true;
+    }
+    if (contains(kRmwCalls, t.text) && i + 1 < toks.size() &&
+        toks[i + 1].kind == TokKind::kPunct && toks[i + 1].text == "(") {
+      out.rmw_calls.push_back({t.text, t.line});
+    }
+
+    if (!contains(kGuardTypes, t.text)) continue;
+    // `lock_guard [<...>] name ( first-arg [, ...] )`
+    std::size_t j = i + 1;
+    if (j < toks.size() && toks[j].kind == TokKind::kPunct &&
+        toks[j].text == "<") {
+      int angle = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].kind != TokKind::kPunct) continue;
+        if (toks[j].text == "<") ++angle;
+        if (toks[j].text == ">" && --angle == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::kIdent) continue;
+    ++j;  // past the variable name
+    if (j >= toks.size() || toks[j].kind != TokKind::kPunct ||
+        toks[j].text != "(") {
+      continue;
+    }
+    // First constructor argument, normalized by concatenation.
+    std::string spelling;
+    bool qualified = false;
+    int paren = 1;
+    for (++j; j < toks.size() && paren > 0; ++j) {
+      const Token& a = toks[j];
+      if (a.kind == TokKind::kPunct) {
+        if (a.text == "(") ++paren;
+        if (a.text == ")" && --paren == 0) break;
+        if (a.text == "," && paren == 1) break;
+        qualified = true;
+        spelling += a.text == "::" ? "::" : a.text;
+        continue;
+      }
+      spelling += a.text;
+    }
+    if (spelling.empty()) continue;
+
+    LockAcquisition acq;
+    acq.spelling = spelling;
+    // A bare member/local name is class-scoped: key it by the file stem so
+    // the .h/.cpp pair agree and other files' same-named members do not
+    // alias.  Anything qualified keys globally by spelling.
+    acq.key = qualified ? spelling : stem + "::" + spelling;
+    acq.line = t.line;
+    acq.tok_index = i;
+    const int decl_depth = depth[i];
+    std::size_t end = toks.size();
+    for (std::size_t k = i + 1; k < toks.size(); ++k) {
+      if (depth[k] < decl_depth) {
+        end = k;
+        break;
+      }
+    }
+    acq.region_end = end;
+    out.acquisitions.push_back(std::move(acq));
+  }
+
+  // Nested acquisitions and banned calls inside held regions.
+  for (const LockAcquisition& a : out.acquisitions) {
+    for (const LockAcquisition& b : out.acquisitions) {
+      if (b.tok_index <= a.tok_index || b.tok_index >= a.region_end) continue;
+      if (b.key == a.key) continue;
+      out.nestings.push_back({a.key, b.key, path, b.line});
+    }
+    for (std::size_t k = a.tok_index + 1; k < a.region_end; ++k) {
+      const Token& t = toks[k];
+      if (t.kind != TokKind::kIdent) continue;
+      if (t.text == "TraceSpan") {
+        out.held_calls.push_back({t.text, t.line});
+        continue;
+      }
+      if (!contains(kBlockingCalls, t.text)) continue;
+      if (k + 1 >= toks.size() || toks[k + 1].kind != TokKind::kPunct ||
+          toks[k + 1].text != "(") {
+        continue;
+      }
+      if (k > 0 && toks[k - 1].kind == TokKind::kPunct) {
+        const std::string& p = toks[k - 1].text;
+        // Member calls on some object (stream.write, os->write) are not
+        // the banned free functions; `->` lexes as two punct tokens.
+        if (p == ".") continue;
+        if (p == ">" && k > 1 && toks[k - 2].kind == TokKind::kPunct &&
+            toks[k - 2].text == "-") {
+          continue;
+        }
+      }
+      out.held_calls.push_back({t.text, t.line});
+    }
+  }
+  std::sort(out.nestings.begin(), out.nestings.end());
+  out.nestings.erase(std::unique(out.nestings.begin(), out.nestings.end(),
+                                 [](const LockNesting& x, const LockNesting& y) {
+                                   return x.outer == y.outer &&
+                                          x.inner == y.inner &&
+                                          x.path == y.path && x.line == y.line;
+                                 }),
+                     out.nestings.end());
+  return out;
+}
+
+std::vector<LockNesting> find_order_cycles(
+    const std::vector<LockNesting>& nestings) {
+  std::map<std::string, std::set<std::string>> adj;
+  for (const LockNesting& n : nestings) adj[n.outer].insert(n.inner);
+
+  // reachable(from, to) over the acquisition-order graph.
+  const auto reachable = [&](const std::string& from, const std::string& to) {
+    std::set<std::string> seen = {from};
+    std::vector<std::string> stack = {from};
+    while (!stack.empty()) {
+      const std::string cur = stack.back();
+      stack.pop_back();
+      const auto it = adj.find(cur);
+      if (it == adj.end()) continue;
+      for (const std::string& next : it->second) {
+        if (next == to) return true;
+        if (seen.insert(next).second) stack.push_back(next);
+      }
+    }
+    return false;
+  };
+
+  std::vector<LockNesting> out;
+  for (const LockNesting& n : nestings) {
+    // The edge outer→inner is part of a cycle iff inner reaches outer.
+    if (reachable(n.inner, n.outer)) out.push_back(n);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace parbor::lint::graph

@@ -1,0 +1,86 @@
+// Token-level lock-discipline scanning for archlint.
+//
+// The fleet and telemetry planes rely on three written concurrency
+// invariants: locks are acquired in one global order everywhere (PR 6's
+// lease protocol and PR 3's scrape path must never deadlock each other),
+// no blocking I/O or TraceSpan construction happens while a lock is held
+// in non-telemetry code (a worker stalled inside a critical section stalls
+// every thread behind it), and the single-writer metric shards are updated
+// with plain loads/stores, never atomic RMW (the whole point of a
+// per-thread shard is that no other writer exists).  Until archlint these
+// were enforced by comment and code review; this scanner enforces them at
+// the token level.
+//
+// What a "held region" is here: a `std::lock_guard` / `unique_lock` /
+// `scoped_lock` / `shared_lock` declaration opens a region that extends to
+// the end of its enclosing brace scope.  That is the RAII contract; an
+// early `.unlock()` is a documented miss (the region conservatively stays
+// open, which can only over-report — and an inline allow annotation
+// settles any such site).
+//
+// Lock identity: a guard argument that is a single identifier is keyed as
+// `<file stem>::<name>` (the .h/.cpp pair of a class share a stem, so
+// `mutex_` in metrics.h and metrics.cpp is one lock, while `mutex_` in
+// trace.h is another).  A qualified argument (`a.mutex_`, `g_mu`,
+// `Foo::mu`) keys by its normalized spelling alone, so globals order
+// against each other across files.  The ordering graph collects every
+// nested acquisition (outer, inner) pair across the whole tree; any cycle
+// is a lock-order violation reported at each participating inner
+// acquisition.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/lint/lexer.h"
+
+namespace parbor::lint::graph {
+
+struct LockAcquisition {
+  std::string key;        // canonical lock identity (see above)
+  std::string spelling;   // the argument as written, e.g. "mutex_"
+  int line = 0;
+  std::size_t tok_index = 0;   // token index of the guard type
+  std::size_t region_end = 0;  // one past the last token of the region
+};
+
+// One observed nested acquisition: `inner` taken while `outer` is held.
+struct LockNesting {
+  std::string outer;
+  std::string inner;
+  std::string path;
+  int line = 0;  // line of the inner acquisition
+
+  bool operator<(const LockNesting& o) const {
+    return std::tie(outer, inner, path, line) <
+           std::tie(o.outer, o.inner, o.path, o.line);
+  }
+};
+
+// A blocking call (or TraceSpan construction) inside a held region.
+struct HeldCall {
+  std::string what;  // the offending identifier
+  int line = 0;
+};
+
+struct FileLocks {
+  std::vector<LockAcquisition> acquisitions;
+  std::vector<LockNesting> nestings;
+  std::vector<HeldCall> held_calls;
+  bool declares_shard = false;  // file declares a `struct Shard`
+  // Atomic RMW calls (fetch_add & friends) anywhere in the file; only
+  // meaningful for shard-declaring stem pairs.
+  std::vector<HeldCall> rmw_calls;
+};
+
+FileLocks scan_locks(const std::string& path, const LexedSource& lx);
+
+// Edges of every cycle in the global acquisition-order graph, sorted and
+// deduplicated: the (outer, inner) observations whose inner→outer
+// direction is also reachable.  Each returned nesting is a finding site.
+std::vector<LockNesting> find_order_cycles(
+    const std::vector<LockNesting>& nestings);
+
+}  // namespace parbor::lint::graph

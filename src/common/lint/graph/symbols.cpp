@@ -1,0 +1,274 @@
+#include "common/lint/graph/symbols.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace parbor::lint::graph {
+
+namespace {
+
+const char* const kKeywords[] = {
+    "alignas", "alignof", "and", "and_eq", "asm", "auto", "bitand", "bitor",
+    "bool", "break", "case", "catch", "char", "char8_t", "char16_t",
+    "char32_t", "class", "compl", "concept", "const", "consteval",
+    "constexpr", "constinit", "const_cast", "continue", "co_await",
+    "co_return", "co_yield", "decltype", "default", "delete", "do", "double",
+    "dynamic_cast", "else", "enum", "explicit", "export", "extern", "false",
+    "final", "float", "for", "friend", "goto", "if", "inline", "int", "long",
+    "mutable", "namespace", "new", "noexcept", "not", "not_eq", "nullptr",
+    "operator", "or", "or_eq", "override", "private", "protected", "public",
+    "register", "reinterpret_cast", "requires", "return", "short", "signed",
+    "sizeof", "static", "static_assert", "static_cast", "struct", "switch",
+    "template", "this", "thread_local", "throw", "true", "try", "typedef",
+    "typeid", "typename", "union", "unsigned", "using", "virtual", "void",
+    "volatile", "wchar_t", "while", "xor", "xor_eq",
+};
+
+// Tokens that, when directly preceding `name(`, mark `name` as a call or
+// control construct rather than a declarator.
+const char* const kBannedPrev[] = {
+    "return", "case", "new", "delete", "throw", "goto", "sizeof",
+    "co_return", "co_await", "co_yield", "else", "do",
+};
+
+template <typename Array>
+bool contains(const Array& arr, std::string_view s) {
+  for (const char* e : arr) {
+    if (s == e) return true;
+  }
+  return false;
+}
+
+// Scope kinds for the block classifier.
+enum class Scope { kCollect, kOpaque };
+
+// One brace scope: whether declarations collect, whether it is a
+// class-like scope, and (for class scopes) the current access section.
+struct Frame {
+  Scope kind = Scope::kOpaque;
+  bool is_class = false;
+  bool is_public = true;
+};
+
+void add_decl(std::vector<DeclaredSymbol>& out, std::string name, int line) {
+  if (name.empty() || is_cpp_keyword(name)) return;
+  out.push_back({std::move(name), line});
+}
+
+}  // namespace
+
+bool is_cpp_keyword(std::string_view ident) {
+  return contains(kKeywords, ident);
+}
+
+bool FileSymbols::provides(std::string_view name) const {
+  const auto hit = [&](const std::vector<DeclaredSymbol>& xs) {
+    return std::any_of(xs.begin(), xs.end(), [&](const DeclaredSymbol& d) {
+      return d.name == name;
+    });
+  };
+  return hit(types) || hit(functions) || hit(macros);
+}
+
+FileSymbols scan_symbols(const LexedSource& lx) {
+  FileSymbols out;
+  const auto& toks = lx.tokens;
+
+  // ---- references: every identifier, plus identifiers inside directive
+  // bodies so macro-only call sites count.
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kIdent && !is_cpp_keyword(t.text)) {
+      out.referenced.insert(t.text);
+      out.first_ref_line.emplace(t.text, t.line);
+    }
+  }
+  for (const Directive& d : lx.directives) {
+    if (d.text.rfind("#include", 0) == 0) continue;
+    std::size_t i = 0;
+    const std::string& s = d.text;
+    while (i < s.size()) {
+      if (std::isalpha(static_cast<unsigned char>(s[i])) != 0 || s[i] == '_') {
+        std::size_t j = i;
+        while (j < s.size() &&
+               (std::isalnum(static_cast<unsigned char>(s[j])) != 0 ||
+                s[j] == '_')) {
+          ++j;
+        }
+        const std::string word = s.substr(i, j - i);
+        if (!is_cpp_keyword(word)) {
+          out.referenced.insert(word);
+          out.first_ref_line.emplace(word, d.line);
+        }
+        i = j;
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // ---- macros: #define NAME[(...)] ...
+  for (const Directive& d : lx.directives) {
+    constexpr std::string_view kDefine = "#define";
+    if (d.text.rfind(kDefine, 0) != 0) continue;
+    std::size_t i = kDefine.size();
+    while (i < d.text.size() && d.text[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < d.text.size() &&
+           (std::isalnum(static_cast<unsigned char>(d.text[j])) != 0 ||
+            d.text[j] == '_')) {
+      ++j;
+    }
+    if (j > i) add_decl(out.macros, d.text.substr(i, j - i), d.line);
+  }
+
+  // ---- declarations, gated by a scope stack over `{`...`}`.  A block
+  // collects declarations only when the statement that opened it begins a
+  // namespace or class-like scope *and* its parent collects.
+  std::vector<Frame> frames;  // global scope (empty stack) collects
+  auto collecting = [&] {
+    return frames.empty() || frames.back().kind == Scope::kCollect;
+  };
+  // Token index where the current statement began (after the last `;`,
+  // `{`, or `}` at this nesting level); used to classify an opening `{`.
+  std::size_t stmt_begin = 0;
+
+  const auto classify_block = [&](std::size_t open) {
+    Frame f;
+    if (!collecting()) return f;  // opaque
+    bool saw_class_key = false;
+    bool saw_struct_key = false;  // struct/union default to public
+    bool saw_namespace = false;
+    bool saw_enum = false;
+    bool saw_value_ctx = false;  // `=` / `return`: initializer, not a scope
+    for (std::size_t k = stmt_begin; k < open; ++k) {
+      const Token& t = toks[k];
+      if (t.kind == TokKind::kIdent) {
+        if (t.text == "namespace") saw_namespace = true;
+        if (t.text == "class") saw_class_key = true;
+        if (t.text == "struct" || t.text == "union") saw_struct_key = true;
+        if (t.text == "enum") saw_enum = true;
+        if (t.text == "return") saw_value_ctx = true;
+      } else if (t.kind == TokKind::kPunct && t.text == "=") {
+        saw_value_ctx = true;
+      }
+    }
+    if (saw_value_ctx) return f;
+    if (saw_namespace) {
+      f.kind = Scope::kCollect;
+      return f;
+    }
+    if (saw_enum) return f;  // enumerators are a known miss
+    if (saw_class_key || saw_struct_key) {
+      f.kind = Scope::kCollect;
+      f.is_class = true;
+      f.is_public = !saw_class_key || saw_struct_key;
+      return f;
+    }
+    return f;
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "{") {
+        frames.push_back(classify_block(i));
+        stmt_begin = i + 1;
+      } else if (t.text == "}") {
+        if (!frames.empty()) frames.pop_back();
+        stmt_begin = i + 1;
+      } else if (t.text == ";") {
+        stmt_begin = i + 1;
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent || !collecting()) continue;
+
+    // Access sections inside a class scope: `public:` / `private:` /
+    // `protected:` (`:` is a lone token; `::` lexes as one token).
+    if (!frames.empty() && frames.back().is_class &&
+        (t.text == "public" || t.text == "private" || t.text == "protected") &&
+        i + 1 < toks.size() && toks[i + 1].kind == TokKind::kPunct &&
+        toks[i + 1].text == ":") {
+      frames.back().is_public = t.text == "public";
+      continue;
+    }
+
+    const auto next = [&](std::size_t k) -> const Token* {
+      return i + k < toks.size() ? &toks[i + k] : nullptr;
+    };
+
+    // struct/class/union X, enum [class|struct] X.
+    if (t.text == "struct" || t.text == "class" || t.text == "union" ||
+        t.text == "enum") {
+      std::size_t j = i + 1;
+      if (t.text == "enum" && next(1) != nullptr &&
+          next(1)->kind == TokKind::kIdent &&
+          (next(1)->text == "class" || next(1)->text == "struct")) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == TokKind::kIdent &&
+          !is_cpp_keyword(toks[j].text)) {
+        add_decl(out.types, toks[j].text, toks[j].line);
+      }
+      continue;
+    }
+
+    // using X = ...;  (`using namespace` and using-declarations skipped)
+    if (t.text == "using") {
+      const Token* n1 = next(1);
+      const Token* n2 = next(2);
+      if (n1 != nullptr && n1->kind == TokKind::kIdent &&
+          !is_cpp_keyword(n1->text) && n2 != nullptr &&
+          n2->kind == TokKind::kPunct && n2->text == "=") {
+        add_decl(out.types, n1->text, n1->line);
+      }
+      continue;
+    }
+
+    // typedef ... X;
+    if (t.text == "typedef") {
+      const Token* last_ident = nullptr;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks[j].kind == TokKind::kPunct && toks[j].text == ";") break;
+        if (toks[j].kind == TokKind::kIdent && !is_cpp_keyword(toks[j].text)) {
+          last_ident = &toks[j];
+        }
+      }
+      if (last_ident != nullptr) {
+        add_decl(out.types, last_ident->text, last_ident->line);
+      }
+      continue;
+    }
+
+    // Function declarator: `Type name(` — previous token is the tail of a
+    // declarator, next token is `(`.
+    if (is_cpp_keyword(t.text) || i == 0) continue;
+    const Token* n1 = next(1);
+    if (n1 == nullptr || n1->kind != TokKind::kPunct || n1->text != "(") {
+      continue;
+    }
+    const Token& prev = toks[i - 1];
+    const bool prev_declaratorish =
+        (prev.kind == TokKind::kIdent && !contains(kBannedPrev, prev.text) &&
+         prev.text != "operator") ||
+        (prev.kind == TokKind::kPunct &&
+         (prev.text == ">" || prev.text == "*" || prev.text == "&"));
+    if (prev_declaratorish) {
+      add_decl(out.functions, t.text, t.line);
+      const bool in_class = !frames.empty() && frames.back().is_class;
+      if (!in_class || frames.back().is_public) {
+        add_decl(out.api_functions, t.text, t.line);
+      }
+      if (!in_class) add_decl(out.free_functions, t.text, t.line);
+    }
+  }
+
+  std::sort(out.types.begin(), out.types.end());
+  std::sort(out.functions.begin(), out.functions.end());
+  std::sort(out.macros.begin(), out.macros.end());
+  std::sort(out.api_functions.begin(), out.api_functions.end());
+  std::sort(out.free_functions.begin(), out.free_functions.end());
+  return out;
+}
+
+}  // namespace parbor::lint::graph

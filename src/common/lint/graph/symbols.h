@@ -1,0 +1,80 @@
+// Per-TU symbol tables for archlint: what a file *provides* (declares at
+// namespace or class scope) versus what it *references* (any identifier it
+// mentions).  Include hygiene and dead-symbol detection are set operations
+// over these tables.
+//
+// This is a token-level approximation, not a parser, and it is tuned to be
+// an over-approximation of "provides" (which makes unused-include findings
+// conservative) while "references" is exact at the token level:
+//
+//  - types: the identifier after `struct` / `class` / `union` / `enum`
+//    [class|struct], the alias in `using X = ...`, and the name of a
+//    `typedef`;
+//  - functions: an identifier directly followed by `(` whose *preceding*
+//    token looks like the tail of a declarator (another identifier, `>`,
+//    `*`, or `&`) — which matches `LexedSource lex(...)` but not the call
+//    `lex(content)` (preceded by `=`/`(`/`,`), not `obj.method(...)`
+//    (preceded by `.`), and not `Foo::bar(...)` out-of-class definitions
+//    (preceded by `::`, a definition of something declared elsewhere);
+//  - macros: every `#define NAME` from the directive stream;
+//  - declarations are collected only at namespace/class scope — a scope
+//    stack over `{`...`}` classifies each block by the statement that
+//    opened it, so `JsonWriter w(out)` inside an inline function body is
+//    never mistaken for a declaration of `w`;
+//  - references include identifiers inside macro *definitions* (directive
+//    bodies), so a function invoked only through PARBOR_CHECK-style macros
+//    still counts as referenced.
+//
+// Known misses are deliberate and documented in DESIGN.md §4i: enumerator
+// names, operator overloads, and symbols minted by macro expansion are not
+// provided; template parameter names are collected as types (harmless —
+// they only widen "provides").
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/lint/lexer.h"
+
+namespace parbor::lint::graph {
+
+struct DeclaredSymbol {
+  std::string name;
+  int line = 0;
+
+  bool operator<(const DeclaredSymbol& o) const {
+    return name != o.name ? name < o.name : line < o.line;
+  }
+};
+
+struct FileSymbols {
+  std::vector<DeclaredSymbol> types;      // sorted by (name, line)
+  std::vector<DeclaredSymbol> functions;  // sorted by (name, line)
+  std::vector<DeclaredSymbol> macros;     // sorted by (name, line)
+  // Functions reachable from outside the declaring class: namespace-scope
+  // functions plus public member functions (an access-specifier stack over
+  // class scopes tracks public/private).  Dead-symbol candidates — a
+  // private helper used by its own .cpp is not dead API.
+  std::vector<DeclaredSymbol> api_functions;
+  // Namespace-scope functions only.  These create include *demand* for
+  // missing-include: calling a member `bv.set(...)` never requires naming
+  // the header, but calling a free `splitmix64(...)` does.
+  std::vector<DeclaredSymbol> free_functions;
+  std::set<std::string> referenced;       // every identifier mentioned
+  // First line each identifier appears on (token stream, then directives);
+  // missing-include findings anchor here.
+  std::map<std::string, int> first_ref_line;
+
+  bool provides(std::string_view name) const;
+};
+
+FileSymbols scan_symbols(const LexedSource& lx);
+
+// C++ keywords plus the contextual ones (override, final); these are never
+// symbols.
+bool is_cpp_keyword(std::string_view ident);
+
+}  // namespace parbor::lint::graph

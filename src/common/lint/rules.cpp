@@ -108,12 +108,6 @@ bool contains(const Array& arr, std::string_view s) {
 // ---------------------------------------------------------------------------
 // Annotation parsing.
 
-struct AllowAnnotation {
-  int line = 0;
-  std::vector<std::string> rules;
-  bool valid = false;  // every rule id known AND a `-- reason` present
-};
-
 void skip_spaces(std::string_view text, std::size_t& pos) {
   while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
 }
@@ -147,14 +141,15 @@ bool parse_id_list(std::string_view text, std::size_t& pos,
 // Extracts every allow marker in a comment.  Markers with a syntax error,
 // an unknown rule id, or no `-- reason` are reported with valid=false so
 // the caller can turn them into allow-syntax findings.
-void parse_allows(const Comment& comment, std::vector<AllowAnnotation>& out) {
+void parse_allows(const Comment& comment, std::string_view marker,
+                  const std::vector<std::string>& known_rules,
+                  std::vector<AllowAnnotation>& out) {
   const std::string_view text = comment.text;
-  constexpr std::string_view kMarker = "detlint:";
   std::size_t search = 0;
   while (true) {
-    const std::size_t at = text.find(kMarker, search);
+    const std::size_t at = text.find(marker, search);
     if (at == std::string_view::npos) return;
-    std::size_t pos = at + kMarker.size();
+    std::size_t pos = at + marker.size();
     search = pos;
     skip_spaces(text, pos);
     constexpr std::string_view kAllow = "allow(";
@@ -165,8 +160,10 @@ void parse_allows(const Comment& comment, std::vector<AllowAnnotation>& out) {
     bool ok = parse_id_list(text, pos, ann.rules);
     if (ok) {
       for (const std::string& r : ann.rules) {
-        const auto& ids = rule_ids();
-        if (std::find(ids.begin(), ids.end(), r) == ids.end()) ok = false;
+        if (std::find(known_rules.begin(), known_rules.end(), r) ==
+            known_rules.end()) {
+          ok = false;
+        }
       }
     }
     if (ok) {
@@ -393,8 +390,8 @@ std::vector<Finding> lint_source(const std::string& path,
   check_unordered_iter(path, lx, raw);
   check_hygiene(path, lx, raw);
 
-  std::vector<AllowAnnotation> allows;
-  for (const Comment& c : lx.comments) parse_allows(c, allows);
+  const std::vector<AllowAnnotation> allows =
+      parse_allow_annotations(lx, "detlint:", rule_ids());
 
   // A finding is suppressed by a *valid* allow for its rule on the same
   // line or the line directly above.
@@ -435,18 +432,26 @@ std::vector<Finding> lint_source(const std::string& path,
   return out;
 }
 
-std::vector<std::pair<int, std::string>> expected_findings(
-    std::string_view content) {
-  const LexedSource lx = lex(content);
+std::vector<AllowAnnotation> parse_allow_annotations(
+    const LexedSource& lx, std::string_view marker,
+    const std::vector<std::string>& known_rules) {
+  std::vector<AllowAnnotation> out;
+  for (const Comment& c : lx.comments) {
+    parse_allows(c, marker, known_rules, out);
+  }
+  return out;
+}
+
+std::vector<std::pair<int, std::string>> expected_findings_in(
+    const LexedSource& lx, std::string_view marker) {
   std::vector<std::pair<int, std::string>> out;
   for (const Comment& c : lx.comments) {
     const std::string_view text = c.text;
-    constexpr std::string_view kMarker = "detlint:";
     std::size_t search = 0;
     while (true) {
-      const std::size_t at = text.find(kMarker, search);
+      const std::size_t at = text.find(marker, search);
       if (at == std::string_view::npos) break;
-      std::size_t pos = at + kMarker.size();
+      std::size_t pos = at + marker.size();
       search = pos;
       skip_spaces(text, pos);
       constexpr std::string_view kExpect = "expect(";
@@ -461,6 +466,11 @@ std::vector<std::pair<int, std::string>> expected_findings(
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::vector<std::pair<int, std::string>> expected_findings(
+    std::string_view content) {
+  return expected_findings_in(lex(content), "detlint:");
 }
 
 std::string fixture_virtual_path(std::string_view content) {

@@ -42,6 +42,8 @@
 
 namespace parbor::lint {
 
+struct LexedSource;  // lexer.h
+
 struct Finding {
   std::string file;  // repo-relative path, forward slashes
   int line = 0;
@@ -50,6 +52,29 @@ struct Finding {
 
   bool operator==(const Finding&) const = default;
 };
+
+// One `<marker> allow(<rule>[, <rule>...]) -- <reason>` annotation, as
+// parsed from a comment.  `valid` is false on a syntax error, an unknown
+// rule id, or a missing reason — invalid annotations become allow-syntax
+// findings so a typo can never silently suppress.
+struct AllowAnnotation {
+  int line = 0;
+  std::vector<std::string> rules;
+  bool valid = false;
+};
+
+// Extracts every allow annotation whose marker is `marker` (for example
+// "detlint:" or "archlint:") from the comments of `lx`, validating rule
+// ids against `known_rules`.  Shared by detlint and archlint so the two
+// linters speak one suppression grammar.
+std::vector<AllowAnnotation> parse_allow_annotations(
+    const LexedSource& lx, std::string_view marker,
+    const std::vector<std::string>& known_rules);
+
+// `<marker> expect(<rule>[, <rule>...])` markers — the self-test grammar,
+// shared with archlint the same way.  Returns (line, rule) pairs sorted.
+std::vector<std::pair<int, std::string>> expected_findings_in(
+    const LexedSource& lx, std::string_view marker);
 
 // All rule ids, sorted; allow()/expect() annotations must name one of these.
 const std::vector<std::string>& rule_ids();

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/json.h"
@@ -107,6 +110,53 @@ std::string findings_to_json(const RunResult& result) {
   w.end_array();
   w.end_object();
   return w.str();
+}
+
+std::string fix_plan(const std::string& root, const RunResult& result) {
+  // One annotation per (file, line): several rules on one line are one
+  // insertion, exactly as the suppression grammar reads them.
+  std::map<std::pair<std::string, int>, std::set<std::string>> grouped;
+  for (const Finding& f : result.findings) {
+    grouped[{f.file, f.line}].insert(f.rule);
+  }
+
+  std::string out;
+  std::string cached_path;
+  std::vector<std::string> cached_lines;
+  for (const auto& [where, rules] : grouped) {
+    const auto& [file, line] = where;
+    if (file != cached_path) {
+      cached_path = file;
+      cached_lines.clear();
+      std::string content;
+      if (slurp(root.empty() ? file : root + "/" + file, content)) {
+        std::string::size_type start = 0;
+        while (start <= content.size()) {
+          const auto nl = content.find('\n', start);
+          if (nl == std::string::npos) {
+            cached_lines.push_back(content.substr(start));
+            break;
+          }
+          cached_lines.push_back(content.substr(start, nl - start));
+          start = nl + 1;
+        }
+      }
+    }
+    std::string indent;
+    if (line >= 1 && static_cast<std::size_t>(line) <= cached_lines.size()) {
+      const std::string& l = cached_lines[line - 1];
+      const auto text = l.find_first_not_of(" \t");
+      indent = l.substr(0, text == std::string::npos ? 0 : text);
+    }
+    std::string rule_list;
+    for (const std::string& r : rules) {
+      rule_list += (rule_list.empty() ? "" : ", ") + r;
+    }
+    out += file + ":" + std::to_string(line) + ": insert above:\n";
+    out += indent + "// detlint: allow(" + rule_list +
+           ") -- TODO: justify this exception\n";
+  }
+  return out;
 }
 
 bool self_test(const std::string& fixtures_dir, std::string& log) {

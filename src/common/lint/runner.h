@@ -34,6 +34,13 @@ RunResult lint_files(const std::string& root,
 // Machine-readable findings report (stable key order, sorted findings).
 std::string findings_to_json(const RunResult& result);
 
+// Dry-run fixer (`detlint --fix`): for every finding, the exact
+// suppression line to insert above it — indentation copied from the
+// finding line, findings sharing a line merged into one allow(...), and a
+// TODO reason the author must replace (the grammar demands a real one, so
+// pasting blindly is at least grep-able).  Nothing is written to disk.
+std::string fix_plan(const std::string& root, const RunResult& result);
+
 // Runs every fixture under `fixtures_dir`: each file's findings must match
 // its `detlint: expect(...)` annotations exactly, in both directions.  An
 // empty or missing fixture directory fails (a self-test that tests nothing

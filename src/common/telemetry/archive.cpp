@@ -89,6 +89,12 @@ std::string run_record_to_json(const RunRecord& record) {
     w.field("wall_ms", f.wall_ms);
     w.end_object();
   }
+  if (record.with_lint) {
+    w.key("lint").begin_object();
+    w.field("findings", record.lint_findings);
+    w.field("baselined", record.lint_baselined);
+    w.end_object();
+  }
   w.end_object();
   return w.str();
 }
@@ -134,6 +140,12 @@ RunRecord run_record_from_json(const std::string& json) {
     for (const auto& [vendor, vv] : s.at("vendors").members()) {
       r.sweep.vendors.emplace_back(vendor, vendor_summary_from_json(vv));
     }
+  }
+  if (v.has("lint")) {
+    const JsonValue& l = v.at("lint");
+    r.with_lint = true;
+    r.lint_findings = l.at("findings").as_uint();
+    r.lint_baselined = l.at("baselined").as_uint();
   }
   if (v.has("fleet")) {
     const JsonValue& f = v.at("fleet");

@@ -83,6 +83,11 @@ struct RunRecord {
   MetricsRegistry::Snapshot metrics;
   RunSweepSummary sweep;
   RunFleetSummary fleet;
+  // Static-analysis totals (archlint over the tree), so lint debt is a
+  // longitudinal series the drift gate can watch like perf or coverage.
+  bool with_lint = false;
+  std::uint64_t lint_findings = 0;   // active (non-baselined) findings
+  std::uint64_t lint_baselined = 0;  // grandfathered by the baseline file
 };
 
 // One line (no trailing newline); the archive's on-disk record format.

@@ -72,6 +72,10 @@ std::vector<std::pair<std::string, double>> run_series(
       }
     }
   }
+  if (record.with_lint) {
+    out.emplace_back("lint:findings",
+                     static_cast<double>(record.lint_findings));
+  }
   if (record.fleet.present) {
     out.emplace_back("fleet:shards",
                      static_cast<double>(record.fleet.shards));
@@ -148,6 +152,15 @@ DriftReport detect_drift(const std::vector<RunRecord>& history,
       continue;
     }
     const double base = it->second;
+    if (series == "lint:findings") {
+      // Lint debt gates on the absolute comparison: a clean tree's rolling
+      // median is 0, where no ratio can express "one new finding".
+      if (value > base) {
+        report.lint.push_back(
+            {series, value, base, base > 0.0 ? value / base : value});
+      }
+      continue;
+    }
     if (base <= 0.0) continue;  // a zero baseline cannot express a ratio
     const double ratio = value / base;
     if (has_suffix(series, ":cells") && !has_suffix(series, ":random_cells")) {
@@ -182,6 +195,7 @@ std::string drift_report_to_json(const DriftReport& report,
   write_findings(w, "perf", report.perf);
   write_findings(w, "coverage", report.coverage);
   write_findings(w, "budget", report.budget);
+  write_findings(w, "lint", report.lint);
   write_string_array(w, "fresh", report.fresh);
   write_string_array(w, "missing", report.missing);
   w.end_object();

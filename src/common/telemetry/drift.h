@@ -18,6 +18,10 @@
 //  - budget series ("sweep:<vendor>:tests", "sweep:all:tests"): a test
 //    count growing past `budget_max_ratio` × median means PARBOR's
 //    efficiency headline (Table 1) is eroding.
+//  - lint series ("lint:findings", archlint's active finding count): ANY
+//    increase over the median is drift.  A healthy tree sits at zero,
+//    where a ratio threshold cannot express "one new finding", so this
+//    series alone gates on the absolute comparison.
 //
 // A series the candidate measures for the first time is reported as
 // `fresh` (no baseline — nothing to gate); a baseline series the
@@ -55,12 +59,14 @@ struct DriftReport {
   std::vector<DriftFinding> perf;      // got slower
   std::vector<DriftFinding> coverage;  // detects less
   std::vector<DriftFinding> budget;    // spends more tests
+  std::vector<DriftFinding> lint;      // more archlint findings
   std::vector<std::string> fresh;      // candidate series with no history
   std::vector<std::string> missing;    // history series the candidate lacks
   std::size_t history_runs = 0;        // records the baselines drew from
 
   bool clean() const {
-    return perf.empty() && coverage.empty() && budget.empty();
+    return perf.empty() && coverage.empty() && budget.empty() &&
+           lint.empty();
   }
 };
 
@@ -69,6 +75,7 @@ struct DriftReport {
 //   sweep:all:{tests,cells,random_cells} and per-vendor
 //   sweep:<vendor>:{tests,cells,random_cells}
 //   fleet:shards, fleet:shard_rate (shards per wall second, if known)
+//   lint:findings                archlint active findings (lower is better)
 std::vector<std::pair<std::string, double>> run_series(
     const RunRecord& record);
 

@@ -11,6 +11,7 @@ namespace {
 
 std::uint64_t next_registry_uid() {
   static std::atomic<std::uint64_t> counter{1};
+  // archlint: allow(shard-single-writer) -- registry uid counter, not a shard cell
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 

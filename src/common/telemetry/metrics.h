@@ -77,6 +77,7 @@ class MetricsRegistry {
   }
   void gauge_add(Id gauge_id, std::int64_t delta) {
     if (!enabled()) return;
+    // archlint: allow(shard-single-writer) -- gauges are registry-global, multi-writer by design
     gauges_[gauge_id].fetch_add(delta, std::memory_order_relaxed);
   }
   void observe(Id histogram_id, double value);

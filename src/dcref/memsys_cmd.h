@@ -15,7 +15,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/sim_time.h"
 #include "dcref/memsys.h"
+#include "dcref/refresh.h"
 #include "memctrl/commands.h"
 
 namespace parbor::dcref {

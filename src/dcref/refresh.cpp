@@ -1,3 +1,4 @@
+#include "common/rng.h"
 #include "dcref/refresh.h"
 
 namespace parbor::dcref {

@@ -23,7 +23,6 @@
 #include <string>
 #include <unordered_set>
 
-#include "common/rng.h"
 
 namespace parbor::dcref {
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dcref/memsys.h"
+#include "dcref/refresh.h"
 #include "dcref/trace.h"
 
 namespace parbor::dcref {

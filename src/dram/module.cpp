@@ -1,6 +1,7 @@
 #include "dram/module.h"
 
 #include "common/check.h"
+#include "common/rng.h"
 
 namespace parbor::dram {
 

@@ -9,8 +9,8 @@
 #include <string_view>
 #include <vector>
 
-#include "common/rng.h"
 #include "dram/chip.h"
+#include "dram/scramble.h"
 
 namespace parbor::dram {
 

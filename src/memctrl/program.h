@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/bitvec.h"
+#include "common/sim_time.h"
 #include "memctrl/host.h"
 
 namespace parbor::mc {

@@ -2,7 +2,7 @@
 // neighbour-location searches whose cost motivates the whole paper.
 #pragma once
 
-#include "common/rng.h"
+#include "memctrl/host.h"
 #include "parbor/fullchip.h"
 #include "parbor/types.h"
 

@@ -11,6 +11,7 @@
 // real physical neighbourhood.
 #pragma once
 
+#include "memctrl/host.h"
 #include "parbor/fullchip.h"
 
 namespace parbor::core {

@@ -12,6 +12,7 @@
 #include "common/telemetry/metrics.h"
 #include "common/telemetry/progress.h"
 #include "common/telemetry/trace.h"
+#include "parbor/baselines.h"
 
 namespace parbor::core {
 

@@ -22,8 +22,11 @@
 
 #include "common/sim_time.h"
 #include "common/threadpool.h"
-#include "parbor/baselines.h"
+#include "dram/module.h"
+#include "dram/scramble.h"
+#include "parbor/fullchip.h"
 #include "parbor/parbor.h"
+#include "parbor/types.h"
 
 namespace parbor::core {
 

@@ -36,7 +36,10 @@
 #include <string>
 #include <vector>
 
+#include "dram/module.h"
+#include "dram/scramble.h"
 #include "parbor/engine.h"
+#include "parbor/types.h"
 
 namespace parbor::core {
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/telemetry/campaign_obs.h"
+#include "common/telemetry/metrics.h"
 #include "parbor/fleet.h"
 
 namespace parbor::core {

@@ -5,8 +5,8 @@
 
 #include <set>
 
+#include "memctrl/host.h"
 #include "parbor/patterns.h"
-#include "parbor/types.h"
 
 namespace parbor::core {
 

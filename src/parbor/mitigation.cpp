@@ -1,6 +1,5 @@
 #include "parbor/mitigation.h"
 
-#include "common/check.h"
 #include "common/ledger/ledger.h"
 #include "common/telemetry/trace.h"
 

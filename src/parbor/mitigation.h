@@ -9,7 +9,9 @@
 // campaign on the same module.
 #pragma once
 
+#include "memctrl/host.h"
 #include "parbor/fullchip.h"
+#include "parbor/patterns.h"
 
 namespace parbor::core {
 

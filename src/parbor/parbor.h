@@ -10,11 +10,15 @@
 //   // report.total_tests()      -> end-to-end test budget
 #pragma once
 
+#include "memctrl/host.h"
+// archlint: allow(unused-include) -- facade: re-exports the pipeline API
 #include "parbor/baselines.h"
 #include "parbor/fullchip.h"
 #include "parbor/patterns.h"
+// archlint: allow(unused-include) -- facade: re-exports the pipeline API
 #include "parbor/recursive.h"
 #include "parbor/types.h"
+// archlint: allow(unused-include) -- facade: re-exports the pipeline API
 #include "parbor/victims.h"
 
 namespace parbor::core {

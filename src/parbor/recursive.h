@@ -16,6 +16,7 @@
 // accounting t_i = N_{i-1} * S_i (Table 1).
 #pragma once
 
+#include "memctrl/host.h"
 #include "parbor/types.h"
 
 namespace parbor::core {

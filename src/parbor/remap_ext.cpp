@@ -4,7 +4,6 @@
 
 #include "common/bitvec.h"
 #include "common/ledger/ledger.h"
-#include "parbor/recursive.h"
 
 namespace parbor::core {
 

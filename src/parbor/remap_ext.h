@@ -17,6 +17,7 @@
 //     each irregular survivor with (2).
 #pragma once
 
+#include "memctrl/host.h"
 #include "parbor/types.h"
 
 namespace parbor::core {

@@ -12,7 +12,9 @@
 #include <utility>
 #include <vector>
 
+#include "memctrl/host.h"
 #include "parbor/parbor.h"
+#include "parbor/types.h"
 
 namespace parbor::core {
 

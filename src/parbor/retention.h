@@ -11,8 +11,9 @@
 
 #include <set>
 
+#include "common/sim_time.h"
+#include "memctrl/host.h"
 #include "parbor/patterns.h"
-#include "parbor/types.h"
 
 namespace parbor::core {
 

@@ -4,6 +4,7 @@
 
 #include "common/bitvec.h"
 #include "common/ledger/ledger.h"
+#include "common/rng.h"
 
 namespace parbor::core {
 

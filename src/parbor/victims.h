@@ -10,7 +10,7 @@
 // (§5.2.4) deals with them later.
 #pragma once
 
-#include "common/rng.h"
+#include "memctrl/host.h"
 #include "parbor/types.h"
 
 namespace parbor::core {

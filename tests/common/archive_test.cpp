@@ -59,6 +59,9 @@ RunRecord full_record() {
   rec.fleet.workers = 2;
   rec.fleet.stale_takeovers = 1;
   rec.fleet.wall_ms = 4200;
+  rec.with_lint = true;
+  rec.lint_findings = 3;
+  rec.lint_baselined = 12;
   return rec;
 }
 
@@ -80,6 +83,24 @@ TEST(RunArchive, MinimalRecordRoundTrips) {
   EXPECT_FALSE(back.with_metrics);
   EXPECT_FALSE(back.sweep.present);
   EXPECT_FALSE(back.fleet.present);
+  EXPECT_FALSE(back.with_lint);
+}
+
+TEST(RunArchive, LintSectionRoundTripsCounts) {
+  RunRecord rec;
+  rec.id = "9-9";
+  rec.unix_ms = 9;
+  rec.kind = "ci";
+  rec.with_lint = true;
+  rec.lint_findings = 2;
+  rec.lint_baselined = 7;
+  const std::string json = run_record_to_json(rec);
+  EXPECT_NE(json.find("\"lint\":{\"findings\":2,\"baselined\":7}"),
+            std::string::npos);
+  const RunRecord back = run_record_from_json(json);
+  EXPECT_TRUE(back.with_lint);
+  EXPECT_EQ(back.lint_findings, 2u);
+  EXPECT_EQ(back.lint_baselined, 7u);
 }
 
 TEST(RunArchive, RejectsForeignDocumentsAndEmptyIds) {

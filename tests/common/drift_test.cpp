@@ -1,5 +1,5 @@
-// Drift detector: series extraction, rolling medians, and the three gates
-// (perf, coverage, test budget) over archived run history.
+// Drift detector: series extraction, rolling medians, and the four gates
+// (perf, coverage, test budget, lint debt) over archived run history.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -114,6 +114,62 @@ TEST(Drift, CoverageDropAndBudgetGrowthAreFlagged) {
   // A mild change in both directions is clean.
   report = detect_drift(history, sweep_run("ok", 1100, 90));
   EXPECT_TRUE(report.clean());
+}
+
+RunRecord lint_run(const std::string& id, std::uint64_t findings) {
+  RunRecord rec;
+  rec.id = id;
+  rec.unix_ms = 1;
+  rec.kind = "ci";
+  rec.with_lint = true;
+  rec.lint_findings = findings;
+  return rec;
+}
+
+TEST(Drift, LintSeriesIsEmittedOnlyWhenMeasured) {
+  const auto series = run_series(lint_run("r", 4));
+  EXPECT_EQ(series_value(series, "lint:findings"), 4.0);
+  EXPECT_TRUE(run_series(bench_run("b", 1.0)).empty() ||
+              run_series(bench_run("b", 1.0))[0].first != "lint:findings");
+}
+
+TEST(Drift, AnyLintIncreaseOverAZeroMedianIsDrift) {
+  // A healthy tree's rolling median is 0 findings — the one series where
+  // a ratio gate would be blind, so the lint gate is absolute.
+  const std::vector<RunRecord> history = {
+      lint_run("a", 0), lint_run("b", 0), lint_run("c", 0)};
+  DriftReport report = detect_drift(history, lint_run("dirty", 1));
+  ASSERT_EQ(report.lint.size(), 1u);
+  EXPECT_EQ(report.lint[0].series, "lint:findings");
+  EXPECT_EQ(report.lint[0].measured, 1.0);
+  EXPECT_EQ(report.lint[0].baseline, 0.0);
+  EXPECT_FALSE(report.clean());
+  // Staying at zero is clean.
+  report = detect_drift(history, lint_run("still-clean", 0));
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(Drift, LintGateOverANonZeroMedianIsStillAbsolute) {
+  const std::vector<RunRecord> history = {
+      lint_run("a", 4), lint_run("b", 4), lint_run("c", 4)};
+  // One finding over the median trips the gate — no 2x grace.
+  DriftReport report = detect_drift(history, lint_run("worse", 5));
+  ASSERT_EQ(report.lint.size(), 1u);
+  EXPECT_EQ(report.lint[0].baseline, 4.0);
+  EXPECT_EQ(report.lint[0].ratio, 1.25);
+  // Paying down debt (or holding steady) is clean.
+  EXPECT_TRUE(detect_drift(history, lint_run("steady", 4)).clean());
+  EXPECT_TRUE(detect_drift(history, lint_run("better", 1)).clean());
+}
+
+TEST(Drift, LintFindingsAppearInTheReportJson) {
+  const std::vector<RunRecord> history = {lint_run("a", 0),
+                                          lint_run("b", 0)};
+  const DriftReport report = detect_drift(history, lint_run("dirty", 2));
+  const std::string json = drift_report_to_json(report, DriftThresholds{});
+  EXPECT_NE(json.find("\"lint\":[{\"series\":\"lint:findings\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"clean\":false"), std::string::npos);
 }
 
 TEST(Drift, FreshAndMissingSeriesAreInformationalOnly) {

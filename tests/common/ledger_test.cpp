@@ -310,5 +310,16 @@ TEST(Explain, ExplainsMisses) {
   EXPECT_NE(missed.find("MISSED"), std::string::npos);
 }
 
+TEST(ProbeStats, DistinctMasksCountsUniqueMaskValues) {
+  ProbeStats stats;
+  EXPECT_EQ(stats.distinct_masks(), 0u);
+  stats.add(0);
+  stats.add(0);
+  stats.add(7);
+  stats.add(255);
+  EXPECT_EQ(stats.count, 4u);
+  EXPECT_EQ(stats.distinct_masks(), 3u);
+}
+
 }  // namespace
 }  // namespace parbor::ledger

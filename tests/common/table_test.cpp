@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 namespace parbor {
 namespace {
 
@@ -25,6 +27,14 @@ TEST(Table, PadsShortRows) {
 TEST(Table, FormatsDoublesCompactly) {
   EXPECT_EQ(Table::cell_to_string(21.9), "21.9");
   EXPECT_EQ(Table::cell_to_string(0.00012345), "0.0001234");
+}
+
+TEST(Table, PrintStreamsTheSameBytesAsToString) {
+  Table t({"Vendor", "Tests"});
+  t.add("A", 90);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.to_string());
 }
 
 TEST(AsciiBar, ScalesWithValue) {

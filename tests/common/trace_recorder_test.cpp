@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "common/json.h"
@@ -109,6 +110,37 @@ TEST(TraceRecorder, ResetDropsEventsButKeepsEnabled) {
   recorder.reset();
   EXPECT_EQ(recorder.event_count(), 0u);
   EXPECT_TRUE(recorder.enabled());
+}
+
+TEST(TraceRecorder, ArgValueOfPicksTheMatchingKind) {
+  const auto i = TraceRecorder::ArgValue::of(std::int64_t{-3});
+  EXPECT_EQ(i.kind, TraceRecorder::ArgValue::Kind::kInt);
+  EXPECT_EQ(i.i, -3);
+  const auto u = TraceRecorder::ArgValue::of(std::uint64_t{7});
+  EXPECT_EQ(u.kind, TraceRecorder::ArgValue::Kind::kUint);
+  EXPECT_EQ(u.u, 7u);
+  const auto d = TraceRecorder::ArgValue::of(0.5);
+  EXPECT_EQ(d.kind, TraceRecorder::ArgValue::Kind::kDouble);
+  EXPECT_EQ(d.d, 0.5);
+}
+
+TEST(TraceRecorder, CurrentTrackIsThreadLocalAndDefaultsToMain) {
+  EXPECT_EQ(TraceRecorder::current_track(), TraceRecorder::kMainTrack);
+  TraceRecorder::set_current_track(3);
+  EXPECT_EQ(TraceRecorder::current_track(), 3u);
+  std::uint32_t other = 0;
+  std::thread([&other] { other = TraceRecorder::current_track(); }).join();
+  EXPECT_EQ(other, TraceRecorder::kMainTrack);
+  TraceRecorder::set_current_track(TraceRecorder::kMainTrack);
+}
+
+TEST(TraceRecorder, InstantRecordsASingleEventWithArgs) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.instant("tick", TraceRecorder::kMainTrack,
+                   {{"n", TraceRecorder::ArgValue::of(std::int64_t{1})}});
+  EXPECT_EQ(recorder.event_count(), 1u);
+  EXPECT_NE(recorder.dump_json().find("\"tick\""), std::string::npos);
 }
 
 TEST(CheckTraceJson, RejectsUnbalancedAndNonMonotonicTraces) {

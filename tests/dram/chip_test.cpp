@@ -35,6 +35,13 @@ TEST(Chip, SystemWriteReadRoundTripsThroughScrambler) {
   }
 }
 
+TEST(Chip, TemperatureTracksSetTemperature) {
+  Chip chip(quiet_chip(Vendor::kA), Rng(1));
+  EXPECT_EQ(chip.temperature(), 45.0);  // ChipConfig default
+  chip.set_temperature(85.0);
+  EXPECT_EQ(chip.temperature(), 85.0);
+}
+
 TEST(Chip, PermuteToPhysicalMatchesScrambler) {
   Chip chip(quiet_chip(Vendor::kA), Rng(1));
   BitVec sys(512);

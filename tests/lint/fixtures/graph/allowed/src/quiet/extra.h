@@ -1,0 +1,10 @@
+// Graph fixture (never compiled): provides a type nobody references.
+#pragma once
+
+namespace fix {
+
+struct Extra {
+  int pad = 0;
+};
+
+}  // namespace fix

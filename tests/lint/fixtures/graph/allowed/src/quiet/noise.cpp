@@ -1,0 +1,12 @@
+// Graph fixture (never compiled): a valid allow suppresses the unused
+// include below, while a malformed allow (missing reason) is itself a
+// finding — a typo can never silently suppress.
+// archlint: allow(unused-include) -- fixture proves suppression works
+#include "quiet/extra.h"
+
+namespace fix {
+
+// archlint: allow(layering) lacks its reason; archlint: expect(allow-syntax)
+int noise_level() { return 3; }
+
+}  // namespace fix

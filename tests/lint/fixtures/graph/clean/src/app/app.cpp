@@ -1,0 +1,14 @@
+// Graph fixture (never compiled): app -> base is the allowed direction;
+// every include is used and every header symbol is referenced, so the
+// whole tree must come back finding-free.
+#include "base/item.h"
+
+namespace fix {
+
+int app_total() {
+  Item item;
+  item.id = 21;
+  return item_cost(item);
+}
+
+}  // namespace fix

@@ -1,0 +1,8 @@
+// Graph fixture (never compiled): base-layer implementation.
+#include "base/item.h"
+
+namespace fix {
+
+int item_cost(const Item& item) { return item.id * 2; }
+
+}  // namespace fix

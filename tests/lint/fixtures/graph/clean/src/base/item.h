@@ -1,0 +1,12 @@
+// Graph fixture (never compiled): a compliant base-layer interface.
+#pragma once
+
+namespace fix {
+
+struct Item {
+  int id = 0;
+};
+
+int item_cost(const Item& item);
+
+}  // namespace fix

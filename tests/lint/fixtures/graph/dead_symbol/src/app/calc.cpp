@@ -1,0 +1,9 @@
+// Graph fixture (never compiled): the outside reference that keeps
+// doubled() alive while never_called() stays dead.
+#include "lib/mathx.h"
+
+namespace fix {
+
+int calc(int value) { return doubled(value); }
+
+}  // namespace fix

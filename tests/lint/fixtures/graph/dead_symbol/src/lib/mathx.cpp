@@ -1,0 +1,11 @@
+// Graph fixture (never compiled): definitions in the declaring stem do
+// not keep a symbol alive — only outside references do.
+#include "lib/mathx.h"
+
+namespace fix {
+
+int doubled(int value) { return value * 2; }
+
+int never_called(int value) { return value; }
+
+}  // namespace fix

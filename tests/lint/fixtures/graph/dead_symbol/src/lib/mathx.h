@@ -1,0 +1,9 @@
+// Graph fixture (never compiled): one live function, one dead one.
+#pragma once
+
+namespace fix {
+
+int doubled(int value);
+int never_called(int value);  // archlint: expect(dead-symbol)
+
+}  // namespace fix

@@ -1,0 +1,15 @@
+// Graph fixture (never compiled): core reaching up into engine — the
+// planted layering violation the self-test asserts on.
+#pragma once
+
+#include "engine/run.h"  // archlint: expect(layering)
+
+namespace fix {
+
+struct State {
+  int ticks = 0;
+};
+
+inline int advance(State& state) { return run_once(state.ticks); }
+
+}  // namespace fix

@@ -1,0 +1,14 @@
+// Graph fixture (never compiled): engine -> core is the allowed edge.
+#include "engine/run.h"
+
+#include "core/state.h"
+
+namespace fix {
+
+int run_once(int ticks) {
+  State state;
+  state.ticks = ticks;
+  return advance(state);
+}
+
+}  // namespace fix

@@ -1,0 +1,8 @@
+// Graph fixture (never compiled): the engine layer's interface.
+#pragma once
+
+namespace fix {
+
+int run_once(int ticks);
+
+}  // namespace fix

@@ -1,0 +1,21 @@
+// Graph fixture (never compiled): the two halves take g_alpha/g_beta in
+// opposite orders — a cycle in the global acquisition-order graph, so
+// both inner acquisitions are finding sites.
+#include <mutex>
+
+namespace fix {
+
+std::mutex g_alpha;
+std::mutex g_beta;
+
+void forward() {
+  std::lock_guard<std::mutex> first(g_alpha);
+  std::lock_guard<std::mutex> second(g_beta);  // archlint: expect(lock-order)
+}
+
+void backward() {
+  std::lock_guard<std::mutex> first(g_beta);
+  std::lock_guard<std::mutex> second(g_alpha);  // archlint: expect(lock-order)
+}
+
+}  // namespace fix

@@ -1,0 +1,12 @@
+// Graph fixture (never compiled): names Value but reaches value.h only
+// through wrap.h — compiles by luck until wrap.h sheds the include.
+#include "base/wrap.h"
+
+namespace fix {
+
+int use_default() {
+  Value boxed;  // archlint: expect(missing-include)
+  return unwrap(boxed);
+}
+
+}  // namespace fix

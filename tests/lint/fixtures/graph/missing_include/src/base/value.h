@@ -1,0 +1,10 @@
+// Graph fixture (never compiled): the unique provider of Value.
+#pragma once
+
+namespace fix {
+
+struct Value {
+  int v = 0;
+};
+
+}  // namespace fix

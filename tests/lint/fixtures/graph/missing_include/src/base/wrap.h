@@ -1,0 +1,11 @@
+// Graph fixture (never compiled): the intermediate header whose include
+// of value.h the consumer below silently depends on.
+#pragma once
+
+#include "base/value.h"
+
+namespace fix {
+
+inline int unwrap(const Value& boxed) { return boxed.v; }
+
+}  // namespace fix

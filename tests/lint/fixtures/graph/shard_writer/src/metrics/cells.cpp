@@ -1,0 +1,11 @@
+// Graph fixture (never compiled): an atomic RMW in a shard-owning stem —
+// the contract says plain load/store, no other writer exists.
+#include "metrics/cells.h"
+
+namespace fix {
+
+void bump(Shard& shard) {
+  shard.hits.fetch_add(1);  // archlint: expect(shard-single-writer)
+}
+
+}  // namespace fix

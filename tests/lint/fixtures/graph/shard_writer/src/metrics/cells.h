@@ -1,0 +1,13 @@
+// Graph fixture (never compiled): a per-thread metrics shard — cells are
+// single-writer by contract.
+#pragma once
+
+#include <atomic>
+
+namespace fix {
+
+struct Shard {
+  std::atomic<unsigned long long> hits{0};
+};
+
+}  // namespace fix

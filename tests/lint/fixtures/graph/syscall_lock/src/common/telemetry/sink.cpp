@@ -1,0 +1,18 @@
+// Graph fixture (never compiled): the same shape inside the telemetry
+// plane, where held-lock flushing is by design — must NOT fire.
+#include <cstdio>
+#include <mutex>
+
+namespace fix {
+
+std::mutex g_sink_mu;
+
+void sink_flush(const char* path) {
+  std::lock_guard<std::mutex> hold(g_sink_mu);
+  std::FILE* file = fopen(path, "w");
+  if (file != nullptr) {
+    fclose(file);
+  }
+}
+
+}  // namespace fix

@@ -1,0 +1,18 @@
+// Graph fixture (never compiled): blocking I/O inside a critical section
+// in non-telemetry code.
+#include <cstdio>
+#include <mutex>
+
+namespace fix {
+
+std::mutex g_mu;
+
+void flush_state(const char* path) {
+  std::lock_guard<std::mutex> hold(g_mu);
+  std::FILE* file = fopen(path, "w");  // archlint: expect(syscall-under-lock)
+  if (file != nullptr) {
+    fclose(file);
+  }
+}
+
+}  // namespace fix

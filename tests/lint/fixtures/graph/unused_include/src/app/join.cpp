@@ -1,0 +1,9 @@
+// Graph fixture (never compiled): pulls in strings.h but references none
+// of its symbols — the planted unused include.
+#include "util/strings.h"  // archlint: expect(unused-include)
+
+namespace fix {
+
+int join_count(int parts) { return parts + 1; }
+
+}  // namespace fix

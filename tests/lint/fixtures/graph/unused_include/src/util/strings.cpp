@@ -1,0 +1,12 @@
+// Graph fixture (never compiled): utility implementation.
+#include "util/strings.h"
+
+namespace fix {
+
+int copy_len(const char* text) {
+  int n = 0;
+  while (text[n] != 0) ++n;
+  return n;
+}
+
+}  // namespace fix

@@ -1,0 +1,8 @@
+// Graph fixture (never compiled): a small utility interface.
+#pragma once
+
+namespace fix {
+
+int copy_len(const char* text);
+
+}  // namespace fix

@@ -1,0 +1,5 @@
+// Graph fixture (never compiled): a real consumer, so copy_len stays
+// alive and only the join.cpp include is flagged.
+#include "util/strings.h"
+
+int main() { return fix::copy_len("x"); }

@@ -1,0 +1,395 @@
+// archlint graph battery: the ARCH.dag grammar, include resolution, the
+// symbol and lock scanners, the whole-tree rule engine over synthetic
+// mini-trees, the runner/baseline plumbing, and the two properties CI
+// leans on — the real checked-in lint/ARCH.dag rejects an upward include
+// planted in src/dram/, and the fixture self-test fails on tamper in both
+// directions.
+#include "common/lint/graph/graph_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/lint/graph/arch_rules.h"
+#include "common/lint/graph/include_graph.h"
+#include "common/lint/graph/locks.h"
+#include "common/lint/graph/symbols.h"
+#include "common/lint/lexer.h"
+#include "common/lint/runner.h"
+
+namespace parbor::lint::graph {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void spit(const fs::path& path, const std::string& text) {
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// Copies the checked-in graph mini-trees into a scratch dir to mutate.
+fs::path copy_graph_fixtures(const std::string& tag) {
+  const fs::path src = fs::path(PARBOR_LINT_FIXTURES) / "graph";
+  const fs::path dst = fs::path(::testing::TempDir()) / ("archlint_" + tag);
+  fs::remove_all(dst);
+  fs::copy(src, dst, fs::copy_options::recursive);
+  return dst;
+}
+
+// --- ArCH.dag grammar ------------------------------------------------------
+
+constexpr const char* kTinyDag =
+    "# two layers, one edge\n"
+    "layer base src/base/\n"
+    "layer app src/app/ tools/\n"
+    "allow app -> base\n";
+
+TEST(ArchDag, ParsesLayersEdgesAndLongestPrefix) {
+  ArchDag dag;
+  std::string error;
+  ASSERT_TRUE(ArchDag::parse(kTinyDag, &dag, &error)) << error;
+  ASSERT_EQ(dag.layers().size(), 2u);
+  EXPECT_EQ(dag.layers()[0].name, "base");
+  ASSERT_EQ(dag.edges().size(), 1u);
+  EXPECT_EQ(dag.edges()[0], (std::pair<std::string, std::string>{"app",
+                                                                 "base"}));
+  EXPECT_EQ(dag.layer_of("src/base/item.h"), "base");
+  EXPECT_EQ(dag.layer_of("tools/x.cpp"), "app");
+  EXPECT_EQ(dag.layer_of("tests/foo.cpp"), "");  // unlayered
+  EXPECT_TRUE(dag.allows("app", "base"));
+  EXPECT_FALSE(dag.allows("base", "app"));
+  EXPECT_TRUE(dag.allows("base", "base"));  // self-edges implicit
+  EXPECT_TRUE(dag.allows("base", ""));      // out-of-tree is unconstrained
+}
+
+TEST(ArchDag, LongestMatchingPrefixWins) {
+  ArchDag dag;
+  std::string error;
+  ASSERT_TRUE(ArchDag::parse(
+      "layer common src/common/\n"
+      "layer telemetry src/common/telemetry/\n",
+      &dag, &error))
+      << error;
+  EXPECT_EQ(dag.layer_of("src/common/json.h"), "common");
+  EXPECT_EQ(dag.layer_of("src/common/telemetry/trace.h"), "telemetry");
+}
+
+TEST(ArchDag, RejectsMalformedAndCyclicInput) {
+  ArchDag dag;
+  std::string error;
+  EXPECT_FALSE(ArchDag::parse("layer\n", &dag, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ArchDag::parse("nonsense line\n", &dag, &error));
+  EXPECT_FALSE(
+      ArchDag::parse("layer a src/a/\nlayer a src/b/\n", &dag, &error));
+  EXPECT_FALSE(ArchDag::parse("layer a src/a/\nallow a -> ghost\n", &dag,
+                              &error));
+  // Mutual dependency is a config error, not a finding.
+  EXPECT_FALSE(ArchDag::parse(
+      "layer a src/a/\nlayer b src/b/\nallow a -> b\nallow b -> a\n", &dag,
+      &error));
+  EXPECT_NE(error.find("cycle"), std::string::npos) << error;
+}
+
+// --- include resolution ----------------------------------------------------
+
+TEST(IncludeGraph, ResolvesAgainstIncluderDirThenRoots) {
+  const std::vector<SourceFile> files = {
+      {"src/a/local.h", "#pragma once\n"},
+      {"src/b/local.h", "#pragma once\n"},
+      {"src/a/user.cpp",
+       "#include \"local.h\"\n#include \"b/local.h\"\n#include <mutex>\n"
+       "#include \"ghost/gen.h\"\n"},
+  };
+  const IncludeGraph graph = IncludeGraph::build(files);
+  const FileNode* node = graph.node("src/a/user.cpp");
+  ASSERT_NE(node, nullptr);
+  ASSERT_EQ(node->includes.size(), 4u);
+  EXPECT_EQ(node->includes[0].resolved, "src/a/local.h");  // includer dir
+  EXPECT_EQ(node->includes[1].resolved, "src/b/local.h");  // src/ root
+  EXPECT_TRUE(node->includes[2].system);
+  EXPECT_EQ(node->includes[2].resolved, "");  // system stays unresolved
+  EXPECT_EQ(node->includes[3].resolved, "");  // generated/missing
+}
+
+TEST(IncludeGraph, TransitiveIncludesTerminateOnCycles) {
+  const std::vector<SourceFile> files = {
+      {"src/a/x.h", "#pragma once\n#include \"a/y.h\"\n"},
+      {"src/a/y.h", "#pragma once\n#include \"a/x.h\"\n"},
+      {"src/a/z.cpp", "#include \"a/x.h\"\n"},
+  };
+  const IncludeGraph graph = IncludeGraph::build(files);
+  const std::vector<std::string> trans = graph.transitive_includes("src/a/z.cpp");
+  EXPECT_EQ(trans, (std::vector<std::string>{"src/a/x.h", "src/a/y.h"}));
+}
+
+// --- symbol scanning -------------------------------------------------------
+
+TEST(ScanSymbols, ClassifiesDeclarationsAndAccess) {
+  const char* source =
+      "#pragma once\n"
+      "#define WIDGET_MAX 4\n"
+      "namespace w {\n"
+      "struct Widget {\n"
+      "  int size() const;\n"
+      " private:\n"
+      "  int hidden();\n"
+      "};\n"
+      "class Gadget {\n"
+      "  int secret();\n"
+      " public:\n"
+      "  int shown();\n"
+      "};\n"
+      "int free_fn(int x);\n"
+      "}\n";
+  const FileSymbols s = scan_symbols(lex(source));
+
+  const auto names = [](const std::vector<DeclaredSymbol>& xs) {
+    std::vector<std::string> out;
+    for (const DeclaredSymbol& d : xs) out.push_back(d.name);
+    return out;
+  };
+  EXPECT_EQ(names(s.types), (std::vector<std::string>{"Gadget", "Widget"}));
+  EXPECT_EQ(names(s.macros), (std::vector<std::string>{"WIDGET_MAX"}));
+  // All declarators, sorted; struct members default public, class private.
+  EXPECT_EQ(names(s.functions),
+            (std::vector<std::string>{"free_fn", "hidden", "secret", "shown",
+                                      "size"}));
+  EXPECT_EQ(names(s.api_functions),
+            (std::vector<std::string>{"free_fn", "shown", "size"}));
+  EXPECT_EQ(names(s.free_functions), (std::vector<std::string>{"free_fn"}));
+
+  EXPECT_TRUE(s.provides("Widget"));
+  EXPECT_TRUE(s.provides("WIDGET_MAX"));
+  EXPECT_FALSE(s.provides("unrelated"));
+  EXPECT_NE(s.referenced.count("Widget"), 0u);
+  EXPECT_EQ(s.first_ref_line.at("free_fn"), 14);
+}
+
+TEST(ScanSymbols, KeywordsAreNeverSymbols) {
+  EXPECT_TRUE(is_cpp_keyword("struct"));
+  EXPECT_TRUE(is_cpp_keyword("override"));
+  EXPECT_FALSE(is_cpp_keyword("Widget"));
+}
+
+// --- lock scanning ---------------------------------------------------------
+
+TEST(ScanLocks, FindsNestingsAndHeldBlockingCalls) {
+  const char* source =
+      "#include <mutex>\n"
+      "std::mutex g_a;\n"
+      "std::mutex g_b;\n"
+      "void f() {\n"
+      "  std::lock_guard<std::mutex> one(g_a);\n"
+      "  std::lock_guard<std::mutex> two(g_b);\n"
+      "  fsync(3);\n"
+      "  stream.write(buf, n);\n"
+      "}\n";
+  const FileLocks fl = scan_locks("src/x/f.cpp", lex(source));
+  ASSERT_EQ(fl.acquisitions.size(), 2u);
+  EXPECT_EQ(fl.acquisitions[0].key, "src/x/f::g_a");
+  ASSERT_EQ(fl.nestings.size(), 1u);
+  EXPECT_EQ(fl.nestings[0].outer, "src/x/f::g_a");
+  EXPECT_EQ(fl.nestings[0].inner, "src/x/f::g_b");
+  EXPECT_EQ(fl.nestings[0].line, 6);
+  // Free fsync() is held; the member call stream.write(...) is not.
+  ASSERT_FALSE(fl.held_calls.empty());
+  for (const HeldCall& c : fl.held_calls) EXPECT_EQ(c.what, "fsync");
+}
+
+TEST(FindOrderCycles, OnlyInvertedOrdersAreCycles) {
+  const LockNesting ab{"a", "b", "one.cpp", 5};
+  const LockNesting ba{"b", "a", "two.cpp", 9};
+  EXPECT_TRUE(find_order_cycles({ab}).empty());
+  const std::vector<LockNesting> cyc = find_order_cycles({ab, ba});
+  ASSERT_EQ(cyc.size(), 2u);
+  EXPECT_EQ(cyc[0].outer, "a");
+  EXPECT_EQ(cyc[1].outer, "b");
+}
+
+// --- the rule engine -------------------------------------------------------
+
+TEST(AnalyzeTree, FlagsDeadSymbolsAndHonorsTheBaseline) {
+  const std::vector<SourceFile> files = {
+      {"src/base/api.h",
+       "#pragma once\nnamespace q {\nint ping(int v);\nint dead_fn(int v);\n"
+       "}\n"},
+      {"src/base/api.cpp",
+       "#include \"base/api.h\"\nnamespace q {\nint ping(int v) { return v; }"
+       "\nint dead_fn(int v) { return v; }\n}\n"},
+      {"src/app/go.cpp",
+       "#include \"base/api.h\"\nnamespace q {\nint go() { return ping(2); }"
+       "\n}\n"},
+  };
+  ArchDag dag;
+  std::string error;
+  ASSERT_TRUE(ArchDag::parse(
+      "layer base src/base/\nlayer app src/app/\nallow app -> base\n", &dag,
+      &error))
+      << error;
+
+  const AnalysisResult first = analyze_tree(files, dag);
+  ASSERT_EQ(first.findings.size(), 1u);
+  EXPECT_EQ(first.findings[0].finding.rule, "dead-symbol");
+  EXPECT_EQ(first.findings[0].finding.file, "src/base/api.h");
+  EXPECT_EQ(first.findings[0].finding.line, 4);
+  EXPECT_EQ(first.findings[0].key, "src/base/api.h|dead-symbol|dead_fn");
+
+  AnalysisOptions options;
+  options.baseline = {first.findings[0].key};
+  const AnalysisResult second = analyze_tree(files, dag, options);
+  EXPECT_TRUE(second.findings.empty());
+  ASSERT_EQ(second.suppressed.size(), 1u);
+  EXPECT_TRUE(second.suppressed[0].baselined);
+}
+
+// The CI canary in one test: the live lint/ARCH.dag must reject an
+// engine include planted into the dram layer.
+TEST(AnalyzeTree, CheckedInDagRejectsUpwardIncludeFromDram) {
+  ArchDag dag;
+  std::string error;
+  ASSERT_TRUE(
+      ArchDag::parse(slurp(fs::path(PARBOR_REPO_ROOT) / "lint" / "ARCH.dag"),
+                     &dag, &error))
+      << error;
+  const std::vector<SourceFile> files = {
+      {"src/dram/planted.cpp", "#include \"parbor/engine.h\"\n"},
+  };
+  const AnalysisResult result = analyze_tree(files, dag);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].finding.rule, "layering");
+  EXPECT_EQ(result.findings[0].finding.line, 1);
+  EXPECT_NE(result.findings[0].finding.message.find("'dram'"),
+            std::string::npos)
+      << result.findings[0].finding.message;
+}
+
+// --- runner + baseline plumbing -------------------------------------------
+
+TEST(LoadTree, WalksTheRepoAndSkipsTheFixtures) {
+  // lint_roots() drives the walk; the fixture trees violate on purpose
+  // and must stay out of it.
+  EXPECT_NE(std::find(lint_roots().begin(), lint_roots().end(), "src"),
+            lint_roots().end());
+  std::vector<std::string> io_errors;
+  const std::vector<SourceFile> tree = load_tree(PARBOR_REPO_ROOT, &io_errors);
+  EXPECT_TRUE(io_errors.empty());
+  bool saw_runner = false;
+  for (const SourceFile& f : tree) {
+    EXPECT_EQ(f.path.rfind("tests/lint/fixtures/", 0), std::string::npos)
+        << f.path;
+    if (f.path == "src/common/lint/graph/graph_runner.cpp") saw_runner = true;
+  }
+  EXPECT_TRUE(saw_runner);
+}
+
+TEST(LoadBaseline, MissingValidAndMalformedFiles) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "archlint_baseline";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  std::vector<std::string> keys;
+  std::string error;
+  EXPECT_TRUE(load_baseline((dir / "missing.json").string(), &keys, &error));
+  EXPECT_TRUE(keys.empty());  // missing baseline == empty baseline
+
+  ArchFinding f;
+  f.key = "src/a.h|dead-symbol|fn";
+  spit(dir / "good.json", baseline_to_json({f, f}) + "\n");
+  EXPECT_TRUE(load_baseline((dir / "good.json").string(), &keys, &error));
+  EXPECT_EQ(keys, (std::vector<std::string>{"src/a.h|dead-symbol|fn"}));
+
+  spit(dir / "bad.json", "{nope");
+  keys.clear();
+  EXPECT_FALSE(load_baseline((dir / "bad.json").string(), &keys, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(RunTree, SurfacesConfigErrorsAndWritesAReport) {
+  const fs::path root = fs::path(::testing::TempDir()) / "archlint_tree";
+  fs::remove_all(root);
+  spit(root / "src" / "solo.cpp", "namespace q {\nint solo() { return 1; }\n}\n");
+
+  const TreeRunResult missing_dag =
+      run_tree(root.string(), "missing.dag", "");
+  EXPECT_NE(missing_dag.config_error.find("cannot read"), std::string::npos);
+
+  spit(root / "lint" / "ARCH.dag", "layer src src/\n");
+  const TreeRunResult ok = run_tree(root.string(), "lint/ARCH.dag", "");
+  EXPECT_TRUE(ok.config_error.empty());
+  EXPECT_EQ(ok.files_loaded, 1u);
+  EXPECT_TRUE(ok.analysis.findings.empty());
+
+  const std::string json = report_to_json(ok);
+  EXPECT_NE(json.find("\"tool\":\"archlint\""), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"allow-syntax\""), std::string::npos);
+}
+
+TEST(RuleIds, AreSortedAndStable) {
+  const std::vector<std::string>& ids = rule_ids();
+  EXPECT_EQ(ids.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "layering"), ids.end());
+}
+
+// --- the self-test self-test ----------------------------------------------
+
+TEST(GraphSelfTest, PassesOnTheCheckedInMiniTrees) {
+  std::string log;
+  EXPECT_TRUE(graph_self_test(
+      (fs::path(PARBOR_LINT_FIXTURES) / "graph").string(), log))
+      << log;
+}
+
+TEST(GraphSelfTest, FailsWhenAViolationStopsFiring) {
+  const fs::path dir = copy_graph_fixtures("defused");
+  const fs::path target = dir / "layering" / "src" / "core" / "state.h";
+  std::string text = slurp(target);
+  const std::string include_line = "#include \"engine/run.h\"  ";
+  const auto pos = text.find(include_line);
+  ASSERT_NE(pos, std::string::npos);
+  // Drop the include, keep the expectation marker: the rule now fails to
+  // fire where the fixture says it must.
+  spit(target, text.substr(0, pos) + text.substr(pos + include_line.size()));
+  std::string log;
+  EXPECT_FALSE(graph_self_test(dir.string(), log));
+  EXPECT_NE(log.find("expected rule 'layering' to fire"), std::string::npos)
+      << log;
+}
+
+TEST(GraphSelfTest, FailsOnAnUnannotatedFinding) {
+  const fs::path dir = copy_graph_fixtures("planted");
+  spit(dir / "layering" / "src" / "core" / "extra.cpp",
+       "#include \"engine/run.h\"\n\nnamespace fix {\n\n"
+       "int extra_tick() { return run_once(1); }\n\n}  // namespace fix\n");
+  std::string log;
+  EXPECT_FALSE(graph_self_test(dir.string(), log));
+  EXPECT_NE(log.find("without a matching"), std::string::npos) << log;
+}
+
+TEST(GraphSelfTest, RejectsAnEmptyFixtureRoot) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "archlint_empty";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::string log;
+  EXPECT_FALSE(graph_self_test(dir.string(), log));
+}
+
+}  // namespace
+}  // namespace parbor::lint::graph

@@ -180,6 +180,17 @@ TEST(LintRunner, JsonReportRoundTripsThroughTheParser) {
   EXPECT_FALSE(f.at("message").as_string().empty());
 }
 
+TEST(LintRunner, FixPlanPrintsExactIndentedInsertionLines) {
+  const fs::path root = fs::path(::testing::TempDir()) / "detlint_fixplan";
+  fs::remove_all(root);
+  spit(root / "src" / "bad.cpp", "void f() {\n  int x = rand();\n}\n");
+  const RunResult result = lint_files(root.string(), {"src/bad.cpp"});
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(fix_plan(root.string(), result),
+            "src/bad.cpp:2: insert above:\n"
+            "  // detlint: allow(rng) -- TODO: justify this exception\n");
+}
+
 TEST(LintRunner, UnreadablePathsAreIoErrorsNotFindings) {
   const RunResult result = lint_files(".", {"no/such/file.cpp"});
   EXPECT_TRUE(result.findings.empty());

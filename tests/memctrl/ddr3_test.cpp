@@ -37,6 +37,15 @@ TEST(Ddr3Timing, ModuleTestMatchesAppendix) {
   EXPECT_NEAR(t.module_test(262144).seconds() * 132.0, 54.64, 0.1);
 }
 
+TEST(Ddr3Timing, RowAccessUnderliesTheDerivedAccessCosts) {
+  Ddr3Timing t;
+  EXPECT_NEAR(t.row_access(2).nanoseconds(), t.two_block_access().nanoseconds(),
+              1e-12);
+  EXPECT_NEAR(t.row_access(128).nanoseconds(),
+              t.full_row_access(8192).nanoseconds(), 1e-12);
+  EXPECT_GT(t.row_access(4).nanoseconds(), t.row_access(2).nanoseconds());
+}
+
 TEST(NaiveTestTimes, MatchesAppendixEstimates) {
   Ddr3Timing t;
   const auto times = naive_test_times(t, 8192);

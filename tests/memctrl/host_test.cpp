@@ -31,6 +31,15 @@ TEST(TestHost, AllRowsEnumeratesFullGeometry) {
   EXPECT_EQ(rows.back(), (RowAddr{0, 0, 15}));
 }
 
+TEST(TestHost, ReadPathSelectionRoundTrips) {
+  auto cfg = quiet_module();
+  dram::Module module(cfg);
+  TestHost host(module);
+  EXPECT_EQ(host.read_path(), TestHost::ReadPath::kBatched);
+  host.set_read_path(TestHost::ReadPath::kScalar);
+  EXPECT_EQ(host.read_path(), TestHost::ReadPath::kScalar);
+}
+
 TEST(TestHost, ClockAdvancesWithRowOpsAndWaits) {
   auto cfg = quiet_module();
   dram::Module module(cfg);

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/fileio.h"
 #include "common/telemetry/campaign_obs.h"
 #include "common/telemetry/metrics.h"
@@ -28,6 +29,27 @@ namespace parbor::core {
 namespace {
 
 namespace fs = std::filesystem;
+
+TEST(WorkerSnapshotJson, RoundTripsEveryField) {
+  telemetry::WorkerSnapshot snap;
+  snap.owner = "4242";
+  snap.pid = 4242;
+  snap.seq = 9;
+  snap.unix_ms = 1700000000123;
+  snap.phase = "compute";
+  snap.shard = "A1-search";
+  snap.shards_done = 2;
+  const telemetry::WorkerSnapshot back = telemetry::worker_snapshot_from_json(
+      telemetry::worker_snapshot_to_json(snap));
+  EXPECT_EQ(back.owner, snap.owner);
+  EXPECT_EQ(back.pid, snap.pid);
+  EXPECT_EQ(back.seq, snap.seq);
+  EXPECT_EQ(back.unix_ms, snap.unix_ms);
+  EXPECT_EQ(back.phase, snap.phase);
+  EXPECT_EQ(back.shard, snap.shard);
+  EXPECT_EQ(back.shards_done, snap.shards_done);
+  EXPECT_THROW(telemetry::worker_snapshot_from_json("{}"), CheckError);
+}
 
 FleetSpec tiny_spec() {
   FleetSpec spec;

@@ -122,6 +122,12 @@ TEST(FleetManifest, RejectsTamperedDocuments) {
   EXPECT_THROW(fleet_manifest_from_json(tampered), CheckError);
 }
 
+TEST_F(FleetTest, LoadManifestReturnsTheInitSpec) {
+  const FleetSpec spec = tiny_spec();
+  fleet_init(dir_, spec);
+  EXPECT_TRUE(fleet_load_manifest(dir_) == spec);
+}
+
 TEST_F(FleetTest, InitWorkMergeMatchesSingleProcessSweep) {
   const FleetSpec spec = tiny_spec();
   fleet_init(dir_, spec);

@@ -1,0 +1,188 @@
+// archlint — whole-program architecture, include-graph, and lock-discipline
+// linter.  Where detlint judges one translation unit at a time, archlint
+// sees the tree at once: the include graph, the per-TU symbol tables, and
+// every lock acquisition, checked against the layer DAG in lint/ARCH.dag.
+//
+//   archlint [--root DIR] [--dag FILE] [--baseline FILE] [--json FILE]
+//       Analyze the tree under DIR (default: .).  FILEs are relative to
+//       the root; --dag defaults to lint/ARCH.dag and --baseline to
+//       lint/archlint_baseline.json (a missing baseline is empty).  Prints
+//       file:line diagnostics and exits 1 when any non-baselined finding
+//       fires, 2 on a config/read error.
+//
+//   archlint --write-baseline [--root DIR] [--dag FILE] [--baseline FILE]
+//       Re-analyze and rewrite the baseline file so every current finding
+//       is grandfathered.  For adopting archlint on a tree with known
+//       debt; the CI gate keeps the count from growing.
+//
+//   archlint --print-dag [--root DIR] [--dag FILE]
+//       Parse and dump the layer DAG (layers, prefixes, allowed edges).
+//
+//   archlint --self-test [--root DIR] [--fixtures DIR]
+//       Analyze every fixture mini-tree under DIR (default:
+//       <root>/tests/lint/fixtures/graph) and verify each rule fires
+//       exactly where the `archlint: expect(...)` markers say — in both
+//       directions.  Exits 1 on any mismatch.
+//
+// Rules and the suppression grammar are documented in
+// src/common/lint/graph/arch_rules.h; DESIGN.md §4i has the rationale.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fileio.h"
+#include "common/flags.h"
+#include "common/lint/graph/arch_rules.h"
+#include "common/lint/graph/graph_runner.h"
+#include "common/lint/graph/include_graph.h"
+
+namespace {
+
+bool slurp(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: archlint [--root DIR] [--dag FILE] [--baseline FILE] "
+      "[--json FILE]\n"
+      "       archlint --write-baseline [--root DIR] [--dag FILE] "
+      "[--baseline FILE]\n"
+      "       archlint --print-dag [--root DIR] [--dag FILE]\n"
+      "       archlint --self-test [--root DIR] [--fixtures DIR]\n");
+  return 2;
+}
+
+int reject_unknown_flags(const parbor::Flags& flags) {
+  const std::vector<std::string> known = {
+      "root",      "dag",       "baseline", "json",
+      "write-baseline", "print-dag", "self-test", "fixtures",
+  };
+  const auto unknown = flags.unknown(known);
+  if (unknown.empty()) return 0;
+  for (const auto& name : unknown) {
+    const std::string hint = parbor::Flags::suggest(name, known);
+    if (hint.empty()) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+    } else {
+      std::fprintf(stderr, "unknown flag --%s (did you mean --%s?)\n",
+                   name.c_str(), hint.c_str());
+    }
+  }
+  return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const parbor::Flags flags = parbor::Flags::parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "archlint: %s\n", flags.error().c_str());
+    return usage();
+  }
+  if (const int rc = reject_unknown_flags(flags); rc != 0) return rc;
+
+  const std::string root = flags.get("root", ".");
+
+  if (flags.get_bool("self-test")) {
+    const std::string fixtures =
+        flags.get("fixtures", root + "/tests/lint/fixtures/graph");
+    std::string log;
+    const bool ok = parbor::lint::graph::graph_self_test(fixtures, log);
+    std::fputs(log.c_str(), stderr);
+    if (ok) {
+      std::fprintf(stderr, "archlint: self-test passed (%s)\n",
+                   fixtures.c_str());
+    }
+    return ok ? 0 : 1;
+  }
+
+  const std::string dag_path = flags.get("dag", "lint/ARCH.dag");
+  const std::string baseline_path =
+      flags.get("baseline", "lint/archlint_baseline.json");
+
+  if (flags.get_bool("print-dag")) {
+    const std::string full = root.empty() ? dag_path : root + "/" + dag_path;
+    std::string text;
+    if (!slurp(full, text)) {
+      std::fprintf(stderr, "archlint: cannot read %s\n", full.c_str());
+      return 2;
+    }
+    parbor::lint::graph::ArchDag dag;
+    std::string parse_error;
+    if (!parbor::lint::graph::ArchDag::parse(text, &dag, &parse_error)) {
+      std::fprintf(stderr, "archlint: %s: %s\n", dag_path.c_str(),
+                   parse_error.c_str());
+      return 2;
+    }
+    std::fputs(parbor::lint::graph::dag_to_text(dag).c_str(), stdout);
+    return 0;
+  }
+
+  const parbor::lint::graph::TreeRunResult result =
+      parbor::lint::graph::run_tree(root, dag_path, baseline_path);
+  if (!result.config_error.empty()) {
+    std::fprintf(stderr, "archlint: %s\n", result.config_error.c_str());
+    return 2;
+  }
+  for (const std::string& path : result.io_errors) {
+    std::fprintf(stderr, "archlint: cannot read %s\n", path.c_str());
+  }
+
+  if (flags.get_bool("write-baseline")) {
+    const std::string full =
+        root.empty() ? baseline_path : root + "/" + baseline_path;
+    std::vector<parbor::lint::graph::ArchFinding> all =
+        result.analysis.findings;
+    all.insert(all.end(), result.analysis.suppressed.begin(),
+               result.analysis.suppressed.end());
+    const std::string err = parbor::write_text_file(
+        full, parbor::lint::graph::baseline_to_json(all) + "\n");
+    if (!err.empty()) {
+      std::fprintf(stderr, "archlint: %s\n", err.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "archlint: wrote %zu baseline key(s) to %s\n",
+                 all.size(), full.c_str());
+    return 0;
+  }
+
+  for (const parbor::lint::graph::ArchFinding& f : result.analysis.findings) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.finding.file.c_str(),
+                 f.finding.line, f.finding.rule.c_str(),
+                 f.finding.message.c_str());
+  }
+
+  const std::string json_out = flags.get("json");
+  if (!json_out.empty()) {
+    const std::string err = parbor::write_text_file(
+        json_out, parbor::lint::graph::report_to_json(result) + "\n");
+    if (!err.empty()) {
+      std::fprintf(stderr, "archlint: %s\n", err.c_str());
+      return 2;
+    }
+  }
+
+  if (!result.io_errors.empty()) return 2;
+  if (!result.analysis.findings.empty()) {
+    std::fprintf(stderr,
+                 "archlint: %zu finding(s), %zu baselined, %zu file(s) "
+                 "scanned\n",
+                 result.analysis.findings.size(),
+                 result.analysis.suppressed.size(),
+                 result.analysis.files_scanned);
+    return 1;
+  }
+  std::fprintf(stderr, "archlint: clean (%zu files scanned, %zu baselined)\n",
+               result.analysis.files_scanned,
+               result.analysis.suppressed.size());
+  return 0;
+}

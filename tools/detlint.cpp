@@ -1,10 +1,13 @@
 // detlint — the repository's determinism & hygiene linter.
 //
-//   detlint [--root DIR] [--json FILE] [files...]
+//   detlint [--root DIR] [--json FILE] [--fix] [files...]
 //       Lint the tracked source tree under DIR (default: .), or just the
 //       listed files (paths relative to --root).  Prints file:line
 //       diagnostics, optionally writes a machine-readable findings report,
-//       and exits 1 when anything fires.
+//       and exits 1 when anything fires.  With --fix, additionally prints
+//       (to stdout, dry-run — nothing is written) the exact suppression
+//       comment to insert above each finding — an `allow(<rule>)` with a
+//       TODO reason to fill in — indentation matched to the finding line.
 //
 //   detlint --self-test [--fixtures DIR]
 //       Run every rule over the checked-in violation fixtures (default:
@@ -21,19 +24,21 @@
 
 #include "common/fileio.h"
 #include "common/flags.h"
+#include "common/lint/rules.h"
 #include "common/lint/runner.h"
 
 namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: detlint [--root DIR] [--json FILE] [files...]\n"
+               "usage: detlint [--root DIR] [--json FILE] [--fix] "
+               "[files...]\n"
                "       detlint --self-test [--root DIR] [--fixtures DIR]\n");
   return 2;
 }
 
 int reject_unknown_flags(const parbor::Flags& flags) {
-  const std::vector<std::string> known = {"root", "json", "self-test",
+  const std::vector<std::string> known = {"root", "json", "fix", "self-test",
                                           "fixtures"};
   const auto unknown = flags.unknown(known);
   if (unknown.empty()) return 0;
@@ -82,6 +87,10 @@ int main(int argc, char** argv) {
   for (const parbor::lint::Finding& f : result.findings) {
     std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                  f.message.c_str());
+  }
+
+  if (flags.get_bool("fix") && !result.findings.empty()) {
+    std::fputs(parbor::lint::fix_plan(root, result).c_str(), stdout);
   }
 
   const std::string json_out = flags.get("json");

@@ -68,6 +68,7 @@
 //   parbor_cli history record --archive DIR [--kind K] [--label TEXT]
 //                       [--id ID] [--unix-ms MS] [--bench F1,F2]
 //                       [--metrics FILE] [--sweep FILE] [--fleet-dir DIR]
+//                       [--archlint FILE]
 //   parbor_cli history list    --archive DIR [--json]
 //   parbor_cli history show    --archive DIR --id ID [--json]
 //   parbor_cli history compare --archive DIR --from ID --to ID
@@ -77,14 +78,19 @@
 //       Longitudinal run archive (src/common/telemetry/archive.h): record
 //       appends one self-describing run record (build provenance, argv,
 //       bench minima from gbench JSON, metrics snapshot, sweep / fleet
-//       summaries); drift gates the newest record (or --id) against
-//       rolling medians of the archived history and exits 1 on a perf,
-//       coverage, or test-budget drift.  `sweep` and `fleet merge` accept
+//       summaries, archlint finding counts from its --json report as the
+//       `lint:findings` series); drift gates the newest record (or --id)
+//       against rolling medians of the archived history and exits 1 on a
+//       perf, coverage, test-budget, or lint drift — lint gates on any
+//       absolute increase, since a clean tree's median of zero findings
+//       admits no ratio.  `sweep` and `fleet merge` accept
 //       --archive DIR to append their own record automatically; archived
 //       and unarchived runs emit byte-identical reports.
 //
 //   parbor_cli version [--json]
 //       Print the build provenance (git describe, compiler, build type).
+//       --json additionally reports the detlint and archlint rule counts,
+//       so CI logs pin which linter vintage blessed a commit.
 //
 // Observability flags, accepted by every campaign subcommand (off by
 // default; reports and flip streams are byte-identical with all of them on
@@ -117,9 +123,15 @@
 #include "common/json.h"
 #include "common/leasedir.h"
 #include "common/ledger/coverage.h"
+#include "common/lint/graph/arch_rules.h"
+#include "common/lint/rules.h"
 #include "common/ledger/ledger.h"
+#include "common/ledger/ledger_check.h"
 #include "common/perf_baseline.h"
+#include "common/sim_time.h"
 #include "common/table.h"
+#include "dcref/refresh.h"
+#include "dcref/trace.h"
 #include "dram/fault_table.h"
 #include "common/telemetry/archive.h"
 #include "common/telemetry/campaign_obs.h"
@@ -129,15 +141,21 @@
 #include "common/telemetry/prom.h"
 #include "common/telemetry/trace.h"
 #include "dcref/sim.h"
+#include "dram/module.h"
+#include "dram/scramble.h"
+#include "memctrl/host.h"
+#include "parbor/baselines.h"
 #include "parbor/classic_tests.h"
 #include "parbor/engine.h"
 #include "parbor/fleet.h"
 #include "parbor/fleet_monitor.h"
 #include "parbor/parbor.h"
 #include "parbor/mitigation.h"
+#include "parbor/patterns.h"
 #include "parbor/report_io.h"
 #include "parbor/remap_ext.h"
 #include "parbor/retention.h"
+#include "parbor/types.h"
 
 using namespace parbor;
 
@@ -973,6 +991,18 @@ int cmd_history(const Flags& flags) {
     if (flags.has("fleet-dir")) {
       rec.fleet = fleet_summary_from_dir(flags.get("fleet-dir"));
     }
+    if (flags.has("archlint")) {
+      std::string text;
+      if (!read_file(flags.get("archlint"), &text)) {
+        std::fprintf(stderr, "cannot read %s\n",
+                     flags.get("archlint").c_str());
+        return 2;
+      }
+      const JsonValue doc = JsonValue::parse(text);
+      rec.with_lint = true;
+      rec.lint_findings = doc.at("finding_count").as_uint();
+      rec.lint_baselined = doc.at("baselined_count").as_uint();
+    }
     telemetry::archive_append(dir, rec);
     std::printf("recorded run %s in %s\n", rec.id.c_str(),
                 telemetry::archive_runs_path(dir).c_str());
@@ -1105,6 +1135,7 @@ int cmd_history(const Flags& flags) {
       print_findings("perf drift", report.perf);
       print_findings("coverage drift", report.coverage);
       print_findings("budget drift", report.budget);
+      print_findings("lint drift", report.lint);
       if (report.clean()) {
         std::printf("  no drift (%zu fresh series, %zu missing)\n",
                     report.fresh.size(), report.missing.size());
@@ -1126,6 +1157,10 @@ int cmd_version(const Flags& flags) {
     JsonWriter w;
     w.begin_object();
     w.field("parbor_version", 1);
+    w.field("detlint_rules",
+            static_cast<std::uint64_t>(lint::rule_ids().size()));
+    w.field("archlint_rules",
+            static_cast<std::uint64_t>(lint::graph::rule_ids().size()));
     w.key("build");
     write_build_info(w);
     w.end_object();
@@ -1157,7 +1192,8 @@ int usage() {
       "[--job N]\n"
       "  history:      <record|list|show|compare|drift> --archive DIR "
       "(record: --kind K --label TEXT --bench F1,F2 --metrics FILE --sweep "
-      "FILE --fleet-dir DIR; drift: --window N --max-ratio R --budget-ratio "
+      "FILE --fleet-dir DIR --archlint FILE; drift: --window N --max-ratio R "
+      "--budget-ratio "
       "R --min-coverage-ratio R; show: --id ID; compare: --from ID --to "
       "ID)\n"
       "  version:      [--json]\n"
@@ -1193,8 +1229,8 @@ const std::vector<std::string>& known_flags(const std::string& cmd) {
       {"explain", {"ledger", "cell", "fault", "job"}},
       {"history",
        {"archive", "kind", "label", "id", "unix-ms", "bench", "metrics",
-        "sweep", "fleet-dir", "json", "from", "to", "window", "max-ratio",
-        "budget-ratio", "min-coverage-ratio"}},
+        "sweep", "fleet-dir", "archlint", "json", "from", "to", "window",
+        "max-ratio", "budget-ratio", "min-coverage-ratio"}},
       {"version", {"json"}},
   };
   static const std::vector<std::string> empty;
